@@ -1,0 +1,199 @@
+//! Distinct sampling (Gibbons 2001) — the second sampling-family method
+//! the paper reviews (§2.4).
+//!
+//! Like Wegman's adaptive sampling, a shrinking hash-prefix region
+//! defines which distinct elements are retained; unlike it, the sample
+//! keeps a *multiplicity count* per retained element, which is what lets
+//! Gibbons' method answer "event report" queries (e.g. *how many distinct
+//! flows carried at least `t` packets*) and not just the plain distinct
+//! count. The estimator is `|sample|·2^{level}`, with predicate-restricted
+//! variants scaling the matching subsample the same way.
+
+use std::collections::HashMap;
+
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+/// Gibbons' distinct sampling sketch.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistinctSampling {
+    /// Retained elements: hashed id → multiplicity in the stream so far.
+    sample: HashMap<u64, u64>,
+    capacity: usize,
+    level: u32,
+    hasher: SplitMix64Hasher,
+}
+
+impl DistinctSampling {
+    /// Create a sampler retaining at most `capacity` distinct elements.
+    ///
+    /// # Errors
+    ///
+    /// Needs `capacity ≥ 8`.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, SBitmapError> {
+        if capacity < 8 {
+            return Err(SBitmapError::invalid("capacity", "need at least 8 slots"));
+        }
+        Ok(Self {
+            sample: HashMap::with_capacity(capacity + 1),
+            capacity,
+            level: 0,
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+
+    /// Dimension from a bit budget, charging 128 bits per retained
+    /// element (64-bit hash + 64-bit multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// Budget below 8 × 128 bits.
+    pub fn with_memory(m_bits: usize, seed: u64) -> Result<Self, SBitmapError> {
+        Self::new(m_bits / 128, seed)
+    }
+
+    /// Current sampling level (kept fraction is `2^{-level}`).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Insert a pre-hashed item.
+    pub fn insert_hash(&mut self, hash: u64) {
+        if hash.leading_zeros() < self.level {
+            return; // outside the kept region
+        }
+        *self.sample.entry(hash).or_insert(0) += 1;
+        while self.sample.len() > self.capacity {
+            self.level += 1;
+            let level = self.level;
+            self.sample.retain(|&h, _| h.leading_zeros() >= level);
+        }
+    }
+
+    /// Estimate the number of distinct items whose stream multiplicity
+    /// satisfies `predicate` — Gibbons' "event report" query. The plain
+    /// distinct count is `estimate_where(|_| true)`.
+    pub fn estimate_where(&self, predicate: impl Fn(u64) -> bool) -> f64 {
+        let matching = self.sample.values().filter(|&&c| predicate(c)).count();
+        matching as f64 * 2f64.powi(self.level as i32)
+    }
+
+    /// Estimate the number of distinct items seen exactly once
+    /// ("rarity" / singleton flows — port-scan signatures).
+    pub fn singletons(&self) -> f64 {
+        self.estimate_where(|c| c == 1)
+    }
+}
+
+impl DistinctCounter for DistinctSampling {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sample.len() as f64 * 2f64.powi(self.level as i32)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.capacity * 128
+    }
+
+    fn reset(&mut self) {
+        self.sample.clear();
+        self.level = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "distinct-sampling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity_with_counts() {
+        let mut s = DistinctSampling::new(256, 1).unwrap();
+        for i in 0..100u64 {
+            s.insert_u64(i);
+            if i < 30 {
+                s.insert_u64(i); // 30 items appear twice
+            }
+        }
+        assert_eq!(s.level(), 0);
+        assert_eq!(s.estimate(), 100.0);
+        assert_eq!(s.singletons(), 70.0);
+        assert_eq!(s.estimate_where(|c| c >= 2), 30.0);
+    }
+
+    #[test]
+    fn adapts_and_estimates_at_scale() {
+        let mut s = DistinctSampling::new(512, 2).unwrap();
+        let n = 200_000u64;
+        for i in 0..n {
+            s.insert_u64(i);
+        }
+        assert!(s.level() > 0);
+        let rel = s.estimate() / n as f64 - 1.0;
+        assert!(rel.abs() < 0.25, "rel {rel}");
+    }
+
+    #[test]
+    fn event_report_at_scale() {
+        // 50k distinct; every 10th item appears 3 times.
+        let mut s = DistinctSampling::new(1024, 3).unwrap();
+        for i in 0..50_000u64 {
+            s.insert_u64(i);
+            if i % 10 == 0 {
+                s.insert_u64(i);
+                s.insert_u64(i);
+            }
+        }
+        let heavy = s.estimate_where(|c| c >= 3);
+        let rel = heavy / 5_000.0 - 1.0;
+        assert!(rel.abs() < 0.4, "heavy-hitter distinct estimate off: {rel}");
+    }
+
+    #[test]
+    fn counts_survive_level_increases() {
+        let mut s = DistinctSampling::new(16, 4).unwrap();
+        // Insert duplicates early, force many level bumps, then check
+        // retained counts are still multiplicities (≥ 1).
+        for round in 0..3 {
+            for i in 0..10_000u64 {
+                s.insert_u64(i);
+            }
+            let _ = round;
+        }
+        assert!(s.level() > 5);
+        assert!(s.sample.values().all(|&c| c >= 1));
+        let rel = s.estimate() / 10_000.0 - 1.0;
+        assert!(rel.abs() < 0.9, "rel {rel}");
+    }
+
+    #[test]
+    fn reset_restores() {
+        let mut s = DistinctSampling::new(16, 5).unwrap();
+        for i in 0..1_000u64 {
+            s.insert_u64(i);
+        }
+        s.reset();
+        assert_eq!(s.level(), 0);
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn rejects_tiny_capacity() {
+        assert!(DistinctSampling::new(4, 1).is_err());
+        assert!(DistinctSampling::with_memory(500, 1).is_err());
+    }
+}

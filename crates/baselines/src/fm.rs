@@ -1,0 +1,180 @@
+//! Flajolet–Martin probabilistic counting with stochastic averaging
+//! (PCSA, Flajolet & Martin 1985).
+
+use sbitmap_bitvec::PackedRegisters;
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+/// PCSA: `m` groups, each keeping the *bit pattern* of observed ranks;
+/// the estimator uses the position of the lowest unset bit `R_j` in each
+/// pattern: `n̂ = (m/φ)·2^{mean(R_j)}` with Flajolet–Martin's magic
+/// constant `φ ≈ 0.77351`.
+///
+/// This is the "log counting" ancestor of LogLog: each group stores a
+/// 32-bit pattern instead of a 5-bit maximum, so it needs ~6× the memory
+/// for the same group count, but has a smaller dispersion constant
+/// (`≈ 0.78/√m`).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FmSketch {
+    patterns: PackedRegisters,
+    hasher: SplitMix64Hasher,
+}
+
+impl FmSketch {
+    /// FM's bias correction constant φ (Flajolet & Martin 1985, Thm. 2).
+    pub const PHI: f64 = 0.773_51;
+
+    /// Width of each bit pattern.
+    pub const PATTERN_BITS: u32 = 32;
+
+    /// Create a PCSA sketch with `groups` bit patterns.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least 16 groups for the stochastic-averaging analysis.
+    pub fn new(groups: usize, seed: u64) -> Result<Self, SBitmapError> {
+        if groups < 16 {
+            return Err(SBitmapError::invalid("groups", "need at least 16 groups"));
+        }
+        Ok(Self {
+            patterns: PackedRegisters::new(groups, Self::PATTERN_BITS),
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+
+    /// Dimension from a bit budget: `groups = m_bits / 32`.
+    ///
+    /// # Errors
+    ///
+    /// Budget below 16 × 32 bits.
+    pub fn with_memory(m_bits: usize, seed: u64) -> Result<Self, SBitmapError> {
+        Self::new(m_bits / Self::PATTERN_BITS as usize, seed)
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Insert a pre-hashed item.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        let m = self.patterns.len() as u64;
+        let group = (((hash >> 32) * m) >> 32) as usize;
+        let low = hash as u32;
+        let rank = if low == 0 { 31 } else { low.trailing_zeros().min(31) };
+        self.patterns.update_or(group, 1 << rank);
+    }
+
+    /// Merge (pointwise pattern or). Requires identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Shape or seed mismatch.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        self.patterns
+            .merge_or(&other.patterns)
+            .map_err(|e| SBitmapError::invalid("groups", e))
+    }
+}
+
+impl DistinctCounter for FmSketch {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.patterns.len() as f64;
+        // R_j = number of trailing ones = index of lowest zero bit.
+        let sum_r: f64 = self
+            .patterns
+            .iter()
+            .map(|p| p.trailing_ones() as f64)
+            .sum();
+        m / Self::PHI * 2f64.powf(sum_r / m)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.patterns.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.patterns.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "fm-pcsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_cardinality_at_scale() {
+        let mut fm = FmSketch::new(1024, 1).unwrap();
+        for &n in &[100_000u64, 1_000_000] {
+            fm.reset();
+            for i in 0..n {
+                fm.insert_u64(i);
+            }
+            let rel = fm.estimate() / n as f64 - 1.0;
+            assert!(rel.abs() < 0.10, "n={n}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut fm = FmSketch::new(64, 2).unwrap();
+        for i in 0..10_000u64 {
+            fm.insert_u64(i);
+        }
+        let before = fm.estimate();
+        for i in 0..10_000u64 {
+            fm.insert_u64(i);
+        }
+        assert_eq!(fm.estimate(), before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = FmSketch::new(256, 3).unwrap();
+        let mut b = FmSketch::new(256, 3).unwrap();
+        let mut u = FmSketch::new(256, 3).unwrap();
+        for i in 0..40_000u64 {
+            a.insert_u64(i);
+            u.insert_u64(i);
+        }
+        for i in 30_000..80_000u64 {
+            b.insert_u64(i);
+            u.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn memory_is_32_bits_per_group() {
+        let fm = FmSketch::with_memory(40_000, 1).unwrap();
+        assert_eq!(fm.groups(), 1250);
+        assert_eq!(fm.memory_bits(), 40_000);
+    }
+
+    #[test]
+    fn rejects_tiny_configs() {
+        assert!(FmSketch::new(8, 1).is_err());
+        assert!(FmSketch::with_memory(100, 1).is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! LogLog (Durand–Flajolet 2003) and HyperLogLog (Flajolet, Fusy,
+//! Gandouet, Meunier 2007).
+//!
+//! Both sketches split the stream into `m` groups by hash and keep, per
+//! group, the maximum "rank" (position of the lowest-order one bit in the
+//! remaining hash — a Geometric(1/2) variable over distinct items). LogLog
+//! averages the registers geometrically; HyperLogLog replaces the
+//! geometric mean with a harmonic mean (plus a small-range linear-counting
+//! correction), which cuts the constant in the RRMSE from
+//! `≈ 1.30/√m` to `≈ 1.04/√m`.
+//!
+//! Deviations from the original papers, both behaviour-preserving:
+//!
+//! * Group selection uses Lemire's fastrange over the high 32 hash bits
+//!   instead of "first `k` bits", so the register count does not have to
+//!   be a power of two. The paper's experiments hand all algorithms the
+//!   same bit budget `m` (e.g. 40 000 bits = 8 000 five-bit registers),
+//!   which is not a power-of-two register count.
+//! * Ranks come from the low 32 hash bits; with 32 rank bits and the
+//!   cardinality scales of the paper (`N ≤ 1.5×10^7 ≪ 2^32`), the 32-bit
+//!   large-range collision correction of the HLL paper never activates,
+//!   so it is omitted.
+
+use sbitmap_bitvec::PackedRegisters;
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+/// Shared register machinery for the loglog family.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct RankRegisters {
+    regs: PackedRegisters,
+    hasher: SplitMix64Hasher,
+}
+
+impl RankRegisters {
+    fn new(registers: usize, width: u32, seed: u64) -> Result<Self, SBitmapError> {
+        if registers < 16 {
+            return Err(SBitmapError::invalid(
+                "registers",
+                format!("need at least 16 registers, got {registers}"),
+            ));
+        }
+        if !(2..=16).contains(&width) {
+            return Err(SBitmapError::invalid("width", "register width must be 2..=16"));
+        }
+        Ok(Self {
+            regs: PackedRegisters::new(registers, width),
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+
+    #[inline]
+    fn insert_hash(&mut self, hash: u64) {
+        let m = self.regs.len() as u64;
+        let group = (((hash >> 32) * m) >> 32) as usize;
+        let low = hash as u32;
+        // Rank = index of lowest-order 1 bit, 1-based; 33 if all-zero.
+        let rank = if low == 0 { 33 } else { low.trailing_zeros() + 1 };
+        self.regs.update_max(group, rank);
+    }
+
+    fn zeros(&self) -> usize {
+        self.regs.iter().filter(|&v| v == 0).count()
+    }
+}
+
+/// The paper's register width rule (§6.2): `α = k+1` bits per register for
+/// `2^{2^k} ≤ N < 2^{2^{k+1}}`, with a floor of 4 (enough for `N ≥ 256`).
+pub fn register_width_for(n_max: u64) -> u32 {
+    let l2 = (n_max.max(2) as f64).log2();
+    let k = l2.log2().floor() as u32;
+    (k + 1).max(4)
+}
+
+// ---------------------------------------------------------------------
+// LogLog
+// ---------------------------------------------------------------------
+
+/// LogLog counting (Durand–Flajolet 2003): `n̂ = α_m·m·2^{mean(M_j)}`.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogLog {
+    inner: RankRegisters,
+    alpha: f64,
+}
+
+impl LogLog {
+    /// Create with an explicit register count and width. Needs ≥ 64
+    /// registers (the asymptotic bias constant is used).
+    ///
+    /// # Errors
+    ///
+    /// Invalid register count/width.
+    pub fn new(registers: usize, width: u32, seed: u64) -> Result<Self, SBitmapError> {
+        if registers < 64 {
+            return Err(SBitmapError::invalid(
+                "registers",
+                "LogLog bias constant needs at least 64 registers",
+            ));
+        }
+        // α_m = α_∞ − (2π² + ln²2)/(48 m) + O(m⁻²), α_∞ ≈ 0.39701
+        // (Durand–Flajolet, Theorem 2 discussion).
+        let alpha = 0.39701 - (2.0 * std::f64::consts::PI.powi(2)
+            + std::f64::consts::LN_2.powi(2))
+            / (48.0 * registers as f64);
+        Ok(Self {
+            inner: RankRegisters::new(registers, width, seed)?,
+            alpha,
+        })
+    }
+
+    /// Dimension from a total bit budget: `registers = m_bits / width(N)`.
+    ///
+    /// # Errors
+    ///
+    /// Budget too small for 64 registers.
+    pub fn with_memory(m_bits: usize, n_max: u64, seed: u64) -> Result<Self, SBitmapError> {
+        let width = register_width_for(n_max);
+        Self::new(m_bits / width as usize, width, seed)
+    }
+
+    /// Dimension for a target RRMSE: `m = (1.30/ε)²` registers
+    /// (Durand–Flajolet's accuracy constant).
+    ///
+    /// # Errors
+    ///
+    /// `epsilon` out of `(0, 1)`.
+    pub fn with_error(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SBitmapError::invalid("epsilon", "must be in (0, 1)"));
+        }
+        let registers = ((1.30 / epsilon).powi(2)).ceil() as usize;
+        Self::new(registers.max(64), register_width_for(n_max), seed)
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn registers(&self) -> usize {
+        self.inner.regs.len()
+    }
+
+    /// Insert a pre-hashed item.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        self.inner.insert_hash(hash);
+    }
+
+    /// Merge (pointwise register max). Requires identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Shape or seed mismatch.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.inner.hasher.seed() != other.inner.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        self.inner
+            .regs
+            .merge_max(&other.inner.regs)
+            .map_err(|e| SBitmapError::invalid("registers", e))
+    }
+}
+
+impl DistinctCounter for LogLog {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.inner.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.inner.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.registers() as f64;
+        let mean = self.inner.regs.iter().map(f64::from).sum::<f64>() / m;
+        self.alpha * m * 2f64.powf(mean)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.inner.regs.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.inner.regs.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "loglog"
+    }
+}
+
+// ---------------------------------------------------------------------
+// HyperLogLog
+// ---------------------------------------------------------------------
+
+/// HyperLogLog (Flajolet et al. 2007): harmonic-mean estimator with
+/// small-range linear-counting correction.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HyperLogLog {
+    inner: RankRegisters,
+    alpha: f64,
+}
+
+impl HyperLogLog {
+    /// Create with an explicit register count (≥ 16) and width.
+    ///
+    /// # Errors
+    ///
+    /// Invalid register count/width.
+    pub fn new(registers: usize, width: u32, seed: u64) -> Result<Self, SBitmapError> {
+        // Bias constants from the HLL paper (§4, Fig. 2); the closed form
+        // applies from m = 128, the small-m anchors below.
+        let alpha = match registers {
+            0..=31 => 0.673,
+            32..=63 => 0.697,
+            64..=127 => 0.709,
+            m => 0.7213 / (1.0 + 1.079 / m as f64),
+        };
+        Ok(Self {
+            inner: RankRegisters::new(registers, width, seed)?,
+            alpha,
+        })
+    }
+
+    /// Dimension from a total bit budget: `registers = m_bits / width(N)`.
+    ///
+    /// # Errors
+    ///
+    /// Budget too small for 16 registers.
+    pub fn with_memory(m_bits: usize, n_max: u64, seed: u64) -> Result<Self, SBitmapError> {
+        let width = register_width_for(n_max);
+        Self::new(m_bits / width as usize, width, seed)
+    }
+
+    /// Dimension for a target RRMSE: `m = (1.04/ε)²` registers — the
+    /// memory model of the paper's Table 2.
+    ///
+    /// # Errors
+    ///
+    /// `epsilon` out of `(0, 1)`.
+    pub fn with_error(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SBitmapError::invalid("epsilon", "must be in (0, 1)"));
+        }
+        let registers = ((1.04 / epsilon).powi(2)).ceil() as usize;
+        Self::new(registers.max(16), register_width_for(n_max), seed)
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn registers(&self) -> usize {
+        self.inner.regs.len()
+    }
+
+    /// Insert a pre-hashed item.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        self.inner.insert_hash(hash);
+    }
+
+    /// Merge (pointwise register max). Requires identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Shape or seed mismatch.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.inner.hasher.seed() != other.inner.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        self.inner
+            .regs
+            .merge_max(&other.inner.regs)
+            .map_err(|e| SBitmapError::invalid("registers", e))
+    }
+}
+
+impl DistinctCounter for HyperLogLog {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.inner.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.inner.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.registers() as f64;
+        let harmonic: f64 = self.inner.regs.iter().map(|v| 2f64.powi(-(v as i32))).sum();
+        let raw = self.alpha * m * m / harmonic;
+        if raw <= 2.5 * m {
+            let zeros = self.inner.zeros();
+            if zeros > 0 {
+                // Small-range correction: plain linear counting.
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.inner.regs.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.inner.regs.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "hyperloglog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_rule_matches_paper_alpha() {
+        assert_eq!(register_width_for(1_000), 4); // 2^8 <= N < 2^16
+        assert_eq!(register_width_for(10_000), 4);
+        assert_eq!(register_width_for(100_000), 5); // 2^16 <= N < 2^32
+        assert_eq!(register_width_for(1_000_000), 5);
+        assert_eq!(register_width_for(10_000_000), 5);
+        assert_eq!(register_width_for(u64::MAX / 2), 6);
+    }
+
+    #[test]
+    fn hll_tracks_cardinality() {
+        let mut h = HyperLogLog::with_error(1 << 20, 0.02, 1).unwrap();
+        for &n in &[100u64, 10_000, 1_000_000] {
+            h.reset();
+            for i in 0..n {
+                h.insert_u64(i);
+            }
+            let rel = h.estimate() / n as f64 - 1.0;
+            assert!(rel.abs() < 0.10, "n={n}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn loglog_tracks_cardinality() {
+        let mut l = LogLog::with_error(1 << 20, 0.02, 2).unwrap();
+        for &n in &[50_000u64, 500_000] {
+            l.reset();
+            for i in 0..n {
+                l.insert_u64(i);
+            }
+            let rel = l.estimate() / n as f64 - 1.0;
+            assert!(rel.abs() < 0.10, "n={n}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn loglog_is_biased_low_at_small_n_without_correction() {
+        // The scale dependence the paper exploits: LogLog without the
+        // linear-counting patch is poor at tiny n.
+        let mut l = LogLog::with_memory(3_200, 1 << 20, 3).unwrap();
+        let mut h = HyperLogLog::with_memory(3_200, 1 << 20, 3).unwrap();
+        for i in 0..100u64 {
+            l.insert_u64(i);
+            h.insert_u64(i);
+        }
+        let ll_err = (l.estimate() / 100.0 - 1.0).abs();
+        let hll_err = (h.estimate() / 100.0 - 1.0).abs();
+        assert!(hll_err < 0.25, "hll err {hll_err}");
+        assert!(ll_err > hll_err, "loglog {ll_err} should be worse than hll {hll_err}");
+    }
+
+    #[test]
+    fn hll_small_range_correction_engages() {
+        let mut h = HyperLogLog::new(1024, 5, 4).unwrap();
+        for i in 0..50u64 {
+            h.insert_u64(i);
+        }
+        // 50 items over 1024 registers: most registers zero, the raw
+        // harmonic estimate would be biased; linear counting fixes it.
+        let rel = h.estimate() / 50.0 - 1.0;
+        assert!(rel.abs() < 0.10, "rel {rel}");
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut h = HyperLogLog::new(256, 5, 5).unwrap();
+        for i in 0..1000u64 {
+            h.insert_u64(i);
+        }
+        let before = h.estimate();
+        for i in 0..1000u64 {
+            h.insert_u64(i);
+        }
+        assert_eq!(h.estimate(), before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(512, 5, 6).unwrap();
+        let mut b = HyperLogLog::new(512, 5, 6).unwrap();
+        let mut u = HyperLogLog::new(512, 5, 6).unwrap();
+        for i in 0..3_000u64 {
+            a.insert_u64(i);
+            u.insert_u64(i);
+        }
+        for i in 2_000..6_000u64 {
+            b.insert_u64(i);
+            u.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLog::new(512, 5, 1).unwrap();
+        let b = HyperLogLog::new(512, 5, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = HyperLogLog::new(256, 5, 1).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let h = HyperLogLog::new(8_000, 5, 1).unwrap();
+        assert_eq!(h.memory_bits(), 40_000);
+        let l = LogLog::with_memory(40_000, 1 << 20, 1).unwrap();
+        assert_eq!(l.memory_bits(), 40_000);
+        assert_eq!(l.registers(), 8_000);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(HyperLogLog::new(8, 5, 1).is_err());
+        assert!(LogLog::new(32, 5, 1).is_err());
+        assert!(HyperLogLog::new(64, 1, 1).is_err());
+        assert!(HyperLogLog::with_error(1000, 0.0, 1).is_err());
+        assert!(LogLog::with_error(1000, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero() {
+        let h = HyperLogLog::new(64, 5, 1).unwrap();
+        assert_eq!(h.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! K-minimum-values (Bar-Yossef et al. 2002; the "synopsis" of
+//! Beyer et al. 2009).
+
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+/// Keep the `k` smallest distinct hash values; if the `k`-th smallest,
+/// normalized to `(0,1)`, is `U_(k)`, then `n̂ = (k−1)/U_(k)` (the
+/// unbiased form from Beyer et al.). Below `k` distinct values the count
+/// is exact.
+///
+/// Not part of the paper's head-to-head comparison, but included as the
+/// standard order-statistics baseline (the `k = 1` special case is the
+/// original Flajolet–Martin idea) and because its sketches support set
+/// operations the bitmap family cannot do.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KMinValues {
+    /// Sorted ascending; at most `k` values; no duplicates.
+    mins: Vec<u64>,
+    k: usize,
+    hasher: SplitMix64Hasher,
+}
+
+impl KMinValues {
+    /// Create a KMV sketch keeping the `k` smallest hashes.
+    ///
+    /// # Errors
+    ///
+    /// Needs `k ≥ 2` (the estimator divides by `k − 1`).
+    pub fn new(k: usize, seed: u64) -> Result<Self, SBitmapError> {
+        if k < 2 {
+            return Err(SBitmapError::invalid("k", "need k >= 2"));
+        }
+        Ok(Self {
+            mins: Vec::with_capacity(k),
+            k,
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+
+    /// Dimension from a bit budget, charging 64 bits per stored hash.
+    ///
+    /// # Errors
+    ///
+    /// Budget below 2 × 64 bits.
+    pub fn with_memory(m_bits: usize, seed: u64) -> Result<Self, SBitmapError> {
+        Self::new(m_bits / 64, seed)
+    }
+
+    /// Insert a pre-hashed item.
+    pub fn insert_hash(&mut self, hash: u64) {
+        if self.mins.len() == self.k && hash >= *self.mins.last().expect("k >= 2") {
+            return; // fast path: larger than the current k-th minimum
+        }
+        if let Err(pos) = self.mins.binary_search(&hash) {
+            self.mins.insert(pos, hash);
+            self.mins.truncate(self.k);
+        }
+    }
+
+    /// Intersection-size estimate with another sketch of identical
+    /// configuration (Beyer et al.'s Jaccard route): `|A∩B| ≈ ρ·|A∪B|`
+    /// where `ρ` is the match fraction within the combined k minima.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched `k` or seed.
+    pub fn intersection_estimate(&self, other: &Self) -> Result<f64, SBitmapError> {
+        if self.k != other.k || self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("k/seed", "sketches not compatible"));
+        }
+        // Union sketch = k smallest of the merged minima.
+        let mut union = self.mins.clone();
+        for &h in &other.mins {
+            if let Err(pos) = union.binary_search(&h) {
+                union.insert(pos, h);
+            }
+        }
+        union.truncate(self.k);
+        let in_both = union
+            .iter()
+            .filter(|h| self.mins.binary_search(h).is_ok() && other.mins.binary_search(h).is_ok())
+            .count();
+        let union_est = if union.len() < self.k {
+            union.len() as f64
+        } else {
+            (self.k as f64 - 1.0) / (*union.last().expect("non-empty") as f64 / u64::MAX as f64)
+        };
+        Ok(in_both as f64 / union.len().max(1) as f64 * union_est)
+    }
+
+    /// Merge into the sketch of the stream union.
+    ///
+    /// # Errors
+    ///
+    /// Mismatched `k` or seed.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.k != other.k || self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("k/seed", "sketches not compatible"));
+        }
+        for &h in &other.mins {
+            self.insert_hash_presorted(h);
+        }
+        Ok(())
+    }
+
+    fn insert_hash_presorted(&mut self, hash: u64) {
+        if let Err(pos) = self.mins.binary_search(&hash) {
+            self.mins.insert(pos, hash);
+            self.mins.truncate(self.k);
+        }
+    }
+}
+
+impl DistinctCounter for KMinValues {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.mins.len() < self.k {
+            return self.mins.len() as f64; // exact below k
+        }
+        let kth = *self.mins.last().expect("k >= 2") as f64;
+        // Normalize to (0, 1]; add 1 to avoid division by zero at h = 0.
+        let u = (kth + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / u
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.k * 64
+    }
+
+    fn reset(&mut self) {
+        self.mins.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "kmv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = KMinValues::new(100, 1).unwrap();
+        for i in 0..50u64 {
+            s.insert_u64(i);
+            s.insert_u64(i);
+        }
+        assert_eq!(s.estimate(), 50.0);
+    }
+
+    #[test]
+    fn estimates_beyond_k() {
+        let mut s = KMinValues::new(512, 2).unwrap();
+        let n = 200_000u64;
+        for i in 0..n {
+            s.insert_u64(i);
+        }
+        let rel = s.estimate() / n as f64 - 1.0;
+        // RRMSE ≈ 1/sqrt(k-2) ≈ 4.4%; allow 4 sigma.
+        assert!(rel.abs() < 0.18, "rel {rel}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = KMinValues::new(64, 3).unwrap();
+        let mut b = KMinValues::new(64, 3).unwrap();
+        let mut u = KMinValues::new(64, 3).unwrap();
+        for i in 0..5_000u64 {
+            a.insert_u64(i);
+            u.insert_u64(i);
+        }
+        for i in 4_000..9_000u64 {
+            b.insert_u64(i);
+            u.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn intersection_estimate_is_plausible() {
+        let mut a = KMinValues::new(256, 4).unwrap();
+        let mut b = KMinValues::new(256, 4).unwrap();
+        for i in 0..10_000u64 {
+            a.insert_u64(i);
+        }
+        for i in 5_000..15_000u64 {
+            b.insert_u64(i);
+        }
+        let inter = a.intersection_estimate(&b).unwrap();
+        let rel = inter / 5_000.0 - 1.0;
+        assert!(rel.abs() < 0.5, "intersection rel {rel}");
+    }
+
+    #[test]
+    fn mins_stay_sorted_and_bounded() {
+        let mut s = KMinValues::new(16, 5).unwrap();
+        for i in 0..10_000u64 {
+            s.insert_u64(i);
+        }
+        assert_eq!(s.mins.len(), 16);
+        assert!(s.mins.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rejects_k_below_two() {
+        assert!(KMinValues::new(1, 1).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # sbitmap-baselines — every comparator from the paper's evaluation
+//!
+//! The S-bitmap paper benchmarks against the two established families of
+//! streaming distinct counters plus sampling methods. This crate implements
+//! all of them from their original publications, behind the shared
+//! [`DistinctCounter`](sbitmap_core::DistinctCounter) trait:
+//!
+//! | type | source | family |
+//! |---|---|---|
+//! | [`LinearCounting`] | Whang, Vander-Zanden, Taylor 1990 | bitmap |
+//! | [`VirtualBitmap`] | Estan, Varghese, Fisk 2006 | bitmap + sampling |
+//! | [`AdaptiveBitmap`] | Estan, Varghese, Fisk 2006 | across-interval adaptation |
+//! | [`MrBitmap`] | Estan, Varghese, Fisk 2006 | multiresolution bitmap |
+//! | [`FmSketch`] | Flajolet, Martin 1985 (PCSA) | log counting |
+//! | [`LogLog`] | Durand, Flajolet 2003 | loglog counting |
+//! | [`HyperLogLog`] | Flajolet, Fusy, Gandouet, Meunier 2007 | loglog counting |
+//! | [`AdaptiveSampling`] | Wegman / Flajolet 1990 | distinct sampling |
+//! | [`DistinctSampling`] | Gibbons 2001 | distinct sampling + event reports |
+//! | [`KMinValues`] | Bar-Yossef et al. 2002; Beyer et al. 2009 | order statistics |
+//! | [`ExactCounter`] | — | ground truth |
+//!
+//! [`memory_model`] holds the closed-form memory costs used by the paper's
+//! Table 2 and Figure 3 comparisons.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adaptive_bitmap;
+mod adaptive_sampling;
+mod distinct_sampling;
+mod exact;
+mod fm;
+mod hyperloglog;
+mod kmv;
+mod linear;
+pub mod memory_model;
+mod mr_bitmap;
+mod virtual_bitmap;
+
+pub use adaptive_bitmap::AdaptiveBitmap;
+pub use adaptive_sampling::AdaptiveSampling;
+pub use distinct_sampling::DistinctSampling;
+pub use exact::ExactCounter;
+pub use fm::FmSketch;
+pub use hyperloglog::{HyperLogLog, LogLog};
+pub use kmv::KMinValues;
+pub use linear::LinearCounting;
+pub use mr_bitmap::MrBitmap;
+pub use virtual_bitmap::VirtualBitmap;

@@ -1,0 +1,229 @@
+//! Linear counting (Whang, Vander-Zanden, Taylor 1990).
+
+use sbitmap_bitvec::Bitmap;
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{HashSplit, Hasher64, SplitMix64Hasher};
+
+/// The classic bitmap estimator: hash every item to one of `m` buckets,
+/// estimate `n̂ = m·ln(m/Z)` from the number of empty buckets `Z`.
+///
+/// Accurate while the bitmap load `n/m` is moderate; the paper (§2.2)
+/// notes an `m`-bit bitmap only covers cardinalities up to about
+/// `m·ln m`, which is why it serves as a *component* of the
+/// multiresolution bitmap rather than a wide-range counter itself.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinearCounting {
+    bitmap: Bitmap,
+    split: HashSplit,
+    hasher: SplitMix64Hasher,
+    ones: usize,
+}
+
+impl LinearCounting {
+    /// Create a linear counter with `m` bits.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `m == 0` or `m > 2^32`.
+    pub fn new(m: usize, seed: u64) -> Result<Self, SBitmapError> {
+        let split = HashSplit::new(m, 1).map_err(|e| SBitmapError::invalid("m", e))?;
+        Ok(Self {
+            bitmap: Bitmap::new(m),
+            split,
+            hasher: SplitMix64Hasher::new(seed),
+            ones: 0,
+        })
+    }
+
+    /// Choose the bitmap size for a target RRMSE at cardinality `n_max`
+    /// by numerically minimizing Whang et al.'s standard-error formula
+    /// `Re(n̂) ≈ sqrt(m)·sqrt(e^v − v − 1)/n` with `v = n/m`, then build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinearCounting::new`] errors; rejects `epsilon ∉ (0,1)`
+    /// or `n_max == 0`.
+    pub fn for_error(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        if n_max == 0 {
+            return Err(SBitmapError::invalid("n_max", "must be at least 1"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SBitmapError::invalid("epsilon", "must be in (0, 1)"));
+        }
+        // Error at n is decreasing in m; bisect on m.
+        let err_at = |m: f64| {
+            let v = n_max as f64 / m;
+            (m * ((v.exp() - v - 1.0).max(0.0))).sqrt() / n_max as f64
+        };
+        let mut lo = 8.0;
+        let mut hi = 8.0;
+        while err_at(hi) > epsilon {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(SBitmapError::SolverFailure(
+                    "linear counting dimensioning did not converge".into(),
+                ));
+            }
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if err_at(mid) > epsilon {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(hi.ceil() as usize, seed)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn fill(&self) -> usize {
+        self.ones
+    }
+
+    /// Insert a pre-hashed item.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        let (bucket, _) = self.split.split(hash);
+        if self.bitmap.set(bucket) {
+            self.ones += 1;
+        }
+    }
+
+    /// Merge with another linear counter of identical configuration
+    /// (bitwise or) — linear counting *is* mergeable, unlike the S-bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Errors if sizes or seeds differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        self.bitmap
+            .union_with(&other.bitmap)
+            .map_err(|e| SBitmapError::invalid("m", e))?;
+        self.ones = self.bitmap.count_ones();
+        Ok(())
+    }
+}
+
+impl DistinctCounter for LinearCounting {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.bitmap.len() as f64;
+        let zeros = self.bitmap.len() - self.ones;
+        if zeros == 0 {
+            // Saturated: report the capacity point m·ln m.
+            return m * m.ln();
+        }
+        m * (m / zeros as f64).ln()
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.bitmap.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.bitmap.reset();
+        self.ones = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-counting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_within_tolerance_at_moderate_load() {
+        let mut lc = LinearCounting::new(20_000, 1).unwrap();
+        for i in 0..10_000u64 {
+            lc.insert_u64(i);
+            lc.insert_u64(i); // duplicates free
+        }
+        let rel = lc.estimate() / 10_000.0 - 1.0;
+        assert!(rel.abs() < 0.05, "rel err {rel}");
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let lc = LinearCounting::new(1000, 1).unwrap();
+        assert_eq!(lc.estimate(), 0.0);
+    }
+
+    #[test]
+    fn saturation_returns_capacity() {
+        let mut lc = LinearCounting::new(64, 1).unwrap();
+        for i in 0..100_000u64 {
+            lc.insert_u64(i);
+        }
+        let est = lc.estimate();
+        assert!((est - 64.0 * 64f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_error_hits_target_at_n_max() {
+        let lc = LinearCounting::for_error(10_000, 0.02, 3).unwrap();
+        // Spot check the chosen size: error formula at n_max ≈ epsilon.
+        let m = lc.memory_bits() as f64;
+        let v = 10_000.0 / m;
+        let err = (m * (v.exp() - v - 1.0)).sqrt() / 10_000.0;
+        assert!(err <= 0.02 + 1e-9, "err {err} at m {m}");
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = LinearCounting::new(4096, 9).unwrap();
+        let mut b = LinearCounting::new(4096, 9).unwrap();
+        let mut c = LinearCounting::new(4096, 9).unwrap();
+        for i in 0..500u64 {
+            a.insert_u64(i);
+            c.insert_u64(i);
+        }
+        for i in 400..900u64 {
+            b.insert_u64(i);
+            c.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.fill(), c.fill());
+        assert_eq!(a.estimate(), c.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = LinearCounting::new(64, 1).unwrap();
+        let b = LinearCounting::new(64, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut lc = LinearCounting::new(256, 5).unwrap();
+        for i in 0..100u64 {
+            lc.insert_u64(i);
+        }
+        lc.reset();
+        assert_eq!(lc.estimate(), 0.0);
+        assert_eq!(lc.fill(), 0);
+    }
+
+    #[test]
+    fn rejects_zero_size() {
+        assert!(LinearCounting::new(0, 1).is_err());
+    }
+}

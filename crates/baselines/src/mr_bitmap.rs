@@ -1,0 +1,252 @@
+//! Multiresolution bitmap (Estan, Varghese, Fisk 2006).
+//!
+//! Several virtual bitmaps with geometrically decreasing sampling rates
+//! are packed into one memory budget: component `i` (0-based) receives the
+//! fraction `2^{−(i+1)}` of the hash space (the last component receives
+//! the leftover `2^{−(K−1)}`), and each component is a small linear
+//! counter. At estimation time the algorithm picks the finest component
+//! that is not overloaded ("base") and sums the linear-counting estimates
+//! of components `base..K`, scaling by the inverse of their combined
+//! coverage `2^{−base}`.
+//!
+//! Estan et al.'s dimensioning is "quasi-optimal" (and the S-bitmap paper
+//! notes optimizing it is open); [`MrBitmap::with_memory`] implements a
+//! numerical rule with the same structure: even component sizes, a
+//! double-size final component, and the component count chosen so the last
+//! component's expected load at `n_max` stays inside linear counting's
+//! usable range. See DESIGN.md §3 for the rationale and the validation
+//! against the paper's Figure 4 / Tables 3–4 behaviour.
+
+use sbitmap_bitvec::Bitmap;
+use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+/// The multiresolution bitmap sketch.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MrBitmap {
+    components: Vec<Bitmap>,
+    ones: Vec<usize>,
+    hasher: SplitMix64Hasher,
+}
+
+impl MrBitmap {
+    /// A component is usable for linear counting while its load factor is
+    /// below 2 (fill fraction below `1 − e^{−2} ≈ 86.5%`).
+    pub const MAX_LOAD: f64 = 2.0;
+
+    /// Build from explicit component sizes (`sizes[i]` bits for component
+    /// `i`; the last component is the coarsest).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty size list or any zero-sized component.
+    pub fn from_sizes(sizes: &[usize], seed: u64) -> Result<Self, SBitmapError> {
+        if sizes.is_empty() {
+            return Err(SBitmapError::invalid("sizes", "need at least one component"));
+        }
+        if sizes.contains(&0) {
+            return Err(SBitmapError::invalid("sizes", "components must be non-empty"));
+        }
+        if sizes.len() > 48 {
+            return Err(SBitmapError::invalid("sizes", "more than 48 components"));
+        }
+        Ok(Self {
+            components: sizes.iter().map(|&b| Bitmap::new(b)).collect(),
+            ones: vec![0; sizes.len()],
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+
+    /// Dimension for a total budget of `m` bits covering cardinalities up
+    /// to `n_max`: the smallest component count `K` such that the last
+    /// component's expected load at `n_max` is below
+    /// [`MrBitmap::MAX_LOAD`], with the budget split evenly and the final
+    /// component given a double share.
+    ///
+    /// # Errors
+    ///
+    /// Rejects budgets too small to produce ≥ 16-bit components.
+    pub fn with_memory(m: usize, n_max: u64, seed: u64) -> Result<Self, SBitmapError> {
+        if n_max == 0 {
+            return Err(SBitmapError::invalid("n_max", "must be at least 1"));
+        }
+        let mut k = 1usize;
+        loop {
+            // Component size with a double-share last component.
+            let b = m / (k + 1);
+            if b < 16 {
+                return Err(SBitmapError::invalid(
+                    "m",
+                    format!("{m} bits is too small for n_max = {n_max} (needs {k}+ components)"),
+                ));
+            }
+            let last_load = n_max as f64 / 2f64.powi(k as i32 - 1) / (2 * b) as f64;
+            if last_load <= Self::MAX_LOAD || k >= 40 {
+                let mut sizes = vec![b; k.saturating_sub(1)];
+                sizes.push(m - b * (k - 1)); // last takes the remainder (≈ 2b)
+                return Self::from_sizes(&sizes, seed);
+            }
+            k += 1;
+        }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Insert a pre-hashed item.
+    pub fn insert_hash(&mut self, hash: u64) {
+        let k = self.components.len();
+        // Low 32 bits: geometric component choice (coverage 2^{-(i+1)},
+        // clamped into the last component).
+        let t = (hash as u32).trailing_zeros() as usize;
+        let comp = t.min(k - 1);
+        // High 32 bits: bucket within the component via fastrange.
+        let b = self.components[comp].len() as u64;
+        let bucket = (((hash >> 32) * b) >> 32) as usize;
+        if self.components[comp].set(bucket) {
+            self.ones[comp] += 1;
+        }
+    }
+
+    /// The base component the estimator would use right now (0-based).
+    pub fn base_component(&self) -> usize {
+        let mut base = 0usize;
+        for (i, comp) in self.components.iter().enumerate() {
+            let setmax = (comp.len() as f64 * (1.0 - (-Self::MAX_LOAD).exp())).floor() as usize;
+            if self.ones[i] > setmax {
+                base = i + 1;
+            }
+        }
+        base.min(self.components.len() - 1)
+    }
+}
+
+impl DistinctCounter for MrBitmap {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        let base = self.base_component();
+        let mut sum = 0.0;
+        for i in base..self.components.len() {
+            let b = self.components[i].len() as f64;
+            let zeros = self.components[i].len() - self.ones[i];
+            sum += if zeros == 0 {
+                b * b.ln() // saturated component: capacity value
+            } else {
+                b * (b / zeros as f64).ln()
+            };
+        }
+        // Components base..K jointly cover the fraction 2^{-base}.
+        sum * 2f64.powi(base as i32)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.components.iter().map(Bitmap::memory_bits).sum()
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.components {
+            c.reset();
+        }
+        self.ones.fill(0);
+    }
+
+    fn name(&self) -> &'static str {
+        "mr-bitmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensioning_covers_range() {
+        let mr = MrBitmap::with_memory(40_000, 1 << 20, 1).unwrap();
+        assert!(mr.num_components() >= 2);
+        assert!(mr.memory_bits() == 40_000);
+    }
+
+    #[test]
+    fn tracks_small_and_large_cardinalities() {
+        for &n in &[100u64, 10_000, 500_000] {
+            let mut mr = MrBitmap::with_memory(40_000, 1 << 20, 3).unwrap();
+            for i in 0..n {
+                mr.insert_u64(i);
+            }
+            let rel = mr.estimate() / n as f64 - 1.0;
+            assert!(rel.abs() < 0.15, "n={n}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut mr = MrBitmap::with_memory(8_000, 100_000, 5).unwrap();
+        for round in 0..3 {
+            for i in 0..5_000u64 {
+                mr.insert_u64(i);
+            }
+            let rel = mr.estimate() / 5_000.0 - 1.0;
+            assert!(rel.abs() < 0.2, "round {round}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn saturates_beyond_design_range() {
+        // The boundary failure the paper's Tables 3-4 show: n at or past
+        // N makes mr-bitmap unreliable (error ~100%). We only assert the
+        // estimate stops tracking (it stays below 3x the capacity-ish
+        // value rather than following n).
+        let mut mr = MrBitmap::with_memory(2_700, 10_000, 7).unwrap();
+        for i in 0..40_000u64 {
+            mr.insert_u64(i);
+        }
+        let est = mr.estimate();
+        assert!(est < 120_000.0, "estimate {est} should be bounded");
+    }
+
+    #[test]
+    fn base_component_advances_with_load() {
+        let mut mr = MrBitmap::with_memory(4_000, 1 << 20, 9).unwrap();
+        assert_eq!(mr.base_component(), 0);
+        for i in 0..200_000u64 {
+            mr.insert_u64(i);
+        }
+        assert!(mr.base_component() > 0);
+    }
+
+    #[test]
+    fn rejects_tiny_budgets() {
+        assert!(MrBitmap::with_memory(20, 1 << 20, 1).is_err());
+        assert!(MrBitmap::from_sizes(&[], 1).is_err());
+        assert!(MrBitmap::from_sizes(&[64, 0], 1).is_err());
+    }
+
+    #[test]
+    fn single_component_is_linear_counting_shape() {
+        let mr = MrBitmap::with_memory(4_096, 100, 1).unwrap();
+        assert_eq!(mr.num_components(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut mr = MrBitmap::with_memory(4_000, 100_000, 2).unwrap();
+        for i in 0..1000u64 {
+            mr.insert_u64(i);
+        }
+        mr.reset();
+        assert_eq!(mr.estimate(), 0.0);
+    }
+}

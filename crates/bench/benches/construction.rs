@@ -1,0 +1,25 @@
+//! One-time costs: the dimensioning solver (bisection on eq. (7)) and the
+//! sampling-rate schedule precomputation. These matter for deployments
+//! that spin up many sketch configurations dynamically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbitmap_core::{Dimensioning, RateSchedule};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("dimensioning_from_memory", |b| {
+        b.iter(|| black_box(Dimensioning::from_memory(black_box(1 << 20), black_box(8_000))))
+    });
+    c.bench_function("dimensioning_from_error", |b| {
+        b.iter(|| black_box(Dimensioning::from_error(black_box(1 << 20), black_box(0.02))))
+    });
+    c.bench_function("schedule_m8000", |b| {
+        b.iter(|| black_box(RateSchedule::from_memory(1 << 20, 8_000)))
+    });
+    c.bench_function("schedule_m40000", |b| {
+        b.iter(|| black_box(RateSchedule::from_memory(1 << 20, 40_000)))
+    });
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Cost of producing an estimate at a realistic fill level.
+//!
+//! Bitmap-family estimators are O(1) given their maintained counters;
+//! the loglog family re-scans its registers; adaptive sampling and KMV
+//! read their collections. The S-bitmap estimate is a closed-form
+//! evaluation of `t_B` — constant time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbitmap_bench::{build_by_name, ingest, workload, ROSTER_NAMES};
+use std::hint::black_box;
+
+fn bench_estimates(c: &mut Criterion) {
+    let items = workload(100_000);
+    let mut group = c.benchmark_group("estimate_cost");
+    for name in ROSTER_NAMES {
+        let mut counter = build_by_name(name, 11);
+        ingest(&mut counter, &items);
+        group.bench_function(name, |b| b.iter(|| black_box(counter.estimate())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimates);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Hash-family cost on word and byte-string inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbitmap_hash::{HashKind, Hasher64};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let words: Vec<u64> = (0..10_000u64).collect();
+    let flows: Vec<Vec<u8>> = (0..1_000)
+        .map(|i| format!("10.0.{}.{}:{} -> 192.0.2.1:443 tcp", i / 256, i % 256, 1024 + i).into_bytes())
+        .collect();
+
+    let mut group = c.benchmark_group("hash_u64");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    for kind in HashKind::ALL {
+        let hasher = kind.build(42);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &w in &words {
+                    acc ^= hasher.hash_u64(w);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hash_bytes_flow_keys");
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    for kind in HashKind::ALL {
+        let hasher = kind.build(42);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for f in &flows {
+                    acc ^= hasher.hash_bytes(f);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Quick-mode regeneration of every table and figure in the paper, so
+//! that `cargo bench --workspace` emits the full result series alongside
+//! the criterion timings. Uses a reduced replicate count (100) unless
+//! `SBITMAP_REPS` overrides it; the standalone experiment binaries (or
+//! `--features`-free `cargo run -p sbitmap-experiments --bin repro --release -- --full`)
+//! are the full-fidelity path documented in EXPERIMENTS.md.
+
+fn main() {
+    // Respect `cargo bench -- --list`-style probing by ignoring unknown
+    // arguments; criterion isn't used here.
+    if std::env::args().any(|a| a == "--list") {
+        println!("paper_repro: bench");
+        return;
+    }
+    let mut cfg = sbitmap_experiments::RunConfig::from_env();
+    if std::env::var("SBITMAP_REPS").is_err() {
+        cfg.replicates = 100;
+    }
+    let t0 = std::time::Instant::now();
+    println!("=== paper tables & figures (quick mode: {} replicates) ===\n", cfg.replicates);
+    sbitmap_experiments::fig2::main_with(&cfg);
+    sbitmap_experiments::table2::main_with(&cfg);
+    sbitmap_experiments::fig3::main_with(&cfg);
+    sbitmap_experiments::fig4::main_with(&cfg);
+    sbitmap_experiments::table34::main_table3(&cfg);
+    sbitmap_experiments::table34::main_table4(&cfg);
+    sbitmap_experiments::fig5::main_with(&cfg);
+    sbitmap_experiments::fig6::main_with(&cfg);
+    sbitmap_experiments::fig7::main_with(&cfg);
+    sbitmap_experiments::fig8::main_with(&cfg);
+    sbitmap_experiments::ablations::main_with(&cfg);
+    println!("=== paper repro done in {:.1}s ===", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,25 @@
+//! Per-item insert cost for every sketch in the workspace (paper §3:
+//! S-bitmap's update cost is "similar to or lower than" the benchmarks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sbitmap_bench::{build_by_name, ingest, workload, ROSTER_NAMES};
+
+fn bench_updates(c: &mut Criterion) {
+    let items = workload(100_000);
+    let mut group = c.benchmark_group("update_throughput");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(20);
+    for name in ROSTER_NAMES {
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || build_by_name(name, 7),
+                |counter| ingest(counter, &items),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

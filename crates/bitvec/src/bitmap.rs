@@ -1,0 +1,269 @@
+//! A packed bit vector with the operations the sketches need.
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// Semantics match the paper's bitmap `V ∈ {0,1}^m`: bits start at zero,
+/// [`Bitmap::set`] flips a bit to one (reporting whether it was newly set),
+/// and [`Bitmap::count_ones`] is `|V|`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bitmap {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create an all-zero bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Length in bits (the paper's `m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len` (debug and release — the check is one
+    /// compare and keeps sketch bugs loud).
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    /// Set bit `idx` to one. Returns `true` if the bit was previously zero
+    /// (i.e. this call changed it) — the signal the S-bitmap uses to
+    /// increment its fill counter `L`.
+    #[inline]
+    pub fn set(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx >> 6];
+        let mask = 1u64 << (idx & 63);
+        let was_zero = *word & mask == 0;
+        *word |= mask;
+        was_zero
+    }
+
+    /// Clear bit `idx` to zero. Returns `true` if the bit was previously
+    /// one. (Not used by the sketches' hot paths; provided for tooling.)
+    #[inline]
+    pub fn clear_bit(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx >> 6];
+        let mask = 1u64 << (idx & 63);
+        let was_one = *word & mask != 0;
+        *word &= !mask;
+        was_one
+    }
+
+    /// Number of one bits (`|V|`), by word-level popcount.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of zero bits (`m − |V|`), the statistic linear counting uses.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Reset every bit to zero, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some((wi << 6) | bit)
+            })
+        })
+    }
+
+    /// In-place union with another bitmap of identical length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lengths differ.
+    pub fn union_with(&mut self, other: &Bitmap) -> Result<(), String> {
+        if self.len != other.len {
+            return Err(format!(
+                "bitmap length mismatch: {} vs {}",
+                self.len, other.len
+            ));
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// Payload size in bits, as the paper accounts memory. The partial last
+    /// word is charged at its logical width (`m`), not the allocated 64.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.len
+    }
+
+    /// The packed words backing the bitmap (little-endian bit order
+    /// within each word), for binary serialization.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from its packed words.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a word count that does not match `len` bits, or set bits
+    /// beyond `len` in the final partial word.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "word count {} does not match {} bits",
+                words.len(),
+                len
+            ));
+        }
+        if !len.is_multiple_of(64) {
+            let tail = words.last().copied().unwrap_or(0);
+            if tail >> (len % 64) != 0 {
+                return Err("set bits beyond the logical length".into());
+            }
+        }
+        Ok(Self {
+            words: words.into_boxed_slice(),
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_zero() {
+        let b = Bitmap::new(129);
+        assert_eq!(b.len(), 129);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.count_zeros(), 129);
+        assert!(!b.get(0));
+        assert!(!b.get(128));
+    }
+
+    #[test]
+    fn set_reports_transition() {
+        let mut b = Bitmap::new(100);
+        assert!(b.set(63));
+        assert!(!b.set(63), "second set must report already-set");
+        assert!(b.get(63));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn set_across_word_boundaries() {
+        let mut b = Bitmap::new(200);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(b.set(idx));
+            assert!(b.get(idx));
+        }
+        assert_eq!(b.count_ones(), 8);
+    }
+
+    #[test]
+    fn clear_bit_round_trip() {
+        let mut b = Bitmap::new(70);
+        b.set(69);
+        assert!(b.clear_bit(69));
+        assert!(!b.clear_bit(69));
+        assert!(!b.get(69));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::new(64).set(64);
+    }
+
+    #[test]
+    fn iter_ones_matches_sets() {
+        let mut b = Bitmap::new(300);
+        let idxs = [0usize, 5, 63, 64, 100, 255, 299];
+        for &i in &idxs {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idxs);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = Bitmap::new(128);
+        for i in 0..128 {
+            b.set(i);
+        }
+        b.reset();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn union_or_semantics() {
+        let mut a = Bitmap::new(80);
+        let mut b = Bitmap::new(80);
+        a.set(1);
+        b.set(2);
+        b.set(1);
+        a.union_with(&b).unwrap();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn union_length_mismatch_errors() {
+        let mut a = Bitmap::new(80);
+        let b = Bitmap::new(81);
+        assert!(a.union_with(&b).is_err());
+    }
+
+    #[test]
+    fn memory_bits_is_logical_length() {
+        assert_eq!(Bitmap::new(100).memory_bits(), 100);
+        assert_eq!(Bitmap::new(0).memory_bits(), 0);
+    }
+
+    #[test]
+    fn zero_length_bitmap_is_fine() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Bit-level storage substrate for the S-bitmap workspace.
+//!
+//! Two containers:
+//!
+//! * [`Bitmap`] — a packed bit vector (`u64` words). This is the `V` of
+//!   the paper's Algorithms 1 and 2 and the storage of every bitmap-family
+//!   baseline (linear counting, virtual bitmap, multiresolution bitmap).
+//! * [`PackedRegisters`] — a fixed-width unsigned register file packed
+//!   into `u64` words, used by the Flajolet–Martin family (LogLog /
+//!   HyperLogLog store 4–6 bit registers; FM/PCSA stores bit patterns).
+//!
+//! Both report their *payload* size in bits exactly the way the paper
+//! accounts memory (§6.2: "the size of the summary statistics (in bits)").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitmap;
+mod registers;
+
+pub use bitmap::Bitmap;
+pub use registers::PackedRegisters;

@@ -1,0 +1,293 @@
+//! Fixed-width register file packed into `u64` words.
+
+/// `count` unsigned registers of `width` bits each (1 ≤ width ≤ 32),
+/// packed contiguously into `u64` words. Registers may straddle word
+/// boundaries; the accessors handle the split.
+///
+/// This is the storage for the Flajolet–Martin family: LogLog and
+/// HyperLogLog keep one `log2 log2 N`-bit register per stochastic-average
+/// group (the paper's memory model charges `α = k+1` bits per register for
+/// `2^{2^k} ≤ N < 2^{2^{k+1}}`), and FM/PCSA keeps one bit pattern per
+/// group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PackedRegisters {
+    words: Box<[u64]>,
+    count: usize,
+    width: u32,
+}
+
+impl PackedRegisters {
+    /// Create `count` zeroed registers of `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32.
+    pub fn new(count: usize, width: u32) -> Self {
+        assert!(
+            (1..=32).contains(&width),
+            "register width {width} must be in 1..=32"
+        );
+        let total_bits = count * width as usize;
+        Self {
+            words: vec![0u64; total_bits.div_ceil(64)].into_boxed_slice(),
+            count,
+            width,
+        }
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if there are no registers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Register width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Largest storable value, `2^width − 1`.
+    #[inline]
+    pub fn max_value(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// Read register `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        assert!(idx < self.count, "register {idx} out of range {}", self.count);
+        let bit = idx * self.width as usize;
+        let word = bit >> 6;
+        let offset = (bit & 63) as u32;
+        let mask = u64::from(self.max_value());
+        let lo = self.words[word] >> offset;
+        let value = if offset + self.width > 64 {
+            lo | (self.words[word + 1] << (64 - offset))
+        } else {
+            lo
+        };
+        (value & mask) as u32
+    }
+
+    /// Write register `idx` (value is truncated to `width` bits — callers
+    /// saturate first; see [`PackedRegisters::update_max`]).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u32) {
+        assert!(idx < self.count, "register {idx} out of range {}", self.count);
+        let value = u64::from(value & self.max_value());
+        let bit = idx * self.width as usize;
+        let word = bit >> 6;
+        let offset = (bit & 63) as u32;
+        let mask = u64::from(self.max_value());
+        self.words[word] &= !(mask << offset);
+        self.words[word] |= value << offset;
+        if offset + self.width > 64 {
+            let spill = self.width - (64 - offset);
+            let hi_mask = (1u64 << spill) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= value >> (64 - offset);
+        }
+    }
+
+    /// `reg[idx] = max(reg[idx], value)`, saturating at the register's
+    /// capacity. Returns `true` if the register changed. This is the only
+    /// update LogLog/HyperLogLog perform.
+    #[inline]
+    pub fn update_max(&mut self, idx: usize, value: u32) -> bool {
+        let clamped = value.min(self.max_value());
+        if clamped > self.get(idx) {
+            self.set(idx, clamped);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bitwise-or `value` into register `idx` (FM/PCSA's update). Returns
+    /// `true` if the register changed.
+    #[inline]
+    pub fn update_or(&mut self, idx: usize, value: u32) -> bool {
+        let old = self.get(idx);
+        let new = old | (value & self.max_value());
+        if new != old {
+            self.set(idx, new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reset all registers to zero, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterator over register values.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.count).map(move |i| self.get(i))
+    }
+
+    /// Payload size in bits (`count × width`), the paper's accounting.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.count * self.width as usize
+    }
+
+    /// Merge with `other` by taking per-register maxima (the LogLog/HLL
+    /// union). Errors if the shapes differ.
+    pub fn merge_max(&mut self, other: &Self) -> Result<(), String> {
+        if self.count != other.count || self.width != other.width {
+            return Err(format!(
+                "register shape mismatch: {}x{} vs {}x{}",
+                self.count, self.width, other.count, other.width
+            ));
+        }
+        for i in 0..self.count {
+            let v = other.get(i);
+            self.update_max(i, v);
+        }
+        Ok(())
+    }
+
+    /// Merge with `other` by per-register bitwise or (the FM/PCSA union).
+    /// Errors if the shapes differ.
+    pub fn merge_or(&mut self, other: &Self) -> Result<(), String> {
+        if self.count != other.count || self.width != other.width {
+            return Err(format!(
+                "register shape mismatch: {}x{} vs {}x{}",
+                self.count, self.width, other.count, other.width
+            ));
+        }
+        for i in 0..self.count {
+            let v = other.get(i);
+            self.update_or(i, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        for width in 1..=32u32 {
+            let mut r = PackedRegisters::new(77, width);
+            let max = r.max_value();
+            for i in 0..77 {
+                let v = (i as u32).wrapping_mul(0x9e37_79b9) & max;
+                r.set(i, v);
+            }
+            for i in 0..77 {
+                let v = (i as u32).wrapping_mul(0x9e37_79b9) & max;
+                assert_eq!(r.get(i), v, "width={width} idx={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn straddling_word_boundary() {
+        // width 5: register 12 spans bits 60..65 — across words.
+        let mut r = PackedRegisters::new(16, 5);
+        r.set(12, 0b10101);
+        assert_eq!(r.get(12), 0b10101);
+        // Neighbours untouched.
+        assert_eq!(r.get(11), 0);
+        assert_eq!(r.get(13), 0);
+        // Overwrite with a different pattern clears old bits.
+        r.set(12, 0b01010);
+        assert_eq!(r.get(12), 0b01010);
+    }
+
+    #[test]
+    fn set_truncates_to_width() {
+        let mut r = PackedRegisters::new(4, 3);
+        r.set(0, 0xff);
+        assert_eq!(r.get(0), 0b111);
+    }
+
+    #[test]
+    fn update_max_saturates() {
+        let mut r = PackedRegisters::new(4, 4);
+        assert!(r.update_max(1, 7));
+        assert!(!r.update_max(1, 7), "equal value is not a change");
+        assert!(!r.update_max(1, 3), "smaller value is not a change");
+        assert!(r.update_max(1, 200), "saturating update still raises");
+        assert_eq!(r.get(1), 15);
+    }
+
+    #[test]
+    fn update_or_accumulates_bits() {
+        let mut r = PackedRegisters::new(2, 8);
+        assert!(r.update_or(0, 0b0001));
+        assert!(r.update_or(0, 0b0100));
+        assert!(!r.update_or(0, 0b0101));
+        assert_eq!(r.get(0), 0b0101);
+    }
+
+    #[test]
+    fn merge_max_takes_pointwise_maxima() {
+        let mut a = PackedRegisters::new(8, 6);
+        let mut b = PackedRegisters::new(8, 6);
+        for i in 0..8 {
+            a.set(i, i as u32);
+            b.set(i, 7 - i as u32);
+        }
+        a.merge_max(&b).unwrap();
+        for i in 0..8u32 {
+            assert_eq!(a.get(i as usize), i.max(7 - i));
+        }
+    }
+
+    #[test]
+    fn merge_shape_mismatch_errors() {
+        let mut a = PackedRegisters::new(8, 6);
+        let b = PackedRegisters::new(8, 5);
+        assert!(a.merge_max(&b).is_err());
+        let c = PackedRegisters::new(9, 6);
+        assert!(a.merge_or(&c).is_err());
+    }
+
+    #[test]
+    fn memory_bits_exact() {
+        assert_eq!(PackedRegisters::new(1024, 5).memory_bits(), 5120);
+    }
+
+    #[test]
+    fn width_32_full_range() {
+        let mut r = PackedRegisters::new(3, 32);
+        r.set(1, u32::MAX);
+        assert_eq!(r.get(1), u32::MAX);
+        assert_eq!(r.get(0), 0);
+        assert_eq!(r.get(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register width")]
+    fn zero_width_panics() {
+        PackedRegisters::new(4, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut r = PackedRegisters::new(100, 7);
+        for i in 0..100 {
+            r.set(i, 99);
+        }
+        r.reset();
+        assert!(r.iter().all(|v| v == 0));
+    }
+}

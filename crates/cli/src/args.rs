@@ -1,0 +1,176 @@
+//! Minimal flag parsing (no external dependencies).
+
+/// Parsed `--flag value` options plus the subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Target cardinality range `[1, N]`.
+    pub n_max: u64,
+    /// Target RRMSE, mutually exclusive with `memory_bits`.
+    pub error: Option<f64>,
+    /// Explicit memory budget in bits.
+    pub memory_bits: Option<usize>,
+    /// Sketch name for `count` (default "s-bitmap").
+    pub sketch: String,
+    /// Hash family for the S-bitmap ("splitmix64", "xxh64", "murmur3",
+    /// "carter-wegman").
+    pub hash: String,
+    /// Hash seed.
+    pub seed: u64,
+    /// Cardinality for `simulate`.
+    pub n: Option<u64>,
+    /// Replicates for `simulate`.
+    pub reps: usize,
+}
+
+impl Options {
+    fn defaults() -> Self {
+        Self {
+            n_max: 1_000_000,
+            error: None,
+            memory_bits: None,
+            sketch: "s-bitmap".to_string(),
+            hash: "splitmix64".to_string(),
+            seed: 42,
+            n: None,
+            reps: 1000,
+        }
+    }
+}
+
+/// Parse `argv` after the subcommand.
+///
+/// # Errors
+///
+/// Unknown flags, missing values, or unparseable numbers.
+pub fn parse(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options::defaults();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--n-max" => {
+                opts.n_max = parse_num(value(i)?).map_err(|e| format!("--n-max: {e}"))?;
+                i += 2;
+            }
+            "--error" => {
+                opts.error =
+                    Some(value(i)?.parse().map_err(|e| format!("--error: {e}"))?);
+                i += 2;
+            }
+            "--memory-bits" => {
+                opts.memory_bits = Some(
+                    parse_num(value(i)?).map_err(|e| format!("--memory-bits: {e}"))? as usize,
+                );
+                i += 2;
+            }
+            "--sketch" => {
+                opts.sketch = value(i)?.to_string();
+                i += 2;
+            }
+            "--hash" => {
+                opts.hash = value(i)?.to_string();
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--n" => {
+                opts.n = Some(parse_num(value(i)?).map_err(|e| format!("--n: {e}"))?);
+                i += 2;
+            }
+            "--reps" => {
+                opts.reps = value(i)?.parse().map_err(|e| format!("--reps: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.error.is_some() && opts.memory_bits.is_some() {
+        return Err("--error and --memory-bits are mutually exclusive".into());
+    }
+    if let Some(e) = opts.error {
+        if !(e > 0.0 && e < 1.0) {
+            return Err(format!("--error must be in (0, 1), got {e}"));
+        }
+    }
+    Ok(opts)
+}
+
+/// Accept plain integers plus `k`/`m` suffixes and scientific notation
+/// ("1e6", "64k", "1.5m").
+fn parse_num(s: &str) -> Result<u64, String> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
+        (d, 1_000.0)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1_000_000.0)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let base: f64 = digits.parse().map_err(|_| format!("not a number: {s}"))?;
+    let v = base * mult;
+    if !(v >= 0.0 && v <= u64::MAX as f64) {
+        return Err(format!("out of range: {s}"));
+    }
+    Ok(v.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.n_max, 1_000_000);
+        assert_eq!(o.sketch, "s-bitmap");
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parses_suffixes_and_scientific() {
+        let o = parse(&args("--n-max 1.5m --memory-bits 64k")).unwrap();
+        assert_eq!(o.n_max, 1_500_000);
+        assert_eq!(o.memory_bits, Some(64_000));
+        let o = parse(&args("--n-max 1e6")).unwrap();
+        assert_eq!(o.n_max, 1_000_000);
+    }
+
+    #[test]
+    fn rejects_conflicting_sizing() {
+        assert!(parse(&args("--error 0.01 --memory-bits 4000")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_error() {
+        assert!(parse(&args("--error 1.5")).is_err());
+        assert!(parse(&args("--error 0")).is_err());
+    }
+
+    #[test]
+    fn parses_hash_flag() {
+        let o = parse(&args("--hash murmur3")).unwrap();
+        assert_eq!(o.hash, "murmur3");
+        assert_eq!(parse(&[]).unwrap().hash, "splitmix64");
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&args("--bogus 3")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&args("--n-max")).is_err());
+    }
+}

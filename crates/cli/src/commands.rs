@@ -1,0 +1,356 @@
+//! Subcommand implementations, written against generic reader/writer so
+//! every command is unit-testable without a process.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use sbitmap_baselines::{
+    AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog,
+    KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
+};
+use sbitmap_baselines::memory_model;
+use sbitmap_core::{simulate, DistinctCounter, Dimensioning, RateSchedule, SBitmap};
+use sbitmap_hash::rng::Xoshiro256StarStar;
+use sbitmap_hash::HashKind;
+
+use crate::args::{parse, Options};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: sbitmap <command> [flags]
+
+commands:
+  count      read items from stdin (one per line), print the estimate
+             flags: --sketch NAME --n-max N [--error E | --memory-bits M] --seed S
+                    --hash splitmix64|xxh64|murmur3|carter-wegman (s-bitmap only)
+             sketches: s-bitmap linear-counting virtual-bitmap adaptive-bitmap
+                       mr-bitmap fm-pcsa loglog hyperloglog adaptive-sampling
+                       distinct-sampling kmv exact
+  plan       print the memory each sketch family needs for a target
+             flags: --n-max N --error E
+  compare    feed stdin to every sketch at the same memory budget
+             flags: --n-max N --memory-bits M --seed S
+  simulate   Monte-Carlo the S-bitmap error for a configuration (no input)
+             flags: --n-max N [--error E | --memory-bits M] --n CARD --reps R
+
+number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
+
+/// Dispatch `argv` (already stripped of the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for bad arguments, impossible
+/// configurations or I/O failures.
+pub fn dispatch(
+    argv: &[String],
+    input: &mut impl BufRead,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    let (command, rest) = argv.split_first().ok_or("missing command")?;
+    let opts = parse(rest)?;
+    match command.as_str() {
+        "count" => count(&opts, input, out),
+        "plan" => plan(&opts, out),
+        "compare" => compare(&opts, input, out),
+        "simulate" => simulate_cmd(&opts, out),
+        other => Err(format!("unknown command `{other}`")),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("i/o: {e}")
+}
+
+fn hash_kind(name: &str) -> Result<HashKind, String> {
+    HashKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown hash `{name}` (see usage)"))
+}
+
+fn sbitmap_schedule(opts: &Options) -> Result<RateSchedule, String> {
+    match (opts.error, opts.memory_bits) {
+        (Some(e), None) => RateSchedule::from_error(opts.n_max, e),
+        (None, Some(m)) => RateSchedule::from_memory(opts.n_max, m),
+        (None, None) => RateSchedule::from_error(opts.n_max, 0.02),
+        (Some(_), Some(_)) => unreachable!("rejected by the parser"),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn sbitmap_for(opts: &Options) -> Result<SBitmap<Box<dyn sbitmap_hash::Hasher64>>, String> {
+    let kind = hash_kind(&opts.hash)?;
+    if kind == HashKind::CarterWegman {
+        eprintln!(
+            "warning: carter-wegman (2-universal) hashing is unreliable on \
+             structured keys under adaptive sampling; see EXPERIMENTS.md"
+        );
+    }
+    let schedule = Arc::new(sbitmap_schedule(opts)?);
+    Ok(SBitmap::with_shared_schedule(schedule, kind.build(opts.seed)))
+}
+
+fn build_sketch(name: &str, opts: &Options) -> Result<Box<dyn DistinctCounter>, String> {
+    if name == "s-bitmap" {
+        return Ok(Box::new(sbitmap_for(opts)?));
+    }
+    // The baselines are sized from an explicit budget; derive one from
+    // the error target via the S-bitmap dimensioning when not given.
+    let m = match opts.memory_bits {
+        Some(m) => m,
+        None => Dimensioning::from_error(opts.n_max, opts.error.unwrap_or(0.02))
+            .map_err(|e| e.to_string())?
+            .m(),
+    };
+    let seed = opts.seed;
+    let n_max = opts.n_max;
+    let boxed: Box<dyn DistinctCounter> = match name {
+        "linear-counting" => Box::new(LinearCounting::new(m, seed).map_err(|e| e.to_string())?),
+        "virtual-bitmap" => {
+            Box::new(VirtualBitmap::for_cardinality(m, n_max, seed).map_err(|e| e.to_string())?)
+        }
+        "adaptive-bitmap" => Box::new(AdaptiveBitmap::new(m, seed).map_err(|e| e.to_string())?),
+        "mr-bitmap" => Box::new(MrBitmap::with_memory(m, n_max, seed).map_err(|e| e.to_string())?),
+        "fm-pcsa" => Box::new(FmSketch::with_memory(m, seed).map_err(|e| e.to_string())?),
+        "loglog" => Box::new(LogLog::with_memory(m, n_max, seed).map_err(|e| e.to_string())?),
+        "hyperloglog" => {
+            Box::new(HyperLogLog::with_memory(m, n_max, seed).map_err(|e| e.to_string())?)
+        }
+        "adaptive-sampling" => {
+            Box::new(AdaptiveSampling::with_memory(m, seed).map_err(|e| e.to_string())?)
+        }
+        "distinct-sampling" => {
+            Box::new(DistinctSampling::with_memory(m, seed).map_err(|e| e.to_string())?)
+        }
+        "kmv" => Box::new(KMinValues::with_memory(m, seed).map_err(|e| e.to_string())?),
+        "exact" => Box::new(ExactCounter::new(seed)),
+        other => return Err(format!("unknown sketch `{other}` (see usage)")),
+    };
+    Ok(boxed)
+}
+
+fn count(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> Result<(), String> {
+    let mut sketch = build_sketch(&opts.sketch, opts)?;
+    let mut lines = 0u64;
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf).map_err(io_err)? == 0 {
+            break;
+        }
+        let item = buf.trim_end_matches(['\n', '\r']);
+        sketch.insert_bytes(item.as_bytes());
+        lines += 1;
+    }
+    writeln!(
+        out,
+        "{:.0} distinct (from {} lines; {} using {} bits)",
+        sketch.estimate(),
+        lines,
+        sketch.name(),
+        sketch.memory_bits()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn plan(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let eps = opts.error.unwrap_or(0.02);
+    let dims = Dimensioning::from_error(opts.n_max, eps).map_err(|e| e.to_string())?;
+    writeln!(out, "target: N = {}, RRMSE = {:.2}%", opts.n_max, eps * 100.0).map_err(io_err)?;
+    writeln!(out, "\nmethod        bits      bytes     vs S-bitmap").map_err(io_err)?;
+    let sb = dims.m() as f64;
+    for (name, bits) in [
+        ("S-bitmap", sb),
+        ("HyperLogLog", memory_model::hyperloglog_bits(opts.n_max, eps)),
+        ("LogLog", memory_model::loglog_bits(opts.n_max, eps)),
+        ("FM/PCSA", memory_model::fm_bits(eps)),
+    ] {
+        writeln!(
+            out,
+            "{name:<12} {bits:>8.0}  {:>8.0}  {:>6.2}x",
+            bits / 8.0,
+            bits / sb
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "\nS-bitmap: C = {:.1}, r = {:.6}, b_max = {} of m = {}",
+        dims.c(),
+        dims.r(),
+        dims.b_max(),
+        dims.m()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn compare(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> Result<(), String> {
+    // Buffer the stream once; feed every sketch the same items.
+    let mut items: Vec<Vec<u8>> = Vec::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf).map_err(io_err)? == 0 {
+            break;
+        }
+        items.push(buf.trim_end_matches(['\n', '\r']).as_bytes().to_vec());
+    }
+    let names = [
+        "s-bitmap",
+        "linear-counting",
+        "virtual-bitmap",
+        "adaptive-bitmap",
+        "mr-bitmap",
+        "fm-pcsa",
+        "loglog",
+        "hyperloglog",
+        "adaptive-sampling",
+        "distinct-sampling",
+        "kmv",
+        "exact",
+    ];
+    writeln!(out, "{} input lines\n", items.len()).map_err(io_err)?;
+    writeln!(out, "sketch             estimate       bits").map_err(io_err)?;
+    for name in names {
+        let mut sketch = build_sketch(name, opts)?;
+        for item in &items {
+            sketch.insert_bytes(item);
+        }
+        writeln!(
+            out,
+            "{:<17} {:>10.0} {:>10}",
+            sketch.name(),
+            sketch.estimate(),
+            sketch.memory_bits()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn simulate_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let n = opts.n.ok_or("simulate needs --n CARD")?;
+    let schedule: Arc<RateSchedule> = Arc::new(sbitmap_schedule(opts)?);
+    let dims = *schedule.dims();
+    if n > dims.n_max() {
+        return Err(format!("--n {n} exceeds the configured range N = {}", dims.n_max()));
+    }
+    let stats = sbitmap_stats::replicate(opts.reps, |r| {
+        let mut rng = Xoshiro256StarStar::new(sbitmap_hash::mix64(r ^ 0xc11));
+        (n as f64, simulate::simulate_estimate(&schedule, n, &mut rng))
+    });
+    writeln!(
+        out,
+        "config: N = {}, m = {} bits, C = {:.1}, theoretical RRMSE = {:.3}%",
+        dims.n_max(),
+        dims.m(),
+        dims.c(),
+        dims.epsilon() * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "simulated at n = {n} over {} replicates: RRMSE = {:.3}%, bias = {:+.3}%, |err| q99 = {:.3}%",
+        stats.count(),
+        stats.rrmse() * 100.0,
+        stats.mean_bias() * 100.0,
+        stats.quantile_abs(0.99) * 100.0
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &str, stdin: &str) -> Result<String, String> {
+        let argv: Vec<String> = argv.split_whitespace().map(String::from).collect();
+        let mut input = stdin.as_bytes();
+        let mut out = Vec::new();
+        dispatch(&argv, &mut input, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn count_small_exact_stream() {
+        let out = run(
+            "count --sketch exact --n-max 1000",
+            "alice\nbob\nalice\ncarol\n",
+        )
+        .unwrap();
+        assert!(out.starts_with("3 distinct"), "{out}");
+    }
+
+    #[test]
+    fn count_with_sbitmap_is_close() {
+        let stdin: String = (0..5000).map(|i| format!("user-{i}\nuser-{i}\n")).collect();
+        let out = run("count --n-max 100k --error 0.03 --seed 7", &stdin).unwrap();
+        let est: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
+        assert!((est / 5000.0 - 1.0).abs() < 0.15, "{out}");
+    }
+
+    #[test]
+    fn plan_prints_all_methods() {
+        let out = run("plan --n-max 1e6 --error 0.01", "").unwrap();
+        for needle in ["S-bitmap", "HyperLogLog", "LogLog", "FM/PCSA", "b_max"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+
+    #[test]
+    fn compare_runs_every_sketch() {
+        let stdin: String = (0..2000).map(|i| format!("flow-{i}\n")).collect();
+        let out = run("compare --n-max 100k --memory-bits 4000 --seed 3", &stdin).unwrap();
+        for name in ["s-bitmap", "hyperloglog", "mr-bitmap", "exact"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn simulate_reports_near_theory() {
+        let out = run("simulate --n-max 1m --memory-bits 8000 --n 100k --reps 600", "").unwrap();
+        assert!(out.contains("theoretical RRMSE"), "{out}");
+        // Parse simulated rrmse and compare loosely with 2.2% theory.
+        let line = out.lines().nth(1).unwrap();
+        let rrmse: f64 = line
+            .split("RRMSE = ")
+            .nth(1)
+            .unwrap()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((1.4..3.4).contains(&rrmse), "simulated rrmse {rrmse}");
+    }
+
+    #[test]
+    fn simulate_rejects_n_beyond_range() {
+        assert!(run("simulate --n-max 1000 --memory-bits 500 --n 5000", "").is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_sketch_error() {
+        assert!(run("bogus", "").is_err());
+        assert!(run("count --sketch nope", "").is_err());
+        assert!(run("count --hash nope", "a\n").is_err());
+    }
+
+    #[test]
+    fn count_with_alternate_hash() {
+        let stdin: String = (0..3000).map(|i| format!("k{i}\n")).collect();
+        let out = run("count --hash xxh64 --n-max 100k --error 0.03 --seed 5", &stdin).unwrap();
+        let est: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
+        assert!((est / 3000.0 - 1.0).abs() < 0.2, "{out}");
+    }
+
+    #[test]
+    fn crlf_lines_are_trimmed() {
+        let out = run("count --sketch exact", "a\r\nb\r\na\r\n").unwrap();
+        assert!(out.starts_with("2 distinct"), "{out}");
+    }
+}

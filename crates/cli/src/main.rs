@@ -1,0 +1,36 @@
+//! `sbitmap` — command-line distinct counting.
+//!
+//! ```text
+//! sbitmap count   [--sketch NAME] [--n-max N] [--error E | --memory-bits M] [--seed S]
+//! sbitmap plan    [--n-max N] [--error E]
+//! sbitmap compare [--n-max N] [--memory-bits M] [--seed S]
+//! sbitmap simulate [--n-max N] [--memory-bits M] --n CARD [--reps R]
+//! ```
+//!
+//! `count` and `compare` read newline-delimited items from stdin.
+//! `plan` prints the memory each sketch family needs for a target.
+//! `simulate` Monte-Carlos the S-bitmap error for a configuration using
+//! the exact Lemma-1 fast simulator (no hashing, no stream).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    match commands::dispatch(&argv, &mut stdin.lock(), &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The common interface every distinct-counting sketch in this workspace
+//! implements — the S-bitmap itself and all the baselines it is evaluated
+//! against.
+
+/// A streaming distinct counter (cardinality estimator).
+///
+/// The contract mirrors the paper's problem statement (§2.1): items arrive
+/// one at a time, possibly with duplicates; the sketch may not buffer the
+/// stream; [`DistinctCounter::estimate`] may be called at any point and
+/// returns an estimate of the number of *distinct* items inserted so far.
+///
+/// Implementations hash internally with their own seeded hasher, so two
+/// sketches built with different seeds give independent estimates of the
+/// same stream (the property replicated experiments rely on).
+pub trait DistinctCounter {
+    /// Insert a `u64` item (e.g. a flow key already packed into a word).
+    fn insert_u64(&mut self, item: u64);
+
+    /// Insert an arbitrary byte-string item.
+    fn insert_bytes(&mut self, item: &[u8]);
+
+    /// Estimate the number of distinct items inserted so far.
+    fn estimate(&self) -> f64;
+
+    /// Size of the summary statistic in bits, using the paper's accounting
+    /// (§6.2): the sketch payload only, excluding hash seeds and any
+    /// configuration shared across sketch instances.
+    fn memory_bits(&self) -> usize;
+
+    /// Forget everything, keeping the configuration and allocation.
+    fn reset(&mut self);
+
+    /// Short stable name used in experiment output ("s-bitmap", "hll", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket impl so `Box<dyn DistinctCounter>` is itself a counter — the
+/// experiment harness stores heterogeneous sketch fleets this way.
+impl DistinctCounter for Box<dyn DistinctCounter> {
+    fn insert_u64(&mut self, item: u64) {
+        (**self).insert_u64(item)
+    }
+    fn insert_bytes(&mut self, item: &[u8]) {
+        (**self).insert_bytes(item)
+    }
+    fn estimate(&self) -> f64 {
+        (**self).estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        (**self).memory_bits()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

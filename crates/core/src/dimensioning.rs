@@ -1,0 +1,293 @@
+//! The paper's dimensioning rule (§5.1, equation (7)).
+//!
+//! The three quantities `N` (cardinality upper bound), `m` (bitmap bits)
+//! and `C` (accuracy constant, `RRMSE = (C−1)^{−1/2}`) are linked by
+//!
+//! ```text
+//! m = C/2 + ln(1 + 2N/C) / ln(1 + 2/(C−1))          (7)
+//! ```
+//!
+//! [`Dimensioning`] captures a solved triple. Build it from whichever pair
+//! you know:
+//!
+//! * [`Dimensioning::from_memory`] — given `(N, m)`, solve for `C`
+//!   numerically (the right-hand side of (7) is strictly increasing in
+//!   `C`, so bisection is exact and robust);
+//! * [`Dimensioning::from_error`] — given `(N, ε)`, use `C = 1 + ε^{−2}`
+//!   and evaluate (7) for `m` directly.
+
+use crate::SBitmapError;
+
+/// A solved `(N, m, C)` triple plus derived constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dimensioning {
+    n_max: u64,
+    m: usize,
+    c: f64,
+}
+
+/// Evaluate the right-hand side of equation (7): the number of bitmap bits
+/// needed to cover cardinalities up to `n_max` with accuracy constant `c`.
+pub fn memory_for(n_max: u64, c: f64) -> f64 {
+    debug_assert!(c > 1.0);
+    c / 2.0 + (1.0 + 2.0 * n_max as f64 / c).ln() / (2.0 / (c - 1.0)).ln_1p()
+}
+
+impl Dimensioning {
+    /// Solve for `C` given the bitmap size `m` (in bits) and the target
+    /// range `[1, n_max]`. This is the configuration used throughout the
+    /// paper's experiments ("m = 4000 bits gives C = 915.6").
+    ///
+    /// # Errors
+    ///
+    /// * `n_max == 0` or `m == 0`;
+    /// * `m` too small to hold any schedule for `n_max` (fewer than a
+    ///   handful of bits);
+    /// * solver failure (cannot happen for sane inputs; kept explicit
+    ///   rather than panicking).
+    pub fn from_memory(n_max: u64, m: usize) -> Result<Self, SBitmapError> {
+        if n_max == 0 {
+            return Err(SBitmapError::invalid("n_max", "must be at least 1"));
+        }
+        if m == 0 {
+            return Err(SBitmapError::invalid("m", "must be at least 1 bit"));
+        }
+        // Require at least C = 2, i.e. a theoretical RRMSE of at most 100%;
+        // below that the "estimate" carries no information.
+        if (m as f64) < memory_for(n_max, 2.0) {
+            return Err(SBitmapError::invalid(
+                "m",
+                format!(
+                    "{m} bits cannot cover n_max = {n_max} with RRMSE <= 100% \
+                     (need at least {} bits)",
+                    memory_for(n_max, 2.0).ceil()
+                ),
+            ));
+        }
+
+        // memory_for(n_max, ·) is strictly increasing, so bisect.
+        let target = m as f64;
+        let mut lo = 2.0;
+        let mut hi = 4.0;
+        while memory_for(n_max, hi) < target {
+            hi *= 2.0;
+            if hi > 1e18 {
+                return Err(SBitmapError::SolverFailure(format!(
+                    "could not bracket C for n_max={n_max}, m={m}"
+                )));
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if memory_for(n_max, mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let c = 0.5 * (lo + hi);
+        if !(c.is_finite() && c > 1.0) {
+            return Err(SBitmapError::SolverFailure(format!(
+                "solver produced C = {c} for n_max={n_max}, m={m}"
+            )));
+        }
+        Ok(Self { n_max, m, c })
+    }
+
+    /// Dimension for a target RRMSE `epsilon` over `[1, n_max]`:
+    /// `C = 1 + ε^{−2}`, `m = ⌈eq. (7)⌉`.
+    ///
+    /// # Errors
+    ///
+    /// `n_max == 0`, or `epsilon` outside `(0, 1)`.
+    pub fn from_error(n_max: u64, epsilon: f64) -> Result<Self, SBitmapError> {
+        if n_max == 0 {
+            return Err(SBitmapError::invalid("n_max", "must be at least 1"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SBitmapError::invalid(
+                "epsilon",
+                format!("target RRMSE must be in (0, 1), got {epsilon}"),
+            ));
+        }
+        let c = 1.0 + epsilon.powi(-2);
+        let m = memory_for(n_max, c).ceil() as usize;
+        Ok(Self { n_max, m, c })
+    }
+
+    /// The cardinality upper bound `N`.
+    #[inline]
+    pub fn n_max(&self) -> u64 {
+        self.n_max
+    }
+
+    /// The bitmap size in bits, `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The accuracy constant `C` of Theorem 2.
+    #[inline]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The theoretical scale-invariant RRMSE, `(C − 1)^{−1/2}` (Theorem 3).
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        (self.c - 1.0).powf(-0.5)
+    }
+
+    /// The geometric decay factor `r = 1 − 2/(C + 1)`.
+    #[inline]
+    pub fn r(&self) -> f64 {
+        1.0 - 2.0 / (self.c + 1.0)
+    }
+
+    /// The truncation point `b_max = ⌊m − C/2⌋` (paper's remark after
+    /// eq. (7) and eq. (8)): sampling rates are only strictly decreasing up
+    /// to here, `p_b` is clamped beyond it, and the reported fill is
+    /// truncated to it. Clamped into `[1, m]`.
+    #[inline]
+    pub fn b_max(&self) -> usize {
+        let raw = (self.m as f64 - self.c / 2.0).floor();
+        (raw.max(1.0) as usize).min(self.m)
+    }
+
+    /// Approximate memory rule (paper §5.1):
+    /// `m ≈ ε^{−2}(1 + ln(1 + 2Nε²))/2`. Useful for quick capacity
+    /// planning; the exact value is [`Dimensioning::from_error`].
+    pub fn approx_memory_bits(n_max: u64, epsilon: f64) -> f64 {
+        0.5 * epsilon.powi(-2) * (1.0 + (1.0 + 2.0 * n_max as f64 * epsilon * epsilon).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The worked examples printed in the paper.
+    #[test]
+    fn paper_example_n_2_20_m_4000() {
+        let d = Dimensioning::from_memory(1 << 20, 4000).unwrap();
+        assert!((d.c() - 915.6).abs() < 1.0, "C = {}", d.c());
+        assert!((d.epsilon() - 0.033).abs() < 0.001, "eps = {}", d.epsilon());
+    }
+
+    #[test]
+    fn paper_example_n_2_20_m_1800() {
+        let d = Dimensioning::from_memory(1 << 20, 1800).unwrap();
+        assert!((d.c() - 373.7).abs() < 1.0, "C = {}", d.c());
+        assert!((d.epsilon() - 0.052).abs() < 0.001, "eps = {}", d.epsilon());
+    }
+
+    #[test]
+    fn paper_example_worm_trace_config() {
+        // §7.1: N = 1e6, m = 8000 → C = 2026.55, eps ≈ 2.2%.
+        let d = Dimensioning::from_memory(1_000_000, 8000).unwrap();
+        assert!((d.c() - 2026.55).abs() < 1.0, "C = {}", d.c());
+        assert!((d.epsilon() - 0.022).abs() < 0.001);
+    }
+
+    #[test]
+    fn paper_example_30kbit_for_1pct_at_1e6() {
+        // §5.1: N = 1e6, m = 30000 → C ≈ 0.01^{-2}, i.e. eps ≈ 1%.
+        let d = Dimensioning::from_memory(1_000_000, 30_000).unwrap();
+        assert!((d.epsilon() - 0.01).abs() < 0.0005, "eps = {}", d.epsilon());
+    }
+
+    #[test]
+    fn from_error_round_trips_through_from_memory() {
+        for &(n, eps) in &[(10_000u64, 0.03), (1_000_000, 0.01), (1 << 20, 0.09)] {
+            let a = Dimensioning::from_error(n, eps).unwrap();
+            let b = Dimensioning::from_memory(n, a.m()).unwrap();
+            // Solving back for C from the ceil'd m can only improve epsilon.
+            assert!(b.epsilon() <= eps + 1e-6, "n={n} eps={eps} got {}", b.epsilon());
+            assert!((b.c() - a.c()).abs() / a.c() < 0.01);
+        }
+    }
+
+    #[test]
+    fn table2_sbitmap_memory_cells() {
+        // Table 2, S-bitmap columns (unit: 100 bits).
+        let cases: &[(u64, f64, f64)] = &[
+            (1_000, 0.01, 59.1),
+            (10_000, 0.01, 104.9),
+            (100_000, 0.01, 202.2),
+            (1_000_000, 0.01, 315.2),
+            (10_000_000, 0.01, 430.1),
+            (1_000, 0.03, 11.3),
+            (1_000_000, 0.03, 47.2),
+            (1_000, 0.09, 2.4),
+            (10_000_000, 0.09, 8.1),
+        ];
+        for &(n, eps, expect) in cases {
+            let c = 1.0 + eps.powi(-2);
+            let m = memory_for(n, c) / 100.0;
+            assert!(
+                (m - expect).abs() < 0.15,
+                "N={n} eps={eps}: got {m:.1}, paper says {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_monotone_in_n_and_accuracy() {
+        let m1 = memory_for(1_000, 1.0 + 0.03f64.powi(-2));
+        let m2 = memory_for(1_000_000, 1.0 + 0.03f64.powi(-2));
+        assert!(m2 > m1);
+        let m3 = memory_for(1_000_000, 1.0 + 0.01f64.powi(-2));
+        assert!(m3 > m2);
+    }
+
+    #[test]
+    fn b_max_leaves_room_for_the_schedule() {
+        let d = Dimensioning::from_memory(1 << 20, 4000).unwrap();
+        // b_max = m − C/2 ≈ 4000 − 457.8.
+        assert_eq!(d.b_max(), (4000.0f64 - d.c() / 2.0).floor() as usize);
+        assert!(d.b_max() < d.m());
+        assert!(d.b_max() > d.m() / 2);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Dimensioning::from_memory(0, 100).is_err());
+        assert!(Dimensioning::from_memory(100, 0).is_err());
+        assert!(Dimensioning::from_error(100, 0.0).is_err());
+        assert!(Dimensioning::from_error(100, 1.0).is_err());
+        assert!(Dimensioning::from_error(0, 0.1).is_err());
+        // m too small for the range: 10 bits cannot track a million.
+        assert!(Dimensioning::from_memory(1_000_000, 10).is_err());
+    }
+
+    #[test]
+    fn tiny_but_valid_configs_work() {
+        let d = Dimensioning::from_memory(100, 64).unwrap();
+        assert!(d.c() > 1.0);
+        assert!(d.b_max() >= 1);
+        let e = Dimensioning::from_error(1, 0.5).unwrap();
+        assert!(e.m() >= 1);
+    }
+
+    #[test]
+    fn approx_memory_close_to_exact() {
+        for &(n, eps) in &[(1_000_000u64, 0.01), (10_000, 0.03)] {
+            let exact = Dimensioning::from_error(n, eps).unwrap().m() as f64;
+            let approx = Dimensioning::approx_memory_bits(n, eps);
+            assert!(
+                (approx / exact - 1.0).abs() < 0.02,
+                "n={n} eps={eps}: exact {exact}, approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn r_in_unit_interval() {
+        let d = Dimensioning::from_memory(1 << 20, 4000).unwrap();
+        assert!(d.r() > 0.0 && d.r() < 1.0);
+        // r = (C−1)/(C+1)
+        assert!((d.r() - (d.c() - 1.0) / (d.c() + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for configuration and construction failures.
+
+/// Errors produced when configuring or building sketches.
+///
+/// The hot paths (insert/estimate) are infallible by construction; all
+/// validation happens when a sketch is dimensioned and built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SBitmapError {
+    /// A dimensioning or construction parameter is out of its valid range.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The numeric solver for `C` failed to bracket or converge.
+    SolverFailure(String),
+}
+
+impl std::fmt::Display for SBitmapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SBitmapError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SBitmapError::SolverFailure(msg) => write!(f, "dimensioning solver failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SBitmapError {}
+
+impl SBitmapError {
+    /// Convenience constructor for parameter errors.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        SBitmapError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SBitmapError::invalid("m", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `m`: must be positive");
+        let s = SBitmapError::SolverFailure("no bracket".into());
+        assert!(s.to_string().contains("no bracket"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SBitmapError::invalid("x", "y"));
+    }
+}

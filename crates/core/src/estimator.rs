@@ -1,0 +1,58 @@
+//! The S-bitmap estimator: `n̂ = t_B` with the truncation of eq. (8).
+
+use crate::dimensioning::Dimensioning;
+use crate::theory;
+
+/// Estimate the cardinality from the observed fill `L` (number of set
+/// bits): `n̂ = t_B` with `B = min(L, b_max)` (equations (2) and (8)).
+///
+/// `t_B` is unbiased for the cardinality by Theorem 3; the truncation at
+/// `b_max = ⌊m − C/2⌋` removes the one-sided bias that appears when `n`
+/// approaches the design maximum `N` (and can only reduce the RRMSE, as
+/// the paper argues after Theorem 3).
+#[inline]
+pub fn estimate_from_fill(dims: &Dimensioning, fill: usize) -> f64 {
+    theory::t(dims, fill.min(dims.b_max()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dimensioning {
+        Dimensioning::from_memory(1 << 20, 4000).unwrap()
+    }
+
+    #[test]
+    fn zero_fill_estimates_zero() {
+        assert_eq!(estimate_from_fill(&dims(), 0), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_fill() {
+        let d = dims();
+        let mut last = -1.0;
+        for b in 0..=d.b_max() {
+            let e = estimate_from_fill(&d, b);
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn truncation_caps_at_b_max() {
+        let d = dims();
+        let at_cap = estimate_from_fill(&d, d.b_max());
+        assert_eq!(estimate_from_fill(&d, d.b_max() + 100), at_cap);
+        assert_eq!(estimate_from_fill(&d, d.m()), at_cap);
+        // And the cap is ~N by eq. (6).
+        assert!((at_cap / d.n_max() as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_fills_give_small_estimates() {
+        let d = dims();
+        // t_1 = C/(C−1) ≈ 1: one set bit ≈ one distinct item.
+        assert!((estimate_from_fill(&d, 1) - 1.0).abs() < 0.01);
+    }
+}

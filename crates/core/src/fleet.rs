@@ -1,0 +1,206 @@
+//! A fleet of S-bitmaps sharing one rate schedule — the deployment
+//! pattern of the paper's §7.2 (600 backbone links, one configuration).
+//!
+//! The schedule (threshold table) is a pure function of `(N, m, d)` and
+//! is by far the largest per-sketch allocation (`8m` bytes vs `m/8`
+//! bytes of bitmap). Sharing it across a fleet keeps per-key overhead at
+//! the paper's accounting: `m` bits of bitmap plus a fill counter.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
+
+use crate::counter::DistinctCounter;
+use crate::schedule::RateSchedule;
+use crate::sketch::SBitmap;
+use crate::SBitmapError;
+
+/// A keyed collection of identically-configured S-bitmaps.
+///
+/// Sketches are created lazily on first insert for a key. Each key's
+/// sketch hashes with a seed derived from `(fleet seed, key)`, so
+/// distinct keys' estimates are independent.
+#[derive(Debug, Clone)]
+pub struct SketchFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
+    schedule: Arc<RateSchedule>,
+    seed: u64,
+    sketches: HashMap<u64, SBitmap<H>>,
+}
+
+impl<H: Hasher64 + FromSeed> SketchFleet<H> {
+    /// Create an empty fleet for cardinalities in `[1, n_max]` with `m`
+    /// bits per key.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::Dimensioning::from_memory`].
+    pub fn new(n_max: u64, m: usize, seed: u64) -> Result<Self, SBitmapError> {
+        Ok(Self::with_schedule(
+            Arc::new(RateSchedule::from_memory(n_max, m)?),
+            seed,
+        ))
+    }
+
+    /// Create a fleet over an existing shared schedule.
+    pub fn with_schedule(schedule: Arc<RateSchedule>, seed: u64) -> Self {
+        Self {
+            schedule,
+            seed,
+            sketches: HashMap::new(),
+        }
+    }
+
+    /// Insert `item` into the sketch for `key` (created if absent).
+    pub fn insert_u64(&mut self, key: u64, item: u64) {
+        self.sketch_mut(key).insert_u64(item);
+    }
+
+    /// Insert a byte-string item into the sketch for `key`.
+    pub fn insert_bytes(&mut self, key: u64, item: &[u8]) {
+        self.sketch_mut(key).insert_bytes(item);
+    }
+
+    fn sketch_mut(&mut self, key: u64) -> &mut SBitmap<H> {
+        let schedule = &self.schedule;
+        let seed = self.seed;
+        self.sketches.entry(key).or_insert_with(|| {
+            let sketch_seed = sbitmap_hash::mix64(seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            SBitmap::with_shared_schedule(schedule.clone(), H::from_seed(sketch_seed))
+        })
+    }
+
+    /// Estimate for one key; `None` if the key has never been inserted.
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        self.sketches.get(&key).map(|s| s.estimate())
+    }
+
+    /// All `(key, estimate)` pairs, unordered.
+    pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.sketches.iter().map(|(&k, s)| (k, s.estimate()))
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// `true` when no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Keys whose sketches have saturated (estimates pinned near `N`) —
+    /// the operational signal to re-dimension.
+    pub fn saturated_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .sketches
+            .iter()
+            .filter(|(_, s)| s.is_saturated())
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total sketch payload across the fleet, in bits (paper accounting:
+    /// the shared schedule is configuration, not state).
+    pub fn memory_bits(&self) -> usize {
+        self.sketches.values().map(DistinctCounter::memory_bits).sum()
+    }
+
+    /// Reset every sketch, keeping keys and allocations.
+    pub fn reset_all(&mut self) {
+        for s in self.sketches.values_mut() {
+            s.reset();
+        }
+    }
+
+    /// Drop all keys.
+    pub fn clear(&mut self) {
+        self.sketches.clear();
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &Arc<RateSchedule> {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> SketchFleet {
+        SketchFleet::new(100_000, 4_000, 9).unwrap()
+    }
+
+    #[test]
+    fn lazy_creation_and_estimates() {
+        let mut f = fleet();
+        assert!(f.is_empty());
+        assert_eq!(f.estimate(3), None);
+        for i in 0..5_000u64 {
+            f.insert_u64(3, i);
+        }
+        for i in 0..500u64 {
+            f.insert_u64(8, i);
+        }
+        assert_eq!(f.len(), 2);
+        let e3 = f.estimate(3).unwrap();
+        let e8 = f.estimate(8).unwrap();
+        assert!((e3 / 5_000.0 - 1.0).abs() < 0.15, "{e3}");
+        assert!((e8 / 500.0 - 1.0).abs() < 0.2, "{e8}");
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut f = fleet();
+        // Identical items into two keys: per-key hashing differs, so the
+        // touched buckets differ, but both estimates are correct.
+        for i in 0..2_000u64 {
+            f.insert_u64(1, i);
+            f.insert_u64(2, i);
+        }
+        let e1 = f.estimate(1).unwrap();
+        let e2 = f.estimate(2).unwrap();
+        assert!((e1 / 2_000.0 - 1.0).abs() < 0.2);
+        assert!((e2 / 2_000.0 - 1.0).abs() < 0.2);
+        // With ~4.7% error, the two independent estimates almost surely
+        // differ in their low digits.
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn memory_scales_with_keys() {
+        let mut f = fleet();
+        f.insert_u64(1, 1);
+        assert_eq!(f.memory_bits(), 4_000);
+        f.insert_u64(2, 1);
+        assert_eq!(f.memory_bits(), 8_000);
+        // The schedule is shared: exactly one strong reference per fleet
+        // plus one per sketch.
+        assert!(Arc::strong_count(f.schedule()) >= 3);
+    }
+
+    #[test]
+    fn saturation_reporting() {
+        let mut f = SketchFleet::<SplitMix64Hasher>::new(1_000, 120, 1).unwrap();
+        for i in 0..10_000u64 {
+            f.insert_u64(42, i);
+        }
+        f.insert_u64(7, 1);
+        assert_eq!(f.saturated_keys(), vec![42]);
+    }
+
+    #[test]
+    fn reset_all_keeps_keys() {
+        let mut f = fleet();
+        f.insert_u64(5, 1);
+        f.reset_all();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.estimate(5), Some(0.0));
+        f.clear();
+        assert!(f.is_empty());
+    }
+}

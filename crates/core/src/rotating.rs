@@ -1,0 +1,144 @@
+//! Per-interval counting: the paper's §7.1 usage pattern (one estimate
+//! per minute) as a reusable wrapper around any [`DistinctCounter`].
+
+use crate::counter::DistinctCounter;
+
+/// Wraps a counter and produces one estimate per time interval, reusing
+/// the underlying allocation via [`DistinctCounter::reset`].
+///
+/// The S-bitmap is not mergeable and not decrementable, so interval
+/// statistics are obtained the way the paper's §7.1 does: a fresh (reset)
+/// sketch per interval. `RotatingCounter` keeps a bounded history of
+/// `(interval, estimate)` pairs for trend queries.
+#[derive(Debug, Clone)]
+pub struct RotatingCounter<C: DistinctCounter> {
+    counter: C,
+    interval: u64,
+    history: std::collections::VecDeque<(u64, f64)>,
+    history_cap: usize,
+}
+
+impl<C: DistinctCounter> RotatingCounter<C> {
+    /// Wrap `counter`, keeping at most `history_cap` closed intervals.
+    pub fn new(counter: C, history_cap: usize) -> Self {
+        Self {
+            counter,
+            interval: 0,
+            history: std::collections::VecDeque::with_capacity(history_cap.min(1024)),
+            history_cap: history_cap.max(1),
+        }
+    }
+
+    /// Insert an item into the current interval.
+    #[inline]
+    pub fn insert_u64(&mut self, item: u64) {
+        self.counter.insert_u64(item);
+    }
+
+    /// Insert a byte-string item into the current interval.
+    #[inline]
+    pub fn insert_bytes(&mut self, item: &[u8]) {
+        self.counter.insert_bytes(item);
+    }
+
+    /// Current interval's running estimate.
+    pub fn current_estimate(&self) -> f64 {
+        self.counter.estimate()
+    }
+
+    /// Index of the open interval (starts at 0).
+    pub fn current_interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Close the current interval: record its estimate, reset the
+    /// counter, advance the interval index. Returns `(interval,
+    /// estimate)` of the closed interval.
+    pub fn rotate(&mut self) -> (u64, f64) {
+        let closed = (self.interval, self.counter.estimate());
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
+        }
+        self.history.push_back(closed);
+        self.counter.reset();
+        self.interval += 1;
+        closed
+    }
+
+    /// Closed-interval history, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Median of the closed-interval estimates — a robust baseline for
+    /// anomaly detection (see the `worm_monitor` example).
+    pub fn baseline(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.history.iter().map(|&(_, e)| e).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+        Some(v[v.len() / 2])
+    }
+
+    /// Access the wrapped counter.
+    pub fn counter(&self) -> &C {
+        &self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SBitmap;
+
+    fn rotating() -> RotatingCounter<SBitmap> {
+        RotatingCounter::new(SBitmap::with_memory(100_000, 4_000, 3).unwrap(), 4)
+    }
+
+    #[test]
+    fn rotate_records_and_resets() {
+        let mut r = rotating();
+        for i in 0..1_000u64 {
+            r.insert_u64(i);
+        }
+        let (idx, est) = r.rotate();
+        assert_eq!(idx, 0);
+        assert!((est / 1_000.0 - 1.0).abs() < 0.2);
+        assert_eq!(r.current_estimate(), 0.0, "counter must reset");
+        assert_eq!(r.current_interval(), 1);
+    }
+
+    #[test]
+    fn history_is_bounded_and_ordered() {
+        let mut r = rotating();
+        for interval in 0..6u64 {
+            for i in 0..100u64 {
+                r.insert_u64(interval * 1_000 + i);
+            }
+            r.rotate();
+        }
+        let hist: Vec<(u64, f64)> = r.history().collect();
+        assert_eq!(hist.len(), 4, "capped at history_cap");
+        assert_eq!(hist[0].0, 2, "oldest retained interval");
+        assert_eq!(hist[3].0, 5);
+    }
+
+    #[test]
+    fn baseline_is_median() {
+        let mut r = rotating();
+        for (interval, n) in [(0u64, 100u64), (1, 300), (2, 200)] {
+            for i in 0..n {
+                r.insert_u64(interval << 32 | i);
+            }
+            r.rotate();
+        }
+        let b = r.baseline().unwrap();
+        assert!((b / 200.0 - 1.0).abs() < 0.25, "median-ish baseline, got {b}");
+    }
+
+    #[test]
+    fn empty_history_has_no_baseline() {
+        assert_eq!(rotating().baseline(), None);
+    }
+}

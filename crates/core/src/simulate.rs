@@ -1,0 +1,128 @@
+//! Exact fast simulation of the S-bitmap fill process via Lemma 1.
+//!
+//! Lemma 1 shows the fill times are a sum of independent geometric
+//! variables: `T_k − T_{k−1} ~ Geom(q_k)`. The observed fill after `n`
+//! distinct items is therefore `B = max{b : T_b ≤ n}`, which can be
+//! sampled in O(b_max) time instead of O(n) sketch updates — a large
+//! speedup for the replicated accuracy experiments where `n` reaches
+//! `2^20` (and where the stream content is irrelevant, only its distinct
+//! count matters).
+//!
+//! The simulation uses the *achieved* (quantized) rates from the
+//! [`RateSchedule`], so it reproduces the distribution of the real sketch
+//! under the uniform-hashing idealization; the `ablation_fastsim`
+//! experiment and the tests below check the agreement empirically.
+
+use crate::estimator;
+use crate::schedule::RateSchedule;
+use sbitmap_hash::rng::Rng;
+
+/// Sample the fill level `B` after `n` distinct items.
+pub fn simulate_fill<R: Rng>(schedule: &RateSchedule, n: u64, rng: &mut R) -> usize {
+    let b_max = schedule.dims().b_max();
+    let mut arrivals: u64 = 0;
+    for k in 1..=b_max {
+        let q = schedule.q(k);
+        debug_assert!(q > 0.0 && q <= 1.0, "q_{k} = {q} out of range");
+        arrivals = arrivals.saturating_add(rng.geometric(q));
+        if arrivals > n {
+            return k - 1;
+        }
+    }
+    // All b_max bits set within the design range: saturated.
+    b_max
+}
+
+/// Sample one S-bitmap estimate `n̂ = t_B` for a stream of `n` distinct
+/// items.
+pub fn simulate_estimate<R: Rng>(schedule: &RateSchedule, n: u64, rng: &mut R) -> f64 {
+    let b = simulate_fill(schedule, n, rng);
+    estimator::estimate_from_fill(schedule.dims(), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use sbitmap_hash::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn zero_items_zero_fill() {
+        let s = RateSchedule::from_memory(1 << 20, 4000).unwrap();
+        let mut rng = Xoshiro256StarStar::new(1);
+        assert_eq!(simulate_fill(&s, 0, &mut rng), 0);
+        assert_eq!(simulate_estimate(&s, 0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn fill_is_monotone_in_n_on_average() {
+        let s = RateSchedule::from_memory(1 << 20, 4000).unwrap();
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mean_fill = |n: u64, rng: &mut Xoshiro256StarStar| -> f64 {
+            (0..200).map(|_| simulate_fill(&s, n, rng) as f64).sum::<f64>() / 200.0
+        };
+        let f1 = mean_fill(1_000, &mut rng);
+        let f2 = mean_fill(10_000, &mut rng);
+        let f3 = mean_fill(100_000, &mut rng);
+        assert!(f1 < f2 && f2 < f3, "{f1} {f2} {f3}");
+    }
+
+    #[test]
+    fn mean_fill_matches_theory() {
+        let s = RateSchedule::from_memory(1 << 20, 4000).unwrap();
+        let mut rng = Xoshiro256StarStar::new(3);
+        let n = 50_000u64;
+        let reps = 2_000;
+        let mean: f64 =
+            (0..reps).map(|_| simulate_fill(&s, n, &mut rng) as f64).sum::<f64>() / reps as f64;
+        let expect = theory::expected_fill(s.dims(), n);
+        assert!(
+            (mean / expect - 1.0).abs() < 0.01,
+            "mean fill {mean}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_unbiased_in_simulation() {
+        // Monte-Carlo check of Theorem 3 (E n̂ = n) via the fast path.
+        let s = RateSchedule::from_memory(1 << 20, 1800).unwrap();
+        let mut rng = Xoshiro256StarStar::new(4);
+        let n = 20_000u64;
+        let reps = 5_000;
+        let mean: f64 =
+            (0..reps).map(|_| simulate_estimate(&s, n, &mut rng)).sum::<f64>() / reps as f64;
+        let eps = s.dims().epsilon();
+        // Standard error of the mean ≈ eps·n/sqrt(reps).
+        let tol = 4.0 * eps * n as f64 / (reps as f64).sqrt();
+        assert!(
+            (mean - n as f64).abs() < tol,
+            "mean estimate {mean} vs n {n} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn rrmse_matches_theory() {
+        let s = RateSchedule::from_memory(1 << 20, 4000).unwrap();
+        let eps = s.dims().epsilon();
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 65_536u64;
+        let reps = 4_000;
+        let mse: f64 = (0..reps)
+            .map(|_| (simulate_estimate(&s, n, &mut rng) / n as f64 - 1.0).powi(2))
+            .sum::<f64>()
+            / reps as f64;
+        let rrmse = mse.sqrt();
+        assert!(
+            (rrmse / eps - 1.0).abs() < 0.10,
+            "empirical rrmse {rrmse} vs theory {eps}"
+        );
+    }
+
+    #[test]
+    fn saturates_at_b_max_for_huge_n() {
+        let s = RateSchedule::from_memory(10_000, 1200).unwrap();
+        let mut rng = Xoshiro256StarStar::new(6);
+        let b = simulate_fill(&s, 10_000_000, &mut rng);
+        assert_eq!(b, s.dims().b_max());
+    }
+}

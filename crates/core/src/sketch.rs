@@ -1,0 +1,428 @@
+//! The S-bitmap sketch: Algorithm 2 of the paper.
+
+use std::sync::Arc;
+
+use sbitmap_bitvec::Bitmap;
+use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
+
+use crate::counter::DistinctCounter;
+use crate::dimensioning::Dimensioning;
+use crate::estimator;
+use crate::schedule::RateSchedule;
+use crate::SBitmapError;
+
+/// The self-learning bitmap.
+///
+/// State is exactly the paper's: an `m`-bit bitmap `V` plus the fill
+/// counter `L` (which is redundant — it equals `V`'s popcount — but keeps
+/// the update O(1)). The rate schedule and hasher are configuration, not
+/// sketch state, and can be shared across instances via
+/// [`SBitmap::with_shared_schedule`].
+///
+/// The update path per item is: one 64-bit hash, one bitmap probe, and —
+/// only when the probed bucket is empty — one integer threshold compare.
+/// This matches the paper's cost argument (§3): the sampling rate is
+/// looked up, not recomputed, and changes only when a bit is set.
+///
+/// **Not mergeable.** Two S-bitmaps over different substreams cannot be
+/// combined into the sketch of the union: whether an item was sampled
+/// depends on the sketch-local fill level at its arrival time. Use a
+/// mergeable sketch (e.g. HyperLogLog from `sbitmap-baselines`) if you
+/// need distributed unions; the price is the paper's Table 2 memory gap.
+#[derive(Debug, Clone)]
+pub struct SBitmap<H: Hasher64 = SplitMix64Hasher> {
+    bitmap: Bitmap,
+    fill: usize,
+    schedule: Arc<RateSchedule>,
+    hasher: H,
+}
+
+impl SBitmap {
+    /// Build a sketch for cardinalities in `[1, n_max]` using `m` bits of
+    /// bitmap, hashing with the default seeded hasher.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_memory`].
+    pub fn with_memory(n_max: u64, m: usize, seed: u64) -> Result<Self, SBitmapError> {
+        Self::with_memory_and_hasher(n_max, m, seed)
+    }
+
+    /// Build a sketch targeting RRMSE `epsilon` over `[1, n_max]` with the
+    /// default seeded hasher; the bitmap size is chosen by the dimensioning
+    /// rule (eq. (7)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_error`].
+    pub fn with_error(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        Self::with_error_and_hasher(n_max, epsilon, seed)
+    }
+}
+
+impl<H: Hasher64 + FromSeed> SBitmap<H> {
+    /// [`SBitmap::with_memory`] with a caller-chosen hash family.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_memory`].
+    pub fn with_memory_and_hasher(n_max: u64, m: usize, seed: u64) -> Result<Self, SBitmapError> {
+        let schedule = Arc::new(RateSchedule::from_memory(n_max, m)?);
+        Ok(Self::with_shared_schedule(schedule, H::from_seed(seed)))
+    }
+
+    /// [`SBitmap::with_error`] with a caller-chosen hash family.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_error`].
+    pub fn with_error_and_hasher(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        let schedule = Arc::new(RateSchedule::from_error(n_max, epsilon)?);
+        Ok(Self::with_shared_schedule(schedule, H::from_seed(seed)))
+    }
+}
+
+impl<H: Hasher64> SBitmap<H> {
+    /// Build a sketch over a shared schedule. A monitoring deployment with
+    /// thousands of per-link sketches of identical configuration should
+    /// build one [`RateSchedule`] and clone the `Arc`.
+    pub fn with_shared_schedule(schedule: Arc<RateSchedule>, hasher: H) -> Self {
+        Self {
+            bitmap: Bitmap::new(schedule.dims().m()),
+            fill: 0,
+            schedule,
+            hasher,
+        }
+    }
+
+    /// Feed a pre-hashed item. Returns `true` if the update set a new bit
+    /// (the event `I_t = 1` of the paper's Markov chain).
+    ///
+    /// Exposed so callers that already hash their keys (or replay hash
+    /// logs) can skip the internal hasher; [`DistinctCounter::insert_u64`]
+    /// and [`DistinctCounter::insert_bytes`] are the normal entry points.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) -> bool {
+        let (bucket, u) = self.schedule.split().split(hash);
+        if self.bitmap.get(bucket) {
+            return false; // case 1 of Fig. 1: occupied, skip
+        }
+        // Bucket empty: sample with rate p_{L+1} (case 2 of Fig. 1).
+        debug_assert!(self.fill < self.schedule.len());
+        if u < self.schedule.threshold(self.fill + 1) {
+            self.bitmap.set(bucket);
+            self.fill += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of set bits (the paper's `L`).
+    #[inline]
+    pub fn fill(&self) -> usize {
+        self.fill
+    }
+
+    /// `true` once the fill has reached the truncation point `b_max`:
+    /// estimates are pinned at ≈ `n_max` and the configured error
+    /// guarantee no longer extends to larger cardinalities.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.fill >= self.schedule.dims().b_max()
+    }
+
+    /// The schedule this sketch runs on.
+    #[inline]
+    pub fn schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
+    /// The dimensioning (`N`, `m`, `C`) this sketch was built with.
+    #[inline]
+    pub fn dims(&self) -> &Dimensioning {
+        self.schedule.dims()
+    }
+
+    /// Theoretical RRMSE of this sketch's estimates, `(C−1)^{−1/2}`.
+    #[inline]
+    pub fn theoretical_rrmse(&self) -> f64 {
+        self.schedule.dims().epsilon()
+    }
+
+    /// Estimate with a two-sided confidence interval (normal
+    /// approximation on the scale-invariant relative error; see
+    /// [`crate::theory::confidence_interval`]).
+    ///
+    /// ```
+    /// use sbitmap_core::{DistinctCounter, SBitmap};
+    /// let mut s = SBitmap::with_memory(1 << 20, 4000, 1).unwrap();
+    /// for i in 0..10_000u64 { s.insert_u64(i); }
+    /// let est = s.estimate_with_ci(0.95);
+    /// assert!(est.lo <= est.value && est.value <= est.hi);
+    /// ```
+    pub fn estimate_with_ci(&self, confidence: f64) -> crate::theory::Estimate {
+        crate::theory::confidence_interval(
+            self.schedule.dims(),
+            estimator::estimate_from_fill(self.schedule.dims(), self.fill),
+            confidence,
+        )
+    }
+
+    /// Replace the sketch state wholesale (binary-codec restore path).
+    /// The caller guarantees `fill == bitmap.count_ones()` and that the
+    /// bitmap length matches the schedule's `m`.
+    pub(crate) fn restore_state(&mut self, bitmap: Bitmap, fill: usize) {
+        debug_assert_eq!(bitmap.len(), self.schedule.dims().m());
+        debug_assert_eq!(bitmap.count_ones(), fill);
+        self.bitmap = bitmap;
+        self.fill = fill;
+    }
+
+    /// Read-only view of the bitmap (diagnostics, tests).
+    #[inline]
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// The hasher's seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.hasher.seed()
+    }
+}
+
+impl<H: Hasher64> DistinctCounter for SBitmap<H> {
+    #[inline]
+    fn insert_u64(&mut self, item: u64) {
+        self.insert_hash(self.hasher.hash_u64(item));
+    }
+
+    #[inline]
+    fn insert_bytes(&mut self, item: &[u8]) {
+        self.insert_hash(self.hasher.hash_bytes(item));
+    }
+
+    fn estimate(&self) -> f64 {
+        estimator::estimate_from_fill(self.schedule.dims(), self.fill)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.bitmap.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.bitmap.reset();
+        self.fill = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "s-bitmap"
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impl {
+    //! Serialization stores the *configuration key* `(n_max, m, d, seed)`
+    //! plus the sketch state `(bitmap, fill)`; the schedule is a pure
+    //! function of the key and is rebuilt on deserialization.
+
+    use super::*;
+    use serde::de::Error as DeError;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Repr {
+        n_max: u64,
+        m: usize,
+        sampling_bits: u32,
+        seed: u64,
+        fill: usize,
+        bitmap: Bitmap,
+    }
+
+    impl<H: Hasher64> Serialize for SBitmap<H> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            Repr {
+                n_max: self.schedule.dims().n_max(),
+                m: self.schedule.dims().m(),
+                sampling_bits: self.schedule.split().sampling_bits(),
+                seed: self.hasher.seed(),
+                fill: self.fill,
+                bitmap: self.bitmap.clone(),
+            }
+            .serialize(serializer)
+        }
+    }
+
+    impl<'de, H: Hasher64 + FromSeed> Deserialize<'de> for SBitmap<H> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let repr = Repr::deserialize(deserializer)?;
+            let dims = Dimensioning::from_memory(repr.n_max, repr.m)
+                .map_err(|e| D::Error::custom(e.to_string()))?;
+            let schedule = RateSchedule::new(dims, repr.sampling_bits)
+                .map_err(|e| D::Error::custom(e.to_string()))?;
+            if repr.bitmap.len() != repr.m {
+                return Err(D::Error::custom(format!(
+                    "bitmap length {} does not match m = {}",
+                    repr.bitmap.len(),
+                    repr.m
+                )));
+            }
+            if repr.fill != repr.bitmap.count_ones() {
+                return Err(D::Error::custom("fill counter disagrees with bitmap"));
+            }
+            Ok(Self {
+                bitmap: repr.bitmap,
+                fill: repr.fill,
+                schedule: Arc::new(schedule),
+                hasher: H::from_seed(repr.seed),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch() -> SBitmap {
+        SBitmap::with_memory(1 << 20, 4000, 7).unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = sketch();
+        assert_eq!(s.estimate(), 0.0);
+        assert_eq!(s.fill(), 0);
+        assert!(!s.is_saturated());
+    }
+
+    #[test]
+    fn duplicates_never_change_state() {
+        let mut s = sketch();
+        for i in 0..10_000u64 {
+            s.insert_u64(i);
+        }
+        let fill = s.fill();
+        let est = s.estimate();
+        // Replay the exact same items, multiple times, in different order.
+        for round in 0..3 {
+            for i in (0..10_000u64).rev() {
+                s.insert_u64(i);
+            }
+            assert_eq!(s.fill(), fill, "round {round} changed the fill");
+        }
+        assert_eq!(s.estimate(), est);
+    }
+
+    #[test]
+    fn fill_equals_bitmap_popcount() {
+        let mut s = sketch();
+        for i in 0..50_000u64 {
+            s.insert_u64(i);
+        }
+        assert_eq!(s.fill(), s.bitmap().count_ones());
+    }
+
+    #[test]
+    fn estimate_tracks_cardinality_within_tolerance() {
+        // Single replicate: allow 6 theoretical standard deviations.
+        let mut s = sketch();
+        let eps = s.theoretical_rrmse();
+        for &n in &[100u64, 1_000, 10_000, 100_000] {
+            s.reset();
+            for i in 0..n {
+                s.insert_u64(i);
+            }
+            let rel = s.estimate() / n as f64 - 1.0;
+            assert!(
+                rel.abs() < 6.0 * eps + 0.2,
+                "n={n}: relative error {rel}, eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_bytes_and_u64_are_independent_namespaces() {
+        // Same logical value through the two entry points hashes
+        // differently — callers pick one representation per stream.
+        let mut a = sketch();
+        let mut b = sketch();
+        a.insert_u64(1234);
+        b.insert_bytes(&1234u64.to_le_bytes());
+        // Both are single-item streams; estimates agree even though the
+        // touched buckets may differ.
+        assert_eq!(a.fill(), 1);
+        assert_eq!(b.fill(), 1);
+    }
+
+    #[test]
+    fn saturation_pins_estimate_near_n_max() {
+        let mut s = SBitmap::with_memory(1_000, 120, 3).unwrap();
+        for i in 0..5_000u64 {
+            s.insert_u64(i);
+        }
+        assert!(s.is_saturated());
+        let est = s.estimate();
+        assert!(
+            est <= 1_000.0 * 1.02,
+            "estimate {est} must be truncated near N"
+        );
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut s = sketch();
+        for i in 0..1000u64 {
+            s.insert_u64(i);
+        }
+        s.reset();
+        assert_eq!(s.fill(), 0);
+        assert_eq!(s.estimate(), 0.0);
+        assert_eq!(s.bitmap().count_ones(), 0);
+    }
+
+    #[test]
+    fn different_seeds_fill_different_buckets() {
+        let mut a = SBitmap::with_memory(1 << 20, 4000, 1).unwrap();
+        let mut b = SBitmap::with_memory(1 << 20, 4000, 2).unwrap();
+        for i in 0..5_000u64 {
+            a.insert_u64(i);
+            b.insert_u64(i);
+        }
+        let ones_a: Vec<usize> = a.bitmap().iter_ones().collect();
+        let ones_b: Vec<usize> = b.bitmap().iter_ones().collect();
+        assert_ne!(ones_a, ones_b);
+    }
+
+    #[test]
+    fn shared_schedule_is_actually_shared() {
+        let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 4000).unwrap());
+        let a = SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(1));
+        let _b = SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(2));
+        assert!(Arc::strong_count(&schedule) >= 3);
+        assert_eq!(a.memory_bits(), 4000);
+    }
+
+    #[test]
+    fn memory_bits_counts_only_the_bitmap() {
+        let s = sketch();
+        assert_eq!(s.memory_bits(), 4000);
+    }
+
+    #[test]
+    fn one_distinct_item_estimates_about_one() {
+        // t_1 ≈ 1 and p_1 ≈ 1, so a single item is almost surely counted.
+        let mut hits = 0;
+        for seed in 0..200 {
+            let mut s = SBitmap::with_memory(1 << 20, 4000, seed).unwrap();
+            s.insert_u64(42);
+            if s.fill() == 1 {
+                hits += 1;
+            }
+        }
+        // p_1 = (C−1)/C ≈ 0.9989 — allow a couple of misses.
+        assert!(hits >= 195, "only {hits}/200 single items were sampled");
+    }
+}

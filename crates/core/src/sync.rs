@@ -1,0 +1,143 @@
+//! Shared-handle counting for multi-threaded ingestion.
+//!
+//! The S-bitmap update is inherently sequential — the sampling decision
+//! for an item depends on the current fill `L` — so the sketch cannot be
+//! updated lock-free without changing its distribution. [`SharedCounter`]
+//! is the honest primitive: a cloneable handle around a mutex-guarded
+//! counter, with a batched insert path that amortizes the lock to one
+//! acquisition per buffer. For embarrassingly parallel *replicated*
+//! work, prefer independent sketches per thread (the experiment harness
+//! does); for a single logical stream fanned across threads (e.g. an
+//! RSS-spread NIC feeding one per-link counter), use this.
+
+use std::sync::{Arc, Mutex};
+
+use crate::counter::DistinctCounter;
+
+/// A cloneable, thread-safe handle to a distinct counter.
+#[derive(Debug, Default)]
+pub struct SharedCounter<C: DistinctCounter> {
+    inner: Arc<Mutex<C>>,
+}
+
+impl<C: DistinctCounter> Clone for SharedCounter<C> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<C: DistinctCounter> SharedCounter<C> {
+    /// Wrap a counter.
+    pub fn new(counter: C) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(counter)),
+        }
+    }
+
+    /// Insert one item (one lock acquisition).
+    pub fn insert_u64(&self, item: u64) {
+        self.lock().insert_u64(item);
+    }
+
+    /// Insert a batch under a single lock acquisition — the intended
+    /// high-throughput path (buffer a few thousand items per thread,
+    /// then flush).
+    pub fn insert_batch(&self, items: &[u64]) {
+        let mut guard = self.lock();
+        for &item in items {
+            guard.insert_u64(item);
+        }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> f64 {
+        self.lock().estimate()
+    }
+
+    /// Sketch payload in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.lock().memory_bits()
+    }
+
+    /// Reset the underlying counter.
+    pub fn reset(&self) {
+        self.lock().reset();
+    }
+
+    /// Run a closure against the locked counter (for sketch-specific
+    /// accessors like `SBitmap::fill`).
+    pub fn with<R>(&self, f: impl FnOnce(&C) -> R) -> R {
+        f(&self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, C> {
+        // A poisoned mutex means another thread panicked mid-insert; the
+        // bitmap itself is still structurally valid (single bit writes),
+        // so recover rather than propagate.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SBitmap;
+
+    #[test]
+    fn concurrent_ingestion_counts_every_item() {
+        let counter = SharedCounter::new(SBitmap::with_memory(1_000_000, 8_000, 3).unwrap());
+        let threads = 8;
+        let per_thread = 25_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let handle = counter.clone();
+                scope.spawn(move || {
+                    let base = t * per_thread;
+                    let mut buf = Vec::with_capacity(1024);
+                    for i in 0..per_thread {
+                        buf.push(base + i);
+                        if buf.len() == 1024 {
+                            handle.insert_batch(&buf);
+                            buf.clear();
+                        }
+                    }
+                    handle.insert_batch(&buf);
+                });
+            }
+        });
+        let n = f64::from(threads) * per_thread as f64;
+        let rel = counter.estimate() / n - 1.0;
+        assert!(rel.abs() < 0.10, "rel {rel}");
+    }
+
+    #[test]
+    fn overlapping_threads_deduplicate() {
+        // All threads insert the SAME items: the union is still 10k.
+        let counter = SharedCounter::new(SBitmap::with_memory(100_000, 4_000, 5).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = counter.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        handle.insert_u64(i);
+                    }
+                });
+            }
+        });
+        let rel = counter.estimate() / 10_000.0 - 1.0;
+        assert!(rel.abs() < 0.15, "rel {rel}");
+    }
+
+    #[test]
+    fn with_exposes_sketch_accessors() {
+        let counter = SharedCounter::new(SBitmap::with_memory(100_000, 4_000, 5).unwrap());
+        counter.insert_u64(1);
+        let fill = counter.with(|s| s.fill());
+        assert!(fill <= 1);
+        assert_eq!(counter.memory_bits(), 4_000);
+        counter.reset();
+        assert_eq!(counter.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Closed-form quantities from §4–§5 of the paper: the expectation and
+//! variance of the fill-time process `T_b`, and the theoretical RRMSE.
+//!
+//! These are used by the estimator (`n̂ = t_B`), by the experiment harness
+//! (Figure 2 plots empirical against theoretical error), and by the tests
+//! (the identities of Theorem 2 are verified numerically against the
+//! recurrences they were derived from).
+
+use crate::dimensioning::Dimensioning;
+
+/// `q_k = (1 + 1/C)·r^k` — the success probability of fill step `k`
+/// under the idealized (un-clamped, un-quantized) schedule.
+#[inline]
+pub fn q(dims: &Dimensioning, k: usize) -> f64 {
+    (1.0 + 1.0 / dims.c()) * dims.r().powi(k as i32)
+}
+
+/// `t_b = E[T_b] = (C/2)(r^{−b} − 1)` — the expected number of distinct
+/// items needed to set `b` bits (Theorem 2). `t_0 = 0`.
+#[inline]
+pub fn t(dims: &Dimensioning, b: usize) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    // r^{-b} = exp(-b ln r); ln r is computed via ln_1p for accuracy when
+    // C is large (r close to 1).
+    let ln_r = (-2.0 / (dims.c() + 1.0)).ln_1p();
+    dims.c() / 2.0 * ((-(b as f64) * ln_r).exp() - 1.0)
+}
+
+/// `var(T_b) = Σ_{k≤b} (1 − q_k)/q_k²` (Lemma 1). Under the dimensioning
+/// rule this equals `t_b²/C` (the invariance (3) that Theorem 2 enforces).
+pub fn var_t(dims: &Dimensioning, b: usize) -> f64 {
+    (1..=b).map(|k| (1.0 - q(dims, k)) / (q(dims, k) * q(dims, k))).sum()
+}
+
+/// Theoretical scale-invariant RRMSE of the S-bitmap estimator,
+/// `(C − 1)^{−1/2}` (Theorem 3).
+#[inline]
+pub fn rrmse(dims: &Dimensioning) -> f64 {
+    dims.epsilon()
+}
+
+/// The expected number of set bits after `n` distinct items, i.e. the
+/// `b` with `t_b ≈ n`: `b(n) = ln(1 + 2n/C) / ln(1/r)` (inverse of `t`).
+pub fn expected_fill(dims: &Dimensioning, n: u64) -> f64 {
+    let ln_r = (-2.0 / (dims.c() + 1.0)).ln_1p();
+    ((1.0 + 2.0 * n as f64 / dims.c()).ln() / -ln_r).min(dims.b_max() as f64)
+}
+
+/// Exact probability mass function of the fill level `L_n` after `n`
+/// distinct items, computed by forward recursion over Theorem 1's
+/// Markov chain with the idealized rates `q_k`:
+///
+/// ```text
+/// P(L_{t+1} = b) = P(L_t = b)·(1 − q_{b+1}) + P(L_t = b−1)·q_b
+/// ```
+///
+/// Runs in `O(n · E[L_n])` by tracking only the support. Returns the PMF
+/// over `b = 0..len`. This gives *exact* (to floating point) checks of
+/// the paper's Theorem 3 — `Σ_b t_b·P(L_n = b) = n` — where simulation
+/// could only check to Monte-Carlo noise; the identity test lives in this
+/// module's test suite.
+///
+/// Intended for validation at small/medium `n` (cost is ~`n · b_max`
+/// multiply-adds); the experiments use [`crate::simulate`] at scale.
+pub fn fill_pmf(dims: &Dimensioning, n: u64) -> Vec<f64> {
+    let b_cap = dims.b_max();
+    // pmf[b] = P(L_t = b); support grows by at most 1 per step.
+    let mut pmf = vec![0.0f64; 1];
+    pmf[0] = 1.0;
+    // Precompute q_k for k = 1..=b_cap.
+    let qs: Vec<f64> = (1..=b_cap).map(|k| q(dims, k)).collect();
+    for _ in 0..n {
+        let hi = pmf.len().min(b_cap); // L cannot exceed b_cap here
+        if pmf.len() < b_cap + 1 {
+            pmf.push(0.0);
+        }
+        // Walk downward so each step reads the previous time's values.
+        for b in (0..=hi).rev() {
+            let stay = if b < b_cap { 1.0 - qs[b] } else { 1.0 };
+            let from_below = if b > 0 { pmf[b - 1] * qs[b - 1] } else { 0.0 };
+            pmf[b] = pmf[b] * stay + from_below;
+        }
+        // Trim numerically-dead tail growth to keep the loop O(E[L]).
+        while pmf.len() > 1 && *pmf.last().expect("non-empty") == 0.0 {
+            pmf.pop();
+        }
+    }
+    pmf
+}
+
+/// Exact RRMSE of the (untruncated) estimator at cardinality `n`,
+/// computed from [`fill_pmf`]: `sqrt(Σ_b (t_b/n − 1)²·P(L_n = b))`.
+pub fn exact_rrmse(dims: &Dimensioning, n: u64) -> f64 {
+    assert!(n > 0, "cardinality must be positive");
+    let pmf = fill_pmf(dims, n);
+    let mut mse = 0.0;
+    for (b, &p) in pmf.iter().enumerate() {
+        let rel = t(dims, b) / n as f64 - 1.0;
+        mse += rel * rel * p;
+    }
+    mse.sqrt()
+}
+
+/// Two-sided normal critical value for a given confidence level, via
+/// Winitzki's inverse-erf approximation (absolute error < 5e-3 on the
+/// levels used for intervals). `confidence ∈ (0, 1)`, e.g. `0.95 → 1.96`.
+pub fn z_score(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    std::f64::consts::SQRT_2 * erf_inv(confidence)
+}
+
+fn erf_inv(x: f64) -> f64 {
+    // Winitzki (2008): erf^{-1}(x) ≈ sgn(x)·sqrt(sqrt(t² − l/a) − t),
+    // t = 2/(πa) + l/2, l = ln(1 − x²), a ≈ 0.147.
+    const A: f64 = 0.147;
+    let l = (1.0 - x * x).ln();
+    let t = 2.0 / (std::f64::consts::PI * A) + l / 2.0;
+    x.signum() * ((t * t - l / A).sqrt() - t).sqrt()
+}
+
+/// A cardinality estimate with a normal-approximation confidence
+/// interval derived from the scale-invariant RRMSE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate `n̂ = t_B` (unbiased, Theorem 3).
+    pub value: f64,
+    /// Lower end of the interval (clamped at 0).
+    pub lo: f64,
+    /// Upper end of the interval.
+    pub hi: f64,
+    /// The confidence level the interval was built for.
+    pub confidence: f64,
+}
+
+/// Attach a two-sided confidence interval to an estimate. Because the
+/// relative error is the scale-invariant constant `ε = (C−1)^{−1/2}`
+/// (Theorem 3), the interval is simply `n̂·(1 ± z·ε)` — no per-estimate
+/// variance bookkeeping is needed, which is itself a consequence of the
+/// paper's headline property.
+pub fn confidence_interval(dims: &Dimensioning, value: f64, confidence: f64) -> Estimate {
+    let z = z_score(confidence);
+    let eps = dims.epsilon();
+    Estimate {
+        value,
+        lo: (value * (1.0 - z * eps)).max(0.0),
+        hi: value * (1.0 + z * eps),
+        confidence,
+    }
+}
+
+/// Memory rule of §5.1 for the *log-counting family* (for the asymptotic
+/// comparison in the paper): S-bitmap wins against HyperLogLog when
+/// `ε < sqrt((log N)^η / (2eN))` with `η ≈ 3.1206`.
+pub fn hll_crossover_epsilon(n_max: u64) -> f64 {
+    const ETA: f64 = 3.1206;
+    let n = n_max as f64;
+    ((n.log2()).powf(ETA) / (2.0 * std::f64::consts::E * n)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dimensioning {
+        Dimensioning::from_memory(1 << 20, 4000).unwrap()
+    }
+
+    #[test]
+    fn t_matches_sum_of_inverse_q() {
+        // Theorem 2 derives the closed form from t_b = Σ 1/q_k; verify.
+        let d = dims();
+        for &b in &[1usize, 10, 100, 1000, d.b_max()] {
+            let direct: f64 = (1..=b).map(|k| 1.0 / q(&d, k)).sum();
+            let closed = t(&d, b);
+            assert!(
+                (direct / closed - 1.0).abs() < 1e-9,
+                "b={b}: sum {direct} vs closed form {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn t1_is_c_over_c_minus_1() {
+        let d = dims();
+        let expect = d.c() / (d.c() - 1.0);
+        assert!((t(&d, 1) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_identity_of_theorem_2() {
+        // var(T_b) = t_b² / C — the relative-error invariance.
+        let d = dims();
+        for &b in &[1usize, 50, 500, 2000, d.b_max()] {
+            let v = var_t(&d, b);
+            let expect = t(&d, b).powi(2) / d.c();
+            assert!(
+                (v / expect - 1.0).abs() < 1e-6,
+                "b={b}: var {v} vs t_b^2/C {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_of_t_b_is_constant() {
+        // sqrt(var)/mean = C^{-1/2} for every b — equation (4).
+        let d = dims();
+        let target = d.c().powf(-0.5);
+        for &b in &[1usize, 10, 100, 1000, 3000] {
+            let re = var_t(&d, b).sqrt() / t(&d, b);
+            assert!((re - target).abs() < 1e-8, "b={b}: Re = {re}, want {target}");
+        }
+    }
+
+    #[test]
+    fn t_at_b_max_reaches_n_max() {
+        // Equation (6): the schedule is dimensioned so t_{m−C/2} = N.
+        let d = dims();
+        let reach = t(&d, d.b_max());
+        let n = d.n_max() as f64;
+        assert!(
+            (reach / n - 1.0).abs() < 0.01,
+            "t(b_max) = {reach}, N = {n}"
+        );
+    }
+
+    #[test]
+    fn t_is_strictly_increasing() {
+        let d = dims();
+        let mut last = 0.0;
+        for b in 1..=d.b_max() {
+            let v = t(&d, b);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn expected_fill_inverts_t() {
+        let d = dims();
+        for &b in &[10usize, 100, 1000] {
+            let n = t(&d, b);
+            let fill = expected_fill(&d, n.round() as u64);
+            // Rounding n to an integer can shift the inverse by < 1 bit.
+            assert!((fill - b as f64).abs() < 0.5, "b={b} fill={fill}");
+        }
+    }
+
+    #[test]
+    fn fill_pmf_is_a_distribution() {
+        let d = Dimensioning::from_memory(100_000, 1500).unwrap();
+        for &n in &[1u64, 10, 500, 5_000] {
+            let pmf = fill_pmf(&d, n);
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}: mass {total}");
+            assert!(pmf.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn theorem_3_unbiasedness_exact() {
+        // E[t_B] = n to floating-point precision — the martingale
+        // identity, checked against the exact chain rather than by
+        // simulation.
+        let d = Dimensioning::from_memory(100_000, 1500).unwrap();
+        for &n in &[1u64, 7, 100, 2_000, 10_000] {
+            let pmf = fill_pmf(&d, n);
+            let mean: f64 = pmf.iter().enumerate().map(|(b, &p)| t(&d, b) * p).sum();
+            assert!(
+                (mean / n as f64 - 1.0).abs() < 1e-8,
+                "n={n}: E[t_B] = {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_rrmse_exact() {
+        // RRMSE(n̂) = (C−1)^{−1/2} for every n — the scale-invariance
+        // theorem, verified exactly across two orders of magnitude.
+        let d = Dimensioning::from_memory(100_000, 1500).unwrap();
+        let target = (d.c() - 1.0).powf(-0.5);
+        for &n in &[10u64, 100, 1_000, 10_000] {
+            let e = exact_rrmse(&d, n);
+            assert!(
+                (e / target - 1.0).abs() < 1e-6,
+                "n={n}: exact rrmse {e} vs theory {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_mode_tracks_expected_fill() {
+        let d = Dimensioning::from_memory(100_000, 1500).unwrap();
+        let n = 5_000u64;
+        let pmf = fill_pmf(&d, n);
+        let mode = pmf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(b, _)| b)
+            .unwrap();
+        let expect = expected_fill(&d, n);
+        assert!(
+            (mode as f64 - expect).abs() < 3.0,
+            "mode {mode} vs expected fill {expect}"
+        );
+    }
+
+    #[test]
+    fn z_scores_match_tables() {
+        for (conf, expect, tol) in [
+            (0.6827, 1.0, 0.01),
+            (0.90, 1.6449, 0.01),
+            (0.95, 1.9600, 0.01),
+            (0.99, 2.5758, 0.02),
+        ] {
+            let z = z_score(conf);
+            assert!((z - expect).abs() < tol, "conf {conf}: z {z}, expect {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn z_score_rejects_bad_level() {
+        z_score(1.0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_truth_at_nominal_rate() {
+        // The interval is n(1 ± z eps); by construction it covers the
+        // truth whenever |rel err| < z eps. Check structure only.
+        let d = dims();
+        let est = confidence_interval(&d, 10_000.0, 0.95);
+        assert!(est.lo < est.value && est.value < est.hi);
+        let half_width = (est.hi - est.lo) / 2.0 / est.value;
+        assert!((half_width - 1.96 * d.epsilon()).abs() < 0.01 * d.epsilon());
+        // Tiny estimates clamp at zero instead of going negative.
+        let tiny = confidence_interval(&d, 0.5, 0.9999);
+        assert!(tiny.lo >= 0.0);
+    }
+
+    #[test]
+    fn crossover_epsilon_is_sane() {
+        // At N = 1e6 the paper's asymptotic crossover is a small epsilon.
+        let e = hll_crossover_epsilon(1_000_000);
+        assert!(e > 0.0 && e < 0.2, "crossover = {e}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's ablations output. See sbitmap-experiments docs.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::ablations::main_with(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Figure 4 (RRMSE vs n, four algorithms).
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::fig4::main_with(&cfg);
+}

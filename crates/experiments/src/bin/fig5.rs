@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig5 output. See sbitmap-experiments docs.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::fig5::main_with(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig7 output. See sbitmap-experiments docs.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::fig7::main_with(&cfg);
+}

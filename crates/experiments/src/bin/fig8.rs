@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig8 output. See sbitmap-experiments docs.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::fig8::main_with(&cfg);
+}

@@ -1,0 +1,20 @@
+//! Run every table and figure of the paper in sequence, writing CSVs to
+//! `results/`. `--reps N` / `--full` control the replicate count.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    let t0 = std::time::Instant::now();
+    println!("=== S-bitmap reproduction: all tables and figures ===");
+    println!("replicates per cell: {} (paper: 1000; use --full)\n", cfg.replicates);
+    sbitmap_experiments::fig2::main_with(&cfg);
+    sbitmap_experiments::table2::main_with(&cfg);
+    sbitmap_experiments::fig3::main_with(&cfg);
+    sbitmap_experiments::fig4::main_with(&cfg);
+    sbitmap_experiments::table34::main_table3(&cfg);
+    sbitmap_experiments::table34::main_table4(&cfg);
+    sbitmap_experiments::fig5::main_with(&cfg);
+    sbitmap_experiments::fig6::main_with(&cfg);
+    sbitmap_experiments::fig7::main_with(&cfg);
+    sbitmap_experiments::fig8::main_with(&cfg);
+    sbitmap_experiments::ablations::main_with(&cfg);
+    println!("=== done in {:.1}s ===", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table2 output. See sbitmap-experiments docs.
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::table2::main_with(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table 3 (N = 1e4, m = 2700).
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::table34::main_table3(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table 4 (N = 1e6, m = 6720).
+fn main() {
+    let cfg = sbitmap_experiments::RunConfig::from_env();
+    sbitmap_experiments::table34::main_table4(&cfg);
+}

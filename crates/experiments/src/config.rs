@@ -1,0 +1,90 @@
+//! Run configuration shared by all experiment binaries.
+
+/// How many replicates to run and where to write CSVs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Replicates per experiment cell (the paper uses 1000).
+    pub replicates: usize,
+    /// Output directory for CSV artifacts (`results/` by default).
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            replicates: 200,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Build from the process environment and CLI arguments:
+    /// `--reps N` / `SBITMAP_REPS=N` set the replicate count;
+    /// `--full` is shorthand for the paper's 1000 replicates;
+    /// `--out DIR` / `SBITMAP_OUT=DIR` set the artifact directory.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("SBITMAP_REPS") {
+            if let Ok(n) = v.parse() {
+                cfg.replicates = n;
+            }
+        }
+        if let Ok(v) = std::env::var("SBITMAP_OUT") {
+            cfg.out_dir = v.into();
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--reps" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.replicates = v;
+                    }
+                    i += 1;
+                }
+                "--full" => cfg.replicates = 1000,
+                "--out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        cfg.out_dir = v.into();
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        cfg.replicates = cfg.replicates.max(1);
+        cfg
+    }
+
+    /// Ensure the output directory exists and return the path for `name`.
+    pub fn csv_path(&self, name: &str) -> std::path::PathBuf {
+        std::fs::create_dir_all(&self.out_dir).ok();
+        self.out_dir.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = RunConfig::default();
+        assert_eq!(c.replicates, 200);
+        assert_eq!(c.out_dir, std::path::PathBuf::from("results"));
+    }
+
+    #[test]
+    fn csv_path_joins() {
+        let c = RunConfig {
+            out_dir: std::env::temp_dir().join("sbitmap-test-results"),
+            ..Default::default()
+        };
+        let p = c.csv_path("x.csv");
+        assert!(p.ends_with("sbitmap-test-results/x.csv"));
+        assert!(c.out_dir.exists());
+        std::fs::remove_dir_all(&c.out_dir).ok();
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 2: empirical vs theoretical RRMSE of the S-bitmap across the
+//! whole cardinality range (the scale-invariance validation).
+//!
+//! Configuration (paper §6.1): `N = 2^20`; `m = 4000` bits (C ≈ 915.6,
+//! ε ≈ 3.3%) and `m = 1800` bits (C ≈ 373.7, ε ≈ 5.2%); cardinalities at
+//! powers of two; 1000 replicates (paper) / `cfg.replicates` (here).
+
+use crate::config::RunConfig;
+use crate::fmt::{pct, Table};
+use crate::runner::{accuracy, sbitmap_maker};
+use sbitmap_core::Dimensioning;
+
+/// The paper's design range `N = 2^20`.
+pub const N_MAX: u64 = 1 << 20;
+/// The two memory configurations of §6.1.
+pub const MEMORY_CONFIGS: [usize; 2] = [4000, 1800];
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// True cardinality.
+    pub n: u64,
+    /// Bitmap bits.
+    pub m: usize,
+    /// Empirical RRMSE.
+    pub rrmse: f64,
+    /// Theoretical RRMSE `(C−1)^{−1/2}`.
+    pub theory: f64,
+}
+
+/// Run the experiment, returning all cells.
+pub fn run(cfg: &RunConfig) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (ci, &m) in MEMORY_CONFIGS.iter().enumerate() {
+        let dims = Dimensioning::from_memory(N_MAX, m).expect("paper config must dimension");
+        let maker = sbitmap_maker(N_MAX, m).expect("paper config must build");
+        for k in 2..=20u32 {
+            let n = 1u64 << k;
+            let salt = (ci as u64) << 32 | u64::from(k);
+            let stats = accuracy(cfg.replicates, n, salt ^ 0xf162, &maker);
+            cells.push(Cell {
+                n,
+                m,
+                rrmse: stats.rrmse(),
+                theory: dims.epsilon(),
+            });
+        }
+    }
+    cells
+}
+
+/// Render the cells as the figure's table (one row per cardinality).
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Figure 2: empirical vs theoretical RRMSE of S-bitmap (%, N = 2^20)",
+        &[
+            "n",
+            "rrmse(m=4000)",
+            "theory(3.3)",
+            "rrmse(m=1800)",
+            "theory(5.2)",
+        ],
+    );
+    let (a, b): (Vec<&Cell>, Vec<&Cell>) = cells.iter().partition(|c| c.m == MEMORY_CONFIGS[0]);
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(ca.n, cb.n);
+        t.row(vec![
+            ca.n.to_string(),
+            pct(ca.rrmse, 2),
+            pct(ca.theory, 2),
+            pct(cb.rrmse, 2),
+            pct(cb.theory, 2),
+        ]);
+    }
+    t
+}
+
+/// ASCII rendition of the figure: empirical RRMSE per memory config
+/// against the two theoretical constants.
+pub fn chart(cells: &[Cell]) -> String {
+    let series: Vec<crate::plot::Series> = MEMORY_CONFIGS
+        .iter()
+        .map(|&m| {
+            crate::plot::Series::new(
+                format!("m={m}"),
+                cells
+                    .iter()
+                    .filter(|c| c.m == m)
+                    .map(|c| (c.n as f64, c.rrmse * 100.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    crate::plot::render(
+        "Figure 2 (ASCII): RRMSE (%) vs n — flat lines = scale-invariance",
+        &series,
+        64,
+        12,
+        true,
+        None,
+    )
+}
+
+/// Entry point used by the `fig2` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let cells = run(cfg);
+    let t = table(&cells);
+    t.print();
+    println!("{}", chart(&cells));
+    let path = cfg.csv_path("fig2.csv");
+    t.write_csv(&path).expect("write fig2.csv");
+    println!("wrote {}\n", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_matches_theory_shape() {
+        // A cheap smoke run: 40 replicates, both configs; every cell's
+        // empirical error must be within 50% of its theoretical value
+        // (the full run in EXPERIMENTS.md uses 1000 replicates).
+        let cfg = RunConfig {
+            replicates: 40,
+            out_dir: std::env::temp_dir(),
+        };
+        let cells = run(&cfg);
+        assert_eq!(cells.len(), 2 * 19);
+        for c in &cells {
+            assert!(
+                (c.rrmse / c.theory) < 1.8 && (c.rrmse / c.theory) > 0.4,
+                "n={} m={}: rrmse {} vs theory {}",
+                c.n,
+                c.m,
+                c.rrmse,
+                c.theory
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 3: contour of the memory ratio Hyper-LogLog / S-bitmap over the
+//! `(ε, N)` plane, including the ratio-1 crossover line.
+//!
+//! The paper plots ε from 0.5% to 128% (log2-spaced) against N from 10^3
+//! to 10^7; a text rendering prints the ratio grid plus, per N, the
+//! crossover ε* where both methods cost the same (the circles-and-'1'
+//! contour of the figure).
+
+use crate::config::RunConfig;
+use crate::fmt::{f, pct, Table};
+use sbitmap_baselines::memory_model::hll_over_sbitmap;
+
+/// The ε grid (log2-spaced from 0.5% to 128%, as on the figure's x-axis).
+pub fn epsilon_grid() -> Vec<f64> {
+    (0..9).map(|i| 0.005 * 2f64.powi(i)).collect()
+}
+
+/// The N grid (decades 10^3 … 10^7, as on the figure's y-axis).
+pub const N_GRID: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// The crossover accuracy ε* at which HLL and S-bitmap cost the same
+/// memory for range `N` (finer ε favours the S-bitmap). Found by
+/// bisection; the ratio is monotone decreasing in ε.
+pub fn crossover_epsilon(n: u64) -> f64 {
+    let (mut lo, mut hi): (f64, f64) = (1e-4, 4.0);
+    for _ in 0..100 {
+        let mid = (lo * hi).sqrt();
+        if hll_over_sbitmap(n, mid) > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Render the ratio grid.
+pub fn grid_table() -> Table {
+    let eps = epsilon_grid();
+    let mut headers: Vec<String> = vec!["N \\ eps".to_string()];
+    headers.extend(eps.iter().map(|e| format!("{}%", pct(*e, 1))));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 3: memory ratio HLL / S-bitmap (values > 1: S-bitmap smaller)",
+        &header_refs,
+    );
+    for &n in &N_GRID {
+        let mut row = vec![format!("1e{}", (n as f64).log10().round() as u32)];
+        for &e in &eps {
+            row.push(f(hll_over_sbitmap(n, e), 2));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Render the crossover line (the figure's '1' contour).
+pub fn crossover_table() -> Table {
+    let mut t = Table::new(
+        "Figure 3 contour: crossover eps* where HLL and S-bitmap cost the same",
+        &["N", "eps* (%)", "S-bitmap wins for eps <"],
+    );
+    for &n in &N_GRID {
+        let e = crossover_epsilon(n);
+        t.row(vec![
+            format!("1e{}", (n as f64).log10().round() as u32),
+            pct(e, 2),
+            format!("{}%", pct(e, 2)),
+        ]);
+    }
+    t
+}
+
+/// Entry point used by the `fig3` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let g = grid_table();
+    g.print();
+    let c = crossover_table();
+    c.print();
+    g.write_csv(&cfg.csv_path("fig3_grid.csv")).expect("write fig3_grid.csv");
+    c.write_csv(&cfg.csv_path("fig3_crossover.csv")).expect("write fig3_crossover.csv");
+    println!("wrote {}/fig3_grid.csv, fig3_crossover.csv\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_monotone_down_in_n() {
+        // Larger ranges shrink the S-bitmap's advantage region.
+        let mut last = f64::INFINITY;
+        for &n in &N_GRID {
+            let e = crossover_epsilon(n);
+            assert!(e < last, "crossover not decreasing at N={n}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn crossover_brackets_ratio_one() {
+        for &n in &N_GRID {
+            let e = crossover_epsilon(n);
+            assert!(hll_over_sbitmap(n, e * 0.9) > 1.0);
+            assert!(hll_over_sbitmap(n, e * 1.1) < 1.0);
+        }
+    }
+
+    #[test]
+    fn grid_has_both_regions() {
+        // The paper's point: the plane is split — fine eps → ratio > 1,
+        // coarse eps at large N → ratio < 1.
+        assert!(hll_over_sbitmap(1_000, 0.005) > 2.0);
+        assert!(hll_over_sbitmap(10_000_000, 0.64) < 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 4: RRMSE vs cardinality for mr-bitmap, LogLog, Hyper-LogLog and
+//! S-bitmap under equal memory budgets.
+//!
+//! Configuration (paper §6.2): `N = 2^20`, budgets `m ∈ {40000, 3200,
+//! 800}` bits (the running text; the figure's middle-panel label reads
+//! `m = 7200` — we run the text's 3200 and note the discrepancy in
+//! EXPERIMENTS.md), cardinalities from 10 to 10^6, 1000 replicates
+//! (paper) / `cfg.replicates` (here).
+//!
+//! The paper's qualitative claims to reproduce: the S-bitmap curve is
+//! flat (scale-invariant); mr-bitmap beats the loglog family at small `n`
+//! under the big budget but degrades at large `n`; Hyper-LogLog's error
+//! wanders with `n`; S-bitmap wins beyond a few thousand distinct items.
+
+use crate::config::RunConfig;
+use crate::fmt::{pct, Table};
+use crate::runner::{accuracy, Algo};
+use sbitmap_core::Dimensioning;
+
+/// Design range.
+pub const N_MAX: u64 = 1 << 20;
+/// Memory budgets from the running text of §6.2.
+pub const MEMORY_CONFIGS: [usize; 3] = [40_000, 3_200, 800];
+
+/// Cardinality grid: powers of four from 16 to 2^20, plus the endpoints
+/// 10 and 10^6 the text quotes.
+pub fn cardinality_grid() -> Vec<u64> {
+    let mut v = vec![10];
+    v.extend((2..=10).map(|k| 1u64 << (2 * k)));
+    v.push(1_000_000);
+    v
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Memory budget in bits.
+    pub m: usize,
+    /// Algorithm.
+    pub algo: Algo,
+    /// True cardinality.
+    pub n: u64,
+    /// Empirical RRMSE.
+    pub rrmse: f64,
+}
+
+/// Run the full sweep.
+pub fn run(cfg: &RunConfig) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (mi, &m) in MEMORY_CONFIGS.iter().enumerate() {
+        for (ai, &algo) in Algo::ALL.iter().enumerate() {
+            for (ni, &n) in cardinality_grid().iter().enumerate() {
+                let salt = 0xf164_0000u64 ^ ((mi as u64) << 24) ^ ((ai as u64) << 16) ^ ni as u64;
+                let stats = accuracy(cfg.replicates, n, salt, |seed| {
+                    algo.build(m, N_MAX, seed).expect("fig4 configs must build")
+                });
+                cells.push(Cell {
+                    m,
+                    algo,
+                    n,
+                    rrmse: stats.rrmse(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Render one panel (one memory budget) as a table.
+pub fn panel_table(cells: &[Cell], m: usize) -> Table {
+    let dims = Dimensioning::from_memory(N_MAX, m).expect("config dimensioned");
+    let mut t = Table::new(
+        format!(
+            "Figure 4 (m = {m} bits): RRMSE (%) vs n   [S-bitmap theory: {}%]",
+            pct(dims.epsilon(), 2)
+        ),
+        &["n", "S-bitmap", "mr-bitmap", "LLog", "HLLog"],
+    );
+    for &n in &cardinality_grid() {
+        let cell = |algo: Algo| -> String {
+            cells
+                .iter()
+                .find(|c| c.m == m && c.algo == algo && c.n == n)
+                .map_or("-".into(), |c| pct(c.rrmse, 2))
+        };
+        t.row(vec![
+            n.to_string(),
+            cell(Algo::SBitmap),
+            cell(Algo::MrBitmap),
+            cell(Algo::LogLog),
+            cell(Algo::HyperLogLog),
+        ]);
+    }
+    t
+}
+
+/// ASCII rendition of one panel, y clipped at 3x the S-bitmap theory so
+/// LogLog's small-n explosion doesn't flatten everything else.
+pub fn chart(cells: &[Cell], m: usize) -> String {
+    let dims = Dimensioning::from_memory(N_MAX, m).expect("config dimensioned");
+    let series: Vec<crate::plot::Series> = Algo::ALL
+        .iter()
+        .map(|&algo| {
+            crate::plot::Series::new(
+                algo.label(),
+                cells
+                    .iter()
+                    .filter(|c| c.m == m && c.algo == algo)
+                    .map(|c| (c.n as f64, c.rrmse * 100.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    crate::plot::render(
+        &format!("Figure 4 (ASCII, m = {m}): RRMSE (%) vs n"),
+        &series,
+        64,
+        12,
+        true,
+        Some(3.0 * dims.epsilon() * 100.0),
+    )
+}
+
+/// Entry point used by the `fig4` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let cells = run(cfg);
+    for &m in &MEMORY_CONFIGS {
+        let t = panel_table(&cells, m);
+        t.print();
+        println!("{}", chart(&cells, m));
+        t.write_csv(&cfg.csv_path(&format!("fig4_m{m}.csv")))
+            .expect("write fig4 csv");
+    }
+    println!("wrote {}/fig4_m*.csv\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbitmap_flat_and_winning_at_scale_smoke() {
+        // Tiny smoke version of the headline claims, m = 3200 only.
+        let reps = 60;
+        let m = 3_200;
+        let grid = [1_024u64, 65_536, 1_000_000];
+        let rrmse = |algo: Algo, n: u64| {
+            accuracy(reps, n, 0x55 ^ n, |seed| algo.build(m, N_MAX, seed).unwrap()).rrmse()
+        };
+        let dims = Dimensioning::from_memory(N_MAX, m).unwrap();
+        for &n in &grid {
+            let s = rrmse(Algo::SBitmap, n);
+            assert!(
+                (s / dims.epsilon()) < 1.6,
+                "S-bitmap not flat at n={n}: {s} vs {}",
+                dims.epsilon()
+            );
+        }
+        // At one million, S-bitmap beats both loglog variants (paper:
+        // "S-bitmap performs better than all competitors for
+        // cardinalities greater than 1,000" at this budget).
+        let n = 1_000_000;
+        let s = rrmse(Algo::SBitmap, n);
+        assert!(s < rrmse(Algo::LogLog, n));
+        assert!(s < rrmse(Algo::HyperLogLog, n));
+    }
+}

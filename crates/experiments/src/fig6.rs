@@ -1,0 +1,131 @@
+//! Figure 6: error-exceedance curves on the worm traces — for each
+//! threshold `x`, the proportion of minutes whose absolute relative error
+//! exceeds `x`, per algorithm and link.
+//!
+//! Same configuration as Figure 5 (`N = 10^6`, `m = 8000` for every
+//! algorithm). The paper's vertical reference lines sit at 2, 3 and 4
+//! times the S-bitmap's expected standard deviation (2.2%). Headline
+//! claim to reproduce: S-bitmap is the most resistant to large errors —
+//! its exceedance at 3σ is ≈ 0 while every competitor retains ≥ 1.5%.
+
+use crate::config::RunConfig;
+use crate::fig5::{M_BITS, N_MAX, TRACE_SEED};
+use crate::fmt::{pct, Table};
+use crate::runner::{run_trace, Algo};
+use sbitmap_core::Dimensioning;
+use sbitmap_stats::ErrorStats;
+use sbitmap_stream::{WormLink, WormTrace};
+
+/// Exceedance thresholds of the figure's x-axis (4%..10%).
+pub fn thresholds() -> Vec<f64> {
+    (0..=12).map(|i| 0.04 + 0.005 * i as f64).collect()
+}
+
+/// Run all four algorithms over one link's trace.
+pub fn run_link(link: WormLink) -> Vec<(Algo, ErrorStats)> {
+    let trace = WormTrace::generate(link, TRACE_SEED);
+    Algo::ALL
+        .iter()
+        .map(|&algo| {
+            let mut counter = algo
+                .build(M_BITS, N_MAX, TRACE_SEED ^ (algo as u64) << 8)
+                .expect("fig6 configs build");
+            let intervals = (0..WormTrace::MINUTES)
+                .map(|minute| (trace.counts()[minute], trace.minute_stream(minute)));
+            let (stats, _) = run_trace(&mut counter, intervals);
+            (algo, stats)
+        })
+        .collect()
+}
+
+/// Render one link's exceedance table.
+pub fn table(link: WormLink, results: &[(Algo, ErrorStats)]) -> Table {
+    let dims = Dimensioning::from_memory(N_MAX, M_BITS).expect("dimensioning");
+    let mut t = Table::new(
+        format!(
+            "Figure 6 ({}): proportion of minutes with |rel err| > x   [sigma = {}%; 2/3/4 sigma = {}/{}/{}%]",
+            link.name(),
+            pct(dims.epsilon(), 1),
+            pct(2.0 * dims.epsilon(), 1),
+            pct(3.0 * dims.epsilon(), 1),
+            pct(4.0 * dims.epsilon(), 1),
+        ),
+        &["x (%)", "S-bitmap", "mr-bitmap", "LLog", "HLLog"],
+    );
+    for &x in &thresholds() {
+        let mut row = vec![pct(x, 1)];
+        for (_, stats) in results {
+            row.push(format!("{:.3}", stats.exceedance(x)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// ASCII rendition of one link's exceedance curves.
+pub fn chart(link: WormLink, results: &[(Algo, ErrorStats)]) -> String {
+    let series: Vec<crate::plot::Series> = results
+        .iter()
+        .map(|(algo, stats)| {
+            crate::plot::Series::new(
+                algo.label(),
+                thresholds().iter().map(|&x| (x * 100.0, stats.exceedance(x))).collect(),
+            )
+        })
+        .collect();
+    crate::plot::render(
+        &format!("Figure 6 (ASCII, {}): P(|rel err| > x) vs x (%)", link.name()),
+        &series,
+        52,
+        10,
+        false,
+        None,
+    )
+}
+
+/// Entry point used by the `fig6` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    for link in [WormLink::Link1, WormLink::Link0] {
+        let results = run_link(link);
+        let t = table(link, &results);
+        t.print();
+        println!("{}", chart(link, &results));
+        t.write_csv(&cfg.csv_path(&format!("fig6_{}.csv", link.name())))
+            .expect("write fig6 csv");
+        // The paper's 3-sigma summary sentence.
+        let dims = Dimensioning::from_memory(N_MAX, M_BITS).expect("dimensioning");
+        let three_sigma = 3.0 * dims.epsilon();
+        for (algo, stats) in &results {
+            println!(
+                "{}: {} exceeds 3 sigma on {:.1}% of minutes",
+                link.name(),
+                algo.label(),
+                stats.exceedance(three_sigma) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("wrote {}/fig6_link*.csv\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbitmap_most_resistant_to_large_errors() {
+        let results = run_link(WormLink::Link1);
+        let dims = Dimensioning::from_memory(N_MAX, M_BITS).unwrap();
+        let three_sigma = 3.0 * dims.epsilon();
+        let s_exc = results[0].1.exceedance(three_sigma);
+        assert!(s_exc < 0.01, "S-bitmap 3-sigma exceedance {s_exc}");
+        // Each competitor should be no better than S-bitmap at 3 sigma.
+        for (algo, stats) in &results[1..] {
+            assert!(
+                stats.exceedance(three_sigma) >= s_exc,
+                "{} beats S-bitmap at 3 sigma",
+                algo.label()
+            );
+        }
+    }
+}

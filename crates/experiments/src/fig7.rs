@@ -1,0 +1,64 @@
+//! Figure 7: histogram (log base 2) of five-minute flow counts across the
+//! 600 backbone links, with the published quantiles.
+
+use crate::config::RunConfig;
+use crate::fmt::Table;
+use sbitmap_stream::backbone::{BackboneSnapshot, FIGURE7_QUANTILES};
+
+/// Seed fixed so the snapshot (and Figure 8 built on it) is stable.
+pub const SNAPSHOT_SEED: u64 = 600;
+
+/// Render the histogram table plus a quantile check.
+pub fn tables() -> (Table, Table) {
+    let snap = BackboneSnapshot::generate(SNAPSHOT_SEED);
+    let mut hist = Table::new(
+        "Figure 7: histogram of five-minute flow counts on 600 backbone links",
+        &["log2 bin", "links", "bar"],
+    );
+    for (bin, count) in snap.log2_histogram() {
+        hist.row(vec![
+            format!("2^{bin}..2^{}", bin + 1),
+            count.to_string(),
+            "#".repeat(count),
+        ]);
+    }
+    let mut quant = Table::new(
+        "Figure 7 quantiles: generated vs published",
+        &["quantile", "published", "generated"],
+    );
+    let mut sorted = snap.counts().to_vec();
+    sorted.sort_unstable();
+    for &(p, expect) in &FIGURE7_QUANTILES {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        quant.row(vec![
+            format!("{:.1}%", p * 100.0),
+            format!("{expect:.0}"),
+            sorted[idx].to_string(),
+        ]);
+    }
+    (hist, quant)
+}
+
+/// Entry point used by the `fig7` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let (hist, quant) = tables();
+    hist.print();
+    quant.print();
+    hist.write_csv(&cfg.csv_path("fig7_histogram.csv")).expect("write fig7 csv");
+    quant.write_csv(&cfg.csv_path("fig7_quantiles.csv")).expect("write fig7 csv");
+    println!("wrote {}/fig7_*.csv\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_spans_the_published_range() {
+        let (hist, _) = tables();
+        let s = hist.render();
+        // Counts span from below 2^5 to above 2^18 in the paper's figure.
+        assert!(s.contains("2^4..2^5") || s.contains("2^3..2^4") || s.contains("2^5..2^6"));
+        assert!(s.contains("2^18..2^19") || s.contains("2^17..2^18"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 8: error-exceedance counts across the 600 backbone links — for
+//! each threshold `x`, how many links' estimates have absolute relative
+//! error above `x`, per algorithm.
+//!
+//! Configuration (paper §7.2): `N = 1.5×10^6`, `m = 7200` bits for every
+//! algorithm → S-bitmap expected standard deviation ≈ 2.4%. Links with
+//! fewer than 10 flows are skipped (as in the paper). Headline claims:
+//! S-bitmap and HLL stay within 8% everywhere; LogLog is off the range;
+//! S-bitmap alone stays within 3σ on every link.
+
+use crate::config::RunConfig;
+use crate::fig7::SNAPSHOT_SEED;
+use crate::fmt::{pct, Table};
+use crate::runner::{run_trace, Algo};
+use sbitmap_core::Dimensioning;
+use sbitmap_stats::ErrorStats;
+use sbitmap_stream::BackboneSnapshot;
+
+/// Paper §7.2 design range.
+pub const N_MAX: u64 = 1_500_000;
+/// Paper §7.2 memory budget.
+pub const M_BITS: usize = 7_200;
+
+/// Exceedance thresholds of the figure's x-axis (4%..10%).
+pub fn thresholds() -> Vec<f64> {
+    (0..=12).map(|i| 0.04 + 0.005 * i as f64).collect()
+}
+
+/// Run all four algorithms across the snapshot's links.
+pub fn run() -> Vec<(Algo, ErrorStats)> {
+    let snap = BackboneSnapshot::generate(SNAPSHOT_SEED);
+    Algo::ALL
+        .iter()
+        .map(|&algo| {
+            let mut counter = algo
+                .build(M_BITS, N_MAX, 0xf8_u64 ^ (algo as u64) << 8)
+                .expect("fig8 configs build");
+            let intervals = (0..snap.counts().len())
+                .filter(|&l| snap.counts()[l] >= 10) // paper drops tiny links
+                .map(|l| (snap.counts()[l], snap.link_stream(l)));
+            let (stats, _) = run_trace(&mut counter, intervals);
+            (algo, stats)
+        })
+        .collect()
+}
+
+/// Render the exceedance-count table.
+pub fn table(results: &[(Algo, ErrorStats)]) -> Table {
+    let dims = Dimensioning::from_memory(N_MAX, M_BITS).expect("dimensioning");
+    let mut t = Table::new(
+        format!(
+            "Figure 8: number of links with |rel err| > x (of {} links)   [sigma = {}%]",
+            results[0].1.count(),
+            pct(dims.epsilon(), 1)
+        ),
+        &["x (%)", "S-bitmap", "mr-bitmap", "LLog", "HLLog"],
+    );
+    for &x in &thresholds() {
+        let mut row = vec![pct(x, 1)];
+        for (_, stats) in results {
+            let links = (stats.exceedance(x) * stats.count() as f64).round() as usize;
+            row.push(links.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Entry point used by the `fig8` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let dims = Dimensioning::from_memory(N_MAX, M_BITS).expect("dimensioning");
+    println!(
+        "Figure 8 config: N = 1.5e6, m = 7200 -> expected sd = {}%",
+        pct(dims.epsilon(), 1)
+    );
+    let results = run();
+    let t = table(&results);
+    t.print();
+    let series: Vec<crate::plot::Series> = results
+        .iter()
+        .map(|(algo, stats)| {
+            crate::plot::Series::new(
+                algo.label(),
+                thresholds()
+                    .iter()
+                    .map(|&x| (x * 100.0, stats.exceedance(x) * stats.count() as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        crate::plot::render(
+            "Figure 8 (ASCII): links with |rel err| > x vs x (%), y clipped at 25",
+            &series,
+            52,
+            10,
+            false,
+            Some(25.0),
+        )
+    );
+    t.write_csv(&cfg.csv_path("fig8.csv")).expect("write fig8 csv");
+    let three_sigma = 3.0 * dims.epsilon();
+    for (algo, stats) in &results {
+        let over = (stats.exceedance(three_sigma) * stats.count() as f64).round() as usize;
+        println!(
+            "{}: {} of {} links beyond 3 sigma; max |rel err| = {}%",
+            algo.label(),
+            over,
+            stats.count(),
+            pct(stats.max_abs(), 1)
+        );
+    }
+    println!("wrote {}/fig8.csv\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbitmap_and_hll_accurate_loglog_worst() {
+        let results = run();
+        let dims = Dimensioning::from_memory(N_MAX, M_BITS).unwrap();
+        let s = &results[0].1;
+        let ll = &results[2].1;
+        let hll = &results[3].1;
+        // Paper: S-bitmap and HLL give accurate estimates across all
+        // links and S-bitmap is the most resistant to large errors;
+        // LogLog is off the range. (The paper saw *zero* links beyond 3
+        // sigma for S-bitmap; over 600 links that is partly draw luck —
+        // at the smallest links a single missed sample is a ~1/n ≈ 5-10%
+        // error — so we assert "at most a handful" instead; see
+        // EXPERIMENTS.md.)
+        assert!(s.rrmse() < 1.5 * dims.epsilon(), "S-bitmap rrmse {}", s.rrmse());
+        assert!(s.max_abs() < 0.15, "S-bitmap max {}", s.max_abs());
+        assert!(hll.max_abs() < 0.15, "HLL max {}", hll.max_abs());
+        assert!(s.exceedance(3.0 * dims.epsilon()) < 0.01);
+        assert!(ll.rrmse() > s.rrmse(), "LogLog should be the worst family");
+        assert!(ll.rrmse() > hll.rrmse());
+    }
+}

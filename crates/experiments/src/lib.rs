@@ -1,0 +1,45 @@
+//! # sbitmap-experiments — the paper's evaluation, regenerated
+//!
+//! One module (and one binary) per table and figure of the paper's
+//! evaluation sections (§6 simulation studies, §7 experimental studies),
+//! plus the ablations DESIGN.md calls out. Each binary prints the same
+//! rows/series the paper reports and writes a CSV under `results/`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2` | empirical vs theoretical RRMSE (scale-invariance) |
+//! | `table2` | memory cost of HLL vs S-bitmap |
+//! | `fig3` | memory-ratio contour + crossover line |
+//! | `fig4` | RRMSE vs `n` for mr-bitmap/LogLog/HLL/S-bitmap |
+//! | `table3` / `table4` | L1 / L2 / 99%-quantile comparisons |
+//! | `fig5` | worm-trace time series + S-bitmap estimates |
+//! | `fig6` | worm-trace error exceedance curves |
+//! | `fig7` | backbone flow-count histogram |
+//! | `fig8` | backbone error exceedance counts |
+//! | `ablations` | `d` width, hash family, truncation, fast-sim |
+//! | `repro` | everything above in sequence |
+//!
+//! Replicate counts default to a laptop-friendly 200 and can be raised to
+//! the paper's 1000 with `SBITMAP_REPS=1000` (or `--reps 1000`); every
+//! run is deterministic in the replicate index, so tables are
+//! reproducible across thread counts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod config;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fmt;
+pub mod plot;
+pub mod runner;
+pub mod table2;
+pub mod table34;
+
+pub use config::RunConfig;

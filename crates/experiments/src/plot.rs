@@ -1,0 +1,169 @@
+//! Minimal ASCII line charts, so the figure binaries emit a visual
+//! rendition of each paper figure alongside the numeric table.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in increasing `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Render series into a fixed-size character grid. `log_x` plots x on a
+/// log scale (the paper's figures all do); `y_cap` clips outliers (e.g.
+/// LogLog's small-`n` explosions) so the interesting band stays visible.
+pub fn render(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    y_cap: Option<f64>,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let marks = ['S', 'm', 'L', 'H', 'x', 'o', '+', '*'];
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .map(|y| y_cap.map_or(y, |c| y.min(c)))
+        .collect();
+    if xs.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.max(f64::MIN_POSITIVE).ln() } else { x };
+    let (x_min, x_max) = bounds(xs.iter().map(|&x| tx(x)));
+    let (y_min, y_max) = bounds(ys.iter().copied());
+    let x_span = (x_max - x_min).max(f64::EPSILON);
+    let y_span = (y_max - y_min).max(f64::EPSILON);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(x, y) in &s.points {
+            let y = y_cap.map_or(y, |c| y.min(c));
+            let col = (((tx(x) - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            let cell = &mut grid[row][col.min(width - 1)];
+            // Overlapping series show the later mark; exact collisions
+            // are rare at these resolutions and the table has the truth.
+            *cell = if *cell == ' ' || *cell == mark { mark } else { '#' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>8.2}")
+        } else if i == height - 1 {
+            format!("{y_min:>8.2}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&y_label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let x_lo = if log_x { x_min.exp() } else { x_min };
+    let x_hi = if log_x { x_max.exp() } else { x_max };
+    out.push_str(&format!(
+        "{:>9}{:<w$}{}\n",
+        "",
+        format_x(x_lo),
+        format_x(x_hi),
+        w = width.saturating_sub(format_x(x_hi).len())
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} = {}", marks[i % marks.len()], s.label))
+        .collect();
+    out.push_str(&format!("{:>9} {}\n", "", legend.join("   ")));
+    if let Some(cap) = y_cap {
+        out.push_str(&format!("{:>9} (y clipped at {cap:.2})\n", ""));
+    }
+    out
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+fn format_x(x: f64) -> String {
+    if x >= 1e4 {
+        format!("{:.0e}", x)
+    } else if x >= 10.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_and_rising_series() {
+        let flat = Series::new("flat", (0..10).map(|i| (2f64.powi(i), 3.3)).collect());
+        let rising = Series::new("rising", (0..10).map(|i| (2f64.powi(i), i as f64)).collect());
+        let s = render("demo", &[flat, rising], 40, 10, true, None);
+        assert!(s.contains("demo"));
+        assert!(s.contains("f = flat") || s.contains("S = flat"));
+        // The flat series occupies one row; find a row with many marks.
+        let mark_rows = s
+            .lines()
+            .filter(|l| l.matches('S').count() >= 5)
+            .count();
+        assert!(mark_rows >= 1, "flat series not visible:\n{s}");
+    }
+
+    #[test]
+    fn clipping_caps_outliers() {
+        let spike = Series::new("spike", vec![(1.0, 1.0), (2.0, 1e6), (3.0, 1.0)]);
+        let s = render("clip", &[spike], 20, 6, false, Some(10.0));
+        assert!(s.contains("clipped at 10.00"));
+        assert!(s.contains("10.00"), "cap should set the top label:\n{s}");
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let s = render("empty", &[Series::new("none", vec![])], 20, 6, false, None);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_grid_rejected() {
+        render("x", &[], 4, 2, false, None);
+    }
+}

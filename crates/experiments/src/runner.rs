@@ -1,0 +1,159 @@
+//! Shared measurement helpers: replicated accuracy runs and the
+//! algorithm roster of the paper's comparisons.
+
+use std::sync::Arc;
+
+use sbitmap_baselines::{HyperLogLog, LogLog, MrBitmap};
+use sbitmap_core::{DistinctCounter, RateSchedule, SBitmap, SBitmapError};
+use sbitmap_hash::{mix64, SplitMix64Hasher};
+use sbitmap_stats::{replicate, ErrorStats};
+use sbitmap_stream::distinct_items;
+
+/// Measure the error distribution of a counter at cardinality `n` over
+/// `reps` independent replicates: each replicate builds a fresh counter
+/// (seeded from the replicate index and `salt`), feeds it `n` distinct
+/// items, and records `(n, estimate)`.
+pub fn accuracy<C, F>(reps: usize, n: u64, salt: u64, make: F) -> ErrorStats
+where
+    C: DistinctCounter,
+    F: Fn(u64) -> C + Sync,
+{
+    replicate(reps, |r| {
+        let seed = mix64(r.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt);
+        let mut counter = make(seed);
+        for item in distinct_items(seed ^ 0xa5a5_5a5a_c3c3_3c3c, n) {
+            counter.insert_u64(item);
+        }
+        (n as f64, counter.estimate())
+    })
+}
+
+/// A factory for S-bitmaps sharing one precomputed [`RateSchedule`]
+/// (constructing the schedule per replicate would dominate small-`n`
+/// runs).
+///
+/// # Errors
+///
+/// Propagates dimensioning failures.
+pub fn sbitmap_maker(
+    n_max: u64,
+    m_bits: usize,
+) -> Result<impl Fn(u64) -> SBitmap + Sync, SBitmapError> {
+    let schedule = Arc::new(RateSchedule::from_memory(n_max, m_bits)?);
+    Ok(move |seed: u64| {
+        SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(seed))
+    })
+}
+
+/// The four algorithms of the paper's §6.2/§7 comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's contribution.
+    SBitmap,
+    /// Multiresolution bitmap (Estan et al. 2006).
+    MrBitmap,
+    /// LogLog (Durand–Flajolet 2003).
+    LogLog,
+    /// HyperLogLog (Flajolet et al. 2007).
+    HyperLogLog,
+}
+
+impl Algo {
+    /// The roster in the paper's presentation order.
+    pub const ALL: [Algo; 4] = [Algo::SBitmap, Algo::MrBitmap, Algo::LogLog, Algo::HyperLogLog];
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::SBitmap => "S-bitmap",
+            Algo::MrBitmap => "mr-bitmap",
+            Algo::LogLog => "LLog",
+            Algo::HyperLogLog => "HLLog",
+        }
+    }
+
+    /// Build a boxed counter with `m_bits` of memory dimensioned for
+    /// cardinalities up to `n_max`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the per-algorithm dimensioning errors.
+    pub fn build(
+        self,
+        m_bits: usize,
+        n_max: u64,
+        seed: u64,
+    ) -> Result<Box<dyn DistinctCounter>, SBitmapError> {
+        Ok(match self {
+            Algo::SBitmap => Box::new(SBitmap::with_memory(n_max, m_bits, seed)?),
+            Algo::MrBitmap => Box::new(MrBitmap::with_memory(m_bits, n_max, seed)?),
+            Algo::LogLog => Box::new(LogLog::with_memory(m_bits, n_max, seed)?),
+            Algo::HyperLogLog => Box::new(HyperLogLog::with_memory(m_bits, n_max, seed)?),
+        })
+    }
+}
+
+/// Run a per-interval trace experiment: for every `(truth, stream)`
+/// interval, reset the counter, ingest the stream, estimate. Returns the
+/// error statistics plus the raw estimate series.
+pub fn run_trace<C, I, S>(counter: &mut C, intervals: I) -> (ErrorStats, Vec<(u64, f64)>)
+where
+    C: DistinctCounter,
+    I: IntoIterator<Item = (u64, S)>,
+    S: Iterator<Item = u64>,
+{
+    let mut stats = ErrorStats::new();
+    let mut series = Vec::new();
+    for (truth, stream) in intervals {
+        counter.reset();
+        for item in stream {
+            counter.insert_u64(item);
+        }
+        let est = counter.estimate();
+        stats.push(truth as f64, est);
+        series.push((truth, est));
+    }
+    (stats, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_matches_sbitmap_theory() {
+        let maker = sbitmap_maker(1 << 20, 4000).unwrap();
+        let stats = accuracy(300, 10_000, 1, maker);
+        let eps = 0.033;
+        assert!(stats.rrmse() < 2.0 * eps, "rrmse {}", stats.rrmse());
+        assert!(stats.mean_bias().abs() < 3.0 * eps / (300f64).sqrt() + 0.01);
+    }
+
+    #[test]
+    fn all_algos_build_and_count() {
+        for algo in Algo::ALL {
+            let mut c = algo.build(8_000, 1_000_000, 42).unwrap();
+            for i in 0..10_000u64 {
+                c.insert_u64(i);
+            }
+            let rel = c.estimate() / 10_000.0 - 1.0;
+            assert!(rel.abs() < 0.30, "{}: rel {rel}", algo.label());
+            assert!(c.memory_bits() <= 8_000, "{} over budget", algo.label());
+        }
+    }
+
+    #[test]
+    fn run_trace_resets_between_intervals() {
+        let mut c = Algo::SBitmap.build(8_000, 1_000_000, 7).unwrap();
+        let intervals = (0..5u64).map(|i| {
+            let n = 1_000 * (i + 1);
+            (n, distinct_items(i, n))
+        });
+        let (stats, series) = run_trace(&mut c, intervals);
+        assert_eq!(stats.count(), 5);
+        assert_eq!(series.len(), 5);
+        for (truth, est) in series {
+            assert!((est / truth as f64 - 1.0).abs() < 0.25, "{truth} vs {est}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 2: memory cost (unit: 100 bits) of Hyper-LogLog vs S-bitmap for
+//! target accuracies ε ∈ {1%, 3%, 9%} and ranges N ∈ {10^3 … 10^7}.
+//!
+//! Pure closed-form evaluation: HLL uses `1.04²ε^{−2}` registers of
+//! `α(N)` bits; the S-bitmap uses equation (7) with `C = 1 + ε^{−2}`.
+
+use crate::config::RunConfig;
+use crate::fmt::{f, Table};
+use sbitmap_baselines::memory_model;
+
+/// The table's ε columns.
+pub const EPSILONS: [f64; 3] = [0.01, 0.03, 0.09];
+/// The table's N rows.
+pub const N_VALUES: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Render the paper's Table 2.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "Table 2: memory cost (unit 100 bits), Hyper-LogLog vs S-bitmap",
+        &[
+            "N",
+            "HLL(1%)",
+            "S-b(1%)",
+            "HLL(3%)",
+            "S-b(3%)",
+            "HLL(9%)",
+            "S-b(9%)",
+        ],
+    );
+    for &n in &N_VALUES {
+        let mut row = vec![format!("1e{}", (n as f64).log10().round() as u32)];
+        for &eps in &EPSILONS {
+            row.push(f(memory_model::hyperloglog_bits(n, eps) / 100.0, 1));
+            row.push(f(memory_model::sbitmap_bits(n, eps) / 100.0, 1));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Entry point used by the `table2` and `repro` binaries.
+pub fn main_with(cfg: &RunConfig) {
+    let t = table();
+    t.print();
+    let path = cfg.csv_path("table2.csv");
+    t.write_csv(&path).expect("write table2.csv");
+    println!("wrote {}\n", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_cells() {
+        // Spot-check the rendered strings against the published table.
+        let s = table().render();
+        for expect in ["432.6", "59.1", "540.8", "315.2", "6.7", "8.1", "2.4"] {
+            assert!(s.contains(expect), "missing cell {expect} in\n{s}");
+        }
+    }
+}

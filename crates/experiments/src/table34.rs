@@ -1,0 +1,152 @@
+//! Tables 3 and 4: L1, L2 (RRMSE) and 99%-quantile comparisons (×100)
+//! among S-bitmap, mr-bitmap and Hyper-LogLog.
+//!
+//! Table 3: `N = 10^4`, `m = 2700` bits, `n ∈ {10, 100, 1000, 5000,
+//! 7500, 10000}`. Table 4: `N = 10^6`, `m = 6720` bits, `n ∈ {10, 100,
+//! 1000, 10^4, 10^5, 5·10^5, 750000, 10^6}`.
+//!
+//! The qualitative signatures to reproduce: S-bitmap's three metrics are
+//! flat in `n`; mr-bitmap collapses at the boundary (`n → N`, errors of
+//! order 100); Hyper-LogLog drifts upward with `n` and loses to S-bitmap
+//! at large `n`.
+
+use crate::config::RunConfig;
+use crate::fmt::{f, Table};
+use crate::runner::{accuracy, Algo};
+use sbitmap_stats::ErrorStats;
+
+/// The three compared algorithms, in the tables' column order.
+pub const ALGOS: [Algo; 3] = [Algo::SBitmap, Algo::MrBitmap, Algo::HyperLogLog];
+
+/// Specification of one of the two tables.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Table name ("Table 3" / "Table 4").
+    pub name: &'static str,
+    /// Design range.
+    pub n_max: u64,
+    /// Memory budget (bits).
+    pub m: usize,
+    /// Cardinality rows.
+    pub rows: Vec<u64>,
+}
+
+/// Table 3's configuration.
+pub fn table3_spec() -> Spec {
+    Spec {
+        name: "Table 3 (N = 1e4, m = 2700)",
+        n_max: 10_000,
+        m: 2_700,
+        rows: vec![10, 100, 1_000, 5_000, 7_500, 10_000],
+    }
+}
+
+/// Table 4's configuration.
+pub fn table4_spec() -> Spec {
+    Spec {
+        name: "Table 4 (N = 1e6, m = 6720)",
+        n_max: 1_000_000,
+        m: 6_720,
+        rows: vec![10, 100, 1_000, 10_000, 100_000, 500_000, 750_000, 1_000_000],
+    }
+}
+
+/// Run one table: per cardinality row, per algorithm, the replicated
+/// error statistics.
+pub fn run(cfg: &RunConfig, spec: &Spec) -> Vec<(u64, Vec<ErrorStats>)> {
+    spec.rows
+        .iter()
+        .map(|&n| {
+            let per_algo = ALGOS
+                .iter()
+                .enumerate()
+                .map(|(ai, &algo)| {
+                    let salt = 0x7ab1_e000u64 ^ (spec.n_max << 8) ^ ((ai as u64) << 4) ^ n;
+                    accuracy(cfg.replicates, n, salt, |seed| {
+                        algo.build(spec.m, spec.n_max, seed).expect("table config builds")
+                    })
+                })
+                .collect();
+            (n, per_algo)
+        })
+        .collect()
+}
+
+/// Render in the paper's layout: L1 | L2 | 99%-quantile blocks, each with
+/// S / mr / H columns, all values ×100.
+pub fn table(spec: &Spec, results: &[(u64, Vec<ErrorStats>)]) -> Table {
+    let mut t = Table::new(
+        format!("{}: L1, L2, 99% quantile (x100); columns S / mr / H", spec.name),
+        &[
+            "n", "L1:S", "L1:mr", "L1:H", "L2:S", "L2:mr", "L2:H", "q99:S", "q99:mr", "q99:H",
+        ],
+    );
+    for (n, per_algo) in results {
+        let mut row = vec![n.to_string()];
+        for metric in 0..3 {
+            for stats in per_algo {
+                let v = match metric {
+                    0 => stats.l1(),
+                    1 => stats.rrmse(),
+                    _ => stats.quantile_abs(0.99),
+                };
+                row.push(f(v * 100.0, 1));
+            }
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Entry point for the `table3` binary.
+pub fn main_table3(cfg: &RunConfig) {
+    run_and_print(cfg, &table3_spec(), "table3.csv");
+}
+
+/// Entry point for the `table4` binary.
+pub fn main_table4(cfg: &RunConfig) {
+    run_and_print(cfg, &table4_spec(), "table4.csv");
+}
+
+fn run_and_print(cfg: &RunConfig, spec: &Spec, csv: &str) {
+    let results = run(cfg, spec);
+    let t = table(spec, &results);
+    t.print();
+    t.write_csv(&cfg.csv_path(csv)).expect("write table csv");
+    println!("wrote {}/{csv}\n", cfg.out_dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_boundary_signatures_smoke() {
+        let cfg = RunConfig {
+            replicates: 50,
+            out_dir: std::env::temp_dir(),
+        };
+        let spec = Spec {
+            rows: vec![1_000, 10_000],
+            ..table3_spec()
+        };
+        let results = run(&cfg, &spec);
+        // At n = N = 1e4 the S-bitmap stays at its design error (paper:
+        // L2 ≈ 2.6). Our mr-bitmap implementation is *more* robust at the
+        // in-range boundary than the authors' configuration (see
+        // EXPERIMENTS.md "deviations"); its collapse shows past N, which
+        // `mr_bitmap::tests::saturates_beyond_design_range` covers. Here
+        // we assert the in-range scale trend: mr degrades from n = 1000
+        // to n = N while S-bitmap does not.
+        let (_, at_boundary) = &results[1];
+        let (_, mid) = &results[0];
+        let s_b = at_boundary[0].rrmse();
+        assert!(s_b < 0.06, "S-bitmap at boundary: {s_b}");
+        let mr_mid = mid[1].rrmse();
+        let mr_b = at_boundary[1].rrmse();
+        assert!(mr_b > mr_mid, "mr should degrade with scale: {mr_mid} -> {mr_b}");
+        for (i, stats) in mid.iter().enumerate() {
+            assert!(stats.rrmse() < 0.12, "algo {i} at n=1000: {}", stats.rrmse());
+        }
+    }
+}

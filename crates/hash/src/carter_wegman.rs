@@ -1,0 +1,216 @@
+//! Carter–Wegman universal hashing over the Mersenne prime `p = 2^61 − 1`.
+//!
+//! This is the construction the paper cites (footnote 1 of §2.2):
+//! `h(x) = ((a·x + b) mod p) mod m`. We implement the `(a·x + b) mod p`
+//! core as a [`Hasher64`]; the `mod m` (bucket) step is performed by
+//! [`crate::HashSplit`] like for every other hash. Byte strings are first
+//! compressed with a polynomial rolling hash mod `p` (a standard
+//! string-to-field reduction), which keeps the per-pair collision bound of
+//! order `len / p`.
+
+use crate::splitmix::mix64;
+use crate::traits::{FromSeed, Hasher64};
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    // Fold twice: after one fold the value is < 2^62 + 2^61, after the
+    // second it is < 2^61 + 1, so a single conditional subtract finishes.
+    let p = u128::from(MERSENNE_P);
+    let folded = (x & p) + (x >> 61);
+    let folded = (folded & p) + (folded >> 61);
+    let r = folded as u64;
+    if r >= MERSENNE_P {
+        r - MERSENNE_P
+    } else {
+        r
+    }
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_mersenne(u128::from(a) * u128::from(b))
+}
+
+/// Carter–Wegman universal hashing over `p = 2^61 − 1`.
+///
+/// Two *independently keyed* affine maps `(a1·x + b1) mod p` and
+/// `(a2·x + b2) mod p` supply the high and low 32 output bits. The split
+/// matters for the S-bitmap: Theorem 1 of the paper requires the bucket
+/// choice and the sampling word to be independent, and [`crate::HashSplit`]
+/// carves them from disjoint output bits — a *single* affine map would
+/// make them deterministic functions of each other (pairwise independence
+/// across items says nothing about independence across the bit positions
+/// of one hash). The paper's own algorithm likewise uses universal hashing
+/// separately for the bucket location and for sampling (§3).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CarterWegman {
+    seed: u64,
+    a1: u64,
+    b1: u64,
+    a2: u64,
+    b2: u64,
+}
+
+impl CarterWegman {
+    /// Create a Carter–Wegman hasher keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        // Derive the coefficient pairs from the seed; force a != 0.
+        let a1 = mix64(seed ^ 0xa076_1d64_78bd_642f) % (MERSENNE_P - 1) + 1;
+        let b1 = mix64(seed ^ 0xe703_7ed1_a0b4_28db) % MERSENNE_P;
+        let a2 = mix64(seed ^ 0x8ebc_6af0_9c88_c6e3) % (MERSENNE_P - 1) + 1;
+        let b2 = mix64(seed ^ 0x5896_27dd_4796_9ea9) % MERSENNE_P;
+        Self { seed, a1, b1, a2, b2 }
+    }
+
+    /// First affine map on a field element.
+    #[inline]
+    fn affine1(&self, x: u64) -> u64 {
+        mod_mersenne(u128::from(self.a1) * u128::from(x) + u128::from(self.b1))
+    }
+
+    /// Second affine map on a field element.
+    #[inline]
+    fn affine2(&self, x: u64) -> u64 {
+        mod_mersenne(u128::from(self.a2) * u128::from(x) + u128::from(self.b2))
+    }
+
+    /// A value in `[0, p)` scaled to 32 bits (fixed-point stretch).
+    #[inline]
+    fn top32(v: u64) -> u64 {
+        ((u128::from(v) << 32) / u128::from(MERSENNE_P)) as u64
+    }
+
+    /// Combine the two affine images into one 64-bit output word.
+    #[inline]
+    fn combine(&self, x: u64) -> u64 {
+        (Self::top32(self.affine1(x)) << 32) | Self::top32(self.affine2(x))
+    }
+}
+
+impl FromSeed for CarterWegman {
+    fn from_seed(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl Hasher64 for CarterWegman {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        // Polynomial compression mod p with base derived from `a1`.
+        let base = self.a1 | 1;
+        let mut acc: u64 = bytes.len() as u64;
+        let mut chunks = bytes.chunks_exact(7);
+        for chunk in &mut chunks {
+            let mut w = [0u8; 8];
+            w[..7].copy_from_slice(chunk);
+            // 56-bit word < p, safe as a field element.
+            acc = mod_mersenne(
+                u128::from(mul_mod(acc, base)) + u128::from(u64::from_le_bytes(w)),
+            );
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            w[7] = rem.len() as u8;
+            acc = mod_mersenne(
+                u128::from(mul_mod(acc, base)) + u128::from(u64::from_le_bytes(w) & MERSENNE_P),
+            );
+        }
+        self.combine(acc)
+    }
+
+    #[inline]
+    fn hash_u64(&self, x: u64) -> u64 {
+        // Fold the 64-bit input into a field element without loss:
+        // multiply the low 61 bits by a1 and add the high 3 bits.
+        let lo = x & MERSENNE_P;
+        let hi = x >> 61;
+        let folded = mod_mersenne(u128::from(mul_mod(lo, self.a1)) + u128::from(hi));
+        self.combine(folded)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_mersenne_matches_naive() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            u128::from(MERSENNE_P),
+            u128::from(MERSENNE_P) + 1,
+            u128::from(u64::MAX),
+            u128::MAX,
+        ];
+        for &x in &cases {
+            assert_eq!(u128::from(mod_mersenne(x)), x % u128::from(MERSENNE_P), "x={x}");
+        }
+    }
+
+    #[test]
+    fn affine_outputs_in_field() {
+        let h = CarterWegman::new(99);
+        for x in 0..1000u64 {
+            assert!(h.affine1(x) < MERSENNE_P);
+            assert!(h.affine2(x) < MERSENNE_P);
+        }
+    }
+
+    #[test]
+    fn distinct_u64_inputs_rarely_collide() {
+        let h = CarterWegman::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..100_000u64 {
+            seen.insert(h.hash_u64(x));
+        }
+        // Two independent 32-bit halves: expected collisions
+        // ~ (1e5)²/2^65 ≈ 0 (each half alone would see a few).
+        assert!(seen.len() >= 99_995, "{} distinct", seen.len());
+    }
+
+    #[test]
+    fn high_and_low_halves_are_decorrelated() {
+        // Sequential inputs: the high half must not determine the low
+        // half. Check a crude independence proxy: the correlation of the
+        // two halves' top bits is near zero.
+        let h = CarterWegman::new(11);
+        let n = 40_000u64;
+        let (mut hi1, mut lo1, mut both) = (0u32, 0u32, 0u32);
+        for x in 0..n {
+            let v = h.hash_u64(x);
+            let a = (v >> 63) & 1;
+            let b = (v >> 31) & 1;
+            hi1 += a as u32;
+            lo1 += b as u32;
+            both += (a & b) as u32;
+        }
+        let pa = f64::from(hi1) / n as f64;
+        let pb = f64::from(lo1) / n as f64;
+        let pab = f64::from(both) / n as f64;
+        assert!((pab - pa * pb).abs() < 0.01, "corr proxy {}", pab - pa * pb);
+    }
+
+    #[test]
+    fn top32_covers_high_bits() {
+        let h = CarterWegman::new(11);
+        let any_high = (0..1000u64).any(|x| h.hash_u64(x) >> 63 == 1);
+        assert!(any_high);
+    }
+
+    #[test]
+    fn bytes_rolling_hash_is_position_sensitive() {
+        let h = CarterWegman::new(3);
+        assert_ne!(h.hash_bytes(b"ab"), h.hash_bytes(b"ba"));
+        assert_ne!(h.hash_bytes(b"ab"), h.hash_bytes(b"ab\0"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Hashing and pseudo-randomness substrate for the S-bitmap workspace.
+//!
+//! The S-bitmap paper (Chen, Cao, Shepp, Nguyen; ICDE 2009) assumes a
+//! *universal hash function* that maps every item to an effectively uniform
+//! bit string, part of which selects a bucket and part of which drives the
+//! sequential sampling decision. This crate provides:
+//!
+//! * [`Hasher64`] — the trait every stream hash implements, plus four
+//!   implementations built from scratch:
+//!   [`SplitMix64Hasher`] (default: one multiply-xorshift chain),
+//!   [`Xxh64`] (the XXH64 algorithm), [`Murmur3`] (MurmurHash3 x64
+//!   finalizer family) and [`CarterWegman`] (the classic
+//!   `((a·x + b) mod p) mod m` universal hash over the Mersenne prime
+//!   `2^61 − 1`, the construction cited by the paper).
+//! * [`HashSplit`] — the paper's `c + d` bit-splitting scheme generalized
+//!   to 64-bit hashes: the high 32 bits pick a bucket in `{0, …, m−1}`
+//!   (no power-of-two restriction, via Lemire's fastrange) and the low
+//!   `d ≤ 32` bits form the sampling fraction `u`.
+//! * [`rng`] — deterministic PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256StarStar`]) and the handful of distributions the
+//!   simulation studies need (uniform, Bernoulli, geometric, normal,
+//!   log-normal, Zipf). Implemented locally so every experiment is
+//!   reproducible from a single `u64` seed with no external RNG crate.
+//!
+//! # Example
+//!
+//! ```
+//! use sbitmap_hash::{Hasher64, SplitMix64Hasher, HashSplit};
+//!
+//! let hasher = SplitMix64Hasher::new(42);
+//! let split = HashSplit::new(4096, 32).unwrap();
+//! let h = hasher.hash_bytes(b"192.0.2.7:443 -> 198.51.100.3:80 tcp");
+//! let (bucket, fraction) = split.split(h);
+//! assert!(bucket < 4096);
+//! assert!(fraction < (1u64 << 32));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod carter_wegman;
+mod murmur3;
+pub mod quality;
+pub mod rng;
+mod split;
+mod splitmix;
+mod traits;
+mod xxh64;
+
+pub use carter_wegman::CarterWegman;
+pub use murmur3::Murmur3;
+pub use split::HashSplit;
+pub use splitmix::{mix64, SplitMix64Hasher};
+pub use traits::{FromSeed, HashKind, Hasher64};
+pub use xxh64::{xxh64, Xxh64};

@@ -1,0 +1,137 @@
+//! MurmurHash3 x64_128, implemented from Austin Appleby's public domain
+//! reference (`MurmurHash3_x64_128`). We expose the low 64 bits of the
+//! 128-bit digest as the stream hash.
+
+use crate::traits::{FromSeed, Hasher64};
+
+const C1: u64 = 0x87c3_7b91_1142_53d5;
+const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^ (k >> 33)
+}
+
+/// One-shot MurmurHash3 x64_128; returns `(h1, h2)`.
+pub fn murmur3_x64_128(bytes: &[u8], seed: u64) -> (u64, u64) {
+    let len = bytes.len();
+    let mut h1 = seed;
+    let mut h2 = seed;
+
+    let mut blocks = bytes.chunks_exact(16);
+    for block in &mut blocks {
+        let mut k1 = u64::from_le_bytes(block[..8].try_into().expect("8 bytes"));
+        let mut k2 = u64::from_le_bytes(block[8..].try_into().expect("8 bytes"));
+
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = blocks.remainder();
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    // Reference implementation's fall-through switch, written as loops.
+    for (i, &b) in tail.iter().enumerate().skip(8) {
+        k2 ^= u64::from(b) << ((i - 8) * 8);
+    }
+    if tail.len() > 8 {
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    for (i, &b) in tail.iter().enumerate().take(8) {
+        k1 ^= u64::from(b) << (i * 8);
+    }
+    if !tail.is_empty() {
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+/// Seeded MurmurHash3 (x64_128, low word) stream hasher.
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Murmur3 {
+    seed: u64,
+}
+
+impl Murmur3 {
+    /// Create a Murmur3 hasher keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl FromSeed for Murmur3 {
+    fn from_seed(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl Hasher64 for Murmur3 {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        murmur3_x64_128(bytes, self.seed).0
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_seed_zero_is_zero() {
+        // Documented property of the reference implementation.
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn tail_lengths_all_distinct() {
+        // Exercise every tail length 1..=15 plus one full block.
+        let data = b"0123456789abcdefXYZ";
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..=data.len() {
+            assert!(seen.insert(murmur3_x64_128(&data[..l], 7)), "len {l} collided");
+        }
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        assert_ne!(murmur3_x64_128(b"abc", 0), murmur3_x64_128(b"abc", 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = Murmur3::new(3);
+        assert_eq!(h.hash_bytes(b"flow"), h.hash_bytes(b"flow"));
+    }
+}

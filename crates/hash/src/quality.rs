@@ -1,0 +1,135 @@
+//! Hash-quality measurement: avalanche and uniformity statistics.
+//!
+//! The paper's analysis assumes ideal uniform hashing; these routines are
+//! the practical check that an implementation is close enough. They are
+//! used by this crate's test suite and by the hash ablation experiment,
+//! and exported so downstream users can vet their own [`Hasher64`]
+//! implementations before trusting the sketch error bounds (the
+//! Carter–Wegman finding in EXPERIMENTS.md shows this is not a
+//! hypothetical concern).
+
+use crate::traits::Hasher64;
+
+/// Result of an avalanche test: how close every (input bit → output bit)
+/// flip probability is to the ideal 1/2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvalancheReport {
+    /// Largest deviation `|p − 0.5|` over all 64×64 bit pairs.
+    pub max_bias: f64,
+    /// Mean deviation over all bit pairs.
+    pub mean_bias: f64,
+    /// Number of sampled inputs.
+    pub samples: usize,
+}
+
+/// Measure avalanche behaviour of `hasher` on `samples` pseudo-random
+/// inputs: for every input bit `i`, flip it and record which output bits
+/// change. Ideal hashes flip every output bit with probability 1/2.
+pub fn avalanche(hasher: &dyn Hasher64, samples: usize) -> AvalancheReport {
+    assert!(samples > 0, "need at least one sample");
+    let mut flip_counts = [[0u32; 64]; 64];
+    let mut x = 0x0123_4567_89ab_cdefu64;
+    for _ in 0..samples {
+        x = crate::mix64(x.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        let base = hasher.hash_u64(x);
+        for (i, counts) in flip_counts.iter_mut().enumerate() {
+            let diff = base ^ hasher.hash_u64(x ^ (1u64 << i));
+            for (j, count) in counts.iter_mut().enumerate() {
+                *count += ((diff >> j) & 1) as u32;
+            }
+        }
+    }
+    let mut max_bias = 0.0f64;
+    let mut total = 0.0f64;
+    for counts in &flip_counts {
+        for &c in counts {
+            let bias = (f64::from(c) / samples as f64 - 0.5).abs();
+            max_bias = max_bias.max(bias);
+            total += bias;
+        }
+    }
+    AvalancheReport {
+        max_bias,
+        mean_bias: total / (64.0 * 64.0),
+        samples,
+    }
+}
+
+/// Chi-squared statistic of bucket occupancy when hashing `0..n` into
+/// `buckets` via the top-32-bit fastrange (the sketch's bucket path).
+/// For a uniform hash this is approximately chi²(buckets − 1): mean
+/// `buckets − 1`, sd `sqrt(2(buckets − 1))`.
+pub fn bucket_chi2(hasher: &dyn Hasher64, n: u64, buckets: usize) -> f64 {
+    assert!(buckets > 1, "need at least 2 buckets");
+    let mut counts = vec![0u32; buckets];
+    let m = buckets as u64;
+    for i in 0..n {
+        let h = hasher.hash_u64(i);
+        counts[(((h >> 32) * m) >> 32) as usize] += 1;
+    }
+    let expect = n as f64 / buckets as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = f64::from(c) - expect;
+            d * d / expect
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HashKind, Murmur3, SplitMix64Hasher, Xxh64};
+
+    #[test]
+    fn strong_hashes_have_full_avalanche() {
+        // 300 samples x 64 flips: per-cell sd ≈ 0.029; demand < 5 sigma.
+        for hasher in [
+            Box::new(SplitMix64Hasher::new(1)) as Box<dyn crate::Hasher64>,
+            Box::new(Xxh64::new(1)),
+            Box::new(Murmur3::new(1)),
+        ] {
+            let r = avalanche(&*hasher, 300);
+            assert!(r.max_bias < 0.15, "max bias {}", r.max_bias);
+            assert!(r.mean_bias < 0.03, "mean bias {}", r.mean_bias);
+        }
+    }
+
+    #[test]
+    fn carter_wegman_avalanche_is_weak() {
+        // The 2-universal affine map is *not* an avalanche function: some
+        // input bits barely influence some output bits. This is the
+        // structural root of the sequential-key failure documented in
+        // EXPERIMENTS.md.
+        let cw = HashKind::CarterWegman.build(1);
+        let r = avalanche(&*cw, 300);
+        assert!(
+            r.max_bias > 0.15,
+            "expected weak avalanche for CW, max bias {}",
+            r.max_bias
+        );
+    }
+
+    #[test]
+    fn bucket_chi2_in_range_for_strong_hashes() {
+        let buckets = 256;
+        let dof = (buckets - 1) as f64;
+        for kind in [HashKind::SplitMix64, HashKind::Xxh64, HashKind::Murmur3] {
+            let h = kind.build(3);
+            let chi2 = bucket_chi2(&*h, 100_000, buckets);
+            // Within 6 sd of the chi² mean.
+            assert!(
+                (chi2 - dof).abs() < 6.0 * (2.0 * dof).sqrt(),
+                "{}: chi2 {chi2}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn avalanche_rejects_zero_samples() {
+        avalanche(&SplitMix64Hasher::new(1), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's `c + d` hash-bit split, generalized to 64-bit hashes and
+//! arbitrary (non power-of-two) bucket counts.
+//!
+//! Algorithm 2 of the paper maps each item to `c + d` hashed bits: the
+//! first `c` select a bucket in a bitmap of size `m = 2^c`, the last `d`
+//! form an integer `u` compared against the scaled sampling rate
+//! (`u·2^{−d} < p`). We keep the same structure but draw both parts from
+//! one 64-bit hash: the high 32 bits select the bucket with Lemire's
+//! fastrange reduction (which removes the power-of-two restriction on `m`),
+//! and the low `d ≤ 32` bits form `u`.
+
+/// Splits a 64-bit hash into a bucket index and a `d`-bit sampling word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HashSplit {
+    m: u64,
+    d: u32,
+}
+
+impl HashSplit {
+    /// Create a splitter for `m` buckets using `d` sampling bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `m == 0`, `m > 2^32` (the bucket half of
+    /// the hash is 32 bits wide), or `d ∉ [1, 32]`.
+    pub fn new(m: usize, d: u32) -> Result<Self, String> {
+        if m == 0 {
+            return Err("bucket count m must be positive".into());
+        }
+        if m as u128 > 1 << 32 {
+            return Err(format!("bucket count m={m} exceeds 2^32"));
+        }
+        if d == 0 || d > 32 {
+            return Err(format!("sampling width d={d} must be in 1..=32"));
+        }
+        Ok(Self { m: m as u64, d })
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.m as usize
+    }
+
+    /// Width of the sampling word in bits (the paper's `d`).
+    #[inline]
+    pub fn sampling_bits(&self) -> u32 {
+        self.d
+    }
+
+    /// `2^d`, the denominator of the sampling comparison.
+    #[inline]
+    pub fn sampling_range(&self) -> u64 {
+        1u64 << self.d
+    }
+
+    /// Split a hash into `(bucket, u)` with `bucket < m` and `u < 2^d`.
+    ///
+    /// The two halves come from disjoint hash bits, so they are independent
+    /// under the uniform-hash assumption — the property Theorem 1 of the
+    /// paper needs (`S_t ⫫ I_t`).
+    #[inline]
+    pub fn split(&self, hash: u64) -> (usize, u64) {
+        let hi = hash >> 32;
+        let bucket = (hi * self.m) >> 32; // fastrange over the high 32 bits
+        let u = hash & (self.sampling_range() - 1);
+        (bucket as usize, u)
+    }
+
+    /// Convert a probability `p ∈ [0, 1]` into the `d`-bit threshold `t`
+    /// such that `u < t  ⇔  u·2^{−d} < p` (up to quantization: the achieved
+    /// rate is `t·2^{−d}`, the closest representable value not above... the
+    /// ceiling is used so small positive rates never quantize to zero).
+    #[inline]
+    pub fn threshold(&self, p: f64) -> u64 {
+        if p >= 1.0 {
+            return self.sampling_range();
+        }
+        if p <= 0.0 {
+            return 0;
+        }
+        let scaled = (p * self.sampling_range() as f64).ceil() as u64;
+        scaled.min(self.sampling_range()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hasher64, SplitMix64Hasher};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HashSplit::new(0, 32).is_err());
+        assert!(HashSplit::new(8, 0).is_err());
+        assert!(HashSplit::new(8, 33).is_err());
+        assert!(HashSplit::new(1 << 33, 32).is_err());
+        assert!(HashSplit::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn split_ranges_hold() {
+        let s = HashSplit::new(1000, 20).unwrap();
+        let h = SplitMix64Hasher::new(1);
+        for i in 0..10_000u64 {
+            let (b, u) = s.split(h.hash_u64(i));
+            assert!(b < 1000);
+            assert!(u < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let m = 64;
+        let s = HashSplit::new(m, 32).unwrap();
+        let h = SplitMix64Hasher::new(2);
+        let n = 64_000u64;
+        let mut counts = vec![0u32; m];
+        for i in 0..n {
+            counts[s.split(h.hash_u64(i)).0] += 1;
+        }
+        let expect = (n as usize / m) as f64;
+        // chi^2 with 63 dof; 200 is far beyond the 99.9% point (~104)
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expect).powi(2) / expect)
+            .sum();
+        assert!(chi2 < 200.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn threshold_edge_cases() {
+        let s = HashSplit::new(16, 8).unwrap();
+        assert_eq!(s.threshold(1.0), 256);
+        assert_eq!(s.threshold(0.0), 0);
+        assert_eq!(s.threshold(0.5), 128);
+        // Tiny positive rates never quantize to zero.
+        assert_eq!(s.threshold(1e-12), 1);
+        assert_eq!(s.threshold(2.0), 256);
+        assert_eq!(s.threshold(-0.5), 0);
+    }
+
+    #[test]
+    fn threshold_monotone_in_p() {
+        let s = HashSplit::new(16, 16).unwrap();
+        let mut last = 0;
+        for i in 0..=1000 {
+            let t = s.threshold(i as f64 / 1000.0);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn sampling_acceptance_rate_matches_threshold() {
+        let s = HashSplit::new(16, 32).unwrap();
+        let h = SplitMix64Hasher::new(3);
+        let p = 0.125;
+        let t = s.threshold(p);
+        let n = 200_000u64;
+        let accepted = (0..n).filter(|&i| s.split(h.hash_u64(i)).1 < t).count();
+        let rate = accepted as f64 / n as f64;
+        assert!((rate - p).abs() < 0.005, "rate = {rate}");
+    }
+}

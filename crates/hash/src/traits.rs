@@ -1,0 +1,112 @@
+//! The stream-hash trait shared by every sketch in the workspace.
+
+/// A seeded 64-bit hash over byte strings and machine words.
+///
+/// All sketches in this workspace consume items through this trait. The
+/// paper's analysis treats the hash as an ideal uniform map; the
+/// implementations provided here pass the avalanche and uniformity tests in
+/// this crate's test suite, which is the practical stand-in for that
+/// assumption.
+///
+/// Implementations must be deterministic: the same `(seed, input)` pair
+/// always produces the same output, so that experiments are reproducible
+/// and so that *duplicate stream items always hash identically* — the
+/// property the S-bitmap duplicate filter relies on.
+pub trait Hasher64: Send + Sync {
+    /// Hash an arbitrary byte string to 64 bits.
+    fn hash_bytes(&self, bytes: &[u8]) -> u64;
+
+    /// Hash a `u64` item. The default implementation routes through
+    /// [`Hasher64::hash_bytes`]; implementations may override with a faster
+    /// fixed-width path (all of ours do).
+    fn hash_u64(&self, x: u64) -> u64 {
+        self.hash_bytes(&x.to_le_bytes())
+    }
+
+    /// The seed this hasher was constructed with.
+    fn seed(&self) -> u64;
+}
+
+/// Hashers that can be reconstructed from their seed alone.
+///
+/// Every hasher in this crate is a pure function of its seed, which is what
+/// lets a serialized sketch rebuild its hasher on deserialization.
+pub trait FromSeed: Hasher64 + Sized {
+    /// Reconstruct the hasher from a seed.
+    fn from_seed(seed: u64) -> Self;
+}
+
+/// Enumeration of the hash families shipped in this crate, used by the
+/// hash-choice ablation experiment and by configuration surfaces that need
+/// a serializable hash identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashKind {
+    /// [`crate::SplitMix64Hasher`] — one multiply-xorshift chain (default).
+    SplitMix64,
+    /// [`crate::Xxh64`] — the XXH64 algorithm.
+    Xxh64,
+    /// [`crate::Murmur3`] — MurmurHash3 x64 variant.
+    Murmur3,
+    /// [`crate::CarterWegman`] — `((a·x + b) mod p)` over `p = 2^61 − 1`.
+    CarterWegman,
+}
+
+impl HashKind {
+    /// All hash kinds, in a stable order (used by the ablation sweep).
+    pub const ALL: [HashKind; 4] = [
+        HashKind::SplitMix64,
+        HashKind::Xxh64,
+        HashKind::Murmur3,
+        HashKind::CarterWegman,
+    ];
+
+    /// Construct a boxed hasher of this kind with the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn Hasher64> {
+        match self {
+            HashKind::SplitMix64 => Box::new(crate::SplitMix64Hasher::new(seed)),
+            HashKind::Xxh64 => Box::new(crate::Xxh64::new(seed)),
+            HashKind::Murmur3 => Box::new(crate::Murmur3::new(seed)),
+            HashKind::CarterWegman => Box::new(crate::CarterWegman::new(seed)),
+        }
+    }
+
+    /// Human-readable name (stable; used in experiment output tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            HashKind::SplitMix64 => "splitmix64",
+            HashKind::Xxh64 => "xxh64",
+            HashKind::Murmur3 => "murmur3",
+            HashKind::CarterWegman => "carter-wegman",
+        }
+    }
+}
+
+impl std::fmt::Display for HashKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl<H: Hasher64 + ?Sized> Hasher64 for &H {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        (**self).hash_bytes(bytes)
+    }
+    fn hash_u64(&self, x: u64) -> u64 {
+        (**self).hash_u64(x)
+    }
+    fn seed(&self) -> u64 {
+        (**self).seed()
+    }
+}
+
+impl Hasher64 for Box<dyn Hasher64> {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        (**self).hash_bytes(bytes)
+    }
+    fn hash_u64(&self, x: u64) -> u64 {
+        (**self).hash_u64(x)
+    }
+    fn seed(&self) -> u64 {
+        (**self).seed()
+    }
+}

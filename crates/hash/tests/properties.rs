@@ -1,0 +1,95 @@
+//! Property-based tests for the hashing substrate.
+
+use proptest::prelude::*;
+use sbitmap_hash::rng::{Rng, SplitMix64, Xoshiro256StarStar};
+use sbitmap_hash::{FromSeed, HashKind, HashSplit, Hasher64, SplitMix64Hasher};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn split_stays_in_bounds(m in 1usize..5_000_000, d in 1u32..=32, hash in any::<u64>()) {
+        let s = HashSplit::new(m, d).unwrap();
+        let (bucket, u) = s.split(hash);
+        prop_assert!(bucket < m);
+        prop_assert!(u < s.sampling_range());
+    }
+
+    #[test]
+    fn threshold_is_monotone_and_bounded(d in 1u32..=32, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let s = HashSplit::new(64, d).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.threshold(lo) <= s.threshold(hi));
+        prop_assert!(s.threshold(hi) <= s.sampling_range());
+    }
+
+    #[test]
+    fn threshold_semantics_match_probability(d in 4u32..=32, p in 0.0f64..=1.0) {
+        // u < threshold(p)  ⇔  u/2^d < achieved rate, and the achieved
+        // rate is within one quantum of p.
+        let s = HashSplit::new(64, d).unwrap();
+        let t = s.threshold(p);
+        let achieved = t as f64 / s.sampling_range() as f64;
+        prop_assert!((achieved - p).abs() <= 1.0 / s.sampling_range() as f64 + f64::EPSILON);
+    }
+
+    #[test]
+    fn hashers_are_pure_functions(seed in any::<u64>(), data in prop::collection::vec(any::<u8>(), 0..64)) {
+        for kind in HashKind::ALL {
+            let h1 = kind.build(seed);
+            let h2 = kind.build(seed);
+            prop_assert_eq!(h1.hash_bytes(&data), h2.hash_bytes(&data), "{}", kind.name());
+            prop_assert_eq!(h1.seed(), seed);
+        }
+    }
+
+    #[test]
+    fn from_seed_matches_new(seed in any::<u64>(), x in any::<u64>()) {
+        let a = SplitMix64Hasher::new(seed);
+        let b = SplitMix64Hasher::from_seed(seed);
+        prop_assert_eq!(a.hash_u64(x), b.hash_u64(x));
+    }
+
+    #[test]
+    fn next_below_is_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        for _ in 0..8 {
+            prop_assert!(g.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn next_range_is_inclusive(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut g = SplitMix64::new(seed);
+        let v = g.next_range(lo, hi);
+        prop_assert!(v >= lo && v <= hi);
+    }
+
+    #[test]
+    fn geometric_is_at_least_one(seed in any::<u64>(), p in 1e-6f64..=1.0) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        prop_assert!(g.geometric(p) >= 1);
+    }
+
+    #[test]
+    fn unit_interval_samplers_hold_bounds(seed in any::<u64>()) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        for _ in 0..32 {
+            let x = g.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            let y = g.next_f64_open();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..64)) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        let mut g = SplitMix64::new(seed);
+        g.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+}

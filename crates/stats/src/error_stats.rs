@@ -1,0 +1,167 @@
+//! Accumulator for relative-error metrics.
+
+/// Collects relative errors `n̂/n − 1` and reports the paper's metrics.
+///
+/// Stores the individual errors (8 bytes each) so that exact quantiles
+/// can be computed — the experiments run at most a few thousand
+/// replicates per cell, so this is cheap and avoids sketching the
+/// sketch-evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    rel_errors: Vec<f64>,
+}
+
+impl ErrorStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(truth, estimate)` pair. `truth` must be positive.
+    pub fn push(&mut self, truth: f64, estimate: f64) {
+        assert!(truth > 0.0, "truth must be positive, got {truth}");
+        self.rel_errors.push(estimate / truth - 1.0);
+    }
+
+    /// Record a pre-computed relative error.
+    pub fn push_rel(&mut self, rel_error: f64) {
+        self.rel_errors.push(rel_error);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.rel_errors.extend_from_slice(&other.rel_errors);
+    }
+
+    /// Number of recorded replicates.
+    pub fn count(&self) -> usize {
+        self.rel_errors.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rel_errors.is_empty()
+    }
+
+    /// The paper's headline metric: RRMSE = `sqrt(mean((n̂/n − 1)²))`.
+    pub fn rrmse(&self) -> f64 {
+        self.expect_nonempty();
+        (self.rel_errors.iter().map(|e| e * e).sum::<f64>() / self.count() as f64).sqrt()
+    }
+
+    /// L1 metric: `mean(|n̂/n − 1|)` (paper Tables 3–4).
+    pub fn l1(&self) -> f64 {
+        self.expect_nonempty();
+        self.rel_errors.iter().map(|e| e.abs()).sum::<f64>() / self.count() as f64
+    }
+
+    /// Mean signed relative error (bias check for Theorem 3).
+    pub fn mean_bias(&self) -> f64 {
+        self.expect_nonempty();
+        self.rel_errors.iter().sum::<f64>() / self.count() as f64
+    }
+
+    /// Exact `q`-quantile of `|n̂/n − 1|` (paper uses `q = 0.99`),
+    /// using the nearest-rank definition.
+    pub fn quantile_abs(&self, q: f64) -> f64 {
+        self.expect_nonempty();
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        let mut abs: Vec<f64> = self.rel_errors.iter().map(|e| e.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        let idx = ((abs.len() as f64 * q).ceil() as usize).clamp(1, abs.len()) - 1;
+        abs[idx]
+    }
+
+    /// Largest absolute relative error observed.
+    pub fn max_abs(&self) -> f64 {
+        self.expect_nonempty();
+        self.rel_errors.iter().fold(0.0, |m, e| m.max(e.abs()))
+    }
+
+    /// Fraction of replicates with `|n̂/n − 1|` exceeding `threshold` —
+    /// the exceedance curves of the paper's Figures 6 and 8.
+    pub fn exceedance(&self, threshold: f64) -> f64 {
+        self.expect_nonempty();
+        self.rel_errors.iter().filter(|e| e.abs() > threshold).count() as f64
+            / self.count() as f64
+    }
+
+    /// The raw relative errors (sorted copies are made by the metrics; the
+    /// stored order is insertion order).
+    pub fn rel_errors(&self) -> &[f64] {
+        &self.rel_errors
+    }
+
+    fn expect_nonempty(&self) {
+        assert!(!self.is_empty(), "no replicates recorded");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pairs: &[(f64, f64)]) -> ErrorStats {
+        let mut s = ErrorStats::new();
+        for &(t, e) in pairs {
+            s.push(t, e);
+        }
+        s
+    }
+
+    #[test]
+    fn rrmse_hand_computed() {
+        // errors: +0.1, -0.1 → rrmse 0.1, l1 0.1, bias 0.
+        let s = stats(&[(100.0, 110.0), (100.0, 90.0)]);
+        assert!((s.rrmse() - 0.1).abs() < 1e-12);
+        assert!((s.l1() - 0.1).abs() < 1e-12);
+        assert!(s.mean_bias().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rrmse_penalizes_outliers_more_than_l1() {
+        let s = stats(&[(100.0, 100.0), (100.0, 100.0), (100.0, 200.0)]);
+        assert!(s.rrmse() > s.l1());
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = ErrorStats::new();
+        for i in 1..=100 {
+            s.push_rel(i as f64 / 100.0);
+        }
+        assert!((s.quantile_abs(0.99) - 0.99).abs() < 1e-12);
+        assert!((s.quantile_abs(0.5) - 0.5).abs() < 1e-12);
+        assert!((s.quantile_abs(1.0) - 1.0).abs() < 1e-12);
+        assert!((s.quantile_abs(0.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceedance_counts_tails() {
+        let s = stats(&[(10.0, 10.0), (10.0, 15.0), (10.0, 4.0), (10.0, 10.1)]);
+        assert!((s.exceedance(0.2) - 0.5).abs() < 1e-12);
+        assert!((s.exceedance(10.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = stats(&[(1.0, 2.0)]);
+        let b = stats(&[(1.0, 0.5), (1.0, 1.0)]);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.max_abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicates")]
+    fn empty_metrics_panic() {
+        ErrorStats::new().rrmse();
+    }
+
+    #[test]
+    #[should_panic(expected = "truth must be positive")]
+    fn zero_truth_rejected() {
+        let mut s = ErrorStats::new();
+        s.push(0.0, 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used to validate that the Lemma-1 fast simulator draws from the *same
+//! distribution* as the real hashed sketch — a stronger check than
+//! comparing RRMSEs, which only matches second moments.
+
+/// The two-sample KS statistic `D = sup |F_a(x) − F_b(x)|` over the
+/// empirical CDFs of the two samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let sort = |v: &[f64]| -> Vec<f64> {
+        let mut v = v.to_vec();
+        v.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in KS samples"));
+        v
+    };
+    let (a, b) = (sort(a), sort(b));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        // Advance past the smallest pending value in *both* samples so
+        // that ties move the two CDFs together.
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Asymptotic critical value of the two-sample KS statistic at
+/// significance `alpha` (Smirnov): `c(α)·sqrt((n+m)/(n·m))` with
+/// `c(α) = sqrt(−ln(α/2)/2)`.
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// `true` when the two samples are consistent with one distribution at
+/// significance `alpha` (i.e. the KS statistic is below its critical
+/// value — failing to reject the null).
+pub fn ks_same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    ks_statistic(a, b) < ks_critical(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbitmap_hash::rng::{Rng, Xoshiro256StarStar};
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_passes_shifted_fails() {
+        let mut rng = Xoshiro256StarStar::new(42);
+        let a: Vec<f64> = (0..2_000).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..2_000).map(|_| rng.normal()).collect();
+        assert!(ks_same_distribution(&a, &b, 0.01), "same dist rejected");
+        let shifted: Vec<f64> = b.iter().map(|x| x + 0.3).collect();
+        assert!(
+            !ks_same_distribution(&a, &shifted, 0.01),
+            "clearly shifted dist accepted"
+        );
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_samples() {
+        assert!(ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05));
+        // Known constant: c(0.05) ≈ 1.358; at n=m the factor is sqrt(2/n).
+        let expect = 1.358 * (2.0f64 / 100.0).sqrt();
+        assert!((ks_critical(100, 100, 0.05) - expect).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        ks_statistic(&[], &[1.0]);
+    }
+}

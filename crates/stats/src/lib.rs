@@ -1,0 +1,26 @@
+//! # sbitmap-stats — error metrics and the replication harness
+//!
+//! The paper evaluates estimators by their relative error distribution
+//! over many independent replicates (1000 per cardinality in §6):
+//!
+//! * [`ErrorStats`] accumulates `(truth, estimate)` pairs and reports the
+//!   paper's three metrics — L1 (`E|n̂/n − 1|`), L2/RRMSE
+//!   (`sqrt(E(n̂/n − 1)²)`), and quantiles of `|n̂/n − 1|` — plus bias;
+//! * [`replicate`] runs a replicated experiment across threads with
+//!   deterministic per-replicate seeds, so every table in EXPERIMENTS.md
+//!   is reproducible bit-for-bit at a fixed thread-independent seed
+//!   schedule;
+//! * [`ks_statistic`] / [`ks_same_distribution`] — a two-sample
+//!   Kolmogorov–Smirnov test, used to validate the fast simulator
+//!   against the real sketch at the whole-distribution level.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error_stats;
+mod ks;
+mod replicate;
+
+pub use error_stats::ErrorStats;
+pub use ks::{ks_critical, ks_same_distribution, ks_statistic};
+pub use replicate::{default_threads, replicate, replicate_with_threads};

@@ -1,0 +1,106 @@
+//! Parallel replication harness with deterministic seeding.
+
+use crate::ErrorStats;
+
+/// A sensible thread count for the experiment harness: the machine's
+/// available parallelism capped at 16 (the workloads are memory-light and
+/// scale linearly well past that, but the experiments don't need more).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+/// Run `reps` independent replicates of `trial` on [`default_threads`]
+/// threads and collect the error statistics.
+///
+/// `trial(replicate_index)` returns one `(truth, estimate)` pair. The
+/// replicate index is the *only* source of randomness handed to the
+/// trial — derive RNGs and sketch seeds from it — so results do not
+/// depend on the thread count or interleaving.
+pub fn replicate<F>(reps: usize, trial: F) -> ErrorStats
+where
+    F: Fn(u64) -> (f64, f64) + Sync,
+{
+    replicate_with_threads(reps, default_threads(), trial)
+}
+
+/// [`replicate`] with an explicit thread count.
+pub fn replicate_with_threads<F>(reps: usize, threads: usize, trial: F) -> ErrorStats
+where
+    F: Fn(u64) -> (f64, f64) + Sync,
+{
+    let threads = threads.max(1).min(reps.max(1));
+    let trial = &trial;
+    let chunks: Vec<ErrorStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = ErrorStats::new();
+                    // Strided assignment keeps chunk sizes within 1.
+                    let mut r = t as u64;
+                    while (r as usize) < reps {
+                        let (truth, est) = trial(r);
+                        local.push(truth, est);
+                        r += threads as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replicate worker panicked"))
+            .collect()
+    });
+    let mut all = ErrorStats::new();
+    for c in &chunks {
+        all.merge(c);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_replicate_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mask = AtomicU64::new(0);
+        let stats = replicate_with_threads(64, 7, |r| {
+            let bit = 1u64 << r;
+            let prev = mask.fetch_or(bit, Ordering::SeqCst);
+            assert_eq!(prev & bit, 0, "replicate {r} ran twice");
+            (1.0, 1.0)
+        });
+        assert_eq!(stats.count(), 64);
+        assert_eq!(mask.load(Ordering::SeqCst), u64::MAX);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let trial = |r: u64| (100.0, 100.0 + (r % 7) as f64);
+        let a = replicate_with_threads(100, 1, trial);
+        let b = replicate_with_threads(100, 8, trial);
+        // Same multiset of errors → identical metrics.
+        assert!((a.rrmse() - b.rrmse()).abs() < 1e-15);
+        assert!((a.l1() - b.l1()).abs() < 1e-15);
+        assert!((a.quantile_abs(0.99) - b.quantile_abs(0.99)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_threads_than_reps_is_fine() {
+        let s = replicate_with_threads(3, 64, |_| (1.0, 1.0));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn zero_reps_yields_empty_stats() {
+        let s = replicate_with_threads(0, 4, |_| unreachable!());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic 600-link backbone flow-count snapshot (the paper's §7.2
+//! substitute).
+//!
+//! The paper's Figure 7 reports the distribution of five-minute flow
+//! counts across 600 Tier-1 backbone MPLS links, publishing the
+//! 0.1%/25%/50%/75%/99% quantiles (18 / 196 / 2817 / 19401 / 361485) and
+//! noting that ~10% of links with fewer than 10 flows were excluded.
+//! Since the original traces were unavailable *to the paper's authors
+//! too*, they simulated per-link streams from the observed counts — this
+//! module regenerates the counts themselves by sampling from the quantile
+//! function reconstructed by monotone log-linear interpolation through
+//! the published points.
+
+use crate::generators::distinct_items;
+use sbitmap_hash::rng::{Rng, Xoshiro256StarStar};
+
+/// The published quantiles of Figure 7: `(probability, flow count)`.
+pub const FIGURE7_QUANTILES: [(f64, f64); 5] = [
+    (0.001, 18.0),
+    (0.25, 196.0),
+    (0.50, 2_817.0),
+    (0.75, 19_401.0),
+    (0.99, 361_485.0),
+];
+
+/// Endpoints used to close the quantile function: the paper floors counts
+/// at 10 and configures the estimators for `N = 1.5×10^6`.
+const P0: (f64, f64) = (0.0, 10.0);
+const P1: (f64, f64) = (1.0, 1_200_000.0);
+
+/// Evaluate the reconstructed quantile function at probability `p`.
+pub fn quantile(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let mut lo = P0;
+    let mut hi = P1;
+    for &(q, v) in &FIGURE7_QUANTILES {
+        if q <= p && q >= lo.0 {
+            lo = (q, v);
+        }
+        if q >= p && q < hi.0 {
+            hi = (q, v);
+        }
+    }
+    if (hi.0 - lo.0).abs() < f64::EPSILON {
+        return lo.1;
+    }
+    let t = (p - lo.0) / (hi.0 - lo.0);
+    // Log-linear between knots: counts span 5 orders of magnitude.
+    (lo.1.ln() + t * (hi.1.ln() - lo.1.ln())).exp()
+}
+
+/// A snapshot of per-link five-minute distinct flow counts.
+#[derive(Debug, Clone)]
+pub struct BackboneSnapshot {
+    seed: u64,
+    counts: Vec<u64>,
+}
+
+impl BackboneSnapshot {
+    /// Number of links in the paper's snapshot.
+    pub const LINKS: usize = 600;
+
+    /// Generate the snapshot (600 links), deterministic in `seed`.
+    pub fn generate(seed: u64) -> Self {
+        Self::with_links(Self::LINKS, seed)
+    }
+
+    /// Generate a snapshot with an arbitrary link count (for tests and
+    /// scaled-down runs).
+    pub fn with_links(links: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256StarStar::new(seed ^ 0x0006_00d1_u64);
+        // Stratified sampling: one uniform draw per equal-probability
+        // stratum, shuffled. With 600 links this pins the empirical
+        // quantiles to the published ones far more tightly than i.i.d.
+        // draws would.
+        let mut counts: Vec<u64> = (0..links)
+            .map(|i| {
+                let p = (i as f64 + rng.next_f64()) / links as f64;
+                quantile(p).round().max(1.0) as u64
+            })
+            .collect();
+        rng.shuffle(&mut counts);
+        Self { seed, counts }
+    }
+
+    /// Per-link distinct flow counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The distinct flow-id stream for one link (ids unique within the
+    /// link, as in the worm trace — see `WormTrace::minute_stream`).
+    pub fn link_stream(&self, link: usize) -> crate::generators::DistinctItems {
+        distinct_items(
+            self.seed.wrapping_mul(0xd129_0d3b_32f8_57a1).wrapping_add(link as u64),
+            self.counts[link],
+        )
+    }
+
+    /// Histogram of `log2(count)` with unit-width bins — the paper's
+    /// Figure 7 view. Returns `(bin_floor_log2, count)` pairs.
+    pub fn log2_histogram(&self) -> Vec<(u32, usize)> {
+        let mut bins = std::collections::BTreeMap::new();
+        for &c in &self.counts {
+            let b = (c.max(1) as f64).log2().floor() as u32;
+            *bins.entry(b).or_insert(0usize) += 1;
+        }
+        bins.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_quantile(sorted: &[u64], p: f64) -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx] as f64
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            BackboneSnapshot::generate(5).counts(),
+            BackboneSnapshot::generate(5).counts()
+        );
+        assert_ne!(
+            BackboneSnapshot::generate(5).counts(),
+            BackboneSnapshot::generate(6).counts()
+        );
+    }
+
+    #[test]
+    fn reproduces_published_quantiles() {
+        let snap = BackboneSnapshot::generate(1);
+        let mut sorted = snap.counts().to_vec();
+        sorted.sort_unstable();
+        for &(p, expect) in &FIGURE7_QUANTILES {
+            let got = empirical_quantile(&sorted, p);
+            let ratio = got / expect;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "quantile {p}: got {got}, published {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_function_is_monotone() {
+        let mut last = 0.0;
+        for i in 0..=1000 {
+            let q = quantile(i as f64 / 1000.0);
+            assert!(q >= last, "quantile dipped at p={}", i as f64 / 1000.0);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn quantile_hits_knots() {
+        for &(p, v) in &FIGURE7_QUANTILES {
+            assert!((quantile(p) / v - 1.0).abs() < 1e-9, "knot {p}");
+        }
+    }
+
+    #[test]
+    fn counts_span_orders_of_magnitude() {
+        let snap = BackboneSnapshot::generate(2);
+        let min = *snap.counts().iter().min().unwrap();
+        let max = *snap.counts().iter().max().unwrap();
+        assert!(min < 100);
+        assert!(max > 100_000);
+        assert!(max < 1_500_000, "within the paper's N = 1.5e6 design");
+    }
+
+    #[test]
+    fn link_streams_match_counts() {
+        let snap = BackboneSnapshot::with_links(20, 3);
+        for link in 0..20 {
+            let items: Vec<u64> = snap.link_stream(link).collect();
+            assert_eq!(items.len() as u64, snap.counts()[link]);
+        }
+    }
+
+    #[test]
+    fn histogram_covers_all_links() {
+        let snap = BackboneSnapshot::generate(4);
+        let total: usize = snap.log2_histogram().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 600);
+    }
+}

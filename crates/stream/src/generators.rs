@@ -1,0 +1,164 @@
+//! Item-stream generators with controlled distinct counts and duplication.
+
+use sbitmap_hash::mix64;
+use sbitmap_hash::rng::{Rng, Xoshiro256StarStar};
+
+/// An iterator over exactly `n` distinct `u64` items, decorrelated across
+/// `stream_id`s (different ids produce disjoint-in-distribution item sets).
+///
+/// Items are `base + i` for a stream-specific 64-bit base: distinctness
+/// within the stream is structural, and the sketches' own hashing removes
+/// any sequential structure.
+#[derive(Debug, Clone)]
+pub struct DistinctItems {
+    next: u64,
+    remaining: u64,
+}
+
+impl Iterator for DistinctItems {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let item = self.next;
+        self.next = self.next.wrapping_add(1);
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DistinctItems {}
+
+/// `n` distinct items for the given stream id.
+pub fn distinct_items(stream_id: u64, n: u64) -> DistinctItems {
+    DistinctItems {
+        next: mix64(stream_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5851_f42d_4c95_7f2d),
+        remaining: n,
+    }
+}
+
+/// A stream of `total` items drawn from `n` distinct values with
+/// Zipf(`alpha`)-distributed frequencies, in random order. Returns the
+/// materialized stream plus the number of values that actually occurred
+/// (the ground-truth distinct count — for small `total` not every value
+/// is hit).
+///
+/// This is the duplicate-heavy workload shape of the paper's motivating
+/// applications (flow keys repeat per packet; peers repeat per
+/// connection).
+pub fn zipf_stream(stream_id: u64, n: u64, total: u64, alpha: f64) -> (Vec<u64>, u64) {
+    assert!(n > 0, "need at least one distinct value");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    let mut rng = Xoshiro256StarStar::new(stream_id ^ 0xabcd_ef01_2345_6789);
+
+    // Cumulative Zipf weights over ranks 1..=n.
+    let mut cumulative = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=n {
+        acc += (rank as f64).powf(-alpha);
+        cumulative.push(acc);
+    }
+
+    let base = distinct_items(stream_id, n);
+    let values: Vec<u64> = base.collect();
+    let mut out = Vec::with_capacity(total as usize);
+    let mut seen = vec![false; n as usize];
+    let mut distinct_hit = 0u64;
+    for _ in 0..total {
+        let u = rng.next_f64() * acc;
+        let idx = cumulative.partition_point(|&c| c < u).min(n as usize - 1);
+        if !seen[idx] {
+            seen[idx] = true;
+            distinct_hit += 1;
+        }
+        out.push(values[idx]);
+    }
+    (out, distinct_hit)
+}
+
+/// Shuffle a materialized stream in place, deterministically in the seed.
+pub fn shuffle_stream(items: &mut [u64], seed: u64) {
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0x1357_9bdf_2468_ace0);
+    rng.shuffle(items);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_items_are_distinct_and_exact() {
+        let items: Vec<u64> = distinct_items(1, 10_000).collect();
+        assert_eq!(items.len(), 10_000);
+        let set: HashSet<u64> = items.iter().copied().collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let a: Vec<u64> = distinct_items(1, 100).collect();
+        let b: Vec<u64> = distinct_items(2, 100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let it = distinct_items(3, 42);
+        assert_eq!(it.len(), 42);
+    }
+
+    #[test]
+    fn zipf_stream_counts_ground_truth() {
+        let (items, distinct) = zipf_stream(7, 1_000, 50_000, 1.1);
+        assert_eq!(items.len(), 50_000);
+        let set: HashSet<u64> = items.iter().copied().collect();
+        assert_eq!(set.len() as u64, distinct);
+        assert!(distinct <= 1_000);
+        // With 50 draws per value on average most values appear.
+        assert!(distinct > 500, "only {distinct} distinct");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let (items, _) = zipf_stream(9, 100, 100_000, 0.0);
+        // Uniform: the most common value should appear ~1000 times ± noise.
+        let mut counts = std::collections::HashMap::new();
+        for &i in &items {
+            *counts.entry(i).or_insert(0u32) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max < 1_300, "max count {max} too skewed for uniform");
+    }
+
+    #[test]
+    fn zipf_high_alpha_is_skewed() {
+        let (items, _) = zipf_stream(9, 100, 100_000, 2.0);
+        let mut counts = std::collections::HashMap::new();
+        for &i in &items {
+            *counts.entry(i).or_insert(0u32) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 50_000, "max count {max} not skewed enough");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let (mut items, _) = zipf_stream(11, 50, 1_000, 1.0);
+        let mut before = items.clone();
+        shuffle_stream(&mut items, 1);
+        assert_ne!(before, items);
+        before.sort_unstable();
+        let mut after = items;
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

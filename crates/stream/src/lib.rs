@@ -1,0 +1,29 @@
+//! # sbitmap-stream — workloads and synthetic traces
+//!
+//! The experiment harness needs three kinds of input:
+//!
+//! * [`generators`] — item streams with controlled distinct counts and
+//!   duplication patterns (sequential, shuffled, Zipf-duplicated);
+//! * [`worm`] — a synthetic stand-in for the MIT LCS "Slammer" outbreak
+//!   traces used in the paper's §7.1 (per-minute flow counts on two
+//!   peering links, bursty and non-stationary);
+//! * [`backbone`] — a synthetic stand-in for the Tier-1 provider's
+//!   600-link five-minute flow-count snapshot of §7.2, regenerated from
+//!   the quantiles the paper publishes under its Figure 7.
+//!
+//! Both trace generators are deterministic in their seed, and both match
+//! the *published statistics* of the original data (see DESIGN.md §4 for
+//! the substitution argument — notably, the paper itself simulated
+//! per-link streams from observed counts in §7.2, which is exactly what
+//! we do).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backbone;
+pub mod generators;
+pub mod worm;
+
+pub use backbone::BackboneSnapshot;
+pub use generators::{distinct_items, shuffle_stream, zipf_stream, DistinctItems};
+pub use worm::{WormLink, WormTrace};

@@ -1,0 +1,46 @@
+//! Capacity planner: given a cardinality range `N` and target RRMSE,
+//! print the memory each sketch family needs (the paper's Table 2 / Fig 3
+//! decision, as a tool).
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner -- 1000000 0.02
+//! ```
+
+use sbitmap::baselines::memory_model;
+use sbitmap::core::Dimensioning;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_max: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let epsilon: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+
+    println!("capacity plan for N = {n_max}, target RRMSE = {:.1}%\n", epsilon * 100.0);
+
+    let dims = Dimensioning::from_error(n_max, epsilon).expect("valid target");
+    let sb = dims.m() as f64;
+    let hll = memory_model::hyperloglog_bits(n_max, epsilon);
+    let ll = memory_model::loglog_bits(n_max, epsilon);
+    let fm = memory_model::fm_bits(epsilon);
+
+    println!("method        bits      vs S-bitmap");
+    for (name, bits) in [
+        ("S-bitmap", sb),
+        ("HyperLogLog", hll),
+        ("LogLog", ll),
+        ("FM/PCSA", fm),
+    ] {
+        println!("{name:<12}  {bits:>8.0}  {:>6.2}x", bits / sb);
+    }
+
+    println!("\nS-bitmap details: C = {:.1}, b_max = {}, fill at N = {} bits", dims.c(), dims.b_max(), dims.b_max());
+    let crossover = sbitmap::core::theory::hll_crossover_epsilon(n_max);
+    println!(
+        "asymptotic crossover at N = {n_max}: S-bitmap wins for eps below ~{:.2}%",
+        crossover * 100.0
+    );
+    if epsilon < crossover {
+        println!("=> your target is in the S-bitmap's regime");
+    } else {
+        println!("=> your target favours HyperLogLog (coarse accuracy, huge range)");
+    }
+}

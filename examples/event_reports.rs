@@ -1,0 +1,69 @@
+//! Event reports with Gibbons' distinct sampling (paper §2.4): beyond
+//! the plain distinct count, estimate *how many distinct flows match a
+//! multiplicity predicate* — e.g. singleton flows (one packet ever), the
+//! classic port-scan signature, vs heavy flows.
+//!
+//! This is the query class the S-bitmap gives up in exchange for its
+//! memory advantage; the example shows both sketches side by side on the
+//! same stream so the trade-off is concrete.
+//!
+//! ```sh
+//! cargo run --release --example event_reports
+//! ```
+
+use sbitmap::baselines::DistinctSampling;
+use sbitmap::core::{DistinctCounter, SBitmap};
+use sbitmap::hash::rng::{Rng, Xoshiro256StarStar};
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::new(7);
+
+    // Build a stream: 60k "normal" flows with 2-50 packets each, plus a
+    // scanner sending exactly one packet to each of 15k distinct targets.
+    let mut packets: Vec<u64> = Vec::new();
+    for flow in 0..60_000u64 {
+        let count = 2 + rng.next_below(49);
+        for _ in 0..count {
+            packets.push(flow);
+        }
+    }
+    for scan in 0..15_000u64 {
+        packets.push(0xdead_0000_0000 + scan);
+    }
+    rng.shuffle(&mut packets);
+
+    let truth_distinct = 75_000.0;
+    let truth_singletons = 15_000.0;
+
+    // Same memory for both sketches.
+    let m_bits = 32_768;
+    let mut sbitmap = SBitmap::with_memory(1_000_000, m_bits, 1).expect("config");
+    let mut gibbons = DistinctSampling::with_memory(m_bits, 1).expect("config");
+    for &p in &packets {
+        sbitmap.insert_u64(p);
+        gibbons.insert_u64(p);
+    }
+
+    println!("stream: {} packets, {truth_distinct} distinct flows, {truth_singletons} singletons\n", packets.len());
+    println!(
+        "S-bitmap          : distinct = {:>8.0}  ({:+.1}%)   [no multiplicity queries]",
+        sbitmap.estimate(),
+        (sbitmap.estimate() / truth_distinct - 1.0) * 100.0
+    );
+    println!(
+        "distinct sampling : distinct = {:>8.0}  ({:+.1}%)",
+        gibbons.estimate(),
+        (gibbons.estimate() / truth_distinct - 1.0) * 100.0
+    );
+    let singles = gibbons.singletons();
+    println!(
+        "                    singletons = {singles:>6.0}  ({:+.1}%)   <- scan detector",
+        (singles / truth_singletons - 1.0) * 100.0
+    );
+    let heavy = gibbons.estimate_where(|c| c >= 10);
+    println!("                    flows with >= 10 packets = {heavy:.0}");
+    println!(
+        "\nscan alarm: {:.0}% of distinct flows are singletons (normal traffic baseline ~0%)",
+        100.0 * singles / gibbons.estimate()
+    );
+}

@@ -1,0 +1,71 @@
+//! Backbone link survey: the paper's §7.2 scenario — one sketch per link,
+//! flow counts spanning five orders of magnitude, one shared
+//! configuration.
+//!
+//! The point of scale-invariance: an operator dimensions *once* for the
+//! whole network (`N = 1.5e6`, 7.2 kbit per link) and gets the same
+//! relative accuracy on a 50-flow link as on a 500k-flow link, instead of
+//! tuning per-link sampling rates.
+//!
+//! ```sh
+//! cargo run --release --example link_survey
+//! ```
+
+use std::sync::Arc;
+
+use sbitmap::core::{DistinctCounter, RateSchedule, SBitmap};
+use sbitmap::hash::SplitMix64Hasher;
+use sbitmap::stream::BackboneSnapshot;
+
+fn main() {
+    let snapshot = BackboneSnapshot::generate(600);
+    // One schedule, shared by all 600 sketches (the threshold table is
+    // configuration, not per-sketch state).
+    let schedule = Arc::new(RateSchedule::from_memory(1_500_000, 7_200).expect("config"));
+    println!(
+        "shared config: m = 7200 bits/link, C = {:.1}, expected RRMSE = {:.1}%\n",
+        schedule.dims().c(),
+        schedule.dims().epsilon() * 100.0
+    );
+
+    let mut worst: (usize, f64) = (0, 0.0);
+    let mut by_decade: Vec<(u64, Vec<f64>)> =
+        vec![(100, vec![]), (10_000, vec![]), (1_000_000, vec![]), (u64::MAX, vec![])];
+    for link in 0..snapshot.counts().len() {
+        let truth = snapshot.counts()[link];
+        if truth < 10 {
+            continue; // the paper drops links with under 10 flows
+        }
+        let mut sketch =
+            SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(link as u64));
+        for flow in snapshot.link_stream(link) {
+            sketch.insert_u64(flow);
+        }
+        let rel = sketch.estimate() / truth as f64 - 1.0;
+        if rel.abs() > worst.1.abs() {
+            worst = (link, rel);
+        }
+        let bucket = by_decade
+            .iter_mut()
+            .find(|(cap, _)| truth <= *cap)
+            .expect("decade bucket");
+        bucket.1.push(rel);
+    }
+
+    println!("scale         links  RRMSE");
+    let labels = ["n <= 100", "n <= 10k", "n <= 1M", "n > 1M"];
+    for ((_, errs), label) in by_decade.iter().zip(labels) {
+        if errs.is_empty() {
+            continue;
+        }
+        let rrmse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        println!("{label:<12}  {:>5}  {:>5.2}%", errs.len(), rrmse * 100.0);
+    }
+    println!(
+        "\nworst link: #{} with {:+.1}% (count {})",
+        worst.0,
+        worst.1 * 100.0,
+        snapshot.counts()[worst.0]
+    );
+    println!("total sketch memory for the whole survey: {:.1} KiB", 600.0 * 7200.0 / 8192.0);
+}

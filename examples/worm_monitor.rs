@@ -1,0 +1,50 @@
+//! Worm-outbreak monitoring: the paper's §7.1 scenario as an application.
+//!
+//! A network operator watches per-minute distinct flow counts on a
+//! peering link; a sudden jump in flows is the signature of worm
+//! scanning (the paper's motivating example from Bu et al. 2006). One
+//! 8-kbit S-bitmap per minute — managed by [`RotatingCounter`] — gives
+//! ≈ 2.2% accuracy up to a million flows, accurate enough to alarm on
+//! genuine multiples.
+//!
+//! ```sh
+//! cargo run --release --example worm_monitor
+//! ```
+
+use sbitmap::core::{DistinctCounter, RotatingCounter, SBitmap};
+use sbitmap::stream::{WormLink, WormTrace};
+
+fn main() {
+    let trace = WormTrace::generate(WormLink::Link1, 20030125);
+    let sketch = SBitmap::with_memory(1_000_000, 8_000, 7).expect("paper config");
+    // Keep a 15-minute history; its median is the alarm baseline.
+    let mut monitor = RotatingCounter::new(sketch, 15);
+
+    let mut alarms = 0usize;
+    println!("minute  estimate  baseline  status");
+    for minute in 0..WormTrace::MINUTES {
+        for flow in trace.minute_stream(minute) {
+            monitor.insert_u64(flow);
+        }
+        let estimate = monitor.current_estimate();
+        let baseline = monitor.baseline().unwrap_or(estimate);
+        if estimate > 3.0 * baseline {
+            alarms += 1;
+            println!(
+                "{minute:>6}  {estimate:>8.0}  {baseline:>8.0}  ALARM: flow count jumped {:.1}x",
+                estimate / baseline
+            );
+        } else if minute % 60 == 0 {
+            println!("{minute:>6}  {estimate:>8.0}  {baseline:>8.0}  ok");
+        }
+        monitor.rotate();
+    }
+    println!(
+        "\n{alarms} alarm minutes over {} (bursty scanners in the trace)",
+        WormTrace::MINUTES
+    );
+    println!(
+        "sketch memory: {} bits vs exact counting at ~64 bits/flow x ~40k flows/min",
+        monitor.counter().memory_bits()
+    );
+}

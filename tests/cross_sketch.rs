@@ -1,0 +1,156 @@
+//! Cross-crate behavioural tests: every sketch honours the
+//! `DistinctCounter` contract on the same streams.
+
+use sbitmap::baselines::{
+    AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog,
+    KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
+};
+use sbitmap::core::{DistinctCounter, SBitmap};
+use sbitmap::stream::{distinct_items, shuffle_stream, zipf_stream};
+
+const N_MAX: u64 = 1_000_000;
+const M: usize = 8_000;
+
+fn fleet(seed: u64) -> Vec<Box<dyn DistinctCounter>> {
+    vec![
+        Box::new(SBitmap::with_memory(N_MAX, M, seed).unwrap()),
+        Box::new(LinearCounting::new(M, seed).unwrap()),
+        Box::new(VirtualBitmap::for_cardinality(M, N_MAX, seed).unwrap()),
+        Box::new(AdaptiveBitmap::new(M, seed).unwrap()),
+        Box::new(MrBitmap::with_memory(M, N_MAX, seed).unwrap()),
+        Box::new(FmSketch::with_memory(M, seed).unwrap()),
+        Box::new(LogLog::with_memory(M, N_MAX, seed).unwrap()),
+        Box::new(HyperLogLog::with_memory(M, N_MAX, seed).unwrap()),
+        Box::new(AdaptiveSampling::with_memory(M, seed).unwrap()),
+        Box::new(DistinctSampling::with_memory(M, seed).unwrap()),
+        Box::new(KMinValues::with_memory(M, seed).unwrap()),
+        Box::new(ExactCounter::new(seed)),
+    ]
+}
+
+#[test]
+fn all_sketches_estimate_within_their_class_tolerance() {
+    let n = 40_000u64;
+    for mut sketch in fleet(11) {
+        for item in distinct_items(5, n) {
+            sketch.insert_u64(item);
+        }
+        let rel = sketch.estimate() / n as f64 - 1.0;
+        // Linear counting is over capacity at 40k/8000 bits (v = 5) and
+        // allowed a wide band; everything else must be within 25%.
+        let tol = if sketch.name() == "linear-counting" { 0.9 } else { 0.25 };
+        assert!(
+            rel.abs() < tol,
+            "{}: rel err {rel} at n={n}",
+            sketch.name()
+        );
+    }
+}
+
+#[test]
+fn duplicates_never_change_estimates() {
+    let (mut stream, truth) = zipf_stream(3, 5_000, 60_000, 1.2);
+    for mut sketch in fleet(13) {
+        for &item in &stream {
+            sketch.insert_u64(item);
+        }
+        let first = sketch.estimate();
+        // Replay the whole stream again, shuffled differently.
+        shuffle_stream(&mut stream, 99);
+        for &item in &stream {
+            sketch.insert_u64(item);
+        }
+        assert_eq!(
+            sketch.estimate(),
+            first,
+            "{}: duplicates changed the estimate",
+            sketch.name()
+        );
+        let rel = first / truth as f64 - 1.0;
+        assert!(rel.abs() < 0.5, "{}: {rel}", sketch.name());
+    }
+}
+
+#[test]
+fn order_invariance_of_final_state() {
+    // All sketches here are order-insensitive on duplicate-free streams
+    // *except* the S-bitmap and adaptive sampling (their sampling depends
+    // on arrival order); for those we only require both orders to be
+    // within tolerance, not identical.
+    let n = 20_000u64;
+    let mut forward: Vec<u64> = distinct_items(21, n).collect();
+    for (mut a, mut b) in fleet(17).into_iter().zip(fleet(17)) {
+        for &item in &forward {
+            a.insert_u64(item);
+        }
+        shuffle_stream(&mut forward, 7);
+        for &item in &forward {
+            b.insert_u64(item);
+        }
+        let name = a.name();
+        if matches!(name, "s-bitmap" | "adaptive-sampling" | "distinct-sampling") {
+            let ra = a.estimate() / n as f64 - 1.0;
+            let rb = b.estimate() / n as f64 - 1.0;
+            assert!(ra.abs() < 0.2 && rb.abs() < 0.2, "{name}: {ra} vs {rb}");
+        } else {
+            assert_eq!(a.estimate(), b.estimate(), "{name} should be order-invariant");
+        }
+    }
+}
+
+#[test]
+fn reset_returns_every_sketch_to_empty() {
+    for mut sketch in fleet(19) {
+        for item in distinct_items(1, 5_000) {
+            sketch.insert_u64(item);
+        }
+        sketch.reset();
+        let e = sketch.estimate();
+        // The raw log-counting estimators have a small additive floor
+        // (alpha * m for LogLog, m/phi for FM); everything else must
+        // report ~0.
+        let floor = if matches!(sketch.name(), "loglog" | "fm-pcsa") { 0.1 * M as f64 } else { 1e-9 };
+        assert!(e <= floor, "{}: estimate {e} after reset", sketch.name());
+        // And they keep working after reset.
+        for item in distinct_items(2, 1_000) {
+            sketch.insert_u64(item);
+        }
+        let rel = sketch.estimate() / 1_000.0 - 1.0;
+        let tol = if matches!(
+            sketch.name(),
+            "loglog" | "fm-pcsa" | "adaptive-sampling" | "distinct-sampling"
+        ) {
+            0.6 // small-capacity sampling sketches at n = 1000
+        } else {
+            0.3
+        };
+        assert!(rel.abs() < tol, "{}: post-reset rel {rel}", sketch.name());
+    }
+}
+
+#[test]
+fn byte_and_u64_interfaces_both_count() {
+    for mut sketch in fleet(23) {
+        for i in 0..2_000u64 {
+            sketch.insert_bytes(format!("flow-{i}").as_bytes());
+        }
+        let rel = sketch.estimate() / 2_000.0 - 1.0;
+        assert!(rel.abs() < 0.35, "{}: bytes path rel {rel}", sketch.name());
+    }
+}
+
+#[test]
+fn memory_accounting_within_budget() {
+    for sketch in fleet(29) {
+        if sketch.name() == "exact" {
+            continue; // exact counter's memory grows by design
+        }
+        assert!(
+            sketch.memory_bits() <= M,
+            "{}: {} bits exceeds the {M}-bit budget",
+            sketch.name(),
+            sketch.memory_bits()
+        );
+        assert!(sketch.memory_bits() >= M / 2, "{}: suspiciously small", sketch.name());
+    }
+}

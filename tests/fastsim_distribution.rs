@@ -1,0 +1,81 @@
+//! Distribution-level validation of the Lemma-1 fast simulator: the
+//! simulated estimates and the real hashed sketch's estimates must be
+//! samples from the same distribution (two-sample Kolmogorov–Smirnov),
+//! not merely have matching RRMSE.
+
+use std::sync::Arc;
+
+use sbitmap::core::{simulate, DistinctCounter, RateSchedule, SBitmap};
+use sbitmap::hash::rng::Xoshiro256StarStar;
+use sbitmap::hash::{mix64, SplitMix64Hasher};
+use sbitmap::stats::{ks_same_distribution, ks_statistic};
+use sbitmap::stream::distinct_items;
+
+fn real_estimates(schedule: &Arc<RateSchedule>, n: u64, reps: usize, salt: u64) -> Vec<f64> {
+    (0..reps as u64)
+        .map(|r| {
+            let seed = mix64(r ^ salt);
+            let mut s =
+                SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(seed));
+            for item in distinct_items(seed, n) {
+                s.insert_u64(item);
+            }
+            s.estimate()
+        })
+        .collect()
+}
+
+fn simulated_estimates(schedule: &Arc<RateSchedule>, n: u64, reps: usize, salt: u64) -> Vec<f64> {
+    (0..reps as u64)
+        .map(|r| {
+            let mut rng = Xoshiro256StarStar::new(mix64(r ^ salt));
+            simulate::simulate_estimate(schedule, n, &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn fast_sim_matches_real_sketch_distribution() {
+    let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 4000).unwrap());
+    for (i, &n) in [1_000u64, 30_000, 400_000].iter().enumerate() {
+        let reps = 800;
+        let real = real_estimates(&schedule, n, reps, 0xd15 + i as u64);
+        let sim = simulated_estimates(&schedule, n, reps, 0x51a + i as u64);
+        let d = ks_statistic(&real, &sim);
+        assert!(
+            ks_same_distribution(&real, &sim, 0.001),
+            "n={n}: KS statistic {d} rejects equality"
+        );
+    }
+}
+
+#[test]
+fn fast_sim_detects_misconfigured_schedule() {
+    // Negative control: estimates from a *different* schedule must be
+    // distinguishable — otherwise the KS check above proves nothing.
+    let a = Arc::new(RateSchedule::from_memory(1 << 20, 4000).unwrap());
+    let b = Arc::new(RateSchedule::from_memory(1 << 20, 1800).unwrap());
+    let n = 30_000;
+    // Different m ⇒ same mean but different spread; KS needs a few more
+    // samples to see a pure scale difference.
+    let sa = simulated_estimates(&a, n, 2_000, 1);
+    let sb = simulated_estimates(&b, n, 2_000, 2);
+    assert!(
+        !ks_same_distribution(&sa, &sb, 0.01),
+        "schedules with different accuracy were indistinguishable"
+    );
+}
+
+#[test]
+fn real_sketch_unbiased_both_paths() {
+    let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 1800).unwrap());
+    let n = 10_000u64;
+    let reps = 600;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let real = mean(&real_estimates(&schedule, n, reps, 7));
+    let sim = mean(&simulated_estimates(&schedule, n, reps, 8));
+    let eps = schedule.dims().epsilon();
+    let tol = 4.0 * eps * n as f64 / (reps as f64).sqrt();
+    assert!((real - n as f64).abs() < tol, "real mean {real}");
+    assert!((sim - n as f64).abs() < tol, "sim mean {sim}");
+}

@@ -1,0 +1,132 @@
+//! Executable summary of the paper's headline claims, using the fast
+//! paths (closed forms and the exact Markov recursion) so the whole file
+//! runs in seconds. The full empirical versions live in
+//! `sbitmap-experiments` and EXPERIMENTS.md; these tests are the
+//! regression contract for the claims themselves.
+
+use sbitmap::baselines::memory_model;
+use sbitmap::core::{theory, Dimensioning};
+
+#[test]
+fn claim_scale_invariance_theorem3() {
+    // §5.2 Theorem 3: RRMSE(n̂) = (C−1)^{−1/2} for every n in range —
+    // verified against the exact chain, three configurations.
+    for (n_max, m) in [(50_000u64, 1_200usize), (100_000, 2_000), (20_000, 2_700)] {
+        let d = Dimensioning::from_memory(n_max, m).unwrap();
+        let target = d.epsilon();
+        for exp in [1u32, 2, 3, 4] {
+            let n = 10u64.pow(exp).min(n_max / 2);
+            let e = theory::exact_rrmse(&d, n);
+            assert!(
+                (e / target - 1.0).abs() < 1e-5,
+                "N={n_max} m={m} n={n}: exact {e} vs theory {target}"
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_unbiasedness_theorem3() {
+    // E[n̂] = n exactly (martingale identity), via the exact fill PMF.
+    let d = Dimensioning::from_memory(50_000, 1_200).unwrap();
+    for &n in &[1u64, 13, 333, 8_000] {
+        let pmf = theory::fill_pmf(&d, n);
+        let mean: f64 = pmf.iter().enumerate().map(|(b, &p)| theory::t(&d, b) * p).sum();
+        assert!((mean / n as f64 - 1.0).abs() < 1e-8, "n={n}: E = {mean}");
+    }
+}
+
+#[test]
+fn claim_memory_rule_equation7() {
+    // §5.1's worked example: 30 kbit for 1% over [1, 1e6].
+    let d = Dimensioning::from_error(1_000_000, 0.01).unwrap();
+    assert!(
+        (d.m() as f64 / 30_000.0 - 1.0).abs() < 0.06,
+        "paper's 30kbit example: got {} bits",
+        d.m()
+    );
+    // And the §5.1 approximation tracks the exact rule.
+    let approx = Dimensioning::approx_memory_bits(1_000_000, 0.01);
+    assert!((approx / d.m() as f64 - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn claim_memory_advantage_over_hll() {
+    // Abstract + §6.2: "significantly less memory ... for many common
+    // practice cardinality scales".
+    // Core network monitoring setup:
+    assert!(memory_model::hll_over_sbitmap(1_000_000, 0.03) > 1.27);
+    // Household monitoring setup:
+    assert!(memory_model::hll_over_sbitmap(10_000, 0.03) > 2.19);
+    // And the honest flip side the paper also states: the advantage
+    // dissipates for huge N with coarse accuracy.
+    assert!(memory_model::hll_over_sbitmap(10_000_000, 0.09) < 1.0);
+}
+
+#[test]
+fn claim_asymptotic_crossover_formula() {
+    // §5.1: S-bitmap beats HLL when eps < sqrt((log N)^eta / (2eN)).
+    // The closed-form crossover and the memory-model crossover must
+    // agree in order of magnitude across the evaluated range.
+    for &n in &[10_000u64, 1_000_000, 10_000_000] {
+        let asymptotic = theory::hll_crossover_epsilon(n);
+        // Bisect the actual memory-model crossover.
+        let (mut lo, mut hi): (f64, f64) = (1e-4, 4.0);
+        for _ in 0..80 {
+            let mid = (lo * hi).sqrt();
+            if memory_model::hll_over_sbitmap(n, mid) > 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let actual = (lo * hi).sqrt();
+        let ratio = asymptotic / actual;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "N={n}: asymptotic {asymptotic} vs actual {actual}"
+        );
+    }
+}
+
+#[test]
+fn claim_truncation_only_helps() {
+    // Remark after Theorem 3: truncating at b_max removes one-sided bias
+    // near n = N. Exact check: the truncated estimator's MSE at n = N
+    // is at most the raw estimator's.
+    let d = Dimensioning::from_memory(20_000, 800).unwrap();
+    let n = d.n_max();
+    let pmf = theory::fill_pmf(&d, n);
+    let mse = |cap: Option<usize>| -> f64 {
+        pmf.iter()
+            .enumerate()
+            .map(|(b, &p)| {
+                let b_eff = cap.map_or(b, |c| b.min(c));
+                let rel = theory::t(&d, b_eff) / n as f64 - 1.0;
+                rel * rel * p
+            })
+            .sum()
+    };
+    let truncated = mse(Some(d.b_max()));
+    let raw = mse(None);
+    assert!(
+        truncated <= raw + 1e-15,
+        "truncated {truncated} should not exceed raw {raw}"
+    );
+}
+
+#[test]
+fn claim_sampling_rates_strictly_decreasing() {
+    // §3's sufficiency-and-necessity argument needs p_1 ≥ p_2 ≥ … — the
+    // property that makes the duplicate filter exact. Check over the
+    // whole usable schedule for the paper's configurations.
+    for (n_max, m) in [(1u64 << 20, 4_000usize), (1_000_000, 8_000), (10_000, 2_700)] {
+        let s = sbitmap::core::RateSchedule::from_memory(n_max, m).unwrap();
+        for k in 2..=s.len() {
+            assert!(
+                s.threshold(k) <= s.threshold(k - 1),
+                "N={n_max} m={m}: thresholds rose at k={k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants.
+
+use proptest::prelude::*;
+use sbitmap::bitvec::{Bitmap, PackedRegisters};
+use sbitmap::core::{theory, DistinctCounter, Dimensioning, SBitmap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_set_get_agree(len in 1usize..2000, idxs in prop::collection::vec(0usize..2000, 0..64)) {
+        let mut b = Bitmap::new(len);
+        let mut model = std::collections::HashSet::new();
+        for &i in idxs.iter().filter(|&&i| i < len) {
+            let newly = b.set(i);
+            prop_assert_eq!(newly, model.insert(i));
+        }
+        prop_assert_eq!(b.count_ones(), model.len());
+        for i in 0..len {
+            prop_assert_eq!(b.get(i), model.contains(&i));
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        let mut expect: Vec<usize> = model.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn registers_model_check(
+        count in 1usize..200,
+        width in 1u32..=32,
+        writes in prop::collection::vec((0usize..200, 0u32..u32::MAX), 0..64)
+    ) {
+        let mut r = PackedRegisters::new(count, width);
+        let mut model = vec![0u32; count];
+        let mask = r.max_value();
+        for &(i, v) in writes.iter().filter(|&&(i, _)| i < count) {
+            r.set(i, v);
+            model[i] = v & mask;
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(r.get(i), m);
+        }
+    }
+
+    #[test]
+    fn registers_update_max_is_monotone(
+        width in 2u32..=8,
+        values in prop::collection::vec(0u32..300, 1..50)
+    ) {
+        let mut r = PackedRegisters::new(4, width);
+        let mut best = 0u32;
+        for &v in &values {
+            r.update_max(1, v);
+            best = best.max(v.min(r.max_value()));
+            prop_assert_eq!(r.get(1), best);
+        }
+    }
+
+    #[test]
+    fn dimensioning_round_trip(n_max in 100u64..10_000_000, eps_pct in 1u32..30) {
+        let eps = eps_pct as f64 / 100.0;
+        let d = Dimensioning::from_error(n_max, eps).unwrap();
+        // Solving back from the ceil'd memory must give at-least-as-good
+        // accuracy and a nearby C.
+        let back = Dimensioning::from_memory(n_max, d.m()).unwrap();
+        prop_assert!(back.epsilon() <= eps + 1e-9);
+        prop_assert!((back.c() - d.c()).abs() / d.c() < 0.05);
+        // b_max stays inside the bitmap.
+        prop_assert!(back.b_max() >= 1 && back.b_max() <= back.m());
+    }
+
+    #[test]
+    fn estimator_is_monotone_in_fill(n_max in 1_000u64..1_000_000) {
+        let d = Dimensioning::from_memory(n_max, 1200);
+        prop_assume!(d.is_ok());
+        let d = d.unwrap();
+        let mut last = -1.0;
+        for b in 0..=d.b_max() {
+            let t = theory::t(&d, b);
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn sbitmap_duplicate_idempotence(items in prop::collection::vec(any::<u64>(), 1..300), seed in any::<u64>()) {
+        let mut s = SBitmap::with_memory(100_000, 2000, seed).unwrap();
+        for &x in &items {
+            s.insert_u64(x);
+        }
+        let fill = s.fill();
+        let est = s.estimate();
+        // Re-inserting any multiset of already-seen items changes nothing.
+        for &x in items.iter().rev() {
+            s.insert_u64(x);
+            s.insert_u64(x);
+        }
+        prop_assert_eq!(s.fill(), fill);
+        prop_assert_eq!(s.estimate(), est);
+    }
+
+    #[test]
+    fn sbitmap_fill_monotone_under_inserts(seed in any::<u64>()) {
+        let mut s = SBitmap::with_memory(100_000, 2000, seed).unwrap();
+        let mut last_fill = 0;
+        for i in 0..2_000u64 {
+            s.insert_u64(i);
+            prop_assert!(s.fill() >= last_fill);
+            last_fill = s.fill();
+        }
+        // Estimate never exceeds the truncation point ~ N.
+        prop_assert!(s.estimate() <= 100_000.0 * 1.02);
+    }
+
+    #[test]
+    fn sbitmap_estimate_scales_with_distinct_count(seed in 0u64..1000) {
+        // With n = 5000 distinct items and eps ~ 4.6% (m = 2000 for
+        // N = 1e5), a 10-sigma band is a safe per-instance property.
+        let mut s = SBitmap::with_memory(100_000, 2000, seed).unwrap();
+        for item in 0..5_000u64 {
+            s.insert_u64(item.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed);
+        }
+        let rel = s.estimate() / 5_000.0 - 1.0;
+        prop_assert!(rel.abs() < 0.5, "rel {}", rel);
+    }
+}

@@ -1,0 +1,66 @@
+//! Serialization round-trips (requires `--features serde`): sketches can
+//! be checkpointed mid-stream and resumed with identical behaviour.
+#![cfg(feature = "serde")]
+
+use sbitmap::baselines::{FmSketch, HyperLogLog, LinearCounting, MrBitmap};
+use sbitmap::core::{DistinctCounter, SBitmap};
+use sbitmap::stream::distinct_items;
+
+#[test]
+fn sbitmap_checkpoint_resume() {
+    let mut original = SBitmap::with_memory(1_000_000, 8_000, 42).unwrap();
+    for item in distinct_items(1, 30_000) {
+        original.insert_u64(item);
+    }
+    let blob = serde_json::to_string(&original).unwrap();
+    let mut restored: SBitmap = serde_json::from_str(&blob).unwrap();
+
+    assert_eq!(restored.fill(), original.fill());
+    assert_eq!(restored.estimate(), original.estimate());
+    assert_eq!(restored.seed(), original.seed());
+
+    // Resuming the same stream must behave identically to never pausing.
+    for item in distinct_items(2, 30_000) {
+        original.insert_u64(item);
+        restored.insert_u64(item);
+    }
+    assert_eq!(restored.fill(), original.fill());
+    assert_eq!(restored.estimate(), original.estimate());
+}
+
+#[test]
+fn sbitmap_rejects_tampered_fill() {
+    let mut s = SBitmap::with_memory(100_000, 2_000, 7).unwrap();
+    for item in distinct_items(3, 5_000) {
+        s.insert_u64(item);
+    }
+    let mut v: serde_json::Value = serde_json::to_value(&s).unwrap();
+    v["fill"] = serde_json::json!(3);
+    let r: Result<SBitmap, _> = serde_json::from_value(v);
+    assert!(r.is_err(), "inconsistent fill must be rejected");
+}
+
+#[test]
+fn baseline_sketches_round_trip() {
+    let n = 10_000u64;
+
+    let mut hll = HyperLogLog::with_memory(8_000, 1_000_000, 1).unwrap();
+    let mut lc = LinearCounting::new(8_000, 2).unwrap();
+    let mut mr = MrBitmap::with_memory(8_000, 1_000_000, 3).unwrap();
+    let mut fm = FmSketch::with_memory(8_000, 4).unwrap();
+    for item in distinct_items(9, n) {
+        hll.insert_u64(item);
+        lc.insert_u64(item);
+        mr.insert_u64(item);
+        fm.insert_u64(item);
+    }
+
+    let hll2: HyperLogLog = serde_json::from_str(&serde_json::to_string(&hll).unwrap()).unwrap();
+    assert_eq!(hll2.estimate(), hll.estimate());
+    let lc2: LinearCounting = serde_json::from_str(&serde_json::to_string(&lc).unwrap()).unwrap();
+    assert_eq!(lc2.estimate(), lc.estimate());
+    let mr2: MrBitmap = serde_json::from_str(&serde_json::to_string(&mr).unwrap()).unwrap();
+    assert_eq!(mr2.estimate(), mr.estimate());
+    let fm2: FmSketch = serde_json::from_str(&serde_json::to_string(&fm).unwrap()).unwrap();
+    assert_eq!(fm2.estimate(), fm.estimate());
+}
