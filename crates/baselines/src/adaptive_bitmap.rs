@@ -138,8 +138,14 @@ mod tests {
                 break rel;
             }
         };
-        assert!(rel.abs() < 0.2, "no convergence after {rounds} rounds: {rel}");
-        assert!(rounds >= 2, "convergence should take multiple rounds, took {rounds}");
+        assert!(
+            rel.abs() < 0.2,
+            "no convergence after {rounds} rounds: {rel}"
+        );
+        assert!(
+            rounds >= 2,
+            "convergence should take multiple rounds, took {rounds}"
+        );
     }
 
     #[test]
@@ -148,7 +154,10 @@ mod tests {
         for interval in 0..3 {
             feed(&mut ab, interval, 500);
             let est = ab.advance_interval();
-            assert!((est / 500.0 - 1.0).abs() < 0.2, "interval {interval}: {est}");
+            assert!(
+                (est / 500.0 - 1.0).abs() < 0.2,
+                "interval {interval}: {est}"
+            );
         }
         assert!((ab.rho() - 1.0).abs() < 1e-9);
     }

@@ -64,7 +64,11 @@ impl FmSketch {
         let m = self.patterns.len() as u64;
         let group = (((hash >> 32) * m) >> 32) as usize;
         let low = hash as u32;
-        let rank = if low == 0 { 31 } else { low.trailing_zeros().min(31) };
+        let rank = if low == 0 {
+            31
+        } else {
+            low.trailing_zeros().min(31)
+        };
         self.patterns.update_or(group, 1 << rank);
     }
 
@@ -97,11 +101,7 @@ impl DistinctCounter for FmSketch {
     fn estimate(&self) -> f64 {
         let m = self.patterns.len() as f64;
         // R_j = number of trailing ones = index of lowest zero bit.
-        let sum_r: f64 = self
-            .patterns
-            .iter()
-            .map(|p| p.trailing_ones() as f64)
-            .sum();
+        let sum_r: f64 = self.patterns.iter().map(|p| p.trailing_ones() as f64).sum();
         m / Self::PHI * 2f64.powf(sum_r / m)
     }
 

@@ -42,7 +42,10 @@ impl RankRegisters {
             ));
         }
         if !(2..=16).contains(&width) {
-            return Err(SBitmapError::invalid("width", "register width must be 2..=16"));
+            return Err(SBitmapError::invalid(
+                "width",
+                "register width must be 2..=16",
+            ));
         }
         Ok(Self {
             regs: PackedRegisters::new(registers, width),
@@ -56,7 +59,11 @@ impl RankRegisters {
         let group = (((hash >> 32) * m) >> 32) as usize;
         let low = hash as u32;
         // Rank = index of lowest-order 1 bit, 1-based; 33 if all-zero.
-        let rank = if low == 0 { 33 } else { low.trailing_zeros() + 1 };
+        let rank = if low == 0 {
+            33
+        } else {
+            low.trailing_zeros() + 1
+        };
         self.regs.update_max(group, rank);
     }
 
@@ -101,9 +108,9 @@ impl LogLog {
         }
         // α_m = α_∞ − (2π² + ln²2)/(48 m) + O(m⁻²), α_∞ ≈ 0.39701
         // (Durand–Flajolet, Theorem 2 discussion).
-        let alpha = 0.39701 - (2.0 * std::f64::consts::PI.powi(2)
-            + std::f64::consts::LN_2.powi(2))
-            / (48.0 * registers as f64);
+        let alpha = 0.39701
+            - (2.0 * std::f64::consts::PI.powi(2) + std::f64::consts::LN_2.powi(2))
+                / (48.0 * registers as f64);
         Ok(Self {
             inner: RankRegisters::new(registers, width, seed)?,
             alpha,
@@ -369,7 +376,10 @@ mod tests {
         let ll_err = (l.estimate() / 100.0 - 1.0).abs();
         let hll_err = (h.estimate() / 100.0 - 1.0).abs();
         assert!(hll_err < 0.25, "hll err {hll_err}");
-        assert!(ll_err > hll_err, "loglog {ll_err} should be worse than hll {hll_err}");
+        assert!(
+            ll_err > hll_err,
+            "loglog {ll_err} should be worse than hll {hll_err}"
+        );
     }
 
     #[test]

@@ -43,10 +43,16 @@ impl MrBitmap {
     /// Rejects an empty size list or any zero-sized component.
     pub fn from_sizes(sizes: &[usize], seed: u64) -> Result<Self, SBitmapError> {
         if sizes.is_empty() {
-            return Err(SBitmapError::invalid("sizes", "need at least one component"));
+            return Err(SBitmapError::invalid(
+                "sizes",
+                "need at least one component",
+            ));
         }
         if sizes.contains(&0) {
-            return Err(SBitmapError::invalid("sizes", "components must be non-empty"));
+            return Err(SBitmapError::invalid(
+                "sizes",
+                "components must be non-empty",
+            ));
         }
         if sizes.len() > 48 {
             return Err(SBitmapError::invalid("sizes", "more than 48 components"));

@@ -2,24 +2,44 @@
 //! sampling-rate schedule precomputation. These matter for deployments
 //! that spin up many sketch configurations dynamically.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbitmap_bench::harness::Bench;
 use sbitmap_core::{Dimensioning, RateSchedule};
 use std::hint::black_box;
 
-fn bench_construction(c: &mut Criterion) {
-    c.bench_function("dimensioning_from_memory", |b| {
-        b.iter(|| black_box(Dimensioning::from_memory(black_box(1 << 20), black_box(8_000))))
-    });
-    c.bench_function("dimensioning_from_error", |b| {
-        b.iter(|| black_box(Dimensioning::from_error(black_box(1 << 20), black_box(0.02))))
-    });
-    c.bench_function("schedule_m8000", |b| {
-        b.iter(|| black_box(RateSchedule::from_memory(1 << 20, 8_000)))
-    });
-    c.bench_function("schedule_m40000", |b| {
-        b.iter(|| black_box(RateSchedule::from_memory(1 << 20, 40_000)))
-    });
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("construction: bench");
+        return;
+    }
+    let bench = Bench::from_env();
+    type Case = (&'static str, fn() -> bool);
+    let cases: [Case; 4] = [
+        ("dimensioning_from_memory", || {
+            black_box(Dimensioning::from_memory(
+                black_box(1 << 20),
+                black_box(8_000),
+            ))
+            .is_ok()
+        }),
+        ("dimensioning_from_error", || {
+            black_box(Dimensioning::from_error(
+                black_box(1 << 20),
+                black_box(0.02),
+            ))
+            .is_ok()
+        }),
+        ("schedule_m8000", || {
+            black_box(RateSchedule::from_memory(1 << 20, 8_000)).is_ok()
+        }),
+        ("schedule_m40000", || {
+            black_box(RateSchedule::from_memory(1 << 20, 40_000)).is_ok()
+        }),
+    ];
+    for (name, f) in cases {
+        let m = bench.run(name, 1, f);
+        println!(
+            "{:<26} {:>12.0} ns/op ({} iters)",
+            m.name, m.median_ns, m.iters
+        );
+    }
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

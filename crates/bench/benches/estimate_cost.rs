@@ -5,20 +5,34 @@
 //! read their collections. The S-bitmap estimate is a closed-form
 //! evaluation of `t_B` — constant time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbitmap_bench::harness::Bench;
 use sbitmap_bench::{build_by_name, ingest, workload, ROSTER_NAMES};
 use std::hint::black_box;
 
-fn bench_estimates(c: &mut Criterion) {
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("estimate_cost: bench");
+        return;
+    }
     let items = workload(100_000);
-    let mut group = c.benchmark_group("estimate_cost");
+    let bench = Bench::from_env();
+    println!("=== estimate cost at n = 100k ===");
     for name in ROSTER_NAMES {
         let mut counter = build_by_name(name, 11);
         ingest(&mut counter, &items);
-        group.bench_function(name, |b| b.iter(|| black_box(counter.estimate())));
+        // 1000 estimates per iteration so per-call cost is resolvable.
+        let m = bench.run(name, 1000, || {
+            let mut acc = 0.0f64;
+            for _ in 0..1000 {
+                acc += black_box(counter.estimate());
+            }
+            acc
+        });
+        println!(
+            "{:<22} {:>10.1} ns/estimate ({} iters)",
+            m.name,
+            m.ns_per_item(),
+            m.iters
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_estimates);
-criterion_main!(benches);

@@ -1,47 +1,63 @@
-//! Hash-family cost on word and byte-string inputs.
+//! Hash-family cost on word and byte-string inputs, scalar and batched.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbitmap_bench::harness::Bench;
 use sbitmap_hash::{HashKind, Hasher64};
 use std::hint::black_box;
 
-fn bench_hashing(c: &mut Criterion) {
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("hashing: bench");
+        return;
+    }
     let words: Vec<u64> = (0..10_000u64).collect();
     let flows: Vec<Vec<u8>> = (0..1_000)
-        .map(|i| format!("10.0.{}.{}:{} -> 192.0.2.1:443 tcp", i / 256, i % 256, 1024 + i).into_bytes())
+        .map(|i| {
+            format!(
+                "10.0.{}.{}:{} -> 192.0.2.1:443 tcp",
+                i / 256,
+                i % 256,
+                1024 + i
+            )
+            .into_bytes()
+        })
         .collect();
+    let flow_refs: Vec<&[u8]> = flows.iter().map(Vec::as_slice).collect();
+    let bench = Bench::from_env();
 
-    let mut group = c.benchmark_group("hash_u64");
-    group.throughput(Throughput::Elements(words.len() as u64));
+    println!("=== hash_u64 (scalar loop) ===");
     for kind in HashKind::ALL {
         let hasher = kind.build(42);
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &w in &words {
-                    acc ^= hasher.hash_u64(w);
-                }
-                black_box(acc)
-            })
+        let m = bench.run(kind.name(), words.len() as u64, || {
+            let mut acc = 0u64;
+            for &w in &words {
+                acc ^= hasher.hash_u64(w);
+            }
+            black_box(acc)
         });
+        println!("{}", m.row());
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("hash_bytes_flow_keys");
-    group.throughput(Throughput::Elements(flows.len() as u64));
+    println!("\n=== hash_u64_batch (batched into a buffer) ===");
+    let mut out = vec![0u64; words.len()];
     for kind in HashKind::ALL {
         let hasher = kind.build(42);
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for f in &flows {
-                    acc ^= hasher.hash_bytes(f);
-                }
-                black_box(acc)
-            })
+        let m = bench.run(kind.name(), words.len() as u64, || {
+            hasher.hash_u64_batch(&words, &mut out);
+            black_box(out[out.len() - 1])
         });
+        println!("{}", m.row());
     }
-    group.finish();
+
+    println!("\n=== hash_bytes on flow keys ===");
+    for kind in HashKind::ALL {
+        let hasher = kind.build(42);
+        let m = bench.run(kind.name(), flow_refs.len() as u64, || {
+            let mut acc = 0u64;
+            for &f in &flow_refs {
+                acc ^= hasher.hash_bytes(f);
+            }
+            black_box(acc)
+        });
+        println!("{}", m.row());
+    }
 }
-
-criterion_group!(benches, bench_hashing);
-criterion_main!(benches);

@@ -17,7 +17,10 @@ fn main() {
         cfg.replicates = 100;
     }
     let t0 = std::time::Instant::now();
-    println!("=== paper tables & figures (quick mode: {} replicates) ===\n", cfg.replicates);
+    println!(
+        "=== paper tables & figures (quick mode: {} replicates) ===\n",
+        cfg.replicates
+    );
     sbitmap_experiments::fig2::main_with(&cfg);
     sbitmap_experiments::table2::main_with(&cfg);
     sbitmap_experiments::fig3::main_with(&cfg);
@@ -29,5 +32,8 @@ fn main() {
     sbitmap_experiments::fig7::main_with(&cfg);
     sbitmap_experiments::fig8::main_with(&cfg);
     sbitmap_experiments::ablations::main_with(&cfg);
-    println!("=== paper repro done in {:.1}s ===", t0.elapsed().as_secs_f64());
+    println!(
+        "=== paper repro done in {:.1}s ===",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,37 +1,33 @@
 //! Cost of the Lemma-1 fast simulator vs feeding the real sketch — the
 //! speedup that makes 1000-replicate accuracy sweeps cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbitmap_bench::harness::Bench;
 use sbitmap_core::{simulate, DistinctCounter, RateSchedule, SBitmap};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::SplitMix64Hasher;
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_simulation(c: &mut Criterion) {
-    let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 8_000).unwrap());
-    let mut group = c.benchmark_group("fill_sampling");
-    group.sample_size(20);
-    for &n in &[10_000u64, 100_000, 1_000_000] {
-        group.bench_with_input(BenchmarkId::new("fast_sim", n), &n, |b, &n| {
-            let mut rng = Xoshiro256StarStar::new(1);
-            b.iter(|| black_box(simulate::simulate_fill(&schedule, n, &mut rng)));
-        });
-        group.bench_with_input(BenchmarkId::new("real_sketch", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = SBitmap::with_shared_schedule(
-                    schedule.clone(),
-                    SplitMix64Hasher::new(7),
-                );
-                for item in sbitmap_stream::distinct_items(3, n) {
-                    s.insert_u64(item);
-                }
-                black_box(s.estimate())
-            });
-        });
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("simulation: bench");
+        return;
     }
-    group.finish();
+    let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 8_000).unwrap());
+    let bench = Bench::from_env();
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let m = bench.run(&format!("fast_sim_n{n}"), n, || {
+            black_box(simulate::simulate_fill(&schedule, n, &mut rng))
+        });
+        println!("{}", m.row());
+        let m = bench.run(&format!("real_sketch_n{n}"), n, || {
+            let mut s = SBitmap::with_shared_schedule(schedule.clone(), SplitMix64Hasher::new(7));
+            for item in sbitmap_stream::distinct_items(3, n) {
+                s.insert_u64(item);
+            }
+            black_box(s.estimate())
+        });
+        println!("{}", m.row());
+    }
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

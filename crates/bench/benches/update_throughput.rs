@@ -1,25 +1,65 @@
-//! Per-item insert cost for every sketch in the workspace (paper §3:
-//! S-bitmap's update cost is "similar to or lower than" the benchmarks).
+//! Ingestion throughput: the headline bench of this workspace.
+//!
+//! Part 1 — scalar vs batched vs concurrent S-bitmap ingestion on the
+//! backbone/worm workloads (`sbitmap_bench::ingest`), written to
+//! `BENCH_ingest.json` so the perf trajectory is tracked across PRs.
+//!
+//! Part 2 — per-item insert cost for every sketch in the roster (the
+//! paper's §3 "similar or less computational cost" claim).
+//!
+//! Environment knobs: `SBITMAP_BENCH_MS` (per-case budget),
+//! `SBITMAP_BENCH_LINKS`, `SBITMAP_BENCH_PAIRS`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use sbitmap_bench::{build_by_name, ingest, workload, ROSTER_NAMES};
+use sbitmap_bench::harness::Bench;
+use sbitmap_bench::ingest::{self, IngestConfig};
+use sbitmap_bench::{build_by_name, workload, ROSTER_NAMES};
 
-fn bench_updates(c: &mut Criterion) {
-    let items = workload(100_000);
-    let mut group = c.benchmark_group("update_throughput");
-    group.throughput(Throughput::Elements(items.len() as u64));
-    group.sample_size(20);
-    for name in ROSTER_NAMES {
-        group.bench_function(name, |b| {
-            b.iter_batched_ref(
-                || build_by_name(name, 7),
-                |counter| ingest(counter, &items),
-                BatchSize::LargeInput,
-            );
-        });
-    }
-    group.finish();
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("update_throughput: bench");
+        return;
+    }
+
+    let mut cfg = IngestConfig::default();
+    cfg.links = env_usize("SBITMAP_BENCH_LINKS", cfg.links);
+    cfg.max_pairs = env_usize("SBITMAP_BENCH_PAIRS", cfg.max_pairs);
+    if let Ok(ms) = std::env::var("SBITMAP_BENCH_MS") {
+        if let Ok(ms) = ms.parse() {
+            cfg.budget_ms = ms;
+        }
+    }
+
+    println!(
+        "=== ingest: scalar vs batched vs concurrent ({} links, ≤{} pairs) ===",
+        cfg.links, cfg.max_pairs
+    );
+    let results = ingest::run(&cfg);
+    for m in &results {
+        println!("{}", m.row());
+    }
+    let json = ingest::report_json(&cfg, &results);
+    let path = std::env::var("SBITMAP_BENCH_JSON").unwrap_or_else(|_| "BENCH_ingest.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    println!("\n=== per-item insert cost, full roster ===");
+    let bench = Bench::from_env();
+    let items = workload(100_000);
+    for name in ROSTER_NAMES {
+        let m = bench.run(name, items.len() as u64, || {
+            let mut counter = build_by_name(name, 7);
+            sbitmap_bench::ingest(&mut counter, &items);
+            counter.estimate()
+        });
+        println!("{}", m.row());
+    }
+}

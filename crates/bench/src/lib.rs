@@ -1,17 +1,24 @@
 //! Support library for the sbitmap benchmark suite.
 //!
-//! The benches themselves live in `benches/`:
+//! The benches themselves live in `benches/` and run on the in-tree
+//! [`harness`] (this workspace builds offline, so criterion is not a
+//! dependency; every bench is `harness = false` with its own `main`):
 //!
-//! * `update_throughput` — per-item insert cost for every sketch (the
-//!   paper's "similar or less computational cost" claim, §3);
+//! * `update_throughput` — scalar vs batched vs concurrent ingestion on
+//!   the backbone/worm generators (see [`ingest`]), emitting
+//!   `BENCH_ingest.json`, plus per-item insert cost for every sketch
+//!   (the paper's "similar or less computational cost" claim, §3);
 //! * `estimate_cost` — cost of producing an estimate at realistic fills;
 //! * `hashing` — the four hash families on word and byte inputs;
 //! * `construction` — dimensioning solver and schedule precomputation;
 //! * `paper_repro` — quick-mode regeneration of every table and figure
-//!   (no criterion; prints the same rows the experiment binaries do).
+//!   (prints the same rows the experiment binaries do).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod ingest;
 
 use sbitmap_core::DistinctCounter;
 

@@ -1,0 +1,287 @@
+//! Lock-free bitmap over `AtomicU64` words.
+//!
+//! Modeled on the word-parallel atomic-bitmap idiom of allocator bitmaps
+//! (CAS-free `fetch_or` per set, relaxed loads per probe): every bit
+//! operation touches exactly one word, so no two bits ever need a
+//! combined atomic update and `Ordering::Relaxed` suffices — the sketch
+//! invariants are per-bit, and cross-thread publication of a finished
+//! bitmap happens through whatever synchronization ends the ingest (a
+//! `join`, a channel, an `Arc` drop), all of which are release/acquire
+//! edges already.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::store::BitStore;
+use crate::Bitmap;
+
+/// A fixed-length bit vector packed into `AtomicU64` words, shareable
+/// across threads by reference.
+///
+/// Semantics match [`Bitmap`] — bits start at zero, [`AtomicBitmap::set`]
+/// flips a bit on and reports whether this call changed it — but `set`
+/// takes `&self`, so concurrent ingestion needs no lock. When two threads
+/// race to set the same bit, the `fetch_or` guarantees exactly one of
+/// them observes the zero→one transition; that is the property the
+/// S-bitmap fill counter relies on.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Create an all-zero atomic bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Length in bits (the paper's `m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `idx` with a relaxed load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6].load(Ordering::Relaxed) >> (idx & 63)) & 1 == 1
+    }
+
+    /// Read bit `idx` without the range assert (hot-path variant).
+    ///
+    /// The caller guarantees `idx < len`; violations are a `debug_assert!`
+    /// in debug builds and an unspecified result or panic (never UB) in
+    /// release builds.
+    #[inline]
+    pub fn get_unchecked(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6].load(Ordering::Relaxed) >> (idx & 63)) & 1 == 1
+    }
+
+    /// Set bit `idx` through `fetch_or`, returning `true` iff *this call*
+    /// flipped it from zero — under a concurrent race exactly one caller
+    /// gets `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx & 63);
+        self.words[idx >> 6].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// [`AtomicBitmap::set`] without the range assert (hot-path variant).
+    ///
+    /// The caller guarantees `idx < len`; violations are a `debug_assert!`
+    /// in debug builds and an unspecified result or panic (never UB) in
+    /// release builds.
+    #[inline]
+    pub fn set_unchecked(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx & 63);
+        self.words[idx >> 6].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Prefetch the cache line holding bit `idx` into L1 (x86-64; no-op
+    /// elsewhere). Out-of-range indices are ignored.
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        crate::prefetch_word(&self.words, idx >> 6);
+    }
+
+    /// Number of one bits, by relaxed word loads. Exact once all writers
+    /// have synchronized with this thread; during a concurrent ingest it
+    /// is a live lower-bound snapshot.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of zero bits (`m − |V|`).
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Reset every bit to zero through relaxed stores. The caller must
+    /// ensure no concurrent writers, or the reset is not a clean point in
+    /// time.
+    pub fn reset(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Payload size in bits, as the paper accounts memory.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.len
+    }
+
+    /// Snapshot into a plain [`Bitmap`] (relaxed loads; exact once
+    /// writers have synchronized).
+    pub fn to_bitmap(&self) -> Bitmap {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        // Mask padding bits defensively; set paths never write them, but
+        // `from_words` verifies and we want the invariant loud.
+        Bitmap::from_words(words, self.len).expect("atomic bitmap snapshot is well-formed")
+    }
+
+    /// Build an atomic bitmap holding the same bits as `bitmap`.
+    pub fn from_bitmap(bitmap: &Bitmap) -> Self {
+        Self {
+            words: bitmap.words().iter().map(|&w| AtomicU64::new(w)).collect(),
+            len: bitmap.len(),
+        }
+    }
+}
+
+impl Clone for AtomicBitmap {
+    fn clone(&self) -> Self {
+        Self {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            len: self.len,
+        }
+    }
+}
+
+impl BitStore for AtomicBitmap {
+    fn with_len(len: usize) -> Self {
+        Self::new(len)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, idx: usize) -> bool {
+        AtomicBitmap::get(self, idx)
+    }
+
+    fn set(&mut self, idx: usize) -> bool {
+        // Single-owner view: same semantics, still one RMW.
+        AtomicBitmap::set(self, idx)
+    }
+
+    fn count_ones(&self) -> usize {
+        AtomicBitmap::count_ones(self)
+    }
+
+    fn reset(&mut self) {
+        AtomicBitmap::reset(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_all_zero() {
+        let b = AtomicBitmap::new(129);
+        assert_eq!(b.len(), 129);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(128));
+    }
+
+    #[test]
+    fn set_reports_transition_through_shared_ref() {
+        let b = AtomicBitmap::new(100);
+        assert!(b.set(63));
+        assert!(!b.set(63), "second set must report already-set");
+        assert!(b.get(63));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        AtomicBitmap::new(64).set(64);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let a = AtomicBitmap::new(200);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 199] {
+            a.set(idx);
+        }
+        let plain = a.to_bitmap();
+        assert_eq!(plain.count_ones(), 8);
+        let back = AtomicBitmap::from_bitmap(&plain);
+        assert_eq!(back.count_ones(), 8);
+        assert!(back.get(199));
+    }
+
+    #[test]
+    fn reset_and_clone() {
+        let a = AtomicBitmap::new(128);
+        a.set(5);
+        let c = a.clone();
+        a.reset();
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(c.count_ones(), 1, "clone is an independent snapshot");
+    }
+
+    #[test]
+    fn bitstore_impl_matches_inherent() {
+        let mut b = <AtomicBitmap as BitStore>::with_len(80);
+        assert!(BitStore::set(&mut b, 3));
+        assert!(BitStore::get(&b, 3));
+        assert_eq!(BitStore::count_ones(&b), 1);
+        BitStore::reset(&mut b);
+        assert!(BitStore::is_empty(&AtomicBitmap::new(0)));
+        assert_eq!(b.memory_bits(), 80);
+    }
+
+    #[test]
+    fn racing_setters_hand_out_exactly_one_transition() {
+        // 8 threads all hammer the same 256 bits; every bit's zero→one
+        // transition must be claimed exactly once across all threads.
+        let bits = 256;
+        let b = Arc::new(AtomicBitmap::new(bits));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut claimed = 0usize;
+                for idx in 0..bits {
+                    if b.set(idx) {
+                        claimed += 1;
+                    }
+                }
+                claimed
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, bits, "transitions double-counted or lost");
+        assert_eq!(b.count_ones(), bits);
+    }
+}

@@ -45,6 +45,18 @@ impl Bitmap {
         (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
     }
 
+    /// Read bit `idx` without the range assert (hot-path variant).
+    ///
+    /// The caller guarantees `idx < len` — the S-bitmap hot loop holds
+    /// this structurally (`HashSplit::split` maps into `0..m`). Violations
+    /// are a `debug_assert!` in debug builds and an unspecified result or
+    /// panic (never UB) in release builds.
+    #[inline]
+    pub fn get_unchecked(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
     /// Set bit `idx` to one. Returns `true` if the bit was previously zero
     /// (i.e. this call changed it) — the signal the S-bitmap uses to
     /// increment its fill counter `L`.
@@ -56,6 +68,27 @@ impl Bitmap {
         let was_zero = *word & mask == 0;
         *word |= mask;
         was_zero
+    }
+
+    /// [`Bitmap::set`] without the range assert (hot-path variant); same
+    /// caller contract as [`Bitmap::get_unchecked`].
+    #[inline]
+    pub fn set_unchecked(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx >> 6];
+        let mask = 1u64 << (idx & 63);
+        let was_zero = *word & mask == 0;
+        *word |= mask;
+        was_zero
+    }
+
+    /// Prefetch the cache line holding bit `idx` into L1 (x86-64; no-op
+    /// elsewhere). Out-of-range indices are ignored. Used by the batched
+    /// ingest loop to overlap the probe for hash `i + k` with the work on
+    /// hash `i`.
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        crate::prefetch_word(&self.words, idx >> 6);
     }
 
     /// Clear bit `idx` to zero. Returns `true` if the bit was previously
@@ -160,6 +193,32 @@ impl Bitmap {
     }
 }
 
+impl crate::BitStore for Bitmap {
+    fn with_len(len: usize) -> Self {
+        Self::new(len)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, idx: usize) -> bool {
+        Bitmap::get(self, idx)
+    }
+
+    fn set(&mut self, idx: usize) -> bool {
+        Bitmap::set(self, idx)
+    }
+
+    fn count_ones(&self) -> usize {
+        Bitmap::count_ones(self)
+    }
+
+    fn reset(&mut self) {
+        Bitmap::reset(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +316,32 @@ mod tests {
     fn memory_bits_is_logical_length() {
         assert_eq!(Bitmap::new(100).memory_bits(), 100);
         assert_eq!(Bitmap::new(0).memory_bits(), 0);
+    }
+
+    #[test]
+    fn unchecked_paths_agree_with_checked() {
+        let mut a = Bitmap::new(300);
+        let mut b = Bitmap::new(300);
+        for idx in [0usize, 5, 63, 64, 100, 255, 299] {
+            assert_eq!(a.set(idx), b.set_unchecked(idx));
+            assert_eq!(a.get(idx), b.get_unchecked(idx));
+            assert_eq!(a.set(idx), b.set_unchecked(idx), "re-set at {idx}");
+        }
+        assert_eq!(a, b);
+        a.prefetch(0); // smoke: prefetch is a pure hint
+        a.prefetch(10_000); // out-of-range is ignored
+    }
+
+    #[test]
+    fn bitstore_impl_matches_inherent() {
+        use crate::BitStore;
+        let mut b = <Bitmap as BitStore>::with_len(80);
+        assert!(BitStore::set(&mut b, 3));
+        assert!(BitStore::get(&b, 3));
+        assert_eq!(BitStore::count_ones(&b), 1);
+        assert_eq!(b.memory_bits(), 80);
+        BitStore::reset(&mut b);
+        assert_eq!(b.count_ones(), 0);
     }
 
     #[test]

@@ -1,22 +1,68 @@
 //! Bit-level storage substrate for the S-bitmap workspace.
 //!
-//! Two containers:
+//! Three containers:
 //!
 //! * [`Bitmap`] — a packed bit vector (`u64` words). This is the `V` of
 //!   the paper's Algorithms 1 and 2 and the storage of every bitmap-family
 //!   baseline (linear counting, virtual bitmap, multiresolution bitmap).
+//! * [`AtomicBitmap`] — the same vector over `AtomicU64` words with
+//!   lock-free `&self` setters, for concurrent ingestion into one sketch.
 //! * [`PackedRegisters`] — a fixed-width unsigned register file packed
 //!   into `u64` words, used by the Flajolet–Martin family (LogLog /
 //!   HyperLogLog store 4–6 bit registers; FM/PCSA stores bit patterns).
 //!
+//! The two bitmaps share the [`BitStore`] trait so generic code (tests,
+//! benches, differential harnesses) can exercise any backend.
+//!
+//! ## Choosing a backend
+//!
+//! Use [`Bitmap`] by default: plain loads and stores, cheapest probes,
+//! trivially snapshottable. Switch to [`AtomicBitmap`] only when multiple
+//! threads must feed the *same* sketch — its `set` is a relaxed
+//! `fetch_or` whose return value tells exactly one racing thread that it
+//! performed the zero→one transition, which is what keeps the S-bitmap
+//! fill counter exact under concurrency. With a single writer the atomic
+//! backend costs one uncontended RMW per newly set bit — measurable but
+//! small; under real sharing the cost is the cache-coherence traffic any
+//! shared-memory design pays.
+//!
 //! Both report their *payload* size in bits exactly the way the paper
 //! accounts memory (§6.2: "the size of the summary statistics (in bits)").
+//!
+//! The crate contains exactly one `unsafe` expression: the x86-64
+//! prefetch intrinsic behind [`Bitmap::prefetch`] /
+//! [`AtomicBitmap::prefetch`], which performs no memory access.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+mod atomic;
 mod bitmap;
 mod registers;
+mod store;
 
+pub use atomic::AtomicBitmap;
 pub use bitmap::Bitmap;
 pub use registers::PackedRegisters;
+pub use store::BitStore;
+
+/// Prefetch the word at `wi` of `words` into L1 on x86-64; no-op on other
+/// architectures or out-of-range indices.
+#[inline]
+pub(crate) fn prefetch_word<T>(words: &[T], wi: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(w) = words.get(wi) {
+        // SAFETY: `_mm_prefetch` performs no memory access (it is a pure
+        // cache hint) and the pointer is derived from a live reference.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                w as *const T as *const i8,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (words, wi);
+    }
+}

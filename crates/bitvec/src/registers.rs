@@ -67,7 +67,11 @@ impl PackedRegisters {
     /// Read register `idx`.
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
-        assert!(idx < self.count, "register {idx} out of range {}", self.count);
+        assert!(
+            idx < self.count,
+            "register {idx} out of range {}",
+            self.count
+        );
         let bit = idx * self.width as usize;
         let word = bit >> 6;
         let offset = (bit & 63) as u32;
@@ -85,7 +89,11 @@ impl PackedRegisters {
     /// saturate first; see [`PackedRegisters::update_max`]).
     #[inline]
     pub fn set(&mut self, idx: usize, value: u32) {
-        assert!(idx < self.count, "register {idx} out of range {}", self.count);
+        assert!(
+            idx < self.count,
+            "register {idx} out of range {}",
+            self.count
+        );
         let value = u64::from(value & self.max_value());
         let bit = idx * self.width as usize;
         let word = bit >> 6;

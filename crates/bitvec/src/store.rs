@@ -1,0 +1,57 @@
+//! The [`BitStore`] abstraction every bitmap backend implements.
+
+/// Common interface over bit-vector backends.
+///
+/// Two backends ship in this crate:
+///
+/// * [`crate::Bitmap`] — plain `u64` words behind `&mut self` access. The
+///   fastest option for single-threaded ingestion and the only one that
+///   can be snapshotted for free; pick it unless you need shared-memory
+///   concurrency.
+/// * [`crate::AtomicBitmap`] — `AtomicU64` words updated with relaxed
+///   `fetch_or`. Pick it when several threads must ingest into *one*
+///   sketch concurrently (the fleet-scale scenario of the paper's §7.2
+///   where a shared schedule serves hundreds of links): `set` takes
+///   `&self`, so the bitmap can sit behind an `Arc` with no lock. The
+///   price is an atomic RMW per *newly set* bit and an atomic load per
+///   probe — on contended cache lines that is the hardware-level cost of
+///   sharing, not an artifact of this crate.
+///
+/// The trait exposes the mutable single-owner view (`set` takes
+/// `&mut self`); the atomic backend additionally offers lock-free
+/// `&self` setters as inherent methods, which is what concurrent callers
+/// use. Generic code (property tests, differential harnesses, the
+/// benches) goes through this trait so every backend sees the same
+/// workload.
+pub trait BitStore {
+    /// Create an all-zero store of `len` bits.
+    fn with_len(len: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Length in bits (the paper's `m`).
+    fn len(&self) -> usize;
+
+    /// `true` if the store has zero length.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read bit `idx`. Panics if `idx >= len`.
+    fn get(&self, idx: usize) -> bool;
+
+    /// Set bit `idx`, returning `true` if it was previously zero.
+    /// Panics if `idx >= len`.
+    fn set(&mut self, idx: usize) -> bool;
+
+    /// Number of one bits.
+    fn count_ones(&self) -> usize;
+
+    /// Reset every bit to zero, keeping the allocation.
+    fn reset(&mut self);
+
+    /// Payload size in bits, as the paper accounts memory.
+    fn memory_bits(&self) -> usize {
+        self.len()
+    }
+}

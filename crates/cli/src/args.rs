@@ -20,6 +20,16 @@ pub struct Options {
     pub n: Option<u64>,
     /// Replicates for `simulate`.
     pub reps: usize,
+    /// Backbone links for `bench-ingest`.
+    pub links: usize,
+    /// Per-case time budget in milliseconds for `bench-ingest`.
+    pub budget_ms: u64,
+    /// Cap on `(link, flow)` pairs per iteration for `bench-ingest`.
+    pub pairs: usize,
+    /// Max worker threads for the concurrent lanes of `bench-ingest`.
+    pub threads: usize,
+    /// Output path for the `bench-ingest` JSON report.
+    pub out: String,
 }
 
 impl Options {
@@ -33,6 +43,11 @@ impl Options {
             seed: 42,
             n: None,
             reps: 1000,
+            links: 150,
+            budget_ms: 300,
+            pairs: 2_000_000,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            out: "BENCH_ingest.json".to_string(),
         }
     }
 }
@@ -58,14 +73,12 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                 i += 2;
             }
             "--error" => {
-                opts.error =
-                    Some(value(i)?.parse().map_err(|e| format!("--error: {e}"))?);
+                opts.error = Some(value(i)?.parse().map_err(|e| format!("--error: {e}"))?);
                 i += 2;
             }
             "--memory-bits" => {
-                opts.memory_bits = Some(
-                    parse_num(value(i)?).map_err(|e| format!("--memory-bits: {e}"))? as usize,
-                );
+                opts.memory_bits =
+                    Some(parse_num(value(i)?).map_err(|e| format!("--memory-bits: {e}"))? as usize);
                 i += 2;
             }
             "--sketch" => {
@@ -86,6 +99,27 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--reps" => {
                 opts.reps = value(i)?.parse().map_err(|e| format!("--reps: {e}"))?;
+                i += 2;
+            }
+            "--links" => {
+                opts.links = parse_num(value(i)?).map_err(|e| format!("--links: {e}"))? as usize;
+                i += 2;
+            }
+            "--budget-ms" => {
+                opts.budget_ms = parse_num(value(i)?).map_err(|e| format!("--budget-ms: {e}"))?;
+                i += 2;
+            }
+            "--pairs" => {
+                opts.pairs = parse_num(value(i)?).map_err(|e| format!("--pairs: {e}"))? as usize;
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads =
+                    parse_num(value(i)?).map_err(|e| format!("--threads: {e}"))? as usize;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = value(i)?.to_string();
                 i += 2;
             }
             other => return Err(format!("unknown flag `{other}`")),

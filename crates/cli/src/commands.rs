@@ -4,12 +4,13 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
+use sbitmap_baselines::memory_model;
 use sbitmap_baselines::{
     AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog,
     KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
 };
-use sbitmap_baselines::memory_model;
-use sbitmap_core::{simulate, DistinctCounter, Dimensioning, RateSchedule, SBitmap};
+use sbitmap_bench::harness::Measurement;
+use sbitmap_core::{simulate, Dimensioning, DistinctCounter, RateSchedule, SBitmap};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::HashKind;
 
@@ -32,6 +33,11 @@ commands:
              flags: --n-max N --memory-bits M --seed S
   simulate   Monte-Carlo the S-bitmap error for a configuration (no input)
              flags: --n-max N [--error E | --memory-bits M] --n CARD --reps R
+  bench-ingest
+             time scalar vs batched vs concurrent ingestion on the
+             backbone/worm generators and write a JSON report
+             flags: --links L --pairs P --budget-ms MS --threads T
+                    --seed S --out PATH (default BENCH_ingest.json)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -53,6 +59,7 @@ pub fn dispatch(
         "plan" => plan(&opts, out),
         "compare" => compare(&opts, input, out),
         "simulate" => simulate_cmd(&opts, out),
+        "bench-ingest" => bench_ingest(&opts, out),
         other => Err(format!("unknown command `{other}`")),
     }
     .map_err(|e| e.to_string())
@@ -88,7 +95,10 @@ fn sbitmap_for(opts: &Options) -> Result<SBitmap<Box<dyn sbitmap_hash::Hasher64>
         );
     }
     let schedule = Arc::new(sbitmap_schedule(opts)?);
-    Ok(SBitmap::with_shared_schedule(schedule, kind.build(opts.seed)))
+    Ok(SBitmap::with_shared_schedule(
+        schedule,
+        kind.build(opts.seed),
+    ))
 }
 
 fn build_sketch(name: &str, opts: &Options) -> Result<Box<dyn DistinctCounter>, String> {
@@ -158,12 +168,21 @@ fn count(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> Resu
 fn plan(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let eps = opts.error.unwrap_or(0.02);
     let dims = Dimensioning::from_error(opts.n_max, eps).map_err(|e| e.to_string())?;
-    writeln!(out, "target: N = {}, RRMSE = {:.2}%", opts.n_max, eps * 100.0).map_err(io_err)?;
+    writeln!(
+        out,
+        "target: N = {}, RRMSE = {:.2}%",
+        opts.n_max,
+        eps * 100.0
+    )
+    .map_err(io_err)?;
     writeln!(out, "\nmethod        bits      bytes     vs S-bitmap").map_err(io_err)?;
     let sb = dims.m() as f64;
     for (name, bits) in [
         ("S-bitmap", sb),
-        ("HyperLogLog", memory_model::hyperloglog_bits(opts.n_max, eps)),
+        (
+            "HyperLogLog",
+            memory_model::hyperloglog_bits(opts.n_max, eps),
+        ),
         ("LogLog", memory_model::loglog_bits(opts.n_max, eps)),
         ("FM/PCSA", memory_model::fm_bits(eps)),
     ] {
@@ -236,11 +255,17 @@ fn simulate_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let schedule: Arc<RateSchedule> = Arc::new(sbitmap_schedule(opts)?);
     let dims = *schedule.dims();
     if n > dims.n_max() {
-        return Err(format!("--n {n} exceeds the configured range N = {}", dims.n_max()));
+        return Err(format!(
+            "--n {n} exceeds the configured range N = {}",
+            dims.n_max()
+        ));
     }
     let stats = sbitmap_stats::replicate(opts.reps, |r| {
         let mut rng = Xoshiro256StarStar::new(sbitmap_hash::mix64(r ^ 0xc11));
-        (n as f64, simulate::simulate_estimate(&schedule, n, &mut rng))
+        (
+            n as f64,
+            simulate::simulate_estimate(&schedule, n, &mut rng),
+        )
     });
     writeln!(
         out,
@@ -260,6 +285,48 @@ fn simulate_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         stats.quantile_abs(0.99) * 100.0
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+fn bench_ingest(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = sbitmap_bench::ingest::IngestConfig {
+        links: opts.links.max(1),
+        max_pairs: opts.pairs.max(1),
+        budget_ms: opts.budget_ms.max(1),
+        max_threads: opts.threads.max(1),
+        seed: opts.seed,
+    };
+    writeln!(
+        out,
+        "ingest bench: {} links, ≤{} pairs, {} ms/case, ≤{} threads",
+        cfg.links, cfg.max_pairs, cfg.budget_ms, cfg.max_threads
+    )
+    .map_err(io_err)?;
+    let results = sbitmap_bench::ingest::run(&cfg);
+    for m in &results {
+        writeln!(out, "{}", m.row()).map_err(io_err)?;
+    }
+    let json = sbitmap_bench::ingest::report_json(&cfg, &results);
+    std::fs::write(&opts.out, &json).map_err(|e| format!("write {}: {e}", opts.out))?;
+    let scalar = results
+        .iter()
+        .find(|m| m.name == "backbone_fleet_scalar")
+        .map(Measurement::items_per_sec)
+        .unwrap_or(0.0);
+    let batched = results
+        .iter()
+        .find(|m| m.name == "backbone_fleet_batched")
+        .map(Measurement::items_per_sec)
+        .unwrap_or(0.0);
+    if scalar > 0.0 {
+        writeln!(
+            out,
+            "batched vs scalar on backbone: {:.2}x",
+            batched / scalar
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "wrote {}", opts.out).map_err(io_err)?;
     Ok(())
 }
 
@@ -312,7 +379,11 @@ mod tests {
 
     #[test]
     fn simulate_reports_near_theory() {
-        let out = run("simulate --n-max 1m --memory-bits 8000 --n 100k --reps 600", "").unwrap();
+        let out = run(
+            "simulate --n-max 1m --memory-bits 8000 --n 100k --reps 600",
+            "",
+        )
+        .unwrap();
         assert!(out.contains("theoretical RRMSE"), "{out}");
         // Parse simulated rrmse and compare loosely with 2.2% theory.
         let line = out.lines().nth(1).unwrap();
@@ -343,9 +414,29 @@ mod tests {
     #[test]
     fn count_with_alternate_hash() {
         let stdin: String = (0..3000).map(|i| format!("k{i}\n")).collect();
-        let out = run("count --hash xxh64 --n-max 100k --error 0.03 --seed 5", &stdin).unwrap();
+        let out = run(
+            "count --hash xxh64 --n-max 100k --error 0.03 --seed 5",
+            &stdin,
+        )
+        .unwrap();
         let est: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
         assert!((est / 3000.0 - 1.0).abs() < 0.2, "{out}");
+    }
+
+    #[test]
+    fn bench_ingest_writes_report() {
+        let path = std::env::temp_dir().join("sbitmap_test_bench_ingest.json");
+        let argv = format!(
+            "bench-ingest --links 4 --pairs 2k --budget-ms 2 --threads 2 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("backbone_fleet_scalar"), "{out}");
+        assert!(out.contains("worm_concurrent_t2"), "{out}");
+        assert!(out.contains("batched vs scalar"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"ingest\""));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -92,7 +92,8 @@ pub fn decode<H: Hasher64 + FromSeed>(bytes: &[u8]) -> Result<SBitmap<H>, SBitma
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect();
-    let bitmap = Bitmap::from_words(words, m).map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+    let bitmap =
+        Bitmap::from_words(words, m).map_err(|e| SBitmapError::invalid("checkpoint", e))?;
     if bitmap.count_ones() != fill {
         return Err(fail("fill counter disagrees with bitmap"));
     }

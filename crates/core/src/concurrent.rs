@@ -1,0 +1,346 @@
+//! Lock-free concurrent S-bitmap over the atomic bitmap backend.
+//!
+//! The paper's fleet scenario (§7.2: hundreds of links, one shared
+//! schedule) wants ingestion to scale with cores. [`ConcurrentSBitmap`]
+//! keeps the exact update shape of Algorithm 2 — one hash, one bitmap
+//! probe, rarely one threshold compare — but over
+//! [`sbitmap_bitvec::AtomicBitmap`], so every method takes `&self` and
+//! the sketch can sit behind an `Arc` with no mutex.
+//!
+//! ## Concurrency semantics
+//!
+//! * **Fill counter.** `L` is a relaxed `AtomicUsize`, incremented only
+//!   by the thread whose `fetch_or` actually flipped the bit — so after
+//!   all writers synchronize (e.g. `join`), `fill() ==
+//!   bitmap.count_ones()` exactly. During ingestion it is a live
+//!   lower-bound hint.
+//! * **Sampling rate.** The threshold lookup uses the current fill hint.
+//!   Under concurrency a thread may read a hint that is a few increments
+//!   stale and sample with `p_{L+1-δ}` instead of `p_{L+1}`; the schedule
+//!   is monotone non-increasing, so stale reads sample *slightly too
+//!   eagerly*. The perturbation is bounded by the number of in-flight
+//!   updates (≤ threads) against a schedule that changes by `O(1/m)` per
+//!   step — far below the sketch's design error; the
+//!   `concurrent_matches_sequential_accuracy` test pins this.
+//! * **Estimates.** [`ConcurrentSBitmap::estimate`] reads the bitmap
+//!   popcount, not the hint, so a quiescent estimate is exactly the
+//!   estimate the sequential sketch would produce from the same bitmap.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sbitmap_bitvec::AtomicBitmap;
+use sbitmap_hash::{Hasher64, SplitMix64Hasher};
+
+use crate::counter::DistinctCounter;
+use crate::dimensioning::Dimensioning;
+use crate::estimator;
+use crate::schedule::RateSchedule;
+use crate::sketch::{SBitmap, BATCH_CHUNK};
+use crate::SBitmapError;
+
+/// A thread-shareable S-bitmap: all updates through `&self`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sbitmap_core::ConcurrentSBitmap;
+///
+/// let sketch = Arc::new(ConcurrentSBitmap::with_memory(1 << 20, 4000, 7).unwrap());
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let sketch = Arc::clone(&sketch);
+///         s.spawn(move || {
+///             for i in 0..25_000u64 {
+///                 sketch.insert_u64(t * 25_000 + i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(sketch.fill(), sketch.bitmap().count_ones());
+/// assert!((sketch.estimate() / 100_000.0 - 1.0).abs() < 0.2);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSBitmap<H: Hasher64 = SplitMix64Hasher> {
+    bitmap: AtomicBitmap,
+    fill: AtomicUsize,
+    schedule: Arc<RateSchedule>,
+    hasher: H,
+}
+
+impl ConcurrentSBitmap {
+    /// Build a sketch for cardinalities in `[1, n_max]` using `m` bits of
+    /// bitmap, hashing with the default seeded hasher.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_memory`].
+    pub fn with_memory(n_max: u64, m: usize, seed: u64) -> Result<Self, SBitmapError> {
+        let schedule = Arc::new(RateSchedule::from_memory(n_max, m)?);
+        Ok(Self::with_shared_schedule(
+            schedule,
+            SplitMix64Hasher::new(seed),
+        ))
+    }
+
+    /// Build a sketch targeting RRMSE `epsilon` over `[1, n_max]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dimensioning::from_error`].
+    pub fn with_error(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+        let schedule = Arc::new(RateSchedule::from_error(n_max, epsilon)?);
+        Ok(Self::with_shared_schedule(
+            schedule,
+            SplitMix64Hasher::new(seed),
+        ))
+    }
+}
+
+impl<H: Hasher64> ConcurrentSBitmap<H> {
+    /// Build a sketch over a shared schedule with a caller-chosen hasher.
+    pub fn with_shared_schedule(schedule: Arc<RateSchedule>, hasher: H) -> Self {
+        Self {
+            bitmap: AtomicBitmap::new(schedule.dims().m()),
+            fill: AtomicUsize::new(0),
+            schedule,
+            hasher,
+        }
+    }
+
+    /// Feed a pre-hashed item; lock-free. Returns `true` iff this call
+    /// set a new bit.
+    #[inline]
+    pub fn insert_hash(&self, hash: u64) -> bool {
+        let (bucket, u) = self.schedule.split().split(hash);
+        if self.bitmap.get_unchecked(bucket) {
+            return false;
+        }
+        // `fill` can momentarily read as `m` if every bit is set; clamp
+        // so the threshold lookup stays in range (the rate is flat past
+        // `b_max` anyway).
+        let k = (self.fill.load(Ordering::Relaxed) + 1).min(self.schedule.len());
+        if u < self.schedule.threshold(k) {
+            // Only the thread that wins the zero→one race counts the bit.
+            if self.bitmap.set_unchecked(bucket) {
+                self.fill.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert a `u64` item; lock-free.
+    #[inline]
+    pub fn insert_u64(&self, item: u64) -> bool {
+        self.insert_hash(self.hasher.hash_u64(item))
+    }
+
+    /// Insert a byte-string item; lock-free.
+    #[inline]
+    pub fn insert_bytes(&self, item: &[u8]) -> bool {
+        self.insert_hash(self.hasher.hash_bytes(item))
+    }
+
+    /// Feed a slice of pre-hashed items with the prefetch pipeline of
+    /// [`SBitmap::insert_hashes`]; lock-free. Returns how many bits this
+    /// call newly set.
+    pub fn insert_hashes(&self, hashes: &[u64]) -> u64 {
+        const LOOKAHEAD: usize = 8;
+        let split = *self.schedule.split();
+        let mut newly = 0u64;
+        for (i, &hash) in hashes.iter().enumerate() {
+            if let Some(&ahead) = hashes.get(i + LOOKAHEAD) {
+                self.bitmap.prefetch(split.split(ahead).0);
+            }
+            if self.insert_hash(hash) {
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Batch-hash and ingest a slice of `u64` items; lock-free. Returns
+    /// how many bits this call newly set.
+    pub fn insert_u64s(&self, items: &[u64]) -> u64 {
+        let mut buf = [0u64; BATCH_CHUNK];
+        let mut newly = 0u64;
+        for chunk in items.chunks(BATCH_CHUNK) {
+            let out = &mut buf[..chunk.len()];
+            self.hasher.hash_u64_batch(chunk, out);
+            newly += self.insert_hashes(out);
+        }
+        newly
+    }
+
+    /// Exact number of set bits by popcount — equals the fill counter
+    /// once all writers have synchronized with this thread.
+    pub fn fill(&self) -> usize {
+        self.bitmap.count_ones()
+    }
+
+    /// The relaxed fill counter: free to read, momentarily a lower bound
+    /// during concurrent ingestion.
+    #[inline]
+    pub fn fill_hint(&self) -> usize {
+        self.fill.load(Ordering::Relaxed)
+    }
+
+    /// Estimate from the exact popcount (see module docs).
+    pub fn estimate(&self) -> f64 {
+        estimator::estimate_from_fill(self.schedule.dims(), self.fill())
+    }
+
+    /// `true` once the fill hint has reached the truncation point.
+    pub fn is_saturated(&self) -> bool {
+        self.fill_hint() >= self.schedule.dims().b_max()
+    }
+
+    /// The schedule this sketch runs on.
+    #[inline]
+    pub fn schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
+    /// The dimensioning (`N`, `m`, `C`) this sketch was built with.
+    #[inline]
+    pub fn dims(&self) -> &Dimensioning {
+        self.schedule.dims()
+    }
+
+    /// Read-only view of the atomic bitmap.
+    #[inline]
+    pub fn bitmap(&self) -> &AtomicBitmap {
+        &self.bitmap
+    }
+
+    /// Sketch payload in bits (paper accounting).
+    pub fn memory_bits(&self) -> usize {
+        self.bitmap.memory_bits()
+    }
+
+    /// Reset to empty. Takes `&mut self`: a reset concurrent with writers
+    /// would not be a clean point in time.
+    pub fn reset(&mut self) {
+        self.bitmap.reset();
+        self.fill.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a sequential [`SBitmap`] sharing the same schedule,
+    /// e.g. to checkpoint through the binary codec. Call at quiescence:
+    /// the fill is recomputed from the snapshot popcount.
+    pub fn to_sbitmap(&self) -> SBitmap<H>
+    where
+        H: Clone,
+    {
+        let bitmap = self.bitmap.to_bitmap();
+        let fill = bitmap.count_ones();
+        let mut s = SBitmap::with_shared_schedule(self.schedule.clone(), self.hasher.clone());
+        s.restore_state(bitmap, fill);
+        s
+    }
+}
+
+impl<H: Hasher64> DistinctCounter for ConcurrentSBitmap<H> {
+    fn insert_u64(&mut self, item: u64) {
+        ConcurrentSBitmap::insert_u64(self, item);
+    }
+
+    fn insert_bytes(&mut self, item: &[u8]) {
+        ConcurrentSBitmap::insert_bytes(self, item);
+    }
+
+    fn estimate(&self) -> f64 {
+        ConcurrentSBitmap::estimate(self)
+    }
+
+    fn memory_bits(&self) -> usize {
+        ConcurrentSBitmap::memory_bits(self)
+    }
+
+    fn reset(&mut self) {
+        ConcurrentSBitmap::reset(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "s-bitmap-concurrent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_matches_popcount_and_tracks_cardinality() {
+        let s = ConcurrentSBitmap::with_memory(1 << 20, 4000, 7).unwrap();
+        for i in 0..50_000u64 {
+            s.insert_u64(i);
+        }
+        assert_eq!(s.fill(), s.fill_hint());
+        let rel = s.estimate() / 50_000.0 - 1.0;
+        assert!(rel.abs() < 0.3, "rel {rel}");
+    }
+
+    #[test]
+    fn duplicates_never_change_state() {
+        let s = ConcurrentSBitmap::with_memory(1 << 20, 4000, 3).unwrap();
+        for i in 0..10_000u64 {
+            s.insert_u64(i);
+        }
+        let fill = s.fill();
+        for i in 0..10_000u64 {
+            assert!(!s.insert_u64(i), "duplicate {i} set a bit");
+        }
+        assert_eq!(s.fill(), fill);
+    }
+
+    #[test]
+    fn threads_over_disjoint_ranges_keep_fill_exact() {
+        let s = std::sync::Arc::new(ConcurrentSBitmap::with_memory(1 << 20, 4000, 11).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    s.insert_u64s(&(t * 10_000..(t + 1) * 10_000).collect::<Vec<u64>>());
+                });
+            }
+        });
+        assert_eq!(s.fill(), s.bitmap().count_ones());
+        assert_eq!(s.fill(), s.fill_hint(), "hint must converge at join");
+        let rel = s.estimate() / 80_000.0 - 1.0;
+        assert!(rel.abs() < 0.3, "rel {rel}");
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_accuracy() {
+        // Same stream, same seed: the concurrent sketch over one thread
+        // is bit-identical to the sequential sketch.
+        let c = ConcurrentSBitmap::with_memory(100_000, 2000, 5).unwrap();
+        let mut s = SBitmap::with_memory(100_000, 2000, 5).unwrap();
+        for i in 0..20_000u64 {
+            c.insert_u64(i);
+            crate::counter::DistinctCounter::insert_u64(&mut s, i);
+        }
+        assert_eq!(c.fill(), s.fill());
+        assert_eq!(c.estimate(), crate::counter::DistinctCounter::estimate(&s));
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let c = ConcurrentSBitmap::with_memory(100_000, 2000, 9).unwrap();
+        c.insert_u64s(&(0..5_000u64).collect::<Vec<u64>>());
+        let s = c.to_sbitmap();
+        assert_eq!(s.fill(), c.fill());
+        assert_eq!(crate::counter::DistinctCounter::estimate(&s), c.estimate());
+    }
+
+    #[test]
+    fn saturation_and_reset() {
+        let mut s = ConcurrentSBitmap::with_memory(1_000, 120, 3).unwrap();
+        s.insert_u64s(&(0..5_000u64).collect::<Vec<u64>>());
+        assert!(s.is_saturated());
+        s.reset();
+        assert_eq!(s.fill(), 0);
+        assert_eq!(s.estimate(), 0.0);
+    }
+}

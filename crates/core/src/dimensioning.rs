@@ -204,7 +204,11 @@ mod tests {
             let a = Dimensioning::from_error(n, eps).unwrap();
             let b = Dimensioning::from_memory(n, a.m()).unwrap();
             // Solving back for C from the ceil'd m can only improve epsilon.
-            assert!(b.epsilon() <= eps + 1e-6, "n={n} eps={eps} got {}", b.epsilon());
+            assert!(
+                b.epsilon() <= eps + 1e-6,
+                "n={n} eps={eps} got {}",
+                b.epsilon()
+            );
             assert!((b.c() - a.c()).abs() / a.c() < 0.01);
         }
     }

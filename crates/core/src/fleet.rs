@@ -61,6 +61,77 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
         self.sketch_mut(key).insert_bytes(item);
     }
 
+    /// Largest key eligible for the O(n) dense grouping path of
+    /// [`SketchFleet::insert_batch`]. Covers the paper's §7.2 shape
+    /// (hundreds to thousands of link indices) with a bounded per-call
+    /// bucket table; beyond it, grouping falls back to a stable sort.
+    const DENSE_KEY_LIMIT: u64 = 1 << 16;
+
+    /// Ingest a batch of `(key, item)` pairs, returning how many bits
+    /// were newly set across the fleet.
+    ///
+    /// The batch is grouped by key first, preserving each key's arrival
+    /// order — so per-key sketch state is bit-identical to feeding
+    /// [`SketchFleet::insert_u64`] pair by pair. Each group then pays
+    /// its HashMap lookup *once* and runs through the batched sketch
+    /// path ([`SBitmap::insert_u64s`]) — the §7.2 shape, where a
+    /// collector drains a packet buffer spanning hundreds of links in
+    /// one call.
+    ///
+    /// Grouping is O(n) bucketing when keys are dense (all below
+    /// [`Self::DENSE_KEY_LIMIT`], as link indices are), and a stable
+    /// sort otherwise; both orderings feed the sketches identically.
+    pub fn insert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
+        if pairs.is_empty() {
+            return 0;
+        }
+        let max_key = pairs.iter().map(|&(k, _)| k).max().expect("non-empty");
+        // Dense only when the bucket table is small relative to the
+        // batch — a lone pair with key 60000 should not allocate and
+        // sweep 60001 buckets.
+        let table_bound = pairs.len().saturating_mul(4).max(64) as u64;
+        if max_key < Self::DENSE_KEY_LIMIT.min(table_bound) {
+            self.insert_batch_dense(pairs, max_key as usize)
+        } else {
+            self.insert_batch_sorted(pairs)
+        }
+    }
+
+    /// Dense-key grouping: one order-preserving pass into per-key
+    /// buckets, then one batched ingest per touched key.
+    fn insert_batch_dense(&mut self, pairs: &[(u64, u64)], max_key: usize) -> u64 {
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); max_key + 1];
+        for &(key, item) in pairs {
+            buckets[key as usize].push(item);
+        }
+        let mut newly = 0u64;
+        for (key, items) in buckets.iter().enumerate() {
+            if !items.is_empty() {
+                newly += self.sketch_mut(key as u64).insert_u64s(items);
+            }
+        }
+        newly
+    }
+
+    /// Sparse-key grouping: stable sort (preserves arrival order within
+    /// a key), then run detection.
+    fn insert_batch_sorted(&mut self, pairs: &[(u64, u64)]) -> u64 {
+        let mut sorted: Vec<(u64, u64)> = pairs.to_vec();
+        sorted.sort_by_key(|&(key, _)| key);
+        let mut items: Vec<u64> = Vec::with_capacity(sorted.len().min(1024));
+        let mut newly = 0u64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let key = sorted[i].0;
+            let run = i + sorted[i..].partition_point(|&(k, _)| k == key);
+            items.clear();
+            items.extend(sorted[i..run].iter().map(|&(_, item)| item));
+            newly += self.sketch_mut(key).insert_u64s(&items);
+            i = run;
+        }
+        newly
+    }
+
     fn sketch_mut(&mut self, key: u64) -> &mut SBitmap<H> {
         let schedule = &self.schedule;
         let seed = self.seed;
@@ -106,7 +177,10 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
     /// Total sketch payload across the fleet, in bits (paper accounting:
     /// the shared schedule is configuration, not state).
     pub fn memory_bits(&self) -> usize {
-        self.sketches.values().map(DistinctCounter::memory_bits).sum()
+        self.sketches
+            .values()
+            .map(DistinctCounter::memory_bits)
+            .sum()
     }
 
     /// Reset every sketch, keeping keys and allocations.
@@ -169,6 +243,70 @@ mod tests {
         // With ~4.7% error, the two independent estimates almost surely
         // differ in their low digits.
         assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn insert_batch_matches_pairwise_feed() {
+        let mut batched = fleet();
+        let mut scalar = fleet();
+        // Interleaved keys with duplicates, order-sensitive within key.
+        let pairs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i % 7, i / 7 % 3_000)).collect();
+        for &(k, item) in &pairs {
+            scalar.insert_u64(k, item);
+        }
+        let newly = batched.insert_batch(&pairs);
+        assert_eq!(batched.len(), scalar.len());
+        let mut total = 0u64;
+        for key in 0..7u64 {
+            assert_eq!(
+                batched.estimate(key),
+                scalar.estimate(key),
+                "estimates diverged for key {key}"
+            );
+            total += batched.sketches[&key].fill() as u64;
+        }
+        assert_eq!(newly, total, "newly-set count must equal total fill");
+    }
+
+    #[test]
+    fn insert_batch_sparse_keys_match_pairwise_feed() {
+        // Keys above DENSE_KEY_LIMIT exercise the stable-sort path.
+        let mut batched = fleet();
+        let mut scalar = fleet();
+        let keys = [u64::MAX, 1 << 20, 0xdead_beef_u64, 3];
+        let pairs: Vec<(u64, u64)> = (0..8_000u64)
+            .map(|i| (keys[(i % 4) as usize], i / 4 % 900))
+            .collect();
+        for &(k, item) in &pairs {
+            scalar.insert_u64(k, item);
+        }
+        batched.insert_batch(&pairs);
+        for &k in &keys {
+            assert_eq!(batched.estimate(k), scalar.estimate(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn small_batch_with_high_key_avoids_dense_table() {
+        // One pair with a key just under DENSE_KEY_LIMIT must not build
+        // a 60k-bucket table; it routes to the sort path and still
+        // matches the pairwise feed.
+        let mut batched = fleet();
+        let mut scalar = fleet();
+        let pairs = [(60_000u64, 7u64), (60_000, 8), (3, 9)];
+        for &(k, item) in &pairs {
+            scalar.insert_u64(k, item);
+        }
+        batched.insert_batch(&pairs);
+        assert_eq!(batched.estimate(60_000), scalar.estimate(60_000));
+        assert_eq!(batched.estimate(3), scalar.estimate(3));
+    }
+
+    #[test]
+    fn insert_batch_empty_is_noop() {
+        let mut f = fleet();
+        assert_eq!(f.insert_batch(&[]), 0);
+        assert!(f.is_empty());
     }
 
     #[test]

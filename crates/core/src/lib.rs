@@ -24,6 +24,7 @@
 //! | [`simulate`] | Lemma 1 | exact O(m) Monte-Carlo of the fill process |
 //! | [`counter`] | — | the [`DistinctCounter`] trait all sketches share |
 //! | [`fleet`] | §7.2 | many keyed sketches over one shared schedule |
+//! | [`concurrent`] | §7.2 | lock-free sketch over the atomic bitmap backend |
 //! | [`rotating`] | §7.1 | per-interval counting with bounded history |
 //! | [`sync`] | — | cloneable locked handle for multi-threaded feeds |
 //! | [`codec`] | — | dependency-free versioned binary checkpoints |
@@ -49,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod concurrent;
 pub mod counter;
 pub mod dimensioning;
 mod error;
@@ -61,6 +63,7 @@ pub mod sketch;
 pub mod sync;
 pub mod theory;
 
+pub use concurrent::ConcurrentSBitmap;
 pub use counter::DistinctCounter;
 pub use dimensioning::Dimensioning;
 pub use error::SBitmapError;

@@ -134,7 +134,10 @@ mod tests {
             r.rotate();
         }
         let b = r.baseline().unwrap();
-        assert!((b / 200.0 - 1.0).abs() < 0.25, "median-ish baseline, got {b}");
+        assert!(
+            (b / 200.0 - 1.0).abs() < 0.25,
+            "median-ish baseline, got {b}"
+        );
     }
 
     #[test]

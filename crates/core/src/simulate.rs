@@ -59,7 +59,10 @@ mod tests {
         let s = RateSchedule::from_memory(1 << 20, 4000).unwrap();
         let mut rng = Xoshiro256StarStar::new(2);
         let mean_fill = |n: u64, rng: &mut Xoshiro256StarStar| -> f64 {
-            (0..200).map(|_| simulate_fill(&s, n, rng) as f64).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| simulate_fill(&s, n, rng) as f64)
+                .sum::<f64>()
+                / 200.0
         };
         let f1 = mean_fill(1_000, &mut rng);
         let f2 = mean_fill(10_000, &mut rng);
@@ -73,8 +76,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(3);
         let n = 50_000u64;
         let reps = 2_000;
-        let mean: f64 =
-            (0..reps).map(|_| simulate_fill(&s, n, &mut rng) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| simulate_fill(&s, n, &mut rng) as f64)
+            .sum::<f64>()
+            / reps as f64;
         let expect = theory::expected_fill(s.dims(), n);
         assert!(
             (mean / expect - 1.0).abs() < 0.01,
@@ -89,8 +94,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(4);
         let n = 20_000u64;
         let reps = 5_000;
-        let mean: f64 =
-            (0..reps).map(|_| simulate_estimate(&s, n, &mut rng)).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| simulate_estimate(&s, n, &mut rng))
+            .sum::<f64>()
+            / reps as f64;
         let eps = s.dims().epsilon();
         // Standard error of the mean ≈ eps·n/sqrt(reps).
         let tol = 4.0 * eps * n as f64 / (reps as f64).sqrt();

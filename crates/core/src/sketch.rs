@@ -11,6 +11,11 @@ use crate::estimator;
 use crate::schedule::RateSchedule;
 use crate::SBitmapError;
 
+/// Stack-buffer size for the batched ingest paths: hashes for one chunk
+/// live in a 2 KiB stack array, so batching allocates nothing and the
+/// hash buffer stays L1-resident.
+pub(crate) const BATCH_CHUNK: usize = 256;
+
 /// The self-learning bitmap.
 ///
 /// State is exactly the paper's: an `m`-bit bitmap `V` plus the fill
@@ -76,7 +81,11 @@ impl<H: Hasher64 + FromSeed> SBitmap<H> {
     /// # Errors
     ///
     /// See [`Dimensioning::from_error`].
-    pub fn with_error_and_hasher(n_max: u64, epsilon: f64, seed: u64) -> Result<Self, SBitmapError> {
+    pub fn with_error_and_hasher(
+        n_max: u64,
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Self, SBitmapError> {
         let schedule = Arc::new(RateSchedule::from_error(n_max, epsilon)?);
         Ok(Self::with_shared_schedule(schedule, H::from_seed(seed)))
     }
@@ -104,18 +113,82 @@ impl<H: Hasher64> SBitmap<H> {
     #[inline]
     pub fn insert_hash(&mut self, hash: u64) -> bool {
         let (bucket, u) = self.schedule.split().split(hash);
-        if self.bitmap.get(bucket) {
+        // `split` maps into `0..m` structurally, so the hot path takes
+        // the unchecked (debug_assert-only) bitmap accessors.
+        if self.bitmap.get_unchecked(bucket) {
             return false; // case 1 of Fig. 1: occupied, skip
         }
         // Bucket empty: sample with rate p_{L+1} (case 2 of Fig. 1).
         debug_assert!(self.fill < self.schedule.len());
         if u < self.schedule.threshold(self.fill + 1) {
-            self.bitmap.set(bucket);
+            self.bitmap.set_unchecked(bucket);
             self.fill += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Feed a slice of pre-hashed items, returning how many bits this
+    /// call newly set.
+    ///
+    /// Equivalent to calling [`SBitmap::insert_hash`] on each element in
+    /// order — the resulting `(bitmap, fill)` state is bit-identical —
+    /// but pipelined: the bitmap word for hash `i + k` is software-
+    /// prefetched while hash `i` is probed, so bitmap cache misses
+    /// overlap with useful work once `m` outgrows the caches (fleets of
+    /// large sketches, cold working sets).
+    pub fn insert_hashes(&mut self, hashes: &[u64]) -> u64 {
+        /// Probe-ahead distance: far enough to cover an L2 hit, close
+        /// enough that the prefetched line is still resident when probed.
+        const LOOKAHEAD: usize = 8;
+        let split = *self.schedule.split();
+        let mut newly = 0u64;
+        for (i, &hash) in hashes.iter().enumerate() {
+            if let Some(&ahead) = hashes.get(i + LOOKAHEAD) {
+                self.bitmap.prefetch(split.split(ahead).0);
+            }
+            let (bucket, u) = split.split(hash);
+            if self.bitmap.get_unchecked(bucket) {
+                continue;
+            }
+            debug_assert!(self.fill < self.schedule.len());
+            if u < self.schedule.threshold(self.fill + 1) {
+                self.bitmap.set_unchecked(bucket);
+                self.fill += 1;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Batched [`DistinctCounter::insert_u64`]: hash a whole slice
+    /// through [`Hasher64::hash_u64_batch`] (one tight, pipelineable
+    /// loop), then ingest via [`SBitmap::insert_hashes`]. State after the
+    /// call is bit-identical to inserting the items one at a time in
+    /// order. Returns how many bits were newly set.
+    pub fn insert_u64s(&mut self, items: &[u64]) -> u64 {
+        let mut buf = [0u64; BATCH_CHUNK];
+        let mut newly = 0u64;
+        for chunk in items.chunks(BATCH_CHUNK) {
+            let out = &mut buf[..chunk.len()];
+            self.hasher.hash_u64_batch(chunk, out);
+            newly += self.insert_hashes(out);
+        }
+        newly
+    }
+
+    /// Batched [`DistinctCounter::insert_bytes`]; see
+    /// [`SBitmap::insert_u64s`]. Returns how many bits were newly set.
+    pub fn insert_bytes_batch(&mut self, items: &[&[u8]]) -> u64 {
+        let mut buf = [0u64; BATCH_CHUNK];
+        let mut newly = 0u64;
+        for chunk in items.chunks(BATCH_CHUNK) {
+            let out = &mut buf[..chunk.len()];
+            self.hasher.hash_bytes_batch(chunk, out);
+            newly += self.insert_hashes(out);
+        }
+        newly
     }
 
     /// Current number of set bits (the paper's `L`).
@@ -314,6 +387,57 @@ mod tests {
             assert_eq!(s.fill(), fill, "round {round} changed the fill");
         }
         assert_eq!(s.estimate(), est);
+    }
+
+    #[test]
+    fn insert_hashes_is_bit_identical_to_item_at_a_time() {
+        let mut batched = sketch();
+        let mut scalar = sketch();
+        let hasher = SplitMix64Hasher::new(99);
+        let hashes: Vec<u64> = (0..30_000u64).map(|i| hasher.hash_u64(i)).collect();
+        let mut scalar_newly = 0u64;
+        for &h in &hashes {
+            scalar_newly += u64::from(scalar.insert_hash(h));
+        }
+        let batched_newly = batched.insert_hashes(&hashes);
+        assert_eq!(batched_newly, scalar_newly);
+        assert_eq!(batched.fill(), scalar.fill());
+        assert_eq!(
+            batched.bitmap(),
+            scalar.bitmap(),
+            "bitmaps must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn insert_u64s_is_bit_identical_to_insert_u64() {
+        let mut batched = sketch();
+        let mut scalar = sketch();
+        // Odd length exercises the chunk remainder (256-item chunks).
+        let items: Vec<u64> = (0..10_007u64).collect();
+        for &i in &items {
+            scalar.insert_u64(i);
+        }
+        let newly = batched.insert_u64s(&items);
+        assert_eq!(newly, scalar.fill() as u64);
+        assert_eq!(batched.fill(), scalar.fill());
+        assert_eq!(batched.bitmap(), scalar.bitmap());
+    }
+
+    #[test]
+    fn insert_bytes_batch_is_bit_identical_to_insert_bytes() {
+        let mut batched = sketch();
+        let mut scalar = sketch();
+        let owned: Vec<Vec<u8>> = (0..3_000u32)
+            .map(|i| format!("flow-{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        for r in &refs {
+            scalar.insert_bytes(r);
+        }
+        batched.insert_bytes_batch(&refs);
+        assert_eq!(batched.fill(), scalar.fill());
+        assert_eq!(batched.bitmap(), scalar.bitmap());
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl<C: DistinctCounter> SharedCounter<C> {
         // A poisoned mutex means another thread panicked mid-insert; the
         // bitmap itself is still structurally valid (single bit writes),
         // so recover rather than propagate.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

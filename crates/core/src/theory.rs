@@ -31,7 +31,9 @@ pub fn t(dims: &Dimensioning, b: usize) -> f64 {
 /// `var(T_b) = Σ_{k≤b} (1 − q_k)/q_k²` (Lemma 1). Under the dimensioning
 /// rule this equals `t_b²/C` (the invariance (3) that Theorem 2 enforces).
 pub fn var_t(dims: &Dimensioning, b: usize) -> f64 {
-    (1..=b).map(|k| (1.0 - q(dims, k)) / (q(dims, k) * q(dims, k))).sum()
+    (1..=b)
+        .map(|k| (1.0 - q(dims, k)) / (q(dims, k) * q(dims, k)))
+        .sum()
 }
 
 /// Theoretical scale-invariant RRMSE of the S-bitmap estimator,
@@ -212,7 +214,10 @@ mod tests {
         let target = d.c().powf(-0.5);
         for &b in &[1usize, 10, 100, 1000, 3000] {
             let re = var_t(&d, b).sqrt() / t(&d, b);
-            assert!((re - target).abs() < 1e-8, "b={b}: Re = {re}, want {target}");
+            assert!(
+                (re - target).abs() < 1e-8,
+                "b={b}: Re = {re}, want {target}"
+            );
         }
     }
 
@@ -319,7 +324,10 @@ mod tests {
             (0.99, 2.5758, 0.02),
         ] {
             let z = z_score(conf);
-            assert!((z - expect).abs() < tol, "conf {conf}: z {z}, expect {expect}");
+            assert!(
+                (z - expect).abs() < tol,
+                "conf {conf}: z {z}, expect {expect}"
+            );
         }
     }
 

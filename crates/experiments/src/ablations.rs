@@ -17,7 +17,7 @@ use std::sync::Arc;
 use crate::config::RunConfig;
 use crate::fmt::{pct, Table};
 use crate::runner::accuracy;
-use sbitmap_core::{simulate, theory, DistinctCounter, Dimensioning, RateSchedule, SBitmap};
+use sbitmap_core::{simulate, theory, Dimensioning, DistinctCounter, RateSchedule, SBitmap};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::HashKind;
 use sbitmap_stats::replicate;
@@ -40,8 +40,7 @@ pub fn d_bits_table(cfg: &RunConfig) -> Table {
         &["d (bits)", "RRMSE (%)", "bias (%)"],
     );
     for &d in &[8u32, 10, 12, 14, 16, 20, 24, 30, 32] {
-        let schedule =
-            Arc::new(RateSchedule::new(dims, d).expect("schedule for every d"));
+        let schedule = Arc::new(RateSchedule::new(dims, d).expect("schedule for every d"));
         let stats = accuracy(cfg.replicates, N_PROBE, 0xd0 + u64::from(d), |seed| {
             SBitmap::with_shared_schedule(
                 schedule.clone(),
@@ -151,9 +150,16 @@ pub fn fastsim_table(cfg: &RunConfig) -> Table {
         });
         let sim = replicate(cfg.replicates, |r| {
             let mut rng = Xoshiro256StarStar::new(sbitmap_hash::mix64(r ^ 0xfa58 ^ n));
-            (n as f64, simulate::simulate_estimate(&schedule, n, &mut rng))
+            (
+                n as f64,
+                simulate::simulate_estimate(&schedule, n, &mut rng),
+            )
         });
-        t.row(vec![n.to_string(), pct(real.rrmse(), 2), pct(sim.rrmse(), 2)]);
+        t.row(vec![
+            n.to_string(),
+            pct(real.rrmse(), 2),
+            pct(sim.rrmse(), 2),
+        ]);
     }
     t
 }
@@ -244,16 +250,18 @@ mod tests {
         // ...but is fine once the keys themselves are unstructured.
         let mixed = replicate(cfg.replicates, |r| {
             let seed = sbitmap_hash::mix64(r ^ 0xc3);
-            let mut s = SBitmap::with_shared_schedule(
-                schedule.clone(),
-                HashKind::CarterWegman.build(seed),
-            );
+            let mut s =
+                SBitmap::with_shared_schedule(schedule.clone(), HashKind::CarterWegman.build(seed));
             for item in sbitmap_stream::distinct_items(seed, N_PROBE) {
                 s.insert_u64(sbitmap_hash::mix64(item));
             }
             (N_PROBE as f64, s.estimate())
         });
-        assert!(mixed.rrmse() < 2.0 * eps, "mixed-key CW rrmse {}", mixed.rrmse());
+        assert!(
+            mixed.rrmse() < 2.0 * eps,
+            "mixed-key CW rrmse {}",
+            mixed.rrmse()
+        );
     }
 
     #[test]
@@ -275,7 +283,10 @@ mod tests {
         .rrmse();
         let sim = replicate(cfg.replicates, |r| {
             let mut rng = Xoshiro256StarStar::new(sbitmap_hash::mix64(r ^ 0x2));
-            (n as f64, simulate::simulate_estimate(&schedule, n, &mut rng))
+            (
+                n as f64,
+                simulate::simulate_estimate(&schedule, n, &mut rng),
+            )
         })
         .rrmse();
         assert!((real / sim - 1.0).abs() < 0.35, "real {real} vs sim {sim}");

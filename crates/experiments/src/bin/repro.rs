@@ -4,7 +4,10 @@ fn main() {
     let cfg = sbitmap_experiments::RunConfig::from_env();
     let t0 = std::time::Instant::now();
     println!("=== S-bitmap reproduction: all tables and figures ===");
-    println!("replicates per cell: {} (paper: 1000; use --full)\n", cfg.replicates);
+    println!(
+        "replicates per cell: {} (paper: 1000; use --full)\n",
+        cfg.replicates
+    );
     sbitmap_experiments::fig2::main_with(&cfg);
     sbitmap_experiments::table2::main_with(&cfg);
     sbitmap_experiments::fig3::main_with(&cfg);

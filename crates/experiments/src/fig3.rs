@@ -77,9 +77,14 @@ pub fn main_with(cfg: &RunConfig) {
     g.print();
     let c = crossover_table();
     c.print();
-    g.write_csv(&cfg.csv_path("fig3_grid.csv")).expect("write fig3_grid.csv");
-    c.write_csv(&cfg.csv_path("fig3_crossover.csv")).expect("write fig3_crossover.csv");
-    println!("wrote {}/fig3_grid.csv, fig3_crossover.csv\n", cfg.out_dir.display());
+    g.write_csv(&cfg.csv_path("fig3_grid.csv"))
+        .expect("write fig3_grid.csv");
+    c.write_csv(&cfg.csv_path("fig3_crossover.csv"))
+        .expect("write fig3_crossover.csv");
+    println!(
+        "wrote {}/fig3_grid.csv, fig3_crossover.csv\n",
+        cfg.out_dir.display()
+    );
 }
 
 #[cfg(test)]

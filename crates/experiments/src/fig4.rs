@@ -145,7 +145,10 @@ mod tests {
         let m = 3_200;
         let grid = [1_024u64, 65_536, 1_000_000];
         let rrmse = |algo: Algo, n: u64| {
-            accuracy(reps, n, 0x55 ^ n, |seed| algo.build(m, N_MAX, seed).unwrap()).rrmse()
+            accuracy(reps, n, 0x55 ^ n, |seed| {
+                algo.build(m, N_MAX, seed).unwrap()
+            })
+            .rrmse()
         };
         let dims = Dimensioning::from_memory(N_MAX, m).unwrap();
         for &n in &grid {

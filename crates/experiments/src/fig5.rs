@@ -25,9 +25,8 @@ pub fn run_link(link: WormLink) -> (sbitmap_stats::ErrorStats, Vec<(u64, f64)>) 
     let mut sketch = Algo::SBitmap
         .build(M_BITS, N_MAX, TRACE_SEED ^ link.base_seed())
         .expect("paper config builds");
-    let intervals = (0..WormTrace::MINUTES).map(|minute| {
-        (trace.counts()[minute], trace.minute_stream(minute))
-    });
+    let intervals =
+        (0..WormTrace::MINUTES).map(|minute| (trace.counts()[minute], trace.minute_stream(minute)));
     run_trace(&mut sketch, intervals)
 }
 
@@ -81,9 +80,16 @@ pub fn main_with(cfg: &RunConfig) {
             pct(dims.epsilon(), 2),
         );
         // Full-resolution series goes to CSV.
-        let mut full = Table::new(format!("fig5 {}", link.name()), &["minute", "flows", "estimate"]);
+        let mut full = Table::new(
+            format!("fig5 {}", link.name()),
+            &["minute", "flows", "estimate"],
+        );
         for (minute, &(truth, est)) in series.iter().enumerate() {
-            full.row(vec![minute.to_string(), truth.to_string(), format!("{est:.1}")]);
+            full.row(vec![
+                minute.to_string(),
+                truth.to_string(),
+                format!("{est:.1}"),
+            ]);
         }
         full.write_csv(&cfg.csv_path(&format!("fig5_{}.csv", link.name())))
             .expect("write fig5 csv");

@@ -69,12 +69,18 @@ pub fn chart(link: WormLink, results: &[(Algo, ErrorStats)]) -> String {
         .map(|(algo, stats)| {
             crate::plot::Series::new(
                 algo.label(),
-                thresholds().iter().map(|&x| (x * 100.0, stats.exceedance(x))).collect(),
+                thresholds()
+                    .iter()
+                    .map(|&x| (x * 100.0, stats.exceedance(x)))
+                    .collect(),
             )
         })
         .collect();
     crate::plot::render(
-        &format!("Figure 6 (ASCII, {}): P(|rel err| > x) vs x (%)", link.name()),
+        &format!(
+            "Figure 6 (ASCII, {}): P(|rel err| > x) vs x (%)",
+            link.name()
+        ),
         &series,
         52,
         10,

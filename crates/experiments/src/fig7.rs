@@ -44,8 +44,11 @@ pub fn main_with(cfg: &RunConfig) {
     let (hist, quant) = tables();
     hist.print();
     quant.print();
-    hist.write_csv(&cfg.csv_path("fig7_histogram.csv")).expect("write fig7 csv");
-    quant.write_csv(&cfg.csv_path("fig7_quantiles.csv")).expect("write fig7 csv");
+    hist.write_csv(&cfg.csv_path("fig7_histogram.csv"))
+        .expect("write fig7 csv");
+    quant
+        .write_csv(&cfg.csv_path("fig7_quantiles.csv"))
+        .expect("write fig7 csv");
     println!("wrote {}/fig7_*.csv\n", cfg.out_dir.display());
 }
 

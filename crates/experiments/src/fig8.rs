@@ -99,7 +99,8 @@ pub fn main_with(cfg: &RunConfig) {
             Some(25.0),
         )
     );
-    t.write_csv(&cfg.csv_path("fig8.csv")).expect("write fig8 csv");
+    t.write_csv(&cfg.csv_path("fig8.csv"))
+        .expect("write fig8 csv");
     let three_sigma = 3.0 * dims.epsilon();
     for (algo, stats) in &results {
         let over = (stats.exceedance(three_sigma) * stats.count() as f64).round() as usize;
@@ -132,7 +133,11 @@ mod tests {
         // at the smallest links a single missed sample is a ~1/n ≈ 5-10%
         // error — so we assert "at most a handful" instead; see
         // EXPERIMENTS.md.)
-        assert!(s.rrmse() < 1.5 * dims.epsilon(), "S-bitmap rrmse {}", s.rrmse());
+        assert!(
+            s.rrmse() < 1.5 * dims.epsilon(),
+            "S-bitmap rrmse {}",
+            s.rrmse()
+        );
         assert!(s.max_abs() < 0.15, "S-bitmap max {}", s.max_abs());
         assert!(hll.max_abs() < 0.15, "HLL max {}", hll.max_abs());
         assert!(s.exceedance(3.0 * dims.epsilon()) < 0.01);

@@ -46,7 +46,13 @@ pub fn render(
     if xs.is_empty() {
         return format!("{title}\n(no data)\n");
     }
-    let tx = |x: f64| if log_x { x.max(f64::MIN_POSITIVE).ln() } else { x };
+    let tx = |x: f64| {
+        if log_x {
+            x.max(f64::MIN_POSITIVE).ln()
+        } else {
+            x
+        }
+    };
     let (x_min, x_max) = bounds(xs.iter().map(|&x| tx(x)));
     let (y_min, y_max) = bounds(ys.iter().copied());
     let x_span = (x_max - x_min).max(f64::EPSILON);
@@ -63,7 +69,11 @@ pub fn render(
             let cell = &mut grid[row][col.min(width - 1)];
             // Overlapping series show the later mark; exact collisions
             // are rare at these resolutions and the table has the truth.
-            *cell = if *cell == ' ' || *cell == mark { mark } else { '#' };
+            *cell = if *cell == ' ' || *cell == mark {
+                mark
+            } else {
+                '#'
+            };
         }
     }
 
@@ -135,15 +145,15 @@ mod tests {
     #[test]
     fn renders_flat_and_rising_series() {
         let flat = Series::new("flat", (0..10).map(|i| (2f64.powi(i), 3.3)).collect());
-        let rising = Series::new("rising", (0..10).map(|i| (2f64.powi(i), i as f64)).collect());
+        let rising = Series::new(
+            "rising",
+            (0..10).map(|i| (2f64.powi(i), i as f64)).collect(),
+        );
         let s = render("demo", &[flat, rising], 40, 10, true, None);
         assert!(s.contains("demo"));
         assert!(s.contains("f = flat") || s.contains("S = flat"));
         // The flat series occupies one row; find a row with many marks.
-        let mark_rows = s
-            .lines()
-            .filter(|l| l.matches('S').count() >= 5)
-            .count();
+        let mark_rows = s.lines().filter(|l| l.matches('S').count() >= 5).count();
         assert!(mark_rows >= 1, "flat series not visible:\n{s}");
     }
 

@@ -60,7 +60,12 @@ pub enum Algo {
 
 impl Algo {
     /// The roster in the paper's presentation order.
-    pub const ALL: [Algo; 4] = [Algo::SBitmap, Algo::MrBitmap, Algo::LogLog, Algo::HyperLogLog];
+    pub const ALL: [Algo; 4] = [
+        Algo::SBitmap,
+        Algo::MrBitmap,
+        Algo::LogLog,
+        Algo::HyperLogLog,
+    ];
 
     /// Display name matching the paper's figure legends.
     pub fn label(self) -> &'static str {

@@ -18,13 +18,7 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "Table 2: memory cost (unit 100 bits), Hyper-LogLog vs S-bitmap",
         &[
-            "N",
-            "HLL(1%)",
-            "S-b(1%)",
-            "HLL(3%)",
-            "S-b(3%)",
-            "HLL(9%)",
-            "S-b(9%)",
+            "N", "HLL(1%)", "S-b(1%)", "HLL(3%)", "S-b(3%)", "HLL(9%)", "S-b(9%)",
         ],
     );
     for &n in &N_VALUES {

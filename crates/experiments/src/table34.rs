@@ -63,7 +63,8 @@ pub fn run(cfg: &RunConfig, spec: &Spec) -> Vec<(u64, Vec<ErrorStats>)> {
                 .map(|(ai, &algo)| {
                     let salt = 0x7ab1_e000u64 ^ (spec.n_max << 8) ^ ((ai as u64) << 4) ^ n;
                     accuracy(cfg.replicates, n, salt, |seed| {
-                        algo.build(spec.m, spec.n_max, seed).expect("table config builds")
+                        algo.build(spec.m, spec.n_max, seed)
+                            .expect("table config builds")
                     })
                 })
                 .collect();
@@ -76,7 +77,10 @@ pub fn run(cfg: &RunConfig, spec: &Spec) -> Vec<(u64, Vec<ErrorStats>)> {
 /// S / mr / H columns, all values ×100.
 pub fn table(spec: &Spec, results: &[(u64, Vec<ErrorStats>)]) -> Table {
     let mut t = Table::new(
-        format!("{}: L1, L2, 99% quantile (x100); columns S / mr / H", spec.name),
+        format!(
+            "{}: L1, L2, 99% quantile (x100); columns S / mr / H",
+            spec.name
+        ),
         &[
             "n", "L1:S", "L1:mr", "L1:H", "L2:S", "L2:mr", "L2:H", "q99:S", "q99:mr", "q99:H",
         ],
@@ -144,9 +148,16 @@ mod tests {
         assert!(s_b < 0.06, "S-bitmap at boundary: {s_b}");
         let mr_mid = mid[1].rrmse();
         let mr_b = at_boundary[1].rrmse();
-        assert!(mr_b > mr_mid, "mr should degrade with scale: {mr_mid} -> {mr_b}");
+        assert!(
+            mr_b > mr_mid,
+            "mr should degrade with scale: {mr_mid} -> {mr_b}"
+        );
         for (i, stats) in mid.iter().enumerate() {
-            assert!(stats.rrmse() < 0.12, "algo {i} at n=1000: {}", stats.rrmse());
+            assert!(
+                stats.rrmse() < 0.12,
+                "algo {i} at n=1000: {}",
+                stats.rrmse()
+            );
         }
     }
 }

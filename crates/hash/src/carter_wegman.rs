@@ -63,7 +63,13 @@ impl CarterWegman {
         let b1 = mix64(seed ^ 0xe703_7ed1_a0b4_28db) % MERSENNE_P;
         let a2 = mix64(seed ^ 0x8ebc_6af0_9c88_c6e3) % (MERSENNE_P - 1) + 1;
         let b2 = mix64(seed ^ 0x5896_27dd_4796_9ea9) % MERSENNE_P;
-        Self { seed, a1, b1, a2, b2 }
+        Self {
+            seed,
+            a1,
+            b1,
+            a2,
+            b2,
+        }
     }
 
     /// First affine map on a field element.
@@ -107,9 +113,7 @@ impl Hasher64 for CarterWegman {
             let mut w = [0u8; 8];
             w[..7].copy_from_slice(chunk);
             // 56-bit word < p, safe as a field element.
-            acc = mod_mersenne(
-                u128::from(mul_mod(acc, base)) + u128::from(u64::from_le_bytes(w)),
-            );
+            acc = mod_mersenne(u128::from(mul_mod(acc, base)) + u128::from(u64::from_le_bytes(w)));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -153,7 +157,11 @@ mod tests {
             u128::MAX,
         ];
         for &x in &cases {
-            assert_eq!(u128::from(mod_mersenne(x)), x % u128::from(MERSENNE_P), "x={x}");
+            assert_eq!(
+                u128::from(mod_mersenne(x)),
+                x % u128::from(MERSENNE_P),
+                "x={x}"
+            );
         }
     }
 

@@ -120,7 +120,10 @@ mod tests {
         let data = b"0123456789abcdefXYZ";
         let mut seen = std::collections::HashSet::new();
         for l in 0..=data.len() {
-            assert!(seen.insert(murmur3_x64_128(&data[..l], 7)), "len {l} collided");
+            assert!(
+                seen.insert(murmur3_x64_128(&data[..l], 7)),
+                "len {l} collided"
+            );
         }
     }
 

@@ -130,7 +130,8 @@ impl SplitMix64 {
     /// Derive an independent stream for `(self.seed, stream)` pairs —
     /// used to give every experiment replicate its own generator.
     pub fn derive(&self, stream: u64) -> Self {
-        let mut g = Self::new(self.state ^ crate::mix64(stream.wrapping_add(0xd1b5_4a32_d192_ed03)));
+        let mut g =
+            Self::new(self.state ^ crate::mix64(stream.wrapping_add(0xd1b5_4a32_d192_ed03)));
         g.state = g.next_u64();
         Self { state: g.state }
     }

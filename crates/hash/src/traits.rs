@@ -23,6 +23,47 @@ pub trait Hasher64: Send + Sync {
         self.hash_bytes(&x.to_le_bytes())
     }
 
+    /// Hash a slice of `u64` items into a caller-provided buffer.
+    ///
+    /// Semantically identical to calling [`Hasher64::hash_u64`] per item;
+    /// the batch form exists for the ingestion hot path: the per-item
+    /// hash chains are independent, so a single tight loop lets the CPU
+    /// pipeline them (and the compiler vectorize them) instead of paying
+    /// each chain's full latency serially between probes. Through
+    /// `dyn Hasher64` it also replaces one virtual call per item with one
+    /// per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != out.len()`.
+    fn hash_u64_batch(&self, items: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            items.len(),
+            out.len(),
+            "hash_u64_batch: input and output lengths differ"
+        );
+        for (o, &x) in out.iter_mut().zip(items) {
+            *o = self.hash_u64(x);
+        }
+    }
+
+    /// Hash a slice of byte strings into a caller-provided buffer; the
+    /// batch analogue of [`Hasher64::hash_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != out.len()`.
+    fn hash_bytes_batch(&self, items: &[&[u8]], out: &mut [u64]) {
+        assert_eq!(
+            items.len(),
+            out.len(),
+            "hash_bytes_batch: input and output lengths differ"
+        );
+        for (o, &bytes) in out.iter_mut().zip(items) {
+            *o = self.hash_bytes(bytes);
+        }
+    }
+
     /// The seed this hasher was constructed with.
     fn seed(&self) -> u64;
 }
@@ -94,6 +135,12 @@ impl<H: Hasher64 + ?Sized> Hasher64 for &H {
     fn hash_u64(&self, x: u64) -> u64 {
         (**self).hash_u64(x)
     }
+    fn hash_u64_batch(&self, items: &[u64], out: &mut [u64]) {
+        (**self).hash_u64_batch(items, out);
+    }
+    fn hash_bytes_batch(&self, items: &[&[u8]], out: &mut [u64]) {
+        (**self).hash_bytes_batch(items, out);
+    }
     fn seed(&self) -> u64 {
         (**self).seed()
     }
@@ -105,6 +152,12 @@ impl Hasher64 for Box<dyn Hasher64> {
     }
     fn hash_u64(&self, x: u64) -> u64 {
         (**self).hash_u64(x)
+    }
+    fn hash_u64_batch(&self, items: &[u64], out: &mut [u64]) {
+        (**self).hash_u64_batch(items, out);
+    }
+    fn hash_bytes_batch(&self, items: &[&[u8]], out: &mut [u64]) {
+        (**self).hash_bytes_batch(items, out);
     }
     fn seed(&self) -> u64 {
         (**self).seed()

@@ -79,12 +79,18 @@ pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
 
     while input.len() >= 8 {
         h ^= round(0, read_u64(input));
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         input = &input[8..];
     }
     if input.len() >= 4 {
         h ^= u64::from(read_u32(input)).wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         input = &input[4..];
     }
     for &byte in input {
@@ -126,7 +132,10 @@ impl Hasher64 for Xxh64 {
         // 8-byte input; identical output to hash_bytes(&x.to_le_bytes()).
         let mut h = self.seed.wrapping_add(PRIME64_5).wrapping_add(8);
         h ^= round(0, x);
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         avalanche(h)
     }
 

@@ -1,95 +1,191 @@
-//! Property-based tests for the hashing substrate.
+//! Property-based tests for the hashing substrate, over deterministic
+//! randomized cases (this workspace builds offline; no proptest). Every
+//! case derives from its loop index, so failures are reproducible.
 
-use proptest::prelude::*;
 use sbitmap_hash::rng::{Rng, SplitMix64, Xoshiro256StarStar};
 use sbitmap_hash::{FromSeed, HashKind, HashSplit, Hasher64, SplitMix64Hasher};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rng(case: u64) -> SplitMix64 {
+    SplitMix64::new(0x7e57_c0de ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
 
-    #[test]
-    fn split_stays_in_bounds(m in 1usize..5_000_000, d in 1u32..=32, hash in any::<u64>()) {
+#[test]
+fn split_stays_in_bounds() {
+    for case in 0..128u64 {
+        let mut g = rng(case);
+        let m = 1 + g.next_below(5_000_000) as usize;
+        let d = 1 + (g.next_below(32) as u32);
+        let hash = g.next_u64();
         let s = HashSplit::new(m, d).unwrap();
         let (bucket, u) = s.split(hash);
-        prop_assert!(bucket < m);
-        prop_assert!(u < s.sampling_range());
+        assert!(bucket < m, "case {case}: bucket {bucket} >= {m}");
+        assert!(u < s.sampling_range(), "case {case}");
     }
+}
 
-    #[test]
-    fn threshold_is_monotone_and_bounded(d in 1u32..=32, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+#[test]
+fn threshold_is_monotone_and_bounded() {
+    for case in 0..128u64 {
+        let mut g = rng(case ^ 0x71);
+        let d = 1 + (g.next_below(32) as u32);
         let s = HashSplit::new(64, d).unwrap();
+        let a = g.next_f64();
+        let b = g.next_f64();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(s.threshold(lo) <= s.threshold(hi));
-        prop_assert!(s.threshold(hi) <= s.sampling_range());
+        assert!(s.threshold(lo) <= s.threshold(hi), "case {case}");
+        assert!(s.threshold(hi) <= s.sampling_range(), "case {case}");
     }
+}
 
-    #[test]
-    fn threshold_semantics_match_probability(d in 4u32..=32, p in 0.0f64..=1.0) {
-        // u < threshold(p)  ⇔  u/2^d < achieved rate, and the achieved
-        // rate is within one quantum of p.
+#[test]
+fn threshold_semantics_match_probability() {
+    for case in 0..128u64 {
+        let mut g = rng(case ^ 0x5e);
+        let d = 4 + (g.next_below(29) as u32);
+        let p = g.next_f64();
         let s = HashSplit::new(64, d).unwrap();
         let t = s.threshold(p);
         let achieved = t as f64 / s.sampling_range() as f64;
-        prop_assert!((achieved - p).abs() <= 1.0 / s.sampling_range() as f64 + f64::EPSILON);
+        assert!(
+            (achieved - p).abs() <= 1.0 / s.sampling_range() as f64 + f64::EPSILON,
+            "case {case}: p={p}, achieved={achieved}"
+        );
     }
+}
 
-    #[test]
-    fn hashers_are_pure_functions(seed in any::<u64>(), data in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn hashers_are_pure_functions() {
+    for case in 0..32u64 {
+        let mut g = rng(case ^ 0x9a);
+        let seed = g.next_u64();
+        let len = g.next_below(64) as usize;
+        let data: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
         for kind in HashKind::ALL {
             let h1 = kind.build(seed);
             let h2 = kind.build(seed);
-            prop_assert_eq!(h1.hash_bytes(&data), h2.hash_bytes(&data), "{}", kind.name());
-            prop_assert_eq!(h1.seed(), seed);
+            assert_eq!(
+                h1.hash_bytes(&data),
+                h2.hash_bytes(&data),
+                "case {case}: {}",
+                kind.name()
+            );
+            assert_eq!(h1.seed(), seed);
         }
     }
+}
 
-    #[test]
-    fn from_seed_matches_new(seed in any::<u64>(), x in any::<u64>()) {
+#[test]
+fn batch_hashing_matches_scalar_for_every_kind() {
+    // The batch paths (including the boxed-trait-object forwarding) are
+    // pure perf transforms of the scalar paths.
+    for case in 0..16u64 {
+        let mut g = rng(case ^ 0xba);
+        let seed = g.next_u64();
+        let n = g.next_below(300) as usize;
+        let items: Vec<u64> = (0..n).map(|_| g.next_u64()).collect();
+        let owned: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let len = g.next_below(24) as usize;
+                (0..len).map(|_| g.next_u64() as u8).collect()
+            })
+            .collect();
+        let byte_refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        for kind in HashKind::ALL {
+            let hasher = kind.build(seed);
+            let mut out = vec![0u64; n];
+            hasher.hash_u64_batch(&items, &mut out);
+            for (i, (&x, &h)) in items.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    h,
+                    hasher.hash_u64(x),
+                    "case {case} {}: u64 lane {i}",
+                    kind.name()
+                );
+            }
+            hasher.hash_bytes_batch(&byte_refs, &mut out);
+            for (i, (&b, &h)) in byte_refs.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    h,
+                    hasher.hash_bytes(b),
+                    "case {case} {}: bytes lane {i}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn from_seed_matches_new() {
+    for case in 0..64u64 {
+        let mut g = rng(case ^ 0xf5);
+        let seed = g.next_u64();
+        let x = g.next_u64();
         let a = SplitMix64Hasher::new(seed);
         let b = SplitMix64Hasher::from_seed(seed);
-        prop_assert_eq!(a.hash_u64(x), b.hash_u64(x));
+        assert_eq!(a.hash_u64(x), b.hash_u64(x), "case {case}");
     }
+}
 
-    #[test]
-    fn next_below_is_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+#[test]
+fn next_below_is_in_range() {
+    for case in 0..64u64 {
+        let mut g0 = rng(case ^ 0xbd);
+        let seed = g0.next_u64();
+        let bound = 1 + g0.next_below(u64::MAX - 1);
         let mut g = Xoshiro256StarStar::new(seed);
         for _ in 0..8 {
-            prop_assert!(g.next_below(bound) < bound);
+            assert!(g.next_below(bound) < bound, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn next_range_is_inclusive(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn next_range_is_inclusive() {
+    for case in 0..64u64 {
+        let mut g0 = rng(case ^ 0x4a);
+        let (a, b) = (g0.next_u64(), g0.next_u64());
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let mut g = SplitMix64::new(seed);
+        let mut g = SplitMix64::new(g0.next_u64());
         let v = g.next_range(lo, hi);
-        prop_assert!(v >= lo && v <= hi);
+        assert!(v >= lo && v <= hi, "case {case}: {v} not in [{lo}, {hi}]");
     }
+}
 
-    #[test]
-    fn geometric_is_at_least_one(seed in any::<u64>(), p in 1e-6f64..=1.0) {
-        let mut g = Xoshiro256StarStar::new(seed);
-        prop_assert!(g.geometric(p) >= 1);
+#[test]
+fn geometric_is_at_least_one() {
+    for case in 0..64u64 {
+        let mut g0 = rng(case ^ 0x6e);
+        let p = (g0.next_f64()).max(1e-6);
+        let mut g = Xoshiro256StarStar::new(g0.next_u64());
+        assert!(g.geometric(p) >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn unit_interval_samplers_hold_bounds(seed in any::<u64>()) {
-        let mut g = Xoshiro256StarStar::new(seed);
+#[test]
+fn unit_interval_samplers_hold_bounds() {
+    for case in 0..32u64 {
+        let mut g = Xoshiro256StarStar::new(rng(case ^ 0x07).next_u64());
         for _ in 0..32 {
             let x = g.next_f64();
-            prop_assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&x), "case {case}");
             let y = g.next_f64_open();
-            prop_assert!(y > 0.0 && y <= 1.0);
+            assert!(y > 0.0 && y <= 1.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn shuffle_preserves_elements(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..64)) {
+#[test]
+fn shuffle_preserves_elements() {
+    for case in 0..32u64 {
+        let mut g0 = rng(case ^ 0x5f);
+        let n = g0.next_below(64) as usize;
+        let mut v: Vec<u32> = (0..n).map(|_| g0.next_u64() as u32).collect();
         let mut sorted_before = v.clone();
         sorted_before.sort_unstable();
-        let mut g = SplitMix64::new(seed);
+        let mut g = SplitMix64::new(g0.next_u64());
         g.shuffle(&mut v);
         v.sort_unstable();
-        prop_assert_eq!(v, sorted_before);
+        assert_eq!(v, sorted_before, "case {case}");
     }
 }

@@ -82,7 +82,10 @@ impl ErrorStats {
     /// the exceedance curves of the paper's Figures 6 and 8.
     pub fn exceedance(&self, threshold: f64) -> f64 {
         self.expect_nonempty();
-        self.rel_errors.iter().filter(|e| e.abs() > threshold).count() as f64
+        self.rel_errors
+            .iter()
+            .filter(|e| e.abs() > threshold)
+            .count() as f64
             / self.count() as f64
     }
 

@@ -92,7 +92,9 @@ impl BackboneSnapshot {
     /// link, as in the worm trace — see `WormTrace::minute_stream`).
     pub fn link_stream(&self, link: usize) -> crate::generators::DistinctItems {
         distinct_items(
-            self.seed.wrapping_mul(0xd129_0d3b_32f8_57a1).wrapping_add(link as u64),
+            self.seed
+                .wrapping_mul(0xd129_0d3b_32f8_57a1)
+                .wrapping_add(link as u64),
             self.counts[link],
         )
     }

@@ -59,8 +59,7 @@ impl WormTrace {
 
     /// Synthesize the trace for `link`, deterministic in `seed`.
     pub fn generate(link: WormLink, seed: u64) -> Self {
-        let mut rng =
-            Xoshiro256StarStar::new(seed ^ (link.base_log2().to_bits().rotate_left(17)));
+        let mut rng = Xoshiro256StarStar::new(seed ^ (link.base_log2().to_bits().rotate_left(17)));
         let mut counts = Vec::with_capacity(Self::MINUTES);
         // AR(1) drift around the link baseline in log2 space.
         let mut drift = 0.0f64;
@@ -193,7 +192,11 @@ mod tests {
             v.sort_unstable();
             v[v.len() / 2] as f64
         };
-        let bursty = t.counts().iter().filter(|&&c| c as f64 > 3.0 * median).count();
+        let bursty = t
+            .counts()
+            .iter()
+            .filter(|&&c| c as f64 > 3.0 * median)
+            .count();
         assert!(bursty > 0, "no bursty minutes generated");
     }
 

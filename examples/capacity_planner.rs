@@ -11,10 +11,16 @@ use sbitmap::core::Dimensioning;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n_max: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let n_max: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
     let epsilon: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
 
-    println!("capacity plan for N = {n_max}, target RRMSE = {:.1}%\n", epsilon * 100.0);
+    println!(
+        "capacity plan for N = {n_max}, target RRMSE = {:.1}%\n",
+        epsilon * 100.0
+    );
 
     let dims = Dimensioning::from_error(n_max, epsilon).expect("valid target");
     let sb = dims.m() as f64;
@@ -32,7 +38,12 @@ fn main() {
         println!("{name:<12}  {bits:>8.0}  {:>6.2}x", bits / sb);
     }
 
-    println!("\nS-bitmap details: C = {:.1}, b_max = {}, fill at N = {} bits", dims.c(), dims.b_max(), dims.b_max());
+    println!(
+        "\nS-bitmap details: C = {:.1}, b_max = {}, fill at N = {} bits",
+        dims.c(),
+        dims.b_max(),
+        dims.b_max()
+    );
     let crossover = sbitmap::core::theory::hll_crossover_epsilon(n_max);
     println!(
         "asymptotic crossover at N = {n_max}: S-bitmap wins for eps below ~{:.2}%",

@@ -44,7 +44,10 @@ fn main() {
         gibbons.insert_u64(p);
     }
 
-    println!("stream: {} packets, {truth_distinct} distinct flows, {truth_singletons} singletons\n", packets.len());
+    println!(
+        "stream: {} packets, {truth_distinct} distinct flows, {truth_singletons} singletons\n",
+        packets.len()
+    );
     println!(
         "S-bitmap          : distinct = {:>8.0}  ({:+.1}%)   [no multiplicity queries]",
         sbitmap.estimate(),

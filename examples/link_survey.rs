@@ -29,8 +29,12 @@ fn main() {
     );
 
     let mut worst: (usize, f64) = (0, 0.0);
-    let mut by_decade: Vec<(u64, Vec<f64>)> =
-        vec![(100, vec![]), (10_000, vec![]), (1_000_000, vec![]), (u64::MAX, vec![])];
+    let mut by_decade: Vec<(u64, Vec<f64>)> = vec![
+        (100, vec![]),
+        (10_000, vec![]),
+        (1_000_000, vec![]),
+        (u64::MAX, vec![]),
+    ];
     for link in 0..snapshot.counts().len() {
         let truth = snapshot.counts()[link];
         if truth < 10 {
@@ -67,5 +71,8 @@ fn main() {
         worst.1 * 100.0,
         snapshot.counts()[worst.0]
     );
-    println!("total sketch memory for the whole survey: {:.1} KiB", 600.0 * 7200.0 / 8192.0);
+    println!(
+        "total sketch memory for the whole survey: {:.1} KiB",
+        600.0 * 7200.0 / 8192.0
+    );
 }

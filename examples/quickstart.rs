@@ -11,8 +11,8 @@ fn main() {
     // We expect at most a million distinct flows and want ~2% error.
     let n_max = 1_000_000;
     let target_rrmse = 0.02;
-    let mut sketch = SBitmap::with_error(n_max, target_rrmse, /* seed */ 42)
-        .expect("valid configuration");
+    let mut sketch =
+        SBitmap::with_error(n_max, target_rrmse, /* seed */ 42).expect("valid configuration");
 
     println!(
         "configured S-bitmap: m = {} bits ({:.1} KiB), C = {:.1}, theoretical RRMSE = {:.2}%",

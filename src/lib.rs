@@ -45,11 +45,12 @@ pub use sbitmap_stats as stats;
 pub use sbitmap_stream as stream;
 
 pub use sbitmap_baselines::{
-    AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog, KMinValues, LinearCounting, LogLog,
-    MrBitmap, VirtualBitmap,
+    AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog,
+    KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
 };
+pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap};
 pub use sbitmap_core::{
-    DistinctCounter, Dimensioning, RateSchedule, RotatingCounter, SBitmap, SBitmapError,
-    SharedCounter, SketchFleet,
+    ConcurrentSBitmap, Dimensioning, DistinctCounter, RateSchedule, RotatingCounter, SBitmap,
+    SBitmapError, SharedCounter, SketchFleet,
 };
 pub use sbitmap_hash::{HashKind, Hasher64};

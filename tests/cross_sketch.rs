@@ -38,12 +38,12 @@ fn all_sketches_estimate_within_their_class_tolerance() {
         let rel = sketch.estimate() / n as f64 - 1.0;
         // Linear counting is over capacity at 40k/8000 bits (v = 5) and
         // allowed a wide band; everything else must be within 25%.
-        let tol = if sketch.name() == "linear-counting" { 0.9 } else { 0.25 };
-        assert!(
-            rel.abs() < tol,
-            "{}: rel err {rel} at n={n}",
-            sketch.name()
-        );
+        let tol = if sketch.name() == "linear-counting" {
+            0.9
+        } else {
+            0.25
+        };
+        assert!(rel.abs() < tol, "{}: rel err {rel} at n={n}", sketch.name());
     }
 }
 
@@ -93,7 +93,11 @@ fn order_invariance_of_final_state() {
             let rb = b.estimate() / n as f64 - 1.0;
             assert!(ra.abs() < 0.2 && rb.abs() < 0.2, "{name}: {ra} vs {rb}");
         } else {
-            assert_eq!(a.estimate(), b.estimate(), "{name} should be order-invariant");
+            assert_eq!(
+                a.estimate(),
+                b.estimate(),
+                "{name} should be order-invariant"
+            );
         }
     }
 }
@@ -109,7 +113,11 @@ fn reset_returns_every_sketch_to_empty() {
         // The raw log-counting estimators have a small additive floor
         // (alpha * m for LogLog, m/phi for FM); everything else must
         // report ~0.
-        let floor = if matches!(sketch.name(), "loglog" | "fm-pcsa") { 0.1 * M as f64 } else { 1e-9 };
+        let floor = if matches!(sketch.name(), "loglog" | "fm-pcsa") {
+            0.1 * M as f64
+        } else {
+            1e-9
+        };
         assert!(e <= floor, "{}: estimate {e} after reset", sketch.name());
         // And they keep working after reset.
         for item in distinct_items(2, 1_000) {
@@ -151,6 +159,10 @@ fn memory_accounting_within_budget() {
             sketch.name(),
             sketch.memory_bits()
         );
-        assert!(sketch.memory_bits() >= M / 2, "{}: suspiciously small", sketch.name());
+        assert!(
+            sketch.memory_bits() >= M / 2,
+            "{}: suspiciously small",
+            sketch.name()
+        );
     }
 }

@@ -114,7 +114,11 @@ fn every_sketch_within_envelope_across_workload_grid() {
             }
         }
     }
-    assert!(failures.is_empty(), "envelope violations:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "envelope violations:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

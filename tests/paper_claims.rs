@@ -31,7 +31,11 @@ fn claim_unbiasedness_theorem3() {
     let d = Dimensioning::from_memory(50_000, 1_200).unwrap();
     for &n in &[1u64, 13, 333, 8_000] {
         let pmf = theory::fill_pmf(&d, n);
-        let mean: f64 = pmf.iter().enumerate().map(|(b, &p)| theory::t(&d, b) * p).sum();
+        let mean: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(b, &p)| theory::t(&d, b) * p)
+            .sum();
         assert!((mean / n as f64 - 1.0).abs() < 1e-8, "n={n}: E = {mean}");
     }
 }
@@ -120,7 +124,11 @@ fn claim_sampling_rates_strictly_decreasing() {
     // §3's sufficiency-and-necessity argument needs p_1 ≥ p_2 ≥ … — the
     // property that makes the duplicate filter exact. Check over the
     // whole usable schedule for the paper's configurations.
-    for (n_max, m) in [(1u64 << 20, 4_000usize), (1_000_000, 8_000), (10_000, 2_700)] {
+    for (n_max, m) in [
+        (1u64 << 20, 4_000usize),
+        (1_000_000, 8_000),
+        (10_000, 2_700),
+    ] {
         let s = sbitmap::core::RateSchedule::from_memory(n_max, m).unwrap();
         for k in 2..=s.len() {
             assert!(

@@ -29,7 +29,10 @@ fn rrmse_is_flat_across_four_decades() {
     let schedule = Arc::new(RateSchedule::from_memory(1 << 20, 4000).unwrap());
     let eps = schedule.dims().epsilon();
     let mut measured = Vec::new();
-    for (i, &n) in [100u64, 1_000, 10_000, 100_000, 1_000_000].iter().enumerate() {
+    for (i, &n) in [100u64, 1_000, 10_000, 100_000, 1_000_000]
+        .iter()
+        .enumerate()
+    {
         let rrmse = sbitmap_rrmse(&schedule, n, 250, 0x5ca1e + i as u64);
         measured.push((n, rrmse));
         // Every decade within 35% of the theoretical error (250 reps of
@@ -42,7 +45,10 @@ fn rrmse_is_flat_across_four_decades() {
     }
     // And flat: max/min ratio below 1.6 across the decades.
     let max = measured.iter().map(|&(_, r)| r).fold(0.0, f64::max);
-    let min = measured.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+    let min = measured
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min);
     assert!(max / min < 1.6, "not flat: {measured:?}");
 }
 
@@ -110,5 +116,8 @@ fn loglog_family_error_drifts_with_scale() {
     let hll_small = rrmse(hll, 50, 3);
     let hll_large = rrmse(hll, 100_000, 4);
     let ratio = hll_small.max(hll_large) / hll_small.min(hll_large);
-    assert!(ratio > 1.5, "HLL unexpectedly flat: {hll_small} vs {hll_large}");
+    assert!(
+        ratio > 1.5,
+        "HLL unexpectedly flat: {hll_small} vs {hll_large}"
+    );
 }
