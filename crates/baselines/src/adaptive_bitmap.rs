@@ -11,7 +11,7 @@
 //! the tests below.
 
 use crate::virtual_bitmap::VirtualBitmap;
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::{BatchedCounter, DistinctCounter, SBitmapError};
 
 /// Virtual bitmap with across-interval rate adaptation.
 #[derive(Debug, Clone)]
@@ -59,6 +59,8 @@ impl AdaptiveBitmap {
         estimate
     }
 }
+
+impl BatchedCounter for AdaptiveBitmap {}
 
 impl DistinctCounter for AdaptiveBitmap {
     #[inline]

@@ -1,6 +1,6 @@
 //! Wegman's adaptive sampling (analyzed by Flajolet 1990).
 
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::{BatchedCounter, DistinctCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// Adaptive sampling: keep a bounded collection of distinct hashed items
@@ -78,6 +78,8 @@ impl AdaptiveSampling {
         }
     }
 }
+
+impl BatchedCounter for AdaptiveSampling {}
 
 impl DistinctCounter for AdaptiveSampling {
     #[inline]

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::{BatchedCounter, DistinctCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// Gibbons' distinct sampling sketch.
@@ -86,6 +86,8 @@ impl DistinctSampling {
         self.estimate_where(|c| c == 1)
     }
 }
+
+impl BatchedCounter for DistinctSampling {}
 
 impl DistinctCounter for DistinctSampling {
     #[inline]

@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use sbitmap_core::DistinctCounter;
+use sbitmap_core::{BatchedCounter, DistinctCounter};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// Exact counter: stores the 64-bit hash of every distinct item.
@@ -34,6 +34,8 @@ impl ExactCounter {
         self.seen.len()
     }
 }
+
+impl BatchedCounter for ExactCounter {}
 
 impl DistinctCounter for ExactCounter {
     fn insert_u64(&mut self, item: u64) {

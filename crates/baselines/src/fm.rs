@@ -2,7 +2,8 @@
 //! (PCSA, Flajolet & Martin 1985).
 
 use sbitmap_bitvec::PackedRegisters;
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// PCSA: `m` groups, each keeping the *bit pattern* of observed ranks;
@@ -84,6 +85,48 @@ impl FmSketch {
         self.patterns
             .merge_or(&other.patterns)
             .map_err(|e| SBitmapError::invalid("groups", e))
+    }
+}
+
+impl MergeableCounter for FmSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for FmSketch {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        let hasher = self.hasher;
+        sbitmap_hash::for_each_hash_u64(&hasher, items, |h| self.insert_hash(h));
+    }
+}
+
+/// Payload: group count (u64), seed (u64), packed 32-bit pattern words.
+impl Checkpoint for FmSketch {
+    const KIND: CounterKind = CounterKind::FmSketch;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        out.u64(self.patterns.len() as u64);
+        out.u64(self.hasher.seed());
+        out.words(self.patterns.words());
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let groups = r.len_u64()?;
+        let seed = r.u64()?;
+        if groups < 16 {
+            return Err(SBitmapError::invalid("checkpoint", "fewer than 16 groups"));
+        }
+        let total_bits = groups
+            .checked_mul(Self::PATTERN_BITS as usize)
+            .ok_or_else(|| SBitmapError::invalid("checkpoint", "group count overflow"))?;
+        let words = r.words(total_bits.div_ceil(64))?;
+        let patterns = PackedRegisters::from_words(words, groups, Self::PATTERN_BITS)
+            .map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+        Ok(Self {
+            patterns,
+            hasher: SplitMix64Hasher::new(seed),
+        })
     }
 }
 
@@ -176,5 +219,16 @@ mod tests {
     fn rejects_tiny_configs() {
         assert!(FmSketch::new(8, 1).is_err());
         assert!(FmSketch::with_memory(100, 1).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exact_state() {
+        let mut fm = FmSketch::new(99, 17).unwrap(); // 3168 bits: partial last word
+        for i in 0..30_000u64 {
+            fm.insert_u64(i);
+        }
+        let restored = FmSketch::restore(&fm.checkpoint()).unwrap();
+        assert_eq!(restored.estimate(), fm.estimate());
+        assert_eq!(restored.checkpoint(), fm.checkpoint(), "byte-stable");
     }
 }

@@ -22,7 +22,8 @@
 //!   so it is omitted.
 
 use sbitmap_bitvec::PackedRegisters;
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// Shared register machinery for the loglog family.
@@ -69,6 +70,40 @@ impl RankRegisters {
 
     fn zeros(&self) -> usize {
         self.regs.iter().filter(|&v| v == 0).count()
+    }
+
+    /// Batch-hash a chunk of items, then run the scalar register update.
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        let hasher = self.hasher;
+        sbitmap_hash::for_each_hash_u64(&hasher, items, |h| self.insert_hash(h));
+    }
+
+    /// Shared payload for the loglog family: register count (u64), width
+    /// (u32), seed (u64), packed register words.
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        out.u64(self.regs.len() as u64);
+        out.u32(self.regs.width());
+        out.u64(self.hasher.seed());
+        out.words(self.regs.words());
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let registers = r.len_u64()?;
+        let width = r.u32()?;
+        let seed = r.u64()?;
+        if !(2..=16).contains(&width) {
+            return Err(SBitmapError::invalid("checkpoint", "width out of 2..=16"));
+        }
+        let total_bits = registers
+            .checked_mul(width as usize)
+            .ok_or_else(|| SBitmapError::invalid("checkpoint", "register count overflow"))?;
+        let words = r.words(total_bits.div_ceil(64))?;
+        let regs = PackedRegisters::from_words(words, registers, width)
+            .map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+        Ok(Self {
+            regs,
+            hasher: SplitMix64Hasher::new(seed),
+        })
     }
 }
 
@@ -166,6 +201,38 @@ impl LogLog {
             .regs
             .merge_max(&other.inner.regs)
             .map_err(|e| SBitmapError::invalid("registers", e))
+    }
+}
+
+impl MergeableCounter for LogLog {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for LogLog {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        self.inner.insert_u64_batch(items);
+    }
+}
+
+/// Payload: register count (u64), width (u32), seed (u64), packed
+/// register words. The bias constant `α_m` is a pure function of the
+/// register count and is recomputed on restore.
+impl Checkpoint for LogLog {
+    const KIND: CounterKind = CounterKind::LogLog;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        self.inner.write_payload(out);
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let inner = RankRegisters::read_payload(r)?;
+        // Re-validate through the constructor so restored configurations
+        // obey the same minimums, and to recompute alpha.
+        let mut ll = Self::new(inner.regs.len(), inner.regs.width(), inner.hasher.seed())?;
+        ll.inner = inner;
+        Ok(ll)
     }
 }
 
@@ -282,6 +349,35 @@ impl HyperLogLog {
             .regs
             .merge_max(&other.inner.regs)
             .map_err(|e| SBitmapError::invalid("registers", e))
+    }
+}
+
+impl MergeableCounter for HyperLogLog {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for HyperLogLog {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        self.inner.insert_u64_batch(items);
+    }
+}
+
+/// Payload: identical layout to [`LogLog`] (register count, width, seed,
+/// words) under its own kind tag; `α` is recomputed on restore.
+impl Checkpoint for HyperLogLog {
+    const KIND: CounterKind = CounterKind::HyperLogLog;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        self.inner.write_payload(out);
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let inner = RankRegisters::read_payload(r)?;
+        let mut hll = Self::new(inner.regs.len(), inner.regs.width(), inner.hasher.seed())?;
+        hll.inner = inner;
+        Ok(hll)
     }
 }
 
@@ -455,5 +551,42 @@ mod tests {
     fn empty_sketches_estimate_zero() {
         let h = HyperLogLog::new(64, 5, 1).unwrap();
         assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn checkpoints_round_trip_and_kinds_differ() {
+        let mut ll = LogLog::new(100, 5, 21).unwrap(); // 500 bits: partial word
+        let mut hll = HyperLogLog::new(100, 5, 21).unwrap();
+        for i in 0..25_000u64 {
+            ll.insert_u64(i);
+            hll.insert_u64(i);
+        }
+        let ll2 = LogLog::restore(&ll.checkpoint()).unwrap();
+        let hll2 = HyperLogLog::restore(&hll.checkpoint()).unwrap();
+        assert_eq!(ll2.estimate(), ll.estimate());
+        assert_eq!(hll2.estimate(), hll.estimate());
+        // Same payload layout, different kind tags: cross-restoring must
+        // be rejected by the frame, not silently accepted.
+        assert!(LogLog::restore(&hll.checkpoint()).is_err());
+        assert!(HyperLogLog::restore(&ll.checkpoint()).is_err());
+    }
+
+    #[test]
+    fn restored_sketch_merges_with_original() {
+        use sbitmap_core::MergeableCounter;
+        let mut a = HyperLogLog::new(512, 5, 8).unwrap();
+        for i in 0..5_000u64 {
+            a.insert_u64(i);
+        }
+        let mut b = HyperLogLog::restore(&a.checkpoint()).unwrap();
+        for i in 5_000..9_000u64 {
+            b.insert_u64(i);
+        }
+        let mut u = HyperLogLog::new(512, 5, 8).unwrap();
+        for i in 0..9_000u64 {
+            u.insert_u64(i);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
     }
 }

@@ -1,7 +1,8 @@
 //! K-minimum-values (Bar-Yossef et al. 2002; the "synopsis" of
 //! Beyer et al. 2009).
 
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// Keep the `k` smallest distinct hash values; if the `k`-th smallest,
@@ -113,6 +114,62 @@ impl KMinValues {
     }
 }
 
+impl MergeableCounter for KMinValues {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for KMinValues {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        let hasher = self.hasher;
+        sbitmap_hash::for_each_hash_u64(&hasher, items, |h| self.insert_hash(h));
+    }
+}
+
+/// Payload: `k` (u64), seed (u64), stored-minima count (u64), the minima
+/// (u64 each, strictly ascending).
+impl Checkpoint for KMinValues {
+    const KIND: CounterKind = CounterKind::KMinValues;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        out.u64(self.k as u64);
+        out.u64(self.hasher.seed());
+        out.u64(self.mins.len() as u64);
+        out.words(&self.mins);
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let k = r.len_u64()?;
+        let seed = r.u64()?;
+        let len = r.len_u64()?;
+        // `k` is wire-controlled: validate before any use, and never
+        // allocate proportionally to it (only to the payload-backed
+        // `len`) — a crafted checkpoint must fail, not abort.
+        if k < 2 {
+            return Err(SBitmapError::invalid("checkpoint", "need k >= 2"));
+        }
+        if k.checked_mul(64).is_none() {
+            return Err(SBitmapError::invalid("checkpoint", "k out of range"));
+        }
+        if len > k {
+            return Err(SBitmapError::invalid("checkpoint", "more than k minima"));
+        }
+        let mins = r.words(len)?;
+        if !mins.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SBitmapError::invalid(
+                "checkpoint",
+                "minima not strictly ascending",
+            ));
+        }
+        Ok(Self {
+            mins,
+            k,
+            hasher: SplitMix64Hasher::new(seed),
+        })
+    }
+}
+
 impl DistinctCounter for KMinValues {
     #[inline]
     fn insert_u64(&mut self, item: u64) {
@@ -218,5 +275,52 @@ mod tests {
     #[test]
     fn rejects_k_below_two() {
         assert!(KMinValues::new(1, 1).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exact_state() {
+        let mut s = KMinValues::new(128, 11).unwrap();
+        for i in 0..50_000u64 {
+            s.insert_u64(i);
+        }
+        let restored = KMinValues::restore(&s.checkpoint()).unwrap();
+        assert_eq!(restored.mins, s.mins);
+        assert_eq!(restored.estimate(), s.estimate());
+    }
+
+    #[test]
+    fn checkpoint_rejects_huge_k_without_allocating() {
+        use sbitmap_core::codec::frame;
+        // A validly-framed checkpoint claiming k = u64::MAX must error,
+        // not preallocate/abort.
+        let mut s = KMinValues::new(2, 1).unwrap();
+        s.insert_u64(1);
+        let good = s.checkpoint();
+        // Rewrite the k field (payload offset 0 → byte 6) and re-frame
+        // with a fixed checksum.
+        let mut payload = good[6..good.len() - 8].to_vec();
+        payload[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let bytes = frame(CounterKind::KMinValues, &payload);
+        let err = KMinValues::restore(&bytes).unwrap_err();
+        assert!(err.to_string().contains("k out of range"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_rejects_unsorted_minima() {
+        let mut s = KMinValues::new(4, 1).unwrap();
+        for i in 0..100u64 {
+            s.insert_u64(i);
+        }
+        let bytes = s.checkpoint();
+        // Swap two minima in the payload (header: 6 frame + 24 fields)
+        // and re-frame with a fixed checksum.
+        let mut payload = bytes[6..bytes.len() - 8].to_vec();
+        let (a, b) = (24, 32);
+        for i in 0..8 {
+            payload.swap(a + i, b + i);
+        }
+        let reframed = sbitmap_core::codec::frame(CounterKind::KMinValues, &payload);
+        let err = KMinValues::restore(&reframed).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
     }
 }

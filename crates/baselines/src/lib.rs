@@ -21,6 +21,26 @@
 //!
 //! [`memory_model`] holds the closed-form memory costs used by the paper's
 //! Table 2 and Figure 3 comparisons.
+//!
+//! ## Capability layers
+//!
+//! Beyond the shared streaming interface, the baselines implement the
+//! capability traits of `sbitmap-core` where the mathematics allows:
+//!
+//! * [`MergeableCounter`](sbitmap_core::MergeableCounter) — the
+//!   OR-mergeable bitmaps ([`LinearCounting`], [`VirtualBitmap`],
+//!   [`MrBitmap`], [`FmSketch`]), the max-mergeable loglog family
+//!   ([`LogLog`], [`HyperLogLog`]) and order statistics
+//!   ([`KMinValues`]). `merge(sketch(A), sketch(B))` is bit-identical to
+//!   `sketch(A ∪ B)` (property-tested in `tests/merge_properties.rs`) —
+//!   the capability the S-bitmap trades away for its scale-invariant
+//!   error.
+//! * [`Checkpoint`](sbitmap_core::codec::Checkpoint) — the same seven
+//!   sketches serialize through the tagged v2 wire format of
+//!   `sbitmap_core::codec`, so a collector can receive, verify and merge
+//!   them without knowing the concrete type up front.
+//! * [`BatchedCounter`](sbitmap_core::BatchedCounter) — slice ingestion;
+//!   mergeable sketches batch-hash through `Hasher64::hash_u64_batch`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -18,7 +18,8 @@
 //! against the paper's Figure 4 / Tables 3–4 behaviour.
 
 use sbitmap_bitvec::Bitmap;
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmapError};
 use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 /// The multiresolution bitmap sketch.
@@ -118,6 +119,43 @@ impl MrBitmap {
         }
     }
 
+    /// Merge with another multiresolution bitmap of identical
+    /// configuration (word-level or, per component): component choice and
+    /// bucket depend only on the item's hash, so or-ing each component
+    /// yields exactly the sketch of the union stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the component layouts or seeds differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        // Validate the whole layout *before* touching any component, so
+        // a rejected merge leaves `self` untouched — never half-merged.
+        if self.components.len() != other.components.len()
+            || self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(SBitmapError::invalid(
+                "sizes",
+                "merge requires identical component layouts",
+            ));
+        }
+        for (i, (mine, theirs)) in self
+            .components
+            .iter_mut()
+            .zip(other.components.iter())
+            .enumerate()
+        {
+            self.ones[i] += mine.union_or(theirs).expect("lengths validated above");
+        }
+        Ok(())
+    }
+
     /// The base component the estimator would use right now (0-based).
     pub fn base_component(&self) -> usize {
         let mut base = 0usize;
@@ -128,6 +166,67 @@ impl MrBitmap {
             }
         }
         base.min(self.components.len() - 1)
+    }
+}
+
+impl MergeableCounter for MrBitmap {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for MrBitmap {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        let hasher = self.hasher;
+        sbitmap_hash::for_each_hash_u64(&hasher, items, |h| self.insert_hash(h));
+    }
+}
+
+/// Payload: seed (u64), component count `K` (u32), then per component its
+/// length in bits (u64) followed by its words. Fill counters are
+/// recomputed from popcounts on restore.
+impl Checkpoint for MrBitmap {
+    const KIND: CounterKind = CounterKind::MrBitmap;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        out.u64(self.hasher.seed());
+        out.u32(self.components.len() as u32);
+        for comp in &self.components {
+            out.u64(comp.len() as u64);
+            out.words(comp.words());
+        }
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let seed = r.u64()?;
+        let k = r.u32()? as usize;
+        if k == 0 || k > 48 {
+            return Err(SBitmapError::invalid(
+                "checkpoint",
+                format!("component count {k} out of range 1..=48"),
+            ));
+        }
+        let mut components = Vec::with_capacity(k);
+        let mut ones = Vec::with_capacity(k);
+        for _ in 0..k {
+            let len = r.len_u64()?;
+            if len == 0 {
+                return Err(SBitmapError::invalid(
+                    "checkpoint",
+                    "empty component in mr-bitmap checkpoint",
+                ));
+            }
+            let words = r.words(len.div_ceil(64))?;
+            let comp = Bitmap::from_words(words, len)
+                .map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+            ones.push(comp.count_ones());
+            components.push(comp);
+        }
+        Ok(Self {
+            components,
+            ones,
+            hasher: SplitMix64Hasher::new(seed),
+        })
     }
 }
 
@@ -254,5 +353,61 @@ mod tests {
         }
         mr.reset();
         assert_eq!(mr.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = MrBitmap::with_memory(8_000, 200_000, 4).unwrap();
+        let mut b = MrBitmap::with_memory(8_000, 200_000, 4).unwrap();
+        let mut u = MrBitmap::with_memory(8_000, 200_000, 4).unwrap();
+        for i in 0..40_000u64 {
+            a.insert_u64(i);
+            u.insert_u64(i);
+        }
+        for i in 30_000..90_000u64 {
+            b.insert_u64(i);
+            u.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
+        assert_eq!(a.ones, u.ones, "per-component fills must match");
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = MrBitmap::with_memory(8_000, 200_000, 1).unwrap();
+        let b = MrBitmap::with_memory(8_000, 200_000, 2).unwrap();
+        assert!(a.merge(&b).is_err(), "seed mismatch");
+        let c = MrBitmap::from_sizes(&[64, 64], 1).unwrap();
+        assert!(a.merge(&c).is_err(), "layout mismatch");
+    }
+
+    #[test]
+    fn rejected_merge_leaves_state_untouched() {
+        // Same component *count*, different lengths: the mismatch is in
+        // a later component, and the earlier one must not be mutated.
+        let mut a = MrBitmap::from_sizes(&[64, 128], 5).unwrap();
+        let mut c = MrBitmap::from_sizes(&[64, 64], 5).unwrap();
+        for i in 0..200u64 {
+            a.insert_u64(i);
+            c.insert_u64(i + 1_000_000);
+        }
+        let before = a.checkpoint();
+        assert!(a.merge(&c).is_err());
+        assert_eq!(a.checkpoint(), before, "failed merge must not half-apply");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exact_state() {
+        // Odd component sizes exercise partial-word validation per
+        // component.
+        let mut mr = MrBitmap::from_sizes(&[333, 97, 1000], 6).unwrap();
+        for i in 0..5_000u64 {
+            mr.insert_u64(i);
+        }
+        let restored = MrBitmap::restore(&mr.checkpoint()).unwrap();
+        assert_eq!(restored.estimate(), mr.estimate());
+        assert_eq!(restored.ones, mr.ones);
+        assert_eq!(restored.num_components(), 3);
     }
 }

@@ -2,7 +2,8 @@
 //! sampled substream.
 
 use sbitmap_bitvec::Bitmap;
-use sbitmap_core::{DistinctCounter, SBitmapError};
+use sbitmap_core::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmapError};
 use sbitmap_hash::{HashSplit, Hasher64, SplitMix64Hasher};
 
 /// Linear counting applied to the fraction `rho` of distinct items whose
@@ -76,6 +77,82 @@ impl VirtualBitmap {
         if u < self.threshold && self.bitmap.set(bucket) {
             self.ones += 1;
         }
+    }
+
+    /// Merge with another virtual bitmap of identical configuration
+    /// (word-level bitwise or): whether an item is sampled depends only
+    /// on its hash, so the union of the physical bitmaps is exactly the
+    /// sketch of the union stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors if sizes, sampling thresholds or seeds differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        if self.hasher.seed() != other.hasher.seed() {
+            return Err(SBitmapError::invalid("seed", "merge requires equal seeds"));
+        }
+        if self.threshold != other.threshold {
+            return Err(SBitmapError::invalid(
+                "rho",
+                "merge requires equal sampling rates",
+            ));
+        }
+        self.ones += self
+            .bitmap
+            .union_or(&other.bitmap)
+            .map_err(|e| SBitmapError::invalid("m", e))?;
+        Ok(())
+    }
+}
+
+impl MergeableCounter for VirtualBitmap {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError> {
+        self.merge(other)
+    }
+}
+
+impl BatchedCounter for VirtualBitmap {
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        let hasher = self.hasher;
+        sbitmap_hash::for_each_hash_u64(&hasher, items, |h| self.insert_hash(h));
+    }
+}
+
+/// Payload: `m` (u64), seed (u64), sampling threshold (u64), bitmap
+/// words. The achieved rate `rho` and the fill counter are recomputed on
+/// restore.
+impl Checkpoint for VirtualBitmap {
+    const KIND: CounterKind = CounterKind::VirtualBitmap;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        out.u64(self.bitmap.len() as u64);
+        out.u64(self.hasher.seed());
+        out.u64(self.threshold);
+        out.words(self.bitmap.words());
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let m = r.len_u64()?;
+        let seed = r.u64()?;
+        let threshold = r.u64()?;
+        let words = r.words(m.div_ceil(64))?;
+        let bitmap =
+            Bitmap::from_words(words, m).map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+        let split = HashSplit::new(m, 32).map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+        if threshold == 0 || threshold > split.sampling_range() {
+            return Err(SBitmapError::invalid(
+                "checkpoint",
+                "sampling threshold out of range",
+            ));
+        }
+        Ok(Self {
+            ones: bitmap.count_ones(),
+            bitmap,
+            split,
+            hasher: SplitMix64Hasher::new(seed),
+            threshold,
+            rho: threshold as f64 / split.sampling_range() as f64,
+        })
     }
 }
 
@@ -181,5 +258,51 @@ mod tests {
         }
         vb.reset();
         assert_eq!(vb.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = VirtualBitmap::new(4096, 0.4, 9).unwrap();
+        let mut b = VirtualBitmap::new(4096, 0.4, 9).unwrap();
+        let mut u = VirtualBitmap::new(4096, 0.4, 9).unwrap();
+        for i in 0..3_000u64 {
+            a.insert_u64(i);
+            u.insert_u64(i);
+        }
+        for i in 2_000..5_000u64 {
+            b.insert_u64(i);
+            u.insert_u64(i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_config() {
+        let mut a = VirtualBitmap::new(4096, 0.4, 1).unwrap();
+        let b = VirtualBitmap::new(4096, 0.4, 2).unwrap();
+        assert!(a.merge(&b).is_err(), "seed mismatch");
+        let c = VirtualBitmap::new(4096, 0.7, 1).unwrap();
+        assert!(a.merge(&c).is_err(), "rate mismatch");
+        let d = VirtualBitmap::new(2048, 0.4, 1).unwrap();
+        assert!(a.merge(&d).is_err(), "size mismatch");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exact_state() {
+        let mut vb = VirtualBitmap::for_cardinality(1_025, 50_000, 3).unwrap();
+        for i in 0..20_000u64 {
+            vb.insert_u64(i);
+        }
+        let restored = VirtualBitmap::restore(&vb.checkpoint()).unwrap();
+        assert_eq!(restored.estimate(), vb.estimate());
+        assert_eq!(restored.rho(), vb.rho());
+        let mut a = vb.clone();
+        let mut b = restored;
+        for i in 50_000..51_000u64 {
+            a.insert_u64(i);
+            b.insert_u64(i);
+        }
+        assert_eq!(a.estimate(), b.estimate());
     }
 }

@@ -1,0 +1,47 @@
+//! Collector-pipeline throughput: the sharded node→collector checkpoint
+//! pipeline of `sbitmap_stream::collector` at 1..=T shards, written to
+//! `BENCH_collect.json` so the distributed-path perf trajectory is
+//! tracked across PRs.
+//!
+//! Environment knobs: `SBITMAP_BENCH_MS` (per-case budget),
+//! `SBITMAP_BENCH_LINKS`, `SBITMAP_BENCH_SHARDS`.
+
+use sbitmap_bench::collect::{self, CollectConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("collector: bench");
+        return;
+    }
+
+    let mut cfg = CollectConfig::default();
+    cfg.links = env_usize("SBITMAP_BENCH_LINKS", cfg.links);
+    cfg.max_shards = env_usize("SBITMAP_BENCH_SHARDS", cfg.max_shards);
+    if let Ok(ms) = std::env::var("SBITMAP_BENCH_MS") {
+        if let Ok(ms) = ms.parse() {
+            cfg.budget_ms = ms;
+        }
+    }
+
+    println!(
+        "=== collect: sharded node→collector pipeline ({} links, ≤{} shards) ===",
+        cfg.links, cfg.max_shards
+    );
+    let results = collect::run(&cfg);
+    for m in &results {
+        println!("{}", m.row());
+    }
+    let json = collect::report_json(&cfg, &results);
+    let path = std::env::var("SBITMAP_BENCH_JSON").unwrap_or_else(|_| "BENCH_collect.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,133 @@
+//! The collector-pipeline benchmark: node→collector throughput as the
+//! shard count scales.
+//!
+//! Each lane runs [`sbitmap_stream::collector::run_pipeline`] end-to-end
+//! — per-link sketch builds, checkpoint encode, channel transfer,
+//! checksum verify + decode, and the mergeable-sketch fold — over the
+//! same [`sbitmap_stream::BackboneSnapshot`] workload, with 1, 2, 4, …
+//! node shards. Items/second counts the *flows ingested*, so the lanes
+//! are directly comparable to the ingest bench (`BENCH_ingest.json`);
+//! results serialize to `BENCH_collect.json`.
+
+use sbitmap_stream::collector::{run_pipeline, PipelineConfig};
+use sbitmap_stream::BackboneSnapshot;
+
+use crate::harness::{Bench, Measurement};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct CollectConfig {
+    /// Backbone links to simulate.
+    pub links: usize,
+    /// Largest shard count; lanes run 1, 2, 4, … up to this.
+    pub max_shards: usize,
+    /// Per-case wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        Self {
+            links: 150,
+            max_shards: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            budget_ms: 300,
+            seed: 0xc011,
+        }
+    }
+}
+
+impl CollectConfig {
+    /// A cheap configuration for CI smoke runs (~1 s wall clock total).
+    pub fn smoke() -> Self {
+        Self {
+            links: 20,
+            max_shards: 2,
+            budget_ms: 60,
+            ..Self::default()
+        }
+    }
+
+    fn pipeline(&self, shards: usize) -> PipelineConfig {
+        PipelineConfig {
+            links: self.links.max(1),
+            shards,
+            seed: self.seed,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Run the shard-scaling comparison; one [`Measurement`] per shard count.
+pub fn run(cfg: &CollectConfig) -> Vec<Measurement> {
+    let bench = Bench::with_budget_ms(cfg.budget_ms);
+    // The flow total is a property of (links, seed): read it off the
+    // snapshot directly so every lane can convert time to items/sec
+    // without paying for a warm-up pipeline run.
+    let total_flows: u64 = BackboneSnapshot::with_links(cfg.links.max(1), cfg.seed)
+        .counts()
+        .iter()
+        .sum();
+    let mut results = Vec::new();
+    let mut shards = 1usize;
+    while shards <= cfg.max_shards.max(1) {
+        let name = format!("collect_s{shards}");
+        let pipeline_cfg = cfg.pipeline(shards);
+        results.push(bench.run(&name, total_flows, || {
+            run_pipeline(&pipeline_cfg).expect("pipeline").checkpoints
+        }));
+        shards *= 2;
+    }
+    results
+}
+
+/// Render `results` (plus workload metadata) as the `BENCH_collect.json`
+/// document.
+pub fn report_json(cfg: &CollectConfig, results: &[Measurement]) -> String {
+    let single = results.iter().find(|m| m.name == "collect_s1");
+    let best = results
+        .iter()
+        .max_by(|a, b| a.items_per_sec().total_cmp(&b.items_per_sec()));
+    let speedup = match (single, best) {
+        (Some(s), Some(b)) if s.items_per_sec() > 0.0 => b.items_per_sec() / s.items_per_sec(),
+        _ => 0.0,
+    };
+    let defaults = PipelineConfig::default();
+    crate::harness::to_json(
+        "collect",
+        &[
+            ("generator", "backbone".to_string()),
+            ("links", cfg.links.to_string()),
+            ("n_max", defaults.n_max.to_string()),
+            ("m_bits", defaults.m_bits.to_string()),
+            ("hll_registers", defaults.hll_registers.to_string()),
+            ("seed", cfg.seed.to_string()),
+            ("multi_shard_vs_single_speedup", format!("{speedup:.3}")),
+        ],
+        results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_lanes_and_json() {
+        let cfg = CollectConfig {
+            links: 8,
+            max_shards: 2,
+            budget_ms: 5,
+            seed: 3,
+        };
+        let results = run(&cfg);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["collect_s1", "collect_s2"]);
+        assert!(results.iter().all(|m| m.items > 0));
+        let json = report_json(&cfg, &results);
+        assert!(json.contains("\"bench\": \"collect\""));
+        assert!(json.contains("multi_shard_vs_single_speedup"));
+        assert!(json.contains("collect_s2"));
+    }
+}

@@ -5,9 +5,11 @@
 //! dependency; every bench is `harness = false` with its own `main`):
 //!
 //! * `update_throughput` — scalar vs batched vs concurrent ingestion on
-//!   the backbone/worm generators (see [`ingest`]), emitting
+//!   the backbone/worm generators (see [`mod@ingest`]), emitting
 //!   `BENCH_ingest.json`, plus per-item insert cost for every sketch
 //!   (the paper's "similar or less computational cost" claim, §3);
+//! * `collector` — the sharded node→collector checkpoint pipeline at
+//!   1..=T shards (see [`collect`]), emitting `BENCH_collect.json`;
 //! * `estimate_cost` — cost of producing an estimate at realistic fills;
 //! * `hashing` — the four hash families on word and byte inputs;
 //! * `construction` — dimensioning solver and schedule precomputation;
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod collect;
 pub mod harness;
 pub mod ingest;
 

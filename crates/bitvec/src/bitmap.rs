@@ -140,16 +140,31 @@ impl Bitmap {
     ///
     /// Returns an error if the lengths differ.
     pub fn union_with(&mut self, other: &Bitmap) -> Result<(), String> {
+        self.union_or(other).map(|_| ())
+    }
+
+    /// Word-level in-place union (`self |= other`), returning how many
+    /// bits this call newly set — the increment a mergeable sketch's fill
+    /// counter needs, obtained from word popcounts rather than a second
+    /// full scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lengths differ.
+    pub fn union_or(&mut self, other: &Bitmap) -> Result<usize, String> {
         if self.len != other.len {
             return Err(format!(
                 "bitmap length mismatch: {} vs {}",
                 self.len, other.len
             ));
         }
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= b;
+        let mut newly = 0usize;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *a | b;
+            newly += (merged ^ *a).count_ones() as usize;
+            *a = merged;
         }
-        Ok(())
+        Ok(newly)
     }
 
     /// Payload size in bits, as the paper accounts memory. The partial last
@@ -303,6 +318,23 @@ mod tests {
         b.set(1);
         a.union_with(&b).unwrap();
         assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn union_or_counts_newly_set_bits() {
+        let mut a = Bitmap::new(130);
+        let mut b = Bitmap::new(130);
+        for i in [0usize, 63, 64, 129] {
+            a.set(i);
+        }
+        for i in [63usize, 64, 65, 100] {
+            b.set(i);
+        }
+        // 65 and 100 are new; 63 and 64 overlap.
+        assert_eq!(a.union_or(&b).unwrap(), 2);
+        assert_eq!(a.count_ones(), 6);
+        // Merging again adds nothing.
+        assert_eq!(a.union_or(&b).unwrap(), 0);
     }
 
     #[test]

@@ -171,6 +171,10 @@ impl PackedRegisters {
 
     /// Merge with `other` by per-register bitwise or (the FM/PCSA union).
     /// Errors if the shapes differ.
+    ///
+    /// Bitwise or distributes over the packing — or-ing the backing words
+    /// is exactly per-register or, even for registers straddling word
+    /// boundaries — so this runs word-level, not register-level.
     pub fn merge_or(&mut self, other: &Self) -> Result<(), String> {
         if self.count != other.count || self.width != other.width {
             return Err(format!(
@@ -178,11 +182,48 @@ impl PackedRegisters {
                 self.count, self.width, other.count, other.width
             ));
         }
-        for i in 0..self.count {
-            let v = other.get(i);
-            self.update_or(i, v);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
         }
         Ok(())
+    }
+
+    /// The packed words backing the register file (for binary
+    /// serialization; little-endian register order within each word).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a register file from its packed words.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a width outside `1..=32`, a word count that does not match
+    /// `count × width` bits, or set bits beyond the logical length in the
+    /// final partial word.
+    pub fn from_words(words: Vec<u64>, count: usize, width: u32) -> Result<Self, String> {
+        if !(1..=32).contains(&width) {
+            return Err(format!("register width {width} must be in 1..=32"));
+        }
+        let total_bits = count * width as usize;
+        if words.len() != total_bits.div_ceil(64) {
+            return Err(format!(
+                "word count {} does not match {count} registers of {width} bits",
+                words.len()
+            ));
+        }
+        if !total_bits.is_multiple_of(64) {
+            let tail = words.last().copied().unwrap_or(0);
+            if tail >> (total_bits % 64) != 0 {
+                return Err("set bits beyond the logical length".into());
+            }
+        }
+        Ok(Self {
+            words: words.into_boxed_slice(),
+            count,
+            width,
+        })
     }
 }
 
@@ -267,6 +308,51 @@ mod tests {
         assert!(a.merge_max(&b).is_err());
         let c = PackedRegisters::new(9, 6);
         assert!(a.merge_or(&c).is_err());
+    }
+
+    #[test]
+    fn word_level_merge_or_matches_register_level() {
+        // Width 5 straddles word boundaries: the word-level or must still
+        // equal per-register or.
+        let mut a = PackedRegisters::new(29, 5);
+        let mut b = PackedRegisters::new(29, 5);
+        for i in 0..29 {
+            a.set(i, (i as u32).wrapping_mul(7) & 0b11111);
+            b.set(i, (i as u32).wrapping_mul(13) & 0b11111);
+        }
+        let mut expect = a.clone();
+        for i in 0..29 {
+            let v = b.get(i);
+            expect.update_or(i, v);
+        }
+        a.merge_or(&b).unwrap();
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut r = PackedRegisters::new(29, 5);
+        for i in 0..29 {
+            r.set(i, (i as u32) & 0b11111);
+        }
+        let rebuilt = PackedRegisters::from_words(r.words().to_vec(), r.len(), r.width()).unwrap();
+        assert_eq!(rebuilt, r);
+    }
+
+    #[test]
+    fn from_words_rejects_bad_shapes() {
+        assert!(
+            PackedRegisters::from_words(vec![0; 2], 29, 5).is_err(),
+            "wrong word count"
+        );
+        assert!(
+            PackedRegisters::from_words(vec![0; 3], 29, 0).is_err(),
+            "zero width"
+        );
+        // 29 * 5 = 145 bits: bits above 145 % 64 = 17 in the last word
+        // are out of range.
+        assert!(PackedRegisters::from_words(vec![0, 0, 1 << 20], 29, 5).is_err());
+        assert!(PackedRegisters::from_words(vec![0, 0, (1 << 17) - 1], 29, 5).is_ok());
     }
 
     #[test]

@@ -28,8 +28,13 @@ pub struct Options {
     pub pairs: usize,
     /// Max worker threads for the concurrent lanes of `bench-ingest`.
     pub threads: usize,
-    /// Output path for the `bench-ingest` JSON report.
+    /// Output path (`bench-ingest`/`bench-collect` JSON report,
+    /// `checkpoint`/`merge` checkpoint file).
     pub out: String,
+    /// Node shards for `collect` / max shards for `bench-collect`.
+    pub shards: usize,
+    /// Positional arguments (checkpoint file paths for `restore`/`merge`).
+    pub paths: Vec<String>,
 }
 
 impl Options {
@@ -47,7 +52,9 @@ impl Options {
             budget_ms: 300,
             pairs: 2_000_000,
             threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
-            out: "BENCH_ingest.json".to_string(),
+            out: String::new(),
+            shards: 4,
+            paths: Vec::new(),
         }
     }
 }
@@ -121,6 +128,15 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             "--out" => {
                 opts.out = value(i)?.to_string();
                 i += 2;
+            }
+            "--shards" => {
+                opts.shards = parse_num(value(i)?).map_err(|e| format!("--shards: {e}"))? as usize;
+                i += 2;
+            }
+            other if !other.starts_with('-') => {
+                // Positional argument: a checkpoint file path.
+                opts.paths.push(other.to_string());
+                i += 1;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -201,6 +217,14 @@ mod tests {
     #[test]
     fn rejects_unknown_flag() {
         assert!(parse(&args("--bogus 3")).is_err());
+    }
+
+    #[test]
+    fn collects_positional_paths_and_shards() {
+        let o = parse(&args("a.ckpt b.ckpt --shards 8 c.ckpt")).unwrap();
+        assert_eq!(o.paths, vec!["a.ckpt", "b.ckpt", "c.ckpt"]);
+        assert_eq!(o.shards, 8);
+        assert!(parse(&[]).unwrap().paths.is_empty());
     }
 
     #[test]

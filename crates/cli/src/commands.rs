@@ -10,9 +10,13 @@ use sbitmap_baselines::{
     KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
 };
 use sbitmap_bench::harness::Measurement;
-use sbitmap_core::{simulate, Dimensioning, DistinctCounter, RateSchedule, SBitmap};
+use sbitmap_core::codec::{peek_kind, Checkpoint, CounterKind};
+use sbitmap_core::{
+    simulate, Dimensioning, DistinctCounter, MergeableCounter, RateSchedule, SBitmap,
+};
 use sbitmap_hash::rng::Xoshiro256StarStar;
-use sbitmap_hash::HashKind;
+use sbitmap_hash::{HashKind, SplitMix64Hasher};
+use sbitmap_stream::collector::{run_pipeline, PipelineConfig};
 
 use crate::args::{parse, Options};
 
@@ -33,11 +37,30 @@ commands:
              flags: --n-max N --memory-bits M --seed S
   simulate   Monte-Carlo the S-bitmap error for a configuration (no input)
              flags: --n-max N [--error E | --memory-bits M] --n CARD --reps R
+  checkpoint read items from stdin, write a binary checkpoint file
+             flags: --sketch NAME --n-max N [--error E | --memory-bits M]
+                    --seed S --out PATH (default sketch.ckpt)
+             sketches: s-bitmap linear-counting virtual-bitmap mr-bitmap
+                       fm-pcsa loglog hyperloglog kmv
+  restore    verify a checkpoint file, print its kind and estimate
+             usage: restore FILE
+  merge      union-merge checkpoints of one mergeable kind
+             usage: merge FILE FILE... [--out PATH]
+             (s-bitmap checkpoints are not mergeable — the paper's §3
+              trade-off; aggregate their estimates with `collect`)
+  collect    run the sharded node→collector pipeline on the synthetic
+             backbone (paper §7.2) and print the aggregate summary
+             flags: --links L --shards K --seed S
   bench-ingest
              time scalar vs batched vs concurrent ingestion on the
              backbone/worm generators and write a JSON report
              flags: --links L --pairs P --budget-ms MS --threads T
                     --seed S --out PATH (default BENCH_ingest.json)
+  bench-collect
+             time the node→collector pipeline at 1..=K shards and write
+             a JSON report
+             flags: --links L --shards K --budget-ms MS --seed S
+                    --out PATH (default BENCH_collect.json)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -54,12 +77,24 @@ pub fn dispatch(
 ) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or("missing command")?;
     let opts = parse(rest)?;
+    // Only restore/merge take positional (file) arguments; a stray token
+    // anywhere else is a usage error, not something to silently ignore.
+    if !matches!(command.as_str(), "restore" | "merge") {
+        if let Some(stray) = opts.paths.first() {
+            return Err(format!("unexpected argument `{stray}` for `{command}`"));
+        }
+    }
     match command.as_str() {
         "count" => count(&opts, input, out),
         "plan" => plan(&opts, out),
         "compare" => compare(&opts, input, out),
         "simulate" => simulate_cmd(&opts, out),
+        "checkpoint" => checkpoint_cmd(&opts, input, out),
+        "restore" => restore_cmd(&opts, out),
+        "merge" => merge_cmd(&opts, out),
+        "collect" => collect_cmd(&opts, out),
         "bench-ingest" => bench_ingest(&opts, out),
+        "bench-collect" => bench_collect(&opts, out),
         other => Err(format!("unknown command `{other}`")),
     }
     .map_err(|e| e.to_string())
@@ -288,6 +323,288 @@ fn simulate_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     Ok(())
 }
 
+/// The memory budget in bits for checkpointable sketches, mirroring
+/// `build_sketch`'s derivation.
+fn budget_bits(opts: &Options) -> Result<usize, String> {
+    match opts.memory_bits {
+        Some(m) => Ok(m),
+        None => Ok(
+            Dimensioning::from_error(opts.n_max, opts.error.unwrap_or(0.02))
+                .map_err(|e| e.to_string())?
+                .m(),
+        ),
+    }
+}
+
+fn checkpoint_cmd(
+    opts: &Options,
+    input: &mut impl BufRead,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    /// Stream stdin line by line into the sketch (O(1) memory, like
+    /// `count`), then serialize. Returns (bytes, estimate, bits, lines).
+    fn ingest<T: DistinctCounter + Checkpoint>(
+        mut sketch: T,
+        input: &mut impl BufRead,
+    ) -> Result<(Vec<u8>, f64, usize, u64), String> {
+        let mut lines = 0u64;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if input.read_line(&mut buf).map_err(io_err)? == 0 {
+                break;
+            }
+            sketch.insert_bytes(buf.trim_end_matches(['\n', '\r']).as_bytes());
+            lines += 1;
+        }
+        Ok((
+            sketch.checkpoint(),
+            sketch.estimate(),
+            sketch.memory_bits(),
+            lines,
+        ))
+    }
+
+    if opts.hash != "splitmix64" {
+        return Err(format!(
+            "checkpoints embed only the hash *seed* and restore with the \
+             default splitmix64 family; --hash {} cannot be recorded",
+            opts.hash
+        ));
+    }
+    let m = budget_bits(opts)?;
+    let (seed, n_max) = (opts.seed, opts.n_max);
+    let err = |e: sbitmap_core::SBitmapError| e.to_string();
+    let (bytes, estimate, bits, lines) = match opts.sketch.as_str() {
+        "s-bitmap" => {
+            let schedule = Arc::new(sbitmap_schedule(opts)?);
+            let sketch: SBitmap =
+                SBitmap::with_shared_schedule(schedule, SplitMix64Hasher::new(seed));
+            ingest(sketch, input)?
+        }
+        "linear-counting" => ingest(LinearCounting::new(m, seed).map_err(err)?, input)?,
+        "virtual-bitmap" => ingest(
+            VirtualBitmap::for_cardinality(m, n_max, seed).map_err(err)?,
+            input,
+        )?,
+        "mr-bitmap" => ingest(MrBitmap::with_memory(m, n_max, seed).map_err(err)?, input)?,
+        "fm-pcsa" => ingest(FmSketch::with_memory(m, seed).map_err(err)?, input)?,
+        "loglog" => ingest(LogLog::with_memory(m, n_max, seed).map_err(err)?, input)?,
+        "hyperloglog" => ingest(
+            HyperLogLog::with_memory(m, n_max, seed).map_err(err)?,
+            input,
+        )?,
+        "kmv" => ingest(KMinValues::with_memory(m, seed).map_err(err)?, input)?,
+        other => {
+            return Err(format!(
+                "sketch `{other}` is not checkpointable (see usage)"
+            ))
+        }
+    };
+    let path = if opts.out.is_empty() {
+        "sketch.ckpt"
+    } else {
+        &opts.out
+    };
+    std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+    writeln!(
+        out,
+        "{} checkpoint: {} items -> estimate {:.0}, {} sketch bits, {} bytes -> {}",
+        opts.sketch,
+        lines,
+        estimate,
+        bits,
+        bytes.len(),
+        path
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn restore_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    fn describe<T: DistinctCounter + Checkpoint>(bytes: &[u8]) -> Result<(f64, usize), String> {
+        let sketch = T::restore(bytes).map_err(|e| e.to_string())?;
+        Ok((sketch.estimate(), sketch.memory_bits()))
+    }
+
+    let [path] = opts.paths.as_slice() else {
+        return Err("restore needs exactly one checkpoint file".into());
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let (version, kind) = peek_kind(&bytes).map_err(|e| e.to_string())?;
+    let (estimate, bits) = match kind {
+        CounterKind::SBitmap => describe::<SBitmap>(&bytes)?,
+        CounterKind::LinearCounting => describe::<LinearCounting>(&bytes)?,
+        CounterKind::VirtualBitmap => describe::<VirtualBitmap>(&bytes)?,
+        CounterKind::MrBitmap => describe::<MrBitmap>(&bytes)?,
+        CounterKind::FmSketch => describe::<FmSketch>(&bytes)?,
+        CounterKind::LogLog => describe::<LogLog>(&bytes)?,
+        CounterKind::HyperLogLog => describe::<HyperLogLog>(&bytes)?,
+        CounterKind::KMinValues => describe::<KMinValues>(&bytes)?,
+        CounterKind::SketchFleet => {
+            let fleet: sbitmap_core::SketchFleet =
+                Checkpoint::restore(&bytes).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{path}: v{version} sketch-fleet, {} keys, {} sketch bits, {} bytes",
+                fleet.len(),
+                fleet.memory_bits(),
+                bytes.len()
+            )
+            .map_err(io_err)?;
+            return Ok(());
+        }
+    };
+    writeln!(
+        out,
+        "{path}: v{version} {kind} ({}), estimate {estimate:.0}, {bits} sketch bits, {} bytes",
+        if kind.is_mergeable() {
+            "mergeable"
+        } else {
+            "not mergeable"
+        },
+        bytes.len()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn merge_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    fn merge_files<T: DistinctCounter + MergeableCounter + Checkpoint>(
+        opts: &Options,
+        files: &[(String, Vec<u8>)],
+        out: &mut impl Write,
+    ) -> Result<(), String> {
+        let mut merged: Option<T> = None;
+        for (path, bytes) in files {
+            let sketch = T::restore(bytes).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "{path}: estimate {:.0}", sketch.estimate()).map_err(io_err)?;
+            merged = Some(match merged.take() {
+                None => sketch,
+                Some(mut acc) => {
+                    acc.merge_from(&sketch)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    acc
+                }
+            });
+        }
+        let merged = merged.expect("at least two files");
+        writeln!(
+            out,
+            "merged ({} checkpoints): estimate {:.0}",
+            files.len(),
+            merged.estimate()
+        )
+        .map_err(io_err)?;
+        if !opts.out.is_empty() {
+            let bytes = merged.checkpoint();
+            std::fs::write(&opts.out, &bytes).map_err(|e| format!("write {}: {e}", opts.out))?;
+            writeln!(out, "wrote merged checkpoint to {}", opts.out).map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    if opts.paths.len() < 2 {
+        return Err("merge needs at least two checkpoint files".into());
+    }
+    let mut files = Vec::with_capacity(opts.paths.len());
+    for path in &opts.paths {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        files.push((path.clone(), bytes));
+    }
+    let (_, kind) = peek_kind(&files[0].1).map_err(|e| format!("{}: {e}", files[0].0))?;
+    for (path, bytes) in &files[1..] {
+        let (_, k) = peek_kind(bytes).map_err(|e| format!("{path}: {e}"))?;
+        if k != kind {
+            return Err(format!(
+                "cannot merge a {k} checkpoint ({path}) into a {kind} merge"
+            ));
+        }
+    }
+    match kind {
+        CounterKind::LinearCounting => merge_files::<LinearCounting>(opts, &files, out),
+        CounterKind::VirtualBitmap => merge_files::<VirtualBitmap>(opts, &files, out),
+        CounterKind::MrBitmap => merge_files::<MrBitmap>(opts, &files, out),
+        CounterKind::FmSketch => merge_files::<FmSketch>(opts, &files, out),
+        CounterKind::LogLog => merge_files::<LogLog>(opts, &files, out),
+        CounterKind::HyperLogLog => merge_files::<HyperLogLog>(opts, &files, out),
+        CounterKind::KMinValues => merge_files::<KMinValues>(opts, &files, out),
+        CounterKind::SBitmap | CounterKind::SketchFleet => Err(format!(
+            "{kind} checkpoints are not mergeable (the paper's §3 trade-off): \
+             whether an item was sampled depends on the sketch-local fill at \
+             arrival time. Aggregate per-link *estimates* instead — see \
+             `sbitmap collect`."
+        )),
+    }
+}
+
+fn collect_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = PipelineConfig {
+        links: opts.links.max(1),
+        shards: opts.shards.max(1),
+        seed: opts.seed,
+        ..PipelineConfig::default()
+    };
+    writeln!(
+        out,
+        "collect: {} links over {} node shards (N = {}, m = {} bits/link, seed {})",
+        cfg.links, cfg.shards, cfg.n_max, cfg.m_bits, cfg.seed
+    )
+    .map_err(io_err)?;
+    let summary = run_pipeline(&cfg)?;
+    writeln!(
+        out,
+        "received {} checkpoints, {} bytes shipped",
+        summary.checkpoints, summary.bytes_shipped
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "per-link estimates: mean |rel err| = {:.2}%",
+        summary.mean_abs_rel_err * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(out, "\n  quantile   est. flows/link").map_err(io_err)?;
+    for &(p, v) in &summary.estimate_quantiles {
+        writeln!(out, "  {:>7.0}%   {v:>15.0}", p * 100.0).map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "\nbackbone union (merged hyperloglog): {:.0} distinct flows (true total {})",
+        summary.union_estimate, summary.total_flows
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn bench_collect(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = sbitmap_bench::collect::CollectConfig {
+        links: opts.links.max(1),
+        max_shards: opts.shards.max(1),
+        budget_ms: opts.budget_ms.max(1),
+        seed: opts.seed,
+    };
+    writeln!(
+        out,
+        "collect bench: {} links, 1..={} shards, {} ms/case",
+        cfg.links, cfg.max_shards, cfg.budget_ms
+    )
+    .map_err(io_err)?;
+    let results = sbitmap_bench::collect::run(&cfg);
+    for m in &results {
+        writeln!(out, "{}", m.row()).map_err(io_err)?;
+    }
+    let json = sbitmap_bench::collect::report_json(&cfg, &results);
+    let path = if opts.out.is_empty() {
+        "BENCH_collect.json"
+    } else {
+        &opts.out
+    };
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    writeln!(out, "wrote {path}").map_err(io_err)?;
+    Ok(())
+}
+
 fn bench_ingest(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let cfg = sbitmap_bench::ingest::IngestConfig {
         links: opts.links.max(1),
@@ -307,7 +624,12 @@ fn bench_ingest(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         writeln!(out, "{}", m.row()).map_err(io_err)?;
     }
     let json = sbitmap_bench::ingest::report_json(&cfg, &results);
-    std::fs::write(&opts.out, &json).map_err(|e| format!("write {}: {e}", opts.out))?;
+    let out_path = if opts.out.is_empty() {
+        "BENCH_ingest.json"
+    } else {
+        &opts.out
+    };
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     let scalar = results
         .iter()
         .find(|m| m.name == "backbone_fleet_scalar")
@@ -326,7 +648,7 @@ fn bench_ingest(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         )
         .map_err(io_err)?;
     }
-    writeln!(out, "wrote {}", opts.out).map_err(io_err)?;
+    writeln!(out, "wrote {out_path}").map_err(io_err)?;
     Ok(())
 }
 
@@ -443,5 +765,187 @@ mod tests {
     fn crlf_lines_are_trimmed() {
         let out = run("count --sketch exact", "a\r\nb\r\na\r\n").unwrap();
         assert!(out.starts_with("2 distinct"), "{out}");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sbitmap_cli_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let path = tmp("ckpt_roundtrip");
+        let stdin: String = (0..4_000).map(|i| format!("flow-{i}\n")).collect();
+        let out = run(
+            &format!(
+                "checkpoint --n-max 100k --memory-bits 4000 --seed 5 --out {}",
+                path.display()
+            ),
+            &stdin,
+        )
+        .unwrap();
+        assert!(out.contains("s-bitmap checkpoint"), "{out}");
+        let out = run(&format!("restore {}", path.display()), "").unwrap();
+        assert!(out.contains("v2 s-bitmap (not mergeable)"), "{out}");
+        let est: f64 = out
+            .split("estimate ")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((est / 4_000.0 - 1.0).abs() < 0.2, "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_unions_hll_checkpoints() {
+        let a = tmp("merge_a");
+        let b = tmp("merge_b");
+        let merged = tmp("merge_out");
+        let stdin_a: String = (0..3_000).map(|i| format!("u{i}\n")).collect();
+        let stdin_b: String = (2_000..6_000).map(|i| format!("u{i}\n")).collect();
+        let flags = "--sketch hyperloglog --n-max 100k --memory-bits 20k --seed 9";
+        run(
+            &format!("checkpoint {flags} --out {}", a.display()),
+            &stdin_a,
+        )
+        .unwrap();
+        run(
+            &format!("checkpoint {flags} --out {}", b.display()),
+            &stdin_b,
+        )
+        .unwrap();
+        let out = run(
+            &format!(
+                "merge {} {} --out {}",
+                a.display(),
+                b.display(),
+                merged.display()
+            ),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("merged (2 checkpoints)"), "{out}");
+        let est: f64 = out
+            .lines()
+            .find(|l| l.starts_with("merged"))
+            .unwrap()
+            .split("estimate ")
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((est / 6_000.0 - 1.0).abs() < 0.1, "union estimate {est}");
+        // The merged checkpoint restores as a mergeable hyperloglog.
+        let out = run(&format!("restore {}", merged.display()), "").unwrap();
+        assert!(out.contains("hyperloglog (mergeable)"), "{out}");
+        for p in [a, b, merged] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn merge_refuses_sbitmap_checkpoints() {
+        let a = tmp("merge_sb_a");
+        let b = tmp("merge_sb_b");
+        let flags = "--n-max 10k --memory-bits 1200 --seed 2";
+        run(&format!("checkpoint {flags} --out {}", a.display()), "x\n").unwrap();
+        run(&format!("checkpoint {flags} --out {}", b.display()), "y\n").unwrap();
+        let err = run(&format!("merge {} {}", a.display(), b.display()), "").unwrap_err();
+        assert!(err.contains("not mergeable"), "{err}");
+        assert!(err.contains("collect"), "{err}");
+        for p in [a, b] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn merge_refuses_mixed_kinds() {
+        let a = tmp("merge_mix_a");
+        let b = tmp("merge_mix_b");
+        run(
+            &format!(
+                "checkpoint --sketch hyperloglog --memory-bits 20k --out {}",
+                a.display()
+            ),
+            "x\n",
+        )
+        .unwrap();
+        run(
+            &format!(
+                "checkpoint --sketch kmv --memory-bits 20k --out {}",
+                b.display()
+            ),
+            "x\n",
+        )
+        .unwrap();
+        let err = run(&format!("merge {} {}", a.display(), b.display()), "").unwrap_err();
+        assert!(err.contains("cannot merge"), "{err}");
+        for p in [a, b] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corruption_and_missing_args() {
+        let path = tmp("restore_bad");
+        run(
+            &format!(
+                "checkpoint --memory-bits 1200 --n-max 10k --out {}",
+                path.display()
+            ),
+            "a\n",
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run(&format!("restore {}", path.display()), "").unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        assert!(run("restore", "").is_err());
+        assert!(run("merge", "").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_non_default_hash_and_unknown_sketch() {
+        assert!(run("checkpoint --hash xxh64", "a\n").is_err());
+        assert!(run("checkpoint --sketch exact", "a\n").is_err());
+    }
+
+    #[test]
+    fn stray_positional_arguments_are_rejected() {
+        // `count data.txt` must not silently ignore the file name and
+        // block on stdin.
+        let err = run("count data.txt", "a\n").unwrap_err();
+        assert!(err.contains("unexpected argument `data.txt`"), "{err}");
+        assert!(run("collect 5", "").is_err());
+        assert!(run("bench-collect oops --budget-ms 1", "").is_err());
+    }
+
+    #[test]
+    fn collect_runs_pipeline_and_prints_summary() {
+        let out = run("collect --links 12 --shards 3 --seed 4", "").unwrap();
+        assert!(out.contains("12 links over 3 node shards"), "{out}");
+        assert!(out.contains("received 15 checkpoints"), "{out}");
+        assert!(out.contains("backbone union"), "{out}");
+        assert!(out.contains("quantile"), "{out}");
+    }
+
+    #[test]
+    fn bench_collect_writes_report() {
+        let path = tmp("bench_collect.json");
+        let argv = format!(
+            "bench-collect --links 6 --shards 2 --budget-ms 2 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("collect_s1"), "{out}");
+        assert!(out.contains("collect_s2"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"collect\""));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -240,6 +240,13 @@ impl<H: Hasher64> ConcurrentSBitmap<H> {
     }
 }
 
+impl<H: Hasher64> crate::counter::BatchedCounter for ConcurrentSBitmap<H> {
+    /// The prefetch-pipelined batch path ([`ConcurrentSBitmap::insert_u64s`]).
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        ConcurrentSBitmap::insert_u64s(self, items);
+    }
+}
+
 impl<H: Hasher64> DistinctCounter for ConcurrentSBitmap<H> {
     fn insert_u64(&mut self, item: u64) {
         ConcurrentSBitmap::insert_u64(self, item);

@@ -1,6 +1,27 @@
-//! The common interface every distinct-counting sketch in this workspace
-//! implements — the S-bitmap itself and all the baselines it is evaluated
-//! against.
+//! The layered trait family every distinct-counting sketch in this
+//! workspace implements — the S-bitmap itself and all the baselines it is
+//! evaluated against.
+//!
+//! The interface is split into capability layers rather than one fat
+//! trait, because the capabilities genuinely differ across the sketch
+//! family (the paper's Table 1):
+//!
+//! | trait | contract | who implements it |
+//! |---|---|---|
+//! | [`DistinctCounter`] | streaming insert + estimate | every sketch |
+//! | [`BatchedCounter`] | slice ingestion, bit-identical to scalar | every sketch (S-bitmap overrides with the prefetch-pipelined path) |
+//! | [`MergeableCounter`] | union of two same-configuration sketches | OR-mergeable bitmaps, the loglog family, order statistics — **not** the S-bitmap |
+//! | [`Checkpoint`](crate::codec::Checkpoint) | versioned dependency-free binary encode/decode | everything a collector ships |
+//!
+//! The S-bitmap deliberately does not implement [`MergeableCounter`]:
+//! whether an item is sampled depends on the sketch-local fill level at
+//! its arrival time, so two S-bitmaps over different substreams cannot be
+//! combined into the sketch of the union. Distributed S-bitmap
+//! deployments ship per-link checkpoints and aggregate *estimates*
+//! instead (see `sbitmap_stream`'s collector), which is exactly the
+//! paper's §7.2 architecture.
+
+use crate::SBitmapError;
 
 /// A streaming distinct counter (cardinality estimator).
 ///
@@ -34,6 +55,52 @@ pub trait DistinctCounter {
     fn name(&self) -> &'static str;
 }
 
+/// Slice ingestion, semantically identical to a scalar insert loop.
+///
+/// The default methods are the scalar loop, so implementing the trait is
+/// a one-line opt-in; sketches with a faster path (batch hashing,
+/// prefetch-pipelined probes — see `SBitmap::insert_hashes`) override
+/// them. The contract is strict: the sketch state after a batched call is
+/// **bit-identical** to inserting the items one at a time in order, so
+/// batching is a pure performance transform (property-tested in
+/// `tests/properties.rs`).
+pub trait BatchedCounter: DistinctCounter {
+    /// Insert a slice of `u64` items, in order.
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        for &item in items {
+            self.insert_u64(item);
+        }
+    }
+
+    /// Insert a slice of byte-string items, in order.
+    fn insert_bytes_batch(&mut self, items: &[&[u8]]) {
+        for &item in items {
+            self.insert_bytes(item);
+        }
+    }
+}
+
+/// Sketches whose union is computable from the sketches alone: merging
+/// two same-configuration sketches of streams `A` and `B` yields exactly
+/// the sketch of `A ∪ B`.
+///
+/// This holds for the OR-mergeable bitmap family (linear counting,
+/// virtual bitmap, multiresolution bitmap, FM/PCSA), for max-mergeable
+/// rank registers (LogLog, HyperLogLog) and for order statistics (KMV) —
+/// and does **not** hold for the S-bitmap (see the module docs). The
+/// bit-identity `merge(sketch(A), sketch(B)) == sketch(A ∪ B)` is
+/// property-tested per implementation in `tests/merge_properties.rs`.
+pub trait MergeableCounter: DistinctCounter {
+    /// Fold `other` into `self`, making `self` the sketch of the union of
+    /// both input streams.
+    ///
+    /// # Errors
+    ///
+    /// Merging requires identical configuration (size/shape *and* hash
+    /// seed); incompatible sketches are rejected, never silently mixed.
+    fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError>;
+}
+
 /// Blanket impl so `Box<dyn DistinctCounter>` is itself a counter — the
 /// experiment harness stores heterogeneous sketch fleets this way.
 impl DistinctCounter for Box<dyn DistinctCounter> {
@@ -54,5 +121,30 @@ impl DistinctCounter for Box<dyn DistinctCounter> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+/// Boxed counters batch through the scalar loop (the box erases any
+/// faster path; unbox for hot-loop ingestion).
+impl BatchedCounter for Box<dyn DistinctCounter> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SBitmap;
+
+    #[test]
+    fn batched_defaults_match_scalar() {
+        // Through the trait's default methods (the boxed counter), the
+        // batch calls must be the scalar loop.
+        let mut boxed: Box<dyn DistinctCounter> =
+            Box::new(SBitmap::with_memory(100_000, 2_000, 3).unwrap());
+        let mut scalar = SBitmap::with_memory(100_000, 2_000, 3).unwrap();
+        let items: Vec<u64> = (0..5_000).collect();
+        boxed.insert_u64_batch(&items);
+        for &i in &items {
+            scalar.insert_u64(i);
+        }
+        assert_eq!(boxed.estimate(), scalar.estimate());
     }
 }

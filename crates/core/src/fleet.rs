@@ -9,12 +9,20 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use sbitmap_bitvec::Bitmap;
 use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
+use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
 use crate::counter::DistinctCounter;
 use crate::schedule::RateSchedule;
 use crate::sketch::SBitmap;
 use crate::SBitmapError;
+
+/// Per-key sketch seed derivation: a pure function of `(fleet seed, key)`
+/// so a restored fleet rebuilds identical hashers.
+fn sketch_seed(fleet_seed: u64, key: u64) -> u64 {
+    sbitmap_hash::mix64(fleet_seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
 
 /// A keyed collection of identically-configured S-bitmaps.
 ///
@@ -79,7 +87,7 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
     /// one call.
     ///
     /// Grouping is O(n) bucketing when keys are dense (all below
-    /// [`Self::DENSE_KEY_LIMIT`], as link indices are), and a stable
+    /// `Self::DENSE_KEY_LIMIT`, as link indices are), and a stable
     /// sort otherwise; both orderings feed the sketches identically.
     pub fn insert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
         if pairs.is_empty() {
@@ -136,9 +144,18 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
         let schedule = &self.schedule;
         let seed = self.seed;
         self.sketches.entry(key).or_insert_with(|| {
-            let sketch_seed = sbitmap_hash::mix64(seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            SBitmap::with_shared_schedule(schedule.clone(), H::from_seed(sketch_seed))
+            SBitmap::with_shared_schedule(schedule.clone(), H::from_seed(sketch_seed(seed, key)))
         })
+    }
+
+    /// The sketch for one key; `None` if the key has never been inserted.
+    pub fn sketch(&self, key: u64) -> Option<&SBitmap<H>> {
+        self.sketches.get(&key)
+    }
+
+    /// All `(key, sketch)` pairs, unordered.
+    pub fn sketches(&self) -> impl Iterator<Item = (u64, &SBitmap<H>)> {
+        self.sketches.iter().map(|(&k, s)| (k, s))
     }
 
     /// Estimate for one key; `None` if the key has never been inserted.
@@ -198,6 +215,64 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
     /// The shared schedule.
     pub fn schedule(&self) -> &Arc<RateSchedule> {
         &self.schedule
+    }
+}
+
+/// Fleet checkpoint payload: the shared configuration key once —
+/// `n_max` (u64), `m` (u64), sampling `d` (u32), fleet seed (u64) — then
+/// `count` (u64) per-key records of `key` (u64), fill (u64) and the
+/// bitmap words, sorted by key. Per-key hash seeds are *derived* from
+/// `(fleet seed, key)`, so they are not stored: the whole fleet costs
+/// `16 + ⌈m/64⌉·8` bytes per key plus a 38-byte header.
+impl<H: Hasher64 + FromSeed> Checkpoint for SketchFleet<H> {
+    const KIND: CounterKind = CounterKind::SketchFleet;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        let dims = self.schedule.dims();
+        out.u64(dims.n_max());
+        out.u64(dims.m() as u64);
+        out.u32(self.schedule.split().sampling_bits());
+        out.u64(self.seed);
+        out.u64(self.sketches.len() as u64);
+        let mut keys: Vec<u64> = self.sketches.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let sketch = &self.sketches[&key];
+            out.u64(key);
+            out.u64(sketch.fill() as u64);
+            out.words(sketch.bitmap().words());
+        }
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let fail = |msg: &str| SBitmapError::invalid("checkpoint", msg.to_string());
+        let n_max = r.u64()?;
+        let m = r.len_u64()?;
+        let sampling_bits = r.u32()?;
+        let seed = r.u64()?;
+        let count = r.len_u64()?;
+        let dims = crate::dimensioning::Dimensioning::from_memory(n_max, m)?;
+        let schedule = Arc::new(RateSchedule::new(dims, sampling_bits)?);
+        let mut fleet = SketchFleet::with_schedule(schedule.clone(), seed);
+        for _ in 0..count {
+            let key = r.u64()?;
+            let fill = r.len_u64()?;
+            let words = r.words(m.div_ceil(64))?;
+            let bitmap =
+                Bitmap::from_words(words, m).map_err(|e| SBitmapError::invalid("checkpoint", e))?;
+            if bitmap.count_ones() != fill {
+                return Err(fail("fill counter disagrees with bitmap"));
+            }
+            let mut sketch = SBitmap::with_shared_schedule(
+                schedule.clone(),
+                H::from_seed(sketch_seed(seed, key)),
+            );
+            sketch.restore_state(bitmap, fill);
+            if fleet.sketches.insert(key, sketch).is_some() {
+                return Err(fail("duplicate key in fleet checkpoint"));
+            }
+        }
+        Ok(fleet)
     }
 }
 
@@ -329,6 +404,53 @@ mod tests {
         }
         f.insert_u64(7, 1);
         assert_eq!(f.saturated_keys(), vec![42]);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_whole_fleet() {
+        let mut f = fleet();
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 11, i / 11 % 1_500)).collect();
+        f.insert_batch(&pairs);
+        let bytes = f.checkpoint();
+        let restored: SketchFleet = Checkpoint::restore(&bytes).unwrap();
+        assert_eq!(restored.len(), f.len());
+        for (key, sketch) in f.sketches() {
+            let r = restored.sketch(key).expect("key restored");
+            assert_eq!(r.fill(), sketch.fill(), "key {key}");
+            assert_eq!(r.bitmap(), sketch.bitmap(), "key {key}");
+            assert_eq!(r.seed(), sketch.seed(), "derived seed must match");
+        }
+        // The restored fleet keeps counting identically.
+        let mut a = f.clone();
+        let mut b = restored;
+        a.insert_u64(3, 999_999);
+        b.insert_u64(3, 999_999);
+        assert_eq!(a.estimate(3), b.estimate(3));
+    }
+
+    #[test]
+    fn empty_fleet_checkpoint_round_trips() {
+        let f = fleet();
+        let restored: SketchFleet = Checkpoint::restore(&f.checkpoint()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.schedule().dims().m(), 4_000);
+    }
+
+    #[test]
+    fn fleet_checkpoint_rejects_tampered_fill() {
+        let mut f = fleet();
+        f.insert_u64(1, 1);
+        let bytes = f.checkpoint();
+        // Rebuild the frame with a corrupted per-key fill but a valid
+        // checksum: structural validation must reject it.
+        let payload_start = 6;
+        let payload_end = bytes.len() - 8;
+        let mut payload = bytes[payload_start..payload_end].to_vec();
+        // Header is 36 bytes + key(8): fill sits at offset 44.
+        payload[44..52].copy_from_slice(&3u64.to_le_bytes());
+        let reframed = crate::codec::frame(CounterKind::SketchFleet, &payload);
+        let err = <SketchFleet as Checkpoint>::restore(&reframed).unwrap_err();
+        assert!(err.to_string().contains("fill"), "{err}");
     }
 
     #[test]

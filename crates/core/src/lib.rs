@@ -22,12 +22,12 @@
 //! | [`estimator`] | §4, eq. (2)/(8) | `n̂ = t_B` with truncation |
 //! | [`theory`] | §4–§5 | closed forms: `t_b`, `var(T_b)`, RRMSE |
 //! | [`simulate`] | Lemma 1 | exact O(m) Monte-Carlo of the fill process |
-//! | [`counter`] | — | the [`DistinctCounter`] trait all sketches share |
+//! | [`counter`] | — | the layered trait family: [`DistinctCounter`], [`BatchedCounter`], [`MergeableCounter`] |
 //! | [`fleet`] | §7.2 | many keyed sketches over one shared schedule |
 //! | [`concurrent`] | §7.2 | lock-free sketch over the atomic bitmap backend |
 //! | [`rotating`] | §7.1 | per-interval counting with bounded history |
 //! | [`sync`] | — | cloneable locked handle for multi-threaded feeds |
-//! | [`codec`] | — | dependency-free versioned binary checkpoints |
+//! | [`codec`] | — | dependency-free versioned binary checkpoints: the [`Checkpoint`] trait and the tagged v2 wire format |
 //!
 //! ## Quick start
 //!
@@ -63,8 +63,9 @@ pub mod sketch;
 pub mod sync;
 pub mod theory;
 
+pub use codec::{Checkpoint, CounterKind};
 pub use concurrent::ConcurrentSBitmap;
-pub use counter::DistinctCounter;
+pub use counter::{BatchedCounter, DistinctCounter, MergeableCounter};
 pub use dimensioning::Dimensioning;
 pub use error::SBitmapError;
 pub use fleet::SketchFleet;

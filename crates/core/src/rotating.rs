@@ -1,6 +1,9 @@
 //! Per-interval counting: the paper's §7.1 usage pattern (one estimate
 //! per minute) as a reusable wrapper around any [`DistinctCounter`].
 
+use std::sync::mpsc::Sender;
+
+use crate::codec::Checkpoint;
 use crate::counter::DistinctCounter;
 
 /// Wraps a counter and produces one estimate per time interval, reusing
@@ -10,12 +13,23 @@ use crate::counter::DistinctCounter;
 /// statistics are obtained the way the paper's §7.1 does: a fresh (reset)
 /// sketch per interval. `RotatingCounter` keeps a bounded history of
 /// `(interval, estimate)` pairs for trend queries.
+///
+/// When the wrapped counter implements [`Checkpoint`], closed intervals
+/// can also be *shipped*: [`RotatingCounter::ship_checkpoints_to`]
+/// registers a channel and [`RotatingCounter::rotate_with_checkpoint`]
+/// serializes the interval's sketch before resetting it — the node side
+/// of the collector pipeline in `sbitmap-stream`.
 #[derive(Debug, Clone)]
 pub struct RotatingCounter<C: DistinctCounter> {
     counter: C,
     interval: u64,
     history: std::collections::VecDeque<(u64, f64)>,
     history_cap: usize,
+    /// Checkpoint-on-rotate hook: `(interval, checkpoint bytes)` per
+    /// closed interval. A disconnected receiver disables shipping rather
+    /// than failing rotation (monitoring must not stop because the
+    /// collector restarted).
+    ship: Option<Sender<(u64, Vec<u8>)>>,
 }
 
 impl<C: DistinctCounter> RotatingCounter<C> {
@@ -26,7 +40,15 @@ impl<C: DistinctCounter> RotatingCounter<C> {
             interval: 0,
             history: std::collections::VecDeque::with_capacity(history_cap.min(1024)),
             history_cap: history_cap.max(1),
+            ship: None,
         }
+    }
+
+    /// Register the checkpoint-on-rotate hook: every
+    /// [`RotatingCounter::rotate_with_checkpoint`] sends the closed
+    /// interval's `(index, checkpoint bytes)` on `tx`.
+    pub fn ship_checkpoints_to(&mut self, tx: Sender<(u64, Vec<u8>)>) {
+        self.ship = Some(tx);
     }
 
     /// Insert an item into the current interval.
@@ -87,6 +109,26 @@ impl<C: DistinctCounter> RotatingCounter<C> {
     }
 }
 
+impl<C: DistinctCounter + Checkpoint> RotatingCounter<C> {
+    /// [`RotatingCounter::rotate`], but serialize the closed interval's
+    /// sketch *before* the reset and ship it on the registered channel
+    /// (if any). Returns `(interval, estimate, checkpoint bytes)`.
+    ///
+    /// The bytes are always returned, so a caller without a channel can
+    /// still persist closed intervals (e.g. write-ahead to disk).
+    pub fn rotate_with_checkpoint(&mut self) -> (u64, f64, Vec<u8>) {
+        let bytes = self.counter.checkpoint();
+        let (interval, estimate) = self.rotate();
+        if let Some(tx) = &self.ship {
+            // A gone collector must not wedge the measurement node.
+            if tx.send((interval, bytes.clone())).is_err() {
+                self.ship = None;
+            }
+        }
+        (interval, estimate, bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +185,46 @@ mod tests {
     #[test]
     fn empty_history_has_no_baseline() {
         assert_eq!(rotating().baseline(), None);
+    }
+
+    #[test]
+    fn rotate_with_checkpoint_ships_and_keeps_history_bounded() {
+        use crate::codec::Checkpoint;
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut r = rotating();
+        r.ship_checkpoints_to(tx);
+        for interval in 0..7u64 {
+            for i in 0..200u64 {
+                r.insert_u64(interval * 10_000 + i);
+            }
+            let (idx, est, bytes) = r.rotate_with_checkpoint();
+            assert_eq!(idx, interval);
+            // The shipped checkpoint restores to the *closed* interval's
+            // sketch (pre-reset state).
+            let restored: SBitmap = Checkpoint::restore(&bytes).unwrap();
+            assert_eq!(restored.estimate(), est);
+            assert_eq!(r.current_estimate(), 0.0, "reset after checkpoint");
+        }
+        // History bound holds with shipping enabled: 7 rotations, cap 4.
+        let hist: Vec<(u64, f64)> = r.history().collect();
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist[0].0, 3, "oldest retained interval");
+        // Every closed interval arrived on the channel, in order.
+        let shipped: Vec<u64> = rx.try_iter().map(|(i, _)| i).collect();
+        assert_eq!(shipped, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn disconnected_collector_does_not_stop_rotation() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut r = rotating();
+        r.ship_checkpoints_to(tx);
+        drop(rx);
+        r.insert_u64(1);
+        let (idx, _, bytes) = r.rotate_with_checkpoint();
+        assert_eq!(idx, 0);
+        assert!(!bytes.is_empty(), "bytes still returned to the caller");
+        assert_eq!(r.current_interval(), 1);
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use sbitmap_bitvec::Bitmap;
 use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
-use crate::counter::DistinctCounter;
+use crate::counter::{BatchedCounter, DistinctCounter};
 use crate::dimensioning::Dimensioning;
 use crate::estimator;
 use crate::schedule::RateSchedule;
@@ -291,6 +291,18 @@ impl<H: Hasher64> DistinctCounter for SBitmap<H> {
 
     fn name(&self) -> &'static str {
         "s-bitmap"
+    }
+}
+
+impl<H: Hasher64> BatchedCounter for SBitmap<H> {
+    /// The prefetch-pipelined batch path ([`SBitmap::insert_u64s`]).
+    fn insert_u64_batch(&mut self, items: &[u64]) {
+        self.insert_u64s(items);
+    }
+
+    /// The batch-hashed path ([`SBitmap::insert_bytes_batch`]).
+    fn insert_bytes_batch(&mut self, items: &[&[u8]]) {
+        SBitmap::insert_bytes_batch(self, items);
     }
 }
 

@@ -51,5 +51,5 @@ pub use carter_wegman::CarterWegman;
 pub use murmur3::Murmur3;
 pub use split::HashSplit;
 pub use splitmix::{mix64, SplitMix64Hasher};
-pub use traits::{FromSeed, HashKind, Hasher64};
+pub use traits::{for_each_hash_u64, FromSeed, HashKind, Hasher64};
 pub use xxh64::{xxh64, Xxh64};

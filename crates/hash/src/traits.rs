@@ -68,6 +68,30 @@ pub trait Hasher64: Send + Sync {
     fn seed(&self) -> u64;
 }
 
+/// Hash `items` in 256-item chunks through [`Hasher64::hash_u64_batch`]
+/// (one tight, pipelineable loop per chunk; the hash buffer lives on the
+/// stack and stays L1-resident) and feed each hash to `sink`, in order.
+///
+/// This is the shared skeleton of every sketch's batched ingest path:
+/// semantically identical to `items.iter().for_each(|&x|
+/// sink(hasher.hash_u64(x)))`, but with the per-item hash chains
+/// pipelined. Sketches whose probe step cannot itself be batched (the
+/// register files, KMV) get their batch speedup from this alone.
+pub fn for_each_hash_u64<H: Hasher64 + ?Sized>(
+    hasher: &H,
+    items: &[u64],
+    mut sink: impl FnMut(u64),
+) {
+    let mut buf = [0u64; 256];
+    for chunk in items.chunks(256) {
+        let out = &mut buf[..chunk.len()];
+        hasher.hash_u64_batch(chunk, out);
+        for &h in out.iter() {
+            sink(h);
+        }
+    }
+}
+
 /// Hashers that can be reconstructed from their seed alone.
 ///
 /// Every hasher in this crate is a pure function of its seed, which is what

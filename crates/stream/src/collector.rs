@@ -1,0 +1,338 @@
+//! The sharded node → collector pipeline of the paper's §7.2 deployment.
+//!
+//! A Tier-1 backbone runs one measurement node per region; each node
+//! builds per-link sketches locally and ships *checkpoints* — not flow
+//! tables — to a central collector. This module reproduces that
+//! architecture in-process: `shards` node workers on std threads each own
+//! a subset of the links of a [`BackboneSnapshot`], build one S-bitmap per
+//! link plus one shard-wide [`HyperLogLog`], and send framed v2
+//! checkpoints (`sbitmap_core::codec`) over an `mpsc` channel. The
+//! collector verifies and decodes every frame, then combines them the two
+//! ways the estimator family allows:
+//!
+//! * **mergeable sketches** (the per-shard HLLs share one seed) are
+//!   folded with [`MergeableCounter::merge_from`] into a single sketch of
+//!   the union of *all* flows across *all* links — one number the bitmap
+//!   family cannot produce from per-link state;
+//! * **S-bitmaps are not mergeable** (the paper's trade-off), so their
+//!   per-link *estimates* are aggregated into the §7.2 summary: the
+//!   quantiles of the per-link distinct-count distribution (the Figure 7
+//!   view) plus error statistics against the generator's ground truth.
+//!
+//! Every byte that crosses the channel is a real checkpoint: the pipeline
+//! end-to-end exercises encode → frame → checksum → decode → merge, which
+//! is exactly what a networked deployment would do with TCP in the
+//! middle.
+
+use std::sync::mpsc;
+
+use sbitmap_baselines::HyperLogLog;
+use sbitmap_core::codec::Checkpoint;
+use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmap};
+
+use crate::backbone::BackboneSnapshot;
+
+/// Configuration for one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of backbone links (600 = the paper's full snapshot).
+    pub links: usize,
+    /// Node shards (worker threads); links are dealt round-robin.
+    pub shards: usize,
+    /// Per-link S-bitmap range `[1, n_max]` (paper §7.2: 1.5×10⁶).
+    pub n_max: u64,
+    /// Per-link S-bitmap bits (paper §7.2: 8000 ≈ 3% RRMSE).
+    pub m_bits: usize,
+    /// Registers of each shard's mergeable union sketch.
+    pub hll_registers: usize,
+    /// Workload + sketch seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            links: 150,
+            shards: 4,
+            n_max: 1_500_000,
+            m_bits: 8_000,
+            hll_registers: 4_096,
+            seed: 0xc011,
+        }
+    }
+}
+
+/// One decoded per-link report at the collector.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// Link index in the snapshot.
+    pub link: usize,
+    /// Shard that measured the link.
+    pub shard: usize,
+    /// The generator's true distinct flow count.
+    pub truth: u64,
+    /// The restored S-bitmap's estimate.
+    pub estimate: f64,
+}
+
+/// The collector's aggregate output — the §7.2 summary.
+#[derive(Debug, Clone)]
+pub struct CollectSummary {
+    /// Per-link reports, sorted by link index.
+    pub links: Vec<LinkReport>,
+    /// Number of node shards that ran.
+    pub shards: usize,
+    /// Estimate of the distinct flows across the whole backbone, from
+    /// merging the shards' HyperLogLogs.
+    pub union_estimate: f64,
+    /// True total flows fed through the pipeline (sum of link counts;
+    /// link flow-id spaces are disjoint by construction).
+    pub total_flows: u64,
+    /// Checkpoint frames received and verified.
+    pub checkpoints: usize,
+    /// Total checkpoint bytes that crossed the channel.
+    pub bytes_shipped: usize,
+    /// Mean absolute relative error of the per-link estimates.
+    pub mean_abs_rel_err: f64,
+    /// Quantiles of the per-link *estimates* at the probabilities of the
+    /// paper's Figure 7 (25%, 50%, 75%, 99%), as `(p, value)` pairs.
+    pub estimate_quantiles: Vec<(f64, f64)>,
+}
+
+impl CollectSummary {
+    /// The per-link estimate quantile probabilities reported (Figure 7's
+    /// interior knots).
+    pub const QUANTILES: [f64; 4] = [0.25, 0.50, 0.75, 0.99];
+}
+
+/// What a node ships: a per-link S-bitmap checkpoint or the shard's
+/// final mergeable union sketch.
+enum NodeMessage {
+    Link {
+        shard: usize,
+        link: usize,
+        bytes: Vec<u8>,
+    },
+    ShardUnion {
+        bytes: Vec<u8>,
+    },
+}
+
+/// Per-link sketch seed: a pure function of the run seed and the link, so
+/// the collector side of a test can rebuild a node's sketch exactly.
+fn link_seed(seed: u64, link: usize) -> u64 {
+    sbitmap_hash::mix64(seed ^ (link as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Run the sharded pipeline end-to-end and return the collector summary.
+///
+/// # Errors
+///
+/// Invalid configuration (zero links/shards, un-dimensionable sketch
+/// parameters), or a checkpoint that fails verification at the collector
+/// (which would indicate a codec bug, not an I/O hazard — the channel is
+/// in-process).
+pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
+    if cfg.links == 0 {
+        return Err("links must be at least 1".into());
+    }
+    if cfg.shards == 0 {
+        return Err("shards must be at least 1".into());
+    }
+    // Validate the sketch configuration once, before spawning anything.
+    SBitmap::with_memory(cfg.n_max, cfg.m_bits, 0).map_err(|e| e.to_string())?;
+    HyperLogLog::new(cfg.hll_registers, 5, cfg.seed).map_err(|e| e.to_string())?;
+
+    let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+    let (tx, rx) = mpsc::channel::<NodeMessage>();
+
+    let summary = std::thread::scope(|scope| -> Result<CollectSummary, String> {
+        // --- node shards ---
+        for shard in 0..cfg.shards {
+            let tx = tx.clone();
+            let snapshot = &snapshot;
+            scope.spawn(move || {
+                // The shard's mergeable union sketch: same (registers,
+                // width, seed) on every shard, so the collector can merge.
+                let mut union = HyperLogLog::new(cfg.hll_registers, 5, cfg.seed)
+                    .expect("validated before spawn");
+                let mut flows = Vec::new();
+                for link in (shard..cfg.links).step_by(cfg.shards) {
+                    let mut sketch =
+                        SBitmap::with_memory(cfg.n_max, cfg.m_bits, link_seed(cfg.seed, link))
+                            .expect("validated before spawn");
+                    flows.clear();
+                    flows.extend(snapshot.link_stream(link));
+                    sketch.insert_u64s(&flows);
+                    union.insert_u64_batch(&flows);
+                    let bytes = sketch.checkpoint();
+                    if tx.send(NodeMessage::Link { shard, link, bytes }).is_err() {
+                        return; // collector gone; stop measuring
+                    }
+                }
+                let _ = tx.send(NodeMessage::ShardUnion {
+                    bytes: union.checkpoint(),
+                });
+            });
+        }
+        // The collector runs on this thread. Drop the original sender so
+        // the receive loop ends when every shard has finished.
+        drop(tx);
+
+        // --- collector ---
+        let mut links: Vec<LinkReport> = Vec::with_capacity(cfg.links);
+        let mut merged: Option<HyperLogLog> = None;
+        let mut checkpoints = 0usize;
+        let mut bytes_shipped = 0usize;
+        for msg in rx {
+            match msg {
+                NodeMessage::Link { shard, link, bytes } => {
+                    bytes_shipped += bytes.len();
+                    checkpoints += 1;
+                    let sketch: SBitmap =
+                        Checkpoint::restore(&bytes).map_err(|e| format!("link {link}: {e}"))?;
+                    links.push(LinkReport {
+                        link,
+                        shard,
+                        truth: snapshot.counts()[link],
+                        estimate: sketch.estimate(),
+                    });
+                }
+                NodeMessage::ShardUnion { bytes } => {
+                    bytes_shipped += bytes.len();
+                    checkpoints += 1;
+                    let sketch: HyperLogLog =
+                        Checkpoint::restore(&bytes).map_err(|e| format!("shard union: {e}"))?;
+                    merged = Some(match merged.take() {
+                        None => sketch,
+                        Some(mut acc) => {
+                            acc.merge_from(&sketch).map_err(|e| e.to_string())?;
+                            acc
+                        }
+                    });
+                }
+            }
+        }
+
+        links.sort_by_key(|r| r.link);
+        if links.len() != cfg.links {
+            return Err(format!(
+                "collector saw {} of {} links",
+                links.len(),
+                cfg.links
+            ));
+        }
+        let mean_abs_rel_err = links
+            .iter()
+            .map(|r| (r.estimate / r.truth as f64 - 1.0).abs())
+            .sum::<f64>()
+            / links.len() as f64;
+        let mut sorted: Vec<f64> = links.iter().map(|r| r.estimate).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+        let estimate_quantiles = CollectSummary::QUANTILES
+            .iter()
+            .map(|&p| {
+                let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+                (p, sorted[idx])
+            })
+            .collect();
+        Ok(CollectSummary {
+            shards: cfg.shards,
+            union_estimate: merged.as_ref().map_or(0.0, DistinctCounter::estimate),
+            total_flows: snapshot.counts().iter().sum(),
+            checkpoints,
+            bytes_shipped,
+            mean_abs_rel_err,
+            estimate_quantiles,
+            links,
+        })
+    })?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PipelineConfig {
+        PipelineConfig {
+            links: 24,
+            shards: 3,
+            n_max: 100_000,
+            m_bits: 4_000,
+            hll_registers: 1_024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn pipeline_covers_every_link_exactly_once() {
+        let cfg = small();
+        let s = run_pipeline(&cfg).unwrap();
+        assert_eq!(s.links.len(), 24);
+        for (i, r) in s.links.iter().enumerate() {
+            assert_eq!(r.link, i);
+            assert_eq!(r.shard, i % 3, "round-robin link assignment");
+        }
+        // 24 link checkpoints + 3 shard unions.
+        assert_eq!(s.checkpoints, 27);
+        assert!(s.bytes_shipped > 24 * (cfg.m_bits / 8));
+    }
+
+    #[test]
+    fn estimates_track_truth_and_union_tracks_total() {
+        let s = run_pipeline(&small()).unwrap();
+        assert!(
+            s.mean_abs_rel_err < 0.12,
+            "mean |rel err| {} too large",
+            s.mean_abs_rel_err
+        );
+        // Link flow-id spaces are (almost surely) disjoint, so the merged
+        // HLL should sit near the summed truth.
+        let rel = s.union_estimate / s.total_flows as f64 - 1.0;
+        assert!(rel.abs() < 0.12, "union rel err {rel}");
+        // Quantiles are sorted and positive.
+        assert!(s.estimate_quantiles.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_link_reports() {
+        // Sharding is an execution detail: per-link estimates and the
+        // merged union must be identical for any shard count.
+        let mut cfg = small();
+        let a = run_pipeline(&cfg).unwrap();
+        cfg.shards = 1;
+        let b = run_pipeline(&cfg).unwrap();
+        cfg.shards = 24;
+        let c = run_pipeline(&cfg).unwrap();
+        for ((ra, rb), rc) in a.links.iter().zip(&b.links).zip(&c.links) {
+            assert_eq!(ra.estimate, rb.estimate, "link {}", ra.link);
+            assert_eq!(ra.estimate, rc.estimate, "link {}", ra.link);
+        }
+        assert_eq!(a.union_estimate, b.union_estimate);
+        assert_eq!(a.union_estimate, c.union_estimate);
+    }
+
+    #[test]
+    fn more_shards_than_links_is_fine() {
+        let mut cfg = small();
+        cfg.links = 2;
+        cfg.shards = 8;
+        let s = run_pipeline(&cfg).unwrap();
+        assert_eq!(s.links.len(), 2);
+        assert_eq!(s.checkpoints, 2 + 8, "idle shards still ship a union");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut cfg = small();
+        cfg.links = 0;
+        assert!(run_pipeline(&cfg).is_err());
+        let mut cfg = small();
+        cfg.shards = 0;
+        assert!(run_pipeline(&cfg).is_err());
+        let mut cfg = small();
+        cfg.m_bits = 1; // un-dimensionable
+        assert!(run_pipeline(&cfg).is_err());
+    }
+}

@@ -9,7 +9,11 @@
 //!   peering links, bursty and non-stationary);
 //! * [`backbone`] — a synthetic stand-in for the Tier-1 provider's
 //!   600-link five-minute flow-count snapshot of §7.2, regenerated from
-//!   the quantiles the paper publishes under its Figure 7.
+//!   the quantiles the paper publishes under its Figure 7;
+//! * [`collector`] — the §7.2 deployment itself: sharded measurement
+//!   nodes shipping binary checkpoints over channels to a collector that
+//!   merges mergeable sketches and aggregates per-link S-bitmap
+//!   estimates.
 //!
 //! Both trace generators are deterministic in their seed, and both match
 //! the *published statistics* of the original data (see DESIGN.md §4 for
@@ -21,9 +25,11 @@
 #![forbid(unsafe_code)]
 
 pub mod backbone;
+pub mod collector;
 pub mod generators;
 pub mod worm;
 
 pub use backbone::BackboneSnapshot;
+pub use collector::{run_pipeline, CollectSummary, LinkReport, PipelineConfig};
 pub use generators::{distinct_items, shuffle_stream, zipf_stream, DistinctItems};
 pub use worm::{WormLink, WormTrace};

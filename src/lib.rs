@@ -50,7 +50,8 @@ pub use sbitmap_baselines::{
 };
 pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap};
 pub use sbitmap_core::{
-    ConcurrentSBitmap, Dimensioning, DistinctCounter, RateSchedule, RotatingCounter, SBitmap,
-    SBitmapError, SharedCounter, SketchFleet,
+    BatchedCounter, Checkpoint, ConcurrentSBitmap, CounterKind, Dimensioning, DistinctCounter,
+    MergeableCounter, RateSchedule, RotatingCounter, SBitmap, SBitmapError, SharedCounter,
+    SketchFleet,
 };
 pub use sbitmap_hash::{HashKind, Hasher64};

@@ -1,0 +1,106 @@
+//! Backward-compatibility lock for the checkpoint wire format.
+//!
+//! The hex strings below are *frozen v1 checkpoints* produced by the
+//! original S-bitmap-only codec (before the tagged v2 format existed).
+//! The v2 decoder must read them bit-identically, forever: measurement
+//! nodes in the field may run old encoders long after the collector has
+//! upgraded. If one of these tests fails, the decoder broke v1
+//! compatibility — fix the decoder, never regenerate the vectors.
+
+use sbitmap::core::codec::{self, peek_kind, CounterKind};
+use sbitmap::{Checkpoint, DistinctCounter, SBitmap};
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+/// v1 checkpoint of `SBitmap::with_memory(10_000, 256, 42)` after
+/// inserting `0..500u64` — fill 106.
+const GOLDEN_V1_M256: &str = "53424d500110270000000000000001000000000000200000002a000000000000006a00000000000000351688e0a15c00b6e854d093aa1b0357a16c6270a908938270d0e20a27148fbe8292ce67e0f2e3f3";
+
+/// v1 checkpoint of `SBitmap::with_memory(1_000, 63, 7)` after inserting
+/// `0..80u64` — fill 20, non-word-multiple `m`.
+const GOLDEN_V1_M63: &str = "53424d5001e8030000000000003f0000000000000020000000070000000000000014000000000000000a85045820aa0d61994505f3ceb78a83";
+
+#[test]
+fn golden_v1_m256_decodes_bit_identically() {
+    let bytes = unhex(GOLDEN_V1_M256);
+    let (version, kind) = peek_kind(&bytes).unwrap();
+    assert_eq!(version, 1);
+    assert_eq!(kind, CounterKind::SBitmap);
+
+    let sketch: SBitmap = codec::decode(&bytes).unwrap();
+    assert_eq!(sketch.dims().n_max(), 10_000);
+    assert_eq!(sketch.dims().m(), 256);
+    assert_eq!(sketch.seed(), 42);
+    assert_eq!(sketch.fill(), 106);
+    // Exact f64 equality: the estimate is a pure function of the decoded
+    // state, recorded when the vector was frozen.
+    assert_eq!(sketch.estimate(), 549.312_870_555_323_1);
+
+    // The decoded state is the same state the original encoder saw:
+    // rebuilding the sketch from scratch reproduces it bit for bit.
+    let mut rebuilt = SBitmap::with_memory(10_000, 256, 42).unwrap();
+    for i in 0..500u64 {
+        rebuilt.insert_u64(i);
+    }
+    assert_eq!(sketch.bitmap(), rebuilt.bitmap());
+    assert_eq!(sketch.fill(), rebuilt.fill());
+}
+
+#[test]
+fn golden_v1_m63_decodes_bit_identically() {
+    let bytes = unhex(GOLDEN_V1_M63);
+    let sketch: SBitmap = codec::decode(&bytes).unwrap();
+    assert_eq!(sketch.dims().n_max(), 1_000);
+    assert_eq!(sketch.dims().m(), 63, "non-word-multiple m");
+    assert_eq!(sketch.seed(), 7);
+    assert_eq!(sketch.fill(), 20);
+    assert_eq!(sketch.estimate(), 53.977_649_977_398_89);
+
+    let mut rebuilt = SBitmap::with_memory(1_000, 63, 7).unwrap();
+    for i in 0..80u64 {
+        rebuilt.insert_u64(i);
+    }
+    assert_eq!(sketch.bitmap(), rebuilt.bitmap());
+}
+
+#[test]
+fn golden_v1_reencodes_as_equivalent_v2() {
+    // Upgrading a v1 checkpoint: decode, re-encode (v2), decode again —
+    // state and future behaviour must be unchanged.
+    let v1: SBitmap = codec::decode(&unhex(GOLDEN_V1_M256)).unwrap();
+    let v2_bytes = v1.checkpoint();
+    let (version, _) = peek_kind(&v2_bytes).unwrap();
+    assert_eq!(version, 2, "new encodes are always v2");
+    // v2 is one byte longer than v1: the kind tag.
+    assert_eq!(v2_bytes.len(), unhex(GOLDEN_V1_M256).len() + 1);
+
+    let mut v2: SBitmap = codec::decode(&v2_bytes).unwrap();
+    let mut v1 = v1;
+    assert_eq!(v2.bitmap(), v1.bitmap());
+    assert_eq!(v2.fill(), v1.fill());
+    for i in 500..2_000u64 {
+        v1.insert_u64(i);
+        v2.insert_u64(i);
+    }
+    assert_eq!(v2.fill(), v1.fill(), "identical evolution after restore");
+    assert_eq!(v2.bitmap(), v1.bitmap());
+}
+
+#[test]
+fn golden_v1_corruption_is_still_detected() {
+    let bytes = unhex(GOLDEN_V1_M63);
+    for pos in [0usize, 4, 6, 20, 41, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 1;
+        assert!(
+            codec::decode::<sbitmap::hash::SplitMix64Hasher>(&bad).is_err(),
+            "v1 corruption at byte {pos} accepted"
+        );
+    }
+    assert!(codec::decode::<sbitmap::hash::SplitMix64Hasher>(&bytes[..30]).is_err());
+}

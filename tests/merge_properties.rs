@@ -1,0 +1,151 @@
+//! Merge-equals-union property tests for every mergeable estimator.
+//!
+//! For each sketch family implementing `MergeableCounter`, and over many
+//! seeded random splits of a random universe into substreams `A` and `B`
+//! (with overlap and duplicates), the merged sketch must be
+//! **bit-identical** to the sketch built from the union stream — not just
+//! estimate-equal. Bit-identity is asserted on the serialized checkpoint
+//! bytes, which capture the complete sketch state, so any divergence in
+//! any register/bit/minimum fails the test.
+//!
+//! This is the deterministic in-tree stand-in for a proptest suite (the
+//! build is offline): 8 derived seeds × 4 split profiles per family.
+
+use sbitmap::hash::rng::{Rng, Xoshiro256StarStar};
+use sbitmap::{
+    Checkpoint, DistinctCounter, FmSketch, HyperLogLog, KMinValues, LinearCounting, LogLog,
+    MergeableCounter, MrBitmap, VirtualBitmap,
+};
+
+/// Split profiles: (universe size, probability an item goes to A,
+/// probability it also/only goes to B — yielding disjoint, overlapping
+/// and nested stream pairs).
+const PROFILES: [(u64, f64, f64); 4] = [
+    (4_000, 0.5, 0.5),  // random overlap
+    (4_000, 1.0, 0.3),  // B nested in A
+    (10_000, 0.5, 0.0), // near-disjoint (items not in A go to B below)
+    (300, 0.9, 0.9),    // tiny universe, heavy overlap
+];
+
+/// Drive one family through every profile × seed. `build` must return
+/// identically-configured sketches for equal seeds.
+fn check_family<T, F>(family: &str, build: F)
+where
+    T: DistinctCounter + MergeableCounter + Checkpoint,
+    F: Fn(u64) -> T,
+{
+    for seed in 0..8u64 {
+        for (profile, &(universe, p_a, p_b)) in PROFILES.iter().enumerate() {
+            let mut rng = Xoshiro256StarStar::new(seed ^ (profile as u64) << 32);
+            let mut a_items = Vec::new();
+            let mut b_items = Vec::new();
+            for item in 0..universe {
+                let in_a = rng.bernoulli(p_a);
+                let in_b = rng.bernoulli(p_b);
+                if in_a {
+                    a_items.push(item);
+                }
+                if in_b || !in_a {
+                    b_items.push(item);
+                }
+                // Sprinkle duplicates: merging must be idempotent under
+                // them exactly as streaming is.
+                if rng.bernoulli(0.2) {
+                    if in_a {
+                        a_items.push(item);
+                    } else {
+                        b_items.push(item);
+                    }
+                }
+            }
+            rng.shuffle(&mut a_items);
+            rng.shuffle(&mut b_items);
+
+            let mut sketch_a = build(seed);
+            let mut sketch_b = build(seed);
+            let mut sketch_union = build(seed);
+            for &i in &a_items {
+                sketch_a.insert_u64(i);
+                sketch_union.insert_u64(i);
+            }
+            for &i in &b_items {
+                sketch_b.insert_u64(i);
+                sketch_union.insert_u64(i);
+            }
+            sketch_a.merge_from(&sketch_b).expect("compatible configs");
+            assert_eq!(
+                sketch_a.checkpoint(),
+                sketch_union.checkpoint(),
+                "{family}: merge(sketch(A), sketch(B)) diverged from \
+                 sketch(A ∪ B) at seed {seed}, profile {profile}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_counting_merge_equals_union() {
+    check_family("linear-counting", |seed| {
+        LinearCounting::new(8_000, seed).unwrap()
+    });
+}
+
+#[test]
+fn virtual_bitmap_merge_equals_union() {
+    check_family("virtual-bitmap", |seed| {
+        VirtualBitmap::for_cardinality(2_048, 8_000, seed).unwrap()
+    });
+}
+
+#[test]
+fn mr_bitmap_merge_equals_union() {
+    check_family("mr-bitmap", |seed| {
+        MrBitmap::with_memory(6_000, 100_000, seed).unwrap()
+    });
+}
+
+#[test]
+fn fm_sketch_merge_equals_union() {
+    check_family("fm-pcsa", |seed| FmSketch::new(128, seed).unwrap());
+}
+
+#[test]
+fn loglog_merge_equals_union() {
+    check_family("loglog", |seed| LogLog::new(256, 5, seed).unwrap());
+}
+
+#[test]
+fn hyperloglog_merge_equals_union() {
+    check_family("hyperloglog", |seed| {
+        HyperLogLog::new(256, 5, seed).unwrap()
+    });
+}
+
+#[test]
+fn kmv_merge_equals_union() {
+    check_family("kmv", |seed| KMinValues::new(64, seed).unwrap());
+}
+
+#[test]
+fn merge_is_commutative_and_associative_on_state() {
+    // Beyond pairwise union: fold order must not matter, because the
+    // collector merges shard checkpoints in arrival order.
+    let build = |seed| HyperLogLog::new(512, 5, seed).unwrap();
+    let mut parts: Vec<HyperLogLog> = Vec::new();
+    for p in 0..5u64 {
+        let mut s = build(3);
+        for i in (p * 2_000)..(p * 2_000 + 3_000) {
+            s.insert_u64(i);
+        }
+        parts.push(s);
+    }
+    let mut forward = build(3);
+    for p in &parts {
+        forward.merge_from(p).unwrap();
+    }
+    let mut backward = build(3);
+    for p in parts.iter().rev() {
+        backward.merge_from(p).unwrap();
+    }
+    assert_eq!(forward.checkpoint(), backward.checkpoint());
+}
