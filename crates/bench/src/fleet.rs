@@ -1,0 +1,276 @@
+//! The fleet-storage benchmark: HashMap fleet vs arena fleet vs sharded
+//! arena fleet on the §7.2 backbone workload.
+//!
+//! All lanes ingest the *same* interleaved `(link, flow)` pair sequence
+//! ([`crate::ingest::backbone_pairs`], so results are directly comparable
+//! to `BENCH_ingest.json`'s `backbone_fleet_*` lanes):
+//!
+//! * **scalar** — [`SketchFleet::insert_u64`] per pair: one HashMap probe
+//!   and one pointer chase per item;
+//! * **batched** — [`SketchFleet::insert_batch`]: the legacy grouping
+//!   path over reused scratch buckets;
+//! * **arena** — [`FleetArena::insert_batch`]: contiguous arena storage
+//!   behind the counting-sort radix router, zero steady-state allocation;
+//! * **parallel_tK** — [`ParallelFleet::insert_batch`] with K shard
+//!   threads over disjoint arenas (expect gains only when
+//!   `available_parallelism` in the report header exceeds 1).
+//!
+//! Every iteration re-ingests from an empty fleet (a fresh build over
+//! one pre-built shared [`RateSchedule`] — the schedule is configuration
+//! shared fleet-wide in the paper's deployment, so its one-time
+//! construction cost is kept out of the per-iteration timing), and
+//! [`run`] first proves the lanes agree: arena and parallel estimates
+//! must equal the HashMap fleet's exactly, or the bench refuses to
+//! report. Results serialize to `BENCH_fleet.json` through
+//! [`crate::harness::to_json`].
+
+use std::sync::Arc;
+
+use sbitmap_core::{FleetArena, ParallelFleet, RateSchedule, SketchFleet};
+
+use crate::harness::{Bench, Measurement};
+use crate::ingest::{backbone_pairs, IngestConfig};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Backbone links to simulate.
+    pub links: usize,
+    /// Cap on total `(link, flow)` pairs fed per iteration.
+    pub max_pairs: usize,
+    /// Per-case wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// Largest shard count for the parallel lanes; lanes run 1, 2, 4, …
+    pub max_shards: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            links: 150,
+            max_pairs: 2_000_000,
+            budget_ms: 300,
+            max_shards: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            seed: 0xbe9c,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A cheap configuration for CI smoke runs (~1 s wall clock total).
+    pub fn smoke() -> Self {
+        Self {
+            links: 40,
+            max_pairs: 200_000,
+            budget_ms: 60,
+            max_shards: 2,
+            ..Self::default()
+        }
+    }
+
+    fn ingest_cfg(&self) -> IngestConfig {
+        IngestConfig {
+            links: self.links,
+            max_pairs: self.max_pairs,
+            budget_ms: self.budget_ms,
+            max_threads: self.max_shards,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Sketch configuration shared with the ingest bench (§7.2 scenario).
+const N_MAX: u64 = 1_500_000;
+/// Per-link bitmap bits (≈3% RRMSE at `N_MAX`).
+const M_BITS: usize = 8_000;
+
+/// The benchmark's outcome: per-lane measurements plus the cross-lane
+/// equivalence verdict.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// One measurement per lane.
+    pub results: Vec<Measurement>,
+    /// `true` when arena and parallel estimates matched the HashMap
+    /// fleet exactly on this workload (checked before timing).
+    pub strategies_agree: bool,
+}
+
+/// Run the storage-flavor comparison.
+///
+/// # Panics
+///
+/// Panics if the fleet flavors disagree on any per-link estimate — a
+/// disagreement means the arena or router broke bit-identity, and a
+/// benchmark of wrong code is worse than no benchmark.
+pub fn run(cfg: &FleetConfig) -> FleetRun {
+    let bench = Bench::with_budget_ms(cfg.budget_ms);
+    let pairs = backbone_pairs(&cfg.ingest_cfg());
+    let n_pairs = pairs.len() as u64;
+    let schedule = Arc::new(RateSchedule::from_memory(N_MAX, M_BITS).expect("fleet config"));
+
+    // Cross-flavor equivalence gate: all storage layouts must yield the
+    // same per-link estimates before any of them is worth timing.
+    let strategies_agree = verify_equivalence(cfg, &pairs);
+    assert!(
+        strategies_agree,
+        "fleet storage flavors disagree — refusing to benchmark broken code"
+    );
+
+    let mut results = Vec::new();
+    results.push(bench.run("backbone_fleet_scalar", n_pairs, || {
+        let mut fleet: SketchFleet = SketchFleet::with_schedule(schedule.clone(), cfg.seed);
+        for &(link, flow) in &pairs {
+            fleet.insert_u64(link, flow);
+        }
+        fleet.len()
+    }));
+    results.push(bench.run("backbone_fleet_batched", n_pairs, || {
+        let mut fleet: SketchFleet = SketchFleet::with_schedule(schedule.clone(), cfg.seed);
+        fleet.insert_batch(&pairs);
+        fleet.len()
+    }));
+    results.push(bench.run("backbone_fleet_arena", n_pairs, || {
+        let mut fleet: FleetArena = FleetArena::with_schedule(schedule.clone(), cfg.seed);
+        fleet.insert_batch(&pairs);
+        fleet.len()
+    }));
+    // Steady-state lane: the arena is reused across iterations (reset
+    // keeps every allocation), so this measures the zero-allocation
+    // regime a long-running collector actually sits in.
+    {
+        let mut fleet: FleetArena = FleetArena::with_schedule(schedule.clone(), cfg.seed);
+        results.push(bench.run("backbone_fleet_arena_steady", n_pairs, || {
+            fleet.reset_all();
+            fleet.insert_batch(&pairs)
+        }));
+    }
+    let mut shards = 1usize;
+    while shards <= cfg.max_shards.max(1) {
+        let name = format!("backbone_fleet_parallel_t{shards}");
+        results.push(bench.run(&name, n_pairs, || {
+            let mut fleet: ParallelFleet =
+                ParallelFleet::with_schedule(schedule.clone(), cfg.seed, shards)
+                    .expect("at least one shard");
+            fleet.insert_batch(&pairs);
+            fleet.len()
+        }));
+        shards *= 2;
+    }
+
+    FleetRun {
+        results,
+        strategies_agree,
+    }
+}
+
+/// All storage flavors fed the same pairs must report identical per-link
+/// estimates (bit-identical sketches ⇒ equal `f64` estimates).
+fn verify_equivalence(cfg: &FleetConfig, pairs: &[(u64, u64)]) -> bool {
+    let mut hashmap_fleet: SketchFleet =
+        SketchFleet::new(N_MAX, M_BITS, cfg.seed).expect("fleet config");
+    let mut arena: FleetArena = FleetArena::new(N_MAX, M_BITS, cfg.seed).expect("fleet config");
+    let mut parallel: ParallelFleet =
+        ParallelFleet::new(N_MAX, M_BITS, cfg.seed, cfg.max_shards.max(2)).expect("fleet config");
+    hashmap_fleet.insert_batch(pairs);
+    arena.insert_batch(pairs);
+    parallel.insert_batch(pairs);
+    let reference: Vec<(u64, f64)> = hashmap_fleet.estimates().collect();
+    reference == arena.estimates().collect::<Vec<_>>()
+        && reference == parallel.estimates().collect::<Vec<_>>()
+}
+
+/// Nanoseconds-per-item speedup of lane `num` over lane `den` (how many
+/// times faster `num` is), `0.0` when either lane is missing or idle.
+fn speedup(results: &[Measurement], num: &str, den: &str) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (find(num), find(den)) {
+        (Some(n), Some(d)) if n.ns_per_item() > 0.0 => d.ns_per_item() / n.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
+/// The arena-vs-legacy-batched speedup — the headline regression metric
+/// (CI asserts it stays ≥ 1).
+pub fn arena_speedup(results: &[Measurement]) -> f64 {
+    speedup(results, "backbone_fleet_arena", "backbone_fleet_batched")
+}
+
+/// Render a [`FleetRun`] (plus workload metadata) as the
+/// `BENCH_fleet.json` document.
+pub fn report_json(cfg: &FleetConfig, run: &FleetRun) -> String {
+    let results = &run.results;
+    let best_parallel = results
+        .iter()
+        .filter(|m| m.name.starts_with("backbone_fleet_parallel_t"))
+        .max_by(|a, b| a.items_per_sec().total_cmp(&b.items_per_sec()))
+        .map(|m| m.name.clone())
+        .unwrap_or_default();
+    crate::harness::to_json(
+        "fleet",
+        &[
+            ("generator", "backbone".to_string()),
+            ("links", cfg.links.to_string()),
+            ("n_max", N_MAX.to_string()),
+            ("m_bits", M_BITS.to_string()),
+            ("seed", cfg.seed.to_string()),
+            (
+                "arena_vs_batched_speedup",
+                format!("{:.3}", arena_speedup(results)),
+            ),
+            (
+                "arena_vs_scalar_speedup",
+                format!(
+                    "{:.3}",
+                    speedup(results, "backbone_fleet_arena", "backbone_fleet_scalar")
+                ),
+            ),
+            ("best_parallel_lane", best_parallel.clone()),
+            (
+                "parallel_vs_arena_speedup",
+                format!(
+                    "{:.3}",
+                    speedup(results, &best_parallel, "backbone_fleet_arena")
+                ),
+            ),
+            ("strategies_agree", run.strategies_agree.to_string()),
+        ],
+        results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_lanes_and_json() {
+        let cfg = FleetConfig {
+            links: 6,
+            max_pairs: 10_000,
+            budget_ms: 5,
+            max_shards: 2,
+            ..FleetConfig::smoke()
+        };
+        let run = run(&cfg);
+        assert!(run.strategies_agree);
+        let names: Vec<&str> = run.results.iter().map(|m| m.name.as_str()).collect();
+        for expect in [
+            "backbone_fleet_scalar",
+            "backbone_fleet_batched",
+            "backbone_fleet_arena",
+            "backbone_fleet_arena_steady",
+            "backbone_fleet_parallel_t1",
+            "backbone_fleet_parallel_t2",
+        ] {
+            assert!(names.contains(&expect), "missing lane {expect}");
+        }
+        let json = report_json(&cfg, &run);
+        assert!(json.contains("\"bench\": \"fleet\""));
+        assert!(json.contains("arena_vs_batched_speedup"));
+        assert!(json.contains("\"strategies_agree\": \"true\""));
+        assert!(json.contains("available_parallelism"));
+        assert!(arena_speedup(&run.results) > 0.0);
+    }
+}

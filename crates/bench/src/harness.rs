@@ -118,10 +118,19 @@ impl Bench {
 
 /// Serialize measurements as a JSON document (no external JSON crate;
 /// the format is flat and the strings are controlled identifiers).
+///
+/// Every document records the host's `available_parallelism` alongside
+/// the caller's metadata: flat multi-thread lanes are meaningless
+/// without knowing how many cores the run actually had (a 1-CPU CI
+/// container *should* show a 1.0x shard speedup).
 pub fn to_json(bench_name: &str, metadata: &[(&str, String)], results: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench_name)));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    ));
     for (k, v) in metadata {
         out.push_str(&format!("  \"{}\": {},\n", escape(k), json_value(v)));
     }
@@ -204,6 +213,7 @@ mod tests {
             &[m],
         );
         assert!(j.contains("\"bench\": \"ingest\""));
+        assert!(j.contains("\"available_parallelism\": "));
         assert!(j.contains("\"links\": 600"));
         assert!(j.contains("\"gen\": \"backbone\""));
         assert!(j.contains("case-\\\"a\\\""));

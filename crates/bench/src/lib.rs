@@ -10,6 +10,9 @@
 //!   (the paper's "similar or less computational cost" claim, §3);
 //! * `collector` — the sharded node→collector checkpoint pipeline at
 //!   1..=T shards (see [`collect`]), emitting `BENCH_collect.json`;
+//! * `fleet_storage` — HashMap fleet vs arena fleet vs sharded arena
+//!   fleet on the backbone workload (see [`fleet`]), emitting
+//!   `BENCH_fleet.json`;
 //! * `estimate_cost` — cost of producing an estimate at realistic fills;
 //! * `hashing` — the four hash families on word and byte inputs;
 //! * `construction` — dimensioning solver and schedule precomputation;
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collect;
+pub mod fleet;
 pub mod harness;
 pub mod ingest;
 

@@ -171,11 +171,13 @@ impl Clone for AtomicBitmap {
     }
 }
 
-impl BitStore for AtomicBitmap {
+impl crate::OwnedBitStore for AtomicBitmap {
     fn with_len(len: usize) -> Self {
         Self::new(len)
     }
+}
 
+impl BitStore for AtomicBitmap {
     fn len(&self) -> usize {
         self.len
     }
@@ -252,7 +254,7 @@ mod tests {
 
     #[test]
     fn bitstore_impl_matches_inherent() {
-        let mut b = <AtomicBitmap as BitStore>::with_len(80);
+        let mut b = <AtomicBitmap as crate::OwnedBitStore>::with_len(80);
         assert!(BitStore::set(&mut b, 3));
         assert!(BitStore::get(&b, 3));
         assert_eq!(BitStore::count_ones(&b), 1);

@@ -181,6 +181,18 @@ impl Bitmap {
         &self.words
     }
 
+    /// Mutable access to the packed words, for word-at-a-time update
+    /// kernels (the branchless sketch probe loop).
+    ///
+    /// Caller contract: bits at positions `>= len` in the final partial
+    /// word must stay zero — [`Bitmap::count_ones`] and serialization
+    /// assume it. Kernels that derive their masks from in-range bit
+    /// indices hold this structurally.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Rebuild a bitmap from its packed words.
     ///
     /// # Errors
@@ -208,11 +220,13 @@ impl Bitmap {
     }
 }
 
-impl crate::BitStore for Bitmap {
+impl crate::OwnedBitStore for Bitmap {
     fn with_len(len: usize) -> Self {
         Self::new(len)
     }
+}
 
+impl crate::BitStore for Bitmap {
     fn len(&self) -> usize {
         self.len
     }
@@ -366,8 +380,8 @@ mod tests {
 
     #[test]
     fn bitstore_impl_matches_inherent() {
-        use crate::BitStore;
-        let mut b = <Bitmap as BitStore>::with_len(80);
+        use crate::{BitStore, OwnedBitStore};
+        let mut b = <Bitmap as OwnedBitStore>::with_len(80);
         assert!(BitStore::set(&mut b, 3));
         assert!(BitStore::get(&b, 3));
         assert_eq!(BitStore::count_ones(&b), 1);

@@ -1,18 +1,23 @@
 //! Bit-level storage substrate for the S-bitmap workspace.
 //!
-//! Three containers:
+//! Four containers:
 //!
 //! * [`Bitmap`] — a packed bit vector (`u64` words). This is the `V` of
 //!   the paper's Algorithms 1 and 2 and the storage of every bitmap-family
 //!   baseline (linear counting, virtual bitmap, multiresolution bitmap).
 //! * [`AtomicBitmap`] — the same vector over `AtomicU64` words with
 //!   lock-free `&self` setters, for concurrent ingestion into one sketch.
+//! * [`SliceBitmap`] — the same vector over a *borrowed* `&mut [u64]`
+//!   region, so a bitmap can live inside someone else's allocation (one
+//!   stride of an arena packing a whole fleet contiguously).
 //! * [`PackedRegisters`] — a fixed-width unsigned register file packed
 //!   into `u64` words, used by the Flajolet–Martin family (LogLog /
 //!   HyperLogLog store 4–6 bit registers; FM/PCSA stores bit patterns).
 //!
-//! The two bitmaps share the [`BitStore`] trait so generic code (tests,
-//! benches, differential harnesses) can exercise any backend.
+//! The bitmaps share the [`BitStore`] trait so generic code (tests,
+//! benches, differential harnesses) can exercise any backend; the two
+//! owning backends additionally implement [`OwnedBitStore`] (allocation
+//! from a bare length).
 //!
 //! ## Choosing a backend
 //!
@@ -39,17 +44,24 @@
 mod atomic;
 mod bitmap;
 mod registers;
+mod slice;
 mod store;
 
 pub use atomic::AtomicBitmap;
 pub use bitmap::Bitmap;
 pub use registers::PackedRegisters;
-pub use store::BitStore;
+pub use slice::SliceBitmap;
+pub use store::{BitStore, OwnedBitStore};
 
 /// Prefetch the word at `wi` of `words` into L1 on x86-64; no-op on other
 /// architectures or out-of-range indices.
+///
+/// Public because arena-style callers (a fleet packing many bitmaps into
+/// one buffer at a fixed stride) want to warm the *next* region's lines
+/// while ingesting the current one — a hint that spans individual
+/// [`SliceBitmap`] views.
 #[inline]
-pub(crate) fn prefetch_word<T>(words: &[T], wi: usize) {
+pub fn prefetch_word<T>(words: &[T], wi: usize) {
     #[cfg(target_arch = "x86_64")]
     if let Some(w) = words.get(wi) {
         // SAFETY: `_mm_prefetch` performs no memory access (it is a pure

@@ -1,0 +1,243 @@
+//! A bitmap view over a *borrowed* word region — the storage primitive
+//! behind arena-packed sketch fleets.
+//!
+//! [`crate::Bitmap`] owns its words behind one heap allocation, which is
+//! the right shape for a standalone sketch but the wrong one for a fleet
+//! of thousands of identically-dimensioned sketches: one `Box<[u64]>`
+//! per key scatters the hot working set across the allocator's arenas
+//! and pays a pointer chase per probe. [`SliceBitmap`] is the same bit
+//! vector over a caller-provided `&mut [u64]`, so a fleet can pack every
+//! key's bitmap into one contiguous buffer at a fixed stride and hand
+//! each ingest a zero-cost view of its region.
+
+use crate::BitStore;
+
+/// A fixed-length bit vector over a borrowed `&mut [u64]` region.
+///
+/// Semantics are identical to [`crate::Bitmap`] — bits start wherever the
+/// underlying words say they are, [`SliceBitmap::set`] reports the
+/// zero→one transition, lengths are logical bits — but the words belong
+/// to someone else (typically one stride of an arena). Constructing one
+/// is free: no allocation, no copy, just a borrow with a length check.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SliceBitmap<'a> {
+    words: &'a mut [u64],
+    len: usize,
+}
+
+impl<'a> SliceBitmap<'a> {
+    /// View `words` as a bitmap of `len` logical bits.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a word count that does not match `len` bits
+    /// (`words.len() != len.div_ceil(64)`).
+    pub fn new(words: &'a mut [u64], len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "word count {} does not match {} bits",
+                words.len(),
+                len
+            ));
+        }
+        Ok(Self { words, len })
+    }
+
+    /// Length in bits (the paper's `m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the view has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len` (debug and release).
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    /// Read bit `idx` without the range assert (hot-path variant); same
+    /// caller contract as [`crate::Bitmap::get_unchecked`].
+    #[inline]
+    pub fn get_unchecked(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    /// Set bit `idx` to one. Returns `true` if the bit was previously
+    /// zero — the signal the S-bitmap uses to increment its fill counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len` (debug and release).
+    #[inline]
+    pub fn set(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx >> 6];
+        let mask = 1u64 << (idx & 63);
+        let was_zero = *word & mask == 0;
+        *word |= mask;
+        was_zero
+    }
+
+    /// [`SliceBitmap::set`] without the range assert (hot-path variant);
+    /// same caller contract as [`crate::Bitmap::get_unchecked`].
+    #[inline]
+    pub fn set_unchecked(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx >> 6];
+        let mask = 1u64 << (idx & 63);
+        let was_zero = *word & mask == 0;
+        *word |= mask;
+        was_zero
+    }
+
+    /// Prefetch the cache line holding bit `idx` into L1 (x86-64; no-op
+    /// elsewhere). Out-of-range indices are ignored.
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        crate::prefetch_word(self.words, idx >> 6);
+    }
+
+    /// Number of one bits, by word-level popcount.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Reset every bit to zero.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The packed words backing the view (little-endian bit order within
+    /// each word).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        self.words
+    }
+
+    /// Mutable access to the backing words; same caller contract as
+    /// [`crate::Bitmap::words_mut`] (no set bits at positions `>= len`).
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        self.words
+    }
+}
+
+impl BitStore for SliceBitmap<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, idx: usize) -> bool {
+        SliceBitmap::get(self, idx)
+    }
+
+    fn set(&mut self, idx: usize) -> bool {
+        SliceBitmap::set(self, idx)
+    }
+
+    fn count_ones(&self) -> usize {
+        SliceBitmap::count_ones(self)
+    }
+
+    fn reset(&mut self) {
+        SliceBitmap::reset(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bitmap;
+
+    #[test]
+    fn rejects_mismatched_word_count() {
+        let mut words = vec![0u64; 2];
+        assert!(SliceBitmap::new(&mut words, 129).is_err());
+        assert!(SliceBitmap::new(&mut words, 128).is_ok());
+        assert!(SliceBitmap::new(&mut words, 65).is_ok());
+    }
+
+    #[test]
+    fn set_get_and_popcount_match_owned_bitmap() {
+        let mut owned = Bitmap::new(300);
+        let mut words = vec![0u64; 300usize.div_ceil(64)];
+        let mut view = SliceBitmap::new(&mut words, 300).unwrap();
+        for idx in [0usize, 5, 63, 64, 100, 255, 299] {
+            assert_eq!(owned.set(idx), view.set(idx), "first set at {idx}");
+            assert_eq!(owned.set(idx), view.set(idx), "re-set at {idx}");
+            assert_eq!(owned.get(idx), view.get(idx));
+            assert_eq!(view.get_unchecked(idx), view.get(idx));
+        }
+        assert_eq!(owned.count_ones(), view.count_ones());
+        assert_eq!(owned.words(), view.words());
+    }
+
+    #[test]
+    fn unchecked_set_agrees_with_checked() {
+        let mut a = vec![0u64; 4];
+        let mut b = vec![0u64; 4];
+        let mut checked = SliceBitmap::new(&mut a, 200).unwrap();
+        let mut unchecked = SliceBitmap::new(&mut b, 200).unwrap();
+        for idx in [0usize, 63, 64, 127, 199] {
+            assert_eq!(checked.set(idx), unchecked.set_unchecked(idx));
+        }
+        assert_eq!(checked, unchecked);
+        checked.prefetch(0); // smoke: pure hint
+        checked.prefetch(100_000); // out-of-range ignored
+    }
+
+    #[test]
+    fn mutations_land_in_the_borrowed_words() {
+        let mut words = vec![0u64; 2];
+        {
+            let mut view = SliceBitmap::new(&mut words, 128).unwrap();
+            view.set(64);
+            view.set(65);
+        }
+        assert_eq!(words, vec![0, 0b11]);
+        {
+            let mut view = SliceBitmap::new(&mut words, 128).unwrap();
+            view.reset();
+        }
+        assert_eq!(words, vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_length_view_is_fine() {
+        let mut words: Vec<u64> = Vec::new();
+        let view = SliceBitmap::new(&mut words, 0).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn checked_get_panics_out_of_range() {
+        let mut words = vec![0u64; 1];
+        SliceBitmap::new(&mut words, 10).unwrap().get(10);
+    }
+
+    #[test]
+    fn bitstore_impl_matches_inherent() {
+        let mut words = vec![0u64; 2];
+        let mut view = SliceBitmap::new(&mut words, 80).unwrap();
+        assert!(BitStore::set(&mut view, 3));
+        assert!(BitStore::get(&view, 3));
+        assert_eq!(BitStore::count_ones(&view), 1);
+        assert_eq!(view.memory_bits(), 80);
+        BitStore::reset(&mut view);
+        assert_eq!(view.count_ones(), 0);
+    }
+}

@@ -2,7 +2,7 @@
 
 /// Common interface over bit-vector backends.
 ///
-/// Two backends ship in this crate:
+/// Three backends ship in this crate:
 ///
 /// * [`crate::Bitmap`] — plain `u64` words behind `&mut self` access. The
 ///   fastest option for single-threaded ingestion and the only one that
@@ -16,6 +16,11 @@
 ///   price is an atomic RMW per *newly set* bit and an atomic load per
 ///   probe — on contended cache lines that is the hardware-level cost of
 ///   sharing, not an artifact of this crate.
+/// * [`crate::SliceBitmap`] — the same vector over a *borrowed*
+///   `&mut [u64]` region. Pick it when the words live in somebody else's
+///   allocation — one stride of an arena packing thousands of
+///   identically-sized bitmaps contiguously. It cannot allocate, so it
+///   implements only [`BitStore`], not [`OwnedBitStore`].
 ///
 /// The trait exposes the mutable single-owner view (`set` takes
 /// `&mut self`); the atomic backend additionally offers lock-free
@@ -24,11 +29,6 @@
 /// benches) goes through this trait so every backend sees the same
 /// workload.
 pub trait BitStore {
-    /// Create an all-zero store of `len` bits.
-    fn with_len(len: usize) -> Self
-    where
-        Self: Sized;
-
     /// Length in bits (the paper's `m`).
     fn len(&self) -> usize;
 
@@ -54,4 +54,12 @@ pub trait BitStore {
     fn memory_bits(&self) -> usize {
         self.len()
     }
+}
+
+/// Backends that own their words and can therefore be allocated from a
+/// bare length. Borrowed views ([`crate::SliceBitmap`]) implement
+/// [`BitStore`] but not this.
+pub trait OwnedBitStore: BitStore + Sized {
+    /// Create an all-zero store of `len` bits.
+    fn with_len(len: usize) -> Self;
 }

@@ -31,8 +31,12 @@ pub struct Options {
     /// Output path (`bench-ingest`/`bench-collect` JSON report,
     /// `checkpoint`/`merge` checkpoint file).
     pub out: String,
-    /// Node shards for `collect` / max shards for `bench-collect`.
+    /// Node shards for `collect` / max shards for `bench-collect` and
+    /// `bench-fleet`.
     pub shards: usize,
+    /// `bench-fleet` regression gate: fail unless arena batched ingest is
+    /// at least this many times faster than the legacy batched path.
+    pub assert_min_speedup: Option<f64>,
     /// Positional arguments (checkpoint file paths for `restore`/`merge`).
     pub paths: Vec<String>,
 }
@@ -54,6 +58,7 @@ impl Options {
             threads: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
             out: String::new(),
             shards: 4,
+            assert_min_speedup: None,
             paths: Vec::new(),
         }
     }
@@ -131,6 +136,16 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--shards" => {
                 opts.shards = parse_num(value(i)?).map_err(|e| format!("--shards: {e}"))? as usize;
+                i += 2;
+            }
+            "--assert-min-speedup" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-min-speedup: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("--assert-min-speedup must be positive, got {v}"));
+                }
+                opts.assert_min_speedup = Some(v);
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -230,5 +245,14 @@ mod tests {
     #[test]
     fn rejects_missing_value() {
         assert!(parse(&args("--n-max")).is_err());
+    }
+
+    #[test]
+    fn parses_assert_min_speedup() {
+        let o = parse(&args("--assert-min-speedup 1.5")).unwrap();
+        assert_eq!(o.assert_min_speedup, Some(1.5));
+        assert_eq!(parse(&[]).unwrap().assert_min_speedup, None);
+        assert!(parse(&args("--assert-min-speedup 0")).is_err());
+        assert!(parse(&args("--assert-min-speedup nah")).is_err());
     }
 }

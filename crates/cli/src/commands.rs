@@ -61,6 +61,12 @@ commands:
              a JSON report
              flags: --links L --shards K --budget-ms MS --seed S
                     --out PATH (default BENCH_collect.json)
+  bench-fleet
+             time fleet storage flavors (HashMap vs arena vs sharded
+             arena) on the backbone generator and write a JSON report
+             flags: --links L --pairs P --shards K --budget-ms MS
+                    --seed S --out PATH (default BENCH_fleet.json)
+                    --assert-min-speedup X (fail unless arena ≥ X·legacy)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -95,6 +101,7 @@ pub fn dispatch(
         "collect" => collect_cmd(&opts, out),
         "bench-ingest" => bench_ingest(&opts, out),
         "bench-collect" => bench_collect(&opts, out),
+        "bench-fleet" => bench_fleet(&opts, out),
         other => Err(format!("unknown command `{other}`")),
     }
     .map_err(|e| e.to_string())
@@ -605,6 +612,46 @@ fn bench_collect(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     Ok(())
 }
 
+fn bench_fleet(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = sbitmap_bench::fleet::FleetConfig {
+        links: opts.links.max(1),
+        max_pairs: opts.pairs.max(1),
+        budget_ms: opts.budget_ms.max(1),
+        max_shards: opts.shards.max(1),
+        seed: opts.seed,
+    };
+    writeln!(
+        out,
+        "fleet bench: {} links, ≤{} pairs, {} ms/case, 1..={} shards",
+        cfg.links, cfg.max_pairs, cfg.budget_ms, cfg.max_shards
+    )
+    .map_err(io_err)?;
+    let run = sbitmap_bench::fleet::run(&cfg);
+    for m in &run.results {
+        writeln!(out, "{}", m.row()).map_err(io_err)?;
+    }
+    let speedup = sbitmap_bench::fleet::arena_speedup(&run.results);
+    writeln!(out, "arena vs legacy batched: {speedup:.2}x").map_err(io_err)?;
+    let json = sbitmap_bench::fleet::report_json(&cfg, &run);
+    let path = if opts.out.is_empty() {
+        "BENCH_fleet.json"
+    } else {
+        &opts.out
+    };
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    writeln!(out, "wrote {path}").map_err(io_err)?;
+    if let Some(min) = opts.assert_min_speedup {
+        if speedup < min {
+            return Err(format!(
+                "regression: arena batched ingest is {speedup:.3}x the legacy \
+                 batched path, below the required {min}x"
+            ));
+        }
+        writeln!(out, "speedup gate passed: {speedup:.2}x >= {min}x").map_err(io_err)?;
+    }
+    Ok(())
+}
+
 fn bench_ingest(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let cfg = sbitmap_bench::ingest::IngestConfig {
         links: opts.links.max(1),
@@ -758,6 +805,36 @@ mod tests {
         assert!(out.contains("batched vs scalar"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"bench\": \"ingest\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_fleet_writes_report_and_gates_regressions() {
+        let path = std::env::temp_dir().join(format!(
+            "sbitmap_test_bench_fleet_{}.json",
+            std::process::id()
+        ));
+        let argv = format!(
+            "bench-fleet --links 4 --pairs 2k --budget-ms 2 --shards 2 \
+             --assert-min-speedup 0.01 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("backbone_fleet_arena"), "{out}");
+        assert!(out.contains("backbone_fleet_parallel_t2"), "{out}");
+        assert!(out.contains("arena vs legacy batched"), "{out}");
+        assert!(out.contains("speedup gate passed"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"fleet\""));
+        assert!(json.contains("available_parallelism"));
+        // An impossible gate must fail loudly.
+        let argv = format!(
+            "bench-fleet --links 4 --pairs 2k --budget-ms 2 --shards 1 \
+             --assert-min-speedup 1e9 --out {}",
+            path.display()
+        );
+        let err = run(&argv, "").unwrap_err();
+        assert!(err.contains("regression"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -20,7 +20,13 @@ use crate::SBitmapError;
 
 /// Per-key sketch seed derivation: a pure function of `(fleet seed, key)`
 /// so a restored fleet rebuilds identical hashers.
-fn sketch_seed(fleet_seed: u64, key: u64) -> u64 {
+///
+/// Public because every fleet flavor ([`SketchFleet`],
+/// [`crate::FleetArena`], [`crate::ParallelFleet`]) and the stream
+/// collector derive per-key seeds through this one function — which is
+/// what makes their per-key sketches interchangeable and their
+/// checkpoints mutually restorable.
+pub fn sketch_seed(fleet_seed: u64, key: u64) -> u64 {
     sbitmap_hash::mix64(fleet_seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
@@ -29,11 +35,25 @@ fn sketch_seed(fleet_seed: u64, key: u64) -> u64 {
 /// Sketches are created lazily on first insert for a key. Each key's
 /// sketch hashes with a seed derived from `(fleet seed, key)`, so
 /// distinct keys' estimates are independent.
+///
+/// This is the pointer-rich flavor: one heap allocation per key behind a
+/// `HashMap`. It is the most flexible (cheap key removal, sketches can
+/// be borrowed individually) but the slowest to ingest at fleet scale;
+/// [`crate::FleetArena`] packs the same state contiguously and is the
+/// hot-path choice.
 #[derive(Debug, Clone)]
 pub struct SketchFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
     schedule: Arc<RateSchedule>,
     seed: u64,
     sketches: HashMap<u64, SBitmap<H>>,
+    /// Reused dense-path bucket table (`insert_batch_dense`): buckets are
+    /// drained after every call but keep their capacity, so the steady
+    /// state allocates nothing.
+    scratch_buckets: Vec<Vec<u64>>,
+    /// Reused sparse-path sort buffer (`insert_batch_sorted`).
+    scratch_pairs: Vec<(u64, u64)>,
+    /// Reused per-run item buffer (`insert_batch_sorted`).
+    scratch_items: Vec<u64>,
 }
 
 impl<H: Hasher64 + FromSeed> SketchFleet<H> {
@@ -56,6 +76,9 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
             schedule,
             seed,
             sketches: HashMap::new(),
+            scratch_buckets: Vec::new(),
+            scratch_pairs: Vec::new(),
+            scratch_items: Vec::new(),
         }
     }
 
@@ -105,28 +128,39 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
         }
     }
 
-    /// Dense-key grouping: one order-preserving pass into per-key
-    /// buckets, then one batched ingest per touched key.
+    /// Dense-key grouping: one order-preserving pass into the reused
+    /// per-key bucket table, then one batched ingest per touched key.
+    /// Buckets are drained (not dropped) afterwards, so after warm-up no
+    /// call allocates.
     fn insert_batch_dense(&mut self, pairs: &[(u64, u64)], max_key: usize) -> u64 {
-        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); max_key + 1];
+        let mut buckets = std::mem::take(&mut self.scratch_buckets);
+        if buckets.len() <= max_key {
+            buckets.resize_with(max_key + 1, Vec::new);
+        }
         for &(key, item) in pairs {
             buckets[key as usize].push(item);
         }
         let mut newly = 0u64;
-        for (key, items) in buckets.iter().enumerate() {
+        // Sweep only this batch's key range: the persistent table may be
+        // wider than `max_key` after an earlier large-key batch.
+        for (key, items) in buckets[..=max_key].iter_mut().enumerate() {
             if !items.is_empty() {
                 newly += self.sketch_mut(key as u64).insert_u64s(items);
+                items.clear();
             }
         }
+        self.scratch_buckets = buckets;
         newly
     }
 
-    /// Sparse-key grouping: stable sort (preserves arrival order within
-    /// a key), then run detection.
+    /// Sparse-key grouping: stable sort into the reused pair buffer
+    /// (preserves arrival order within a key), then run detection.
     fn insert_batch_sorted(&mut self, pairs: &[(u64, u64)]) -> u64 {
-        let mut sorted: Vec<(u64, u64)> = pairs.to_vec();
+        let mut sorted = std::mem::take(&mut self.scratch_pairs);
+        let mut items = std::mem::take(&mut self.scratch_items);
+        sorted.clear();
+        sorted.extend_from_slice(pairs);
         sorted.sort_by_key(|&(key, _)| key);
-        let mut items: Vec<u64> = Vec::with_capacity(sorted.len().min(1024));
         let mut newly = 0u64;
         let mut i = 0;
         while i < sorted.len() {
@@ -137,6 +171,8 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
             newly += self.sketch_mut(key).insert_u64s(&items);
             i = run;
         }
+        self.scratch_pairs = sorted;
+        self.scratch_items = items;
         newly
     }
 
@@ -153,9 +189,22 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
         self.sketches.get(&key)
     }
 
-    /// All `(key, sketch)` pairs, unordered.
-    pub fn sketches(&self) -> impl Iterator<Item = (u64, &SBitmap<H>)> {
-        self.sketches.iter().map(|(&k, s)| (k, s))
+    /// Keys with a sketch, in ascending order.
+    ///
+    /// Sorting (rather than exposing HashMap order) keeps every consumer
+    /// — CLI tables, examples, checkpoints — deterministic across runs
+    /// and across fleet flavors.
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.sketches.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// All `(key, sketch)` pairs, in ascending key order.
+    pub fn sketches(&self) -> impl Iterator<Item = (u64, &SBitmap<H>)> + '_ {
+        self.keys_sorted()
+            .into_iter()
+            .map(move |k| (k, &self.sketches[&k]))
     }
 
     /// Estimate for one key; `None` if the key has never been inserted.
@@ -163,9 +212,9 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
         self.sketches.get(&key).map(|s| s.estimate())
     }
 
-    /// All `(key, estimate)` pairs, unordered.
+    /// All `(key, estimate)` pairs, in ascending key order.
     pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.sketches.iter().map(|(&k, s)| (k, s.estimate()))
+        self.sketches().map(|(k, s)| (k, s.estimate()))
     }
 
     /// Number of tracked keys.
@@ -179,7 +228,7 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
     }
 
     /// Keys whose sketches have saturated (estimates pinned near `N`) —
-    /// the operational signal to re-dimension.
+    /// the operational signal to re-dimension. Ascending key order.
     pub fn saturated_keys(&self) -> Vec<u64> {
         let mut keys: Vec<u64> = self
             .sketches
@@ -234,9 +283,7 @@ impl<H: Hasher64 + FromSeed> Checkpoint for SketchFleet<H> {
         out.u32(self.schedule.split().sampling_bits());
         out.u64(self.seed);
         out.u64(self.sketches.len() as u64);
-        let mut keys: Vec<u64> = self.sketches.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
+        for key in self.keys_sorted() {
             let sketch = &self.sketches[&key];
             out.u64(key);
             out.u64(sketch.fill() as u64);
@@ -451,6 +498,44 @@ mod tests {
         let reframed = crate::codec::frame(CounterKind::SketchFleet, &payload);
         let err = <SketchFleet as Checkpoint>::restore(&reframed).unwrap_err();
         assert!(err.to_string().contains("fill"), "{err}");
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_key() {
+        let mut f = fleet();
+        for key in [9u64, 2, 77, 41, 5] {
+            f.insert_u64(key, 1);
+        }
+        let keys: Vec<u64> = f.estimates().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 5, 9, 41, 77]);
+        let sketch_keys: Vec<u64> = f.sketches().map(|(k, _)| k).collect();
+        assert_eq!(sketch_keys, keys);
+        assert_eq!(f.keys_sorted(), keys);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_scratch_and_stay_consistent() {
+        // Two calls through each grouping path must leave no stale items
+        // behind in the reused scratch buffers.
+        let mut batched = fleet();
+        let mut scalar = fleet();
+        let dense_a: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i % 5, i)).collect();
+        let dense_b: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i % 3, i + 9_000)).collect();
+        let sparse: Vec<(u64, u64)> = (0..2_000u64).map(|i| (u64::MAX - (i % 2), i)).collect();
+        for pairs in [&dense_a, &dense_b, &sparse] {
+            batched.insert_batch(pairs);
+            for &(k, item) in pairs.iter() {
+                scalar.insert_u64(k, item);
+            }
+        }
+        assert_eq!(batched.len(), scalar.len());
+        for (key, sketch) in scalar.sketches() {
+            assert_eq!(
+                batched.sketch(key).map(|s| s.fill()),
+                Some(sketch.fill()),
+                "key {key}"
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! | [`simulate`] | Lemma 1 | exact O(m) Monte-Carlo of the fill process |
 //! | [`counter`] | — | the layered trait family: [`DistinctCounter`], [`BatchedCounter`], [`MergeableCounter`] |
 //! | [`fleet`] | §7.2 | many keyed sketches over one shared schedule |
+//! | [`arena`] | §7.2 | the same fleet packed into one contiguous arena, with an allocation-free radix batch router |
+//! | [`parallel`] | §7.2 | arena fleet sharded across `std::thread` workers |
 //! | [`concurrent`] | §7.2 | lock-free sketch over the atomic bitmap backend |
 //! | [`rotating`] | §7.1 | per-interval counting with bounded history |
 //! | [`sync`] | — | cloneable locked handle for multi-threaded feeds |
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod codec;
 pub mod concurrent;
 pub mod counter;
@@ -56,6 +59,7 @@ pub mod dimensioning;
 mod error;
 pub mod estimator;
 pub mod fleet;
+pub mod parallel;
 pub mod rotating;
 pub mod schedule;
 pub mod simulate;
@@ -63,12 +67,14 @@ pub mod sketch;
 pub mod sync;
 pub mod theory;
 
+pub use arena::FleetArena;
 pub use codec::{Checkpoint, CounterKind};
 pub use concurrent::ConcurrentSBitmap;
 pub use counter::{BatchedCounter, DistinctCounter, MergeableCounter};
 pub use dimensioning::Dimensioning;
 pub use error::SBitmapError;
 pub use fleet::SketchFleet;
+pub use parallel::ParallelFleet;
 pub use rotating::RotatingCounter;
 pub use schedule::RateSchedule;
 pub use sketch::SBitmap;

@@ -1,0 +1,418 @@
+//! A sharded arena fleet: keys distributed across `std::thread` workers,
+//! each owning a disjoint arena region — no atomics on the per-key path.
+//!
+//! The paper's §7.2 deployment updates hundreds of per-link sketches
+//! from one interleaved stream. Keys are independent (each has its own
+//! bitmap, fill and derived hash seed), so the fleet partitions them by
+//! a fixed hash of the key into `shards` disjoint [`FleetArena`]s; a
+//! batch is routed shard-by-shard and every shard ingests its partition
+//! on its own thread through plain (non-atomic) loads and stores. This
+//! is the opposite trade from [`crate::ConcurrentSBitmap`], which lets
+//! many threads feed *one* sketch through atomic RMWs: here threads
+//! never share a cache line of sketch state, so per-link ingest runs at
+//! the single-writer speed of the arena and total throughput scales with
+//! cores.
+//!
+//! Because the key→shard map is a pure function of the key alone, and a
+//! key's sketch state depends only on its own stream and
+//! [`crate::fleet::sketch_seed`], every per-key estimate is invariant in
+//! the shard count — `ParallelFleet::new(.., 1)` and `::new(.., 8)` fed
+//! the same pairs hold bit-identical per-key sketches, and both
+//! checkpoint to exactly the bytes a [`crate::SketchFleet`] would
+//! produce. The property tests in `tests/fleet_arena.rs` lock this in.
+
+use std::sync::Arc;
+
+use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
+
+use crate::arena::FleetArena;
+use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use crate::schedule::RateSchedule;
+use crate::sketch::SBitmap;
+use crate::SBitmapError;
+
+/// An arena fleet sharded across worker threads.
+///
+/// ```
+/// use sbitmap_core::ParallelFleet;
+///
+/// let mut fleet: ParallelFleet = ParallelFleet::new(100_000, 4_000, 7, 4).unwrap();
+/// let pairs: Vec<(u64, u64)> = (0..8_000u64).map(|i| (i % 8, i / 8)).collect();
+/// fleet.insert_batch(&pairs);
+/// assert_eq!(fleet.len(), 8);
+/// for (_key, estimate) in fleet.estimates() {
+///     assert!((estimate / 1_000.0 - 1.0).abs() < 0.3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
+    shards: Vec<FleetArena<H>>,
+    /// Reused per-shard pair partitions for `insert_batch`.
+    scratch: Vec<Vec<(u64, u64)>>,
+}
+
+impl<H: Hasher64 + FromSeed> ParallelFleet<H> {
+    /// Create an empty sharded fleet for cardinalities in `[1, n_max]`
+    /// with `m` bits per key, split across `shards` workers.
+    ///
+    /// # Errors
+    ///
+    /// Zero shards, or an invalid `(n_max, m)` (see
+    /// [`crate::Dimensioning::from_memory`]).
+    pub fn new(n_max: u64, m: usize, seed: u64, shards: usize) -> Result<Self, SBitmapError> {
+        Self::with_schedule(Arc::new(RateSchedule::from_memory(n_max, m)?), seed, shards)
+    }
+
+    /// Create a sharded fleet over an existing shared schedule.
+    ///
+    /// # Errors
+    ///
+    /// Zero shards.
+    pub fn with_schedule(
+        schedule: Arc<RateSchedule>,
+        seed: u64,
+        shards: usize,
+    ) -> Result<Self, SBitmapError> {
+        if shards == 0 {
+            return Err(SBitmapError::invalid("shards", "must be at least 1"));
+        }
+        Ok(Self {
+            shards: (0..shards)
+                .map(|_| FleetArena::with_schedule(schedule.clone(), seed))
+                .collect(),
+            scratch: vec![Vec::new(); shards],
+        })
+    }
+
+    /// The shard owning `key` — a pure function of the key, so per-key
+    /// state never depends on the shard count.
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        (sbitmap_hash::mix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Insert `item` into the sketch for `key` (created if absent).
+    /// Returns `true` if the update set a new bit.
+    pub fn insert_u64(&mut self, key: u64, item: u64) -> bool {
+        let shard = self.shard_of(key);
+        self.shards[shard].insert_u64(key, item)
+    }
+
+    /// Batched per-key ingest; see [`FleetArena::insert_u64s`].
+    pub fn insert_u64s(&mut self, key: u64, items: &[u64]) -> u64 {
+        let shard = self.shard_of(key);
+        self.shards[shard].insert_u64s(key, items)
+    }
+
+    /// Ingest a batch of `(key, item)` pairs, returning how many bits
+    /// were newly set across the fleet.
+    ///
+    /// Pairs are partitioned by shard into reused scratch buffers
+    /// (arrival order preserved within a shard, hence within a key),
+    /// then every non-empty shard ingests its partition through the
+    /// arena's radix router on its own scoped thread. With one shard the
+    /// call degenerates to [`FleetArena::insert_batch`] inline.
+    pub fn insert_batch(&mut self, pairs: &[(u64, u64)]) -> u64 {
+        if pairs.is_empty() {
+            return 0;
+        }
+        if self.shards.len() == 1 {
+            return self.shards[0].insert_batch(pairs);
+        }
+        let n = self.shards.len() as u64;
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        for &(key, item) in pairs {
+            let shard = (sbitmap_hash::mix64(key) % n) as usize;
+            self.scratch[shard].push((key, item));
+        }
+        let mut newly = 0u64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&self.scratch)
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(arena, part)| scope.spawn(move || arena.insert_batch(part)))
+                .collect();
+            for handle in handles {
+                newly += handle.join().expect("fleet shard worker panicked");
+            }
+        });
+        newly
+    }
+
+    /// Estimate for one key; `None` if the key has never been inserted.
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        self.shards[self.shard_of(key)].estimate(key)
+    }
+
+    /// Fill counter for one key; `None` if the key has never been
+    /// inserted.
+    pub fn fill(&self, key: u64) -> Option<usize> {
+        self.shards[self.shard_of(key)].fill(key)
+    }
+
+    /// Materialize one key's sketch as a standalone [`SBitmap`]; see
+    /// [`FleetArena::export_sketch`].
+    pub fn export_sketch(&self, key: u64) -> Option<SBitmap<H>> {
+        self.shards[self.shard_of(key)].export_sketch(key)
+    }
+
+    /// Keys with a sketch, in ascending order across all shards.
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(FleetArena::keys_sorted)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// All `(key, estimate)` pairs, in ascending key order across all
+    /// shards.
+    pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.keys_sorted()
+            .into_iter()
+            .map(move |key| (key, self.estimate(key).expect("key listed")))
+    }
+
+    /// Number of tracked keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(FleetArena::len).sum()
+    }
+
+    /// `true` when no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(FleetArena::is_empty)
+    }
+
+    /// Keys whose sketches have saturated, ascending across all shards.
+    pub fn saturated_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(FleetArena::saturated_keys)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total sketch payload across the fleet, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.shards.iter().map(FleetArena::memory_bits).sum()
+    }
+
+    /// Reset every sketch, keeping keys and allocations.
+    pub fn reset_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_all();
+        }
+    }
+
+    /// Drop all keys, keeping allocations.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &Arc<RateSchedule> {
+        self.shards[0].schedule()
+    }
+
+    /// The fleet seed per-key hashers are derived from.
+    pub fn seed(&self) -> u64 {
+        self.shards[0].seed()
+    }
+
+    /// Number of shards (worker threads used by
+    /// [`ParallelFleet::insert_batch`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Redistribute every key across a new shard count. Per-key state is
+    /// moved verbatim (words and fill), so estimates are unchanged —
+    /// sharding is an execution detail, not a statistical one.
+    ///
+    /// # Errors
+    ///
+    /// Zero shards.
+    pub fn reshard(&mut self, shards: usize) -> Result<(), SBitmapError> {
+        if shards == 0 {
+            return Err(SBitmapError::invalid("shards", "must be at least 1"));
+        }
+        if shards == self.shards.len() {
+            return Ok(());
+        }
+        let mut next = Self::with_schedule(self.schedule().clone(), self.seed(), shards)?;
+        for shard in &self.shards {
+            for key in shard.keys_sorted() {
+                let (fill, words) = shard.slot_record(key).expect("key listed");
+                let target_shard = next.shard_of(key);
+                next.shards[target_shard]
+                    .restore_slot(key, fill, words.to_vec())
+                    .expect("moving a valid sketch cannot fail");
+            }
+        }
+        *self = next;
+        Ok(())
+    }
+}
+
+/// Sharded fleets serialize exactly like [`crate::SketchFleet`] and
+/// [`FleetArena`] — the shard layout is an execution detail and is not
+/// recorded. Restoring yields a single-shard fleet; call
+/// [`ParallelFleet::reshard`] to fan back out.
+impl<H: Hasher64 + FromSeed> Checkpoint for ParallelFleet<H> {
+    const KIND: CounterKind = CounterKind::SketchFleet;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        // Merge all shards into the canonical sorted-by-key record list,
+        // reading each record straight out of its shard's arena.
+        let dims = self.schedule().dims();
+        out.u64(dims.n_max());
+        out.u64(dims.m() as u64);
+        out.u32(self.schedule().split().sampling_bits());
+        out.u64(self.seed());
+        out.u64(self.len() as u64);
+        for key in self.keys_sorted() {
+            let (fill, words) = self.shards[self.shard_of(key)]
+                .slot_record(key)
+                .expect("key listed");
+            out.u64(key);
+            out.u64(fill as u64);
+            out.words(words);
+        }
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let arena = FleetArena::<H>::read_payload(r)?;
+        let mut fleet = Self::with_schedule(arena.schedule().clone(), arena.seed(), 1)?;
+        fleet.shards[0] = arena;
+        Ok(fleet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<(u64, u64)> {
+        (0..24_000u64).map(|i| (i % 13, i / 13 % 1_700)).collect()
+    }
+
+    #[test]
+    fn shard_count_is_invisible_in_estimates() {
+        let mut single: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 1).unwrap();
+        let mut quad: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 4).unwrap();
+        let mut many: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 32).unwrap();
+        let p = pairs();
+        let a = single.insert_batch(&p);
+        let b = quad.insert_batch(&p);
+        let c = many.insert_batch(&p);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let se: Vec<_> = single.estimates().collect();
+        let qe: Vec<_> = quad.estimates().collect();
+        let me: Vec<_> = many.estimates().collect();
+        assert_eq!(se, qe);
+        assert_eq!(se, me);
+        assert_eq!(single.checkpoint(), quad.checkpoint());
+        assert_eq!(single.checkpoint(), many.checkpoint());
+    }
+
+    #[test]
+    fn matches_the_arena_fleet_bit_for_bit() {
+        let mut sharded: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 3).unwrap();
+        let mut arena: FleetArena = FleetArena::new(100_000, 4_000, 9).unwrap();
+        let p = pairs();
+        sharded.insert_batch(&p);
+        arena.insert_batch(&p);
+        assert_eq!(sharded.len(), arena.len());
+        for key in arena.keys_sorted() {
+            assert_eq!(sharded.fill(key), arena.fill(key), "key {key}");
+            assert_eq!(
+                sharded.export_sketch(key).unwrap().bitmap(),
+                arena.export_sketch(key).unwrap().bitmap(),
+                "key {key}"
+            );
+        }
+        assert_eq!(sharded.checkpoint(), arena.checkpoint());
+    }
+
+    #[test]
+    fn scalar_and_batched_agree() {
+        let mut scalar: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 4).unwrap();
+        let mut batched: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 4).unwrap();
+        let p = pairs();
+        for &(k, item) in &p {
+            scalar.insert_u64(k, item);
+        }
+        batched.insert_batch(&p);
+        assert_eq!(
+            scalar.estimates().collect::<Vec<_>>(),
+            batched.estimates().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn restore_and_reshard_round_trip() {
+        let mut fleet: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 4).unwrap();
+        fleet.insert_batch(&pairs());
+        let bytes = fleet.checkpoint();
+        let mut restored: ParallelFleet = Checkpoint::restore(&bytes).unwrap();
+        assert_eq!(restored.shard_count(), 1);
+        restored.reshard(6).unwrap();
+        assert_eq!(restored.shard_count(), 6);
+        assert_eq!(
+            restored.estimates().collect::<Vec<_>>(),
+            fleet.estimates().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            restored.checkpoint(),
+            bytes,
+            "reshard must not change state"
+        );
+        // Restored fleets keep counting identically to the original.
+        restored.insert_u64(3, 999_999_999);
+        fleet.insert_u64(3, 999_999_999);
+        assert_eq!(restored.estimate(3), fleet.estimate(3));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ParallelFleet::<SplitMix64Hasher>::new(100_000, 4_000, 9, 0).is_err());
+        let mut ok: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 2).unwrap();
+        assert!(ok.reshard(0).is_err());
+    }
+
+    #[test]
+    fn empty_batch_and_bookkeeping() {
+        let mut fleet: ParallelFleet = ParallelFleet::new(100_000, 4_000, 9, 4).unwrap();
+        assert_eq!(fleet.insert_batch(&[]), 0);
+        assert!(fleet.is_empty());
+        fleet.insert_u64(8, 1);
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.memory_bits(), 4_000);
+        fleet.reset_all();
+        assert_eq!(fleet.estimate(8), Some(0.0));
+        fleet.clear();
+        assert!(fleet.is_empty());
+    }
+
+    #[test]
+    fn saturation_aggregates_across_shards() {
+        let mut fleet: ParallelFleet = ParallelFleet::new(1_000, 120, 1, 4).unwrap();
+        for i in 0..10_000u64 {
+            fleet.insert_u64(42, i);
+            fleet.insert_u64(17, i);
+        }
+        fleet.insert_u64(7, 1);
+        assert_eq!(fleet.saturated_keys(), vec![17, 42]);
+    }
+}

@@ -16,6 +16,59 @@ use crate::SBitmapError;
 /// hash buffer stays L1-resident.
 pub(crate) const BATCH_CHUNK: usize = 256;
 
+/// The branchless batched probe kernel shared by [`SBitmap::insert_hashes`]
+/// and the arena fleet's per-slot ingest.
+///
+/// Semantically identical to running [`SBitmap::insert_hash`] per element
+/// — same `(words, fill)` state afterwards, bit for bit — but with the
+/// data-dependent branches compiled out: whether a probed bucket is
+/// occupied and whether the sampling word clears the threshold are both
+/// coin flips on real streams, so the branchy loop pays a pipeline flush
+/// every few items. Here the word update is masked arithmetic
+/// (`word | (mask & -take)`), the fill advances by `take as usize`, and
+/// the only branch left is the loop itself; measured on the §7.2 fleet
+/// workload this is ~1.6x the branchy loop. The bitmap word for hash
+/// `i + 8` is software-prefetched while hash `i` is probed, so bitmap
+/// cache misses overlap with useful work once the working set outgrows
+/// L1 (fleets, cold sketches).
+///
+/// Caller contract: `words` spans exactly the schedule's `m` bits (the
+/// split maps buckets into `0..m`, so derived masks never touch bits
+/// beyond `m`), and `*fill` is the popcount of `words`.
+pub(crate) fn probe_hashes(
+    schedule: &RateSchedule,
+    words: &mut [u64],
+    fill: &mut usize,
+    hashes: &[u64],
+) -> u64 {
+    /// Probe-ahead distance: far enough to cover an L2 hit, close
+    /// enough that the prefetched line is still resident when probed.
+    const LOOKAHEAD: usize = 8;
+    let split = *schedule.split();
+    let top = schedule.len() - 1;
+    let mut f = *fill;
+    let mut newly = 0u64;
+    for (i, &hash) in hashes.iter().enumerate() {
+        if let Some(&ahead) = hashes.get(i + LOOKAHEAD) {
+            sbitmap_bitvec::prefetch_word(words, split.split(ahead).0 >> 6);
+        }
+        let (bucket, u) = split.split(hash);
+        let wi = bucket >> 6;
+        let mask = 1u64 << (bucket & 63);
+        let word = words[wi];
+        let empty = word & mask == 0;
+        // `f` can only reach `m` when every bucket is occupied, in which
+        // case `empty` is false and the (clamped) threshold is dead.
+        let threshold = schedule.threshold(f.min(top) + 1);
+        let take = empty & (u < threshold);
+        words[wi] = word | (mask & (take as u64).wrapping_neg());
+        f += take as usize;
+        newly += u64::from(take);
+    }
+    *fill = f;
+    newly
+}
+
 /// The self-learning bitmap.
 ///
 /// State is exactly the paper's: an `m`-bit bitmap `V` plus the fill
@@ -134,32 +187,19 @@ impl<H: Hasher64> SBitmap<H> {
     ///
     /// Equivalent to calling [`SBitmap::insert_hash`] on each element in
     /// order — the resulting `(bitmap, fill)` state is bit-identical —
-    /// but pipelined: the bitmap word for hash `i + k` is software-
-    /// prefetched while hash `i` is probed, so bitmap cache misses
-    /// overlap with useful work once `m` outgrows the caches (fleets of
-    /// large sketches, cold working sets).
+    /// but routed through the branchless, prefetch-pipelined
+    /// `probe_hashes` kernel: no data-dependent branches, and the
+    /// bitmap word for hash `i + k` is software-prefetched while hash
+    /// `i` is probed, so bitmap cache misses overlap with useful work
+    /// once `m` outgrows the caches (fleets of large sketches, cold
+    /// working sets).
     pub fn insert_hashes(&mut self, hashes: &[u64]) -> u64 {
-        /// Probe-ahead distance: far enough to cover an L2 hit, close
-        /// enough that the prefetched line is still resident when probed.
-        const LOOKAHEAD: usize = 8;
-        let split = *self.schedule.split();
-        let mut newly = 0u64;
-        for (i, &hash) in hashes.iter().enumerate() {
-            if let Some(&ahead) = hashes.get(i + LOOKAHEAD) {
-                self.bitmap.prefetch(split.split(ahead).0);
-            }
-            let (bucket, u) = split.split(hash);
-            if self.bitmap.get_unchecked(bucket) {
-                continue;
-            }
-            debug_assert!(self.fill < self.schedule.len());
-            if u < self.schedule.threshold(self.fill + 1) {
-                self.bitmap.set_unchecked(bucket);
-                self.fill += 1;
-                newly += 1;
-            }
-        }
-        newly
+        probe_hashes(
+            &self.schedule,
+            self.bitmap.words_mut(),
+            &mut self.fill,
+            hashes,
+        )
     }
 
     /// Batched [`DistinctCounter::insert_u64`]: hash a whole slice

@@ -4,9 +4,15 @@
 //! builds per-link sketches locally and ships *checkpoints* — not flow
 //! tables — to a central collector. This module reproduces that
 //! architecture in-process: `shards` node workers on std threads each own
-//! a subset of the links of a [`BackboneSnapshot`], build one S-bitmap per
-//! link plus one shard-wide [`HyperLogLog`], and send framed v2
-//! checkpoints (`sbitmap_core::codec`) over an `mpsc` channel. The
+//! a subset of the links of a [`BackboneSnapshot`], hold their links'
+//! sketches in one arena-packed [`FleetArena`] (keyed by link index, all
+//! bitmaps in one contiguous buffer over one shared schedule — the
+//! [`sbitmap_core::ParallelFleet`] worker pattern, wired to a channel)
+//! plus one shard-wide [`HyperLogLog`], and send framed v2 checkpoints
+//! (`sbitmap_core::codec`) over an `mpsc` channel. Per-link seeds are
+//! derived with [`sbitmap_core::fleet::sketch_seed`], so the shipped
+//! per-link checkpoints are bit-identical to what standalone `SBitmap`s
+//! would produce — sharding and arena packing are execution details. The
 //! collector verifies and decodes every frame, then combines them the two
 //! ways the estimator family allows:
 //!
@@ -25,10 +31,13 @@
 //! middle.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use sbitmap_baselines::HyperLogLog;
 use sbitmap_core::codec::Checkpoint;
-use sbitmap_core::{BatchedCounter, DistinctCounter, MergeableCounter, SBitmap};
+use sbitmap_core::{
+    BatchedCounter, DistinctCounter, FleetArena, MergeableCounter, RateSchedule, SBitmap,
+};
 
 use crate::backbone::BackboneSnapshot;
 
@@ -119,9 +128,12 @@ enum NodeMessage {
 }
 
 /// Per-link sketch seed: a pure function of the run seed and the link, so
-/// the collector side of a test can rebuild a node's sketch exactly.
-fn link_seed(seed: u64, link: usize) -> u64 {
-    sbitmap_hash::mix64(seed ^ (link as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+/// anyone (tests, a remote peer) can rebuild a node's sketch exactly.
+/// Delegates to the fleet-family derivation, which is what lets a node
+/// hold its links in a [`FleetArena`] and still ship per-link checkpoints
+/// indistinguishable from standalone sketches.
+pub fn link_seed(seed: u64, link: usize) -> u64 {
+    sbitmap_core::fleet::sketch_seed(seed, link as u64)
 }
 
 /// Run the sharded pipeline end-to-end and return the collector summary.
@@ -139,8 +151,11 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
     if cfg.shards == 0 {
         return Err("shards must be at least 1".into());
     }
-    // Validate the sketch configuration once, before spawning anything.
-    SBitmap::with_memory(cfg.n_max, cfg.m_bits, 0).map_err(|e| e.to_string())?;
+    // Validate the sketch configuration once, before spawning anything;
+    // the schedule (the big per-sketch table) is built once and shared by
+    // every shard's arena.
+    let schedule =
+        Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
     HyperLogLog::new(cfg.hll_registers, 5, cfg.seed).map_err(|e| e.to_string())?;
 
     let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
@@ -151,21 +166,29 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
         for shard in 0..cfg.shards {
             let tx = tx.clone();
             let snapshot = &snapshot;
+            let schedule = schedule.clone();
             scope.spawn(move || {
+                // The shard's links live in one arena-packed fleet keyed
+                // by link index: a single allocation for every bitmap, no
+                // per-link sketch boxes. Per-link seeds derive from the
+                // run seed exactly as standalone sketches would, so the
+                // shipped checkpoints are bit-identical either way.
+                let mut fleet: FleetArena = FleetArena::with_schedule(schedule, cfg.seed);
                 // The shard's mergeable union sketch: same (registers,
                 // width, seed) on every shard, so the collector can merge.
                 let mut union = HyperLogLog::new(cfg.hll_registers, 5, cfg.seed)
                     .expect("validated before spawn");
                 let mut flows = Vec::new();
                 for link in (shard..cfg.links).step_by(cfg.shards) {
-                    let mut sketch =
-                        SBitmap::with_memory(cfg.n_max, cfg.m_bits, link_seed(cfg.seed, link))
-                            .expect("validated before spawn");
                     flows.clear();
                     flows.extend(snapshot.link_stream(link));
-                    sketch.insert_u64s(&flows);
+                    fleet.touch(link as u64);
+                    fleet.insert_u64s(link as u64, &flows);
                     union.insert_u64_batch(&flows);
-                    let bytes = sketch.checkpoint();
+                    let bytes = fleet
+                        .export_sketch(link as u64)
+                        .expect("link touched above")
+                        .checkpoint();
                     if tx.send(NodeMessage::Link { shard, link, bytes }).is_err() {
                         return; // collector gone; stop measuring
                     }
@@ -311,6 +334,23 @@ mod tests {
         }
         assert_eq!(a.union_estimate, b.union_estimate);
         assert_eq!(a.union_estimate, c.union_estimate);
+    }
+
+    #[test]
+    fn arena_node_matches_standalone_sketch_per_link() {
+        // The node side now packs its links into a FleetArena; the
+        // reported estimates must equal what a standalone sketch with
+        // the derived per-link seed produces on the same stream.
+        let cfg = small();
+        let s = run_pipeline(&cfg).unwrap();
+        let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+        for r in s.links.iter().step_by(5) {
+            let mut sketch =
+                SBitmap::with_memory(cfg.n_max, cfg.m_bits, link_seed(cfg.seed, r.link)).unwrap();
+            let flows: Vec<u64> = snapshot.link_stream(r.link).collect();
+            sketch.insert_u64s(&flows);
+            assert_eq!(sketch.estimate(), r.estimate, "link {}", r.link);
+        }
     }
 
     #[test]

@@ -48,10 +48,10 @@ pub use sbitmap_baselines::{
     AdaptiveBitmap, AdaptiveSampling, DistinctSampling, ExactCounter, FmSketch, HyperLogLog,
     KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
 };
-pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap};
+pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap, OwnedBitStore, SliceBitmap};
 pub use sbitmap_core::{
     BatchedCounter, Checkpoint, ConcurrentSBitmap, CounterKind, Dimensioning, DistinctCounter,
-    MergeableCounter, RateSchedule, RotatingCounter, SBitmap, SBitmapError, SharedCounter,
-    SketchFleet,
+    FleetArena, MergeableCounter, ParallelFleet, RateSchedule, RotatingCounter, SBitmap,
+    SBitmapError, SharedCounter, SketchFleet,
 };
 pub use sbitmap_hash::{HashKind, Hasher64};

@@ -6,7 +6,9 @@
 //! in-tree [`sbitmap::hash::rng`] generators: every case is reproducible
 //! from its loop index, and a failure message names the seed that broke.
 
-use sbitmap::bitvec::{AtomicBitmap, BitStore, Bitmap, PackedRegisters};
+use sbitmap::bitvec::{
+    AtomicBitmap, BitStore, Bitmap, OwnedBitStore, PackedRegisters, SliceBitmap,
+};
 use sbitmap::core::{theory, ConcurrentSBitmap, Dimensioning, DistinctCounter, SBitmap};
 use sbitmap::hash::rng::{Rng, SplitMix64};
 use sbitmap::hash::{Hasher64, SplitMix64Hasher};
@@ -44,19 +46,27 @@ fn bitmap_set_get_agree_with_model() {
 
 #[test]
 fn bitmap_backends_agree_through_bitstore() {
-    // The plain and atomic backends must be observationally identical
-    // under the BitStore interface for any operation sequence.
+    // The plain, atomic and slice-backed backends must be observationally
+    // identical under the BitStore interface for any operation sequence.
     for case in 0..32u64 {
         let mut g = rng(case ^ 0xb17);
         let len = 1 + g.next_below(1500) as usize;
-        let mut plain = <Bitmap as BitStore>::with_len(len);
-        let mut atomic = <AtomicBitmap as BitStore>::with_len(len);
+        let mut plain = <Bitmap as OwnedBitStore>::with_len(len);
+        let mut atomic = <AtomicBitmap as OwnedBitStore>::with_len(len);
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let mut sliced = SliceBitmap::new(&mut words, len).expect("stride matches");
         for _ in 0..128 {
             let i = g.next_below(len as u64) as usize;
+            let newly = BitStore::set(&mut plain, i);
             assert_eq!(
-                BitStore::set(&mut plain, i),
+                newly,
                 BitStore::set(&mut atomic, i),
-                "case {case}: set({i}) diverged"
+                "case {case}: set({i}) diverged (atomic)"
+            );
+            assert_eq!(
+                newly,
+                BitStore::set(&mut sliced, i),
+                "case {case}: set({i}) diverged (slice)"
             );
         }
         assert_eq!(
@@ -64,13 +74,24 @@ fn bitmap_backends_agree_through_bitstore() {
             BitStore::count_ones(&atomic),
             "case {case}"
         );
+        assert_eq!(
+            plain.count_ones(),
+            BitStore::count_ones(&sliced),
+            "case {case}"
+        );
         for i in 0..len {
             assert_eq!(
                 BitStore::get(&plain, i),
                 BitStore::get(&atomic, i),
-                "case {case}: get({i}) diverged"
+                "case {case}: get({i}) diverged (atomic)"
+            );
+            assert_eq!(
+                BitStore::get(&plain, i),
+                BitStore::get(&sliced, i),
+                "case {case}: get({i}) diverged (slice)"
             );
         }
+        assert_eq!(plain.words(), sliced.words(), "case {case}: words diverged");
     }
 }
 
