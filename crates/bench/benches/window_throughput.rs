@@ -1,0 +1,50 @@
+//! Sliding-window throughput: windowed fleet ingest at W ∈ {2, 8, 32}
+//! epochs vs the plain arena, plus window query cost, written to
+//! `BENCH_window.json` so the window subsystem's perf trajectory is
+//! tracked across PRs.
+//!
+//! Environment knobs: `SBITMAP_BENCH_MS` (per-case budget),
+//! `SBITMAP_BENCH_LINKS`, `SBITMAP_BENCH_PAIRS`,
+//! `SBITMAP_BENCH_ROTATIONS`.
+
+use sbitmap_bench::window::{self, WindowConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("window_throughput: bench");
+        return;
+    }
+
+    let mut cfg = WindowConfig::default();
+    cfg.links = env_usize("SBITMAP_BENCH_LINKS", cfg.links);
+    cfg.max_pairs = env_usize("SBITMAP_BENCH_PAIRS", cfg.max_pairs);
+    cfg.rotations = env_usize("SBITMAP_BENCH_ROTATIONS", cfg.rotations);
+    if let Ok(ms) = std::env::var("SBITMAP_BENCH_MS") {
+        if let Ok(ms) = ms.parse() {
+            cfg.budget_ms = ms;
+        }
+    }
+
+    println!(
+        "=== window: sliding-window fleet on the backbone workload ({} links, ≤{} pairs, {} rotations) ===",
+        cfg.links, cfg.max_pairs, cfg.rotations
+    );
+    let run = window::run(&cfg);
+    for m in &run.results {
+        println!("{}", m.row());
+    }
+    println!(
+        "w8 ingest vs plain arena: {:.2}x",
+        window::w8_overhead(&run.results)
+    );
+    let json = window::report_json(&cfg, &run);
+    std::fs::write("BENCH_window.json", &json).expect("write BENCH_window.json");
+    println!("wrote BENCH_window.json");
+}

@@ -13,6 +13,9 @@
 //! * `fleet_storage` — HashMap fleet vs arena fleet vs sharded arena
 //!   fleet on the backbone workload (see [`fleet`]), emitting
 //!   `BENCH_fleet.json`;
+//! * `window_throughput` — windowed fleet ingest at W ∈ {2, 8, 32}
+//!   epochs vs the plain arena, plus window query cost (see
+//!   [`window`]), emitting `BENCH_window.json`;
 //! * `estimate_cost` — cost of producing an estimate at realistic fills;
 //! * `hashing` — the four hash families on word and byte inputs;
 //! * `construction` — dimensioning solver and schedule precomputation;
@@ -26,6 +29,7 @@ pub mod collect;
 pub mod fleet;
 pub mod harness;
 pub mod ingest;
+pub mod window;
 
 use sbitmap_core::DistinctCounter;
 

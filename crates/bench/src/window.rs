@@ -1,0 +1,267 @@
+//! The sliding-window benchmark: windowed fleet ingest at several
+//! window spans vs the plain arena, plus the window query cost.
+//!
+//! All ingest lanes consume the *same* interleaved `(link, flow)` pair
+//! sequence as `BENCH_fleet.json` ([`crate::ingest::backbone_pairs`]),
+//! so `backbone_window_w8` is directly comparable to
+//! `backbone_fleet_arena`:
+//!
+//! * **arena** — [`FleetArena::insert_batch`], the no-window baseline;
+//! * **w2 / w8 / w32** — [`WindowedFleet::insert_batch`] with a
+//!   count-driven [`sbitmap_core::EpochClock`] that rotates
+//!   [`WindowConfig::rotations`] times over the workload, at window
+//!   spans of 2, 8 and 32 epochs. The epoch budget (hence the rotation
+//!   count) is the same in every lane, so the spans differ only in ring
+//!   size — which is the point: ingest always lands in *one* epoch
+//!   arena, so the cost should be flat in `W`;
+//! * **query_w8** — a full [`WindowedFleet::estimates`] sweep over a
+//!   populated 8-epoch ring; `ns/item` here is nanoseconds per queried
+//!   key (the O(⌈m/64⌉·W) union merge).
+//!
+//! Before timing anything, [`run`] proves the windowed fleet agrees
+//! with the plain arena at `W = 1` and that batched windowed ingest is
+//! bit-identical to a scalar feed across epoch boundaries — a benchmark
+//! of wrong code is worse than no benchmark (same policy as
+//! [`crate::fleet`]). Results serialize to `BENCH_window.json`; CI
+//! gates `w8_vs_arena_overhead` (the acceptance bound is ≤ 1.5×).
+
+use std::sync::Arc;
+
+use sbitmap_core::{FleetArena, RateSchedule, WindowedFleet};
+
+use crate::harness::{Bench, Measurement};
+use crate::ingest::{backbone_pairs, IngestConfig};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Backbone links to simulate.
+    pub links: usize,
+    /// Cap on total `(link, flow)` pairs fed per iteration.
+    pub max_pairs: usize,
+    /// Per-case wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// Epoch rotations each windowed lane performs over the workload
+    /// (the count-driven budget is `pairs / rotations`).
+    pub rotations: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            links: 150,
+            max_pairs: 2_000_000,
+            budget_ms: 300,
+            rotations: 16,
+            seed: 0xbe9c,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// A cheap configuration for CI smoke runs (~1 s wall clock total).
+    pub fn smoke() -> Self {
+        Self {
+            links: 40,
+            max_pairs: 200_000,
+            budget_ms: 60,
+            ..Self::default()
+        }
+    }
+
+    fn ingest_cfg(&self) -> IngestConfig {
+        IngestConfig {
+            links: self.links,
+            max_pairs: self.max_pairs,
+            budget_ms: self.budget_ms,
+            max_threads: 1,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Window spans benchmarked (the `W` of each `backbone_window_wW` lane).
+pub const WINDOW_SPANS: [usize; 3] = [2, 8, 32];
+
+/// Sketch configuration shared with the fleet bench (§7.2 scenario).
+const N_MAX: u64 = 1_500_000;
+/// Per-link bitmap bits (≈3% RRMSE at `N_MAX`).
+const M_BITS: usize = 8_000;
+
+/// The benchmark's outcome: per-lane measurements plus the headline
+/// overhead ratio.
+#[derive(Debug, Clone)]
+pub struct WindowRun {
+    /// One measurement per lane.
+    pub results: Vec<Measurement>,
+    /// `true` when the pre-timing equivalence checks passed (they must,
+    /// or [`run`] panics instead of timing broken code).
+    pub strategies_agree: bool,
+}
+
+/// Windowed-ingest cost at `W = 8` relative to the plain arena —
+/// `ns/item ÷ ns/item`, the number CI gates at ≤ 1.5. Returns `0.0`
+/// when either lane is missing.
+pub fn w8_overhead(results: &[Measurement]) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (find("backbone_window_w8"), find("backbone_window_arena")) {
+        (Some(w), Some(a)) if a.ns_per_item() > 0.0 => w.ns_per_item() / a.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
+/// The per-epoch item budget: `rotations` rotations over the workload.
+fn epoch_budget(cfg: &WindowConfig, n_pairs: usize) -> u64 {
+    (n_pairs as u64 / cfg.rotations.max(1) as u64).max(1)
+}
+
+/// Run the sliding-window comparison.
+///
+/// # Panics
+///
+/// Panics if the windowed fleet disagrees with the plain arena at
+/// `W = 1`, or if batched windowed ingest diverges from a scalar feed —
+/// either would mean the ring or the epoch clock broke bit-identity.
+pub fn run(cfg: &WindowConfig) -> WindowRun {
+    let bench = Bench::with_budget_ms(cfg.budget_ms);
+    let pairs = backbone_pairs(&cfg.ingest_cfg());
+    let n_pairs = pairs.len() as u64;
+    let budget = epoch_budget(cfg, pairs.len());
+    let schedule = Arc::new(RateSchedule::from_memory(N_MAX, M_BITS).expect("window config"));
+
+    let strategies_agree = verify_equivalence(cfg, &pairs);
+    assert!(
+        strategies_agree,
+        "windowed fleet diverged from the arena — refusing to benchmark broken code"
+    );
+
+    let mut results = Vec::new();
+    results.push(bench.run("backbone_window_arena", n_pairs, || {
+        let mut fleet: FleetArena = FleetArena::with_schedule(schedule.clone(), cfg.seed);
+        fleet.insert_batch(&pairs);
+        fleet.len()
+    }));
+    for w in WINDOW_SPANS {
+        let name = format!("backbone_window_w{w}");
+        results.push(bench.run(&name, n_pairs, || {
+            let mut fleet: WindowedFleet =
+                WindowedFleet::with_schedule(schedule.clone(), cfg.seed, w)
+                    .expect("window >= 1")
+                    .with_epoch_items(budget)
+                    .expect("budget >= 1");
+            fleet.insert_batch(&pairs);
+            fleet.len()
+        }));
+    }
+    // Query lane: a populated 8-epoch ring, full estimates sweep.
+    {
+        let mut fleet: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), cfg.seed, 8)
+            .expect("window >= 1")
+            .with_epoch_items(budget)
+            .expect("budget >= 1");
+        fleet.insert_batch(&pairs);
+        let keys = fleet.len() as u64;
+        results.push(bench.run("window_query_w8", keys, || {
+            let estimates = fleet.estimates();
+            estimates.len()
+        }));
+    }
+
+    WindowRun {
+        results,
+        strategies_agree,
+    }
+}
+
+/// Pre-timing equivalence gate: `W = 1` windowed state must match the
+/// plain arena, and batched windowed ingest must match a scalar feed
+/// across epoch boundaries (both checked on a workload prefix).
+fn verify_equivalence(cfg: &WindowConfig, pairs: &[(u64, u64)]) -> bool {
+    let prefix = &pairs[..pairs.len().min(50_000)];
+    let mut arena: FleetArena = FleetArena::new(N_MAX, M_BITS, cfg.seed).expect("window config");
+    let mut single: WindowedFleet =
+        WindowedFleet::new(N_MAX, M_BITS, cfg.seed, 1).expect("window config");
+    arena.insert_batch(prefix);
+    single.insert_batch(prefix);
+    let arena_ok = arena.estimates().collect::<Vec<_>>() == single.estimates();
+
+    let budget = epoch_budget(cfg, prefix.len());
+    let mut batched: WindowedFleet = WindowedFleet::new(N_MAX, M_BITS, cfg.seed, 4)
+        .expect("window config")
+        .with_epoch_items(budget)
+        .expect("budget >= 1");
+    let mut scalar = batched.clone();
+    batched.insert_batch(prefix);
+    for &(k, item) in prefix {
+        scalar.insert_u64(k, item);
+    }
+    arena_ok && batched.estimates() == scalar.estimates()
+}
+
+/// Render a [`WindowRun`] (plus workload metadata) as the
+/// `BENCH_window.json` document.
+pub fn report_json(cfg: &WindowConfig, run: &WindowRun) -> String {
+    let query_ns = run
+        .results
+        .iter()
+        .find(|m| m.name == "window_query_w8")
+        .map_or(0.0, Measurement::ns_per_item);
+    crate::harness::to_json(
+        "window",
+        &[
+            ("generator", "backbone".to_string()),
+            ("links", cfg.links.to_string()),
+            ("n_max", N_MAX.to_string()),
+            ("m_bits", M_BITS.to_string()),
+            ("seed", cfg.seed.to_string()),
+            ("rotations", cfg.rotations.to_string()),
+            (
+                "window_spans",
+                format!("{:?}", WINDOW_SPANS.map(|w| w as u64)),
+            ),
+            (
+                "w8_vs_arena_overhead",
+                format!("{:.3}", w8_overhead(&run.results)),
+            ),
+            ("query_ns_per_key_w8", format!("{query_ns:.1}")),
+            ("strategies_agree", run.strategies_agree.to_string()),
+        ],
+        &run.results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_lanes_and_json() {
+        let cfg = WindowConfig {
+            links: 6,
+            max_pairs: 10_000,
+            budget_ms: 5,
+            rotations: 4,
+            ..WindowConfig::smoke()
+        };
+        let run = run(&cfg);
+        assert!(run.strategies_agree);
+        let names: Vec<&str> = run.results.iter().map(|m| m.name.as_str()).collect();
+        for expect in [
+            "backbone_window_arena",
+            "backbone_window_w2",
+            "backbone_window_w8",
+            "backbone_window_w32",
+            "window_query_w8",
+        ] {
+            assert!(names.contains(&expect), "missing lane {expect}");
+        }
+        assert!(w8_overhead(&run.results) > 0.0);
+        let json = report_json(&cfg, &run);
+        assert!(json.contains("\"bench\": \"window\""));
+        assert!(json.contains("w8_vs_arena_overhead"));
+        assert!(json.contains("query_ns_per_key_w8"));
+        assert!(json.contains("\"strategies_agree\": \"true\""));
+    }
+}

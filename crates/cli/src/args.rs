@@ -37,6 +37,13 @@ pub struct Options {
     /// `bench-fleet` regression gate: fail unless arena batched ingest is
     /// at least this many times faster than the legacy batched path.
     pub assert_min_speedup: Option<f64>,
+    /// Sliding-window span in epochs for `window` / `bench-window`.
+    pub window: usize,
+    /// Epochs to simulate for `window`.
+    pub epochs: usize,
+    /// `bench-window` regression gate: fail if W=8 windowed ingest costs
+    /// more than this many times the plain arena per item.
+    pub assert_max_overhead: Option<f64>,
     /// Positional arguments (checkpoint file paths for `restore`/`merge`).
     pub paths: Vec<String>,
 }
@@ -59,6 +66,9 @@ impl Options {
             out: String::new(),
             shards: 4,
             assert_min_speedup: None,
+            window: 8,
+            epochs: 12,
+            assert_max_overhead: None,
             paths: Vec::new(),
         }
     }
@@ -146,6 +156,24 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     return Err(format!("--assert-min-speedup must be positive, got {v}"));
                 }
                 opts.assert_min_speedup = Some(v);
+                i += 2;
+            }
+            "--window" => {
+                opts.window = parse_num(value(i)?).map_err(|e| format!("--window: {e}"))? as usize;
+                i += 2;
+            }
+            "--epochs" => {
+                opts.epochs = parse_num(value(i)?).map_err(|e| format!("--epochs: {e}"))? as usize;
+                i += 2;
+            }
+            "--assert-max-overhead" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-max-overhead: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("--assert-max-overhead must be positive, got {v}"));
+                }
+                opts.assert_max_overhead = Some(v);
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -245,6 +273,20 @@ mod tests {
     #[test]
     fn rejects_missing_value() {
         assert!(parse(&args("--n-max")).is_err());
+    }
+
+    #[test]
+    fn parses_window_flags() {
+        let o = parse(&args("--window 4 --epochs 9 --assert-max-overhead 1.5")).unwrap();
+        assert_eq!(o.window, 4);
+        assert_eq!(o.epochs, 9);
+        assert_eq!(o.assert_max_overhead, Some(1.5));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.window, 8);
+        assert_eq!(d.epochs, 12);
+        assert_eq!(d.assert_max_overhead, None);
+        assert!(parse(&args("--assert-max-overhead 0")).is_err());
+        assert!(parse(&args("--assert-max-overhead nah")).is_err());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use sbitmap_core::{
 };
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::{HashKind, SplitMix64Hasher};
-use sbitmap_stream::collector::{run_pipeline, PipelineConfig};
+use sbitmap_stream::collector::{
+    run_pipeline, run_windowed_pipeline, PipelineConfig, WindowedPipelineConfig,
+};
 
 use crate::args::{parse, Options};
 
@@ -51,6 +53,10 @@ commands:
   collect    run the sharded node→collector pipeline on the synthetic
              backbone (paper §7.2) and print the aggregate summary
              flags: --links L --shards K --seed S
+  window     run the *windowed* pipeline: node shards ship one
+             checkpoint per epoch, the collector maintains a central
+             sliding-window ring and prints last-W-epochs estimates
+             flags: --links L --shards K --window W --epochs E --seed S
   bench-ingest
              time scalar vs batched vs concurrent ingestion on the
              backbone/worm generators and write a JSON report
@@ -67,6 +73,13 @@ commands:
              flags: --links L --pairs P --shards K --budget-ms MS
                     --seed S --out PATH (default BENCH_fleet.json)
                     --assert-min-speedup X (fail unless arena ≥ X·legacy)
+  bench-window
+             time sliding-window fleet ingest at W ∈ {2, 8, 32} epochs
+             vs the plain arena (+ window query cost) and write a JSON
+             report
+             flags: --links L --pairs P --budget-ms MS --seed S
+                    --out PATH (default BENCH_window.json)
+                    --assert-max-overhead X (fail if w8 > X·arena)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -99,9 +112,11 @@ pub fn dispatch(
         "restore" => restore_cmd(&opts, out),
         "merge" => merge_cmd(&opts, out),
         "collect" => collect_cmd(&opts, out),
+        "window" => window_cmd(&opts, out),
         "bench-ingest" => bench_ingest(&opts, out),
         "bench-collect" => bench_collect(&opts, out),
         "bench-fleet" => bench_fleet(&opts, out),
+        "bench-window" => bench_window(&opts, out),
         other => Err(format!("unknown command `{other}`")),
     }
     .map_err(|e| e.to_string())
@@ -461,6 +476,23 @@ fn restore_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             .map_err(io_err)?;
             return Ok(());
         }
+        CounterKind::WindowedFleet => {
+            let fleet: sbitmap_core::WindowedFleet =
+                Checkpoint::restore(&bytes).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{path}: v{version} windowed-fleet, {} keys over {} live of {} epochs \
+                 (open epoch {}), {} sketch bits, {} bytes",
+                fleet.len(),
+                fleet.live_epochs(),
+                fleet.window_epochs(),
+                fleet.current_epoch(),
+                fleet.memory_bits(),
+                bytes.len()
+            )
+            .map_err(io_err)?;
+            return Ok(());
+        }
     };
     writeln!(
         out,
@@ -536,12 +568,14 @@ fn merge_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         CounterKind::LogLog => merge_files::<LogLog>(opts, &files, out),
         CounterKind::HyperLogLog => merge_files::<HyperLogLog>(opts, &files, out),
         CounterKind::KMinValues => merge_files::<KMinValues>(opts, &files, out),
-        CounterKind::SBitmap | CounterKind::SketchFleet => Err(format!(
-            "{kind} checkpoints are not mergeable (the paper's §3 trade-off): \
+        CounterKind::SBitmap | CounterKind::SketchFleet | CounterKind::WindowedFleet => {
+            Err(format!(
+                "{kind} checkpoints are not mergeable (the paper's §3 trade-off): \
              whether an item was sampled depends on the sketch-local fill at \
              arrival time. Aggregate per-link *estimates* instead — see \
              `sbitmap collect`."
-        )),
+            ))
+        }
     }
 }
 
@@ -581,6 +615,87 @@ fn collect_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         summary.union_estimate, summary.total_flows
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+fn window_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = WindowedPipelineConfig {
+        links: opts.links.max(1),
+        shards: opts.shards.max(1),
+        window: opts.window.max(1),
+        epochs: opts.epochs.max(1),
+        seed: opts.seed,
+        ..WindowedPipelineConfig::default()
+    };
+    writeln!(
+        out,
+        "window: {} links over {} node shards, {}-epoch window, {} epochs \
+         (N = {}, m = {} bits/link/epoch, seed {})",
+        cfg.links, cfg.shards, cfg.window, cfg.epochs, cfg.n_max, cfg.m_bits, cfg.seed
+    )
+    .map_err(io_err)?;
+    let summary = run_windowed_pipeline(&cfg)?;
+    writeln!(
+        out,
+        "received {} epoch checkpoints, {} bytes shipped",
+        summary.checkpoints, summary.bytes_shipped
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "sliding window: last {} epochs, per-link estimates: mean |rel err| = {:.2}%",
+        summary.live_epochs,
+        summary.mean_abs_rel_err * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(out, "\n  quantile   est. flows/link/window").map_err(io_err)?;
+    for &(p, v) in &summary.estimate_quantiles {
+        writeln!(out, "  {:>7.0}%   {v:>21.0}", p * 100.0).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn bench_window(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = sbitmap_bench::window::WindowConfig {
+        links: opts.links.max(1),
+        max_pairs: opts.pairs.max(1),
+        budget_ms: opts.budget_ms.max(1),
+        seed: opts.seed,
+        ..sbitmap_bench::window::WindowConfig::default()
+    };
+    writeln!(
+        out,
+        "window bench: {} links, ≤{} pairs, {} ms/case, {} rotations, W ∈ {:?}",
+        cfg.links,
+        cfg.max_pairs,
+        cfg.budget_ms,
+        cfg.rotations,
+        sbitmap_bench::window::WINDOW_SPANS
+    )
+    .map_err(io_err)?;
+    let run = sbitmap_bench::window::run(&cfg);
+    for m in &run.results {
+        writeln!(out, "{}", m.row()).map_err(io_err)?;
+    }
+    let overhead = sbitmap_bench::window::w8_overhead(&run.results);
+    writeln!(out, "w8 ingest vs plain arena: {overhead:.2}x").map_err(io_err)?;
+    let json = sbitmap_bench::window::report_json(&cfg, &run);
+    let path = if opts.out.is_empty() {
+        "BENCH_window.json"
+    } else {
+        &opts.out
+    };
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    writeln!(out, "wrote {path}").map_err(io_err)?;
+    if let Some(max) = opts.assert_max_overhead {
+        if overhead > max {
+            return Err(format!(
+                "regression: W=8 windowed ingest costs {overhead:.3}x the plain \
+                 arena per item, above the allowed {max}x"
+            ));
+        }
+        writeln!(out, "overhead gate passed: {overhead:.2}x <= {max}x").map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -1009,6 +1124,67 @@ mod tests {
         assert!(out.contains("received 15 checkpoints"), "{out}");
         assert!(out.contains("backbone union"), "{out}");
         assert!(out.contains("quantile"), "{out}");
+    }
+
+    #[test]
+    fn window_runs_pipeline_and_prints_summary() {
+        let out = run(
+            "window --links 9 --shards 3 --window 2 --epochs 4 --seed 4",
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("9 links over 3 node shards"), "{out}");
+        assert!(out.contains("received 12 epoch checkpoints"), "{out}");
+        assert!(out.contains("last 2 epochs"), "{out}");
+        assert!(out.contains("quantile"), "{out}");
+    }
+
+    #[test]
+    fn bench_window_writes_report_and_gates_overhead() {
+        let path = tmp("bench_window.json");
+        let argv = format!(
+            "bench-window --links 4 --pairs 2k --budget-ms 2 \
+             --assert-max-overhead 1e9 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("backbone_window_w8"), "{out}");
+        assert!(out.contains("window_query_w8"), "{out}");
+        assert!(out.contains("overhead gate passed"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"window\""));
+        assert!(json.contains("w8_vs_arena_overhead"));
+        // An impossible gate must fail loudly.
+        let argv = format!(
+            "bench-window --links 4 --pairs 2k --budget-ms 2 \
+             --assert-max-overhead 1e-9 --out {}",
+            path.display()
+        );
+        let err = run(&argv, "").unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_describes_windowed_fleet_checkpoints() {
+        use sbitmap_core::{Checkpoint, WindowedFleet};
+        let path = tmp("windowed_ckpt");
+        let mut fleet: WindowedFleet = WindowedFleet::new(10_000, 1_200, 3, 2).unwrap();
+        fleet.insert_u64(5, 1);
+        fleet.rotate();
+        fleet.insert_u64(6, 2);
+        std::fs::write(&path, fleet.checkpoint()).unwrap();
+        let out = run(&format!("restore {}", path.display()), "").unwrap();
+        assert!(out.contains("windowed-fleet"), "{out}");
+        assert!(out.contains("2 keys over 2 live of 2 epochs"), "{out}");
+        // Two windowed checkpoints refuse to merge (not mergeable).
+        let b = tmp("windowed_ckpt_b");
+        std::fs::copy(&path, &b).unwrap();
+        let err = run(&format!("merge {} {}", path.display(), b.display()), "").unwrap_err();
+        assert!(err.contains("not mergeable"), "{err}");
+        for p in [path, b] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

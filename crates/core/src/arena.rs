@@ -34,6 +34,7 @@ use sbitmap_bitvec::{Bitmap, SliceBitmap};
 use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use crate::counter::KeyedEstimates;
 use crate::estimator;
 use crate::fleet::sketch_seed;
 use crate::schedule::RateSchedule;
@@ -689,6 +690,71 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
         self.seed
     }
 
+    /// Bitwise-OR `other`'s per-key bitmaps into `self`, creating slots
+    /// for keys `self` has not seen. Returns how many bits were newly
+    /// set across the fleet.
+    ///
+    /// This is the **storage-level union**, not a distinct-counting
+    /// merge: the S-bitmap is not mergeable (whether an item is sampled
+    /// depends on the sketch-local fill at its arrival time), so the
+    /// union of two arenas fed *overlapping* streams is not the arena of
+    /// the combined stream. The two sound uses are:
+    ///
+    /// * reassembling **disjoint** state — e.g. a windowed collector
+    ///   folding per-shard epoch checkpoints whose key sets never
+    ///   overlap (each link is owned by one shard), where the union *is*
+    ///   the state a single node would have built;
+    /// * the [`crate::WindowedFleet`] epoch-union estimator, which ORs
+    ///   one key's per-epoch bitmaps and re-reads the fill — a
+    ///   documented sliding-window heuristic, not the paper's estimator.
+    ///
+    /// # Errors
+    ///
+    /// The two fleets must share a configuration: same `(n_max, m, d)`
+    /// dimensioning and the same fleet seed (per-key hashers are derived
+    /// from it, so unioning across seeds would mix incompatible bucket
+    /// mappings).
+    pub fn union_from(&mut self, other: &Self) -> Result<u64, SBitmapError> {
+        let (a, b) = (self.schedule.dims(), other.schedule.dims());
+        if a.n_max() != b.n_max()
+            || a.m() != b.m()
+            || self.schedule.split().sampling_bits() != other.schedule.split().sampling_bits()
+        {
+            return Err(SBitmapError::invalid(
+                "union",
+                "fleets have different dimensioning".to_string(),
+            ));
+        }
+        if self.seed != other.seed {
+            return Err(SBitmapError::invalid(
+                "union",
+                "fleets have different seeds".to_string(),
+            ));
+        }
+        let mut newly = 0u64;
+        // One reused copy buffer for the whole union: the borrow of
+        // `other` must end before `self` is mutated (`slot_for` may grow
+        // `self.words`), but that costs one allocation total, not one
+        // per key.
+        let mut src = Vec::new();
+        for key in other.keys_sorted() {
+            let (_, words) = other.slot_record(key).expect("key listed");
+            src.clear();
+            src.extend_from_slice(words);
+            let slot = self.slot_for(key);
+            let dst = &mut self.words[slot * self.stride..(slot + 1) * self.stride];
+            let mut set = 0usize;
+            for (d, s) in dst.iter_mut().zip(&src) {
+                let before = *d;
+                *d = before | s;
+                set += (*d ^ before).count_ones() as usize;
+            }
+            self.fills[slot] += set;
+            newly += set as u64;
+        }
+        Ok(newly)
+    }
+
     /// Adopt one key's restored state (checkpoint/reshard path): the
     /// bitmap words and the matching fill counter.
     pub(crate) fn restore_slot(
@@ -713,6 +779,16 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
         self.words[slot * self.stride..(slot + 1) * self.stride].copy_from_slice(bitmap.words());
         self.fills[slot] = fill;
         Ok(())
+    }
+}
+
+impl<H: Hasher64 + FromSeed> KeyedEstimates for FleetArena<H> {
+    fn keys_sorted(&self) -> Vec<u64> {
+        FleetArena::keys_sorted(self)
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        FleetArena::estimate(self, key)
     }
 }
 

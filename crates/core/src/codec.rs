@@ -9,6 +9,13 @@
 //! and a checksum, and each counter serializes its configuration key plus
 //! state as the payload.
 //!
+//! The complete byte-level specification — frame layout, every kind tag,
+//! every per-kind payload, and the v1 compatibility rules — lives in
+//! `docs/wire-format.md` at the repository root. That document is the
+//! human-readable source of truth the golden vectors in
+//! `tests/checkpoint_golden.rs` are written against; the summary below
+//! covers the frame and the S-bitmap payload only.
+//!
 //! ## v2 frame (current)
 //!
 //! ```text
@@ -98,11 +105,14 @@ pub enum CounterKind {
     /// [`crate::SketchFleet`] — a keyed collection of S-bitmaps over one
     /// shared schedule.
     SketchFleet = 9,
+    /// [`crate::WindowedFleet`] — a ring of per-epoch fleets answering
+    /// sliding-window queries.
+    WindowedFleet = 10,
 }
 
 impl CounterKind {
     /// All kinds, in tag order.
-    pub const ALL: [CounterKind; 9] = [
+    pub const ALL: [CounterKind; 10] = [
         CounterKind::SBitmap,
         CounterKind::LinearCounting,
         CounterKind::VirtualBitmap,
@@ -112,6 +122,7 @@ impl CounterKind {
         CounterKind::HyperLogLog,
         CounterKind::KMinValues,
         CounterKind::SketchFleet,
+        CounterKind::WindowedFleet,
     ];
 
     /// The wire tag.
@@ -138,13 +149,17 @@ impl CounterKind {
             CounterKind::HyperLogLog => "hyperloglog",
             CounterKind::KMinValues => "kmv",
             CounterKind::SketchFleet => "sketch-fleet",
+            CounterKind::WindowedFleet => "windowed-fleet",
         }
     }
 
     /// Whether checkpoints of this kind can be merged (union semantics).
     /// The S-bitmap family cannot — the paper's non-mergeable case.
     pub fn is_mergeable(self) -> bool {
-        !matches!(self, CounterKind::SBitmap | CounterKind::SketchFleet)
+        !matches!(
+            self,
+            CounterKind::SBitmap | CounterKind::SketchFleet | CounterKind::WindowedFleet
+        )
     }
 }
 
@@ -189,7 +204,7 @@ impl PayloadWriter {
         }
     }
 
-    fn into_inner(self) -> Vec<u8> {
+    pub(crate) fn into_inner(self) -> Vec<u8> {
         self.buf
     }
 }
@@ -383,6 +398,23 @@ pub fn peek_kind(bytes: &[u8]) -> Result<(u8, CounterKind), SBitmapError> {
 /// payload; the framing (magic, version, kind tag, checksum) is shared.
 /// A restored sketch must be behaviourally identical to the original:
 /// same estimate now, and the same state evolution under further inserts.
+///
+/// ```
+/// use sbitmap_core::{Checkpoint, DistinctCounter, SBitmap};
+///
+/// let mut sketch = SBitmap::with_memory(100_000, 4_000, 7).unwrap();
+/// for flow in 0..2_000u64 {
+///     sketch.insert_u64(flow);
+/// }
+/// // ~0.5 KiB on the wire: framed, tagged, checksummed.
+/// let bytes = sketch.checkpoint();
+/// let mut restored: SBitmap = Checkpoint::restore(&bytes).unwrap();
+/// assert_eq!(restored.estimate(), sketch.estimate());
+/// // The restored sketch evolves identically.
+/// sketch.insert_u64(999_999);
+/// restored.insert_u64(999_999);
+/// assert_eq!(restored.checkpoint(), sketch.checkpoint());
+/// ```
 pub trait Checkpoint: Sized {
     /// The kind tag this type serializes under.
     const KIND: CounterKind;
@@ -606,7 +638,7 @@ mod tests {
     #[test]
     fn kind_tags_are_stable_and_unique() {
         let tags: Vec<u8> = CounterKind::ALL.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         for k in CounterKind::ALL {
             assert_eq!(CounterKind::from_tag(k.tag()), Some(k));
         }

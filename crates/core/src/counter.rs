@@ -101,6 +101,37 @@ pub trait MergeableCounter: DistinctCounter {
     fn merge_from(&mut self, other: &Self) -> Result<(), SBitmapError>;
 }
 
+/// Keyed fleets with deterministic, ascending-key iteration — the query
+/// surface shared by every fleet flavor ([`crate::SketchFleet`],
+/// [`crate::FleetArena`], [`crate::ParallelFleet`]) and by the window
+/// ring ([`crate::WindowedFleet`]).
+///
+/// **Ordering guarantee:** [`KeyedEstimates::keys_sorted`] returns keys
+/// in strictly ascending order, and [`KeyedEstimates::estimates_sorted`]
+/// follows it — never insertion order, never `HashMap` order, never a
+/// shard- or epoch-dependent order. Every consumer (CLI tables,
+/// checkpoints, the collector summaries, the examples) relies on this to
+/// stay byte-for-byte reproducible across runs, storage flavors, shard
+/// counts and window spans; implementations must sort, not expose their
+/// internal layout.
+pub trait KeyedEstimates {
+    /// Keys with state, in strictly ascending order.
+    fn keys_sorted(&self) -> Vec<u64>;
+
+    /// Estimate for one key; `None` if the key has no state.
+    fn estimate(&self, key: u64) -> Option<f64>;
+
+    /// All `(key, estimate)` pairs, in ascending key order (provided:
+    /// derived from [`KeyedEstimates::keys_sorted`], so every flavor
+    /// reports the same keys in the same order for the same state).
+    fn estimates_sorted(&self) -> Vec<(u64, f64)> {
+        self.keys_sorted()
+            .into_iter()
+            .map(|key| (key, self.estimate(key).expect("key listed")))
+            .collect()
+    }
+}
+
 /// Blanket impl so `Box<dyn DistinctCounter>` is itself a counter — the
 /// experiment harness stores heterogeneous sketch fleets this way.
 impl DistinctCounter for Box<dyn DistinctCounter> {

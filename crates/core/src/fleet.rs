@@ -13,7 +13,7 @@ use sbitmap_bitvec::Bitmap;
 use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
-use crate::counter::DistinctCounter;
+use crate::counter::{DistinctCounter, KeyedEstimates};
 use crate::schedule::RateSchedule;
 use crate::sketch::SBitmap;
 use crate::SBitmapError;
@@ -41,6 +41,19 @@ pub fn sketch_seed(fleet_seed: u64, key: u64) -> u64 {
 /// be borrowed individually) but the slowest to ingest at fleet scale;
 /// [`crate::FleetArena`] packs the same state contiguously and is the
 /// hot-path choice.
+///
+/// ```
+/// use sbitmap_core::SketchFleet;
+///
+/// let mut fleet: SketchFleet = SketchFleet::new(100_000, 4_000, 7).unwrap();
+/// let pairs: Vec<(u64, u64)> = (0..9_000u64).map(|i| (i % 3, i / 3)).collect();
+/// fleet.insert_batch(&pairs);
+/// assert_eq!(fleet.len(), 3);
+/// for (key, estimate) in fleet.estimates() {
+///     assert!(key < 3, "ascending key order starts at the smallest");
+///     assert!((estimate / 3_000.0 - 1.0).abs() < 0.2);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SketchFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
     schedule: Arc<RateSchedule>,
@@ -264,6 +277,16 @@ impl<H: Hasher64 + FromSeed> SketchFleet<H> {
     /// The shared schedule.
     pub fn schedule(&self) -> &Arc<RateSchedule> {
         &self.schedule
+    }
+}
+
+impl<H: Hasher64 + FromSeed> KeyedEstimates for SketchFleet<H> {
+    fn keys_sorted(&self) -> Vec<u64> {
+        SketchFleet::keys_sorted(self)
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        SketchFleet::estimate(self, key)
     }
 }
 

@@ -28,6 +28,7 @@
 //! | [`parallel`] | §7.2 | arena fleet sharded across `std::thread` workers |
 //! | [`concurrent`] | §7.2 | lock-free sketch over the atomic bitmap backend |
 //! | [`rotating`] | §7.1 | per-interval counting with bounded history |
+//! | [`window`] | §7.1–7.2 | sliding-window distinct counting: a ring of epoch arenas on the [`window::EpochClock`] |
 //! | [`sync`] | — | cloneable locked handle for multi-threaded feeds |
 //! | [`codec`] | — | dependency-free versioned binary checkpoints: the [`Checkpoint`] trait and the tagged v2 wire format |
 //!
@@ -66,11 +67,12 @@ pub mod simulate;
 pub mod sketch;
 pub mod sync;
 pub mod theory;
+pub mod window;
 
 pub use arena::FleetArena;
 pub use codec::{Checkpoint, CounterKind};
 pub use concurrent::ConcurrentSBitmap;
-pub use counter::{BatchedCounter, DistinctCounter, MergeableCounter};
+pub use counter::{BatchedCounter, DistinctCounter, KeyedEstimates, MergeableCounter};
 pub use dimensioning::Dimensioning;
 pub use error::SBitmapError;
 pub use fleet::SketchFleet;
@@ -79,3 +81,4 @@ pub use rotating::RotatingCounter;
 pub use schedule::RateSchedule;
 pub use sketch::SBitmap;
 pub use sync::SharedCounter;
+pub use window::{EpochClock, WindowedFleet};

@@ -27,6 +27,7 @@ use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::arena::FleetArena;
 use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use crate::counter::KeyedEstimates;
 use crate::schedule::RateSchedule;
 use crate::sketch::SBitmap;
 use crate::SBitmapError;
@@ -261,6 +262,16 @@ impl<H: Hasher64 + FromSeed> ParallelFleet<H> {
         }
         *self = next;
         Ok(())
+    }
+}
+
+impl<H: Hasher64 + FromSeed> KeyedEstimates for ParallelFleet<H> {
+    fn keys_sorted(&self) -> Vec<u64> {
+        ParallelFleet::keys_sorted(self)
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        ParallelFleet::estimate(self, key)
     }
 }
 

@@ -5,6 +5,7 @@ use std::sync::mpsc::Sender;
 
 use crate::codec::Checkpoint;
 use crate::counter::DistinctCounter;
+use crate::window::EpochClock;
 
 /// Wraps a counter and produces one estimate per time interval, reusing
 /// the underlying allocation via [`DistinctCounter::reset`].
@@ -14,6 +15,12 @@ use crate::counter::DistinctCounter;
 /// sketch per interval. `RotatingCounter` keeps a bounded history of
 /// `(interval, estimate)` pairs for trend queries.
 ///
+/// Rotation advances through [`EpochClock`] — the same caller-driven
+/// clock (no wall time) the sliding-window ring
+/// ([`crate::WindowedFleet`]) runs on, so the workspace has one rotation
+/// mechanism. This wrapper is the single-counter, history-keeping view
+/// of that clock; the windowed fleet is the keyed, ring-buffered one.
+///
 /// When the wrapped counter implements [`Checkpoint`], closed intervals
 /// can also be *shipped*: [`RotatingCounter::ship_checkpoints_to`]
 /// registers a channel and [`RotatingCounter::rotate_with_checkpoint`]
@@ -22,7 +29,7 @@ use crate::counter::DistinctCounter;
 #[derive(Debug, Clone)]
 pub struct RotatingCounter<C: DistinctCounter> {
     counter: C,
-    interval: u64,
+    clock: EpochClock,
     history: std::collections::VecDeque<(u64, f64)>,
     history_cap: usize,
     /// Checkpoint-on-rotate hook: `(interval, checkpoint bytes)` per
@@ -37,7 +44,7 @@ impl<C: DistinctCounter> RotatingCounter<C> {
     pub fn new(counter: C, history_cap: usize) -> Self {
         Self {
             counter,
-            interval: 0,
+            clock: EpochClock::unbounded(),
             history: std::collections::VecDeque::with_capacity(history_cap.min(1024)),
             history_cap: history_cap.max(1),
             ship: None,
@@ -70,20 +77,25 @@ impl<C: DistinctCounter> RotatingCounter<C> {
 
     /// Index of the open interval (starts at 0).
     pub fn current_interval(&self) -> u64 {
-        self.interval
+        self.clock.epoch()
+    }
+
+    /// The interval clock (see [`EpochClock`]).
+    pub fn clock(&self) -> &EpochClock {
+        &self.clock
     }
 
     /// Close the current interval: record its estimate, reset the
-    /// counter, advance the interval index. Returns `(interval,
-    /// estimate)` of the closed interval.
+    /// counter, advance the clock. Returns `(interval, estimate)` of the
+    /// closed interval.
     pub fn rotate(&mut self) -> (u64, f64) {
-        let closed = (self.interval, self.counter.estimate());
+        let estimate = self.counter.estimate();
+        let closed = (self.clock.advance(), estimate);
         if self.history.len() == self.history_cap {
             self.history.pop_front();
         }
         self.history.push_back(closed);
         self.counter.reset();
-        self.interval += 1;
         closed
     }
 

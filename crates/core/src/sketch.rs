@@ -87,6 +87,19 @@ pub(crate) fn probe_hashes(
 /// depends on the sketch-local fill level at its arrival time. Use a
 /// mergeable sketch (e.g. HyperLogLog from `sbitmap-baselines`) if you
 /// need distributed unions; the price is the paper's Table 2 memory gap.
+///
+/// ```
+/// use sbitmap_core::{DistinctCounter, SBitmap};
+///
+/// // 8000 bits for cardinalities up to 1.5M — the paper's §7.2 sizing.
+/// let mut sketch = SBitmap::with_memory(1_500_000, 8_000, 42).unwrap();
+/// for flow in 0..40_000u64 {
+///     sketch.insert_u64(flow);
+///     sketch.insert_u64(flow); // duplicates never advance the sketch
+/// }
+/// assert!((sketch.estimate() / 40_000.0 - 1.0).abs() < 0.1);
+/// assert_eq!(sketch.memory_bits(), 8_000);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SBitmap<H: Hasher64 = SplitMix64Hasher> {
     bitmap: Bitmap,

@@ -1,0 +1,1009 @@
+//! Sliding-window distinct counting on epoch arenas.
+//!
+//! The paper's motivating workload — per-link flow counting on a
+//! backbone — is temporal: operators ask *"how many distinct flows in
+//! the last N minutes"*, not *"since process start"*. The S-bitmap
+//! cannot answer that from one sketch (it is neither mergeable nor
+//! decrementable), so this module does what §7.1's per-interval usage
+//! pattern implies at fleet scale: keep a **ring of W epoch fleets**,
+//! one [`FleetArena`] per epoch, and answer window queries over the live
+//! epochs.
+//!
+//! * **Rotation** is driven by [`EpochClock`] — a pure item-count /
+//!   caller-tick clock, no wall time anywhere, so every run is
+//!   deterministic and replayable. The same clock type backs
+//!   [`crate::RotatingCounter`], so the workspace has exactly one
+//!   rotation mechanism.
+//! * **Ingest** lands in the current epoch's arena at full arena speed:
+//!   the only overhead over a plain [`FleetArena::insert_batch`] is the
+//!   clock bookkeeping and, on a count-driven clock, splitting a batch
+//!   at an epoch boundary (so batched and scalar feeds stay
+//!   bit-identical — the same contract every other batch path in this
+//!   workspace honors).
+//! * **Queries** merge one key's per-epoch bitmaps word-by-word (the
+//!   same OR the [`sbitmap_bitvec::Bitmap::union_or`] layer performs)
+//!   into a scratch region owned by the fleet, then re-read the fill:
+//!   amortized O(⌈m/64⌉ · W) per query and **zero allocation after
+//!   warmup**.
+//! * **Expiry** is O(1) amortized: rotating past window capacity clears
+//!   the oldest arena in place (allocations are kept and reused).
+//!
+//! ## The windowed estimator, honestly
+//!
+//! The S-bitmap is not mergeable: sampling depends on the fill at
+//! arrival time, so no function of per-epoch sketches reproduces the
+//! sketch a single S-bitmap over the whole window would hold. What the
+//! per-epoch state *does* support are two upper-bound-flavored reads,
+//! and the window estimate takes their minimum:
+//!
+//! * **`t(U)`** — the estimator applied to the union fill `U`
+//!   (popcount of the OR of the key's per-epoch bitmaps). A key's
+//!   per-epoch sketches share one derived hasher, so a flow present in
+//!   several epochs lands in the *same* bucket and is counted once; in
+//!   the limit of identical epoch streams the per-epoch bitmaps are
+//!   bit-identical (the update is deterministic) and `t(U)` is exactly
+//!   the paper's estimate. For *disjoint* epochs it overestimates:
+//!   every epoch restarts at high sampling rates, so the union holds
+//!   more bits than one saturating sketch would, and `t_B` is
+//!   exponential in `B`.
+//! * **`Σ t(Lₑ)`** — the sum of the per-epoch estimates (each unbiased
+//!   for its epoch, Theorem 3). Exact for disjoint epoch substreams;
+//!   overestimates when flows persist across epochs (double counting).
+//!
+//! `min` picks whichever regime the data is in, and both terms err
+//! upward, so the combination degrades gracefully in between. With
+//! W = 1 the two coincide and the windowed estimate *is* the paper's
+//! estimator. Everything is a deterministic function of per-epoch fills
+//! and bitmaps, which is what lets the property tests lock the windowed
+//! estimate to a naive per-epoch [`crate::SketchFleet`] reference
+//! bit-for-bit — no statistical guarantee the paper does not offer is
+//! pretended; deployments that need exact windowed unions at scale
+//! should pair the ring with a mergeable sketch (see the HyperLogLog
+//! lane of `sbitmap_stream::collector`).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use sbitmap_bitvec::Bitmap;
+use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
+
+use crate::arena::FleetArena;
+use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use crate::counter::KeyedEstimates;
+use crate::estimator;
+use crate::fleet::sketch_seed;
+use crate::schedule::RateSchedule;
+use crate::sketch::SBitmap;
+use crate::SBitmapError;
+
+/// A deterministic epoch clock: item-count driven or caller driven,
+/// never wall time.
+///
+/// This is the single rotation mechanism of the workspace — both
+/// [`WindowedFleet`] (a ring of epoch arenas) and
+/// [`crate::RotatingCounter`] (a single counter with an estimate
+/// history) advance through it. An unbudgeted clock only moves when the
+/// caller says so ([`EpochClock::advance`]); a budgeted clock is due
+/// after exactly `budget` recorded items, which makes epoch assignment a
+/// pure function of the item sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochClock {
+    /// Absolute index of the open epoch (starts at 0).
+    epoch: u64,
+    /// Items recorded into the open epoch so far.
+    in_epoch: u64,
+    /// Count-driven budget: the epoch is due after this many items.
+    /// `None` = caller-driven only.
+    budget: Option<u64>,
+}
+
+impl EpochClock {
+    /// A caller-driven clock: epochs close only on [`EpochClock::advance`].
+    pub fn unbounded() -> Self {
+        Self {
+            epoch: 0,
+            in_epoch: 0,
+            budget: None,
+        }
+    }
+
+    /// A count-driven clock: the epoch is due after `budget` items.
+    ///
+    /// # Errors
+    ///
+    /// A zero budget (every insert would rotate before landing).
+    pub fn with_budget(budget: u64) -> Result<Self, SBitmapError> {
+        if budget == 0 {
+            return Err(SBitmapError::invalid(
+                "epoch_items",
+                "per-epoch item budget must be at least 1".to_string(),
+            ));
+        }
+        Ok(Self {
+            epoch: 0,
+            in_epoch: 0,
+            budget: Some(budget),
+        })
+    }
+
+    /// Absolute index of the open epoch (starts at 0).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Items recorded into the open epoch so far.
+    #[inline]
+    pub fn items_in_epoch(&self) -> u64 {
+        self.in_epoch
+    }
+
+    /// The count-driven budget, if any.
+    #[inline]
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Items that still fit in the open epoch (`None` = unbounded).
+    #[inline]
+    pub fn remaining(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.in_epoch))
+    }
+
+    /// Record `n` items into the open epoch. Callers must not overfill:
+    /// split batches at [`EpochClock::remaining`] first.
+    #[inline]
+    pub fn record(&mut self, n: u64) {
+        debug_assert!(
+            self.remaining().is_none_or(|r| n <= r),
+            "epoch overfilled: recording {n} with {:?} remaining",
+            self.remaining()
+        );
+        self.in_epoch += n;
+    }
+
+    /// `true` when the budget is exhausted and the epoch must close
+    /// before the next item.
+    #[inline]
+    pub fn is_due(&self) -> bool {
+        self.budget.is_some_and(|b| self.in_epoch >= b)
+    }
+
+    /// Close the open epoch and start the next. Returns the index of the
+    /// epoch just closed.
+    pub fn advance(&mut self) -> u64 {
+        let closed = self.epoch;
+        self.epoch += 1;
+        self.in_epoch = 0;
+        closed
+    }
+}
+
+/// A sliding-window fleet: a ring of `W` epoch [`FleetArena`]s over one
+/// shared schedule, answering per-key distinct estimates for the last
+/// `W` epochs.
+///
+/// Ingest feeds the current epoch; [`WindowedFleet::rotate`] (or a
+/// count-driven [`EpochClock`] budget) closes it, and the arena that
+/// falls out of the window is cleared in place and reused. Queries OR
+/// one key's live per-epoch bitmaps into a fleet-owned scratch region
+/// and estimate from the union fill — see the module docs for exactly
+/// what that estimator is (and is not).
+///
+/// ```
+/// use sbitmap_core::WindowedFleet;
+///
+/// // Window of 3 epochs, ~4k distinct per window, key = link id.
+/// let mut fleet: WindowedFleet = WindowedFleet::new(100_000, 4_000, 7, 3).unwrap();
+/// for epoch in 0..5u64 {
+///     if epoch > 0 {
+///         fleet.rotate(); // close the minute, expire epoch − 3
+///     }
+///     for i in 0..800u64 {
+///         fleet.insert_u64(1, epoch * 800 + i); // 800 fresh flows per epoch
+///     }
+/// }
+/// // Only the last 3 epochs (2400 distinct flows) are still visible.
+/// let windowed = fleet.estimate(1).unwrap();
+/// assert!((windowed / 2_400.0 - 1.0).abs() < 0.25, "{windowed}");
+/// assert_eq!(fleet.keys_sorted(), vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
+    /// Ring of epoch arenas; absolute epoch `e` lives at slot `e % W`.
+    ring: Vec<FleetArena<H>>,
+    clock: EpochClock,
+    /// Words per key: `⌈m/64⌉`, shared by every epoch arena.
+    stride: usize,
+    /// Query scratch: the union of one key's live epoch bitmaps is
+    /// assembled here, so a warm query allocates nothing. Interior
+    /// mutability keeps queries `&self` like every other fleet flavor.
+    scratch: RefCell<Vec<u64>>,
+}
+
+impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
+    /// Largest window span a checkpoint is allowed to declare (the
+    /// in-memory API has no such cap). 65536 epochs is far beyond any
+    /// real monitoring window; the limit only exists so a corrupt or
+    /// hostile 8-byte wire field cannot demand a ring allocation the
+    /// rest of the payload never backs. Recorded in
+    /// `docs/wire-format.md` (tag 10).
+    pub const MAX_WIRE_WINDOW: usize = 1 << 16;
+
+    /// Create a windowed fleet for cardinalities in `[1, n_max]` with
+    /// `m` bits per key per epoch and a window of `window` epochs.
+    ///
+    /// Size `(n_max, m)` for the cardinality of the whole *window*, not
+    /// of one epoch — the union estimator is at its best when per-epoch
+    /// fills stay low (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// A zero window, or an invalid `(n_max, m)` (see
+    /// [`crate::Dimensioning::from_memory`]).
+    pub fn new(n_max: u64, m: usize, seed: u64, window: usize) -> Result<Self, SBitmapError> {
+        Self::with_schedule(Arc::new(RateSchedule::from_memory(n_max, m)?), seed, window)
+    }
+
+    /// Create a windowed fleet over an existing shared schedule.
+    ///
+    /// # Errors
+    ///
+    /// A zero window.
+    pub fn with_schedule(
+        schedule: Arc<RateSchedule>,
+        seed: u64,
+        window: usize,
+    ) -> Result<Self, SBitmapError> {
+        if window == 0 {
+            return Err(SBitmapError::invalid(
+                "window",
+                "window must span at least 1 epoch".to_string(),
+            ));
+        }
+        let stride = schedule.dims().m().div_ceil(64);
+        Ok(Self {
+            ring: (0..window)
+                .map(|_| FleetArena::with_schedule(schedule.clone(), seed))
+                .collect(),
+            clock: EpochClock::unbounded(),
+            stride,
+            scratch: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Switch to a count-driven clock: the epoch closes automatically
+    /// after `items` inserted items. Epoch assignment becomes a pure
+    /// function of the item sequence, so batched and scalar feeds remain
+    /// bit-identical (batches are split at epoch boundaries).
+    ///
+    /// The open epoch's progress is preserved when the budget changes;
+    /// if that progress already meets the new budget, the epoch closes
+    /// right before the next insert lands.
+    ///
+    /// # Errors
+    ///
+    /// A zero budget.
+    pub fn with_epoch_items(mut self, items: u64) -> Result<Self, SBitmapError> {
+        let mut clock = EpochClock::with_budget(items)?;
+        clock.epoch = self.clock.epoch;
+        clock.in_epoch = self.clock.in_epoch;
+        self.clock = clock;
+        Ok(self)
+    }
+
+    /// The window span, in epochs (the `W` the fleet was built with).
+    pub fn window_epochs(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Absolute index of the open epoch (starts at 0).
+    pub fn current_epoch(&self) -> u64 {
+        self.clock.epoch()
+    }
+
+    /// Epochs currently contributing to queries: `min(opened, W)`.
+    pub fn live_epochs(&self) -> usize {
+        usize::try_from(self.clock.epoch() + 1)
+            .unwrap_or(usize::MAX)
+            .min(self.ring.len())
+    }
+
+    /// The rotation clock (epoch index, per-epoch budget and progress).
+    pub fn clock(&self) -> &EpochClock {
+        &self.clock
+    }
+
+    /// The shared schedule.
+    pub fn schedule(&self) -> &Arc<RateSchedule> {
+        self.ring[0].schedule()
+    }
+
+    /// The fleet seed per-key hashers are derived from.
+    pub fn seed(&self) -> u64 {
+        self.ring[0].seed()
+    }
+
+    /// The arena holding the open epoch.
+    #[inline]
+    fn current_mut(&mut self) -> &mut FleetArena<H> {
+        let slot = (self.clock.epoch() % self.ring.len() as u64) as usize;
+        &mut self.ring[slot]
+    }
+
+    /// The arena holding the open epoch (read side).
+    #[inline]
+    fn current(&self) -> &FleetArena<H> {
+        let slot = (self.clock.epoch() % self.ring.len() as u64) as usize;
+        &self.ring[slot]
+    }
+
+    /// The ring slot of absolute epoch `epoch`, if that epoch is live.
+    fn live_slot(&self, epoch: u64) -> Option<usize> {
+        let current = self.clock.epoch();
+        (epoch <= current && current - epoch < self.ring.len() as u64)
+            .then(|| (epoch % self.ring.len() as u64) as usize)
+    }
+
+    /// Close the open epoch and start the next: the arena that falls out
+    /// of the window is cleared in place (allocations kept). Returns the
+    /// index of the epoch just closed.
+    pub fn rotate(&mut self) -> u64 {
+        let closed = self.clock.advance();
+        // The new epoch reuses the slot that held epoch `new − W`.
+        self.current_mut().clear();
+        closed
+    }
+
+    /// Drive the clock forward until the open epoch is `epoch` (a
+    /// collector replaying an epoch-tagged stream). No-op when already
+    /// there.
+    ///
+    /// # Errors
+    ///
+    /// `epoch` lies in the past — the ring cannot rotate backwards.
+    pub fn advance_to(&mut self, epoch: u64) -> Result<(), SBitmapError> {
+        if epoch < self.clock.epoch() {
+            return Err(SBitmapError::invalid(
+                "epoch",
+                format!(
+                    "cannot rotate back to epoch {epoch} from {}",
+                    self.clock.epoch()
+                ),
+            ));
+        }
+        while self.clock.epoch() < epoch {
+            self.rotate();
+        }
+        Ok(())
+    }
+
+    /// Rotate if the count-driven budget is exhausted.
+    #[inline]
+    fn rotate_if_due(&mut self) {
+        if self.clock.is_due() {
+            self.rotate();
+        }
+    }
+
+    /// Insert `item` into the open epoch's sketch for `key`. Returns
+    /// `true` if the update set a new bit.
+    pub fn insert_u64(&mut self, key: u64, item: u64) -> bool {
+        // Leading check: a budget change can leave the open epoch
+        // already full, and the item must land in the next one — the
+        // same boundary the batch paths take via a zero-length slice.
+        self.rotate_if_due();
+        let newly = self.current_mut().insert_u64(key, item);
+        self.clock.record(1);
+        self.rotate_if_due();
+        newly
+    }
+
+    /// Insert a byte-string item into the open epoch's sketch for `key`.
+    pub fn insert_bytes(&mut self, key: u64, item: &[u8]) -> bool {
+        self.rotate_if_due();
+        let newly = self.current_mut().insert_bytes(key, item);
+        self.clock.record(1);
+        self.rotate_if_due();
+        newly
+    }
+
+    /// Batched per-key ingest into the open epoch(s); on a count-driven
+    /// clock the slice is split at epoch boundaries, so the result is
+    /// bit-identical to feeding [`WindowedFleet::insert_u64`] per item.
+    /// Returns how many bits were newly set.
+    pub fn insert_u64s(&mut self, key: u64, mut items: &[u64]) -> u64 {
+        let mut newly = 0u64;
+        while !items.is_empty() {
+            let take = self
+                .clock
+                .remaining()
+                .map_or(items.len(), |r| r.min(items.len() as u64) as usize);
+            newly += self.current_mut().insert_u64s(key, &items[..take]);
+            self.clock.record(take as u64);
+            self.rotate_if_due();
+            items = &items[take..];
+        }
+        newly
+    }
+
+    /// Ingest a batch of `(key, item)` pairs through the arena's radix
+    /// router, splitting at epoch boundaries on a count-driven clock.
+    /// Returns how many bits were newly set.
+    pub fn insert_batch(&mut self, mut pairs: &[(u64, u64)]) -> u64 {
+        let mut newly = 0u64;
+        while !pairs.is_empty() {
+            let take = self
+                .clock
+                .remaining()
+                .map_or(pairs.len(), |r| r.min(pairs.len() as u64) as usize);
+            newly += self.current_mut().insert_batch(&pairs[..take]);
+            self.clock.record(take as u64);
+            self.rotate_if_due();
+            pairs = &pairs[take..];
+        }
+        newly
+    }
+
+    /// Ensure `key` has a record in the open epoch, as a first insert
+    /// would (does not count against a count-driven budget).
+    pub fn touch(&mut self, key: u64) {
+        // Same boundary as the insert paths: a due epoch closes first,
+        // so the record lands where the next insert would.
+        self.rotate_if_due();
+        self.current_mut().touch(key);
+    }
+
+    /// The union fill of `key` over the live epochs — the popcount of
+    /// the OR of its per-epoch bitmaps, assembled in the fleet-owned
+    /// scratch (zero allocation after warmup). `None` if no live epoch
+    /// has seen the key.
+    pub fn window_fill(&self, key: u64) -> Option<usize> {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.resize(self.stride, 0);
+        scratch.fill(0);
+        let mut found = false;
+        for arena in &self.ring {
+            if let Some((_, words)) = arena.slot_record(key) {
+                for (dst, &src) in scratch.iter_mut().zip(words) {
+                    *dst |= src;
+                }
+                found = true;
+            }
+        }
+        found.then(|| scratch.iter().map(|w| w.count_ones() as usize).sum())
+    }
+
+    /// The sliding-window distinct estimate for `key`:
+    /// `min(t(U), Σₑ t(Lₑ))` over the live epochs — the union term
+    /// de-duplicates persistent flows, the sum term is exact for
+    /// disjoint epochs, and both err upward (see the module docs).
+    /// `None` if no live epoch has seen the key.
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        let union_fill = self.window_fill(key)?;
+        let dims = self.schedule().dims();
+        // Sum per-epoch estimates oldest → newest: a fixed order keeps
+        // the f64 sum identical across flavors and restores.
+        let current = self.clock.epoch();
+        let live = self.live_epochs() as u64;
+        let mut sum = 0.0;
+        for epoch in (current + 1 - live)..=current {
+            let slot = self.live_slot(epoch).expect("live by construction");
+            if let Some(fill) = self.ring[slot].fill(key) {
+                sum += estimator::estimate_from_fill(dims, fill);
+            }
+        }
+        Some(estimator::estimate_from_fill(dims, union_fill).min(sum))
+    }
+
+    /// The open epoch's estimate for `key` alone (the §7.1 per-interval
+    /// view); `None` if the open epoch has not seen the key.
+    pub fn epoch_estimate(&self, key: u64) -> Option<f64> {
+        self.current().estimate(key)
+    }
+
+    /// Keys seen in any live epoch, in ascending order (the workspace
+    /// ordering guarantee — see [`KeyedEstimates`]).
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.ring.iter().flat_map(FleetArena::keys_sorted).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// All `(key, windowed estimate)` pairs, in ascending key order
+    /// (the [`KeyedEstimates`] derivation, so every flavor reports the
+    /// same keys in the same order).
+    pub fn estimates(&self) -> Vec<(u64, f64)> {
+        KeyedEstimates::estimates_sorted(self)
+    }
+
+    /// Number of distinct keys across the live epochs.
+    pub fn len(&self) -> usize {
+        self.keys_sorted().len()
+    }
+
+    /// `true` when no live epoch holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.ring.iter().all(FleetArena::is_empty)
+    }
+
+    /// Total sketch payload across the live epochs, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.ring.iter().map(FleetArena::memory_bits).sum()
+    }
+
+    /// Materialize the window union of `key` as a standalone
+    /// [`SBitmap`] (the union state behind the `t(U)` term of
+    /// [`WindowedFleet::estimate`]); `None` if no live epoch has seen
+    /// the key.
+    pub fn export_window_sketch(&self, key: u64) -> Option<SBitmap<H>> {
+        let fill = self.window_fill(key)?;
+        let words = self.scratch.borrow().clone();
+        let m = self.schedule().dims().m();
+        let bitmap = Bitmap::from_words(words, m).expect("scratch is a valid bitmap");
+        let mut sketch = SBitmap::with_shared_schedule(
+            self.schedule().clone(),
+            H::from_seed(sketch_seed(self.seed(), key)),
+        );
+        sketch.restore_state(bitmap, fill);
+        Some(sketch)
+    }
+
+    /// Serialize the open epoch alone as a [`CounterKind::SketchFleet`]
+    /// checkpoint — what a measurement node ships per epoch in the
+    /// windowed collector pipeline.
+    pub fn epoch_checkpoint(&self) -> Vec<u8> {
+        self.current().checkpoint()
+    }
+
+    /// Fold another fleet's state into the ring at absolute epoch
+    /// `epoch` via [`FleetArena::union_from`] — the collector side of
+    /// the windowed pipeline, where node shards ship per-epoch
+    /// checkpoints for disjoint key sets. Returns `Ok(false)` when the
+    /// epoch has already expired from the window (a late frame is
+    /// dropped, not an error).
+    ///
+    /// # Errors
+    ///
+    /// A future epoch (drive the ring with
+    /// [`WindowedFleet::advance_to`] first), or a configuration/seed
+    /// mismatch (see [`FleetArena::union_from`]).
+    pub fn absorb_epoch(
+        &mut self,
+        epoch: u64,
+        other: &FleetArena<H>,
+    ) -> Result<bool, SBitmapError> {
+        if epoch > self.clock.epoch() {
+            return Err(SBitmapError::invalid(
+                "epoch",
+                format!(
+                    "epoch {epoch} is ahead of the ring's open epoch {}",
+                    self.clock.epoch()
+                ),
+            ));
+        }
+        let Some(slot) = self.live_slot(epoch) else {
+            return Ok(false);
+        };
+        self.ring[slot].union_from(other)?;
+        Ok(true)
+    }
+
+    /// Reset every live epoch, keeping keys, slots and allocations; the
+    /// clock keeps running.
+    pub fn reset_all(&mut self) {
+        for arena in &mut self.ring {
+            arena.reset_all();
+        }
+    }
+
+    /// Drop all keys from every epoch, keeping allocations for reuse;
+    /// the clock keeps running.
+    pub fn clear(&mut self) {
+        for arena in &mut self.ring {
+            arena.clear();
+        }
+    }
+}
+
+impl<H: Hasher64 + FromSeed> KeyedEstimates for WindowedFleet<H> {
+    fn keys_sorted(&self) -> Vec<u64> {
+        WindowedFleet::keys_sorted(self)
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        WindowedFleet::estimate(self, key)
+    }
+}
+
+/// Windowed fleets serialize as [`CounterKind::WindowedFleet`]: the
+/// shared configuration once, the clock, then every live epoch's
+/// per-key records (fleet wire layout), oldest epoch first, keys sorted.
+/// See `docs/wire-format.md` (tag 10) for the byte layout.
+impl<H: Hasher64 + FromSeed> Checkpoint for WindowedFleet<H> {
+    const KIND: CounterKind = CounterKind::WindowedFleet;
+
+    fn write_payload(&self, out: &mut PayloadWriter) {
+        let schedule = self.schedule();
+        let dims = schedule.dims();
+        out.u64(dims.n_max());
+        out.u64(dims.m() as u64);
+        out.u32(schedule.split().sampling_bits());
+        out.u64(self.seed());
+        out.u64(self.ring.len() as u64);
+        out.u64(self.clock.epoch());
+        out.u64(self.clock.budget().unwrap_or(0));
+        out.u64(self.clock.items_in_epoch());
+        let live = self.live_epochs() as u64;
+        out.u64(live);
+        let current = self.clock.epoch();
+        for epoch in (current + 1 - live)..=current {
+            let slot = self.live_slot(epoch).expect("live by construction");
+            let arena = &self.ring[slot];
+            out.u64(epoch);
+            let keys = arena.keys_sorted();
+            out.u64(keys.len() as u64);
+            for key in keys {
+                let (fill, words) = arena.slot_record(key).expect("key listed");
+                out.u64(key);
+                out.u64(fill as u64);
+                out.words(words);
+            }
+        }
+    }
+
+    fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
+        let fail = |msg: &str| SBitmapError::invalid("checkpoint", msg.to_string());
+        let n_max = r.u64()?;
+        let m = r.len_u64()?;
+        let sampling_bits = r.u32()?;
+        let seed = r.u64()?;
+        let window = r.len_u64()?;
+        let epoch = r.u64()?;
+        let budget = r.u64()?;
+        let in_epoch = r.u64()?;
+        let live = r.len_u64()?;
+        // `window` drives the ring allocation *before* any byte-backed
+        // record is read, so unlike the per-epoch record counts it is
+        // not implicitly bounded by the payload length — cap it so a
+        // crafted 8-byte field cannot demand a multi-GB ring.
+        if window > Self::MAX_WIRE_WINDOW {
+            return Err(fail("window span exceeds the wire limit"));
+        }
+        let next_epoch = epoch
+            .checked_add(1)
+            .ok_or_else(|| fail("epoch index out of range"))?;
+        if live > window || live as u64 > next_epoch {
+            return Err(fail("live epoch count exceeds the window"));
+        }
+        let dims = crate::dimensioning::Dimensioning::from_memory(n_max, m)?;
+        let schedule = Arc::new(RateSchedule::new(dims, sampling_bits)?);
+        let mut fleet = WindowedFleet::with_schedule(schedule, seed, window)?;
+        if budget > 0 {
+            fleet = fleet.with_epoch_items(budget)?;
+        }
+        fleet.clock.epoch = epoch;
+        fleet.clock.in_epoch = in_epoch;
+        if budget > 0 && in_epoch > budget {
+            return Err(fail("open epoch overfills its item budget"));
+        }
+        let mut last: Option<u64> = None;
+        for _ in 0..live {
+            let e = r.u64()?;
+            if last.is_some_and(|l| e <= l) {
+                return Err(fail("epoch indices must be strictly increasing"));
+            }
+            last = Some(e);
+            let Some(slot) = fleet.live_slot(e) else {
+                return Err(fail("epoch record outside the live window"));
+            };
+            let count = r.len_u64()?;
+            for _ in 0..count {
+                let key = r.u64()?;
+                let fill = r.len_u64()?;
+                let words = r.words(m.div_ceil(64))?;
+                fleet.ring[slot].restore_slot(key, fill, words)?;
+            }
+        }
+        Ok(fleet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::DistinctCounter;
+    use crate::fleet::SketchFleet;
+
+    fn windowed(window: usize) -> WindowedFleet {
+        WindowedFleet::new(100_000, 4_000, 9, window).unwrap()
+    }
+
+    /// The naive reference: one standalone [`SketchFleet`] per epoch,
+    /// window fill = popcount of the OR of the key's per-epoch bitmaps.
+    fn reference_fill(epochs: &[SketchFleet], key: u64) -> Option<usize> {
+        let mut acc: Option<Bitmap> = None;
+        for fleet in epochs {
+            if let Some(sketch) = fleet.sketch(key) {
+                match &mut acc {
+                    None => acc = Some(sketch.bitmap().clone()),
+                    Some(bits) => {
+                        bits.union_or(sketch.bitmap()).unwrap();
+                    }
+                }
+            }
+        }
+        acc.map(|bits| bits.count_ones())
+    }
+
+    /// The naive reference estimate: `min(t(U), Σₑ t(Lₑ))` computed from
+    /// standalone per-epoch fleets, oldest first.
+    fn reference_estimate(epochs: &[SketchFleet], key: u64) -> Option<f64> {
+        let union = reference_fill(epochs, key)?;
+        let dims = *epochs[0].schedule().dims();
+        let sum: f64 = epochs
+            .iter()
+            .filter_map(|f| f.sketch(key))
+            .map(|s| estimator::estimate_from_fill(&dims, s.fill()))
+            .sum();
+        Some(estimator::estimate_from_fill(&dims, union).min(sum))
+    }
+
+    #[test]
+    fn clock_budget_and_advance_semantics() {
+        let mut clock = EpochClock::with_budget(3).unwrap();
+        assert_eq!(clock.remaining(), Some(3));
+        clock.record(2);
+        assert!(!clock.is_due());
+        clock.record(1);
+        assert!(clock.is_due());
+        assert_eq!(clock.advance(), 0);
+        assert_eq!(clock.epoch(), 1);
+        assert_eq!(clock.items_in_epoch(), 0);
+        assert!(EpochClock::with_budget(0).is_err());
+        assert_eq!(EpochClock::unbounded().remaining(), None);
+    }
+
+    #[test]
+    fn single_epoch_matches_plain_arena() {
+        let mut w = windowed(4);
+        let mut a: FleetArena = FleetArena::new(100_000, 4_000, 9).unwrap();
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 7, i / 7 % 2_000)).collect();
+        w.insert_batch(&pairs);
+        a.insert_batch(&pairs);
+        for key in 0..7u64 {
+            assert_eq!(w.estimate(key), a.estimate(key), "key {key}");
+            assert_eq!(w.window_fill(key), a.fill(key), "key {key}");
+        }
+        assert_eq!(w.epoch_checkpoint(), a.checkpoint());
+    }
+
+    #[test]
+    fn windowed_estimates_match_naive_per_epoch_reference() {
+        let mut w = windowed(3);
+        let mut reference: Vec<SketchFleet> = Vec::new();
+        let mut current = SketchFleet::new(100_000, 4_000, 9).unwrap();
+        for epoch in 0..7u64 {
+            for i in 0..4_000u64 {
+                let key = i % 5;
+                let item = epoch * 10_000 + i / 5 % 900;
+                w.insert_u64(key, item);
+                current.insert_u64(key, item);
+            }
+            w.rotate();
+            reference.push(std::mem::replace(
+                &mut current,
+                SketchFleet::new(100_000, 4_000, 9).unwrap(),
+            ));
+        }
+        // Live window after 7 rotations: epochs 5, 6 and the (empty)
+        // open epoch 7 — epochs 0..=4 must have expired.
+        let live = &reference[5..7];
+        for key in 0..5u64 {
+            assert_eq!(
+                w.window_fill(key),
+                reference_fill(live, key),
+                "fill for key {key}"
+            );
+            assert_eq!(
+                w.estimate(key),
+                reference_estimate(live, key),
+                "estimate for key {key}"
+            );
+        }
+        let expired_only = reference_fill(&reference[..5], 0).unwrap();
+        assert!(expired_only > 0, "sanity: expired epochs held state");
+    }
+
+    #[test]
+    fn count_driven_batches_match_scalar_feed() {
+        let pairs: Vec<(u64, u64)> = (0..9_500u64).map(|i| (i % 4, i * 31 % 3_000)).collect();
+        let mut batched = windowed(3).with_epoch_items(1_000).unwrap();
+        let mut scalar = windowed(3).with_epoch_items(1_000).unwrap();
+        batched.insert_batch(&pairs);
+        for &(k, item) in &pairs {
+            scalar.insert_u64(k, item);
+        }
+        assert_eq!(batched.current_epoch(), 9, "9500 items / 1000 per epoch");
+        assert_eq!(batched.current_epoch(), scalar.current_epoch());
+        assert_eq!(batched.estimates(), scalar.estimates());
+        assert_eq!(batched.checkpoint(), scalar.checkpoint());
+    }
+
+    #[test]
+    fn expiry_forgets_old_epochs() {
+        let mut w = windowed(2);
+        for i in 0..2_000u64 {
+            w.insert_u64(1, i);
+        }
+        let full = w.estimate(1).unwrap();
+        w.rotate();
+        assert!(w.estimate(1).is_some(), "still live one epoch later");
+        w.rotate();
+        assert_eq!(w.estimate(1), None, "expired after W rotations");
+        assert!(w.is_empty());
+        assert!(full > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_window() {
+        let mut w = windowed(3).with_epoch_items(2_500).unwrap();
+        let pairs: Vec<(u64, u64)> = (0..8_000u64).map(|i| (i % 6, i / 6 % 1_100)).collect();
+        w.insert_batch(&pairs);
+        let bytes = w.checkpoint();
+        let mut restored: WindowedFleet = Checkpoint::restore(&bytes).unwrap();
+        assert_eq!(restored.current_epoch(), w.current_epoch());
+        assert_eq!(restored.window_epochs(), 3);
+        assert_eq!(restored.estimates(), w.estimates());
+        assert_eq!(restored.checkpoint(), bytes, "canonical re-encode");
+        // Both continue identically across further epochs.
+        let more: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i % 6, 50_000 + i)).collect();
+        w.insert_batch(&more);
+        restored.insert_batch(&more);
+        assert_eq!(restored.estimates(), w.estimates());
+        assert_eq!(restored.checkpoint(), w.checkpoint());
+    }
+
+    #[test]
+    fn absorb_epoch_unions_disjoint_shards() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 3).unwrap();
+        let mut single = windowed(3);
+        for epoch in 0..4u64 {
+            // Two "shards" own disjoint keys {0,2} and {1,3}.
+            let mut a: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+            let mut b: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+            for i in 0..3_000u64 {
+                let key = i % 4;
+                let item = epoch * 10_000 + i / 4 % 600;
+                if key % 2 == 0 {
+                    a.insert_u64(key, item);
+                } else {
+                    b.insert_u64(key, item);
+                }
+                single.insert_u64(key, item);
+            }
+            ring.advance_to(epoch).unwrap();
+            assert!(ring.absorb_epoch(epoch, &a).unwrap());
+            assert!(ring.absorb_epoch(epoch, &b).unwrap());
+            single.advance_to(epoch).unwrap();
+            if epoch < 3 {
+                ring.rotate();
+                single.rotate();
+            }
+        }
+        assert_eq!(ring.estimates(), single.estimates());
+        // A frame for an expired epoch is dropped, a future one rejected.
+        let empty: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        assert!(!ring.absorb_epoch(0, &empty).unwrap());
+        assert!(ring.absorb_epoch(99, &empty).is_err());
+        // Mismatched seeds are rejected, not silently mixed.
+        let alien: FleetArena = FleetArena::with_schedule(schedule, 77);
+        assert!(ring.absorb_epoch(ring.current_epoch(), &alien).is_err());
+    }
+
+    #[test]
+    fn export_window_sketch_carries_the_union_state() {
+        let mut w = windowed(2);
+        for i in 0..1_500u64 {
+            w.insert_u64(4, i);
+        }
+        w.rotate();
+        for i in 1_000..2_500u64 {
+            w.insert_u64(4, i);
+        }
+        let sketch = w.export_window_sketch(4).unwrap();
+        let union_fill = w.window_fill(4).unwrap();
+        assert_eq!(sketch.fill(), union_fill);
+        // The exported sketch carries the t(U) term; the windowed
+        // estimate is min(t(U), Σ t(Lₑ)) and can only be tighter.
+        let t_union = estimator::estimate_from_fill(w.schedule().dims(), union_fill);
+        assert_eq!(sketch.estimate(), t_union);
+        assert!(w.estimate(4).unwrap() <= t_union);
+        assert!(w.export_window_sketch(5).is_none());
+    }
+
+    #[test]
+    fn shrinking_the_budget_under_an_open_epoch_stays_scalar_batch_identical() {
+        // Fill an unbudgeted epoch past the budget about to be set; the
+        // overfull epoch must close before the next insert lands, and
+        // scalar and batched feeds must keep agreeing bit-for-bit.
+        let mut scalar = windowed(3);
+        for i in 0..1_500u64 {
+            scalar.insert_u64(1, i);
+        }
+        let mut batched = scalar.clone();
+        scalar = scalar.with_epoch_items(1_000).unwrap();
+        batched = batched.with_epoch_items(1_000).unwrap();
+        scalar.insert_u64(1, 9_999);
+        assert_eq!(scalar.current_epoch(), 1, "overfull epoch closed first");
+        assert_eq!(scalar.clock().items_in_epoch(), 1);
+        batched.insert_batch(&[(1, 9_999)]);
+        assert_eq!(batched.checkpoint(), scalar.checkpoint());
+    }
+
+    #[test]
+    fn restore_rejects_hostile_window_and_epoch_fields() {
+        use crate::codec::{frame, PayloadWriter};
+
+        // A frame with a valid checksum but an absurd window span must
+        // be rejected before any ring allocation happens.
+        let hostile = |window: u64, epoch: u64, live: u64| {
+            let mut w = PayloadWriter::default();
+            w.u64(100_000); // n_max
+            w.u64(4_000); // m
+            w.u32(32); // d
+            w.u64(9); // seed
+            w.u64(window);
+            w.u64(epoch);
+            w.u64(0); // budget
+            w.u64(0); // in_epoch
+            w.u64(live);
+            frame(CounterKind::WindowedFleet, &w.into_inner())
+        };
+        let err = <WindowedFleet as Checkpoint>::restore(&hostile(1 << 40, 0, 0)).unwrap_err();
+        assert!(err.to_string().contains("wire limit"), "{err}");
+        // epoch = u64::MAX must fail loudly, not overflow.
+        let err = <WindowedFleet as Checkpoint>::restore(&hostile(2, u64::MAX, 1)).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // An in-range frame with no live epochs restores fine.
+        let ok: WindowedFleet = Checkpoint::restore(&hostile(2, 5, 0)).unwrap();
+        assert_eq!(ok.current_epoch(), 5);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs_and_tampered_checkpoints() {
+        assert!(WindowedFleet::<SplitMix64Hasher>::new(100_000, 4_000, 9, 0).is_err());
+        assert!(windowed(2).with_epoch_items(0).is_err());
+        let mut w = windowed(2);
+        w.insert_u64(1, 1);
+        let bytes = w.checkpoint();
+        for pos in [0usize, 10, 40, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 1;
+            assert!(
+                <WindowedFleet as Checkpoint>::restore(&bad).is_err(),
+                "corruption at {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_guarantee_holds_across_epochs() {
+        let mut w = windowed(3);
+        for key in [41u64, 5, 77] {
+            w.insert_u64(key, 1);
+        }
+        w.rotate();
+        for key in [9u64, 2, 41] {
+            w.insert_u64(key, 2);
+        }
+        assert_eq!(w.keys_sorted(), vec![2, 5, 9, 41, 77]);
+        let keys: Vec<u64> = w.estimates().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, w.keys_sorted());
+        assert_eq!(w.len(), 5);
+        assert_eq!(KeyedEstimates::estimates_sorted(&w), w.estimates());
+    }
+}

@@ -99,6 +99,28 @@ impl BackboneSnapshot {
         )
     }
 
+    /// The distinct flow-id substream of one link during one *epoch* —
+    /// the sliding-window workload. Deterministic in `(snapshot seed,
+    /// link, epoch)`, exactly `count` ids, and (almost surely, as 64-bit
+    /// draws) disjoint from every other `(link, epoch)` substream — so
+    /// windowed ground truths are sums of per-epoch counts, the same
+    /// argument [`crate::collector`] already uses for the backbone
+    /// union.
+    pub fn link_epoch_stream(
+        &self,
+        link: usize,
+        epoch: u64,
+        count: u64,
+    ) -> crate::generators::DistinctItems {
+        distinct_items(
+            self.seed
+                .wrapping_mul(0xd129_0d3b_32f8_57a1)
+                .wrapping_add(link as u64)
+                ^ epoch.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            count,
+        )
+    }
+
     /// Histogram of `log2(count)` with unit-width bins — the paper's
     /// Figure 7 view. Returns `(bin_floor_log2, count)` pairs.
     pub fn log2_histogram(&self) -> Vec<(u32, usize)> {

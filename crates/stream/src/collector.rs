@@ -36,7 +36,8 @@ use std::sync::Arc;
 use sbitmap_baselines::HyperLogLog;
 use sbitmap_core::codec::Checkpoint;
 use sbitmap_core::{
-    BatchedCounter, DistinctCounter, FleetArena, MergeableCounter, RateSchedule, SBitmap,
+    BatchedCounter, DistinctCounter, FleetArena, KeyedEstimates, MergeableCounter, RateSchedule,
+    SBitmap, WindowedFleet,
 };
 
 use crate::backbone::BackboneSnapshot;
@@ -112,6 +113,19 @@ impl CollectSummary {
     /// The per-link estimate quantile probabilities reported (Figure 7's
     /// interior knots).
     pub const QUANTILES: [f64; 4] = [0.25, 0.50, 0.75, 0.99];
+}
+
+/// The Figure 7 quantile summary of a per-link estimate sample (sorted
+/// in place), at [`CollectSummary::QUANTILES`].
+fn quantile_summary(estimates: &mut [f64]) -> Vec<(f64, f64)> {
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+    CollectSummary::QUANTILES
+        .iter()
+        .map(|&p| {
+            let idx = ((estimates.len() as f64 - 1.0) * p).round() as usize;
+            (p, estimates[idx])
+        })
+        .collect()
 }
 
 /// What a node ships: a per-link S-bitmap checkpoint or the shard's
@@ -251,14 +265,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
             .sum::<f64>()
             / links.len() as f64;
         let mut sorted: Vec<f64> = links.iter().map(|r| r.estimate).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
-        let estimate_quantiles = CollectSummary::QUANTILES
-            .iter()
-            .map(|&p| {
-                let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-                (p, sorted[idx])
-            })
-            .collect();
+        let estimate_quantiles = quantile_summary(&mut sorted);
         Ok(CollectSummary {
             shards: cfg.shards,
             union_estimate: merged.as_ref().map_or(0.0, DistinctCounter::estimate),
@@ -271,6 +278,222 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
         })
     })?;
     Ok(summary)
+}
+
+// ---------------------------------------------------------------------
+// The windowed pipeline: per-epoch checkpoints, a central window ring
+// ---------------------------------------------------------------------
+
+/// Configuration for one windowed pipeline run.
+#[derive(Debug, Clone)]
+pub struct WindowedPipelineConfig {
+    /// Number of backbone links.
+    pub links: usize,
+    /// Node shards (worker threads); links are dealt round-robin.
+    pub shards: usize,
+    /// Per-link S-bitmap range `[1, n_max]` — size for the *window's*
+    /// cardinality, as [`WindowedFleet::new`] advises.
+    pub n_max: u64,
+    /// Per-link S-bitmap bits per epoch.
+    pub m_bits: usize,
+    /// Sliding-window span, in epochs (the ring's `W`).
+    pub window: usize,
+    /// Epochs the run simulates; the final summary covers the last
+    /// `min(window, epochs)` of them.
+    pub epochs: usize,
+    /// Workload + sketch seed.
+    pub seed: u64,
+}
+
+impl Default for WindowedPipelineConfig {
+    fn default() -> Self {
+        Self {
+            links: 150,
+            shards: 4,
+            n_max: 1_500_000,
+            m_bits: 8_000,
+            window: 8,
+            epochs: 12,
+            seed: 0xc011,
+        }
+    }
+}
+
+impl WindowedPipelineConfig {
+    /// Flows one link emits per epoch: the snapshot count spread over
+    /// the window, so a full window carries roughly the snapshot's
+    /// five-minute load (and the `n_max` sizing stays honest).
+    fn epoch_flows(&self, count: u64) -> u64 {
+        (count / self.window as u64).max(1)
+    }
+
+    /// Epochs contributing to the final window.
+    fn live_epochs(&self) -> usize {
+        self.window.min(self.epochs)
+    }
+}
+
+/// One per-link row of the windowed summary.
+#[derive(Debug, Clone)]
+pub struct WindowedLinkReport {
+    /// Link index in the snapshot.
+    pub link: usize,
+    /// True distinct flows across the final window's epochs (epoch
+    /// substreams are disjoint by construction, so the truth is a sum).
+    pub truth: u64,
+    /// The central ring's sliding-window estimate.
+    pub estimate: f64,
+}
+
+/// The windowed collector's aggregate output.
+#[derive(Debug, Clone)]
+pub struct WindowedSummary {
+    /// Per-link windowed reports, sorted by link index.
+    pub links: Vec<WindowedLinkReport>,
+    /// Node shards that ran.
+    pub shards: usize,
+    /// The window span, in epochs.
+    pub window: usize,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Epochs contributing to the final window (`min(window, epochs)`).
+    pub live_epochs: usize,
+    /// Checkpoint frames received and verified (one per shard per epoch).
+    pub checkpoints: usize,
+    /// Total checkpoint bytes that crossed the channel.
+    pub bytes_shipped: usize,
+    /// Mean absolute relative error of the windowed estimates.
+    pub mean_abs_rel_err: f64,
+    /// Quantiles of the per-link windowed estimates at
+    /// [`CollectSummary::QUANTILES`].
+    pub estimate_quantiles: Vec<(f64, f64)>,
+}
+
+/// Run the windowed node → collector pipeline end-to-end.
+///
+/// Each node shard rebuilds a fresh per-epoch [`FleetArena`] for its
+/// links, ships it as one v2 `sketch-fleet` checkpoint per epoch, and
+/// the **collector maintains the ring**: a central [`WindowedFleet`]
+/// absorbs every shard's epoch frame (shard key sets are disjoint, so
+/// the storage-level union reassembles exactly the state a single node
+/// would have built), rotating as epochs complete. Frames are replayed
+/// in `(epoch, shard)` order, so the summary is a pure function of the
+/// configuration — per-link windowed estimates are identical for any
+/// shard count, which `tests/windowed_fleet.rs` locks in.
+///
+/// # Errors
+///
+/// Invalid configuration (zero links/shards/window/epochs,
+/// un-dimensionable sketch parameters) or a checkpoint that fails
+/// verification at the collector.
+pub fn run_windowed_pipeline(cfg: &WindowedPipelineConfig) -> Result<WindowedSummary, String> {
+    if cfg.links == 0 || cfg.shards == 0 {
+        return Err("links and shards must be at least 1".into());
+    }
+    if cfg.window == 0 || cfg.epochs == 0 {
+        return Err("window and epochs must be at least 1".into());
+    }
+    let schedule =
+        Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
+    let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+    let (tx, rx) = mpsc::channel::<(usize, usize, Vec<u8>)>();
+
+    std::thread::scope(|scope| -> Result<WindowedSummary, String> {
+        // --- node shards: one epoch fleet, rebuilt (cleared) per epoch ---
+        for shard in 0..cfg.shards {
+            let tx = tx.clone();
+            let snapshot = &snapshot;
+            let schedule = schedule.clone();
+            scope.spawn(move || {
+                let mut fleet: FleetArena = FleetArena::with_schedule(schedule, cfg.seed);
+                let mut flows = Vec::new();
+                for epoch in 0..cfg.epochs {
+                    fleet.clear();
+                    for link in (shard..cfg.links).step_by(cfg.shards) {
+                        flows.clear();
+                        flows.extend(snapshot.link_epoch_stream(
+                            link,
+                            epoch as u64,
+                            cfg.epoch_flows(snapshot.counts()[link]),
+                        ));
+                        fleet.touch(link as u64);
+                        fleet.insert_u64s(link as u64, &flows);
+                    }
+                    if tx.send((epoch, shard, fleet.checkpoint())).is_err() {
+                        return; // collector gone; stop measuring
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // --- collector: buffer, order by (epoch, shard), replay into the
+        // ring. Ordering makes the run deterministic; with disjoint
+        // per-shard key sets the absorb order cannot change state, but a
+        // reproducible byte stream is worth one sort. ---
+        let mut frames: Vec<(usize, usize, Vec<u8>)> = rx.iter().collect();
+        frames.sort_by_key(|&(epoch, shard, _)| (epoch, shard));
+        if frames.len() != cfg.epochs * cfg.shards {
+            return Err(format!(
+                "collector saw {} of {} epoch frames",
+                frames.len(),
+                cfg.epochs * cfg.shards
+            ));
+        }
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window)
+            .map_err(|e| e.to_string())?;
+        let mut checkpoints = 0usize;
+        let mut bytes_shipped = 0usize;
+        for (epoch, shard, bytes) in &frames {
+            bytes_shipped += bytes.len();
+            checkpoints += 1;
+            let fleet: FleetArena = Checkpoint::restore(bytes)
+                .map_err(|e| format!("shard {shard} epoch {epoch}: {e}"))?;
+            ring.advance_to(*epoch as u64).map_err(|e| e.to_string())?;
+            if !ring
+                .absorb_epoch(*epoch as u64, &fleet)
+                .map_err(|e| format!("shard {shard} epoch {epoch}: {e}"))?
+            {
+                return Err(format!("shard {shard} epoch {epoch}: frame expired"));
+            }
+        }
+
+        // --- the §7.2 summary, now over the sliding window ---
+        let live = cfg.live_epochs() as u64;
+        let links: Vec<WindowedLinkReport> = ring
+            .estimates_sorted()
+            .into_iter()
+            .map(|(key, estimate)| {
+                let link = key as usize;
+                WindowedLinkReport {
+                    link,
+                    truth: live * cfg.epoch_flows(snapshot.counts()[link]),
+                    estimate,
+                }
+            })
+            .collect();
+        if links.len() != cfg.links {
+            return Err(format!("ring holds {} of {} links", links.len(), cfg.links));
+        }
+        let mean_abs_rel_err = links
+            .iter()
+            .map(|r| (r.estimate / r.truth as f64 - 1.0).abs())
+            .sum::<f64>()
+            / links.len() as f64;
+        let mut sorted: Vec<f64> = links.iter().map(|r| r.estimate).collect();
+        let estimate_quantiles = quantile_summary(&mut sorted);
+        Ok(WindowedSummary {
+            links,
+            shards: cfg.shards,
+            window: cfg.window,
+            epochs: cfg.epochs,
+            live_epochs: cfg.live_epochs(),
+            checkpoints,
+            bytes_shipped,
+            mean_abs_rel_err,
+            estimate_quantiles,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -361,6 +584,98 @@ mod tests {
         let s = run_pipeline(&cfg).unwrap();
         assert_eq!(s.links.len(), 2);
         assert_eq!(s.checkpoints, 2 + 8, "idle shards still ship a union");
+    }
+
+    fn small_windowed() -> WindowedPipelineConfig {
+        WindowedPipelineConfig {
+            links: 18,
+            shards: 3,
+            n_max: 100_000,
+            m_bits: 4_000,
+            window: 3,
+            epochs: 5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn windowed_pipeline_covers_every_link_with_window_truth() {
+        let cfg = small_windowed();
+        let s = run_windowed_pipeline(&cfg).unwrap();
+        assert_eq!(s.links.len(), 18);
+        assert_eq!(s.checkpoints, 5 * 3, "one frame per shard per epoch");
+        assert_eq!(s.live_epochs, 3);
+        let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+        for (i, r) in s.links.iter().enumerate() {
+            assert_eq!(r.link, i);
+            assert_eq!(r.truth, 3 * cfg.epoch_flows(snapshot.counts()[i]));
+        }
+        assert!(s.bytes_shipped > 0);
+        assert!(s.estimate_quantiles.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn windowed_estimates_track_window_truth() {
+        let s = run_windowed_pipeline(&small_windowed()).unwrap();
+        assert!(
+            s.mean_abs_rel_err < 0.15,
+            "windowed mean |rel err| {} too large",
+            s.mean_abs_rel_err
+        );
+    }
+
+    #[test]
+    fn windowed_shard_count_does_not_change_estimates() {
+        let mut cfg = small_windowed();
+        let a = run_windowed_pipeline(&cfg).unwrap();
+        cfg.shards = 1;
+        let b = run_windowed_pipeline(&cfg).unwrap();
+        cfg.shards = 4;
+        let c = run_windowed_pipeline(&cfg).unwrap();
+        for ((ra, rb), rc) in a.links.iter().zip(&b.links).zip(&c.links) {
+            assert_eq!(ra.estimate, rb.estimate, "link {}", ra.link);
+            assert_eq!(ra.estimate, rc.estimate, "link {}", ra.link);
+            assert_eq!(ra.truth, rb.truth, "link {}", ra.link);
+        }
+    }
+
+    #[test]
+    fn windowed_window_larger_than_epochs_is_fine() {
+        let mut cfg = small_windowed();
+        cfg.window = 10;
+        cfg.epochs = 2;
+        let s = run_windowed_pipeline(&cfg).unwrap();
+        assert_eq!(s.live_epochs, 2);
+        assert_eq!(s.checkpoints, 2 * 3);
+        assert!(s.mean_abs_rel_err < 0.2, "{}", s.mean_abs_rel_err);
+    }
+
+    #[test]
+    fn windowed_rejects_degenerate_configs() {
+        for broken in [
+            WindowedPipelineConfig {
+                links: 0,
+                ..small_windowed()
+            },
+            WindowedPipelineConfig {
+                shards: 0,
+                ..small_windowed()
+            },
+            WindowedPipelineConfig {
+                window: 0,
+                ..small_windowed()
+            },
+            WindowedPipelineConfig {
+                epochs: 0,
+                ..small_windowed()
+            },
+            WindowedPipelineConfig {
+                m_bits: 1,
+                ..small_windowed()
+            },
+        ] {
+            assert!(run_windowed_pipeline(&broken).is_err());
+        }
     }
 
     #[test]

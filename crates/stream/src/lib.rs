@@ -13,7 +13,9 @@
 //! * [`collector`] — the §7.2 deployment itself: sharded measurement
 //!   nodes shipping binary checkpoints over channels to a collector that
 //!   merges mergeable sketches and aggregates per-link S-bitmap
-//!   estimates.
+//!   estimates — including a *windowed* mode where nodes ship one
+//!   checkpoint per epoch and the collector maintains a central
+//!   sliding-window ring (`sbitmap_core::WindowedFleet`).
 //!
 //! Both trace generators are deterministic in their seed, and both match
 //! the *published statistics* of the original data (see DESIGN.md §4 for
@@ -30,6 +32,9 @@ pub mod generators;
 pub mod worm;
 
 pub use backbone::BackboneSnapshot;
-pub use collector::{run_pipeline, CollectSummary, LinkReport, PipelineConfig};
+pub use collector::{
+    run_pipeline, run_windowed_pipeline, CollectSummary, LinkReport, PipelineConfig,
+    WindowedLinkReport, WindowedPipelineConfig, WindowedSummary,
+};
 pub use generators::{distinct_items, shuffle_stream, zipf_stream, DistinctItems};
 pub use worm::{WormLink, WormTrace};

@@ -51,7 +51,7 @@ pub use sbitmap_baselines::{
 pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap, OwnedBitStore, SliceBitmap};
 pub use sbitmap_core::{
     BatchedCounter, Checkpoint, ConcurrentSBitmap, CounterKind, Dimensioning, DistinctCounter,
-    FleetArena, MergeableCounter, ParallelFleet, RateSchedule, RotatingCounter, SBitmap,
-    SBitmapError, SharedCounter, SketchFleet,
+    EpochClock, FleetArena, KeyedEstimates, MergeableCounter, ParallelFleet, RateSchedule,
+    RotatingCounter, SBitmap, SBitmapError, SharedCounter, SketchFleet, WindowedFleet,
 };
 pub use sbitmap_hash::{HashKind, Hasher64};
