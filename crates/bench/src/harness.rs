@@ -119,10 +119,12 @@ impl Bench {
 /// Serialize measurements as a JSON document (no external JSON crate;
 /// the format is flat and the strings are controlled identifiers).
 ///
-/// Every document records the host's `available_parallelism` alongside
-/// the caller's metadata: flat multi-thread lanes are meaningless
-/// without knowing how many cores the run actually had (a 1-CPU CI
-/// container *should* show a 1.0x shard speedup).
+/// Every document records the host's `available_parallelism` and the
+/// dispatched word-kernel path (`"simd"`) alongside the caller's
+/// metadata: flat multi-thread lanes are meaningless without knowing how
+/// many cores the run actually had (a 1-CPU CI container *should* show a
+/// 1.0x shard speedup), and single-thread numbers are meaningless
+/// without knowing whether the AVX2 or the scalar kernels ran.
 pub fn to_json(bench_name: &str, metadata: &[(&str, String)], results: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -130,6 +132,10 @@ pub fn to_json(bench_name: &str, metadata: &[(&str, String)], results: &[Measure
     out.push_str(&format!(
         "  \"available_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    ));
+    out.push_str(&format!(
+        "  \"simd\": \"{}\",\n",
+        sbitmap_bitvec::kernels::active_path()
     ));
     for (k, v) in metadata {
         out.push_str(&format!("  \"{}\": {},\n", escape(k), json_value(v)));
@@ -214,6 +220,7 @@ mod tests {
         );
         assert!(j.contains("\"bench\": \"ingest\""));
         assert!(j.contains("\"available_parallelism\": "));
+        assert!(j.contains("\"simd\": \"avx2\"") || j.contains("\"simd\": \"scalar\""));
         assert!(j.contains("\"links\": 600"));
         assert!(j.contains("\"gen\": \"backbone\""));
         assert!(j.contains("case-\\\"a\\\""));

@@ -16,14 +16,24 @@
 //!   arena, so the cost should be flat in `W`;
 //! * **query_w8** — a full [`WindowedFleet::estimates`] sweep over a
 //!   populated 8-epoch ring; `ns/item` here is nanoseconds per queried
-//!   key (the O(⌈m/64⌉·W) union merge).
+//!   key (the fused single-pass union merge on the dispatched
+//!   [`sbitmap_bitvec::kernels`] path);
+//! * **query_naive_w8** — the same sweep through
+//!   [`WindowedFleet::estimate_naive`], the pre-kernel three-pass
+//!   reference (zero scratch → per-epoch scalar OR → separate
+//!   popcount). Because both lanes run in the *same* process on the
+//!   *same* ring, their ratio (`query_fused_vs_naive_speedup`) is a
+//!   host-independent measure of what the fused kernel path buys — CI
+//!   gates it with `--assert-min-query-speedup`.
 //!
 //! Before timing anything, [`run`] proves the windowed fleet agrees
-//! with the plain arena at `W = 1` and that batched windowed ingest is
-//! bit-identical to a scalar feed across epoch boundaries — a benchmark
-//! of wrong code is worse than no benchmark (same policy as
-//! [`crate::fleet`]). Results serialize to `BENCH_window.json`; CI
-//! gates `w8_vs_arena_overhead` (the acceptance bound is ≤ 1.5×).
+//! with the plain arena at `W = 1`, that batched windowed ingest is
+//! bit-identical to a scalar feed across epoch boundaries, and that the
+//! fused and naive query paths return identical fills and estimates for
+//! every key of the query ring — a benchmark of wrong code is worse
+//! than no benchmark (same policy as [`crate::fleet`]). Results
+//! serialize to `BENCH_window.json`; CI gates `w8_vs_arena_overhead`
+//! (the acceptance bound is ≤ 1.5×) and the query speedup.
 
 use std::sync::Arc;
 
@@ -112,6 +122,18 @@ pub fn w8_overhead(results: &[Measurement]) -> f64 {
     }
 }
 
+/// Fused window-query speedup over the in-run naive three-pass
+/// reference — `naive ns/key ÷ fused ns/key`, the number CI gates with
+/// `--assert-min-query-speedup`. Returns `0.0` when either lane is
+/// missing.
+pub fn query_speedup(results: &[Measurement]) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (find("window_query_naive_w8"), find("window_query_w8")) {
+        (Some(n), Some(f)) if f.ns_per_item() > 0.0 => n.ns_per_item() / f.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
 /// The per-epoch item budget: `rotations` rotations over the workload.
 fn epoch_budget(cfg: &WindowConfig, n_pairs: usize) -> u64 {
     (n_pairs as u64 / cfg.rotations.max(1) as u64).max(1)
@@ -155,17 +177,43 @@ pub fn run(cfg: &WindowConfig) -> WindowRun {
             fleet.len()
         }));
     }
-    // Query lane: a populated 8-epoch ring, full estimates sweep.
+    // Query lanes: a populated 8-epoch ring, full estimates sweep —
+    // fused kernel path vs the in-run naive three-pass reference. The
+    // two must agree key-for-key before either is timed.
     {
         let mut fleet: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), cfg.seed, 8)
             .expect("window >= 1")
             .with_epoch_items(budget)
             .expect("budget >= 1");
         fleet.insert_batch(&pairs);
+        for key in fleet.keys_sorted() {
+            assert_eq!(
+                fleet.window_fill(key),
+                fleet.window_fill_naive(key),
+                "fused window fill diverged from the naive reference for key {key} \
+                 — refusing to benchmark broken code"
+            );
+            assert_eq!(
+                fleet.estimate(key),
+                fleet.estimate_naive(key),
+                "fused window estimate diverged from the naive reference for key {key} \
+                 — refusing to benchmark broken code"
+            );
+        }
         let keys = fleet.len() as u64;
         results.push(bench.run("window_query_w8", keys, || {
             let estimates = fleet.estimates();
             estimates.len()
+        }));
+        results.push(bench.run("window_query_naive_w8", keys, || {
+            // The same sweep shape as `estimates()` (sorted key list,
+            // one estimate per key), on the naive union path.
+            fleet
+                .keys_sorted()
+                .into_iter()
+                .map(|k| fleet.estimate_naive(k).expect("key is live"))
+                .fold(0.0f64, |acc, e| acc + e)
+                .to_bits() as usize
         }));
     }
 
@@ -208,6 +256,11 @@ pub fn report_json(cfg: &WindowConfig, run: &WindowRun) -> String {
         .iter()
         .find(|m| m.name == "window_query_w8")
         .map_or(0.0, Measurement::ns_per_item);
+    let naive_ns = run
+        .results
+        .iter()
+        .find(|m| m.name == "window_query_naive_w8")
+        .map_or(0.0, Measurement::ns_per_item);
     crate::harness::to_json(
         "window",
         &[
@@ -226,6 +279,11 @@ pub fn report_json(cfg: &WindowConfig, run: &WindowRun) -> String {
                 format!("{:.3}", w8_overhead(&run.results)),
             ),
             ("query_ns_per_key_w8", format!("{query_ns:.1}")),
+            ("query_naive_ns_per_key_w8", format!("{naive_ns:.1}")),
+            (
+                "query_fused_vs_naive_speedup",
+                format!("{:.3}", query_speedup(&run.results)),
+            ),
             ("strategies_agree", run.strategies_agree.to_string()),
         ],
         &run.results,
@@ -254,14 +312,19 @@ mod tests {
             "backbone_window_w8",
             "backbone_window_w32",
             "window_query_w8",
+            "window_query_naive_w8",
         ] {
             assert!(names.contains(&expect), "missing lane {expect}");
         }
         assert!(w8_overhead(&run.results) > 0.0);
+        assert!(query_speedup(&run.results) > 0.0);
         let json = report_json(&cfg, &run);
         assert!(json.contains("\"bench\": \"window\""));
         assert!(json.contains("w8_vs_arena_overhead"));
         assert!(json.contains("query_ns_per_key_w8"));
+        assert!(json.contains("query_naive_ns_per_key_w8"));
+        assert!(json.contains("query_fused_vs_naive_speedup"));
+        assert!(json.contains("\"simd\": "));
         assert!(json.contains("\"strategies_agree\": \"true\""));
     }
 }

@@ -107,12 +107,19 @@ impl AtomicBitmap {
 
     /// Number of one bits, by relaxed word loads. Exact once all writers
     /// have synchronized with this thread; during a concurrent ingest it
-    /// is a live lower-bound snapshot.
+    /// is a live lower-bound snapshot. Loads land in a stack buffer in
+    /// cache-line-sized runs so the popcount itself runs on the
+    /// dispatched [`crate::kernels`] path.
     pub fn count_ones(&self) -> usize {
-        self.words
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
-            .sum()
+        let mut buf = [0u64; 64];
+        let mut total = 0usize;
+        for chunk in self.words.chunks(64) {
+            for (b, w) in buf.iter_mut().zip(chunk) {
+                *b = w.load(Ordering::Relaxed);
+            }
+            total += crate::kernels::popcount_slice(&buf[..chunk.len()]);
+        }
+        total
     }
 
     /// Number of zero bits (`m − |V|`).

@@ -103,9 +103,10 @@ impl Bitmap {
         was_one
     }
 
-    /// Number of one bits (`|V|`), by word-level popcount.
+    /// Number of one bits (`|V|`), by word-level popcount on the
+    /// dispatched [`crate::kernels`] path.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount_slice(&self.words)
     }
 
     /// Number of zero bits (`m − |V|`), the statistic linear counting uses.
@@ -145,7 +146,8 @@ impl Bitmap {
 
     /// Word-level in-place union (`self |= other`), returning how many
     /// bits this call newly set — the increment a mergeable sketch's fill
-    /// counter needs, obtained from word popcounts rather than a second
+    /// counter needs, obtained in the same pass (the
+    /// [`crate::kernels::union_or_count`] kernel) rather than a second
     /// full scan.
     ///
     /// # Errors
@@ -158,13 +160,10 @@ impl Bitmap {
                 self.len, other.len
             ));
         }
-        let mut newly = 0usize;
-        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
-            let merged = *a | b;
-            newly += (merged ^ *a).count_ones() as usize;
-            *a = merged;
-        }
-        Ok(newly)
+        Ok(crate::kernels::union_or_count(
+            &mut self.words,
+            &other.words,
+        ))
     }
 
     /// Payload size in bits, as the paper accounts memory. The partial last

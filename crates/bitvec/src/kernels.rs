@@ -1,0 +1,617 @@
+//! Runtime-dispatched word kernels: the vectorized inner loops every
+//! word-at-a-time bitmap operation in the workspace runs on.
+//!
+//! The rest of the crate (and the fleet/window layers above it) express
+//! their hot paths as operations over `&[u64]` word slices: popcount a
+//! region, OR one region into another and report the newly set bits, or
+//! accumulate an OR *and* the running popcount in one pass (the fused
+//! window-query kernel). This module provides each of those as a pair of
+//! bit-identical implementations —
+//!
+//! * a **scalar** loop (`u64` ops only, every platform), and
+//! * an **AVX2** loop (x86-64, 4 words per vector, nibble-LUT popcount)
+//!
+//! — behind a function-pointer table selected **once per process**:
+//! [`WordKernels::dispatched`] probes `is_x86_feature_detected!("avx2")`
+//! the first time any kernel runs and caches the result, so steady-state
+//! calls are one indirect call with zero per-call feature checks.
+//!
+//! Setting the environment variable `SBITMAP_FORCE_SCALAR=1` (any value
+//! other than `0`/empty) before the first kernel call pins the dispatch
+//! to the scalar table — that is how CI exercises the scalar path on
+//! AVX2 hosts, and how a misbehaving host can be triaged. The scalar
+//! table also stays reachable directly via [`WordKernels::scalar`], so
+//! differential tests can compare the two paths *within* one process.
+//!
+//! Every kernel is a pure function of its input words; the AVX2 and
+//! scalar variants are locked bit-identical (same outputs, same counts)
+//! by the property tests in this module and the workspace-level
+//! `tests/kernel_parity.rs` suite. Checkpoint bytes therefore cannot
+//! depend on which path ran.
+
+use std::sync::OnceLock;
+
+/// The word-kernel table: one entry per primitive, all entries from the
+/// same implementation family (never a mix).
+#[derive(Debug)]
+pub struct WordKernels {
+    /// `"avx2"` or `"scalar"` — recorded in every `BENCH_*.json` header.
+    name: &'static str,
+    popcount: fn(&[u64]) -> usize,
+    or_into: fn(&mut [u64], &[u64]),
+    union_or_count: fn(&mut [u64], &[u64]) -> usize,
+    or_accumulate_popcount: fn(&mut [u64], &[u64]) -> usize,
+    or_gather_popcount: fn(&mut [u64], &[&[u64]], bool) -> usize,
+}
+
+static SCALAR: WordKernels = WordKernels {
+    name: "scalar",
+    popcount: scalar::popcount,
+    or_into: scalar::or_into,
+    union_or_count: scalar::union_or_count,
+    or_accumulate_popcount: scalar::or_accumulate_popcount,
+    or_gather_popcount: scalar::or_gather_popcount,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: WordKernels = WordKernels {
+    name: "avx2",
+    popcount: avx2::popcount,
+    or_into: avx2::or_into,
+    union_or_count: avx2::union_or_count,
+    or_accumulate_popcount: avx2::or_accumulate_popcount,
+    or_gather_popcount: avx2::or_gather_popcount,
+};
+
+/// `true` when `SBITMAP_FORCE_SCALAR` is set to anything but `0`/empty.
+pub(crate) fn force_scalar() -> bool {
+    std::env::var_os("SBITMAP_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+impl WordKernels {
+    /// The table the process dispatched to: AVX2 when the CPU has it and
+    /// `SBITMAP_FORCE_SCALAR` is unset, scalar otherwise. Detection runs
+    /// once; every later call returns the cached table.
+    pub fn dispatched() -> &'static WordKernels {
+        static TABLE: OnceLock<&'static WordKernels> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            #[cfg(target_arch = "x86_64")]
+            if !force_scalar() && std::arch::is_x86_feature_detected!("avx2") {
+                return &AVX2;
+            }
+            &SCALAR
+        })
+    }
+
+    /// The scalar table, always available — the reference side of every
+    /// differential test.
+    pub fn scalar() -> &'static WordKernels {
+        &SCALAR
+    }
+
+    /// The implementation family: `"avx2"` or `"scalar"`.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of one bits across `words`.
+    #[inline]
+    pub fn popcount(&self, words: &[u64]) -> usize {
+        (self.popcount)(words)
+    }
+
+    /// `dst |= src`, word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn or_into(&self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "or_into: slice lengths differ");
+        (self.or_into)(dst, src);
+    }
+
+    /// `dst |= src`, returning how many bits the OR newly set — the
+    /// increment a mergeable sketch's fill counter needs, without a
+    /// second scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn union_or_count(&self, dst: &mut [u64], src: &[u64]) -> usize {
+        assert_eq!(dst.len(), src.len(), "union_or_count: slice lengths differ");
+        (self.union_or_count)(dst, src)
+    }
+
+    /// The fused window-query kernel: `acc |= src` and the popcount of
+    /// `acc` *after* the OR, both in one pass. A W-epoch union that ends
+    /// with this call gets its final fill with zero extra scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn or_accumulate_popcount(&self, acc: &mut [u64], src: &[u64]) -> usize {
+        assert_eq!(
+            acc.len(),
+            src.len(),
+            "or_accumulate_popcount: slice lengths differ"
+        );
+        (self.or_accumulate_popcount)(acc, src)
+    }
+
+    /// The multi-source fused kernel behind the sliding-window query:
+    /// OR every slice of `srcs` into `acc` — overwriting `acc` when
+    /// `overwrite` is set, accumulating otherwise — and return the
+    /// popcount of `acc` after, all in **one pass over the words**. A
+    /// W-epoch union becomes `W` source reads, one write and the final
+    /// popcount per word, instead of `W` separate read-modify-write
+    /// passes plus a popcount sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `acc`, or if `srcs` is
+    /// empty while `overwrite` is set (there would be nothing to define
+    /// `acc` from).
+    #[inline]
+    pub fn or_gather_popcount(&self, acc: &mut [u64], srcs: &[&[u64]], overwrite: bool) -> usize {
+        for s in srcs {
+            assert_eq!(
+                acc.len(),
+                s.len(),
+                "or_gather_popcount: slice lengths differ"
+            );
+        }
+        assert!(
+            !(overwrite && srcs.is_empty()),
+            "or_gather_popcount: overwrite needs at least one source"
+        );
+        (self.or_gather_popcount)(acc, srcs, overwrite)
+    }
+}
+
+/// [`WordKernels::popcount`] on the dispatched table.
+#[inline]
+pub fn popcount_slice(words: &[u64]) -> usize {
+    WordKernels::dispatched().popcount(words)
+}
+
+/// [`WordKernels::or_into`] on the dispatched table.
+#[inline]
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    WordKernels::dispatched().or_into(dst, src);
+}
+
+/// [`WordKernels::union_or_count`] on the dispatched table.
+#[inline]
+pub fn union_or_count(dst: &mut [u64], src: &[u64]) -> usize {
+    WordKernels::dispatched().union_or_count(dst, src)
+}
+
+/// [`WordKernels::or_accumulate_popcount`] on the dispatched table.
+#[inline]
+pub fn or_accumulate_popcount(acc: &mut [u64], src: &[u64]) -> usize {
+    WordKernels::dispatched().or_accumulate_popcount(acc, src)
+}
+
+/// [`WordKernels::or_gather_popcount`] on the dispatched table.
+#[inline]
+pub fn or_gather_popcount(acc: &mut [u64], srcs: &[&[u64]], overwrite: bool) -> usize {
+    WordKernels::dispatched().or_gather_popcount(acc, srcs, overwrite)
+}
+
+/// The dispatched implementation family: `"avx2"` or `"scalar"`.
+/// Benchmark reports record this next to `available_parallelism`.
+#[inline]
+pub fn active_path() -> &'static str {
+    WordKernels::dispatched().name()
+}
+
+mod scalar {
+    //! The portable loops. On x86-64 these compile to `popcnt` and
+    //! SSE2-width ORs; the point of the AVX2 table is the 256-bit width
+    //! and the single-pass fusion, not beating these per instruction.
+
+    pub(super) fn popcount(words: &[u64]) -> usize {
+        words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub(super) fn or_into(dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d |= s;
+        }
+    }
+
+    pub(super) fn union_or_count(dst: &mut [u64], src: &[u64]) -> usize {
+        let mut newly = 0usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            let merged = *d | s;
+            newly += (merged ^ *d).count_ones() as usize;
+            *d = merged;
+        }
+        newly
+    }
+
+    pub(super) fn or_accumulate_popcount(acc: &mut [u64], src: &[u64]) -> usize {
+        let mut pop = 0usize;
+        for (a, &s) in acc.iter_mut().zip(src) {
+            let merged = *a | s;
+            pop += merged.count_ones() as usize;
+            *a = merged;
+        }
+        pop
+    }
+
+    pub(super) fn or_gather_popcount(
+        acc: &mut [u64],
+        mut srcs: &[&[u64]],
+        mut overwrite: bool,
+    ) -> usize {
+        // Fixed two-source passes, then a fused final pass: every loop
+        // here is a plain slice zip the autovectorizer turns into full
+        // vector ORs — a dynamic inner loop over `srcs` per word would
+        // defeat it and lose to the naive pass-per-source shape.
+        while srcs.len() > 2 {
+            let (a, b) = (srcs[0], srcs[1]);
+            if overwrite {
+                for ((d, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+                    *d = x | y;
+                }
+                overwrite = false;
+            } else {
+                for ((d, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+                    *d |= x | y;
+                }
+            }
+            srcs = &srcs[2..];
+        }
+        let mut pop = 0usize;
+        match (srcs, overwrite) {
+            ([a, b], true) => {
+                for ((d, &x), &y) in acc.iter_mut().zip(*a).zip(*b) {
+                    let v = x | y;
+                    *d = v;
+                    pop += v.count_ones() as usize;
+                }
+            }
+            ([a, b], false) => {
+                for ((d, &x), &y) in acc.iter_mut().zip(*a).zip(*b) {
+                    let v = *d | x | y;
+                    *d = v;
+                    pop += v.count_ones() as usize;
+                }
+            }
+            ([a], true) => {
+                for (d, &x) in acc.iter_mut().zip(*a) {
+                    *d = x;
+                    pop += x.count_ones() as usize;
+                }
+            }
+            ([a], false) => pop = or_accumulate_popcount(acc, a),
+            // Empty with overwrite is rejected by the dispatch wrapper;
+            // empty without overwrite is a pure popcount of `acc`.
+            (_, _) => pop = popcount(acc),
+        }
+        pop
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! 256-bit variants: 4 words per vector, unaligned loads (arena
+    //! regions are word- but not vector-aligned), popcounts via the
+    //! nibble-LUT (`vpshufb`) + `vpsadbw` reduction. All `unsafe` in the
+    //! crate beyond the prefetch hint lives here; every intrinsic body
+    //! is reached only through the safe wrappers below, which are only
+    //! installed in the dispatch table after AVX2 detection succeeded.
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_loadu_si256,
+        _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256,
+        _mm256_shuffle_epi8, _mm256_srli_epi16, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    /// Per-64-bit-lane popcount of `v` (Muła's nibble-LUT algorithm).
+    #[inline(always)]
+    unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+        let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(counts, _mm256_setzero_si256())
+    }
+
+    /// Sum the four 64-bit lanes of an accumulator.
+    #[inline(always)]
+    unsafe fn hsum_epi64(v: __m256i) -> usize {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v);
+        (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount_impl(words: &[u64]) -> usize {
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for c in &mut chunks {
+            let v = _mm256_loadu_si256(c.as_ptr().cast());
+            acc = _mm256_add_epi64(acc, popcnt_epi64(v));
+        }
+        let mut total = hsum_epi64(acc);
+        for &w in chunks.remainder() {
+            total += w.count_ones() as usize;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn or_into_impl(dst: &mut [u64], src: &[u64]) {
+        let mut d_chunks = dst.chunks_exact_mut(4);
+        let mut s_chunks = src.chunks_exact(4);
+        for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+            let dv = _mm256_loadu_si256(d.as_ptr().cast());
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), _mm256_or_si256(dv, sv));
+        }
+        for (d, &s) in d_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(s_chunks.remainder())
+        {
+            *d |= s;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn union_or_count_impl(dst: &mut [u64], src: &[u64]) -> usize {
+        let mut d_chunks = dst.chunks_exact_mut(4);
+        let mut s_chunks = src.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+            let dv = _mm256_loadu_si256(d.as_ptr().cast());
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let merged = _mm256_or_si256(dv, sv);
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), merged);
+            acc = _mm256_add_epi64(acc, popcnt_epi64(_mm256_xor_si256(merged, dv)));
+        }
+        let mut newly = hsum_epi64(acc);
+        for (d, &s) in d_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(s_chunks.remainder())
+        {
+            let merged = *d | s;
+            newly += (merged ^ *d).count_ones() as usize;
+            *d = merged;
+        }
+        newly
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn or_accumulate_popcount_impl(acc: &mut [u64], src: &[u64]) -> usize {
+        let mut a_chunks = acc.chunks_exact_mut(4);
+        let mut s_chunks = src.chunks_exact(4);
+        let mut pops = _mm256_setzero_si256();
+        for (a, s) in (&mut a_chunks).zip(&mut s_chunks) {
+            let av = _mm256_loadu_si256(a.as_ptr().cast());
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let merged = _mm256_or_si256(av, sv);
+            _mm256_storeu_si256(a.as_mut_ptr().cast(), merged);
+            pops = _mm256_add_epi64(pops, popcnt_epi64(merged));
+        }
+        let mut pop = hsum_epi64(pops);
+        for (a, &s) in a_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(s_chunks.remainder())
+        {
+            let merged = *a | s;
+            pop += merged.count_ones() as usize;
+            *a = merged;
+        }
+        pop
+    }
+
+    // Safe wrappers with the plain `fn` signature the dispatch table
+    // needs. SAFETY (all four): these symbols are referenced only by the
+    // `AVX2` table, which `WordKernels::dispatched` installs exclusively
+    // after `is_x86_feature_detected!("avx2")` returned true, so the
+    // target-feature contract of the inner functions holds.
+
+    pub(super) fn popcount(words: &[u64]) -> usize {
+        unsafe { popcount_impl(words) }
+    }
+
+    pub(super) fn or_into(dst: &mut [u64], src: &[u64]) {
+        unsafe { or_into_impl(dst, src) }
+    }
+
+    pub(super) fn union_or_count(dst: &mut [u64], src: &[u64]) -> usize {
+        unsafe { union_or_count_impl(dst, src) }
+    }
+
+    pub(super) fn or_accumulate_popcount(acc: &mut [u64], src: &[u64]) -> usize {
+        unsafe { or_accumulate_popcount_impl(acc, src) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn or_gather_popcount_impl(acc: &mut [u64], srcs: &[&[u64]], overwrite: bool) -> usize {
+        let n = acc.len();
+        let zero = _mm256_setzero_si256();
+        let mut pops = zero;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let mut v = if overwrite {
+                zero
+            } else {
+                _mm256_loadu_si256(acc.as_ptr().add(i).cast())
+            };
+            for s in srcs {
+                // Length equality is asserted by the dispatch wrapper,
+                // so `s.as_ptr().add(i)` stays in bounds.
+                v = _mm256_or_si256(v, _mm256_loadu_si256(s.as_ptr().add(i).cast()));
+            }
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), v);
+            pops = _mm256_add_epi64(pops, popcnt_epi64(v));
+            i += 4;
+        }
+        let mut pop = hsum_epi64(pops);
+        for j in i..n {
+            let mut v = if overwrite { 0 } else { acc[j] };
+            for s in srcs {
+                v |= s[j];
+            }
+            acc[j] = v;
+            pop += v.count_ones() as usize;
+        }
+        pop
+    }
+
+    pub(super) fn or_gather_popcount(acc: &mut [u64], srcs: &[&[u64]], overwrite: bool) -> usize {
+        unsafe { or_gather_popcount_impl(acc, srcs, overwrite) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic word-slice generator covering the shapes the issue
+    /// calls out: empty, single word, vector-width multiples, odd
+    /// lengths with tails, all-zeros, all-ones.
+    fn cases() -> Vec<(Vec<u64>, Vec<u64>)> {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Vec::new();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 64, 125, 127, 200] {
+            let a: Vec<u64> = (0..len).map(|_| next()).collect();
+            let b: Vec<u64> = (0..len).map(|_| next()).collect();
+            out.push((a, b));
+            out.push((vec![0u64; len], vec![u64::MAX; len]));
+            out.push((vec![u64::MAX; len], vec![u64::MAX; len]));
+        }
+        out
+    }
+
+    #[test]
+    fn dispatched_and_scalar_are_bit_identical() {
+        let d = WordKernels::dispatched();
+        let s = WordKernels::scalar();
+        for (a, b) in cases() {
+            assert_eq!(d.popcount(&a), s.popcount(&a), "popcount len {}", a.len());
+
+            let (mut da, mut sa) = (a.clone(), a.clone());
+            d.or_into(&mut da, &b);
+            s.or_into(&mut sa, &b);
+            assert_eq!(da, sa, "or_into len {}", a.len());
+
+            let (mut da, mut sa) = (a.clone(), a.clone());
+            let dn = d.union_or_count(&mut da, &b);
+            let sn = s.union_or_count(&mut sa, &b);
+            assert_eq!(da, sa, "union_or_count words len {}", a.len());
+            assert_eq!(dn, sn, "union_or_count count len {}", a.len());
+
+            let (mut da, mut sa) = (a.clone(), a.clone());
+            let dp = d.or_accumulate_popcount(&mut da, &b);
+            let sp = s.or_accumulate_popcount(&mut sa, &b);
+            assert_eq!(da, sa, "or_accumulate words len {}", a.len());
+            assert_eq!(dp, sp, "or_accumulate pop len {}", a.len());
+
+            for overwrite in [true, false] {
+                for srcs in [
+                    &[&a[..]][..],
+                    &[&a[..], &b[..]][..],
+                    &[&b[..], &a[..], &b[..]][..],
+                ] {
+                    let (mut da, mut sa) = (b.clone(), b.clone());
+                    let dg = d.or_gather_popcount(&mut da, srcs, overwrite);
+                    let sg = s.or_gather_popcount(&mut sa, srcs, overwrite);
+                    assert_eq!(
+                        (da, dg),
+                        (sa, sg),
+                        "or_gather len {} srcs {} overwrite {overwrite}",
+                        a.len(),
+                        srcs.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_first_principles() {
+        for (a, b) in cases() {
+            let k = WordKernels::dispatched();
+            let expect_pop: usize = a.iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(k.popcount(&a), expect_pop);
+
+            let mut merged = a.clone();
+            let newly = k.union_or_count(&mut merged, &b);
+            let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x | y).collect();
+            assert_eq!(merged, expect);
+            assert_eq!(newly, k.popcount(&expect) - expect_pop);
+
+            let mut acc = a.clone();
+            let pop = k.or_accumulate_popcount(&mut acc, &b);
+            assert_eq!(acc, expect);
+            assert_eq!(pop, k.popcount(&expect));
+
+            // Gather with overwrite rebuilds the same union from
+            // scratch contents that must be ignored; without overwrite
+            // it accumulates on top.
+            let mut gathered = vec![u64::MAX; a.len()];
+            let pop = k.or_gather_popcount(&mut gathered, &[&a, &b], true);
+            assert_eq!(gathered, expect);
+            assert_eq!(pop, k.popcount(&expect));
+            let mut acc2 = a.clone();
+            let pop = k.or_gather_popcount(&mut acc2, &[&b], false);
+            assert_eq!(acc2, expect);
+            assert_eq!(pop, k.popcount(&expect));
+            if !a.is_empty() {
+                let mut acc3 = a.clone();
+                assert_eq!(
+                    k.or_gather_popcount(&mut acc3, &[], false),
+                    k.popcount(&a),
+                    "empty gather is a popcount of the accumulator"
+                );
+                assert_eq!(acc3, a);
+            }
+        }
+    }
+
+    #[test]
+    fn free_functions_route_through_the_dispatched_table() {
+        let a = vec![0b1011u64, u64::MAX, 0];
+        let b = vec![0b0110u64, 1, 1 << 63];
+        assert_eq!(popcount_slice(&a), 3 + 64);
+        let mut d = a.clone();
+        assert_eq!(union_or_count(&mut d, &b), 2);
+        let mut d2 = a.clone();
+        or_into(&mut d2, &b);
+        assert_eq!(d, d2);
+        let mut acc = a;
+        assert_eq!(or_accumulate_popcount(&mut acc, &b), 3 + 64 + 2);
+        assert_eq!(acc, d);
+        assert!(matches!(active_path(), "avx2" | "scalar"));
+        assert_eq!(active_path(), WordKernels::dispatched().name());
+        assert_eq!(WordKernels::scalar().name(), "scalar");
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        union_or_count(&mut [0u64; 2], &[0u64; 3]);
+    }
+}

@@ -34,15 +34,24 @@
 //! Both report their *payload* size in bits exactly the way the paper
 //! accounts memory (§6.2: "the size of the summary statistics (in bits)").
 //!
-//! The crate contains exactly one `unsafe` expression: the x86-64
-//! prefetch intrinsic behind [`Bitmap::prefetch`] /
-//! [`AtomicBitmap::prefetch`], which performs no memory access.
+//! Word-level operations — popcounts, unions, the fused OR+popcount the
+//! sliding-window query runs on — go through the [`kernels`] module: a
+//! function-pointer table filled once per process with either AVX2 or
+//! scalar loops (`is_x86_feature_detected!`, overridable with
+//! `SBITMAP_FORCE_SCALAR=1`), the two property-tested bit-identical.
+//!
+//! `unsafe` in this crate is confined to two places, both hardware
+//! interfaces: the x86-64 prefetch intrinsic behind [`Bitmap::prefetch`]
+//! / [`AtomicBitmap::prefetch`] (a pure cache hint, no memory access),
+//! and the AVX2 intrinsic bodies inside [`kernels`] (reachable only
+//! after runtime feature detection).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 mod atomic;
 mod bitmap;
+pub mod kernels;
 mod registers;
 mod slice;
 mod store;

@@ -109,9 +109,10 @@ impl<'a> SliceBitmap<'a> {
         crate::prefetch_word(self.words, idx >> 6);
     }
 
-    /// Number of one bits, by word-level popcount.
+    /// Number of one bits, by word-level popcount on the dispatched
+    /// [`crate::kernels`] path.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount_slice(self.words)
     }
 
     /// Reset every bit to zero.

@@ -44,6 +44,10 @@ pub struct Options {
     /// `bench-window` regression gate: fail if W=8 windowed ingest costs
     /// more than this many times the plain arena per item.
     pub assert_max_overhead: Option<f64>,
+    /// `bench-window` regression gate: fail unless the fused W=8 window
+    /// query is at least this many times faster than the in-run naive
+    /// three-pass reference lane.
+    pub assert_min_query_speedup: Option<f64>,
     /// Positional arguments (checkpoint file paths for `restore`/`merge`).
     pub paths: Vec<String>,
 }
@@ -69,6 +73,7 @@ impl Options {
             window: 8,
             epochs: 12,
             assert_max_overhead: None,
+            assert_min_query_speedup: None,
             paths: Vec::new(),
         }
     }
@@ -174,6 +179,18 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     return Err(format!("--assert-max-overhead must be positive, got {v}"));
                 }
                 opts.assert_max_overhead = Some(v);
+                i += 2;
+            }
+            "--assert-min-query-speedup" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-min-query-speedup: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "--assert-min-query-speedup must be positive, got {v}"
+                    ));
+                }
+                opts.assert_min_query_speedup = Some(v);
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -287,6 +304,16 @@ mod tests {
         assert_eq!(d.assert_max_overhead, None);
         assert!(parse(&args("--assert-max-overhead 0")).is_err());
         assert!(parse(&args("--assert-max-overhead nah")).is_err());
+    }
+
+    #[test]
+    fn parses_assert_min_query_speedup() {
+        let o = parse(&args("--assert-min-query-speedup 1.5")).unwrap();
+        assert_eq!(o.assert_min_query_speedup, Some(1.5));
+        assert_eq!(parse(&[]).unwrap().assert_min_query_speedup, None);
+        assert!(parse(&args("--assert-min-query-speedup 0")).is_err());
+        assert!(parse(&args("--assert-min-query-speedup -1")).is_err());
+        assert!(parse(&args("--assert-min-query-speedup nah")).is_err());
     }
 
     #[test]

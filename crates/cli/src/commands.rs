@@ -75,11 +75,13 @@ commands:
                     --assert-min-speedup X (fail unless arena ≥ X·legacy)
   bench-window
              time sliding-window fleet ingest at W ∈ {2, 8, 32} epochs
-             vs the plain arena (+ window query cost) and write a JSON
-             report
+             vs the plain arena, plus the fused window query vs its
+             naive three-pass reference, and write a JSON report
              flags: --links L --pairs P --budget-ms MS --seed S
                     --out PATH (default BENCH_window.json)
                     --assert-max-overhead X (fail if w8 > X·arena)
+                    --assert-min-query-speedup X (fail unless the fused
+                      query ≥ X times the naive reference lane)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -679,6 +681,8 @@ fn bench_window(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     }
     let overhead = sbitmap_bench::window::w8_overhead(&run.results);
     writeln!(out, "w8 ingest vs plain arena: {overhead:.2}x").map_err(io_err)?;
+    let speedup = sbitmap_bench::window::query_speedup(&run.results);
+    writeln!(out, "fused query vs naive reference: {speedup:.2}x").map_err(io_err)?;
     let json = sbitmap_bench::window::report_json(&cfg, &run);
     let path = if opts.out.is_empty() {
         "BENCH_window.json"
@@ -695,6 +699,15 @@ fn bench_window(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             ));
         }
         writeln!(out, "overhead gate passed: {overhead:.2}x <= {max}x").map_err(io_err)?;
+    }
+    if let Some(min) = opts.assert_min_query_speedup {
+        if speedup < min {
+            return Err(format!(
+                "regression: the fused W=8 window query is only {speedup:.3}x the \
+                 naive three-pass reference, below the required {min}x"
+            ));
+        }
+        writeln!(out, "query gate passed: {speedup:.2}x >= {min}x").map_err(io_err)?;
     }
     Ok(())
 }
@@ -1158,6 +1171,31 @@ mod tests {
         let argv = format!(
             "bench-window --links 4 --pairs 2k --budget-ms 2 \
              --assert-max-overhead 1e-9 --out {}",
+            path.display()
+        );
+        let err = run(&argv, "").unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_window_gates_query_speedup_against_naive_lane() {
+        let path = tmp("bench_window_query.json");
+        let argv = format!(
+            "bench-window --links 4 --pairs 2k --budget-ms 2 \
+             --assert-min-query-speedup 1e-9 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("window_query_naive_w8"), "{out}");
+        assert!(out.contains("query gate passed"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("query_fused_vs_naive_speedup"));
+        assert!(json.contains("\"simd\": "));
+        // An impossible gate must fail loudly.
+        let argv = format!(
+            "bench-window --links 4 --pairs 2k --budget-ms 2 \
+             --assert-min-query-speedup 1e9 --out {}",
             path.display()
         );
         let err = run(&argv, "").unwrap_err();

@@ -35,7 +35,6 @@ use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
 use crate::counter::KeyedEstimates;
-use crate::estimator;
 use crate::fleet::sketch_seed;
 use crate::schedule::RateSchedule;
 use crate::sketch::{probe_hashes, SBitmap, BATCH_CHUNK};
@@ -565,10 +564,7 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
     /// Estimate for one key; `None` if the key has never been inserted.
     pub fn estimate(&self, key: u64) -> Option<f64> {
         let slot = self.lookup_slot(key)? as usize;
-        Some(estimator::estimate_from_fill(
-            self.schedule.dims(),
-            self.fills[slot],
-        ))
+        Some(self.schedule.estimate_at(self.fills[slot]))
     }
 
     /// Fill counter for one key; `None` if the key has never been
@@ -584,6 +580,15 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
         keys
     }
 
+    /// Keys with a sketch, in slot (= first-insert) order — the raw
+    /// backing list, no copy, no sort. For callers that aggregate keys
+    /// across several arenas (the window ring) and sort once at the end
+    /// instead of paying a clone + sort per arena.
+    #[inline]
+    pub fn keys_unsorted(&self) -> &[u64] {
+        &self.keys
+    }
+
     /// `(key, slot)` pairs in ascending key order — the canonical
     /// iteration order shared with [`crate::SketchFleet`].
     fn slots_by_key(&self) -> Vec<(u64, usize)> {
@@ -595,12 +600,9 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
 
     /// All `(key, estimate)` pairs, in ascending key order.
     pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.slots_by_key().into_iter().map(|(key, slot)| {
-            (
-                key,
-                estimator::estimate_from_fill(self.schedule.dims(), self.fills[slot]),
-            )
-        })
+        self.slots_by_key()
+            .into_iter()
+            .map(|(key, slot)| (key, self.schedule.estimate_at(self.fills[slot])))
     }
 
     /// Materialize one key's sketch as a standalone [`SBitmap`] (words
@@ -731,6 +733,7 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
                 "fleets have different seeds".to_string(),
             ));
         }
+        let kernels = sbitmap_bitvec::kernels::WordKernels::dispatched();
         let mut newly = 0u64;
         // One reused copy buffer for the whole union: the borrow of
         // `other` must end before `self` is mutated (`slot_for` may grow
@@ -743,12 +746,7 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
             src.extend_from_slice(words);
             let slot = self.slot_for(key);
             let dst = &mut self.words[slot * self.stride..(slot + 1) * self.stride];
-            let mut set = 0usize;
-            for (d, s) in dst.iter_mut().zip(&src) {
-                let before = *d;
-                *d = before | s;
-                set += (*d ^ before).count_ones() as usize;
-            }
+            let set = kernels.union_or_count(dst, &src);
             self.fills[slot] += set;
             newly += set as u64;
         }

@@ -34,7 +34,6 @@ use sbitmap_hash::{Hasher64, SplitMix64Hasher};
 
 use crate::counter::DistinctCounter;
 use crate::dimensioning::Dimensioning;
-use crate::estimator;
 use crate::schedule::RateSchedule;
 use crate::sketch::{SBitmap, BATCH_CHUNK};
 use crate::SBitmapError;
@@ -187,7 +186,7 @@ impl<H: Hasher64> ConcurrentSBitmap<H> {
 
     /// Estimate from the exact popcount (see module docs).
     pub fn estimate(&self) -> f64 {
-        estimator::estimate_from_fill(self.schedule.dims(), self.fill())
+        self.schedule.estimate_at(self.fill())
     }
 
     /// `true` once the fill hint has reached the truncation point.

@@ -15,7 +15,10 @@
 //!
 //! The schedule is immutable and shareable: a fleet of sketches with the
 //! same `(N, m, d)` configuration (e.g. one per router link) can hold an
-//! `Arc<RateSchedule>` and pay the `m × 8` byte table once.
+//! `Arc<RateSchedule>` and pay the precomputed tables once — `m × 8`
+//! bytes of sampling thresholds plus `(m + 1) × 8` bytes of estimator
+//! curve (`t_b`, see [`RateSchedule::estimate_at`]), ≈ `2m × 8` bytes
+//! total.
 
 use crate::dimensioning::Dimensioning;
 use crate::SBitmapError;
@@ -30,6 +33,13 @@ pub struct RateSchedule {
     split: HashSplit,
     /// `thresholds[k-1] = ⌈p_k · 2^d⌉` (clamped beyond `b_max`).
     thresholds: Box<[u64]>,
+    /// `estimates[b] = t_{min(b, b_max)}` for `b = 0..=m` — the entire
+    /// estimator curve, precomputed so a query is one table load
+    /// instead of an `ln_1p` + `exp` pair. Values are exactly
+    /// [`crate::estimator::estimate_from_fill`] at every fill (same
+    /// f64 computation, evaluated once), so estimates cannot depend on
+    /// which path produced them.
+    estimates: Box<[f64]>,
 }
 
 impl RateSchedule {
@@ -68,10 +78,14 @@ impl RateSchedule {
             let t = t.min(*thresholds.last().unwrap_or(&u64::MAX));
             thresholds.push(t);
         }
+        let estimates: Vec<f64> = (0..=m)
+            .map(|b| crate::theory::t(&dims, b.min(b_max)))
+            .collect();
         Ok(Self {
             dims,
             split,
             thresholds: thresholds.into_boxed_slice(),
+            estimates: estimates.into_boxed_slice(),
         })
     }
 
@@ -108,6 +122,17 @@ impl RateSchedule {
     #[inline]
     pub fn threshold(&self, k: usize) -> u64 {
         self.thresholds[k - 1]
+    }
+
+    /// The estimator value `t_{min(fill, b_max)}` from the precomputed
+    /// curve: one bounds check and one load on the query hot path,
+    /// bit-identical to [`crate::estimator::estimate_from_fill`] on this
+    /// schedule's dimensioning (locked by this module's tests). Fills
+    /// beyond `m` (impossible for a well-formed sketch) clamp to the
+    /// truncated maximum.
+    #[inline]
+    pub fn estimate_at(&self, fill: usize) -> f64 {
+        self.estimates[fill.min(self.estimates.len() - 1)]
     }
 
     /// The *achieved* sampling rate at step `k` after quantization,
@@ -159,6 +184,21 @@ mod tests {
 
     fn sched() -> RateSchedule {
         RateSchedule::from_memory(1 << 20, 4000).unwrap()
+    }
+
+    #[test]
+    fn estimate_table_matches_the_direct_estimator_bit_for_bit() {
+        let s = sched();
+        for fill in 0..=s.len() {
+            assert_eq!(
+                s.estimate_at(fill).to_bits(),
+                crate::estimator::estimate_from_fill(s.dims(), fill).to_bits(),
+                "fill {fill}"
+            );
+        }
+        // Out-of-range fills clamp to the truncated maximum.
+        assert_eq!(s.estimate_at(s.len() + 100), s.estimate_at(s.len()));
+        assert_eq!(s.estimate_at(0), 0.0);
     }
 
     #[test]

@@ -7,7 +7,6 @@ use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::counter::{BatchedCounter, DistinctCounter};
 use crate::dimensioning::Dimensioning;
-use crate::estimator;
 use crate::schedule::RateSchedule;
 use crate::SBitmapError;
 
@@ -290,7 +289,7 @@ impl<H: Hasher64> SBitmap<H> {
     pub fn estimate_with_ci(&self, confidence: f64) -> crate::theory::Estimate {
         crate::theory::confidence_interval(
             self.schedule.dims(),
-            estimator::estimate_from_fill(self.schedule.dims(), self.fill),
+            self.schedule.estimate_at(self.fill),
             confidence,
         )
     }
@@ -330,7 +329,7 @@ impl<H: Hasher64> DistinctCounter for SBitmap<H> {
     }
 
     fn estimate(&self) -> f64 {
-        estimator::estimate_from_fill(self.schedule.dims(), self.fill)
+        self.schedule.estimate_at(self.fill)
     }
 
     fn memory_bits(&self) -> usize {

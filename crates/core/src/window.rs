@@ -20,11 +20,15 @@
 //!   at an epoch boundary (so batched and scalar feeds stay
 //!   bit-identical — the same contract every other batch path in this
 //!   workspace honors).
-//! * **Queries** merge one key's per-epoch bitmaps word-by-word (the
-//!   same OR the [`sbitmap_bitvec::Bitmap::union_or`] layer performs)
-//!   into a scratch region owned by the fleet, then re-read the fill:
-//!   amortized O(⌈m/64⌉ · W) per query and **zero allocation after
-//!   warmup**.
+//! * **Queries** merge one key's per-epoch bitmaps through the
+//!   runtime-dispatched [`sbitmap_bitvec::kernels`] gather kernel in
+//!   one fused pass — every live region read once, fleet-owned scratch
+//!   written once, popcount taken in the same pass — amortized
+//!   O(⌈m/64⌉ · W) per query with **zero allocation after warmup**. A
+//!   key live in a single epoch skips scratch entirely (the fill
+//!   counter is already the union popcount), and the estimator curve
+//!   is a precomputed table ([`RateSchedule::estimate_at`]), so a
+//!   query performs no transcendental math.
 //! * **Expiry** is O(1) amortized: rotating past window capacity clears
 //!   the oldest arena in place (allocations are kept and reused).
 //!
@@ -70,7 +74,6 @@ use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 use crate::arena::FleetArena;
 use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
 use crate::counter::KeyedEstimates;
-use crate::estimator;
 use crate::fleet::sketch_seed;
 use crate::schedule::RateSchedule;
 use crate::sketch::SBitmap;
@@ -455,10 +458,105 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
     }
 
     /// The union fill of `key` over the live epochs — the popcount of
-    /// the OR of its per-epoch bitmaps, assembled in the fleet-owned
-    /// scratch (zero allocation after warmup). `None` if no live epoch
-    /// has seen the key.
+    /// the OR of its per-epoch bitmaps. `None` if no live epoch has seen
+    /// the key.
+    ///
+    /// This is the **fused single-pass** query: the common shapes never
+    /// touch word memory at all (key absent, or present in exactly one
+    /// epoch — where the union fill *is* that epoch's fill counter, an
+    /// invariant the arena maintains per probe and re-validates on
+    /// restore), and the multi-epoch shape runs on the
+    /// [`sbitmap_bitvec::kernels`] gather kernel: all live regions are
+    /// OR-ed into the fleet-owned scratch and popcounted in **one pass
+    /// over the words** — each epoch read once, scratch written once,
+    /// no zero-fill, no separate popcount sweep. Zero allocation after
+    /// warmup, like every other fleet query path.
+    /// [`WindowedFleet::window_fill_naive`] keeps the old three-pass
+    /// shape callable as the reference the benches gate against.
     pub fn window_fill(&self, key: u64) -> Option<usize> {
+        let (live, only_fill, pop) = self.scan_live(key, |_| {});
+        match live {
+            0 => None,
+            // Single live epoch: the union fill is that epoch's fill
+            // counter — no scratch traffic at all.
+            1 => Some(only_fill),
+            _ => Some(pop),
+        }
+    }
+
+    /// The one fused scan both query entry points run on: walk `key`'s
+    /// live epoch records **oldest → newest**, hand every fill counter
+    /// to `visit` (the estimate path accumulates Σ t(Lₑ) there; the
+    /// epoch order keeps that f64 sum identical across flavors and
+    /// restores — the union OR itself is order-independent), and feed
+    /// every bitmap region to the gather machine: up to `GATHER`
+    /// pending regions on the stack, flushed through the fused
+    /// multi-source kernel, with the scratch borrowed (and sized) only
+    /// if a flush actually happens.
+    ///
+    /// Returns `(live, only_fill, pop)`: how many epochs hold the key,
+    /// the last seen fill counter (**the** union fill when `live == 1`
+    /// — no flush can have happened, so no scratch was touched), and
+    /// the gathered union popcount (meaningful when `live >= 2`).
+    fn scan_live(&self, key: u64, mut visit: impl FnMut(usize)) -> (usize, usize, usize) {
+        const GATHER: usize = 8;
+        let current = self.clock.epoch();
+        let live_span = self.live_epochs() as u64;
+        let w = self.ring.len() as u64;
+        let mut srcs: [&[u64]; GATHER] = [&[]; GATHER];
+        let mut gathered = 0usize;
+        let mut live = 0usize;
+        let mut only_fill = 0usize;
+        let mut scratch = None;
+        let mut overwrite = true;
+        let mut pop = 0usize;
+        for epoch in (current + 1 - live_span)..=current {
+            let slot = (epoch % w) as usize;
+            if let Some((fill, words)) = self.ring[slot].slot_record(key) {
+                visit(fill);
+                live += 1;
+                only_fill = fill;
+                srcs[gathered] = words;
+                gathered += 1;
+                if gathered == GATHER {
+                    pop = self.gather_flush(&mut scratch, &srcs, overwrite);
+                    overwrite = false;
+                    gathered = 0;
+                }
+            }
+        }
+        if live >= 2 && gathered > 0 {
+            pop = self.gather_flush(&mut scratch, &srcs[..gathered], overwrite);
+        }
+        (live, only_fill, pop)
+    }
+
+    /// Flush gathered epoch regions into the query scratch through the
+    /// fused multi-source kernel, borrowing (and sizing) the scratch
+    /// only on the first flush of a query. Returns the union popcount
+    /// after this flush.
+    fn gather_flush<'a>(
+        &'a self,
+        scratch: &mut Option<std::cell::RefMut<'a, Vec<u64>>>,
+        srcs: &[&[u64]],
+        overwrite: bool,
+    ) -> usize {
+        let s = scratch.get_or_insert_with(|| {
+            let mut s = self.scratch.borrow_mut();
+            s.resize(self.stride, 0);
+            s
+        });
+        sbitmap_bitvec::kernels::WordKernels::dispatched().or_gather_popcount(s, srcs, overwrite)
+    }
+
+    /// The reference implementation of [`WindowedFleet::window_fill`]:
+    /// the pre-kernel three-pass shape (zero the scratch, OR every live
+    /// epoch in with a plain scalar word loop, then a separate popcount
+    /// sweep). Kept callable so `bench-window` can time the fused kernel
+    /// path against it **in the same run** — and refuse to time at all
+    /// if the two ever disagree — and so the property suites can lock
+    /// them bit-identical.
+    pub fn window_fill_naive(&self, key: u64) -> Option<usize> {
         let mut scratch = self.scratch.borrow_mut();
         scratch.resize(self.stride, 0);
         scratch.fill(0);
@@ -474,26 +572,57 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         found.then(|| scratch.iter().map(|w| w.count_ones() as usize).sum())
     }
 
-    /// The sliding-window distinct estimate for `key`:
-    /// `min(t(U), Σₑ t(Lₑ))` over the live epochs — the union term
-    /// de-duplicates persistent flows, the sum term is exact for
-    /// disjoint epochs, and both err upward (see the module docs).
-    /// `None` if no live epoch has seen the key.
-    pub fn estimate(&self, key: u64) -> Option<f64> {
-        let union_fill = self.window_fill(key)?;
-        let dims = self.schedule().dims();
+    /// The `min(t(U), Σₑ t(Lₑ))` combination from a precomputed union
+    /// fill — shared by the fused and naive estimate paths so the two
+    /// can only diverge through the union fill itself.
+    fn estimate_from_union(&self, key: u64, union_fill: usize) -> f64 {
+        let schedule = self.schedule();
         // Sum per-epoch estimates oldest → newest: a fixed order keeps
-        // the f64 sum identical across flavors and restores.
+        // the f64 sum identical across flavors and restores. Estimates
+        // come from the schedule's precomputed curve — one load per
+        // epoch, bit-identical to `estimator::estimate_from_fill`.
         let current = self.clock.epoch();
         let live = self.live_epochs() as u64;
         let mut sum = 0.0;
         for epoch in (current + 1 - live)..=current {
             let slot = self.live_slot(epoch).expect("live by construction");
             if let Some(fill) = self.ring[slot].fill(key) {
-                sum += estimator::estimate_from_fill(dims, fill);
+                sum += schedule.estimate_at(fill);
             }
         }
-        Some(estimator::estimate_from_fill(dims, union_fill).min(sum))
+        schedule.estimate_at(union_fill).min(sum)
+    }
+
+    /// The sliding-window distinct estimate for `key`:
+    /// `min(t(U), Σₑ t(Lₑ))` over the live epochs — the union term
+    /// de-duplicates persistent flows, the sum term is exact for
+    /// disjoint epochs, and both err upward (see the module docs).
+    /// `None` if no live epoch has seen the key.
+    ///
+    /// One scan over the live epochs (the private `scan_live` helper
+    /// shared with [`WindowedFleet::window_fill`]) does everything: the
+    /// per-epoch estimate sum accumulates from the fill counters
+    /// (precomputed-curve loads) while the same
+    /// `slot_record` lookups feed the fused union gather of
+    /// [`WindowedFleet::window_fill`] — no second pass over the ring.
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        let schedule = self.schedule();
+        let mut sum = 0.0f64;
+        let (live, only_fill, pop) = self.scan_live(key, |fill| sum += schedule.estimate_at(fill));
+        let union_fill = match live {
+            0 => return None,
+            1 => only_fill,
+            _ => pop,
+        };
+        Some(schedule.estimate_at(union_fill).min(sum))
+    }
+
+    /// [`WindowedFleet::estimate`] on the naive three-pass union
+    /// ([`WindowedFleet::window_fill_naive`]) — the reference lane
+    /// `bench-window` times and gates the fused path against.
+    pub fn estimate_naive(&self, key: u64) -> Option<f64> {
+        let union_fill = self.window_fill_naive(key)?;
+        Some(self.estimate_from_union(key, union_fill))
     }
 
     /// The open epoch's estimate for `key` alone (the §7.1 per-interval
@@ -503,9 +632,15 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
     }
 
     /// Keys seen in any live epoch, in ascending order (the workspace
-    /// ordering guarantee — see [`KeyedEstimates`]).
+    /// ordering guarantee — see [`KeyedEstimates`]). Gathers each
+    /// arena's raw key list and sorts once, rather than paying a clone
+    /// and sort per epoch.
     pub fn keys_sorted(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.ring.iter().flat_map(FleetArena::keys_sorted).collect();
+        let total: usize = self.ring.iter().map(FleetArena::len).sum();
+        let mut keys: Vec<u64> = Vec::with_capacity(total);
+        for arena in &self.ring {
+            keys.extend_from_slice(arena.keys_unsorted());
+        }
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -536,12 +671,32 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
     /// Materialize the window union of `key` as a standalone
     /// [`SBitmap`] (the union state behind the `t(U)` term of
     /// [`WindowedFleet::estimate`]); `None` if no live epoch has seen
-    /// the key.
+    /// the key. The union is assembled directly in the result's own
+    /// allocation — the first live epoch's words seed it and the rest OR
+    /// in through the fused kernel — so there is no intermediate scratch
+    /// copy to clone out of.
     pub fn export_window_sketch(&self, key: u64) -> Option<SBitmap<H>> {
-        let fill = self.window_fill(key)?;
-        let words = self.scratch.borrow().clone();
+        let kernels = sbitmap_bitvec::kernels::WordKernels::dispatched();
+        let mut words: Vec<u64> = Vec::new();
+        let mut fill = 0usize;
+        for arena in &self.ring {
+            if let Some((epoch_fill, src)) = arena.slot_record(key) {
+                if words.is_empty() {
+                    words.reserve_exact(self.stride);
+                    words.extend_from_slice(src);
+                    fill = epoch_fill;
+                } else {
+                    // Each call returns the running union popcount; the
+                    // last one is the final fill.
+                    fill = kernels.or_accumulate_popcount(&mut words, src);
+                }
+            }
+        }
+        if words.is_empty() {
+            return None;
+        }
         let m = self.schedule().dims().m();
-        let bitmap = Bitmap::from_words(words, m).expect("scratch is a valid bitmap");
+        let bitmap = Bitmap::from_words(words, m).expect("arena regions are valid bitmaps");
         let mut sketch = SBitmap::with_shared_schedule(
             self.schedule().clone(),
             H::from_seed(sketch_seed(self.seed(), key)),
@@ -714,6 +869,7 @@ impl<H: Hasher64 + FromSeed> Checkpoint for WindowedFleet<H> {
 mod tests {
     use super::*;
     use crate::counter::DistinctCounter;
+    use crate::estimator;
     use crate::fleet::SketchFleet;
 
     fn windowed(window: usize) -> WindowedFleet {
@@ -811,6 +967,16 @@ mod tests {
                 reference_estimate(live, key),
                 "estimate for key {key}"
             );
+            assert_eq!(
+                w.window_fill(key),
+                w.window_fill_naive(key),
+                "fused vs naive fill for key {key}"
+            );
+            assert_eq!(
+                w.estimate(key),
+                w.estimate_naive(key),
+                "fused vs naive estimate for key {key}"
+            );
         }
         let expired_only = reference_fill(&reference[..5], 0).unwrap();
         assert!(expired_only > 0, "sanity: expired epochs held state");
@@ -901,6 +1067,42 @@ mod tests {
         // Mismatched seeds are rejected, not silently mixed.
         let alien: FleetArena = FleetArena::with_schedule(schedule, 77);
         assert!(ring.absorb_epoch(ring.current_epoch(), &alien).is_err());
+    }
+
+    #[test]
+    fn fused_query_special_cases_match_naive() {
+        // Every shape the fused path special-cases: key absent, key in
+        // exactly one live epoch (the zero-word-traffic shortcut), key
+        // in exactly two (copy + fused OR only), and key in all epochs.
+        let mut w = windowed(4);
+        w.insert_u64(1, 7); // epoch 0 only — expires later
+        w.rotate();
+        for i in 0..800u64 {
+            w.insert_u64(2, i); // epoch 1 only
+        }
+        w.rotate();
+        for i in 0..800u64 {
+            w.insert_u64(2, 10_000 + i); // epochs 1 and 2
+            w.insert_u64(3, i); // epoch 2 only
+        }
+        w.rotate();
+        for i in 0..800u64 {
+            w.insert_u64(2, 20_000 + i);
+            w.insert_u64(3, i + 400); // epochs 2 and 3
+        }
+        for key in 0..6u64 {
+            assert_eq!(w.window_fill(key), w.window_fill_naive(key), "key {key}");
+            assert_eq!(w.estimate(key), w.estimate_naive(key), "key {key}");
+        }
+        // Single-epoch key: the shortcut answers without word traffic,
+        // and an absent key answers None on both paths.
+        assert!(w.window_fill(1).is_some());
+        assert_eq!(w.window_fill(5), None);
+        assert_eq!(w.estimate_naive(5), None);
+        // Expire key 1 (inserted in epoch 0; window is 4 epochs).
+        w.rotate();
+        assert_eq!(w.window_fill(1), None);
+        assert_eq!(w.window_fill_naive(1), None);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Runtime-dispatched AVX2 batch hashing for [`crate::SplitMix64Hasher`].
+//!
+//! The batched ingest paths (`SBitmap::insert_u64s`, the fleet arena's
+//! per-slot ingest, the collector nodes) hash whole slices through
+//! [`crate::Hasher64::hash_u64_batch`] before probing. The SplitMix64
+//! chain is two [`crate::mix64`] rounds — xorshifts and 64-bit
+//! multiplies — which vectorize cleanly to 4 lanes per `__m256i` (the
+//! 64-bit multiply is emulated with three `vpmuludq` partial products,
+//! the standard AVX2 idiom).
+//!
+//! The dispatch **decision** is not made here: it delegates to
+//! `sbitmap_bitvec::kernels` (one `is_x86_feature_detected!("avx2")`
+//! probe cached per process, `SBITMAP_FORCE_SCALAR=1` pins scalar), so
+//! the hash kernel and the word kernels always sit on the same side of
+//! the switch — the single `"simd"` value every `BENCH_*.json` header
+//! records describes both. The two hash paths are locked bit-identical
+//! by this crate's tests plus the workspace `tests/kernel_parity.rs`
+//! suite (every hash is compared against the scalar
+//! [`crate::Hasher64::hash_u64`]).
+
+/// `true` when the process dispatched to the AVX2 kernel family (the
+/// one decision shared with `sbitmap_bitvec::kernels`).
+pub fn avx2_enabled() -> bool {
+    sbitmap_bitvec::kernels::active_path() == "avx2"
+}
+
+/// The dispatched hash path name: `"avx2"` or `"scalar"` — by
+/// construction identical to `sbitmap_bitvec::kernels::active_path`.
+pub fn active_path() -> &'static str {
+    sbitmap_bitvec::kernels::active_path()
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    //! The 4-lane SplitMix64 batch kernel. All `unsafe` in this crate
+    //! lives here; the intrinsic body is reached only through
+    //! [`hash_u64_batch`], which the caller gates on
+    //! [`super::avx2_enabled`].
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_loadu_si256, _mm256_mul_epu32, _mm256_set1_epi64x,
+        _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    /// Lane-wise `a.wrapping_mul(b)` for 4×`u64`: three 32×32→64
+    /// partial products (`lo·lo + ((hi·lo + lo·hi) << 32)`), since AVX2
+    /// has no 64-bit multiply.
+    #[inline(always)]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let lo_lo = _mm256_mul_epu32(a, b);
+        let hi_lo = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+        let lo_hi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+        let cross = _mm256_add_epi64(hi_lo, lo_hi);
+        _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// Lane-wise [`crate::mix64`] (Stafford variant 13).
+    #[inline(always)]
+    unsafe fn mix64x4(mut z: __m256i, c1: __m256i, c2: __m256i) -> __m256i {
+        z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), c1);
+        z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), c2);
+        _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn hash_u64_batch_impl(seed: u64, key: u64, items: &[u64], out: &mut [u64]) {
+        let c1 = _mm256_set1_epi64x(0xbf58_476d_1ce4_e5b9u64 as i64);
+        let c2 = _mm256_set1_epi64x(0x94d0_49bb_1331_11ebu64 as i64);
+        let key_v = _mm256_set1_epi64x(key as i64);
+        let seed_v = _mm256_set1_epi64x(seed as i64);
+        let mut src = items.chunks_exact(4);
+        let mut dst = out.chunks_exact_mut(4);
+        for (s, d) in (&mut src).zip(&mut dst) {
+            let x = _mm256_loadu_si256(s.as_ptr().cast());
+            // hash_u64: mix64(mix64(x ^ key) + seed), lane-wise.
+            let h = mix64x4(
+                _mm256_add_epi64(mix64x4(_mm256_xor_si256(x, key_v), c1, c2), seed_v),
+                c1,
+                c2,
+            );
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), h);
+        }
+        for (o, &x) in dst.into_remainder().iter_mut().zip(src.remainder()) {
+            *o = crate::mix64(crate::mix64(x ^ key).wrapping_add(seed));
+        }
+    }
+
+    /// Hash `items` into `out` with the 4-lane AVX2 kernel; bit-identical
+    /// to the scalar [`crate::Hasher64::hash_u64`] per element. The
+    /// caller must have checked [`super::avx2_enabled`] (slice lengths
+    /// are checked by the trait-level wrapper).
+    pub(crate) fn hash_u64_batch(seed: u64, key: u64, items: &[u64], out: &mut [u64]) {
+        // SAFETY: every call site is gated on `avx2_enabled()`, which
+        // only returns true after `is_x86_feature_detected!("avx2")`.
+        unsafe { hash_u64_batch_impl(seed, key, items, out) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_name_matches_dispatch() {
+        assert_eq!(
+            active_path(),
+            if avx2_enabled() { "avx2" } else { "scalar" }
+        );
+    }
+}

@@ -43,6 +43,41 @@ impl SplitMix64Hasher {
             key: mix64(seed.wrapping_add(Self::GAMMA)),
         }
     }
+
+    /// The scalar reference for [`Hasher64::hash_u64_batch`]: four
+    /// independent mix chains in flight (each chain is ~10 cycles of
+    /// multiply/xorshift latency, so interleaving lanes keeps the
+    /// multiplier busy instead of paying the full latency per item).
+    /// This is what the trait method runs when the AVX2 kernel is
+    /// unavailable or `SBITMAP_FORCE_SCALAR=1` is set; it stays public
+    /// so differential tests can pin the two paths bit-identical on one
+    /// host in one process.
+    pub fn hash_u64_batch_scalar(&self, items: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            items.len(),
+            out.len(),
+            "hash_u64_batch: input and output lengths differ"
+        );
+        let mut chunks_in = items.chunks_exact(4);
+        let mut chunks_out = out.chunks_exact_mut(4);
+        for (src, dst) in (&mut chunks_in).zip(&mut chunks_out) {
+            let h0 = mix64(mix64(src[0] ^ self.key).wrapping_add(self.seed));
+            let h1 = mix64(mix64(src[1] ^ self.key).wrapping_add(self.seed));
+            let h2 = mix64(mix64(src[2] ^ self.key).wrapping_add(self.seed));
+            let h3 = mix64(mix64(src[3] ^ self.key).wrapping_add(self.seed));
+            dst[0] = h0;
+            dst[1] = h1;
+            dst[2] = h2;
+            dst[3] = h3;
+        }
+        for (o, &x) in chunks_out
+            .into_remainder()
+            .iter_mut()
+            .zip(chunks_in.remainder())
+        {
+            *o = self.hash_u64(x);
+        }
+    }
 }
 
 impl Default for SplitMix64Hasher {
@@ -87,29 +122,12 @@ impl Hasher64 for SplitMix64Hasher {
             out.len(),
             "hash_u64_batch: input and output lengths differ"
         );
-        // Four independent mix chains in flight: each chain is ~10 cycles
-        // of multiply/xorshift latency, so interleaving lanes keeps the
-        // multiplier busy instead of paying the full latency per item
-        // (and gives the autovectorizer a clean 4-lane shape).
-        let mut chunks_in = items.chunks_exact(4);
-        let mut chunks_out = out.chunks_exact_mut(4);
-        for (src, dst) in (&mut chunks_in).zip(&mut chunks_out) {
-            let h0 = mix64(mix64(src[0] ^ self.key).wrapping_add(self.seed));
-            let h1 = mix64(mix64(src[1] ^ self.key).wrapping_add(self.seed));
-            let h2 = mix64(mix64(src[2] ^ self.key).wrapping_add(self.seed));
-            let h3 = mix64(mix64(src[3] ^ self.key).wrapping_add(self.seed));
-            dst[0] = h0;
-            dst[1] = h1;
-            dst[2] = h2;
-            dst[3] = h3;
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_enabled() {
+            crate::simd::avx2::hash_u64_batch(self.seed, self.key, items, out);
+            return;
         }
-        for (o, &x) in chunks_out
-            .into_remainder()
-            .iter_mut()
-            .zip(chunks_in.remainder())
-        {
-            *o = self.hash_u64(x);
-        }
+        self.hash_u64_batch_scalar(items, out);
     }
 
     fn seed(&self) -> u64 {
@@ -169,7 +187,8 @@ mod tests {
     #[test]
     fn batch_matches_scalar_at_every_length() {
         let h = SplitMix64Hasher::new(77);
-        // Cover the unrolled body and every remainder length.
+        // Cover the unrolled body and every remainder length. On an AVX2
+        // host this pins the vector kernel to the scalar `hash_u64`.
         for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 64, 1001] {
             let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
             let mut out = vec![0u64; n];
@@ -177,6 +196,21 @@ mod tests {
             for (i, (&x, &got)) in items.iter().zip(&out).enumerate() {
                 assert_eq!(got, h.hash_u64(x), "lane {i} of {n}");
             }
+        }
+    }
+
+    #[test]
+    fn dispatched_batch_matches_scalar_reference_batch() {
+        let h = SplitMix64Hasher::new(0xfeed_beef);
+        for n in [0usize, 1, 3, 4, 5, 8, 63, 257, 1000] {
+            let items: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(17))
+                .collect();
+            let mut dispatched = vec![0u64; n];
+            let mut scalar = vec![0u64; n];
+            h.hash_u64_batch(&items, &mut dispatched);
+            h.hash_u64_batch_scalar(&items, &mut scalar);
+            assert_eq!(dispatched, scalar, "length {n}");
         }
     }
 

@@ -192,7 +192,18 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> Result<CollectSummary, String> {
                 // width, seed) on every shard, so the collector can merge.
                 let mut union = HyperLogLog::new(cfg.hll_registers, 5, cfg.seed)
                     .expect("validated before spawn");
-                let mut flows = Vec::new();
+                // One scratch buffer for the whole worker, sized up front
+                // to the shard's largest link so the per-link `extend`
+                // never re-grows it mid-loop (the stream iterator cannot
+                // report its length, so growth would otherwise happen
+                // geometrically inside the hot fill).
+                let mut flows: Vec<u64> = Vec::with_capacity(
+                    (shard..cfg.links)
+                        .step_by(cfg.shards)
+                        .map(|link| snapshot.counts()[link] as usize)
+                        .max()
+                        .unwrap_or(0),
+                );
                 for link in (shard..cfg.links).step_by(cfg.shards) {
                     flows.clear();
                     flows.extend(snapshot.link_stream(link));
@@ -406,7 +417,16 @@ pub fn run_windowed_pipeline(cfg: &WindowedPipelineConfig) -> Result<WindowedSum
             let schedule = schedule.clone();
             scope.spawn(move || {
                 let mut fleet: FleetArena = FleetArena::with_schedule(schedule, cfg.seed);
-                let mut flows = Vec::new();
+                // Same scratch policy as `run_pipeline`: one buffer per
+                // worker, pre-sized to the shard's largest per-epoch
+                // substream so the fill loop never reallocates.
+                let mut flows: Vec<u64> = Vec::with_capacity(
+                    (shard..cfg.links)
+                        .step_by(cfg.shards)
+                        .map(|link| cfg.epoch_flows(snapshot.counts()[link]) as usize)
+                        .max()
+                        .unwrap_or(0),
+                );
                 for epoch in 0..cfg.epochs {
                     fleet.clear();
                     for link in (shard..cfg.links).step_by(cfg.shards) {
