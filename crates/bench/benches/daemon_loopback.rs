@@ -1,0 +1,50 @@
+//! Loopback daemon throughput: the full networked pipeline (TCP agents
+//! → `sbitmapd` ingest → bounded absorb → drain), clean vs a seeded
+//! reconnect storm, written to `BENCH_daemon.json` so the deployment
+//! path's perf trajectory is tracked across PRs.
+//!
+//! Environment knobs: `SBITMAP_BENCH_MS` (per-case budget),
+//! `SBITMAP_BENCH_LINKS`, `SBITMAP_BENCH_SHARDS`,
+//! `SBITMAP_BENCH_EPOCHS`.
+
+use sbitmap_bench::daemon::{self, DaemonBenchConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("daemon_loopback: bench");
+        return;
+    }
+
+    let mut cfg = DaemonBenchConfig::default();
+    cfg.links = env_usize("SBITMAP_BENCH_LINKS", cfg.links);
+    cfg.shards = env_usize("SBITMAP_BENCH_SHARDS", cfg.shards);
+    cfg.epochs = env_usize("SBITMAP_BENCH_EPOCHS", cfg.epochs);
+    if let Ok(ms) = std::env::var("SBITMAP_BENCH_MS") {
+        if let Ok(ms) = ms.parse() {
+            cfg.budget_ms = ms;
+        }
+    }
+
+    println!(
+        "=== daemon: loopback TCP pipeline ({} links over {} agents, {}-epoch window, {} epochs) ===",
+        cfg.links, cfg.shards, cfg.window, cfg.epochs
+    );
+    let run = daemon::run(&cfg);
+    for m in &run.results {
+        println!("{}", m.row());
+    }
+    println!(
+        "reconnect storm vs clean loopback: {:.2}x",
+        daemon::storm_overhead(&run.results)
+    );
+    let json = daemon::report_json(&cfg, &run);
+    std::fs::write("BENCH_daemon.json", &json).expect("write BENCH_daemon.json");
+    println!("wrote BENCH_daemon.json");
+}

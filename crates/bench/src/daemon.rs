@@ -1,0 +1,242 @@
+//! The daemon benchmark: the full loopback TCP pipeline — node agents →
+//! framed ingest → bounded absorb queue → windowed ring → drain — clean
+//! and under a seeded reconnect storm.
+//!
+//! Two lanes, both timing [`sbitmap_daemon::run_loopback`] end to end
+//! (daemon start, one TCP agent per shard, drain, join), with `ns/item`
+//! measured per **epoch frame** shipped:
+//!
+//! * **daemon_loopback_ingest** — fault-free transport; the cost of the
+//!   networked deployment story itself (connection setup, framing,
+//!   checksums, the absorb queue);
+//! * **daemon_reconnect_storm** — every shard injects a seeded
+//!   [`FaultPlan`] (cuts, stalls, corruption, duplicates, reorders), so
+//!   the lane pays for reconnects, backoff and retransmission on top.
+//!   The ratio (`reconnect_storm_overhead`) is the recovery tax.
+//!
+//! Before timing anything, [`run`] proves a clean loopback run
+//! reproduces [`run_windowed_pipeline`] exactly — per-link estimates
+//! f64-identical and the quantile summary equal — because a benchmark
+//! of a divergent collector is worse than no benchmark (same policy as
+//! [`crate::window`]). Results serialize to `BENCH_daemon.json`.
+
+use std::time::Duration;
+
+use sbitmap_daemon::{run_loopback, DaemonConfig};
+use sbitmap_stream::{quantile_summary, run_windowed_pipeline, FaultPlan, WindowedPipelineConfig};
+
+use crate::harness::{Bench, Measurement};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonBenchConfig {
+    /// Backbone links to simulate.
+    pub links: usize,
+    /// Node shards — one TCP agent each.
+    pub shards: usize,
+    /// Sliding-window span in epochs.
+    pub window: usize,
+    /// Epochs each agent ships (one frame per epoch per shard).
+    pub epochs: usize,
+    /// Per-case wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// Workload + sketch + fault seed.
+    pub seed: u64,
+}
+
+impl Default for DaemonBenchConfig {
+    fn default() -> Self {
+        Self {
+            links: 24,
+            shards: 3,
+            window: 4,
+            epochs: 6,
+            budget_ms: 300,
+            seed: 0xd0e,
+        }
+    }
+}
+
+impl DaemonBenchConfig {
+    /// A cheap configuration for CI smoke runs (~1 s wall clock total).
+    pub fn smoke() -> Self {
+        Self {
+            links: 12,
+            shards: 2,
+            epochs: 4,
+            budget_ms: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-key design cardinality — a mid-size §7.2 deployment, small
+/// enough that one bench iteration spins the whole TCP pipeline in
+/// ~100 ms.
+const N_MAX: u64 = 200_000;
+/// Per-link bitmap bits per epoch.
+const M_BITS: usize = 4_000;
+
+/// The benchmark's outcome: per-lane measurements plus the equivalence
+/// verdict.
+#[derive(Debug, Clone)]
+pub struct DaemonRun {
+    /// One measurement per lane.
+    pub results: Vec<Measurement>,
+    /// `true` when the pre-timing equivalence check passed (it must, or
+    /// [`run`] panics instead of timing broken code).
+    pub strategies_agree: bool,
+}
+
+/// Reconnect-storm cost relative to the clean loopback lane —
+/// `ns/frame ÷ ns/frame`, the recovery tax of the fault sweep. Returns
+/// `0.0` when either lane is missing.
+pub fn storm_overhead(results: &[Measurement]) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (
+        find("daemon_reconnect_storm"),
+        find("daemon_loopback_ingest"),
+    ) {
+        (Some(s), Some(c)) if c.ns_per_item() > 0.0 => s.ns_per_item() / c.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
+fn pipeline_cfg(cfg: &DaemonBenchConfig) -> WindowedPipelineConfig {
+    WindowedPipelineConfig {
+        links: cfg.links,
+        shards: cfg.shards,
+        n_max: N_MAX,
+        m_bits: M_BITS,
+        window: cfg.window,
+        epochs: cfg.epochs,
+        seed: cfg.seed,
+    }
+}
+
+/// Tight deadlines keep fault-injected iterations fast: the loopback
+/// harness derives its ack timeout from the read deadline, so a lost
+/// frame forces a reconnect in ~100 ms instead of seconds.
+fn daemon_cfg() -> DaemonConfig {
+    DaemonConfig {
+        read_deadline: Duration::from_millis(10),
+        write_deadline: Duration::from_millis(500),
+        idle_limit: Duration::from_secs(3),
+        ..DaemonConfig::default()
+    }
+}
+
+/// One seeded plan per shard, derived from the run seed so the storm is
+/// deterministic per configuration.
+fn storm_plans(cfg: &DaemonBenchConfig) -> Vec<FaultPlan> {
+    (0..cfg.shards)
+        .map(|shard| FaultPlan::seeded(cfg.seed ^ (shard as u64).wrapping_mul(131) ^ 0x57, 4))
+        .collect()
+}
+
+/// Run the daemon loopback comparison.
+///
+/// # Panics
+///
+/// Panics if a clean loopback run fails to reproduce the in-process
+/// windowed pipeline exactly, or if a loopback run errors outright —
+/// either would mean the networked path broke.
+pub fn run(cfg: &DaemonBenchConfig) -> DaemonRun {
+    let bench = Bench::with_budget_ms(cfg.budget_ms);
+    let pcfg = pipeline_cfg(cfg);
+    let frames = (pcfg.shards * pcfg.epochs) as u64;
+
+    let strategies_agree = verify_equivalence(&pcfg);
+    assert!(
+        strategies_agree,
+        "the loopback daemon diverged from the in-process pipeline — \
+         refusing to benchmark broken code"
+    );
+
+    let mut results = Vec::new();
+    results.push(bench.run("daemon_loopback_ingest", frames, || {
+        let out = run_loopback(&pcfg, daemon_cfg(), &[]).expect("clean loopback run");
+        out.report.frames_absorbed as usize
+    }));
+    let plans = storm_plans(cfg);
+    results.push(bench.run("daemon_reconnect_storm", frames, || {
+        let out = run_loopback(&pcfg, daemon_cfg(), &plans).expect("storm loopback run");
+        out.report.frames_absorbed as usize
+    }));
+
+    DaemonRun {
+        results,
+        strategies_agree,
+    }
+}
+
+/// Pre-timing equivalence gate: a clean loopback drain must match the
+/// in-process collector bit for bit (estimates and quantile summary).
+fn verify_equivalence(pcfg: &WindowedPipelineConfig) -> bool {
+    let reference = run_windowed_pipeline(pcfg).expect("pipeline config");
+    let out = run_loopback(pcfg, daemon_cfg(), &[]).expect("clean loopback run");
+    let expected: Vec<(u64, f64)> = reference
+        .links
+        .iter()
+        .map(|r| (r.link as u64, r.estimate))
+        .collect();
+    if out.report.estimates != expected {
+        return false;
+    }
+    let mut sample: Vec<f64> = out.report.estimates.iter().map(|&(_, e)| e).collect();
+    sample.is_empty() || quantile_summary(&mut sample) == reference.estimate_quantiles
+}
+
+/// Render a [`DaemonRun`] (plus workload metadata) as the
+/// `BENCH_daemon.json` document.
+pub fn report_json(cfg: &DaemonBenchConfig, run: &DaemonRun) -> String {
+    crate::harness::to_json(
+        "daemon",
+        &[
+            ("generator", "backbone".to_string()),
+            ("links", cfg.links.to_string()),
+            ("shards", cfg.shards.to_string()),
+            ("window", cfg.window.to_string()),
+            ("epochs", cfg.epochs.to_string()),
+            ("n_max", N_MAX.to_string()),
+            ("m_bits", M_BITS.to_string()),
+            ("seed", cfg.seed.to_string()),
+            ("frames_per_run", (cfg.shards * cfg.epochs).to_string()),
+            (
+                "reconnect_storm_overhead",
+                format!("{:.3}", storm_overhead(&run.results)),
+            ),
+            ("strategies_agree", run.strategies_agree.to_string()),
+        ],
+        &run.results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_both_lanes_and_json() {
+        let cfg = DaemonBenchConfig {
+            links: 8,
+            shards: 2,
+            window: 2,
+            epochs: 3,
+            budget_ms: 1,
+            seed: 11,
+        };
+        let run = run(&cfg);
+        assert!(run.strategies_agree);
+        let names: Vec<&str> = run.results.iter().map(|m| m.name.as_str()).collect();
+        for expect in ["daemon_loopback_ingest", "daemon_reconnect_storm"] {
+            assert!(names.contains(&expect), "missing lane {expect}");
+        }
+        assert!(storm_overhead(&run.results) > 0.0);
+        let json = report_json(&cfg, &run);
+        assert!(json.contains("\"bench\": \"daemon\""));
+        assert!(json.contains("reconnect_storm_overhead"));
+        assert!(json.contains("\"frames_per_run\": 6"));
+        assert!(json.contains("\"strategies_agree\": \"true\""));
+    }
+}

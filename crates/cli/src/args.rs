@@ -48,7 +48,27 @@ pub struct Options {
     /// query is at least this many times faster than the in-run naive
     /// three-pass reference lane.
     pub assert_min_query_speedup: Option<f64>,
-    /// Positional arguments (checkpoint file paths for `restore`/`merge`).
+    /// Collector address (`HOST:PORT`) for `agent` / `query`.
+    pub connect: String,
+    /// Ingest listener address for `serve`.
+    pub listen: String,
+    /// Query listener address for `serve`.
+    pub query_listen: String,
+    /// Credit window `serve` advertises to agents.
+    pub credits: u32,
+    /// Per-connection read deadline in milliseconds for
+    /// `serve`/`agent`/`query`.
+    pub deadline_ms: u64,
+    /// Agent identity override for `agent` (defaults to shard + 1).
+    pub agent_id: Option<u64>,
+    /// Node shard index for `agent`.
+    pub shard: usize,
+    /// Link key for `query estimate` / `query fill`.
+    pub key: Option<u64>,
+    /// Row count for `query top`.
+    pub top: usize,
+    /// Positional arguments (checkpoint file paths for `restore`/`merge`,
+    /// the request kind for `query`).
     pub paths: Vec<String>,
 }
 
@@ -74,6 +94,15 @@ impl Options {
             epochs: 12,
             assert_max_overhead: None,
             assert_min_query_speedup: None,
+            connect: String::new(),
+            listen: "127.0.0.1:7171".to_string(),
+            query_listen: "127.0.0.1:7172".to_string(),
+            credits: 4,
+            deadline_ms: 50,
+            agent_id: None,
+            shard: 0,
+            key: None,
+            top: 10,
             paths: Vec::new(),
         }
     }
@@ -191,6 +220,50 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     ));
                 }
                 opts.assert_min_query_speedup = Some(v);
+                i += 2;
+            }
+            "--connect" => {
+                opts.connect = value(i)?.to_string();
+                i += 2;
+            }
+            "--listen" => {
+                opts.listen = value(i)?.to_string();
+                i += 2;
+            }
+            "--query-listen" => {
+                opts.query_listen = value(i)?.to_string();
+                i += 2;
+            }
+            "--credits" => {
+                let v = parse_num(value(i)?).map_err(|e| format!("--credits: {e}"))?;
+                if v == 0 || v > u64::from(u32::MAX) {
+                    return Err(format!("--credits must be in [1, 2^32), got {v}"));
+                }
+                opts.credits = v as u32;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let v = parse_num(value(i)?).map_err(|e| format!("--deadline-ms: {e}"))?;
+                if v == 0 {
+                    return Err("--deadline-ms must be at least 1".into());
+                }
+                opts.deadline_ms = v;
+                i += 2;
+            }
+            "--agent-id" => {
+                opts.agent_id = Some(parse_num(value(i)?).map_err(|e| format!("--agent-id: {e}"))?);
+                i += 2;
+            }
+            "--shard" => {
+                opts.shard = parse_num(value(i)?).map_err(|e| format!("--shard: {e}"))? as usize;
+                i += 2;
+            }
+            "--key" => {
+                opts.key = Some(parse_num(value(i)?).map_err(|e| format!("--key: {e}"))?);
+                i += 2;
+            }
+            "--top" => {
+                opts.top = parse_num(value(i)?).map_err(|e| format!("--top: {e}"))? as usize;
                 i += 2;
             }
             other if !other.starts_with('-') => {
@@ -314,6 +387,37 @@ mod tests {
         assert!(parse(&args("--assert-min-query-speedup 0")).is_err());
         assert!(parse(&args("--assert-min-query-speedup -1")).is_err());
         assert!(parse(&args("--assert-min-query-speedup nah")).is_err());
+    }
+
+    #[test]
+    fn parses_daemon_flags() {
+        let o = parse(&args(
+            "--connect 10.0.0.2:7171 --listen 0.0.0.0:7171 --query-listen 0.0.0.0:7172 \
+             --credits 8 --deadline-ms 20 --agent-id 9 --shard 2 --key 17 --top 5",
+        ))
+        .unwrap();
+        assert_eq!(o.connect, "10.0.0.2:7171");
+        assert_eq!(o.listen, "0.0.0.0:7171");
+        assert_eq!(o.query_listen, "0.0.0.0:7172");
+        assert_eq!(o.credits, 8);
+        assert_eq!(o.deadline_ms, 20);
+        assert_eq!(o.agent_id, Some(9));
+        assert_eq!(o.shard, 2);
+        assert_eq!(o.key, Some(17));
+        assert_eq!(o.top, 5);
+        let d = parse(&[]).unwrap();
+        assert!(d.connect.is_empty());
+        assert_eq!(d.listen, "127.0.0.1:7171");
+        assert_eq!(d.query_listen, "127.0.0.1:7172");
+        assert_eq!(d.credits, 4);
+        assert_eq!(d.deadline_ms, 50);
+        assert_eq!(d.agent_id, None);
+        assert_eq!(d.shard, 0);
+        assert_eq!(d.key, None);
+        assert_eq!(d.top, 10);
+        assert!(parse(&args("--credits 0")).is_err());
+        assert!(parse(&args("--deadline-ms 0")).is_err());
+        assert!(parse(&args("--key nah")).is_err());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! every command is unit-testable without a process.
 
 use std::io::{BufRead, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use sbitmap_baselines::memory_model;
 use sbitmap_baselines::{
@@ -14,11 +17,14 @@ use sbitmap_core::codec::{peek_kind, Checkpoint, CounterKind};
 use sbitmap_core::{
     simulate, Dimensioning, DistinctCounter, MergeableCounter, RateSchedule, SBitmap,
 };
+use sbitmap_daemon::{query_once, run_agent, AgentConfig, Daemon, DaemonConfig};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::{HashKind, SplitMix64Hasher};
 use sbitmap_stream::collector::{
     run_pipeline, run_windowed_pipeline, PipelineConfig, WindowedPipelineConfig,
 };
+use sbitmap_stream::net::{ConfigEcho, Message, QueryReply, QueryRequest};
+use sbitmap_stream::ShardFrameSource;
 
 use crate::args::{parse, Options};
 
@@ -57,6 +63,24 @@ commands:
              checkpoint per epoch, the collector maintains a central
              sliding-window ring and prints last-W-epochs estimates
              flags: --links L --shards K --window W --epochs E --seed S
+  serve      run the collector daemon: a TCP ingest listener and a query
+             listener over a central sliding-window ring; type `drain`
+             on stdin (or send `query drain`) to stop and checkpoint
+             flags: --listen ADDR --query-listen ADDR --window W
+                    --seed S --credits C --deadline-ms MS
+                    --out CKPT_PATH (final ring checkpoint on drain)
+  agent      build one node shard's epoch frames (byte-identical to the
+             in-process pipeline's) and deliver them to a collector over
+             TCP, reconnecting with backed-off retries until every frame
+             is acked
+             flags: --connect HOST:PORT --links L --shards K --shard I
+                    --window W --epochs E --seed S --deadline-ms MS
+                    --agent-id ID (default shard + 1)
+  query      ask a running collector one question over its query port
+             usage: query estimate|fill|top|summary|drain
+                    --connect HOST:PORT
+             flags: --key K (estimate/fill) --top N --deadline-ms MS
+             (`summary` prints the same quantile rows as `window`)
   bench-ingest
              time scalar vs batched vs concurrent ingestion on the
              backbone/worm generators and write a JSON report
@@ -82,6 +106,13 @@ commands:
                     --assert-max-overhead X (fail if w8 > X·arena)
                     --assert-min-query-speedup X (fail unless the fused
                       query ≥ X times the naive reference lane)
+  bench-daemon
+             time the full loopback daemon pipeline (TCP agents → framed
+             ingest → bounded absorb → drain), fault-free and under a
+             seeded reconnect storm, and write a JSON report
+             flags: --links L --shards K --window W --epochs E
+                    --budget-ms MS --seed S
+                    --out PATH (default BENCH_daemon.json)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -98,9 +129,10 @@ pub fn dispatch(
 ) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or("missing command")?;
     let opts = parse(rest)?;
-    // Only restore/merge take positional (file) arguments; a stray token
-    // anywhere else is a usage error, not something to silently ignore.
-    if !matches!(command.as_str(), "restore" | "merge") {
+    // Only restore/merge (file paths) and query (the request kind) take
+    // positional arguments; a stray token anywhere else is a usage
+    // error, not something to silently ignore.
+    if !matches!(command.as_str(), "restore" | "merge" | "query") {
         if let Some(stray) = opts.paths.first() {
             return Err(format!("unexpected argument `{stray}` for `{command}`"));
         }
@@ -115,10 +147,14 @@ pub fn dispatch(
         "merge" => merge_cmd(&opts, out),
         "collect" => collect_cmd(&opts, out),
         "window" => window_cmd(&opts, out),
+        "serve" => serve_cmd(&opts, input, out),
+        "agent" => agent_cmd(&opts, out),
+        "query" => query_cmd(&opts, out),
         "bench-ingest" => bench_ingest(&opts, out),
         "bench-collect" => bench_collect(&opts, out),
         "bench-fleet" => bench_fleet(&opts, out),
         "bench-window" => bench_window(&opts, out),
+        "bench-daemon" => bench_daemon(&opts, out),
         other => Err(format!("unknown command `{other}`")),
     }
     .map_err(|e| e.to_string())
@@ -620,15 +656,24 @@ fn collect_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     Ok(())
 }
 
-fn window_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
-    let cfg = WindowedPipelineConfig {
+/// The windowed pipeline shape shared by `window`, `serve` and `agent`:
+/// flags override the paper's §7.2 defaults, so a served collector, the
+/// agent shards feeding it and the in-process `window` reference all
+/// agree on the sketch configuration (and hence on the handshake's
+/// config echo) when given the same flags.
+fn windowed_cfg(opts: &Options) -> WindowedPipelineConfig {
+    WindowedPipelineConfig {
         links: opts.links.max(1),
         shards: opts.shards.max(1),
         window: opts.window.max(1),
         epochs: opts.epochs.max(1),
         seed: opts.seed,
         ..WindowedPipelineConfig::default()
-    };
+    }
+}
+
+fn window_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = windowed_cfg(opts);
     writeln!(
         out,
         "window: {} links over {} node shards, {}-epoch window, {} epochs \
@@ -654,6 +699,248 @@ fn window_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     for &(p, v) in &summary.estimate_quantiles {
         writeln!(out, "  {:>7.0}%   {v:>21.0}", p * 100.0).map_err(io_err)?;
     }
+    Ok(())
+}
+
+fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> Result<(), String> {
+    let pcfg = windowed_cfg(opts);
+    let cfg = DaemonConfig {
+        ingest_addr: opts.listen.clone(),
+        query_addr: opts.query_listen.clone(),
+        n_max: pcfg.n_max,
+        m_bits: pcfg.m_bits,
+        seed: pcfg.seed,
+        window: pcfg.window,
+        credits: opts.credits.max(1),
+        read_deadline: Duration::from_millis(opts.deadline_ms.max(1)),
+        checkpoint_path: (!opts.out.is_empty()).then(|| PathBuf::from(&opts.out)),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(cfg)?;
+    writeln!(
+        out,
+        "sbitmapd: ingest on {}, query on {} (N = {}, m = {} bits/link/epoch, \
+         {}-epoch window, seed {}, {} credits)",
+        daemon.ingest_addr(),
+        daemon.query_addr(),
+        pcfg.n_max,
+        pcfg.m_bits,
+        pcfg.window,
+        pcfg.seed,
+        opts.credits.max(1)
+    )
+    .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    // Operator control: a `drain` line stops the daemon; EOF leaves it
+    // serving until a remote `query drain` flips the flag.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(io_err)? == 0 {
+            break;
+        }
+        if line.trim() == "drain" {
+            daemon.drain();
+            break;
+        }
+        writeln!(out, "unknown control line (only `drain` is understood)").map_err(io_err)?;
+        out.flush().map_err(io_err)?;
+    }
+    while !daemon.is_draining() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = daemon.join()?;
+    writeln!(
+        out,
+        "drained at epoch {}: {} keys, {} frames absorbed ({} duplicates, {} expired) \
+         over {} connections",
+        report.final_epoch,
+        report.estimates.len(),
+        report.frames_absorbed,
+        report.duplicates,
+        report.expired,
+        report.connections
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{} bad frames, {} desyncs, {} handshake rejects, {} backpressure stalls, {} queries",
+        report.bad_frames,
+        report.desyncs,
+        report.handshake_rejects,
+        report.backpressure_events,
+        report.queries
+    )
+    .map_err(io_err)?;
+    if !opts.out.is_empty() {
+        writeln!(
+            out,
+            "wrote final ring checkpoint ({} bytes) to {}",
+            report.final_checkpoint.len(),
+            opts.out
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    if opts.connect.is_empty() {
+        return Err("agent needs --connect HOST:PORT".into());
+    }
+    let pcfg = windowed_cfg(opts);
+    if opts.shard >= pcfg.shards {
+        return Err(format!(
+            "--shard {} out of range for --shards {}",
+            opts.shard, pcfg.shards
+        ));
+    }
+    let frames = ShardFrameSource::new(&pcfg, opts.shard)?.collect_frames();
+    let schedule = RateSchedule::from_memory(pcfg.n_max, pcfg.m_bits).map_err(|e| e.to_string())?;
+    let echo = ConfigEcho {
+        n_max: pcfg.n_max,
+        m: pcfg.m_bits as u64,
+        sampling_bits: schedule.split().sampling_bits(),
+        seed: pcfg.seed,
+        window: pcfg.window as u64,
+    };
+    let agent_id = opts.agent_id.unwrap_or(opts.shard as u64 + 1);
+    let acfg = AgentConfig::new(agent_id, echo);
+    let read_deadline = Duration::from_millis(opts.deadline_ms.max(1));
+    writeln!(
+        out,
+        "agent {agent_id}: shard {} of {} shipping {} epoch frames to {}",
+        opts.shard,
+        pcfg.shards,
+        frames.len(),
+        opts.connect
+    )
+    .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    let addr = opts.connect.clone();
+    let report = run_agent(&acfg, frames, |_attempt| {
+        let stream = TcpStream::connect(&*addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_deadline))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        Ok(stream)
+    })?;
+    writeln!(
+        out,
+        "acked {} frames over {} connections ({} duplicates, {} retransmits, \
+         {} error frames seen)",
+        report.frames_acked,
+        report.connections,
+        report.duplicates,
+        report.retransmits,
+        report.error_frames_seen
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn query_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let [what] = opts.paths.as_slice() else {
+        return Err(
+            "query needs exactly one request kind: estimate | fill | top | summary | drain".into(),
+        );
+    };
+    let need_key = || opts.key.ok_or(format!("query {what} needs --key K"));
+    let request = match what.as_str() {
+        "estimate" => QueryRequest::Estimate(need_key()?),
+        "fill" => QueryRequest::Fill(need_key()?),
+        "top" => QueryRequest::TopK(opts.top.max(1) as u64),
+        "summary" => QueryRequest::Summary,
+        "drain" => QueryRequest::Drain,
+        other => {
+            return Err(format!(
+                "unknown query kind `{other}` (estimate | fill | top | summary | drain)"
+            ))
+        }
+    };
+    if opts.connect.is_empty() {
+        return Err("query needs --connect HOST:PORT".into());
+    }
+    let stream =
+        TcpStream::connect(&opts.connect).map_err(|e| format!("connect {}: {e}", opts.connect))?;
+    stream.set_nodelay(true).map_err(io_err)?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(opts.deadline_ms.max(1))))
+        .map_err(io_err)?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .map_err(io_err)?;
+    let reply = query_once(stream, &request, Duration::from_secs(5))?;
+    let key = opts.key.unwrap_or_default();
+    match reply {
+        Message::Reply(QueryReply::Estimate(Some(e))) => {
+            writeln!(
+                out,
+                "key {key}: estimate {e:.0} distinct flows in the window"
+            )
+            .map_err(io_err)?;
+        }
+        Message::Reply(QueryReply::Estimate(None) | QueryReply::Fill(None)) => {
+            writeln!(out, "key {key}: not tracked").map_err(io_err)?;
+        }
+        Message::Reply(QueryReply::Fill(Some(f))) => {
+            writeln!(out, "key {key}: window fill {f} bits").map_err(io_err)?;
+        }
+        Message::Reply(QueryReply::TopK(rows)) => {
+            writeln!(out, "\n    key   est. flows/window").map_err(io_err)?;
+            for (k, e) in rows {
+                writeln!(out, "  {k:>5}   {e:>17.0}").map_err(io_err)?;
+            }
+        }
+        Message::Reply(QueryReply::Summary { keys, quantiles }) => {
+            writeln!(out, "{keys} tracked keys").map_err(io_err)?;
+            // The same rows `sbitmap window` prints, so a loopback
+            // deployment can be diffed against the in-process reference.
+            writeln!(out, "\n  quantile   est. flows/link/window").map_err(io_err)?;
+            for (p, v) in quantiles {
+                writeln!(out, "  {:>7.0}%   {v:>21.0}", p * 100.0).map_err(io_err)?;
+            }
+        }
+        Message::Reply(QueryReply::Draining) => {
+            writeln!(out, "collector acknowledged the drain").map_err(io_err)?;
+        }
+        Message::Error { code, detail, .. } => {
+            return Err(format!("collector error ({code:?}): {detail}"));
+        }
+        other => return Err(format!("unexpected reply: {other:?}")),
+    }
+    Ok(())
+}
+
+fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let cfg = sbitmap_bench::daemon::DaemonBenchConfig {
+        links: opts.links.max(1),
+        shards: opts.shards.max(1),
+        window: opts.window.max(1),
+        epochs: opts.epochs.max(1),
+        budget_ms: opts.budget_ms.max(1),
+        seed: opts.seed,
+    };
+    writeln!(
+        out,
+        "daemon bench: {} links over {} agents, {}-epoch window, {} epochs, {} ms/case",
+        cfg.links, cfg.shards, cfg.window, cfg.epochs, cfg.budget_ms
+    )
+    .map_err(io_err)?;
+    let run = sbitmap_bench::daemon::run(&cfg);
+    for m in &run.results {
+        writeln!(out, "{}", m.row()).map_err(io_err)?;
+    }
+    let overhead = sbitmap_bench::daemon::storm_overhead(&run.results);
+    writeln!(out, "reconnect storm vs clean loopback: {overhead:.2}x").map_err(io_err)?;
+    let json = sbitmap_bench::daemon::report_json(&cfg, &run);
+    let path = if opts.out.is_empty() {
+        "BENCH_daemon.json"
+    } else {
+        &opts.out
+    };
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    writeln!(out, "wrote {path}").map_err(io_err)?;
     Ok(())
 }
 
@@ -1223,6 +1510,128 @@ mod tests {
         for p in [path, b] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn serve_starts_and_drains_on_stdin_command() {
+        let out = run(
+            "serve --listen 127.0.0.1:0 --query-listen 127.0.0.1:0 \
+             --links 6 --shards 2 --window 2 --epochs 2 --seed 3",
+            "drain\n",
+        )
+        .unwrap();
+        assert!(out.contains("sbitmapd: ingest on 127.0.0.1:"), "{out}");
+        assert!(out.contains("drained at epoch 0: 0 keys"), "{out}");
+    }
+
+    #[test]
+    fn agent_and_query_work_against_a_live_daemon() {
+        // A daemon shaped exactly as `windowed_cfg` shapes `serve`, so
+        // the CLI agent's config echo matches the handshake check.
+        let pcfg = WindowedPipelineConfig {
+            links: 6,
+            shards: 2,
+            window: 2,
+            epochs: 3,
+            seed: 5,
+            ..WindowedPipelineConfig::default()
+        };
+        let daemon = Daemon::start(DaemonConfig {
+            n_max: pcfg.n_max,
+            m_bits: pcfg.m_bits,
+            seed: pcfg.seed,
+            window: pcfg.window,
+            read_deadline: Duration::from_millis(10),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let ingest = daemon.ingest_addr();
+        let query = daemon.query_addr();
+        let flags = "--links 6 --shards 2 --window 2 --epochs 3 --seed 5 --deadline-ms 20";
+        for shard in 0..2 {
+            let out = run(
+                &format!("agent --connect {ingest} {flags} --shard {shard}"),
+                "",
+            )
+            .unwrap();
+            assert!(out.contains("shipping 3 epoch frames"), "{out}");
+            assert!(out.contains("acked 3 frames over 1 connections"), "{out}");
+        }
+        let out = run(
+            &format!("query summary --connect {query} --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("6 tracked keys"), "{out}");
+        assert!(out.contains("quantile"), "{out}");
+        let out = run(
+            &format!("query estimate --connect {query} --key 0 --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("key 0: estimate"), "{out}");
+        let out = run(
+            &format!("query estimate --connect {query} --key 999 --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("key 999: not tracked"), "{out}");
+        let out = run(
+            &format!("query top --connect {query} --top 3 --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("est. flows/window"), "{out}");
+        let out = run(
+            &format!("query drain --connect {query} --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("acknowledged the drain"), "{out}");
+        let report = daemon.join().unwrap();
+        // The agents ran *sequentially*: shard 0 advanced the ring to
+        // epoch 2 (window 2 keeps epochs {1, 2}), so shard 1's epoch-0
+        // frame arrived expired — acked, counted, and irrelevant to the
+        // final window, exactly as the sliding window defines.
+        assert_eq!(report.frames_absorbed, 5);
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.estimates.len(), 6);
+    }
+
+    #[test]
+    fn agent_and_query_reject_bad_usage() {
+        // Every rejection here must fire before any network I/O.
+        let err = run("agent --links 4 --shards 2", "").unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = run("agent --connect 127.0.0.1:1 --shards 2 --shard 2", "").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = run("query --connect 127.0.0.1:1", "").unwrap_err();
+        assert!(err.contains("request kind"), "{err}");
+        let err = run("query bogus --connect 127.0.0.1:1", "").unwrap_err();
+        assert!(err.contains("unknown query kind"), "{err}");
+        let err = run("query estimate --connect 127.0.0.1:1", "").unwrap_err();
+        assert!(err.contains("--key"), "{err}");
+        let err = run("query summary", "").unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+    }
+
+    #[test]
+    fn bench_daemon_writes_report() {
+        let path = tmp("bench_daemon.json");
+        let argv = format!(
+            "bench-daemon --links 8 --shards 2 --window 2 --epochs 3 --budget-ms 1 \
+             --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("daemon_loopback_ingest"), "{out}");
+        assert!(out.contains("daemon_reconnect_storm"), "{out}");
+        assert!(out.contains("reconnect storm vs clean loopback"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"daemon\""));
+        assert!(json.contains("reconnect_storm_overhead"));
+        assert!(json.contains("\"strategies_agree\": \"true\""));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -815,6 +815,10 @@ impl<H: Hasher64 + FromSeed> Checkpoint for FleetArena<H> {
     fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
         let n_max = r.u64()?;
         let m = r.len_u64()?;
+        // The schedule rebuild below is O(m) and runs before any
+        // m-sized record can bound `m` against the payload — cap it
+        // (see `codec::MAX_WIRE_M`).
+        crate::codec::check_wire_m(m)?;
         let sampling_bits = r.u32()?;
         let seed = r.u64()?;
         let count = r.len_u64()?;

@@ -460,6 +460,27 @@ pub trait Checkpoint: Sized {
     }
 }
 
+/// Largest `m` (bits per sketch) a checkpoint is allowed to declare.
+///
+/// The in-memory API has no such cap, but rebuilding a [`RateSchedule`]
+/// is O(m) time and memory, and the fleet decoders must do it *before*
+/// the first byte-backed record can bound `m` against the payload
+/// length. Without this limit a 16-byte hostile frame with a repaired
+/// checksum can demand minutes of threshold computation and gigabytes
+/// of allocation. 2²² bits (512 KiB per sketch) is ~500× the paper's
+/// largest configuration. Recorded in `docs/wire-format.md`.
+pub const MAX_WIRE_M: usize = 1 << 22;
+
+/// Shared guard for the config header of every schedule-bearing payload.
+pub(crate) fn check_wire_m(m: usize) -> Result<(), SBitmapError> {
+    if m > MAX_WIRE_M {
+        return Err(fail(format!(
+            "checkpoint declares m = {m} bits, above the wire limit {MAX_WIRE_M}"
+        )));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // S-bitmap payload (shared by v1 bodies and v2 payloads)
 // ---------------------------------------------------------------------
@@ -480,6 +501,7 @@ impl<H: Hasher64 + FromSeed> Checkpoint for SBitmap<H> {
     fn read_payload(r: &mut PayloadReader<'_>) -> Result<Self, SBitmapError> {
         let n_max = r.u64()?;
         let m = r.len_u64()?;
+        check_wire_m(m)?;
         let sampling_bits = r.u32()?;
         let seed = r.u64()?;
         let fill = r.len_u64()?;

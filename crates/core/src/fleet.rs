@@ -318,6 +318,8 @@ impl<H: Hasher64 + FromSeed> Checkpoint for SketchFleet<H> {
         let fail = |msg: &str| SBitmapError::invalid("checkpoint", msg.to_string());
         let n_max = r.u64()?;
         let m = r.len_u64()?;
+        // Cap before the O(m) schedule rebuild — see `codec::MAX_WIRE_M`.
+        crate::codec::check_wire_m(m)?;
         let sampling_bits = r.u32()?;
         let seed = r.u64()?;
         let count = r.len_u64()?;

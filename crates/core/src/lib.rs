@@ -81,4 +81,4 @@ pub use rotating::RotatingCounter;
 pub use schedule::RateSchedule;
 pub use sketch::SBitmap;
 pub use sync::SharedCounter;
-pub use window::{EpochClock, WindowedFleet};
+pub use window::{AbsorbOutcome, EpochClock, WindowedFleet};

@@ -66,6 +66,7 @@
 //! lane of `sbitmap_stream::collector`).
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use sbitmap_bitvec::Bitmap;
@@ -222,6 +223,27 @@ pub struct WindowedFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
     /// assembled here, so a warm query allocates nothing. Interior
     /// mutability keeps queries `&self` like every other fleet flavor.
     scratch: RefCell<Vec<u64>>,
+    /// Per-slot absorb guard: the source ids whose frame for the slot's
+    /// current epoch has already been absorbed
+    /// ([`WindowedFleet::absorb_epoch_from`]). Cleared whenever the slot
+    /// is reused, never serialized — see the method docs for why a
+    /// restore losing the guard is safe.
+    seen: Vec<HashSet<u64>>,
+}
+
+/// What [`WindowedFleet::absorb_epoch_from`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbOutcome {
+    /// The frame was folded into the ring (first delivery from this
+    /// source for this epoch).
+    Absorbed,
+    /// The same `(source, epoch)` was already absorbed — the replay was
+    /// skipped. State is unchanged (and would have been unchanged even
+    /// without the guard: the storage-level union is an OR).
+    Duplicate,
+    /// The epoch has already expired from the window; the late frame was
+    /// dropped, not an error.
+    Expired,
 }
 
 impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
@@ -272,6 +294,7 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
             clock: EpochClock::unbounded(),
             stride,
             scratch: RefCell::new(Vec::new()),
+            seen: (0..window).map(|_| HashSet::new()).collect(),
         })
     }
 
@@ -355,6 +378,8 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         let closed = self.clock.advance();
         // The new epoch reuses the slot that held epoch `new − W`.
         self.current_mut().clear();
+        let slot = (self.clock.epoch() % self.ring.len() as u64) as usize;
+        self.seen[slot].clear();
         closed
     }
 
@@ -745,11 +770,57 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         Ok(true)
     }
 
+    /// [`WindowedFleet::absorb_epoch`] with an at-least-once delivery
+    /// guard: a `(source, epoch)` pair that was already absorbed is
+    /// skipped and reported as [`AbsorbOutcome::Duplicate`], so a network
+    /// peer may replay unacknowledged frames freely. The guard is a
+    /// *shortcut*, not a correctness requirement — the storage-level
+    /// union is an OR, so replaying an identical frame sets zero new
+    /// bits either way — which is exactly why the guard is **not**
+    /// serialized in the tag-10 checkpoint: a restored ring that re-sees
+    /// an old frame re-absorbs a bitwise no-op.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WindowedFleet::absorb_epoch`]: a future epoch, or a
+    /// configuration/seed mismatch (the source is *not* marked seen on
+    /// error — a corrected retry still lands).
+    pub fn absorb_epoch_from(
+        &mut self,
+        source: u64,
+        epoch: u64,
+        other: &FleetArena<H>,
+    ) -> Result<AbsorbOutcome, SBitmapError> {
+        if epoch > self.clock.epoch() {
+            return Err(SBitmapError::invalid(
+                "epoch",
+                format!(
+                    "epoch {epoch} is ahead of the ring's open epoch {}",
+                    self.clock.epoch()
+                ),
+            ));
+        }
+        let Some(slot) = self.live_slot(epoch) else {
+            return Ok(AbsorbOutcome::Expired);
+        };
+        if !self.seen[slot].insert(source) {
+            return Ok(AbsorbOutcome::Duplicate);
+        }
+        if let Err(e) = self.ring[slot].union_from(other) {
+            self.seen[slot].remove(&source);
+            return Err(e);
+        }
+        Ok(AbsorbOutcome::Absorbed)
+    }
+
     /// Reset every live epoch, keeping keys, slots and allocations; the
     /// clock keeps running.
     pub fn reset_all(&mut self) {
         for arena in &mut self.ring {
             arena.reset_all();
+        }
+        for seen in &mut self.seen {
+            seen.clear();
         }
     }
 
@@ -758,6 +829,9 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
     pub fn clear(&mut self) {
         for arena in &mut self.ring {
             arena.clear();
+        }
+        for seen in &mut self.seen {
+            seen.clear();
         }
     }
 }
@@ -812,6 +886,8 @@ impl<H: Hasher64 + FromSeed> Checkpoint for WindowedFleet<H> {
         let fail = |msg: &str| SBitmapError::invalid("checkpoint", msg.to_string());
         let n_max = r.u64()?;
         let m = r.len_u64()?;
+        // Cap before the O(m) schedule rebuild — see `codec::MAX_WIRE_M`.
+        crate::codec::check_wire_m(m)?;
         let sampling_bits = r.u32()?;
         let seed = r.u64()?;
         let window = r.len_u64()?;
@@ -1067,6 +1143,61 @@ mod tests {
         // Mismatched seeds are rejected, not silently mixed.
         let alien: FleetArena = FleetArena::with_schedule(schedule, 77);
         assert!(ring.absorb_epoch(ring.current_epoch(), &alien).is_err());
+    }
+
+    #[test]
+    fn absorb_guard_dedups_per_source_and_resets_on_reuse() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        let mut a: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        for i in 0..1_000u64 {
+            a.insert_u64(3, i);
+        }
+        assert_eq!(
+            ring.absorb_epoch_from(7, 0, &a).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        let after_first = ring.checkpoint();
+        // Replays from the same source are skipped; a different source
+        // absorbs (a bitwise no-op here — identical frame), and neither
+        // changes the ring state.
+        assert_eq!(
+            ring.absorb_epoch_from(7, 0, &a).unwrap(),
+            AbsorbOutcome::Duplicate
+        );
+        assert_eq!(
+            ring.absorb_epoch_from(8, 0, &a).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(ring.checkpoint(), after_first, "replay is a no-op");
+        // A failed absorb does not poison the guard: the source retries.
+        let alien: FleetArena = FleetArena::with_schedule(schedule.clone(), 77);
+        let mut fresh: WindowedFleet = WindowedFleet::with_schedule(schedule, 9, 2).unwrap();
+        assert!(fresh.absorb_epoch_from(9, 0, &alien).is_err());
+        assert_eq!(
+            fresh.absorb_epoch_from(9, 0, &a).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        // Expiry: epoch 0 falls out after W rotations, and the guard of
+        // its reused slot is cleared for the new epoch.
+        ring.advance_to(2).unwrap();
+        assert_eq!(
+            ring.absorb_epoch_from(7, 0, &a).unwrap(),
+            AbsorbOutcome::Expired
+        );
+        assert_eq!(
+            ring.absorb_epoch_from(7, 2, &a).unwrap(),
+            AbsorbOutcome::Absorbed,
+            "slot reuse cleared the old epoch's seen set"
+        );
+        // The guard is not serialized: a restored ring re-absorbs.
+        let mut restored: WindowedFleet = Checkpoint::restore(&ring.checkpoint()).unwrap();
+        let before = restored.checkpoint();
+        assert_eq!(
+            restored.absorb_epoch_from(7, 2, &a).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(restored.checkpoint(), before, "re-absorb is bitwise no-op");
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! The node agent: ships one shard's epoch frames to the collector,
+//! surviving cuts, stalls, corruption and restarts.
+//!
+//! Delivery contract — **at-least-once, resume from last ack**: a frame
+//! leaves the agent's `pending` set only when the collector acks its
+//! epoch, so a connection lost mid-flight simply means the next session
+//! retransmits whatever is still pending. The collector's per-source
+//! absorb guard (and the OR-idempotence of sketch union beneath it)
+//! turns every replay into a no-op, which is what makes at-least-once
+//! equivalent to exactly-once for this state.
+//!
+//! The agent is deliberately single-threaded: one stream, writes
+//! interleaved with reads through [`FrameReader::inner_mut`], a credit
+//! window from the handshake bounding unacked frames. Reconnection uses
+//! capped exponential backoff with deterministic seeded jitter so a
+//! fleet of agents restarting together does not stampede the collector
+//! in lockstep — and so every test run backs off identically.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use sbitmap_hash::mix64;
+use sbitmap_stream::net::{
+    encode, AckOutcome, ConfigEcho, ErrorCode, FrameReader, Message, QueryRequest, ReadEvent, Role,
+    PROTO_VERSION,
+};
+use sbitmap_stream::{FaultPlan, FaultyStream};
+
+/// Capped exponential backoff with deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First retry delay.
+    pub base: Duration,
+    /// Upper bound on any delay.
+    pub cap: Duration,
+    /// Jitter seed; two agents with different seeds spread out, the
+    /// same seed replays the same schedule.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(200),
+            seed: 0x0b_ac_0f_f5,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based): `base · 2^n`
+    /// capped at `cap`, scaled by a jitter fraction in `[0.5, 1.0]`
+    /// derived from the seed — deterministic per `(seed, attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let r = mix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // 53 high bits → uniform fraction in [0, 1), mapped to [0.5, 1.0).
+        let frac = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        exp.mul_f64(frac)
+    }
+}
+
+/// Configuration of one agent run.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Stable identity; drives the collector's at-least-once guard, so
+    /// it must survive reconnects (and restarts, if frames could be
+    /// replayed across them).
+    pub agent_id: u64,
+    /// The sketch configuration the collector must echo.
+    pub config: ConfigEcho,
+    /// Local backlog bound: while disconnected the agent keeps at most
+    /// this many unacked frames, dropping the **oldest** beyond it
+    /// (oldest epochs expire from the collector's window first anyway).
+    pub buffer_cap: usize,
+    /// Give up after this many connection attempts.
+    pub max_attempts: u32,
+    /// Reconnect pacing.
+    pub backoff: Backoff,
+    /// A session with no ack (or other progress) for this long is torn
+    /// down and retried.
+    pub ack_timeout: Duration,
+    /// Fault injection plan (clean by default); see
+    /// [`sbitmap_stream::fault`].
+    pub plan: FaultPlan,
+}
+
+impl AgentConfig {
+    /// An agent with production-shaped defaults for the given identity
+    /// and config echo.
+    pub fn new(agent_id: u64, config: ConfigEcho) -> Self {
+        Self {
+            agent_id,
+            config,
+            buffer_cap: usize::MAX,
+            max_attempts: 24,
+            backoff: Backoff {
+                seed: mix64(agent_id ^ 0xa6e7),
+                ..Backoff::default()
+            },
+            ack_timeout: Duration::from_secs(2),
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// What one [`run_agent`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentReport {
+    /// Frames acknowledged (any outcome) and removed from pending.
+    pub frames_acked: u64,
+    /// Acks that came back [`AckOutcome::Duplicate`] — replays the
+    /// collector's guard skipped.
+    pub duplicates: u64,
+    /// Targeted same-session retransmits after a `BadFrame` error.
+    pub retransmits: u64,
+    /// Connection attempts that reached an established stream.
+    pub connections: u64,
+    /// Frames dropped to honor [`AgentConfig::buffer_cap`].
+    pub dropped: u64,
+    /// Typed error frames received from the collector.
+    pub error_frames_seen: u64,
+}
+
+/// How one session ended, from the outer retry loop's point of view.
+enum SessionEnd {
+    /// All pending frames acked; stop.
+    Done,
+    /// Transient trouble; back off and reconnect.
+    Retry,
+    /// The collector rejected us in a way retrying cannot fix.
+    Fatal(String),
+}
+
+/// Ship `frames` (`(epoch, tag-9 fleet checkpoint)` pairs) to the
+/// collector, reconnecting through `connect` until every frame is acked
+/// or the attempt budget is exhausted.
+///
+/// `connect` is called with the 0-based attempt number and returns a
+/// fresh duplex stream (a `TcpStream` in production; anything
+/// `Read + Write` in tests). The connector should set a read timeout —
+/// the agent relies on periodic read timeouts to notice a dead or
+/// stalled collector via [`AgentConfig::ack_timeout`].
+///
+/// # Errors
+///
+/// Exhausting [`AgentConfig::max_attempts`], or a fatal handshake
+/// rejection (version/config mismatch).
+pub fn run_agent<S, C>(
+    cfg: &AgentConfig,
+    frames: Vec<(u64, Vec<u8>)>,
+    mut connect: C,
+) -> Result<AgentReport, String>
+where
+    S: Read + Write,
+    C: FnMut(u32) -> io::Result<S>,
+{
+    let mut report = AgentReport::default();
+    let mut pending = frames;
+    let mut attempt: u32 = 0;
+    while !pending.is_empty() {
+        if attempt >= cfg.max_attempts {
+            return Err(format!(
+                "agent {} gave up after {} attempts with {} frames unacked",
+                cfg.agent_id,
+                attempt,
+                pending.len()
+            ));
+        }
+        if attempt > 0 {
+            std::thread::sleep(cfg.backoff.delay(attempt - 1));
+            // While disconnected the local backlog is bounded: shed the
+            // oldest epochs first — they are the ones the collector's
+            // window will expire first anyway.
+            if pending.len() > cfg.buffer_cap {
+                let shed = pending.len() - cfg.buffer_cap;
+                pending.drain(..shed);
+                report.dropped += shed as u64;
+            }
+        }
+        let byte_plan = cfg.plan.for_attempt(attempt);
+        attempt += 1;
+        let stream = match connect(attempt - 1) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        report.connections += 1;
+        let stream = FaultyStream::new(stream, &byte_plan);
+        match session(cfg, &byte_plan, &mut pending, stream, &mut report) {
+            SessionEnd::Done => break,
+            SessionEnd::Retry => {}
+            SessionEnd::Fatal(e) => return Err(e),
+        }
+    }
+    Ok(report)
+}
+
+/// Convenience for monitoring clients: open a query session over
+/// `stream`, send one request, and return the raw reply message.
+///
+/// # Errors
+///
+/// Handshake rejection, transport failure, or a non-reply answer.
+pub fn query_once<S: Read + Write>(
+    stream: S,
+    request: &QueryRequest,
+    deadline: Duration,
+) -> Result<Message, String> {
+    let mut reader = FrameReader::new(stream);
+    let hello = Message::Hello {
+        proto: PROTO_VERSION,
+        role: Role::Query,
+        agent: 0,
+        config: ConfigEcho {
+            n_max: 0,
+            m: 0,
+            sampling_bits: 0,
+            seed: 0,
+            window: 0,
+        },
+    };
+    send(&mut reader, &hello).map_err(|e| format!("query hello: {e}"))?;
+    let start = Instant::now();
+    loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Welcome { .. })) => break,
+            Ok(ReadEvent::Message(Message::Error { code, detail, .. })) => {
+                return Err(format!("query handshake rejected ({code:?}): {detail}"));
+            }
+            Ok(ReadEvent::TimedOut) if start.elapsed() < deadline => {}
+            other => return Err(format!("query handshake: unexpected {other:?}")),
+        }
+    }
+    send(&mut reader, &Message::Query(request.clone())).map_err(|e| format!("query send: {e}"))?;
+    let start = Instant::now();
+    loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(msg @ (Message::Reply(_) | Message::Error { .. }))) => {
+                let _ = send(&mut reader, &Message::Goodbye);
+                return Ok(msg);
+            }
+            Ok(ReadEvent::TimedOut) if start.elapsed() < deadline => {}
+            other => return Err(format!("query reply: unexpected {other:?}")),
+        }
+    }
+}
+
+/// Write one message through the reader's underlying stream (the agent
+/// is single-threaded, so reads and writes interleave on one handle).
+fn send<S: Read + Write>(reader: &mut FrameReader<S>, msg: &Message) -> io::Result<()> {
+    let bytes = encode(msg);
+    reader.inner_mut().write_all(&bytes)?;
+    reader.inner_mut().flush()
+}
+
+/// One connection's worth of work: handshake, then send pending frames
+/// under the credit window and process acks until pending drains or the
+/// session dies.
+fn session<S: Read + Write>(
+    cfg: &AgentConfig,
+    plan: &FaultPlan,
+    pending: &mut Vec<(u64, Vec<u8>)>,
+    stream: FaultyStream<S>,
+    report: &mut AgentReport,
+) -> SessionEnd {
+    let mut reader = FrameReader::new(stream);
+    let hello = Message::Hello {
+        proto: PROTO_VERSION,
+        role: Role::Ingest,
+        agent: cfg.agent_id,
+        config: cfg.config,
+    };
+    if send(&mut reader, &hello).is_err() {
+        return SessionEnd::Retry;
+    }
+    let mut last_progress = Instant::now();
+    let credits = loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Welcome { credits, .. })) => {
+                break (credits.max(1)) as usize;
+            }
+            Ok(ReadEvent::Message(Message::Error { code, detail, .. })) => {
+                report.error_frames_seen += 1;
+                match code {
+                    ErrorCode::VersionMismatch | ErrorCode::ConfigMismatch => {
+                        return SessionEnd::Fatal(format!(
+                            "collector rejected handshake ({code:?}): {detail}"
+                        ));
+                    }
+                    _ => return SessionEnd::Retry,
+                }
+            }
+            Ok(ReadEvent::TimedOut) => {
+                if last_progress.elapsed() >= cfg.ack_timeout {
+                    return SessionEnd::Retry;
+                }
+            }
+            Ok(ReadEvent::Message(_)) | Ok(ReadEvent::Corrupt(_)) | Ok(ReadEvent::Closed) => {
+                return SessionEnd::Retry;
+            }
+            Err(_) => return SessionEnd::Retry,
+        }
+    };
+
+    // The send queue for this session: the pending frames, mangled by
+    // the plan's frame-level faults (reorder first, then duplication).
+    let mut queue: Vec<(u64, Vec<u8>)> = pending.clone();
+    if let Some(k) = plan.swap_every {
+        let k = k.max(2) as usize;
+        let mut i = k - 1;
+        while i < queue.len() {
+            queue.swap(i - 1, i);
+            i += k;
+        }
+    }
+    if let Some(k) = plan.duplicate_every {
+        let k = k.max(1) as usize;
+        let mut mangled = Vec::with_capacity(queue.len() * 2);
+        for (i, item) in queue.into_iter().enumerate() {
+            let dup = (i + 1) % k == 0;
+            if dup {
+                mangled.push(item.clone());
+            }
+            mangled.push(item);
+        }
+        queue = mangled;
+    }
+
+    let mut next = 0usize; // next queue slot to send
+    let mut in_flight = 0usize;
+    // Bound same-session retransmission so a frame the collector keeps
+    // rejecting cannot ping-pong forever; past the cap we reconnect and
+    // let `max_attempts` own the give-up decision.
+    let mut retransmit_budget = 4 + 2 * pending.len();
+    last_progress = Instant::now();
+    loop {
+        while in_flight < credits && next < queue.len() {
+            let (epoch, frame) = &queue[next];
+            let batch = Message::Batch {
+                epoch: *epoch,
+                agent: cfg.agent_id,
+                frame: frame.clone(),
+            };
+            if send(&mut reader, &batch).is_err() {
+                return SessionEnd::Retry;
+            }
+            next += 1;
+            in_flight += 1;
+        }
+        if pending.is_empty() {
+            let _ = send(&mut reader, &Message::Goodbye);
+            return SessionEnd::Done;
+        }
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Ack { epoch, outcome })) => {
+                last_progress = Instant::now();
+                in_flight = in_flight.saturating_sub(1);
+                if outcome == AckOutcome::Duplicate {
+                    report.duplicates += 1;
+                }
+                if let Some(pos) = pending.iter().position(|(e, _)| *e == epoch) {
+                    pending.remove(pos);
+                    report.frames_acked += 1;
+                }
+            }
+            Ok(ReadEvent::Message(Message::Error {
+                code: ErrorCode::BadFrame,
+                context,
+                ..
+            })) => {
+                // The collector kept the connection; retransmit the
+                // named epoch in-session when we can identify it. A
+                // corrupt frame the collector could not decode arrives
+                // as context 0 — its epoch never gets acked, so the
+                // ack timeout below forces a reconnect that resends it.
+                report.error_frames_seen += 1;
+                in_flight = in_flight.saturating_sub(1);
+                if let Some(item) = pending.iter().find(|(e, _)| *e == context).cloned() {
+                    if retransmit_budget == 0 {
+                        return SessionEnd::Retry;
+                    }
+                    retransmit_budget -= 1;
+                    report.retransmits += 1;
+                    queue.push(item);
+                }
+            }
+            Ok(ReadEvent::Message(Message::Error { code, detail, .. })) => {
+                report.error_frames_seen += 1;
+                match code {
+                    ErrorCode::VersionMismatch
+                    | ErrorCode::ConfigMismatch
+                    | ErrorCode::EpochOutOfRange => {
+                        return SessionEnd::Fatal(format!(
+                            "collector rejected session ({code:?}): {detail}"
+                        ));
+                    }
+                    _ => return SessionEnd::Retry,
+                }
+            }
+            Ok(ReadEvent::Message(Message::Goodbye)) | Ok(ReadEvent::Closed) => {
+                return SessionEnd::Retry;
+            }
+            Ok(ReadEvent::Message(_)) | Ok(ReadEvent::Corrupt(_)) => {
+                // An undecodable or unexpected inbound frame: we cannot
+                // tell what it acked, so resync with a fresh session.
+                return SessionEnd::Retry;
+            }
+            Ok(ReadEvent::TimedOut) => {
+                if last_progress.elapsed() >= cfg.ack_timeout {
+                    return SessionEnd::Retry;
+                }
+            }
+            Err(_) => return SessionEnd::Retry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let b = Backoff {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            seed: 7,
+        };
+        let delays: Vec<Duration> = (0..8).map(|a| b.delay(a)).collect();
+        assert_eq!(delays, (0..8).map(|a| b.delay(a)).collect::<Vec<_>>());
+        for (i, d) in delays.iter().enumerate() {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << i.min(20))
+                .min(Duration::from_millis(80));
+            assert!(
+                *d >= exp / 2 && *d <= exp,
+                "delay {i} = {d:?} vs cap {exp:?}"
+            );
+        }
+        // Different seeds give different jitter somewhere in the run.
+        let other = Backoff {
+            seed: 8,
+            ..b.clone()
+        };
+        assert!((0..8).any(|a| b.delay(a) != other.delay(a)));
+    }
+
+    #[test]
+    fn agent_gives_up_after_max_attempts() {
+        let cfg = AgentConfig {
+            max_attempts: 3,
+            backoff: Backoff {
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(20),
+                seed: 1,
+            },
+            ..AgentConfig::new(
+                9,
+                ConfigEcho {
+                    n_max: 1000,
+                    m: 100,
+                    sampling_bits: 4,
+                    seed: 1,
+                    window: 2,
+                },
+            )
+        };
+        let frames = vec![(0u64, vec![1, 2, 3])];
+        let mut tries = 0u32;
+        let err = run_agent(&cfg, frames, |_attempt| {
+            tries += 1;
+            Err::<std::io::Cursor<Vec<u8>>, _>(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "nobody home",
+            ))
+        })
+        .unwrap_err();
+        assert_eq!(tries, 3);
+        assert!(err.contains("gave up after 3 attempts"), "{err}");
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end loopback harness: a daemon plus one TCP agent per shard,
+//! on `127.0.0.1`, fed the exact frames the in-process pipeline
+//! produces.
+//!
+//! This is the bridge the robustness suites and `bench-daemon` stand
+//! on: [`sbitmap_stream::ShardFrameSource`] generates frames through
+//! the same code path as
+//! [`sbitmap_stream::run_windowed_pipeline`]'s workers, so after a
+//! drain the daemon's ring must match the in-process collector
+//! **bit-for-bit** — estimates, fills and quantile summaries — no
+//! matter which [`FaultPlan`] mangled the transport along the way.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sbitmap_stream::{FaultPlan, ShardFrameSource, WindowedPipelineConfig};
+
+use crate::agent::{run_agent, AgentConfig, AgentReport};
+use crate::server::{Daemon, DaemonConfig, DaemonReport};
+
+/// What [`run_loopback`] returns once the daemon has drained.
+#[derive(Debug, Clone)]
+pub struct LoopbackOutcome {
+    /// The drained daemon's report (estimates + counters + checkpoint).
+    pub report: DaemonReport,
+    /// One report per shard agent, in shard order.
+    pub agents: Vec<AgentReport>,
+}
+
+/// Run the full networked pipeline on loopback: start a daemon shaped
+/// by `pcfg`'s sketch parameters, ship every shard's epoch frames
+/// through a real TCP agent (shard `s` injecting `plans[s]`, clean when
+/// `plans` is shorter), then drain and return the collector state.
+///
+/// The daemon's sketch fields (`n_max`, `m_bits`, `seed`, `window`) are
+/// overwritten from `pcfg` so the two sides can never disagree; the
+/// remaining knobs of `dcfg` (credits, queue bound, deadlines, paths)
+/// are honored as given.
+///
+/// # Errors
+///
+/// Daemon start/join failures, an invalid `pcfg`, or an agent
+/// exhausting its attempts.
+pub fn run_loopback(
+    pcfg: &WindowedPipelineConfig,
+    dcfg: DaemonConfig,
+    plans: &[FaultPlan],
+) -> Result<LoopbackOutcome, String> {
+    let dcfg = DaemonConfig {
+        n_max: pcfg.n_max,
+        m_bits: pcfg.m_bits,
+        seed: pcfg.seed,
+        window: pcfg.window,
+        ..dcfg
+    };
+    let read_deadline = dcfg.read_deadline;
+    let write_deadline = dcfg.write_deadline;
+    let daemon = Daemon::start(dcfg)?;
+    let echo = daemon.config_echo();
+    let addr = daemon.ingest_addr();
+
+    // Frame generation can fail (bad shard split) — do it before any
+    // thread spawns so errors surface cleanly.
+    let mut shard_frames = Vec::with_capacity(pcfg.shards);
+    for shard in 0..pcfg.shards {
+        shard_frames.push(ShardFrameSource::new(pcfg, shard)?.collect_frames());
+    }
+
+    let mut workers = Vec::with_capacity(pcfg.shards);
+    for (shard, frames) in shard_frames.into_iter().enumerate() {
+        let plan = plans.get(shard).cloned().unwrap_or_default();
+        let acfg = AgentConfig {
+            plan,
+            // Loopback acks arrive in microseconds; a short ack timeout
+            // keeps fault-injected runs (lost frame → silent ack gap →
+            // reconnect) fast without risking false timeouts.
+            ack_timeout: (read_deadline * 10).max(Duration::from_millis(100)),
+            ..AgentConfig::new(shard as u64 + 1, echo)
+        };
+        workers.push(std::thread::spawn(move || {
+            run_agent(&acfg, frames, |_attempt| {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(read_deadline.max(Duration::from_millis(1))))?;
+                stream.set_write_timeout(Some(write_deadline))?;
+                Ok(stream)
+            })
+        }));
+    }
+    let mut agents = Vec::with_capacity(workers.len());
+    let mut first_err = None;
+    for w in workers {
+        match w.join().map_err(|_| "agent thread panicked".to_string())? {
+            Ok(r) => agents.push(r),
+            Err(e) => first_err = Some(e),
+        }
+    }
+    // Drain regardless, so the daemon's threads never leak; then report
+    // the first agent failure if any.
+    daemon.drain();
+    let report = daemon.join()?;
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(LoopbackOutcome { report, agents })
+}

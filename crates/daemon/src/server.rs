@@ -1,0 +1,797 @@
+//! The collector daemon: TCP ingest + query listeners over a central
+//! [`WindowedFleet`] ring.
+//!
+//! Concurrency layout (all std threads, no async runtime):
+//!
+//! ```text
+//! ingest accept loop ──spawns──▶ per-connection handler
+//!                                  ├─ reader (the handler thread):
+//!                                  │    handshake, decode batches,
+//!                                  │    push absorb jobs
+//!                                  └─ writer thread: acks + errors
+//! query accept loop  ──spawns──▶ per-connection request/reply handler
+//! absorber thread    ◀── bounded sync_channel of decoded jobs
+//! ```
+//!
+//! The **bounded absorb queue is the backpressure mechanism**: when the
+//! absorber falls behind, `try_send` fails, the handler counts a
+//! backpressure event and falls back to a blocking send — which stops it
+//! reading its socket, which fills the kernel receive buffer, which
+//! stalls the remote agent's sends. Flow control composes out of
+//! `sync_channel` + TCP, no protocol machinery needed beyond the credit
+//! window advertised in the handshake.
+//!
+//! Failure policy per the wire spec: a frame that fails its checksum or
+//! payload validation is answered with a typed [`Message::Error`] frame
+//! and the connection lives on; only a desynchronized byte stream (bad
+//! magic, absurd length, EOF mid-frame) closes the connection, because
+//! after desync no frame boundary can be trusted.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sbitmap_core::codec::Checkpoint;
+use sbitmap_core::{AbsorbOutcome, FleetArena, KeyedEstimates, RateSchedule, WindowedFleet};
+use sbitmap_stream::net::{
+    ConfigEcho, ErrorCode, FrameReader, FrameWriter, Message, NetError, QueryReply, QueryRequest,
+    ReadEvent, Role, PROTO_VERSION,
+};
+use sbitmap_stream::quantile_summary;
+
+/// Largest forward epoch jump a batch frame may demand. The ring
+/// advances one rotation at a time, so an unbounded hostile epoch would
+/// be a CPU DoS; no healthy agent ever runs this far ahead of the
+/// collector.
+const MAX_EPOCH_JUMP: u64 = 1 << 20;
+
+/// How long the accept loops sleep between polls of the shutdown flag
+/// when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Ingest listener address (`127.0.0.1:0` picks a free port).
+    pub ingest_addr: String,
+    /// Query listener address.
+    pub query_addr: String,
+    /// Per-key design maximum cardinality.
+    pub n_max: u64,
+    /// Bits per key per epoch.
+    pub m_bits: usize,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Window span in epochs.
+    pub window: usize,
+    /// Credit window advertised to agents: batch frames an agent may
+    /// leave unacked before it must stop sending.
+    pub credits: u32,
+    /// Bound of the absorb queue, in decoded frames — the backpressure
+    /// knob.
+    pub queue_frames: usize,
+    /// Per-connection read deadline; doubles as the shutdown-flag poll
+    /// interval of blocked reads.
+    pub read_deadline: Duration,
+    /// Per-connection write deadline.
+    pub write_deadline: Duration,
+    /// A connection idle longer than this is closed.
+    pub idle_limit: Duration,
+    /// Where the final ring checkpoint is written on drain; `None`
+    /// skips the write.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Test hook: the absorber sleeps this long per frame, so the suite
+    /// can force the bounded queue to fill and observe backpressure
+    /// deterministically. Zero in production.
+    pub absorb_stall: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            ingest_addr: "127.0.0.1:0".into(),
+            query_addr: "127.0.0.1:0".into(),
+            n_max: 1_500_000,
+            m_bits: 8_000,
+            seed: 0xc011,
+            window: 8,
+            credits: 4,
+            queue_frames: 64,
+            read_deadline: Duration::from_millis(50),
+            write_deadline: Duration::from_millis(2_000),
+            idle_limit: Duration::from_secs(10),
+            checkpoint_path: None,
+            absorb_stall: Duration::ZERO,
+        }
+    }
+}
+
+/// Counters the daemon accumulates while serving (all monotone).
+#[derive(Debug, Default)]
+struct Stats {
+    connections: AtomicU64,
+    frames_absorbed: AtomicU64,
+    duplicates: AtomicU64,
+    expired: AtomicU64,
+    bad_frames: AtomicU64,
+    backpressure_events: AtomicU64,
+    handshake_rejects: AtomicU64,
+    desyncs: AtomicU64,
+    queries: AtomicU64,
+}
+
+/// What [`Daemon::join`] returns after a graceful drain.
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// `(key, windowed estimate)` pairs, ascending key order.
+    pub estimates: Vec<(u64, f64)>,
+    /// The ring's open epoch at drain.
+    pub final_epoch: u64,
+    /// The complete tag-10 checkpoint of the drained ring (also written
+    /// to [`DaemonConfig::checkpoint_path`] when set).
+    pub final_checkpoint: Vec<u8>,
+    /// Ingest + query connections accepted.
+    pub connections: u64,
+    /// Batch frames folded into the ring.
+    pub frames_absorbed: u64,
+    /// Batch frames skipped by the at-least-once guard.
+    pub duplicates: u64,
+    /// Batch frames for already-expired epochs.
+    pub expired: u64,
+    /// Frames answered with a typed error instead of being absorbed.
+    pub bad_frames: u64,
+    /// Times a handler found the absorb queue full and had to block.
+    pub backpressure_events: u64,
+    /// Handshakes rejected (version or config mismatch).
+    pub handshake_rejects: u64,
+    /// Connections dropped for stream desynchronization.
+    pub desyncs: u64,
+    /// Query requests answered.
+    pub queries: u64,
+}
+
+/// One decoded batch frame queued for the absorber.
+struct Job {
+    epoch: u64,
+    agent: u64,
+    fleet: FleetArena,
+    ack: mpsc::Sender<Message>,
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    cfg: DaemonConfig,
+    echo: ConfigEcho,
+    ring: Mutex<WindowedFleet>,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon. Dropping it without [`Daemon::join`] leaks the
+/// serving threads; always drain + join.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    ingest_addr: SocketAddr,
+    query_addr: SocketAddr,
+    accept_threads: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    absorber: JoinHandle<()>,
+    job_tx: mpsc::SyncSender<Job>,
+}
+
+impl Daemon {
+    /// Bind both listeners and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Un-dimensionable sketch parameters, a zero window, or a bind
+    /// failure.
+    pub fn start(cfg: DaemonConfig) -> Result<Self, String> {
+        if cfg.credits == 0 || cfg.queue_frames == 0 {
+            return Err("credits and queue_frames must be at least 1".into());
+        }
+        let schedule =
+            Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
+        let echo = ConfigEcho {
+            n_max: cfg.n_max,
+            m: cfg.m_bits as u64,
+            sampling_bits: schedule.split().sampling_bits(),
+            seed: cfg.seed,
+            window: cfg.window as u64,
+        };
+        let ring = WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window)
+            .map_err(|e| e.to_string())?;
+        let ingest = TcpListener::bind(&cfg.ingest_addr)
+            .map_err(|e| format!("bind {}: {e}", cfg.ingest_addr))?;
+        let query = TcpListener::bind(&cfg.query_addr)
+            .map_err(|e| format!("bind {}: {e}", cfg.query_addr))?;
+        let ingest_addr = ingest.local_addr().map_err(|e| e.to_string())?;
+        let query_addr = query.local_addr().map_err(|e| e.to_string())?;
+        ingest.set_nonblocking(true).map_err(|e| e.to_string())?;
+        query.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+        let shared = Arc::new(Shared {
+            cfg,
+            echo,
+            ring: Mutex::new(ring),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_frames);
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let absorber = {
+            let shared = shared.clone();
+            std::thread::spawn(move || absorber_loop(&shared, &job_rx))
+        };
+        let mut accept_threads = Vec::with_capacity(2);
+        {
+            let shared = shared.clone();
+            let handlers = handlers.clone();
+            let job_tx = job_tx.clone();
+            accept_threads.push(std::thread::spawn(move || {
+                accept_loop(&shared, &ingest, &handlers, move |shared, stream| {
+                    let job_tx = job_tx.clone();
+                    move || ingest_conn(&shared, stream, &job_tx)
+                })
+            }));
+        }
+        {
+            let shared = shared.clone();
+            let handlers = handlers.clone();
+            accept_threads.push(std::thread::spawn(move || {
+                accept_loop(&shared, &query, &handlers, |shared, stream| {
+                    move || query_conn(&shared, stream)
+                })
+            }));
+        }
+        Ok(Self {
+            shared,
+            ingest_addr,
+            query_addr,
+            accept_threads,
+            handlers,
+            absorber,
+            job_tx,
+        })
+    }
+
+    /// The bound ingest address (resolves port 0).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound query address.
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// The sketch configuration the daemon echoes in handshakes.
+    pub fn config_echo(&self) -> ConfigEcho {
+        self.shared.echo
+    }
+
+    /// Flip the drain flag: acceptors stop, open connections are told
+    /// [`ErrorCode::Draining`] on their next deadline tick, in-flight
+    /// frames finish absorbing.
+    pub fn drain(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has been requested (locally or via a
+    /// [`QueryRequest::Drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Block until the daemon has fully drained (the flag must be — or
+    /// become — set, e.g. via [`Daemon::drain`] or a remote
+    /// [`QueryRequest::Drain`]), write the final ring checkpoint, and
+    /// return the report.
+    ///
+    /// # Errors
+    ///
+    /// A panicked serving thread, or a failed checkpoint write.
+    pub fn join(self) -> Result<DaemonReport, String> {
+        for t in self.accept_threads {
+            t.join().map_err(|_| "accept thread panicked".to_string())?;
+        }
+        // No new connections past this point; existing handlers observe
+        // the flag within one read deadline.
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for t in handlers {
+            t.join()
+                .map_err(|_| "handler thread panicked".to_string())?;
+        }
+        drop(self.job_tx);
+        self.absorber
+            .join()
+            .map_err(|_| "absorber thread panicked".to_string())?;
+        let (estimates, final_epoch, final_checkpoint) = {
+            let ring = self.shared.ring.lock().unwrap();
+            (
+                ring.estimates_sorted(),
+                ring.current_epoch(),
+                ring.checkpoint(),
+            )
+        };
+        if let Some(path) = &self.shared.cfg.checkpoint_path {
+            std::fs::write(path, &final_checkpoint)
+                .map_err(|e| format!("checkpoint write {}: {e}", path.display()))?;
+        }
+        let s = &self.shared.stats;
+        Ok(DaemonReport {
+            estimates,
+            final_epoch,
+            final_checkpoint,
+            connections: s.connections.load(Ordering::Relaxed),
+            frames_absorbed: s.frames_absorbed.load(Ordering::Relaxed),
+            duplicates: s.duplicates.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            bad_frames: s.bad_frames.load(Ordering::Relaxed),
+            backpressure_events: s.backpressure_events.load(Ordering::Relaxed),
+            handshake_rejects: s.handshake_rejects.load(Ordering::Relaxed),
+            desyncs: s.desyncs.load(Ordering::Relaxed),
+            queries: s.queries.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Accept until the drain flag flips, spawning one handler per
+/// connection. `make_handler` builds the per-connection closure (which
+/// captures the shared state and, for ingest, a queue sender).
+fn accept_loop<F, G>(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    make_handler: F,
+) where
+    F: Fn(Arc<Shared>, TcpStream) -> G,
+    G: FnOnce() + Send + 'static,
+{
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                // Accepted sockets must block (with timeouts); only the
+                // listener polls.
+                let _ = stream.set_nonblocking(false);
+                let handler = make_handler(shared.clone(), stream);
+                handlers.lock().unwrap().push(std::thread::spawn(handler));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// The single ring writer: drains the bounded job queue until every
+/// sender is gone, acking each frame with its absorb outcome.
+fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
+    for job in rx {
+        if !shared.cfg.absorb_stall.is_zero() {
+            std::thread::sleep(shared.cfg.absorb_stall);
+        }
+        let msg = {
+            let mut ring = shared.ring.lock().unwrap();
+            let current = ring.current_epoch();
+            if job.epoch > current && job.epoch - current > MAX_EPOCH_JUMP {
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                Message::Error {
+                    code: ErrorCode::EpochOutOfRange,
+                    context: job.epoch,
+                    detail: format!("epoch {} is too far ahead of {current}", job.epoch),
+                }
+            } else {
+                if job.epoch > current {
+                    ring.advance_to(job.epoch).expect("monotone advance");
+                }
+                match ring.absorb_epoch_from(job.agent, job.epoch, &job.fleet) {
+                    Ok(outcome) => {
+                        let counter = match outcome {
+                            AbsorbOutcome::Absorbed => &shared.stats.frames_absorbed,
+                            AbsorbOutcome::Duplicate => &shared.stats.duplicates,
+                            AbsorbOutcome::Expired => &shared.stats.expired,
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        let outcome = match outcome {
+                            AbsorbOutcome::Absorbed => sbitmap_stream::net::AckOutcome::Absorbed,
+                            AbsorbOutcome::Duplicate => sbitmap_stream::net::AckOutcome::Duplicate,
+                            AbsorbOutcome::Expired => sbitmap_stream::net::AckOutcome::Expired,
+                        };
+                        Message::Ack {
+                            epoch: job.epoch,
+                            outcome,
+                        }
+                    }
+                    Err(e) => {
+                        shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        Message::Error {
+                            code: ErrorCode::BadFrame,
+                            context: job.epoch,
+                            detail: e.to_string(),
+                        }
+                    }
+                }
+            }
+        };
+        let _ = job.ack.send(msg);
+    }
+}
+
+/// Read events until a `Hello` arrives (tolerating deadline ticks up to
+/// the idle limit); validate it for `want` role; send `Welcome` on
+/// success. Returns the agent id, or `None` when the session should
+/// close (the typed rejection has already been queued).
+fn handshake(
+    shared: &Shared,
+    reader: &mut FrameReader<TcpStream>,
+    out: &impl Fn(Message),
+    want: Role,
+) -> Option<u64> {
+    let mut idle = Duration::ZERO;
+    let (proto, role, agent, config) = loop {
+        if shared.draining() {
+            out(Message::Error {
+                code: ErrorCode::Draining,
+                context: 0,
+                detail: "collector is draining".into(),
+            });
+            return None;
+        }
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Hello {
+                proto,
+                role,
+                agent,
+                config,
+            })) => break (proto, role, agent, config),
+            Ok(ReadEvent::Message(_)) => {
+                out(Message::Error {
+                    code: ErrorCode::Protocol,
+                    context: 0,
+                    detail: "expected Hello".into(),
+                });
+                return None;
+            }
+            Ok(ReadEvent::Corrupt(detail)) => {
+                // A corrupt handshake is rejected outright: there is no
+                // session to keep alive yet.
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                out(Message::Error {
+                    code: ErrorCode::BadFrame,
+                    context: 0,
+                    detail,
+                });
+                return None;
+            }
+            Ok(ReadEvent::TimedOut) => {
+                idle += shared.cfg.read_deadline;
+                if idle >= shared.cfg.idle_limit {
+                    return None;
+                }
+            }
+            Ok(ReadEvent::Closed) => return None,
+            Err(NetError::Desync(detail)) => {
+                shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+                out(Message::Error {
+                    code: ErrorCode::Desync,
+                    context: 0,
+                    detail,
+                });
+                return None;
+            }
+            Err(NetError::Io(_)) => return None,
+        }
+    };
+    if proto != PROTO_VERSION {
+        shared
+            .stats
+            .handshake_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        out(Message::Error {
+            code: ErrorCode::VersionMismatch,
+            context: u64::from(proto),
+            detail: format!("collector speaks protocol {PROTO_VERSION}, peer spoke {proto}"),
+        });
+        return None;
+    }
+    if role != want {
+        shared
+            .stats
+            .handshake_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        out(Message::Error {
+            code: ErrorCode::Protocol,
+            context: 0,
+            detail: "wrong role for this port".into(),
+        });
+        return None;
+    }
+    // Only ingest sessions must agree on the sketch configuration; a
+    // query client reads whatever the collector holds.
+    if want == Role::Ingest && config != shared.echo {
+        shared
+            .stats
+            .handshake_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        out(Message::Error {
+            code: ErrorCode::ConfigMismatch,
+            context: 0,
+            detail: format!("collector config {:?}, peer config {config:?}", shared.echo),
+        });
+        return None;
+    }
+    out(Message::Welcome {
+        proto: PROTO_VERSION,
+        credits: shared.cfg.credits,
+        config: shared.echo,
+    });
+    Some(agent)
+}
+
+/// One ingest connection: handshake, then decode batches into absorb
+/// jobs until EOF, desync, idle timeout or drain.
+fn ingest_conn(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSender<Job>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_deadline));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_deadline));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Acks are produced by the absorber thread while this thread is
+    // blocked reading, so writes go through a dedicated writer thread
+    // fed by an unbounded channel (acks are small; the bound that
+    // matters is the job queue).
+    let (out_tx, out_rx) = mpsc::channel::<Message>();
+    let writer = std::thread::spawn(move || {
+        let mut fw = FrameWriter::new(BufWriter::new(write_half));
+        let mut dead = false;
+        for msg in out_rx {
+            if !dead && fw.send(&msg).is_err() {
+                dead = true; // keep draining so ack sends never block
+            }
+        }
+    });
+    let out = |msg: Message| {
+        let _ = out_tx.send(msg);
+    };
+
+    let mut reader = FrameReader::new(stream);
+    if let Some(agent) = handshake(shared, &mut reader, &out, Role::Ingest) {
+        ingest_session(shared, &mut reader, &out_tx, job_tx, agent);
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// The post-handshake ingest loop.
+fn ingest_session(
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<TcpStream>,
+    out_tx: &mpsc::Sender<Message>,
+    job_tx: &mpsc::SyncSender<Job>,
+    agent: u64,
+) {
+    let mut idle = Duration::ZERO;
+    loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Batch {
+                epoch,
+                agent: frame_agent,
+                frame,
+            })) => {
+                idle = Duration::ZERO;
+                // Trust the handshake identity over the per-frame echo;
+                // a mismatch is a protocol slip worth flagging.
+                if frame_agent != agent {
+                    let _ = out_tx.send(Message::Error {
+                        code: ErrorCode::Protocol,
+                        context: epoch,
+                        detail: format!("batch from agent {frame_agent} on session {agent}"),
+                    });
+                    continue;
+                }
+                match <FleetArena as Checkpoint>::restore(&frame) {
+                    Err(e) => {
+                        shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        let _ = out_tx.send(Message::Error {
+                            code: ErrorCode::BadFrame,
+                            context: epoch,
+                            detail: e.to_string(),
+                        });
+                    }
+                    Ok(fleet) => {
+                        let job = Job {
+                            epoch,
+                            agent,
+                            fleet,
+                            ack: out_tx.clone(),
+                        };
+                        match job_tx.try_send(job) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(job)) => {
+                                // The queue is the backpressure valve:
+                                // block here (stop reading the socket)
+                                // until the absorber catches up.
+                                shared
+                                    .stats
+                                    .backpressure_events
+                                    .fetch_add(1, Ordering::Relaxed);
+                                if job_tx.send(job).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => return,
+                        }
+                    }
+                }
+            }
+            Ok(ReadEvent::Message(Message::Goodbye)) => {
+                let _ = out_tx.send(Message::Goodbye);
+                return;
+            }
+            Ok(ReadEvent::Message(_)) => {
+                let _ = out_tx.send(Message::Error {
+                    code: ErrorCode::Protocol,
+                    context: 0,
+                    detail: "unexpected message on an ingest session".into(),
+                });
+            }
+            Ok(ReadEvent::Corrupt(detail)) => {
+                // The headline robustness behavior: answer with a typed
+                // error frame and keep the connection.
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = out_tx.send(Message::Error {
+                    code: ErrorCode::BadFrame,
+                    context: 0,
+                    detail,
+                });
+            }
+            Ok(ReadEvent::TimedOut) => {
+                if shared.draining() {
+                    let _ = out_tx.send(Message::Error {
+                        code: ErrorCode::Draining,
+                        context: 0,
+                        detail: "collector is draining".into(),
+                    });
+                    return;
+                }
+                idle += shared.cfg.read_deadline;
+                if idle >= shared.cfg.idle_limit {
+                    return;
+                }
+            }
+            Ok(ReadEvent::Closed) => return,
+            Err(NetError::Desync(detail)) => {
+                shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+                let _ = out_tx.send(Message::Error {
+                    code: ErrorCode::Desync,
+                    context: 0,
+                    detail,
+                });
+                return;
+            }
+            Err(NetError::Io(_)) => return,
+        }
+    }
+}
+
+/// One query connection: strict request/reply on a single thread.
+fn query_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_deadline));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_deadline));
+    let mut reader = FrameReader::new(stream);
+    // Replies are synchronous here, so the handshake writes directly.
+    let pending = Mutex::new(Vec::new());
+    let queue = |msg: Message| pending.lock().unwrap().push(msg);
+    let accepted = handshake(shared, &mut reader, &queue, Role::Query);
+    for msg in pending.into_inner().unwrap() {
+        if reader
+            .inner_mut()
+            .write_all(&sbitmap_stream::net::encode(&msg))
+            .is_err()
+        {
+            return;
+        }
+    }
+    if accepted.is_none() {
+        return;
+    }
+    let mut idle = Duration::ZERO;
+    loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Query(req))) => {
+                idle = Duration::ZERO;
+                shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+                let reply = answer(shared, &req);
+                let bytes = sbitmap_stream::net::encode(&Message::Reply(reply));
+                if reader.inner_mut().write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            Ok(ReadEvent::Message(Message::Goodbye)) | Ok(ReadEvent::Closed) => return,
+            Ok(ReadEvent::Message(_)) | Ok(ReadEvent::Corrupt(_)) => {
+                let bytes = sbitmap_stream::net::encode(&Message::Error {
+                    code: ErrorCode::Protocol,
+                    context: 0,
+                    detail: "query sessions accept Query frames only".into(),
+                });
+                if reader.inner_mut().write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            Ok(ReadEvent::TimedOut) => {
+                if shared.draining() {
+                    // Keep answering until the client leaves? No: the
+                    // daemon is tearing down; tell the client and close.
+                    let bytes = sbitmap_stream::net::encode(&Message::Error {
+                        code: ErrorCode::Draining,
+                        context: 0,
+                        detail: "collector is draining".into(),
+                    });
+                    let _ = reader.inner_mut().write_all(&bytes);
+                    return;
+                }
+                idle += shared.cfg.read_deadline;
+                if idle >= shared.cfg.idle_limit {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one query against the ring.
+fn answer(shared: &Shared, req: &QueryRequest) -> QueryReply {
+    match req {
+        QueryRequest::Estimate(key) => {
+            QueryReply::Estimate(shared.ring.lock().unwrap().estimate(*key))
+        }
+        QueryRequest::Fill(key) => QueryReply::Fill(
+            shared
+                .ring
+                .lock()
+                .unwrap()
+                .window_fill(*key)
+                .map(|f| f as u64),
+        ),
+        QueryRequest::TopK(k) => {
+            let mut rows = shared.ring.lock().unwrap().estimates_sorted();
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            rows.truncate(usize::try_from(*k).unwrap_or(usize::MAX).min(rows.len()));
+            QueryReply::TopK(rows)
+        }
+        QueryRequest::Summary => {
+            let estimates = shared.ring.lock().unwrap().estimates_sorted();
+            let mut sample: Vec<f64> = estimates.iter().map(|&(_, e)| e).collect();
+            let quantiles = if sample.is_empty() {
+                Vec::new()
+            } else {
+                quantile_summary(&mut sample)
+            };
+            QueryReply::Summary {
+                keys: estimates.len() as u64,
+                quantiles,
+            }
+        }
+        QueryRequest::Drain => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            QueryReply::Draining
+        }
+    }
+}

@@ -116,9 +116,12 @@ impl CollectSummary {
 }
 
 /// The Figure 7 quantile summary of a per-link estimate sample (sorted
-/// in place), at [`CollectSummary::QUANTILES`].
-fn quantile_summary(estimates: &mut [f64]) -> Vec<(f64, f64)> {
-    estimates.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+/// in place), at [`CollectSummary::QUANTILES`]. Sorting uses
+/// [`f64::total_cmp`], so a NaN estimate — which no healthy estimator
+/// produces, but a summary must never *panic* over — sorts to the high
+/// end instead of aborting the collector.
+pub fn quantile_summary(estimates: &mut [f64]) -> Vec<(f64, f64)> {
+    estimates.sort_by(f64::total_cmp);
     CollectSummary::QUANTILES
         .iter()
         .map(|&p| {
@@ -344,6 +347,124 @@ impl WindowedPipelineConfig {
     }
 }
 
+/// Build one shard's arena for one epoch: clear it, then for each of the
+/// shard's round-robin links refill the flow scratch from the epoch
+/// substream and insert. This is the **single definition** both
+/// `run_windowed_pipeline`'s node workers and [`ShardFrameSource`]
+/// (hence the networked node agent of `sbitmap-daemon`) run, so the two
+/// can only ever ship identical frame bytes.
+fn fill_shard_epoch(
+    cfg: &WindowedPipelineConfig,
+    snapshot: &BackboneSnapshot,
+    shard: usize,
+    epoch: usize,
+    fleet: &mut FleetArena,
+    flows: &mut Vec<u64>,
+) {
+    fleet.clear();
+    for link in (shard..cfg.links).step_by(cfg.shards) {
+        flows.clear();
+        flows.extend(snapshot.link_epoch_stream(
+            link,
+            epoch as u64,
+            cfg.epoch_flows(snapshot.counts()[link]),
+        ));
+        fleet.touch(link as u64);
+        fleet.insert_u64s(link as u64, flows);
+    }
+}
+
+/// A deterministic builder of one node shard's per-epoch `sketch-fleet`
+/// frames — byte-for-byte the frames the in-process windowed pipeline
+/// ships over its channel. A networked node agent (the `sbitmap agent`
+/// subcommand) replays these same bytes over TCP, which is what lets the
+/// loopback daemon pipeline be locked bit-identical to
+/// [`run_windowed_pipeline`] rather than merely statistically close.
+#[derive(Debug)]
+pub struct ShardFrameSource {
+    cfg: WindowedPipelineConfig,
+    snapshot: BackboneSnapshot,
+    shard: usize,
+    fleet: FleetArena,
+    flows: Vec<u64>,
+    next_epoch: usize,
+}
+
+impl ShardFrameSource {
+    /// Create the frame source for `shard` of `cfg.shards`.
+    ///
+    /// # Errors
+    ///
+    /// Zero links/shards/window/epochs, a shard index out of range, or
+    /// un-dimensionable sketch parameters.
+    pub fn new(cfg: &WindowedPipelineConfig, shard: usize) -> Result<Self, String> {
+        if cfg.links == 0 || cfg.shards == 0 {
+            return Err("links and shards must be at least 1".into());
+        }
+        if cfg.window == 0 || cfg.epochs == 0 {
+            return Err("window and epochs must be at least 1".into());
+        }
+        if shard >= cfg.shards {
+            return Err(format!(
+                "shard {shard} out of range ({} shards)",
+                cfg.shards
+            ));
+        }
+        let schedule =
+            Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
+        let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+        let flows = Vec::with_capacity(
+            (shard..cfg.links)
+                .step_by(cfg.shards)
+                .map(|link| cfg.epoch_flows(snapshot.counts()[link]) as usize)
+                .max()
+                .unwrap_or(0),
+        );
+        Ok(Self {
+            cfg: cfg.clone(),
+            snapshot,
+            shard,
+            fleet: FleetArena::with_schedule(schedule, cfg.seed),
+            flows,
+            next_epoch: 0,
+        })
+    }
+
+    /// The shard this source builds frames for.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Build the next epoch's `(epoch, frame bytes)`; `None` once every
+    /// configured epoch has been built.
+    pub fn next_frame(&mut self) -> Option<(u64, Vec<u8>)> {
+        if self.next_epoch >= self.cfg.epochs {
+            return None;
+        }
+        let epoch = self.next_epoch;
+        fill_shard_epoch(
+            &self.cfg,
+            &self.snapshot,
+            self.shard,
+            epoch,
+            &mut self.fleet,
+            &mut self.flows,
+        );
+        self.next_epoch += 1;
+        Some((epoch as u64, self.fleet.checkpoint()))
+    }
+
+    /// Build every remaining frame at once — the backlog a node agent
+    /// loads before dialing the collector.
+    pub fn collect_frames(mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::with_capacity(self.cfg.epochs.saturating_sub(self.next_epoch));
+        while let Some(f) = self.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+}
+
 /// One per-link row of the windowed summary.
 #[derive(Debug, Clone)]
 pub struct WindowedLinkReport {
@@ -428,17 +549,7 @@ pub fn run_windowed_pipeline(cfg: &WindowedPipelineConfig) -> Result<WindowedSum
                         .unwrap_or(0),
                 );
                 for epoch in 0..cfg.epochs {
-                    fleet.clear();
-                    for link in (shard..cfg.links).step_by(cfg.shards) {
-                        flows.clear();
-                        flows.extend(snapshot.link_epoch_stream(
-                            link,
-                            epoch as u64,
-                            cfg.epoch_flows(snapshot.counts()[link]),
-                        ));
-                        fleet.touch(link as u64);
-                        fleet.insert_u64s(link as u64, &flows);
-                    }
+                    fill_shard_epoch(cfg, snapshot, shard, epoch, &mut fleet, &mut flows);
                     if tx.send((epoch, shard, fleet.checkpoint())).is_err() {
                         return; // collector gone; stop measuring
                     }
@@ -668,6 +779,53 @@ mod tests {
         assert_eq!(s.live_epochs, 2);
         assert_eq!(s.checkpoints, 2 * 3);
         assert!(s.mean_abs_rel_err < 0.2, "{}", s.mean_abs_rel_err);
+    }
+
+    #[test]
+    fn shard_frame_source_reproduces_the_pipeline() {
+        // Absorbing every shard's ShardFrameSource frames into a fresh
+        // ring — the daemon's ingest path — must reproduce the
+        // in-process pipeline's estimates and quantiles exactly.
+        let cfg = small_windowed();
+        let reference = run_windowed_pipeline(&cfg).unwrap();
+        let schedule = Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).unwrap());
+        let mut ring: WindowedFleet =
+            WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window).unwrap();
+        let mut frames: Vec<(u64, usize, Vec<u8>)> = Vec::new();
+        for shard in 0..cfg.shards {
+            let built = ShardFrameSource::new(&cfg, shard).unwrap().collect_frames();
+            assert_eq!(built.len(), cfg.epochs);
+            // Determinism: a second independently built source emits the
+            // same bytes.
+            let again = ShardFrameSource::new(&cfg, shard).unwrap().collect_frames();
+            assert_eq!(built, again);
+            frames.extend(built.into_iter().map(|(e, b)| (e, shard, b)));
+        }
+        frames.sort_by_key(|&(epoch, shard, _)| (epoch, shard));
+        for (epoch, _, bytes) in &frames {
+            let fleet: FleetArena = Checkpoint::restore(bytes).unwrap();
+            ring.advance_to(*epoch).unwrap();
+            assert!(ring.absorb_epoch(*epoch, &fleet).unwrap());
+        }
+        let estimates = ring.estimates_sorted();
+        assert_eq!(estimates.len(), reference.links.len());
+        for ((key, est), link) in estimates.iter().zip(&reference.links) {
+            assert_eq!(*key as usize, link.link);
+            assert_eq!(*est, link.estimate, "link {}", link.link);
+        }
+        let mut sample: Vec<f64> = estimates.iter().map(|&(_, e)| e).collect();
+        assert_eq!(quantile_summary(&mut sample), reference.estimate_quantiles);
+        // Out-of-range shard is rejected.
+        assert!(ShardFrameSource::new(&cfg, cfg.shards).is_err());
+    }
+
+    #[test]
+    fn quantile_summary_never_panics_on_nan() {
+        let mut sample = vec![3.0, f64::NAN, 1.0, 2.0];
+        let q = quantile_summary(&mut sample);
+        assert_eq!(q.len(), CollectSummary::QUANTILES.len());
+        assert_eq!(q[0].1, 2.0, "25% of [1, 2, 3, NaN]");
+        assert!(q[3].1.is_nan(), "NaN sorts high, never panics");
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   merges mergeable sketches and aggregates per-link S-bitmap
 //!   estimates — including a *windowed* mode where nodes ship one
 //!   checkpoint per epoch and the collector maintains a central
-//!   sliding-window ring (`sbitmap_core::WindowedFleet`).
+//!   sliding-window ring (`sbitmap_core::WindowedFleet`);
+//! * [`net`] — the transport-agnostic session protocol (framed,
+//!   checksummed messages with typed error frames) the `sbitmap-daemon`
+//!   crate speaks over TCP;
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`])
+//!   at the byte-stream and frame level, powering the robustness
+//!   property suites.
 //!
 //! Both trace generators are deterministic in their seed, and both match
 //! the *published statistics* of the original data (see DESIGN.md §4 for
@@ -28,13 +34,16 @@
 
 pub mod backbone;
 pub mod collector;
+pub mod fault;
 pub mod generators;
+pub mod net;
 pub mod worm;
 
 pub use backbone::BackboneSnapshot;
 pub use collector::{
-    run_pipeline, run_windowed_pipeline, CollectSummary, LinkReport, PipelineConfig,
-    WindowedLinkReport, WindowedPipelineConfig, WindowedSummary,
+    quantile_summary, run_pipeline, run_windowed_pipeline, CollectSummary, LinkReport,
+    PipelineConfig, ShardFrameSource, WindowedLinkReport, WindowedPipelineConfig, WindowedSummary,
 };
+pub use fault::{FaultPlan, FaultyStream};
 pub use generators::{distinct_items, shuffle_stream, zipf_stream, DistinctItems};
 pub use worm::{WormLink, WormTrace};

@@ -32,7 +32,9 @@
 //! * [`hash`] — stream hashes and deterministic RNGs;
 //! * [`bitvec`] — packed bitmaps and register files;
 //! * [`stream`] — workload and synthetic-trace generators;
-//! * [`stats`] — error metrics and the replication harness.
+//! * [`stats`] — error metrics and the replication harness;
+//! * [`daemon`] — `sbitmapd`, the fault-tolerant TCP collector daemon
+//!   and its retrying node agent.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +42,7 @@
 pub use sbitmap_baselines as baselines;
 pub use sbitmap_bitvec as bitvec;
 pub use sbitmap_core as core;
+pub use sbitmap_daemon as daemon;
 pub use sbitmap_hash as hash;
 pub use sbitmap_stats as stats;
 pub use sbitmap_stream as stream;

@@ -1,0 +1,180 @@
+//! Hostile-input hardening for the checkpoint codec.
+//!
+//! A collector unframes bytes that crossed a network: every truncation,
+//! every flipped bit, every lying length field must come back as a typed
+//! [`sbitmap::core::SBitmapError`] — never a panic, never an
+//! attacker-sized allocation. The sweeps are exhaustive over golden
+//! frames of several checkpoint kinds (scalar sketch, sketch fleet,
+//! windowed fleet), plus a seeded pass that mutates payload bytes *and
+//! repairs the trailing checksum*, so the payload validators themselves
+//! face the hostile bytes instead of hiding behind the checksum.
+
+use std::sync::Arc;
+
+use sbitmap::core::codec::{self, peek_kind, CounterKind};
+use sbitmap::hash::mix64;
+use sbitmap::{Checkpoint, FleetArena, RateSchedule, SBitmap, WindowedFleet};
+
+/// Golden frames: one valid v2 checkpoint per kind under test.
+fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
+    let mut sketch = SBitmap::with_memory(10_000, 256, 42).unwrap();
+    for i in 0..300u64 {
+        use sbitmap::DistinctCounter;
+        sketch.insert_u64(i);
+    }
+
+    let schedule = Arc::new(RateSchedule::from_memory(5_000, 300).unwrap());
+    let mut fleet: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+    for key in [3u64, 11, 42] {
+        fleet.touch(key);
+        for item in 0..40u64 {
+            fleet.insert_u64(key, key * 1_000 + item);
+        }
+    }
+
+    let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule, 9, 2).unwrap();
+    ring.absorb_epoch(0, &fleet).unwrap();
+    ring.advance_to(1).unwrap();
+    ring.absorb_epoch(1, &fleet).unwrap();
+
+    vec![
+        ("sbitmap", sketch.checkpoint()),
+        ("sketch-fleet", fleet.checkpoint()),
+        ("windowed-fleet", ring.checkpoint()),
+    ]
+}
+
+/// Feed `bytes` through the whole decode surface; every path must
+/// return, not panic. Returns whether *any* path accepted the bytes.
+fn decode_all(bytes: &[u8]) -> bool {
+    let _ = peek_kind(bytes);
+    let unframed = codec::unframe(bytes).is_ok();
+    // The typed restores run their kind/payload validators even when
+    // unframe succeeds (a repaired-checksum mutation can be framed
+    // perfectly yet lie in every payload field).
+    let a = <SBitmap as Checkpoint>::restore(bytes).is_ok();
+    let b = <FleetArena as Checkpoint>::restore(bytes).is_ok();
+    let c = <WindowedFleet as Checkpoint>::restore(bytes).is_ok();
+    unframed && (a || b || c)
+}
+
+#[test]
+fn goldens_are_valid_to_begin_with() {
+    for (name, bytes) in golden_frames() {
+        assert!(decode_all(&bytes), "{name}: golden frame must decode");
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    for (name, bytes) in golden_frames() {
+        for cut in 0..bytes.len() {
+            assert!(
+                !decode_all(&bytes[..cut]),
+                "{name}: truncation to {cut} of {} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_bit_flip_is_caught_by_the_checksum() {
+    for (name, bytes) in golden_frames() {
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[i] ^= 1 << bit;
+                assert!(
+                    codec::unframe(&evil).is_err(),
+                    "{name}: flipped bit {bit} of byte {i} passed the checksum"
+                );
+                // And the full restore path agrees (no panic either).
+                let _ = <WindowedFleet as Checkpoint>::restore(&evil);
+            }
+        }
+    }
+}
+
+/// Re-seal a mutated body with a fresh valid checksum, so the bytes
+/// sail past `unframe` and hit the payload validators.
+fn reseal(body_and_checksum: &[u8], mutate: impl FnOnce(&mut [u8])) -> Vec<u8> {
+    let mut evil = body_and_checksum[..body_and_checksum.len() - 8].to_vec();
+    mutate(&mut evil);
+    let checksum = sbitmap::hash::xxh64(&evil, 0);
+    evil.extend_from_slice(&checksum.to_le_bytes());
+    evil
+}
+
+#[test]
+fn resealed_payload_mutations_never_panic() {
+    // Seeded exhaustive-ish sweep: XOR a seed-derived byte into every
+    // payload position, reseal, decode. The decoder may accept benign
+    // mutations (e.g. a changed seed field) but must never panic and
+    // must reject structural lies with typed errors.
+    for (name, bytes) in golden_frames() {
+        for i in 0..bytes.len() - 8 {
+            let patch = (mix64(0xb0_5711 ^ i as u64) & 0xff) as u8;
+            let patch = if patch == 0 { 0x5a } else { patch };
+            let evil = reseal(&bytes, |body| body[i] ^= patch);
+            let _ = decode_all(&evil); // must return, whatever the verdict
+        }
+        let _ = name;
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_are_rejected_not_allocated() {
+    // Every schedule-bearing payload opens with the same config header:
+    // n_max u64 @6, m u64 @14, sampling_bits u32 @22, seed u64 @26,
+    // then the first kind-specific length field @34 (scalar fill, fleet
+    // record count, ring window span). Stamp all-ones over the fields
+    // that drive allocations or loops; each lie must come back as a
+    // typed error — `m` via the `MAX_WIRE_M` wire cap *before* the
+    // O(m) schedule rebuild, the rest by bounds-checking against the
+    // bytes actually present.
+    for (name, bytes) in golden_frames() {
+        for offset in [14usize, 34] {
+            let evil = reseal(&bytes, |body| body[offset..offset + 8].fill(0xff));
+            assert!(
+                !decode_all(&evil),
+                "{name}: all-ones length field at {offset} was accepted"
+            );
+        }
+    }
+    // And a half-plausible lie: m one past the wire cap, not 2^64-1.
+    let (_, bytes) = &golden_frames()[1];
+    let evil = reseal(bytes, |body| {
+        let m = (sbitmap::core::codec::MAX_WIRE_M as u64 + 1).to_le_bytes();
+        body[14..22].copy_from_slice(&m);
+    });
+    assert!(!decode_all(&evil), "m just above the wire cap was accepted");
+}
+
+#[test]
+fn foreign_magic_version_and_kind_are_typed_errors() {
+    let (_, bytes) = &golden_frames()[0];
+    // Wrong magic.
+    let evil = reseal(bytes, |body| body[..4].copy_from_slice(b"EVIL"));
+    assert!(codec::unframe(&evil).is_err(), "bad magic accepted");
+    // Unknown version.
+    let evil = reseal(bytes, |body| body[4] = 200);
+    assert!(codec::unframe(&evil).is_err(), "unknown version accepted");
+    // Unknown kind tag.
+    let evil = reseal(bytes, |body| body[5] = 250);
+    assert!(codec::unframe(&evil).is_err(), "unknown kind tag accepted");
+    // Kind confusion: a valid fleet frame restored as a scalar sketch
+    // must be a typed mismatch error, not UB or panic.
+    let fleet_frame = &golden_frames()[1].1;
+    assert_eq!(peek_kind(fleet_frame).unwrap().1, CounterKind::SketchFleet);
+    assert!(<SBitmap as Checkpoint>::restore(fleet_frame).is_err());
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_typed_errors() {
+    for n in 0..32usize {
+        let zeros = vec![0u8; n];
+        assert!(codec::unframe(&zeros).is_err(), "{n} zero bytes accepted");
+        assert!(<WindowedFleet as Checkpoint>::restore(&zeros).is_err());
+    }
+}
