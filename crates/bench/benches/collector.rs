@@ -34,11 +34,15 @@ fn main() {
         "=== collect: sharded node→collector pipeline ({} links, ≤{} shards) ===",
         cfg.links, cfg.max_shards
     );
-    let results = collect::run(&cfg);
-    for m in &results {
+    let run = collect::run(&cfg);
+    for m in &run.results {
         println!("{}", m.row());
     }
-    let json = collect::report_json(&cfg, &results);
+    println!(
+        "wire: {} bytes full vs {} bytes v3 ({:.2}x reduction over {} frames)",
+        run.wire.bytes_full, run.wire.bytes_v3, run.wire.reduction, run.wire.frames
+    );
+    let json = collect::report_json(&cfg, &run);
     let path = std::env::var("SBITMAP_BENCH_JSON").unwrap_or_else(|_| "BENCH_collect.json".into());
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),

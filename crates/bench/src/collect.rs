@@ -1,16 +1,28 @@
 //! The collector-pipeline benchmark: node→collector throughput as the
-//! shard count scales.
+//! shard count scales, plus the windowed wire-cost comparison.
 //!
-//! Each lane runs [`sbitmap_stream::collector::run_pipeline`] end-to-end
-//! — per-link sketch builds, checkpoint encode, channel transfer,
-//! checksum verify + decode, and the mergeable-sketch fold — over the
-//! same [`sbitmap_stream::BackboneSnapshot`] workload, with 1, 2, 4, …
-//! node shards. Items/second counts the *flows ingested*, so the lanes
-//! are directly comparable to the ingest bench (`BENCH_ingest.json`);
+//! The shard lanes run [`sbitmap_stream::collector::run_pipeline`]
+//! end-to-end — per-link sketch builds, checkpoint encode, channel
+//! transfer, checksum verify + decode, and the mergeable-sketch fold —
+//! over the same [`sbitmap_stream::BackboneSnapshot`] workload, with
+//! 1, 2, 4, … node shards. Items/second counts the *flows ingested*, so
+//! the lanes are directly comparable to the ingest bench.
+//!
+//! The windowed lanes race the same sliding-window workload over both
+//! wire encodings at the same per-round cadence: `windowed_full` ships
+//! a full v2 checkpoint per round, `windowed_delta` ships the v3
+//! delta-chain frames. Before any timing, both pipelines run once and
+//! their per-link estimates, truths and quantile summaries must be
+//! **bit-identical** — the bench refuses to time a compressed lane that
+//! changes answers. The measured byte counts land in the report header
+//! (`bytes_on_wire_full` / `bytes_on_wire_v3` / `wire_reduction`);
 //! results serialize to `BENCH_collect.json`.
 
 use sbitmap_stream::collector::{run_pipeline, PipelineConfig};
-use sbitmap_stream::BackboneSnapshot;
+use sbitmap_stream::{
+    run_windowed_pipeline_rounds, run_windowed_pipeline_v3, BackboneSnapshot,
+    WindowedPipelineConfig,
+};
 
 use crate::harness::{Bench, Measurement};
 
@@ -25,6 +37,13 @@ pub struct CollectConfig {
     pub budget_ms: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Sliding-window width (epochs) for the wire-cost lanes.
+    pub window: usize,
+    /// Epochs the windowed lanes run.
+    pub epochs: usize,
+    /// Wire rounds per epoch for the windowed lanes — both encodings
+    /// ship at this cadence, so the comparison is byte-for-byte fair.
+    pub rounds: usize,
 }
 
 impl Default for CollectConfig {
@@ -34,6 +53,9 @@ impl Default for CollectConfig {
             max_shards: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
             budget_ms: 300,
             seed: 0xc011,
+            window: 4,
+            epochs: 6,
+            rounds: 8,
         }
     }
 }
@@ -45,6 +67,7 @@ impl CollectConfig {
             links: 20,
             max_shards: 2,
             budget_ms: 60,
+            epochs: 4,
             ..Self::default()
         }
     }
@@ -57,10 +80,53 @@ impl CollectConfig {
             ..PipelineConfig::default()
         }
     }
+
+    fn windowed(&self) -> WindowedPipelineConfig {
+        let defaults = PipelineConfig::default();
+        WindowedPipelineConfig {
+            links: self.links.max(1),
+            shards: 2,
+            n_max: defaults.n_max,
+            m_bits: defaults.m_bits,
+            window: self.window.max(2),
+            epochs: self.epochs.max(1),
+            rounds: self.rounds.max(1),
+            seed: self.seed,
+        }
+    }
 }
 
-/// Run the shard-scaling comparison; one [`Measurement`] per shard count.
-pub fn run(cfg: &CollectConfig) -> Vec<Measurement> {
+/// Wire-cost figures from the windowed full-vs-delta comparison.
+#[derive(Debug, Clone)]
+pub struct WireStats {
+    /// Bytes shipped by the uncompressed lane (full v2 checkpoint per
+    /// round).
+    pub bytes_full: usize,
+    /// Bytes shipped by the v3 delta lane at the same cadence.
+    pub bytes_v3: usize,
+    /// Frames each lane shipped (`shards × epochs × rounds`).
+    pub frames: usize,
+    /// `bytes_full / bytes_v3`.
+    pub reduction: f64,
+}
+
+/// Everything one collect-bench invocation produced.
+#[derive(Debug, Clone)]
+pub struct CollectRun {
+    /// Timed lanes: shard scaling plus the two windowed wire lanes.
+    pub results: Vec<Measurement>,
+    /// Byte counts from the verified full-vs-delta comparison.
+    pub wire: WireStats,
+}
+
+/// Run the shard-scaling comparison and the windowed wire-cost lanes.
+///
+/// # Panics
+///
+/// If the v3 delta lane's estimates, truths or quantile summaries
+/// diverge from the uncompressed lane — the bench refuses to time an
+/// encoding that changes answers.
+pub fn run(cfg: &CollectConfig) -> CollectRun {
     let bench = Bench::with_budget_ms(cfg.budget_ms);
     // The flow total is a property of (links, seed): read it off the
     // snapshot directly so every lane can convert time to items/sec
@@ -79,15 +145,57 @@ pub fn run(cfg: &CollectConfig) -> Vec<Measurement> {
         }));
         shards *= 2;
     }
-    results
+
+    // Equivalence gate before timing the wire lanes.
+    let wcfg = cfg.windowed();
+    let full = run_windowed_pipeline_rounds(&wcfg).expect("windowed full lane");
+    let v3 = run_windowed_pipeline_v3(&wcfg).expect("windowed delta lane");
+    for (f, d) in full.links.iter().zip(&v3.links) {
+        assert!(
+            f.link == d.link && f.truth == d.truth && f.estimate == d.estimate,
+            "refusing to benchmark: link {} diverges between full \
+             ({} / {}) and delta ({} / {}) lanes",
+            f.link,
+            f.truth,
+            f.estimate,
+            d.truth,
+            d.estimate
+        );
+    }
+    assert_eq!(
+        full.estimate_quantiles, v3.estimate_quantiles,
+        "refusing to benchmark: quantile summaries diverge between encodings"
+    );
+    assert_eq!(full.checkpoints, v3.checkpoints, "frame cadence mismatch");
+    let wire = WireStats {
+        bytes_full: full.bytes_shipped,
+        bytes_v3: v3.bytes_shipped,
+        frames: v3.checkpoints,
+        reduction: full.bytes_shipped as f64 / (v3.bytes_shipped.max(1)) as f64,
+    };
+
+    let frames = wire.frames as u64;
+    results.push(bench.run("windowed_full", frames, || {
+        run_windowed_pipeline_rounds(&wcfg)
+            .expect("windowed full lane")
+            .checkpoints
+    }));
+    results.push(bench.run("windowed_delta", frames, || {
+        run_windowed_pipeline_v3(&wcfg)
+            .expect("windowed delta lane")
+            .checkpoints
+    }));
+    CollectRun { results, wire }
 }
 
-/// Render `results` (plus workload metadata) as the `BENCH_collect.json`
-/// document.
-pub fn report_json(cfg: &CollectConfig, results: &[Measurement]) -> String {
+/// Render a [`CollectRun`] (plus workload metadata) as the
+/// `BENCH_collect.json` document.
+pub fn report_json(cfg: &CollectConfig, run: &CollectRun) -> String {
+    let results = &run.results;
     let single = results.iter().find(|m| m.name == "collect_s1");
     let best = results
         .iter()
+        .filter(|m| m.name.starts_with("collect_s"))
         .max_by(|a, b| a.items_per_sec().total_cmp(&b.items_per_sec()));
     let speedup = match (single, best) {
         (Some(s), Some(b)) if s.items_per_sec() > 0.0 => b.items_per_sec() / s.items_per_sec(),
@@ -103,6 +211,13 @@ pub fn report_json(cfg: &CollectConfig, results: &[Measurement]) -> String {
             ("m_bits", defaults.m_bits.to_string()),
             ("hll_registers", defaults.hll_registers.to_string()),
             ("seed", cfg.seed.to_string()),
+            ("window", cfg.window.to_string()),
+            ("epochs", cfg.epochs.to_string()),
+            ("rounds", cfg.rounds.to_string()),
+            ("frames_on_wire", run.wire.frames.to_string()),
+            ("bytes_on_wire_full", run.wire.bytes_full.to_string()),
+            ("bytes_on_wire_v3", run.wire.bytes_v3.to_string()),
+            ("wire_reduction", format!("{:.3}", run.wire.reduction)),
             ("multi_shard_vs_single_speedup", format!("{speedup:.3}")),
         ],
         results,
@@ -120,14 +235,34 @@ mod tests {
             max_shards: 2,
             budget_ms: 5,
             seed: 3,
+            window: 3,
+            epochs: 3,
+            rounds: 2,
         };
-        let results = run(&cfg);
-        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
-        assert_eq!(names, vec!["collect_s1", "collect_s2"]);
-        assert!(results.iter().all(|m| m.items > 0));
-        let json = report_json(&cfg, &results);
+        let run = run(&cfg);
+        let names: Vec<&str> = run.results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "collect_s1",
+                "collect_s2",
+                "windowed_full",
+                "windowed_delta"
+            ]
+        );
+        assert!(run.results.iter().all(|m| m.items > 0));
+        assert!(
+            run.wire.bytes_v3 < run.wire.bytes_full,
+            "delta lane must ship fewer bytes ({} vs {})",
+            run.wire.bytes_v3,
+            run.wire.bytes_full
+        );
+        assert_eq!(run.wire.frames, 2 * cfg.epochs * cfg.rounds);
+        let json = report_json(&cfg, &run);
         assert!(json.contains("\"bench\": \"collect\""));
         assert!(json.contains("multi_shard_vs_single_speedup"));
-        assert!(json.contains("collect_s2"));
+        assert!(json.contains("bytes_on_wire_v3"));
+        assert!(json.contains("wire_reduction"));
+        assert!(json.contains("windowed_delta"));
     }
 }

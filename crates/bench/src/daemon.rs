@@ -38,6 +38,9 @@ pub struct DaemonBenchConfig {
     pub window: usize,
     /// Epochs each agent ships (one frame per epoch per shard).
     pub epochs: usize,
+    /// Wire rounds per epoch for the v3 delta lane (see
+    /// [`WindowedPipelineConfig::rounds`]).
+    pub rounds: usize,
     /// Per-case wall-clock budget in milliseconds.
     pub budget_ms: u64,
     /// Workload + sketch + fault seed.
@@ -51,6 +54,7 @@ impl Default for DaemonBenchConfig {
             shards: 3,
             window: 4,
             epochs: 6,
+            rounds: 2,
             budget_ms: 300,
             seed: 0xd0e,
         }
@@ -86,6 +90,11 @@ pub struct DaemonRun {
     /// `true` when the pre-timing equivalence check passed (it must, or
     /// [`run`] panics instead of timing broken code).
     pub strategies_agree: bool,
+    /// Sketch-frame bytes the daemon counted on the wire during the
+    /// clean verification run (v3 delta frames).
+    pub bytes_on_wire: u64,
+    /// Frames the agents sent during that same clean run.
+    pub frames_sent: u64,
 }
 
 /// Reconnect-storm cost relative to the clean loopback lane —
@@ -110,6 +119,7 @@ fn pipeline_cfg(cfg: &DaemonBenchConfig) -> WindowedPipelineConfig {
         m_bits: M_BITS,
         window: cfg.window,
         epochs: cfg.epochs,
+        rounds: cfg.rounds,
         seed: cfg.seed,
     }
 }
@@ -144,14 +154,17 @@ fn storm_plans(cfg: &DaemonBenchConfig) -> Vec<FaultPlan> {
 pub fn run(cfg: &DaemonBenchConfig) -> DaemonRun {
     let bench = Bench::with_budget_ms(cfg.budget_ms);
     let pcfg = pipeline_cfg(cfg);
-    let frames = (pcfg.shards * pcfg.epochs) as u64;
+    // v3 shipping: one delta frame per (shard, epoch, round).
+    let frames = (pcfg.shards * pcfg.epochs * pcfg.rounds) as u64;
 
-    let strategies_agree = verify_equivalence(&pcfg);
+    let wire = verify_equivalence(&pcfg);
+    let strategies_agree = wire.is_some();
     assert!(
         strategies_agree,
         "the loopback daemon diverged from the in-process pipeline — \
          refusing to benchmark broken code"
     );
+    let (bytes_on_wire, frames_sent) = wire.unwrap_or_default();
 
     let mut results = Vec::new();
     results.push(bench.run("daemon_loopback_ingest", frames, || {
@@ -167,12 +180,15 @@ pub fn run(cfg: &DaemonBenchConfig) -> DaemonRun {
     DaemonRun {
         results,
         strategies_agree,
+        bytes_on_wire,
+        frames_sent,
     }
 }
 
 /// Pre-timing equivalence gate: a clean loopback drain must match the
 /// in-process collector bit for bit (estimates and quantile summary).
-fn verify_equivalence(pcfg: &WindowedPipelineConfig) -> bool {
+/// On success, returns the run's `(bytes_on_wire, frames_sent)`.
+fn verify_equivalence(pcfg: &WindowedPipelineConfig) -> Option<(u64, u64)> {
     let reference = run_windowed_pipeline(pcfg).expect("pipeline config");
     let out = run_loopback(pcfg, daemon_cfg(), &[]).expect("clean loopback run");
     let expected: Vec<(u64, f64)> = reference
@@ -181,10 +197,14 @@ fn verify_equivalence(pcfg: &WindowedPipelineConfig) -> bool {
         .map(|r| (r.link as u64, r.estimate))
         .collect();
     if out.report.estimates != expected {
-        return false;
+        return None;
     }
     let mut sample: Vec<f64> = out.report.estimates.iter().map(|&(_, e)| e).collect();
-    sample.is_empty() || quantile_summary(&mut sample) == reference.estimate_quantiles
+    if !sample.is_empty() && quantile_summary(&mut sample) != reference.estimate_quantiles {
+        return None;
+    }
+    let frames_sent = out.agents.iter().map(|a| a.frames_sent).sum();
+    Some((out.report.bytes_on_wire, frames_sent))
 }
 
 /// Render a [`DaemonRun`] (plus workload metadata) as the
@@ -200,8 +220,14 @@ pub fn report_json(cfg: &DaemonBenchConfig, run: &DaemonRun) -> String {
             ("epochs", cfg.epochs.to_string()),
             ("n_max", N_MAX.to_string()),
             ("m_bits", M_BITS.to_string()),
+            ("rounds", cfg.rounds.to_string()),
             ("seed", cfg.seed.to_string()),
-            ("frames_per_run", (cfg.shards * cfg.epochs).to_string()),
+            (
+                "frames_per_run",
+                (cfg.shards * cfg.epochs * cfg.rounds).to_string(),
+            ),
+            ("bytes_on_wire", run.bytes_on_wire.to_string()),
+            ("frames_sent", run.frames_sent.to_string()),
             (
                 "reconnect_storm_overhead",
                 format!("{:.3}", storm_overhead(&run.results)),
@@ -223,6 +249,7 @@ mod tests {
             shards: 2,
             window: 2,
             epochs: 3,
+            rounds: 2,
             budget_ms: 1,
             seed: 11,
         };
@@ -233,10 +260,13 @@ mod tests {
             assert!(names.contains(&expect), "missing lane {expect}");
         }
         assert!(storm_overhead(&run.results) > 0.0);
+        assert!(run.bytes_on_wire > 0, "wire counter must be surfaced");
+        assert_eq!(run.frames_sent, 12, "shards × epochs × rounds clean sends");
         let json = report_json(&cfg, &run);
         assert!(json.contains("\"bench\": \"daemon\""));
         assert!(json.contains("reconnect_storm_overhead"));
-        assert!(json.contains("\"frames_per_run\": 6"));
+        assert!(json.contains("\"frames_per_run\": 12"));
+        assert!(json.contains("\"bytes_on_wire\""));
         assert!(json.contains("\"strategies_agree\": \"true\""));
     }
 }

@@ -41,6 +41,13 @@ pub struct Options {
     pub window: usize,
     /// Epochs to simulate for `window`.
     pub epochs: usize,
+    /// Wire rounds per epoch for the v3 delta lane
+    /// (`bench-collect`/`bench-daemon`/`agent`).
+    pub rounds: usize,
+    /// `bench-collect` regression gate: fail unless the v3 delta lane
+    /// ships at least this many times fewer bytes than the same-cadence
+    /// full-frame lane.
+    pub assert_min_wire_reduction: Option<f64>,
     /// `bench-window` regression gate: fail if W=8 windowed ingest costs
     /// more than this many times the plain arena per item.
     pub assert_max_overhead: Option<f64>,
@@ -92,6 +99,8 @@ impl Options {
             assert_min_speedup: None,
             window: 8,
             epochs: 12,
+            rounds: 8,
+            assert_min_wire_reduction: None,
             assert_max_overhead: None,
             assert_min_query_speedup: None,
             connect: String::new(),
@@ -198,6 +207,26 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
             }
             "--epochs" => {
                 opts.epochs = parse_num(value(i)?).map_err(|e| format!("--epochs: {e}"))? as usize;
+                i += 2;
+            }
+            "--rounds" => {
+                let v = parse_num(value(i)?).map_err(|e| format!("--rounds: {e}"))? as usize;
+                if v == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+                opts.rounds = v;
+                i += 2;
+            }
+            "--assert-min-wire-reduction" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-min-wire-reduction: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "--assert-min-wire-reduction must be positive, got {v}"
+                    ));
+                }
+                opts.assert_min_wire_reduction = Some(v);
                 i += 2;
             }
             "--assert-max-overhead" => {
@@ -418,6 +447,19 @@ mod tests {
         assert!(parse(&args("--credits 0")).is_err());
         assert!(parse(&args("--deadline-ms 0")).is_err());
         assert!(parse(&args("--key nah")).is_err());
+    }
+
+    #[test]
+    fn parses_rounds_and_wire_reduction_gate() {
+        let o = parse(&args("--rounds 4 --assert-min-wire-reduction 5.0")).unwrap();
+        assert_eq!(o.rounds, 4);
+        assert_eq!(o.assert_min_wire_reduction, Some(5.0));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.rounds, 8);
+        assert_eq!(d.assert_min_wire_reduction, None);
+        assert!(parse(&args("--rounds 0")).is_err());
+        assert!(parse(&args("--assert-min-wire-reduction 0")).is_err());
+        assert!(parse(&args("--assert-min-wire-reduction nah")).is_err());
     }
 
     #[test]

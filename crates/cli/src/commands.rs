@@ -13,18 +13,18 @@ use sbitmap_baselines::{
     KMinValues, LinearCounting, LogLog, MrBitmap, VirtualBitmap,
 };
 use sbitmap_bench::harness::Measurement;
-use sbitmap_core::codec::{peek_kind, Checkpoint, CounterKind};
+use sbitmap_core::codec::{peek_kind, Checkpoint, CounterKind, FleetDeltaFrame};
 use sbitmap_core::{
     simulate, Dimensioning, DistinctCounter, MergeableCounter, RateSchedule, SBitmap,
 };
-use sbitmap_daemon::{query_once, run_agent, AgentConfig, Daemon, DaemonConfig};
+use sbitmap_daemon::{query_once, run_agent_rounds, AgentConfig, Daemon, DaemonConfig};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::{HashKind, SplitMix64Hasher};
 use sbitmap_stream::collector::{
     run_pipeline, run_windowed_pipeline, PipelineConfig, WindowedPipelineConfig,
 };
 use sbitmap_stream::net::{ConfigEcho, Message, QueryReply, QueryRequest};
-use sbitmap_stream::ShardFrameSource;
+use sbitmap_stream::DeltaFrameSource;
 
 use crate::args::{parse, Options};
 
@@ -531,6 +531,24 @@ fn restore_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             .map_err(io_err)?;
             return Ok(());
         }
+        CounterKind::FleetDelta => {
+            let frame = FleetDeltaFrame::decode(&bytes).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{path}: v{version} fleet-delta, epoch {} round {}{}, {} records, {} bytes",
+                frame.epoch,
+                frame.round,
+                if frame.is_baseline() {
+                    " (baseline reset)"
+                } else {
+                    ""
+                },
+                frame.records.len(),
+                bytes.len()
+            )
+            .map_err(io_err)?;
+            return Ok(());
+        }
     };
     writeln!(
         out,
@@ -606,14 +624,15 @@ fn merge_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         CounterKind::LogLog => merge_files::<LogLog>(opts, &files, out),
         CounterKind::HyperLogLog => merge_files::<HyperLogLog>(opts, &files, out),
         CounterKind::KMinValues => merge_files::<KMinValues>(opts, &files, out),
-        CounterKind::SBitmap | CounterKind::SketchFleet | CounterKind::WindowedFleet => {
-            Err(format!(
-                "{kind} checkpoints are not mergeable (the paper's §3 trade-off): \
+        CounterKind::SBitmap
+        | CounterKind::SketchFleet
+        | CounterKind::WindowedFleet
+        | CounterKind::FleetDelta => Err(format!(
+            "{kind} checkpoints are not mergeable (the paper's §3 trade-off): \
              whether an item was sampled depends on the sketch-local fill at \
              arrival time. Aggregate per-link *estimates* instead — see \
              `sbitmap collect`."
-            ))
-        }
+        )),
     }
 }
 
@@ -667,6 +686,7 @@ fn windowed_cfg(opts: &Options) -> WindowedPipelineConfig {
         shards: opts.shards.max(1),
         window: opts.window.max(1),
         epochs: opts.epochs.max(1),
+        rounds: opts.rounds.max(1),
         seed: opts.seed,
         ..WindowedPipelineConfig::default()
     }
@@ -772,6 +792,12 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         report.queries
     )
     .map_err(io_err)?;
+    writeln!(
+        out,
+        "{} sketch bytes on the wire, {} baseline resyncs served",
+        report.bytes_on_wire, report.missing_baselines
+    )
+    .map_err(io_err)?;
     if !opts.out.is_empty() {
         writeln!(
             out,
@@ -795,7 +821,8 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             opts.shard, pcfg.shards
         ));
     }
-    let frames = ShardFrameSource::new(&pcfg, opts.shard)?.collect_frames();
+    let backlog = DeltaFrameSource::new(&pcfg, opts.shard)?.collect_epochs();
+    let frame_count: usize = backlog.iter().map(|e| e.deltas.len()).sum();
     let schedule = RateSchedule::from_memory(pcfg.n_max, pcfg.m_bits).map_err(|e| e.to_string())?;
     let echo = ConfigEcho {
         n_max: pcfg.n_max,
@@ -809,16 +836,18 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let read_deadline = Duration::from_millis(opts.deadline_ms.max(1));
     writeln!(
         out,
-        "agent {agent_id}: shard {} of {} shipping {} epoch frames to {}",
+        "agent {agent_id}: shard {} of {} shipping {} epochs as {} v3 delta frames to {} \
+         (full-frame fallback for v2 collectors)",
         opts.shard,
         pcfg.shards,
-        frames.len(),
+        backlog.len(),
+        frame_count,
         opts.connect
     )
     .map_err(io_err)?;
     out.flush().map_err(io_err)?;
     let addr = opts.connect.clone();
-    let report = run_agent(&acfg, frames, |_attempt| {
+    let report = run_agent_rounds(&acfg, backlog, |_attempt| {
         let stream = TcpStream::connect(&*addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(read_deadline))?;
@@ -827,12 +856,15 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     })?;
     writeln!(
         out,
-        "acked {} frames over {} connections ({} duplicates, {} retransmits, \
-         {} error frames seen)",
+        "acked {} of {} frames sent ({} bytes) over {} connections ({} duplicates, \
+         {} retransmits, {} baseline resyncs, {} error frames seen)",
         report.frames_acked,
+        report.frames_sent,
+        report.bytes_on_wire,
         report.connections,
         report.duplicates,
         report.retransmits,
+        report.baseline_resyncs,
         report.error_frames_seen
     )
     .map_err(io_err)?;
@@ -918,6 +950,7 @@ fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         shards: opts.shards.max(1),
         window: opts.window.max(1),
         epochs: opts.epochs.max(1),
+        rounds: opts.rounds.max(1),
         budget_ms: opts.budget_ms.max(1),
         seed: opts.seed,
     };
@@ -1005,18 +1038,28 @@ fn bench_collect(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         max_shards: opts.shards.max(1),
         budget_ms: opts.budget_ms.max(1),
         seed: opts.seed,
+        window: opts.window.max(2),
+        epochs: opts.epochs.max(1),
+        rounds: opts.rounds.max(1),
     };
     writeln!(
         out,
-        "collect bench: {} links, 1..={} shards, {} ms/case",
-        cfg.links, cfg.max_shards, cfg.budget_ms
+        "collect bench: {} links, 1..={} shards, {} ms/case, {} rounds/epoch",
+        cfg.links, cfg.max_shards, cfg.budget_ms, cfg.rounds
     )
     .map_err(io_err)?;
-    let results = sbitmap_bench::collect::run(&cfg);
-    for m in &results {
+    let run = sbitmap_bench::collect::run(&cfg);
+    for m in &run.results {
         writeln!(out, "{}", m.row()).map_err(io_err)?;
     }
-    let json = sbitmap_bench::collect::report_json(&cfg, &results);
+    let reduction = run.wire.reduction;
+    writeln!(
+        out,
+        "wire: {} frames, {} bytes full vs {} bytes v3 ({reduction:.2}x reduction)",
+        run.wire.frames, run.wire.bytes_full, run.wire.bytes_v3
+    )
+    .map_err(io_err)?;
+    let json = sbitmap_bench::collect::report_json(&cfg, &run);
     let path = if opts.out.is_empty() {
         "BENCH_collect.json"
     } else {
@@ -1024,6 +1067,15 @@ fn bench_collect(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     };
     std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     writeln!(out, "wrote {path}").map_err(io_err)?;
+    if let Some(min) = opts.assert_min_wire_reduction {
+        if reduction < min {
+            return Err(format!(
+                "regression: the v3 delta encoding only shrinks the windowed \
+                 wire by {reduction:.3}x, below the required {min}x"
+            ));
+        }
+        writeln!(out, "wire gate passed: {reduction:.2}x >= {min}x").map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -1547,15 +1599,19 @@ mod tests {
         .unwrap();
         let ingest = daemon.ingest_addr();
         let query = daemon.query_addr();
-        let flags = "--links 6 --shards 2 --window 2 --epochs 3 --seed 5 --deadline-ms 20";
+        let flags = "--links 6 --shards 2 --window 2 --epochs 3 --rounds 2 --seed 5 \
+                     --deadline-ms 20";
         for shard in 0..2 {
             let out = run(
                 &format!("agent --connect {ingest} {flags} --shard {shard}"),
                 "",
             )
             .unwrap();
-            assert!(out.contains("shipping 3 epoch frames"), "{out}");
-            assert!(out.contains("acked 3 frames over 1 connections"), "{out}");
+            assert!(
+                out.contains("shipping 3 epochs as 6 v3 delta frames"),
+                "{out}"
+            );
+            assert!(out.contains("acked 6 of 6 frames sent"), "{out}");
         }
         let out = run(
             &format!("query summary --connect {query} --deadline-ms 20"),
@@ -1590,11 +1646,13 @@ mod tests {
         assert!(out.contains("acknowledged the drain"), "{out}");
         let report = daemon.join().unwrap();
         // The agents ran *sequentially*: shard 0 advanced the ring to
-        // epoch 2 (window 2 keeps epochs {1, 2}), so shard 1's epoch-0
-        // frame arrived expired — acked, counted, and irrelevant to the
-        // final window, exactly as the sliding window defines.
-        assert_eq!(report.frames_absorbed, 5);
-        assert_eq!(report.expired, 1);
+        // epoch 2 (window 2 keeps epochs {1, 2}), so shard 1's two
+        // epoch-0 delta rounds arrived expired — acked, counted, and
+        // irrelevant to the final window, exactly as the sliding window
+        // defines. The other 10 of the 12 (shard, epoch, round) frames
+        // absorbed.
+        assert_eq!(report.frames_absorbed, 10);
+        assert_eq!(report.expired, 2);
         assert_eq!(report.estimates.len(), 6);
     }
 

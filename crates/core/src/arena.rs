@@ -633,6 +633,53 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
         ))
     }
 
+    /// Borrow one key's raw bitmap words (`⌈m/64⌉` of them); `None` if
+    /// the key has never been inserted. This is the read side delta
+    /// encoders snapshot between rounds — no copy, no sketch
+    /// materialization.
+    pub fn slot_words(&self, key: u64) -> Option<&[u64]> {
+        let slot = self.lookup_slot(key)? as usize;
+        Some(&self.words[slot * self.stride..(slot + 1) * self.stride])
+    }
+
+    /// OR a decoded delta-record body onto `key`'s bitmap (the slot is
+    /// created if absent — a round-0 baseline record does exactly that),
+    /// updating the fill counter by the newly-set count. Returns how
+    /// many bits were newly set.
+    ///
+    /// Infallible by construction: [`crate::codec::FleetDeltaFrame`]
+    /// decoding already bounds every run inside the stride and every
+    /// sparse position below `m`, and the caller
+    /// ([`crate::WindowedFleet::absorb_delta_from`]) has verified the
+    /// frame's dimensioning matches this arena's.
+    pub(crate) fn or_apply_delta(&mut self, key: u64, body: &crate::codec::DeltaBody) -> u64 {
+        let slot = self.slot_for(key);
+        let base = slot * self.stride;
+        let mut newly = 0usize;
+        match body {
+            crate::codec::DeltaBody::Runs(runs) => {
+                let kernels = sbitmap_bitvec::kernels::WordKernels::dispatched();
+                for run in runs {
+                    let start = base + run.start as usize;
+                    let dst = &mut self.words[start..start + run.words.len()];
+                    newly += kernels.union_or_count(dst, &run.words);
+                }
+            }
+            crate::codec::DeltaBody::Sparse(positions) => {
+                for &pos in positions {
+                    let w = base + (pos as usize >> 6);
+                    let bit = 1u64 << (pos & 63);
+                    if self.words[w] & bit == 0 {
+                        self.words[w] |= bit;
+                        newly += 1;
+                    }
+                }
+            }
+        }
+        self.fills[slot] += newly;
+        newly as u64
+    }
+
     /// Number of tracked keys.
     pub fn len(&self) -> usize {
         self.keys.len()

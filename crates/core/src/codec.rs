@@ -71,6 +71,12 @@ use crate::SBitmapError;
 const MAGIC: &[u8; 4] = b"SBMP";
 const VERSION_1: u8 = 1;
 const VERSION_2: u8 = 2;
+/// v3: the fleet-delta frame ([`FleetDeltaFrame`]) — same outer layout
+/// as v2 (magic, version, kind tag, payload, checksum) but the version
+/// byte is 3 and the only legal kind is [`CounterKind::FleetDelta`].
+/// Kept a distinct version so v2-only decoders reject v3 frames at the
+/// header instead of misreading a delta as a checkpoint.
+const VERSION_3: u8 = 3;
 /// v2: magic + version + kind tag.
 const V2_HEADER_LEN: usize = 6;
 /// Trailing XXH64 checksum.
@@ -108,11 +114,16 @@ pub enum CounterKind {
     /// [`crate::WindowedFleet`] — a ring of per-epoch fleets answering
     /// sliding-window queries.
     WindowedFleet = 10,
+    /// [`FleetDeltaFrame`] — a wire-v3 incremental fleet frame: per-key
+    /// newly-set-bit deltas (run-length or sparse-varint coded) a
+    /// collector OR-applies onto its ring arena. Not a checkpoint — it
+    /// only makes sense against an absorbed round-0 baseline.
+    FleetDelta = 11,
 }
 
 impl CounterKind {
     /// All kinds, in tag order.
-    pub const ALL: [CounterKind; 10] = [
+    pub const ALL: [CounterKind; 11] = [
         CounterKind::SBitmap,
         CounterKind::LinearCounting,
         CounterKind::VirtualBitmap,
@@ -123,6 +134,7 @@ impl CounterKind {
         CounterKind::KMinValues,
         CounterKind::SketchFleet,
         CounterKind::WindowedFleet,
+        CounterKind::FleetDelta,
     ];
 
     /// The wire tag.
@@ -150,6 +162,7 @@ impl CounterKind {
             CounterKind::KMinValues => "kmv",
             CounterKind::SketchFleet => "sketch-fleet",
             CounterKind::WindowedFleet => "windowed-fleet",
+            CounterKind::FleetDelta => "fleet-delta",
         }
     }
 
@@ -158,7 +171,10 @@ impl CounterKind {
     pub fn is_mergeable(self) -> bool {
         !matches!(
             self,
-            CounterKind::SBitmap | CounterKind::SketchFleet | CounterKind::WindowedFleet
+            CounterKind::SBitmap
+                | CounterKind::SketchFleet
+                | CounterKind::WindowedFleet
+                | CounterKind::FleetDelta
         )
     }
 }
@@ -193,6 +209,16 @@ impl PayloadWriter {
     /// Append a `u64`, little-endian.
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a LEB128 varint (7 value bits per byte, high bit =
+    /// continuation) — the v3 sparse-record position coding.
+    pub fn varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
     }
 
     /// Append a slice of `u64` words, little-endian, without a length
@@ -264,6 +290,28 @@ impl<'a> PayloadReader<'a> {
         ))
     }
 
+    /// Read a LEB128 varint (see [`PayloadWriter::varint`]).
+    ///
+    /// # Errors
+    ///
+    /// Truncated payload, or an encoding longer than 10 bytes / wider
+    /// than 64 bits.
+    pub fn varint(&mut self) -> Result<u64, SBitmapError> {
+        let mut v = 0u64;
+        for shift in (0..=63).step_by(7) {
+            let b = self.u8()?;
+            let chunk = u64::from(b & 0x7f);
+            if shift == 63 && chunk > 1 {
+                return Err(fail("varint overflows 64 bits"));
+            }
+            v |= chunk << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(fail("varint longer than 10 bytes"))
+    }
+
     /// Read a `u64` that must fit in `usize` (counts, sizes).
     ///
     /// # Errors
@@ -319,7 +367,7 @@ impl<'a> PayloadReader<'a> {
 /// checked; `payload` is the kind-specific body.
 #[derive(Debug)]
 pub struct Frame<'a> {
-    /// Wire version the frame was encoded with (1 or 2).
+    /// Wire version the frame was encoded with (1, 2 or 3).
     pub version: u8,
     /// The counter kind (v1 frames are always [`CounterKind::SBitmap`]).
     pub kind: CounterKind,
@@ -339,12 +387,27 @@ pub fn frame(kind: CounterKind, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verify and open a checkpoint frame (v1 or v2).
+/// Wrap a fleet-delta payload in a v3 frame (version 3, fleet-delta
+/// kind tag, checksum). The outer layout matches [`frame`]; only the
+/// version byte differs, so v2-only peers reject it at the header.
+fn frame_v3(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(V2_HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION_3);
+    out.push(CounterKind::FleetDelta.tag());
+    out.extend_from_slice(payload);
+    let checksum = xxh64(&out, 0);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Verify and open a checkpoint frame (v1, v2 or v3).
 ///
 /// # Errors
 ///
-/// Truncated input, bad magic, unsupported version, unknown kind tag, or
-/// checksum mismatch.
+/// Truncated input, bad magic, unsupported version, unknown kind tag, a
+/// version/kind pairing that is not legal on the wire (fleet-delta is
+/// v3-only, every checkpoint kind is v1/v2-only), or checksum mismatch.
 pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, SBitmapError> {
     if bytes.len() < V2_HEADER_LEN + CHECKSUM_LEN {
         return Err(fail("truncated"));
@@ -368,8 +431,23 @@ pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, SBitmapError> {
         VERSION_2 => {
             let kind = CounterKind::from_tag(body[5])
                 .ok_or_else(|| fail(format!("unknown counter kind tag {}", body[5])))?;
+            if kind == CounterKind::FleetDelta {
+                return Err(fail("fleet-delta frames require version 3"));
+            }
             Ok(Frame {
                 version: VERSION_2,
+                kind,
+                payload: &body[V2_HEADER_LEN..],
+            })
+        }
+        VERSION_3 => {
+            let kind = CounterKind::from_tag(body[5])
+                .ok_or_else(|| fail(format!("unknown counter kind tag {}", body[5])))?;
+            if kind != CounterKind::FleetDelta {
+                return Err(fail("version 3 carries only fleet-delta frames"));
+            }
+            Ok(Frame {
+                version: VERSION_3,
                 kind,
                 payload: &body[V2_HEADER_LEN..],
             })
@@ -479,6 +557,397 @@ pub(crate) fn check_wire_m(m: usize) -> Result<(), SBitmapError> {
         )));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// v3 fleet-delta frames (tag 11)
+// ---------------------------------------------------------------------
+
+/// Encoded length of a LEB128 varint, in bytes.
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros().min(63) as usize;
+    bits.div_ceil(7)
+}
+
+/// Record body mode: word-level run coding.
+const DELTA_MODE_RUNS: u8 = 0;
+/// Record body mode: sparse varint-gap bit positions.
+const DELTA_MODE_SPARSE: u8 = 1;
+
+/// One run of consecutive bitmap words inside a [`DeltaBody::Runs`]
+/// record: `words` covers word indices `start .. start + words.len()`
+/// of the key's bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRun {
+    /// First word index the run covers.
+    pub start: u32,
+    /// The run's word values (at least one).
+    pub words: Vec<u64>,
+}
+
+/// The payload of one per-key delta record — the bits newly set since
+/// the previous round, in whichever of the two codings was smaller on
+/// the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaBody {
+    /// Word-level runs: zero words between runs are elided (the RLE
+    /// side of the coding — dense late-epoch deltas).
+    Runs(Vec<DeltaRun>),
+    /// Strictly increasing bit positions, varint-gap coded on the wire
+    /// (sparse early-epoch deltas).
+    Sparse(Vec<u32>),
+}
+
+/// One key's delta record inside a [`FleetDeltaFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// The fleet key (link id).
+    pub key: u64,
+    /// Total set bits the body carries (validated against the decoded
+    /// body, so a forged header cannot skew fill accounting).
+    pub bits: u32,
+    /// The coded bits.
+    pub body: DeltaBody,
+}
+
+impl DeltaRecord {
+    /// Build the record for `delta_words` (the key's newly-set bits as
+    /// a full-stride word image), choosing whichever coding is smaller:
+    /// word runs for dense deltas, varint positions for sparse ones.
+    pub fn from_delta_words(key: u64, delta_words: &[u64]) -> Self {
+        let mut bits = 0u32;
+        // Run coding cost: 8 bytes (start + len) per run, 8 per word.
+        let mut run_cost = 0usize;
+        let mut in_run = false;
+        for &w in delta_words {
+            bits += w.count_ones();
+            if w != 0 {
+                if !in_run {
+                    run_cost += 8;
+                    in_run = true;
+                }
+                run_cost += 8;
+            } else {
+                in_run = false;
+            }
+        }
+        // Sparse coding cost: one varint per set bit (gap coded).
+        let mut sparse_cost = 0usize;
+        let mut last = 0u64;
+        let mut first = true;
+        for (wi, &w) in delta_words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let pos = (wi as u64) * 64 + u64::from(w.trailing_zeros());
+                let gap = if first { pos } else { pos - last };
+                sparse_cost += varint_len(gap);
+                last = pos;
+                first = false;
+                w &= w - 1;
+            }
+        }
+        let body = if sparse_cost <= run_cost + 4 {
+            // +4: the runs mode also pays its run-count field.
+            let mut positions = Vec::with_capacity(bits as usize);
+            for (wi, &w) in delta_words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    positions.push(wi as u32 * 64 + w.trailing_zeros());
+                    w &= w - 1;
+                }
+            }
+            DeltaBody::Sparse(positions)
+        } else {
+            let mut runs: Vec<DeltaRun> = Vec::new();
+            for (wi, &w) in delta_words.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                match runs.last_mut() {
+                    Some(run) if run.start as usize + run.words.len() == wi => {
+                        run.words.push(w);
+                    }
+                    _ => runs.push(DeltaRun {
+                        start: wi as u32,
+                        words: vec![w],
+                    }),
+                }
+            }
+            DeltaBody::Runs(runs)
+        };
+        Self { key, bits, body }
+    }
+}
+
+/// A wire-v3 incremental fleet frame: the bits one shard newly set for
+/// its keys during one *round* of one epoch, delta-coded against the
+/// round before.
+///
+/// Within an epoch the S-bitmap only ever **sets** bits, so round `r`'s
+/// state is a superset of round `r-1`'s and the XOR delta between them
+/// is exactly the newly-set bits — OR-applying every round of an epoch
+/// onto a zeroed slot reproduces the epoch's final bitmap bit for bit,
+/// in any arrival order, idempotently. That is what makes the frame
+/// safe under at-least-once delivery and reordering: the receiver
+/// ([`crate::WindowedFleet::absorb_delta_from`]) ORs records straight
+/// onto its ring arena, no full-frame materialization.
+///
+/// Round 0 is the **baseline reset**: a self-contained image of the
+/// shard's state at the end of the first round, carrying a record for
+/// *every* key the shard owns (even still-empty ones), so the receiver
+/// creates the slots a later round's delta will land in. Rounds > 0
+/// require the same `(source, epoch)`'s baseline to have been absorbed
+/// first and are rejected with [`SBitmapError::MissingBaseline`]
+/// otherwise — before any O(m) work.
+///
+/// Byte layout (payload; the outer v3 frame adds magic/version/tag and
+/// the trailing XXH64) — see `docs/wire-format.md` for the normative
+/// spec:
+///
+/// ```text
+/// n_max u64 · m u64 · d u32 · seed u64 · epoch u64 · round u32 ·
+/// count u64 · count × record
+/// record  = key u64 · bits u32 · mode u8 · body
+/// body(0) = runs u32 · runs × (start u32 · len u32 · words u64×len)
+/// body(1) = bits × varint   (first absolute position, then gaps)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDeltaFrame {
+    /// Dimensioning `n_max` of the shard's schedule.
+    pub n_max: u64,
+    /// Bits per key (`m` of the shared dimensioning).
+    pub m: usize,
+    /// Sampling split bits (`d`).
+    pub sampling_bits: u32,
+    /// The fleet seed per-key hashers derive from.
+    pub seed: u64,
+    /// Absolute epoch the frame belongs to.
+    pub epoch: u64,
+    /// Round within the epoch: 0 = baseline reset, > 0 = delta.
+    /// `u32::MAX` is reserved (the receiver's full-frame sentinel) and
+    /// rejected on the wire.
+    pub round: u32,
+    /// Per-key records, strictly ascending by key.
+    pub records: Vec<DeltaRecord>,
+}
+
+impl FleetDeltaFrame {
+    /// An empty frame with the given configuration key and position in
+    /// the round chain; fill in records via [`FleetDeltaFrame::push`].
+    pub fn new(
+        n_max: u64,
+        m: usize,
+        sampling_bits: u32,
+        seed: u64,
+        epoch: u64,
+        round: u32,
+    ) -> Self {
+        Self {
+            n_max,
+            m,
+            sampling_bits,
+            seed,
+            epoch,
+            round,
+            records: Vec::new(),
+        }
+    }
+
+    /// `true` for a round-0 baseline-reset frame.
+    pub fn is_baseline(&self) -> bool {
+        self.round == 0
+    }
+
+    /// Append the record for `key`'s newly-set bits (callers push keys
+    /// in ascending order — encode asserts it).
+    pub fn push(&mut self, key: u64, delta_words: &[u64]) {
+        self.records
+            .push(DeltaRecord::from_delta_words(key, delta_words));
+    }
+
+    /// Serialize into a framed, checksummed v3 frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::default();
+        w.u64(self.n_max);
+        w.u64(self.m as u64);
+        w.u32(self.sampling_bits);
+        w.u64(self.seed);
+        w.u64(self.epoch);
+        w.u32(self.round);
+        w.u64(self.records.len() as u64);
+        let mut last: Option<u64> = None;
+        for rec in &self.records {
+            assert!(
+                last.is_none_or(|l| rec.key > l),
+                "delta records must be strictly ascending by key"
+            );
+            last = Some(rec.key);
+            w.u64(rec.key);
+            w.u32(rec.bits);
+            match &rec.body {
+                DeltaBody::Runs(runs) => {
+                    w.u8(DELTA_MODE_RUNS);
+                    w.u32(runs.len() as u32);
+                    for run in runs {
+                        w.u32(run.start);
+                        w.u32(run.words.len() as u32);
+                        w.words(&run.words);
+                    }
+                }
+                DeltaBody::Sparse(positions) => {
+                    w.u8(DELTA_MODE_SPARSE);
+                    let mut last_pos = 0u64;
+                    let mut first = true;
+                    for &pos in positions {
+                        let pos = u64::from(pos);
+                        w.varint(if first { pos } else { pos - last_pos });
+                        last_pos = pos;
+                        first = false;
+                    }
+                }
+            }
+        }
+        frame_v3(&w.into_inner())
+    }
+
+    /// Verify and decode a v3 frame.
+    ///
+    /// Every structural lie is rejected *before* the work it would
+    /// drive: `m` is capped at [`MAX_WIRE_M`] ahead of any stride math,
+    /// record/run counts are bounded by the bytes actually remaining,
+    /// runs must be ascending and non-overlapping within the stride,
+    /// sparse positions strictly increasing below `m`, no run word may
+    /// set a bit at or beyond `m`, and the per-record `bits` header
+    /// must equal the popcount of the decoded body. Decode allocates
+    /// proportional to the wire size, never to a claimed length.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt frames (see [`unframe`]), a non-v3 frame, or any payload
+    /// violation above.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SBitmapError> {
+        let f = unframe(bytes)?;
+        if f.kind != CounterKind::FleetDelta {
+            return Err(fail(format!(
+                "frame holds a {}, expected a fleet-delta",
+                f.kind
+            )));
+        }
+        let mut r = PayloadReader::new(f.payload);
+        let n_max = r.u64()?;
+        let m = r.len_u64()?;
+        check_wire_m(m)?;
+        if m == 0 {
+            return Err(fail("delta frame declares m = 0"));
+        }
+        let stride = m.div_ceil(64);
+        let sampling_bits = r.u32()?;
+        let seed = r.u64()?;
+        let epoch = r.u64()?;
+        let round = r.u32()?;
+        if round == u32::MAX {
+            return Err(fail("round index u32::MAX is reserved"));
+        }
+        let count = r.len_u64()?;
+        // Every record is at least key + bits + mode = 13 bytes.
+        if count > r.remaining() / 13 {
+            return Err(fail("record count exceeds the payload"));
+        }
+        let mut records = Vec::with_capacity(count);
+        let mut last_key: Option<u64> = None;
+        for _ in 0..count {
+            let key = r.u64()?;
+            if last_key.is_some_and(|l| key <= l) {
+                return Err(fail("delta record keys must be strictly increasing"));
+            }
+            last_key = Some(key);
+            let bits = r.u32()?;
+            if bits as usize > m {
+                return Err(fail("record declares more set bits than m"));
+            }
+            let mode = r.u8()?;
+            let body = match mode {
+                DELTA_MODE_RUNS => {
+                    let runs = r.u32()? as usize;
+                    // Every run is at least start + len + one word.
+                    if runs > r.remaining() / 16 {
+                        return Err(fail("run count exceeds the payload"));
+                    }
+                    let mut out = Vec::with_capacity(runs);
+                    let mut cursor = 0usize;
+                    let mut pop = 0u64;
+                    for _ in 0..runs {
+                        let start = r.u32()? as usize;
+                        let len = r.u32()? as usize;
+                        if len == 0 {
+                            return Err(fail("empty run"));
+                        }
+                        if start < cursor {
+                            return Err(fail("runs must be ascending and non-overlapping"));
+                        }
+                        let end = start
+                            .checked_add(len)
+                            .filter(|&e| e <= stride)
+                            .ok_or_else(|| fail("run extends past the bitmap"))?;
+                        if len > r.remaining() / 8 {
+                            return Err(fail("run length exceeds the payload"));
+                        }
+                        let words = r.words(len)?;
+                        if end == stride && m % 64 != 0 {
+                            let tail_mask = !((1u64 << (m % 64)) - 1);
+                            if words[len - 1] & tail_mask != 0 {
+                                return Err(fail("run sets bits at or beyond m"));
+                            }
+                        }
+                        pop += words.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+                        cursor = end;
+                        out.push(DeltaRun {
+                            start: start as u32,
+                            words,
+                        });
+                    }
+                    if pop != u64::from(bits) {
+                        return Err(fail("bits header disagrees with run payload"));
+                    }
+                    DeltaBody::Runs(out)
+                }
+                DELTA_MODE_SPARSE => {
+                    // Every position is at least one varint byte.
+                    if bits as usize > r.remaining() {
+                        return Err(fail("position count exceeds the payload"));
+                    }
+                    let mut positions = Vec::with_capacity(bits as usize);
+                    let mut pos = 0u64;
+                    for i in 0..bits {
+                        let gap = r.varint()?;
+                        if i > 0 && gap == 0 {
+                            return Err(fail("sparse positions must be strictly increasing"));
+                        }
+                        pos = pos
+                            .checked_add(gap)
+                            .ok_or_else(|| fail("sparse position overflows"))?;
+                        if pos >= m as u64 {
+                            return Err(fail("sparse position at or beyond m"));
+                        }
+                        positions.push(pos as u32);
+                    }
+                    DeltaBody::Sparse(positions)
+                }
+                other => return Err(fail(format!("unknown delta body mode {other}"))),
+            };
+            records.push(DeltaRecord { key, bits, body });
+        }
+        r.finish()?;
+        Ok(Self {
+            n_max,
+            m,
+            sampling_bits,
+            seed,
+            epoch,
+            round,
+            records,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -660,7 +1129,7 @@ mod tests {
     #[test]
     fn kind_tags_are_stable_and_unique() {
         let tags: Vec<u8> = CounterKind::ALL.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
         for k in CounterKind::ALL {
             assert_eq!(CounterKind::from_tag(k.tag()), Some(k));
         }
@@ -697,5 +1166,260 @@ mod tests {
         assert!(r.u64().is_err(), "overlong read must fail, not panic");
         assert_eq!(r.remaining(), 2);
         assert!(r.words(usize::MAX / 4).is_err(), "size overflow guarded");
+    }
+
+    #[test]
+    fn varints_round_trip_and_reject_overwide() {
+        let mut w = PayloadWriter::default();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX - 1, u64::MAX];
+        for &v in &values {
+            w.varint(v);
+        }
+        let buf = w.into_inner();
+        let mut r = PayloadReader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        r.finish().unwrap();
+        // 10 continuation bytes = wider than 64 bits.
+        let evil = [0xffu8; 11];
+        assert!(PayloadReader::new(&evil).varint().is_err());
+        // A 10th byte above 1 overflows bit 63.
+        let evil = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        assert!(PayloadReader::new(&evil).varint().is_err());
+        // Truncated mid-varint.
+        assert!(PayloadReader::new(&[0x80]).varint().is_err());
+    }
+
+    /// A delta frame over two keys: one sparse-shaped, one dense-shaped.
+    fn delta_frame() -> FleetDeltaFrame {
+        let mut f = FleetDeltaFrame::new(100_000, 256, 32, 9, 4, 1);
+        // Key 3: a handful of scattered bits → sparse wins.
+        let mut sparse = vec![0u64; 4];
+        for pos in [1usize, 64, 70, 200] {
+            sparse[pos / 64] |= 1 << (pos % 64);
+        }
+        f.push(3, &sparse);
+        // Key 7: dense contiguous words → runs win.
+        let dense = vec![u64::MAX, u64::MAX, u64::MAX, u64::MAX >> 1];
+        f.push(7, &dense);
+        f
+    }
+
+    #[test]
+    fn delta_frame_round_trips() {
+        let f = delta_frame();
+        assert!(matches!(f.records[0].body, DeltaBody::Sparse(_)));
+        assert!(matches!(f.records[1].body, DeltaBody::Runs(_)));
+        assert_eq!(f.records[0].bits, 4);
+        assert_eq!(f.records[1].bits, 255);
+        let bytes = f.encode();
+        let (version, kind) = peek_kind(&bytes).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(kind, CounterKind::FleetDelta);
+        assert!(!kind.is_mergeable());
+        let back = FleetDeltaFrame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.encode(), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn empty_and_baseline_delta_frames_round_trip() {
+        // An all-empty round frame (no records) is legal — it keeps the
+        // per-round frame count deterministic.
+        let f = FleetDeltaFrame::new(1_000, 63, 32, 1, 0, 3);
+        let back = FleetDeltaFrame::decode(&f.encode()).unwrap();
+        assert!(back.records.is_empty());
+        assert!(!back.is_baseline());
+        // A baseline with an empty record (key touched, no bits yet).
+        let mut f = FleetDeltaFrame::new(1_000, 63, 32, 1, 0, 0);
+        f.push(42, &[0]);
+        let back = FleetDeltaFrame::decode(&f.encode()).unwrap();
+        assert!(back.is_baseline());
+        assert_eq!(back.records[0].bits, 0);
+        assert_eq!(back.records[0].body, DeltaBody::Sparse(vec![]));
+    }
+
+    #[test]
+    fn delta_frame_is_not_a_checkpoint_and_vice_versa() {
+        // A v3 frame must not restore as any checkpoint kind.
+        let bytes = delta_frame().encode();
+        assert!(<SBitmap as Checkpoint>::restore(&bytes).is_err());
+        // A v2 frame carrying tag 11 is illegal on the wire.
+        let evil = frame(CounterKind::FleetDelta, &[]);
+        let err = unframe(&evil).unwrap_err();
+        assert!(err.to_string().contains("version 3"), "{err}");
+        // A v3 frame carrying a checkpoint tag is illegal too.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.push(VERSION_3);
+        body.push(CounterKind::SketchFleet.tag());
+        let checksum = xxh64(&body, 0);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        let err = unframe(&body).unwrap_err();
+        assert!(err.to_string().contains("fleet-delta"), "{err}");
+        // And a checkpoint must not decode as a delta frame.
+        let (_, ckpt) = checkpointed();
+        assert!(FleetDeltaFrame::decode(&ckpt).is_err());
+    }
+
+    /// Re-frame a mutated v3 payload with a fresh checksum so the bytes
+    /// reach the payload validators.
+    fn reseal_v3(bytes: &[u8], mutate: impl FnOnce(&mut [u8])) -> Vec<u8> {
+        let mut body = bytes[..bytes.len() - CHECKSUM_LEN].to_vec();
+        mutate(&mut body);
+        let checksum = xxh64(&body, 0);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn delta_decode_rejects_structural_lies() {
+        let bytes = delta_frame().encode();
+        // Payload offsets (after the 6-byte header): n_max@6 m@14 d@22
+        // seed@26 epoch@34 round@42 count@46, first record key@54
+        // bits@62 mode@66.
+        type Mutator = Box<dyn FnOnce(&mut [u8])>;
+        let cases: Vec<(&str, Mutator)> = vec![
+            (
+                "m above the wire cap",
+                Box::new(|b: &mut [u8]| {
+                    b[14..22].copy_from_slice(&(MAX_WIRE_M as u64 + 1).to_le_bytes())
+                }),
+            ),
+            (
+                "m = 0",
+                Box::new(|b: &mut [u8]| b[14..22].copy_from_slice(&0u64.to_le_bytes())),
+            ),
+            (
+                "reserved round",
+                Box::new(|b: &mut [u8]| b[42..46].copy_from_slice(&u32::MAX.to_le_bytes())),
+            ),
+            (
+                "record count beyond payload",
+                Box::new(|b: &mut [u8]| b[46..54].copy_from_slice(&u64::MAX.to_le_bytes())),
+            ),
+            (
+                "bits header above m",
+                Box::new(|b: &mut [u8]| b[62..66].copy_from_slice(&300u32.to_le_bytes())),
+            ),
+            (
+                "bits header off by one",
+                Box::new(|b: &mut [u8]| b[62..66].copy_from_slice(&5u32.to_le_bytes())),
+            ),
+            ("unknown body mode", Box::new(|b: &mut [u8]| b[66] = 9)),
+        ];
+        for (what, mutate) in cases {
+            let evil = reseal_v3(&bytes, mutate);
+            assert!(FleetDeltaFrame::decode(&evil).is_err(), "{what} accepted");
+        }
+        // Truncation at every byte.
+        for cut in 0..bytes.len() {
+            assert!(
+                FleetDeltaFrame::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_decode_rejects_hostile_runs_and_positions() {
+        // Hand-build payloads around a single mode-0 record.
+        let build = |runs: &[(u32, u32, &[u64])], bits: u32| {
+            let mut w = PayloadWriter::default();
+            w.u64(1_000); // n_max
+            w.u64(256); // m → stride 4
+            w.u32(32);
+            w.u64(9);
+            w.u64(0); // epoch
+            w.u32(0); // round
+            w.u64(1); // one record
+            w.u64(5); // key
+            w.u32(bits);
+            w.u8(DELTA_MODE_RUNS);
+            w.u32(runs.len() as u32);
+            for &(start, len, words) in runs {
+                w.u32(start);
+                w.u32(len);
+                w.words(words);
+            }
+            frame_v3(&w.into_inner())
+        };
+        // Overlapping runs.
+        let evil = build(&[(0, 2, &[1, 1]), (1, 1, &[1])], 3);
+        assert!(FleetDeltaFrame::decode(&evil).is_err(), "overlap accepted");
+        // Run past the stride.
+        let evil = build(&[(3, 2, &[1, 1])], 2);
+        assert!(FleetDeltaFrame::decode(&evil).is_err(), "overrun accepted");
+        // Zero-length run.
+        let evil = build(&[(0, 0, &[])], 0);
+        assert!(
+            FleetDeltaFrame::decode(&evil).is_err(),
+            "empty run accepted"
+        );
+        // start + len overflowing u32 arithmetic must not wrap.
+        let evil = build(&[(u32::MAX, 2, &[1, 1])], 2);
+        assert!(
+            FleetDeltaFrame::decode(&evil).is_err(),
+            "wraparound accepted"
+        );
+        // A valid one for contrast.
+        let ok = build(&[(0, 1, &[0b1011]), (3, 1, &[2])], 4);
+        assert!(FleetDeltaFrame::decode(&ok).is_ok());
+
+        // Tail-bit discipline on a sub-word m: m = 63, bit 63 illegal.
+        let tail = |word: u64, bits: u32| {
+            let mut w = PayloadWriter::default();
+            w.u64(1_000);
+            w.u64(63);
+            w.u32(32);
+            w.u64(9);
+            w.u64(0);
+            w.u32(0);
+            w.u64(1);
+            w.u64(5);
+            w.u32(bits);
+            w.u8(DELTA_MODE_RUNS);
+            w.u32(1);
+            w.u32(0);
+            w.u32(1);
+            w.words(&[word]);
+            frame_v3(&w.into_inner())
+        };
+        assert!(FleetDeltaFrame::decode(&tail(1 << 63, 1)).is_err());
+        assert!(FleetDeltaFrame::decode(&tail(1 << 62, 1)).is_ok());
+
+        // Sparse lies: position at m, non-increasing position, overflow.
+        let sparse = |m: u64, bits: u32, payload: &[u8]| {
+            let mut w = PayloadWriter::default();
+            w.u64(1_000);
+            w.u64(m);
+            w.u32(32);
+            w.u64(9);
+            w.u64(0);
+            w.u32(0);
+            w.u64(1);
+            w.u64(5);
+            w.u32(bits);
+            w.u8(DELTA_MODE_SPARSE);
+            let mut bytes = w.into_inner();
+            bytes.extend_from_slice(payload);
+            frame_v3(&bytes)
+        };
+        // First position = m (one varint byte value 63 on m=63).
+        assert!(FleetDeltaFrame::decode(&sparse(63, 1, &[63])).is_err());
+        assert!(FleetDeltaFrame::decode(&sparse(63, 1, &[62])).is_ok());
+        // Zero gap after the first position.
+        assert!(FleetDeltaFrame::decode(&sparse(63, 2, &[5, 0])).is_err());
+        // Cumulative position overflowing u64.
+        let huge = {
+            let mut w = PayloadWriter::default();
+            w.varint(u64::MAX);
+            w.varint(u64::MAX);
+            w.into_inner()
+        };
+        assert!(FleetDeltaFrame::decode(&sparse(63, 2, &huge)).is_err());
+        // Declared positions beyond the bytes present.
+        assert!(FleetDeltaFrame::decode(&sparse(63, 40, &[1, 1])).is_err());
     }
 }

@@ -15,6 +15,17 @@ pub enum SBitmapError {
     },
     /// The numeric solver for `C` failed to bracket or converge.
     SolverFailure(String),
+    /// A delta frame (wire v3) arrived for a `(source, epoch)` whose
+    /// round-0 baseline has not been absorbed: the delta chain is
+    /// broken and the sender must resync from a baseline frame. Raised
+    /// *before* any O(m) apply work, so a peer with a stale chain costs
+    /// the receiver one map lookup.
+    MissingBaseline {
+        /// Absolute epoch of the rejected delta frame.
+        epoch: u64,
+        /// Round index of the rejected delta frame (always > 0).
+        round: u32,
+    },
 }
 
 impl std::fmt::Display for SBitmapError {
@@ -24,6 +35,11 @@ impl std::fmt::Display for SBitmapError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             SBitmapError::SolverFailure(msg) => write!(f, "dimensioning solver failed: {msg}"),
+            SBitmapError::MissingBaseline { epoch, round } => write!(
+                f,
+                "missing baseline: delta round {round} for epoch {epoch} \
+                 arrived before its round-0 baseline"
+            ),
         }
     }
 }

@@ -73,7 +73,7 @@ use sbitmap_bitvec::Bitmap;
 use sbitmap_hash::{FromSeed, Hasher64, SplitMix64Hasher};
 
 use crate::arena::FleetArena;
-use crate::codec::{Checkpoint, CounterKind, PayloadReader, PayloadWriter};
+use crate::codec::{Checkpoint, CounterKind, FleetDeltaFrame, PayloadReader, PayloadWriter};
 use crate::counter::KeyedEstimates;
 use crate::fleet::sketch_seed;
 use crate::schedule::RateSchedule;
@@ -223,13 +223,21 @@ pub struct WindowedFleet<H: Hasher64 + FromSeed = SplitMix64Hasher> {
     /// assembled here, so a warm query allocates nothing. Interior
     /// mutability keeps queries `&self` like every other fleet flavor.
     scratch: RefCell<Vec<u64>>,
-    /// Per-slot absorb guard: the source ids whose frame for the slot's
-    /// current epoch has already been absorbed
-    /// ([`WindowedFleet::absorb_epoch_from`]). Cleared whenever the slot
-    /// is reused, never serialized — see the method docs for why a
-    /// restore losing the guard is safe.
-    seen: Vec<HashSet<u64>>,
+    /// Per-slot absorb guard: the `(source, round)` pairs whose frame
+    /// for the slot's current epoch has already been absorbed. Full v2
+    /// frames ([`WindowedFleet::absorb_epoch_from`]) record the
+    /// [`FULL_FRAME_ROUND`] sentinel; v3 delta frames
+    /// ([`WindowedFleet::absorb_delta_from`]) record their round, and
+    /// the round-0 entry doubles as the baseline marker rounds > 0
+    /// require. Cleared whenever the slot is reused, never serialized —
+    /// see the method docs for why a restore losing the guard is safe.
+    seen: Vec<HashSet<(u64, u32)>>,
 }
+
+/// The guard-set round sentinel full (non-delta) frames absorb under —
+/// `u32::MAX` is rejected as a wire round index by the v3 decoder, so
+/// the sentinel can never collide with a real delta round.
+const FULL_FRAME_ROUND: u32 = u32::MAX;
 
 /// What [`WindowedFleet::absorb_epoch_from`] did with a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -803,13 +811,89 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         let Some(slot) = self.live_slot(epoch) else {
             return Ok(AbsorbOutcome::Expired);
         };
-        if !self.seen[slot].insert(source) {
+        if !self.seen[slot].insert((source, FULL_FRAME_ROUND)) {
             return Ok(AbsorbOutcome::Duplicate);
         }
         if let Err(e) = self.ring[slot].union_from(other) {
-            self.seen[slot].remove(&source);
+            self.seen[slot].remove(&(source, FULL_FRAME_ROUND));
             return Err(e);
         }
+        Ok(AbsorbOutcome::Absorbed)
+    }
+
+    /// Absorb a wire-v3 [`FleetDeltaFrame`] incrementally into the ring:
+    /// every record is OR-applied straight onto the epoch arena's words
+    /// through the word kernels — no full-frame materialization, no
+    /// intermediate arena. The at-least-once guard works per `(source,
+    /// round)`: replays come back as [`AbsorbOutcome::Duplicate`], late
+    /// frames for expired epochs as [`AbsorbOutcome::Expired`], and a
+    /// round > 0 whose `(source, epoch)` baseline (round 0) has not been
+    /// absorbed is rejected with [`SBitmapError::MissingBaseline`] after
+    /// nothing more than two map lookups — the sender must resync from a
+    /// baseline frame.
+    ///
+    /// Correctness under duplication and reorder: within an epoch the
+    /// S-bitmap only sets bits, so round frames carry disjoint
+    /// newly-set-bit sets and OR-absorption is idempotent and
+    /// commutative — absorbing all rounds of an epoch in any order, any
+    /// number of times, converges to exactly the epoch's final bitmap.
+    /// (Rounds > 0 still require the baseline first: round 0 is the only
+    /// frame guaranteed to carry a record — and thus create the slot —
+    /// for every key of the shard, including still-empty ones.)
+    ///
+    /// # Errors
+    ///
+    /// A future epoch (drive the ring with [`WindowedFleet::advance_to`]
+    /// first), a configuration/seed mismatch between the frame and the
+    /// ring, or a broken delta chain ([`SBitmapError::MissingBaseline`]).
+    pub fn absorb_delta_from(
+        &mut self,
+        source: u64,
+        frame: &FleetDeltaFrame,
+    ) -> Result<AbsorbOutcome, SBitmapError> {
+        let schedule = self.schedule();
+        let dims = schedule.dims();
+        if frame.n_max != dims.n_max()
+            || frame.m != dims.m()
+            || frame.sampling_bits != schedule.split().sampling_bits()
+        {
+            return Err(SBitmapError::invalid(
+                "delta",
+                "delta frame has different dimensioning".to_string(),
+            ));
+        }
+        if frame.seed != self.seed() {
+            return Err(SBitmapError::invalid(
+                "delta",
+                "delta frame has a different fleet seed".to_string(),
+            ));
+        }
+        if frame.epoch > self.clock.epoch() {
+            return Err(SBitmapError::invalid(
+                "epoch",
+                format!(
+                    "epoch {} is ahead of the ring's open epoch {}",
+                    frame.epoch,
+                    self.clock.epoch()
+                ),
+            ));
+        }
+        let Some(slot) = self.live_slot(frame.epoch) else {
+            return Ok(AbsorbOutcome::Expired);
+        };
+        if self.seen[slot].contains(&(source, frame.round)) {
+            return Ok(AbsorbOutcome::Duplicate);
+        }
+        if frame.round != 0 && !self.seen[slot].contains(&(source, 0)) {
+            return Err(SBitmapError::MissingBaseline {
+                epoch: frame.epoch,
+                round: frame.round,
+            });
+        }
+        for rec in &frame.records {
+            self.ring[slot].or_apply_delta(rec.key, &rec.body);
+        }
+        self.seen[slot].insert((source, frame.round));
         Ok(AbsorbOutcome::Absorbed)
     }
 
@@ -1198,6 +1282,166 @@ mod tests {
             AbsorbOutcome::Absorbed
         );
         assert_eq!(restored.checkpoint(), before, "re-absorb is bitwise no-op");
+    }
+
+    /// Build the round-`r` delta frame for `shard` against `prev`
+    /// per-key snapshots (updating the snapshots in place) — the same
+    /// shape the stream-layer encoder produces.
+    fn delta_round(
+        shard: &FleetArena,
+        prev: &mut std::collections::HashMap<u64, Vec<u64>>,
+        epoch: u64,
+        round: u32,
+    ) -> FleetDeltaFrame {
+        let schedule = shard.schedule();
+        let dims = schedule.dims();
+        let mut frame = FleetDeltaFrame::new(
+            dims.n_max(),
+            dims.m(),
+            schedule.split().sampling_bits(),
+            shard.seed(),
+            epoch,
+            round,
+        );
+        for key in shard.keys_sorted() {
+            let cur = shard.slot_words(key).expect("key listed");
+            let old = prev.entry(key).or_insert_with(|| vec![0; cur.len()]);
+            let delta: Vec<u64> = cur.iter().zip(old.iter()).map(|(&c, &p)| c ^ p).collect();
+            let fresh = delta.iter().any(|&w| w != 0);
+            if round == 0 || fresh {
+                frame.push(key, &delta);
+            }
+            old.copy_from_slice(cur);
+        }
+        frame
+    }
+
+    #[test]
+    fn delta_chain_reproduces_the_full_absorb_under_duplication_and_reorder() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut shard: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        let mut prev = std::collections::HashMap::new();
+        // Three rounds of one epoch; keys 1..4 grow each round.
+        let mut frames = Vec::new();
+        for round in 0..3u32 {
+            for i in 0..2_000u64 {
+                shard.insert_u64(i % 4, u64::from(round) * 10_000 + i / 4 % 450);
+            }
+            frames.push(delta_round(&shard, &mut prev, 0, round));
+        }
+        let bytes: Vec<Vec<u8>> = frames.iter().map(FleetDeltaFrame::encode).collect();
+
+        // Reference: the whole shard absorbed as one full frame.
+        let mut reference: WindowedFleet =
+            WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        reference.absorb_epoch_from(7, 0, &shard).unwrap();
+
+        // In-order chain.
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        for b in &bytes {
+            let f = FleetDeltaFrame::decode(b).unwrap();
+            assert_eq!(
+                ring.absorb_delta_from(7, &f).unwrap(),
+                AbsorbOutcome::Absorbed
+            );
+        }
+        assert_eq!(ring.checkpoint(), reference.checkpoint());
+        assert_eq!(ring.estimates(), reference.estimates());
+
+        // Baseline first, later rounds reordered and duplicated: the OR
+        // absorb is idempotent and commutative, so the state is
+        // bit-identical (duplicates are skipped by the guard anyway).
+        let mut chaos: WindowedFleet =
+            WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        let f0 = FleetDeltaFrame::decode(&bytes[0]).unwrap();
+        let f1 = FleetDeltaFrame::decode(&bytes[1]).unwrap();
+        let f2 = FleetDeltaFrame::decode(&bytes[2]).unwrap();
+        assert_eq!(
+            chaos.absorb_delta_from(7, &f0).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(
+            chaos.absorb_delta_from(7, &f2).unwrap(),
+            AbsorbOutcome::Absorbed,
+            "round 2 before round 1 is fine once the baseline landed"
+        );
+        assert_eq!(
+            chaos.absorb_delta_from(7, &f2).unwrap(),
+            AbsorbOutcome::Duplicate
+        );
+        assert_eq!(
+            chaos.absorb_delta_from(7, &f1).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(
+            chaos.absorb_delta_from(7, &f0).unwrap(),
+            AbsorbOutcome::Duplicate
+        );
+        assert_eq!(chaos.checkpoint(), reference.checkpoint());
+
+        // A second source replays the same chain: absorbed (bitwise
+        // no-op — same shard state), ring unchanged.
+        let before = ring.checkpoint();
+        assert_eq!(
+            ring.absorb_delta_from(8, &f0).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(ring.checkpoint(), before);
+    }
+
+    #[test]
+    fn delta_absorb_guards_baseline_expiry_and_config() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut shard: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        let mut prev = std::collections::HashMap::new();
+        for i in 0..1_000u64 {
+            shard.insert_u64(3, i);
+        }
+        let base = delta_round(&shard, &mut prev, 0, 0);
+        for i in 1_000..2_000u64 {
+            shard.insert_u64(3, i);
+        }
+        let delta = delta_round(&shard, &mut prev, 0, 1);
+
+        // Round 1 before round 0: MissingBaseline, typed, state intact.
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        let err = ring.absorb_delta_from(7, &delta).unwrap_err();
+        assert_eq!(err, SBitmapError::MissingBaseline { epoch: 0, round: 1 });
+        assert!(err.to_string().contains("baseline"), "{err}");
+        assert!(ring.is_empty(), "rejected delta must not touch the ring");
+        // The recovery path: baseline, then the delta.
+        assert_eq!(
+            ring.absorb_delta_from(7, &base).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(
+            ring.absorb_delta_from(7, &delta).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        // A v2 full frame from the same source does not stand in for a
+        // delta baseline (different guard entries)…
+        let mut full_first: WindowedFleet =
+            WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        full_first.absorb_epoch_from(7, 0, &shard).unwrap();
+        assert!(full_first.absorb_delta_from(7, &delta).is_err());
+
+        // Expired epoch → Expired, future epoch → error.
+        ring.advance_to(2).unwrap();
+        assert_eq!(
+            ring.absorb_delta_from(7, &base).unwrap(),
+            AbsorbOutcome::Expired
+        );
+        let mut future = base.clone();
+        future.epoch = 99;
+        assert!(ring.absorb_delta_from(7, &future).is_err());
+
+        // Config/seed mismatches are typed errors, not silent mixes.
+        let mut alien = base.clone();
+        alien.seed = 77;
+        assert!(ring.absorb_delta_from(7, &alien).is_err());
+        let mut alien = base.clone();
+        alien.m = 8_000;
+        assert!(ring.absorb_delta_from(7, &alien).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! fleet of agents restarting together does not stampede the collector
 //! in lockstep — and so every test run backs off identically.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -24,7 +25,7 @@ use sbitmap_stream::net::{
     encode, AckOutcome, ConfigEcho, ErrorCode, FrameReader, Message, QueryRequest, ReadEvent, Role,
     PROTO_VERSION,
 };
-use sbitmap_stream::{FaultPlan, FaultyStream};
+use sbitmap_stream::{EpochFrames, FaultPlan, FaultyStream};
 
 /// Capped exponential backoff with deterministic jitter.
 #[derive(Debug, Clone)]
@@ -124,6 +125,25 @@ pub struct AgentReport {
     pub dropped: u64,
     /// Typed error frames received from the collector.
     pub error_frames_seen: u64,
+    /// `Batch`/`BatchDelta` frames written to the stream, retransmits
+    /// and replays included.
+    pub frames_sent: u64,
+    /// Sketch-payload bytes written to the stream across all sends —
+    /// the agent-side view of the wire cost the v3 encoding shrinks.
+    pub bytes_on_wire: u64,
+    /// Epochs re-sent from their round-0 baseline after the collector
+    /// answered [`ErrorCode::MissingBaseline`].
+    pub baseline_resyncs: u64,
+}
+
+/// One unacked wire frame: a full v2 epoch checkpoint (`round: None`,
+/// sent as [`Message::Batch`]) or one round of a v3 delta chain
+/// (`round: Some(r)`, sent as [`Message::BatchDelta`]).
+#[derive(Debug, Clone)]
+struct WireItem {
+    epoch: u64,
+    round: Option<u32>,
+    bytes: Vec<u8>,
 }
 
 /// How one session ended, from the outer retry loop's point of view.
@@ -153,6 +173,78 @@ enum SessionEnd {
 pub fn run_agent<S, C>(
     cfg: &AgentConfig,
     frames: Vec<(u64, Vec<u8>)>,
+    connect: C,
+) -> Result<AgentReport, String>
+where
+    S: Read + Write,
+    C: FnMut(u32) -> io::Result<S>,
+{
+    let items = frames
+        .into_iter()
+        .map(|(epoch, bytes)| WireItem {
+            epoch,
+            round: None,
+            bytes,
+        })
+        .collect();
+    run_items(cfg, items, &HashMap::new(), &HashMap::new(), connect)
+}
+
+/// Ship a v3 delta backlog — each epoch's round chain from
+/// [`sbitmap_stream::DeltaFrameSource`] — reconnecting until every round
+/// is acked or the attempt budget is exhausted.
+///
+/// Per-shard baseline tracking lives here: the agent keeps every
+/// epoch's round-0 baseline (even after it is acked) so a collector
+/// answering [`ErrorCode::MissingBaseline`] — restart, expiry race, or
+/// a reordered chain head — gets the epoch re-sent from its baseline,
+/// and at-least-once delivery stays correct because replayed rounds
+/// come back as guard duplicates.
+///
+/// When the collector's `Welcome` negotiates protocol 1 (a v2-only
+/// peer), the agent falls back to shipping each pending epoch's final
+/// full checkpoint (`fulls.last()`) as a plain `Batch` instead.
+///
+/// # Errors
+///
+/// Exhausting [`AgentConfig::max_attempts`], or a fatal handshake
+/// rejection (version/config mismatch).
+pub fn run_agent_rounds<S, C>(
+    cfg: &AgentConfig,
+    backlog: Vec<EpochFrames>,
+    connect: C,
+) -> Result<AgentReport, String>
+where
+    S: Read + Write,
+    C: FnMut(u32) -> io::Result<S>,
+{
+    let mut items = Vec::new();
+    let mut baselines = HashMap::new();
+    let mut fallback = HashMap::new();
+    for ef in backlog {
+        if let Some(first) = ef.deltas.first() {
+            baselines.insert(ef.epoch, first.clone());
+        }
+        if let Some(full) = ef.fulls.last() {
+            fallback.insert(ef.epoch, full.clone());
+        }
+        for (round, bytes) in ef.deltas.into_iter().enumerate() {
+            items.push(WireItem {
+                epoch: ef.epoch,
+                round: Some(round as u32),
+                bytes,
+            });
+        }
+    }
+    run_items(cfg, items, &baselines, &fallback, connect)
+}
+
+/// The shared retry loop beneath [`run_agent`] and [`run_agent_rounds`].
+fn run_items<S, C>(
+    cfg: &AgentConfig,
+    items: Vec<WireItem>,
+    baselines: &HashMap<u64, Vec<u8>>,
+    fallback: &HashMap<u64, Vec<u8>>,
     mut connect: C,
 ) -> Result<AgentReport, String>
 where
@@ -160,7 +252,7 @@ where
     C: FnMut(u32) -> io::Result<S>,
 {
     let mut report = AgentReport::default();
-    let mut pending = frames;
+    let mut pending = items;
     let mut attempt: u32 = 0;
     while !pending.is_empty() {
         if attempt >= cfg.max_attempts {
@@ -190,7 +282,15 @@ where
         };
         report.connections += 1;
         let stream = FaultyStream::new(stream, &byte_plan);
-        match session(cfg, &byte_plan, &mut pending, stream, &mut report) {
+        match session(
+            cfg,
+            &byte_plan,
+            &mut pending,
+            baselines,
+            fallback,
+            stream,
+            &mut report,
+        ) {
             SessionEnd::Done => break,
             SessionEnd::Retry => {}
             SessionEnd::Fatal(e) => return Err(e),
@@ -263,7 +363,9 @@ fn send<S: Read + Write>(reader: &mut FrameReader<S>, msg: &Message) -> io::Resu
 fn session<S: Read + Write>(
     cfg: &AgentConfig,
     plan: &FaultPlan,
-    pending: &mut Vec<(u64, Vec<u8>)>,
+    pending: &mut Vec<WireItem>,
+    baselines: &HashMap<u64, Vec<u8>>,
+    fallback: &HashMap<u64, Vec<u8>>,
     stream: FaultyStream<S>,
     report: &mut AgentReport,
 ) -> SessionEnd {
@@ -280,7 +382,32 @@ fn session<S: Read + Write>(
     let mut last_progress = Instant::now();
     let credits = loop {
         match reader.read_event() {
-            Ok(ReadEvent::Message(Message::Welcome { credits, .. })) => {
+            Ok(ReadEvent::Message(Message::Welcome { credits, proto, .. })) => {
+                if proto < 2 && pending.iter().any(|i| i.round.is_some()) {
+                    // The collector is v2-only: collapse each pending
+                    // epoch's delta chain into its full checkpoint. The
+                    // downgrade is sticky — items stay full frames for
+                    // every later session too.
+                    let mut fulls: Vec<WireItem> = Vec::new();
+                    for item in pending.iter() {
+                        if fulls.iter().any(|f| f.epoch == item.epoch) {
+                            continue;
+                        }
+                        let Some(bytes) = fallback.get(&item.epoch) else {
+                            return SessionEnd::Fatal(format!(
+                                "agent {} has no full-frame fallback for epoch {} \
+                                 on a protocol-{proto} session",
+                                cfg.agent_id, item.epoch
+                            ));
+                        };
+                        fulls.push(WireItem {
+                            epoch: item.epoch,
+                            round: None,
+                            bytes: bytes.clone(),
+                        });
+                    }
+                    *pending = fulls;
+                }
                 break (credits.max(1)) as usize;
             }
             Ok(ReadEvent::Message(Message::Error { code, detail, .. })) => {
@@ -308,7 +435,7 @@ fn session<S: Read + Write>(
 
     // The send queue for this session: the pending frames, mangled by
     // the plan's frame-level faults (reorder first, then duplication).
-    let mut queue: Vec<(u64, Vec<u8>)> = pending.clone();
+    let mut queue: Vec<WireItem> = pending.clone();
     if let Some(k) = plan.swap_every {
         let k = k.max(2) as usize;
         let mut i = k - 1;
@@ -339,12 +466,22 @@ fn session<S: Read + Write>(
     last_progress = Instant::now();
     loop {
         while in_flight < credits && next < queue.len() {
-            let (epoch, frame) = &queue[next];
-            let batch = Message::Batch {
-                epoch: *epoch,
-                agent: cfg.agent_id,
-                frame: frame.clone(),
+            let item = &queue[next];
+            let batch = match item.round {
+                None => Message::Batch {
+                    epoch: item.epoch,
+                    agent: cfg.agent_id,
+                    frame: item.bytes.clone(),
+                },
+                Some(round) => Message::BatchDelta {
+                    epoch: item.epoch,
+                    round,
+                    agent: cfg.agent_id,
+                    frame: item.bytes.clone(),
+                },
             };
+            report.frames_sent += 1;
+            report.bytes_on_wire += item.bytes.len() as u64;
             if send(&mut reader, &batch).is_err() {
                 return SessionEnd::Retry;
             }
@@ -362,7 +499,28 @@ fn session<S: Read + Write>(
                 if outcome == AckOutcome::Duplicate {
                     report.duplicates += 1;
                 }
-                if let Some(pos) = pending.iter().position(|(e, _)| *e == epoch) {
+                if let Some(pos) = pending
+                    .iter()
+                    .position(|i| i.round.is_none() && i.epoch == epoch)
+                {
+                    pending.remove(pos);
+                    report.frames_acked += 1;
+                }
+            }
+            Ok(ReadEvent::Message(Message::AckDelta {
+                epoch,
+                round,
+                outcome,
+            })) => {
+                last_progress = Instant::now();
+                in_flight = in_flight.saturating_sub(1);
+                if outcome == AckOutcome::Duplicate {
+                    report.duplicates += 1;
+                }
+                if let Some(pos) = pending
+                    .iter()
+                    .position(|i| i.round == Some(round) && i.epoch == epoch)
+                {
                     pending.remove(pos);
                     report.frames_acked += 1;
                 }
@@ -379,7 +537,52 @@ fn session<S: Read + Write>(
                 // ack timeout below forces a reconnect that resends it.
                 report.error_frames_seen += 1;
                 in_flight = in_flight.saturating_sub(1);
-                if let Some(item) = pending.iter().find(|(e, _)| *e == context).cloned() {
+                let hits: Vec<WireItem> = pending
+                    .iter()
+                    .filter(|i| i.epoch == context)
+                    .cloned()
+                    .collect();
+                for item in hits {
+                    if retransmit_budget == 0 {
+                        return SessionEnd::Retry;
+                    }
+                    retransmit_budget -= 1;
+                    report.retransmits += 1;
+                    queue.push(item);
+                }
+            }
+            Ok(ReadEvent::Message(Message::Error {
+                code: ErrorCode::MissingBaseline,
+                context,
+                ..
+            })) => {
+                // A delta round arrived before its epoch's baseline was
+                // absorbed (chain head reordered away, collector
+                // restarted, or the epoch's guard state expired).
+                // Resync: replay the retained round-0 baseline, then
+                // every still-pending round of that epoch. Replays the
+                // collector already absorbed come back as duplicates.
+                report.error_frames_seen += 1;
+                in_flight = in_flight.saturating_sub(1);
+                let Some(baseline) = baselines.get(&context) else {
+                    return SessionEnd::Retry;
+                };
+                if retransmit_budget == 0 {
+                    return SessionEnd::Retry;
+                }
+                retransmit_budget -= 1;
+                report.baseline_resyncs += 1;
+                queue.push(WireItem {
+                    epoch: context,
+                    round: Some(0),
+                    bytes: baseline.clone(),
+                });
+                let rounds: Vec<WireItem> = pending
+                    .iter()
+                    .filter(|i| i.epoch == context && i.round.is_some_and(|r| r > 0))
+                    .cloned()
+                    .collect();
+                for item in rounds {
                     if retransmit_budget == 0 {
                         return SessionEnd::Retry;
                     }

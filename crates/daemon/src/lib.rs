@@ -18,11 +18,13 @@
 //!   producers, typed error frames instead of connection death, a query
 //!   listener on a second port, and graceful drain with a final ring
 //!   checkpoint to disk.
-//! * [`agent`] — the node agent: ships a shard's epoch frames with a
-//!   credit window, reconnects with capped exponential backoff and
-//!   deterministic seeded jitter, resumes from the last acked epoch
-//!   (at-least-once — the collector's absorb guard makes replays
-//!   no-ops), and bounds its local backlog while the collector is away.
+//! * [`agent`] — the node agent: ships a shard's epoch frames (full v2
+//!   checkpoints or v3 delta round chains) with a credit window,
+//!   reconnects with capped exponential backoff and deterministic
+//!   seeded jitter, resumes from the last acked frame (at-least-once —
+//!   the collector's absorb guard makes replays no-ops), retains each
+//!   epoch's round-0 baseline so a `MissingBaseline` answer triggers a
+//!   resync, and bounds its local backlog while the collector is away.
 //! * [`loopback`] — the end-to-end harness: daemon + one agent per
 //!   shard on loopback TCP, used by the robustness property suites and
 //!   `bench-daemon` to lock the networked pipeline **bit-identical** to
@@ -40,6 +42,6 @@ pub mod agent;
 pub mod loopback;
 pub mod server;
 
-pub use agent::{query_once, run_agent, AgentConfig, AgentReport, Backoff};
+pub use agent::{query_once, run_agent, run_agent_rounds, AgentConfig, AgentReport, Backoff};
 pub use loopback::{run_loopback, LoopbackOutcome};
 pub use server::{Daemon, DaemonConfig, DaemonReport};

@@ -3,19 +3,21 @@
 //! produces.
 //!
 //! This is the bridge the robustness suites and `bench-daemon` stand
-//! on: [`sbitmap_stream::ShardFrameSource`] generates frames through
-//! the same code path as
-//! [`sbitmap_stream::run_windowed_pipeline`]'s workers, so after a
+//! on: [`sbitmap_stream::DeltaFrameSource`] generates each shard's v3
+//! round chains through the same code path as
+//! [`sbitmap_stream::run_windowed_pipeline_v3`]'s workers, so after a
 //! drain the daemon's ring must match the in-process collector
 //! **bit-for-bit** — estimates, fills and quantile summaries — no
 //! matter which [`FaultPlan`] mangled the transport along the way.
+//! Against a v2-only daemon ([`DaemonConfig::max_proto`] = 1) the
+//! agents negotiate down and ship each epoch's full checkpoint instead.
 
 use std::net::TcpStream;
 use std::time::Duration;
 
-use sbitmap_stream::{FaultPlan, ShardFrameSource, WindowedPipelineConfig};
+use sbitmap_stream::{DeltaFrameSource, FaultPlan, WindowedPipelineConfig};
 
-use crate::agent::{run_agent, AgentConfig, AgentReport};
+use crate::agent::{run_agent_rounds, AgentConfig, AgentReport};
 use crate::server::{Daemon, DaemonConfig, DaemonReport};
 
 /// What [`run_loopback`] returns once the daemon has drained.
@@ -63,11 +65,11 @@ pub fn run_loopback(
     // thread spawns so errors surface cleanly.
     let mut shard_frames = Vec::with_capacity(pcfg.shards);
     for shard in 0..pcfg.shards {
-        shard_frames.push(ShardFrameSource::new(pcfg, shard)?.collect_frames());
+        shard_frames.push(DeltaFrameSource::new(pcfg, shard)?.collect_epochs());
     }
 
     let mut workers = Vec::with_capacity(pcfg.shards);
-    for (shard, frames) in shard_frames.into_iter().enumerate() {
+    for (shard, backlog) in shard_frames.into_iter().enumerate() {
         let plan = plans.get(shard).cloned().unwrap_or_default();
         let acfg = AgentConfig {
             plan,
@@ -78,7 +80,7 @@ pub fn run_loopback(
             ..AgentConfig::new(shard as u64 + 1, echo)
         };
         workers.push(std::thread::spawn(move || {
-            run_agent(&acfg, frames, |_attempt| {
+            run_agent_rounds(&acfg, backlog, |_attempt| {
                 let stream = TcpStream::connect(addr)?;
                 stream.set_nodelay(true)?;
                 stream.set_read_timeout(Some(read_deadline.max(Duration::from_millis(1))))?;

@@ -36,7 +36,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sbitmap_core::codec::Checkpoint;
-use sbitmap_core::{AbsorbOutcome, FleetArena, KeyedEstimates, RateSchedule, WindowedFleet};
+use sbitmap_core::{
+    AbsorbOutcome, FleetArena, FleetDeltaFrame, KeyedEstimates, RateSchedule, SBitmapError,
+    WindowedFleet,
+};
 use sbitmap_stream::net::{
     ConfigEcho, ErrorCode, FrameReader, FrameWriter, Message, NetError, QueryReply, QueryRequest,
     ReadEvent, Role, PROTO_VERSION,
@@ -88,6 +91,11 @@ pub struct DaemonConfig {
     /// can force the bounded queue to fill and observe backpressure
     /// deterministically. Zero in production.
     pub absorb_stall: Duration,
+    /// Highest protocol version this daemon speaks — the handshake
+    /// answers `min(client, max_proto)`. Production leaves this at
+    /// [`PROTO_VERSION`]; tests pin it to 1 to exercise a v2-only
+    /// collector against delta-capable agents.
+    pub max_proto: u16,
 }
 
 impl Default for DaemonConfig {
@@ -106,6 +114,7 @@ impl Default for DaemonConfig {
             idle_limit: Duration::from_secs(10),
             checkpoint_path: None,
             absorb_stall: Duration::ZERO,
+            max_proto: PROTO_VERSION,
         }
     }
 }
@@ -122,6 +131,8 @@ struct Stats {
     handshake_rejects: AtomicU64,
     desyncs: AtomicU64,
     queries: AtomicU64,
+    bytes_on_wire: AtomicU64,
+    missing_baselines: AtomicU64,
 }
 
 /// What [`Daemon::join`] returns after a graceful drain.
@@ -152,13 +163,29 @@ pub struct DaemonReport {
     pub desyncs: u64,
     /// Query requests answered.
     pub queries: u64,
+    /// Total sketch-frame bytes received over ingest sessions (the
+    /// payload of every `Batch`/`BatchDelta`, before decoding) — the
+    /// number the v3 delta encoding exists to shrink.
+    pub bytes_on_wire: u64,
+    /// Delta frames rejected because their epoch's round-0 baseline had
+    /// not been absorbed (each one told the agent to resync).
+    pub missing_baselines: u64,
+}
+
+/// The sketch payload of one decoded ingest frame.
+enum JobPayload {
+    /// A full v2 `sketch-fleet` checkpoint.
+    Full(Box<FleetArena>),
+    /// One round of a v3 delta chain (the wire `round` is validated
+    /// against the frame before queueing).
+    Delta(FleetDeltaFrame),
 }
 
 /// One decoded batch frame queued for the absorber.
 struct Job {
     epoch: u64,
     agent: u64,
-    fleet: FleetArena,
+    payload: JobPayload,
     ack: mpsc::Sender<Message>,
 }
 
@@ -343,6 +370,8 @@ impl Daemon {
             handshake_rejects: s.handshake_rejects.load(Ordering::Relaxed),
             desyncs: s.desyncs.load(Ordering::Relaxed),
             queries: s.queries.load(Ordering::Relaxed),
+            bytes_on_wire: s.bytes_on_wire.load(Ordering::Relaxed),
+            missing_baselines: s.missing_baselines.load(Ordering::Relaxed),
         })
     }
 }
@@ -398,7 +427,11 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
                 if job.epoch > current {
                     ring.advance_to(job.epoch).expect("monotone advance");
                 }
-                match ring.absorb_epoch_from(job.agent, job.epoch, &job.fleet) {
+                let absorbed = match &job.payload {
+                    JobPayload::Full(fleet) => ring.absorb_epoch_from(job.agent, job.epoch, fleet),
+                    JobPayload::Delta(frame) => ring.absorb_delta_from(job.agent, frame),
+                };
+                match absorbed {
                     Ok(outcome) => {
                         let counter = match outcome {
                             AbsorbOutcome::Absorbed => &shared.stats.frames_absorbed,
@@ -411,9 +444,33 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
                             AbsorbOutcome::Duplicate => sbitmap_stream::net::AckOutcome::Duplicate,
                             AbsorbOutcome::Expired => sbitmap_stream::net::AckOutcome::Expired,
                         };
-                        Message::Ack {
-                            epoch: job.epoch,
-                            outcome,
+                        match &job.payload {
+                            JobPayload::Full(_) => Message::Ack {
+                                epoch: job.epoch,
+                                outcome,
+                            },
+                            JobPayload::Delta(frame) => Message::AckDelta {
+                                epoch: job.epoch,
+                                round: frame.round,
+                                outcome,
+                            },
+                        }
+                    }
+                    Err(SBitmapError::MissingBaseline { epoch, round }) => {
+                        // Not corruption: the chain head never landed
+                        // (daemon restart, expiry race). The typed error
+                        // tells the agent to resend the epoch from its
+                        // round-0 baseline.
+                        shared
+                            .stats
+                            .missing_baselines
+                            .fetch_add(1, Ordering::Relaxed);
+                        Message::Error {
+                            code: ErrorCode::MissingBaseline,
+                            context: epoch,
+                            detail: format!(
+                                "delta round {round} for epoch {epoch} has no absorbed baseline"
+                            ),
                         }
                     }
                     Err(e) => {
@@ -433,14 +490,17 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
 
 /// Read events until a `Hello` arrives (tolerating deadline ticks up to
 /// the idle limit); validate it for `want` role; send `Welcome` on
-/// success. Returns the agent id, or `None` when the session should
-/// close (the typed rejection has already been queued).
+/// success. Returns the agent id and the negotiated session protocol —
+/// `min(client, max_proto)`, so a delta-capable agent talking to a
+/// v2-only collector lands on protocol 1 and ships full frames — or
+/// `None` when the session should close (the typed rejection has
+/// already been queued).
 fn handshake(
     shared: &Shared,
     reader: &mut FrameReader<TcpStream>,
     out: &impl Fn(Message),
     want: Role,
-) -> Option<u64> {
+) -> Option<(u64, u16)> {
     let mut idle = Duration::ZERO;
     let (proto, role, agent, config) = loop {
         if shared.draining() {
@@ -496,7 +556,8 @@ fn handshake(
             Err(NetError::Io(_)) => return None,
         }
     };
-    if proto != PROTO_VERSION {
+    let session_proto = proto.min(shared.cfg.max_proto);
+    if session_proto == 0 {
         shared
             .stats
             .handshake_rejects
@@ -504,7 +565,10 @@ fn handshake(
         out(Message::Error {
             code: ErrorCode::VersionMismatch,
             context: u64::from(proto),
-            detail: format!("collector speaks protocol {PROTO_VERSION}, peer spoke {proto}"),
+            detail: format!(
+                "collector speaks protocols 1..={}, peer spoke {proto}",
+                shared.cfg.max_proto
+            ),
         });
         return None;
     }
@@ -535,11 +599,11 @@ fn handshake(
         return None;
     }
     out(Message::Welcome {
-        proto: PROTO_VERSION,
+        proto: session_proto,
         credits: shared.cfg.credits,
         config: shared.echo,
     });
-    Some(agent)
+    Some((agent, session_proto))
 }
 
 /// One ingest connection: handshake, then decode batches into absorb
@@ -570,8 +634,8 @@ fn ingest_conn(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSende
     };
 
     let mut reader = FrameReader::new(stream);
-    if let Some(agent) = handshake(shared, &mut reader, &out, Role::Ingest) {
-        ingest_session(shared, &mut reader, &out_tx, job_tx, agent);
+    if let Some((agent, proto)) = handshake(shared, &mut reader, &out, Role::Ingest) {
+        ingest_session(shared, &mut reader, &out_tx, job_tx, agent, proto);
     }
     drop(out_tx);
     let _ = writer.join();
@@ -584,7 +648,32 @@ fn ingest_session(
     out_tx: &mpsc::Sender<Message>,
     job_tx: &mpsc::SyncSender<Job>,
     agent: u64,
+    proto: u16,
 ) {
+    // Queue a decoded payload, blocking on the bounded job queue when
+    // the absorber falls behind. Returns `false` when the daemon side
+    // is gone and the session should end.
+    let enqueue = |epoch: u64, payload: JobPayload| -> bool {
+        let job = Job {
+            epoch,
+            agent,
+            payload,
+            ack: out_tx.clone(),
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => true,
+            Err(mpsc::TrySendError::Full(job)) => {
+                // The queue is the backpressure valve: block here (stop
+                // reading the socket) until the absorber catches up.
+                shared
+                    .stats
+                    .backpressure_events
+                    .fetch_add(1, Ordering::Relaxed);
+                job_tx.send(job).is_ok()
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => false,
+        }
+    };
     let mut idle = Duration::ZERO;
     loop {
         match reader.read_event() {
@@ -594,6 +683,10 @@ fn ingest_session(
                 frame,
             })) => {
                 idle = Duration::ZERO;
+                shared
+                    .stats
+                    .bytes_on_wire
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
                 // Trust the handshake identity over the per-frame echo;
                 // a mismatch is a protocol slip worth flagging.
                 if frame_agent != agent {
@@ -614,28 +707,67 @@ fn ingest_session(
                         });
                     }
                     Ok(fleet) => {
-                        let job = Job {
-                            epoch,
-                            agent,
-                            fleet,
-                            ack: out_tx.clone(),
-                        };
-                        match job_tx.try_send(job) {
-                            Ok(()) => {}
-                            Err(mpsc::TrySendError::Full(job)) => {
-                                // The queue is the backpressure valve:
-                                // block here (stop reading the socket)
-                                // until the absorber catches up.
-                                shared
-                                    .stats
-                                    .backpressure_events
-                                    .fetch_add(1, Ordering::Relaxed);
-                                if job_tx.send(job).is_err() {
-                                    return;
-                                }
-                            }
-                            Err(mpsc::TrySendError::Disconnected(_)) => return,
+                        if !enqueue(epoch, JobPayload::Full(Box::new(fleet))) {
+                            return;
                         }
+                    }
+                }
+            }
+            Ok(ReadEvent::Message(Message::BatchDelta {
+                epoch,
+                round,
+                agent: frame_agent,
+                frame,
+            })) => {
+                idle = Duration::ZERO;
+                shared
+                    .stats
+                    .bytes_on_wire
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                if proto < 2 {
+                    // The negotiated session cannot carry deltas; the
+                    // agent should have fallen back to full frames.
+                    let _ = out_tx.send(Message::Error {
+                        code: ErrorCode::Protocol,
+                        context: epoch,
+                        detail: format!("delta frame on a protocol-{proto} session"),
+                    });
+                    continue;
+                }
+                if frame_agent != agent {
+                    let _ = out_tx.send(Message::Error {
+                        code: ErrorCode::Protocol,
+                        context: epoch,
+                        detail: format!("delta from agent {frame_agent} on session {agent}"),
+                    });
+                    continue;
+                }
+                match FleetDeltaFrame::decode(&frame) {
+                    Ok(delta) if delta.epoch == epoch && delta.round == round => {
+                        if !enqueue(epoch, JobPayload::Delta(delta)) {
+                            return;
+                        }
+                    }
+                    Ok(delta) => {
+                        // The envelope must agree with the payload it
+                        // carries, or acks would name the wrong frame.
+                        shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        let _ = out_tx.send(Message::Error {
+                            code: ErrorCode::BadFrame,
+                            context: epoch,
+                            detail: format!(
+                                "envelope says epoch {epoch} round {round}, frame says epoch {} round {}",
+                                delta.epoch, delta.round
+                            ),
+                        });
+                    }
+                    Err(e) => {
+                        shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        let _ = out_tx.send(Message::Error {
+                            code: ErrorCode::BadFrame,
+                            context: epoch,
+                            detail: e.to_string(),
+                        });
                     }
                 }
             }

@@ -21,6 +21,7 @@ fn pcfg() -> WindowedPipelineConfig {
         m_bits: 2_000,
         window: 3,
         epochs: 6,
+        rounds: 2,
         seed: 7,
     }
 }
@@ -59,15 +60,32 @@ fn clean_loopback_reproduces_the_inprocess_pipeline_exactly() {
         reference.estimate_quantiles,
         "quantile summary"
     );
+    // v3 shipping: one delta frame per (shard, epoch, round), each
+    // acked exactly once. A shard racing ahead may age another shard's
+    // oldest epochs out of the window (`Expired`), which cannot affect
+    // the final-window estimates asserted above.
     assert_eq!(
-        out.report.frames_absorbed as usize,
-        pcfg.shards * pcfg.epochs
+        (out.report.frames_absorbed + out.report.expired) as usize,
+        pcfg.shards * pcfg.epochs * pcfg.rounds
     );
+    assert_eq!(out.report.duplicates, 0);
     assert_eq!(out.report.bad_frames, 0);
+    assert_eq!(out.report.missing_baselines, 0);
     assert_eq!(out.report.desyncs, 0);
+    let agent_bytes: u64 = out.agents.iter().map(|a| a.bytes_on_wire).sum();
+    assert_eq!(
+        out.report.bytes_on_wire, agent_bytes,
+        "daemon counts the bytes agents sent"
+    );
     for a in &out.agents {
         assert_eq!(a.connections, 1, "clean agents connect once");
         assert_eq!(a.dropped, 0);
+        assert_eq!(
+            a.frames_sent as usize,
+            (pcfg.epochs * pcfg.rounds),
+            "one send per (epoch, round) on a clean session"
+        );
+        assert_eq!(a.baseline_resyncs, 0);
     }
 }
 
@@ -120,6 +138,29 @@ fn every_seeded_fault_plan_converges_to_the_fault_free_state() {
         bad_frames + desyncs > 0,
         "no plan exercised corruption handling"
     );
+}
+
+#[test]
+fn reordered_chain_heads_force_baseline_resyncs_and_still_converge() {
+    let pcfg = pcfg();
+    let clean = clean_run(&pcfg);
+    // With rounds = 2, swapping every adjacent pair sends each epoch's
+    // round 1 ahead of its round-0 baseline: the collector must answer
+    // MissingBaseline, and the agent must replay the retained baseline
+    // and the orphaned round — the forced-resync path, deterministic.
+    let plans = vec![FaultPlan {
+        faulty_connections: 1,
+        swap_every: Some(2),
+        ..FaultPlan::none()
+    }];
+    let out = run_loopback(&pcfg, dcfg(), &plans).unwrap();
+    assert!(
+        out.agents[0].baseline_resyncs > 0,
+        "the reorder must trip at least one resync"
+    );
+    assert!(out.report.missing_baselines > 0);
+    assert_eq!(out.report.estimates, clean.report.estimates);
+    assert_eq!(out.report.final_checkpoint, clean.report.final_checkpoint);
 }
 
 #[test]

@@ -13,7 +13,8 @@ use sbitmap_stream::net::{
     ReadEvent, Role, PROTO_VERSION,
 };
 use sbitmap_stream::{
-    quantile_summary, run_windowed_pipeline, ShardFrameSource, WindowedPipelineConfig,
+    quantile_summary, run_windowed_pipeline, DeltaFrameSource, ShardFrameSource,
+    WindowedPipelineConfig,
 };
 
 fn pcfg() -> WindowedPipelineConfig {
@@ -24,6 +25,7 @@ fn pcfg() -> WindowedPipelineConfig {
         m_bits: 2_000,
         window: 3,
         epochs: 5,
+        rounds: 2,
         seed: 7,
     }
 }
@@ -113,7 +115,7 @@ fn handshake_rejects_wrong_version_with_typed_error() {
     let echo = daemon.config_echo();
     let mut c = Client::connect(daemon.ingest_addr());
     c.send(&Message::Hello {
-        proto: 99,
+        proto: 0,
         role: Role::Ingest,
         agent: 1,
         config: echo,
@@ -121,10 +123,24 @@ fn handshake_rejects_wrong_version_with_typed_error() {
     match c.recv() {
         Message::Error { code, context, .. } => {
             assert_eq!(code, ErrorCode::VersionMismatch);
-            assert_eq!(context, 99, "context carries the peer's version");
+            assert_eq!(context, 0, "context carries the peer's version");
         }
         other => panic!("expected VersionMismatch error, got {other:?}"),
     }
+    // A peer from the future is fine: the session settles on the
+    // highest version the daemon speaks.
+    let mut future = Client::connect(daemon.ingest_addr());
+    future.send(&Message::Hello {
+        proto: 99,
+        role: Role::Ingest,
+        agent: 2,
+        config: echo,
+    });
+    match future.recv() {
+        Message::Welcome { proto, .. } => assert_eq!(proto, PROTO_VERSION),
+        other => panic!("expected negotiated Welcome, got {other:?}"),
+    }
+    drop(future);
     // The daemon survives the rejection: a correct handshake succeeds.
     let mut ok = Client::connect(daemon.ingest_addr());
     match ok.hello(1, echo) {
@@ -158,6 +174,103 @@ fn handshake_rejects_config_mismatch() {
     drop(c);
     daemon.drain();
     assert_eq!(daemon.join().unwrap().handshake_rejects, 1);
+}
+
+#[test]
+fn v2_only_collector_negotiates_down_and_still_converges() {
+    // A daemon pinned to protocol 1 must answer `Welcome { proto: 1 }`,
+    // and delta-capable agents must fall back to shipping each epoch's
+    // full checkpoint — landing on the exact same collector state.
+    let pcfg = pcfg();
+    let reference = run_windowed_pipeline(&pcfg).unwrap();
+    let old = DaemonConfig {
+        max_proto: 1,
+        ..dcfg()
+    };
+    let out = run_loopback(&pcfg, old, &[]).unwrap();
+    let expected: Vec<(u64, f64)> = reference
+        .links
+        .iter()
+        .map(|r| (r.link as u64, r.estimate))
+        .collect();
+    assert_eq!(out.report.estimates, expected, "per-link estimates");
+    for a in &out.agents {
+        assert_eq!(
+            a.frames_sent as usize, pcfg.epochs,
+            "fallback ships one full frame per epoch, not per round"
+        );
+        assert_eq!(a.baseline_resyncs, 0);
+    }
+    assert_eq!(
+        (out.report.frames_absorbed + out.report.expired) as usize,
+        pcfg.shards * pcfg.epochs
+    );
+    assert_eq!(out.report.missing_baselines, 0);
+}
+
+#[test]
+fn delta_without_baseline_draws_typed_error_and_resync_succeeds() {
+    // The daemon-side resync contract, poked raw: a round-1 delta whose
+    // epoch has no absorbed baseline is answered with a typed
+    // `MissingBaseline` error (the connection survives), and replaying
+    // the chain from round 0 then lands every frame.
+    let one_shard = WindowedPipelineConfig {
+        shards: 1,
+        epochs: 1,
+        ..pcfg()
+    };
+    let backlog = DeltaFrameSource::new(&one_shard, 0)
+        .unwrap()
+        .collect_epochs();
+    let deltas = &backlog[0].deltas;
+    assert!(deltas.len() >= 2, "need a baseline and a follow-up round");
+
+    let daemon = Daemon::start(dcfg()).unwrap();
+    let echo = daemon.config_echo();
+    let mut c = Client::connect(daemon.ingest_addr());
+    match c.hello(1, echo) {
+        Message::Welcome { proto, .. } => assert_eq!(proto, PROTO_VERSION),
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    c.send(&Message::BatchDelta {
+        epoch: 0,
+        round: 1,
+        agent: 1,
+        frame: deltas[1].clone(),
+    });
+    match c.recv() {
+        Message::Error { code, context, .. } => {
+            assert_eq!(code, ErrorCode::MissingBaseline);
+            assert_eq!(context, 0, "context names the epoch to resync");
+        }
+        other => panic!("expected MissingBaseline error, got {other:?}"),
+    }
+    // The session survived; replay from the baseline.
+    for (round, frame) in deltas.iter().enumerate() {
+        c.send(&Message::BatchDelta {
+            epoch: 0,
+            round: round as u32,
+            agent: 1,
+            frame: frame.clone(),
+        });
+        match c.recv() {
+            Message::AckDelta {
+                epoch,
+                round: r,
+                outcome,
+            } => {
+                assert_eq!((epoch, r), (0, round as u32));
+                assert_eq!(outcome, AckOutcome::Absorbed);
+            }
+            other => panic!("round {round}: expected AckDelta, got {other:?}"),
+        }
+    }
+    drop(c);
+    daemon.drain();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.missing_baselines, 1);
+    assert_eq!(report.frames_absorbed as usize, deltas.len());
+    assert_eq!(report.bad_frames, 0, "a missing baseline is not corruption");
 }
 
 #[test]

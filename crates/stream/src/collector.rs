@@ -36,8 +36,8 @@ use std::sync::Arc;
 use sbitmap_baselines::HyperLogLog;
 use sbitmap_core::codec::Checkpoint;
 use sbitmap_core::{
-    BatchedCounter, DistinctCounter, FleetArena, KeyedEstimates, MergeableCounter, RateSchedule,
-    SBitmap, WindowedFleet,
+    AbsorbOutcome, BatchedCounter, DistinctCounter, FleetArena, FleetDeltaFrame, KeyedEstimates,
+    MergeableCounter, RateSchedule, SBitmap, WindowedFleet,
 };
 
 use crate::backbone::BackboneSnapshot;
@@ -315,6 +315,14 @@ pub struct WindowedPipelineConfig {
     /// Epochs the run simulates; the final summary covers the last
     /// `min(window, epochs)` of them.
     pub epochs: usize,
+    /// Wire rounds per epoch for the delta-coded (v3) lanes: each epoch
+    /// is shipped as one round-0 baseline plus `rounds − 1` newly-set-bit
+    /// delta frames, against an uncompressed comparator shipping one
+    /// *full* frame per round at the same cadence. Purely a wire
+    /// granularity knob — per-link sketch state and estimates are
+    /// independent of it, and [`run_windowed_pipeline`] (the legacy
+    /// one-full-frame-per-epoch lane) ignores it.
+    pub rounds: usize,
     /// Workload + sketch seed.
     pub seed: u64,
 }
@@ -328,6 +336,7 @@ impl Default for WindowedPipelineConfig {
             m_bits: 8_000,
             window: 8,
             epochs: 12,
+            rounds: 8,
             seed: 0xc011,
         }
     }
@@ -465,6 +474,174 @@ impl ShardFrameSource {
     }
 }
 
+/// One epoch's wire output from a [`DeltaFrameSource`]: the shard's
+/// per-link state coded both ways at the same `rounds`-per-epoch cadence,
+/// so the compressed and uncompressed lanes carry the *same* information
+/// and any divergence in the resulting estimates is a codec bug, not a
+/// sampling artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochFrames {
+    /// Epoch the frames describe.
+    pub epoch: u64,
+    /// One full v2 `sketch-fleet` checkpoint per round — the uncompressed
+    /// same-cadence comparator lane. Round `r` snapshots the shard after
+    /// the first `r + 1` stream chunks, so the last entry is
+    /// byte-identical to the [`ShardFrameSource`] frame for this epoch.
+    pub fulls: Vec<Vec<u8>>,
+    /// One v3 `fleet-delta` frame per round. Round 0 is the baseline
+    /// reset — a record for *every* shard link, even still-empty ones,
+    /// which is what creates the receiver slots — and later rounds carry
+    /// only links with newly-set bits since the previous round.
+    pub deltas: Vec<Vec<u8>>,
+}
+
+/// A deterministic builder of one node shard's per-epoch **round**
+/// frames: the incremental v3 `fleet-delta` chain plus the same-cadence
+/// full-frame comparator. Each epoch's per-link substream is split into
+/// `cfg.rounds` contiguous chunks; after inserting chunk `r` the source
+/// cuts one delta frame (XOR against the previous round's bitmap words —
+/// which, because bits are only ever *set* within an epoch, is exactly
+/// the newly-set bits) and one full checkpoint. Because the chunks
+/// preserve per-key insertion order, the final round's state is
+/// bit-identical to [`ShardFrameSource`]'s epoch frame, and OR-absorbing
+/// the delta chain reassembles it exactly.
+#[derive(Debug)]
+pub struct DeltaFrameSource {
+    cfg: WindowedPipelineConfig,
+    snapshot: BackboneSnapshot,
+    shard: usize,
+    fleet: FleetArena,
+    /// The shard's links, ascending — also the frame record key order.
+    links: Vec<u64>,
+    /// Per-link bitmap words as of the previous round (aligned with
+    /// `links`): the XOR baseline for the next delta.
+    prev: Vec<Vec<u64>>,
+    /// The whole epoch's flows, generated once, with per-link extents
+    /// aligned with `links`; rounds slice chunks out of it.
+    flows: Vec<u64>,
+    ranges: Vec<std::ops::Range<usize>>,
+    next_epoch: usize,
+}
+
+impl DeltaFrameSource {
+    /// Create the round-frame source for `shard` of `cfg.shards`.
+    ///
+    /// # Errors
+    ///
+    /// Zero links/shards/window/epochs/rounds, a shard index out of
+    /// range, or un-dimensionable sketch parameters.
+    pub fn new(cfg: &WindowedPipelineConfig, shard: usize) -> Result<Self, String> {
+        if cfg.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        let base = ShardFrameSource::new(cfg, shard)?;
+        let links: Vec<u64> = (shard..cfg.links)
+            .step_by(cfg.shards)
+            .map(|l| l as u64)
+            .collect();
+        let stride = base.fleet.schedule().dims().m().div_ceil(64);
+        let prev = vec![vec![0u64; stride]; links.len()];
+        Ok(Self {
+            cfg: base.cfg,
+            snapshot: base.snapshot,
+            shard,
+            fleet: base.fleet,
+            links,
+            prev,
+            flows: Vec::new(),
+            ranges: Vec::with_capacity(0),
+            next_epoch: 0,
+        })
+    }
+
+    /// The shard this source builds frames for.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Build the next epoch's round frames; `None` once every configured
+    /// epoch has been built.
+    pub fn next_frames(&mut self) -> Option<EpochFrames> {
+        if self.next_epoch >= self.cfg.epochs {
+            return None;
+        }
+        let epoch = self.next_epoch as u64;
+        let rounds = self.cfg.rounds;
+        self.fleet.clear();
+        for prev in &mut self.prev {
+            prev.fill(0);
+        }
+        // Generate each link's epoch substream exactly once — the same
+        // stream `fill_shard_epoch` feeds in one go — and remember the
+        // per-link extents so each round can take its chunk.
+        self.flows.clear();
+        self.ranges.clear();
+        for &link in &self.links {
+            let start = self.flows.len();
+            self.flows.extend(self.snapshot.link_epoch_stream(
+                link as usize,
+                epoch,
+                self.cfg.epoch_flows(self.snapshot.counts()[link as usize]),
+            ));
+            self.ranges.push(start..self.flows.len());
+        }
+        let schedule = self.fleet.schedule().clone();
+        let dims = schedule.dims();
+        let mut scratch = vec![0u64; dims.m().div_ceil(64)];
+        let mut fulls = Vec::with_capacity(rounds);
+        let mut deltas = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            for (idx, &link) in self.links.iter().enumerate() {
+                let range = &self.ranges[idx];
+                let len = range.len();
+                let lo = range.start + len * round / rounds;
+                let hi = range.start + len * (round + 1) / rounds;
+                if round == 0 {
+                    self.fleet.touch(link);
+                }
+                self.fleet.insert_u64s(link, &self.flows[lo..hi]);
+            }
+            let mut frame = FleetDeltaFrame::new(
+                dims.n_max(),
+                dims.m(),
+                schedule.split().sampling_bits(),
+                self.fleet.seed(),
+                epoch,
+                round as u32,
+            );
+            for (idx, &link) in self.links.iter().enumerate() {
+                let cur = self.fleet.slot_words(link).expect("touched at round 0");
+                let prev = &mut self.prev[idx];
+                if round == 0 || cur != prev.as_slice() {
+                    for (s, (&c, &p)) in scratch.iter_mut().zip(cur.iter().zip(prev.iter())) {
+                        *s = c ^ p;
+                    }
+                    frame.push(link, &scratch);
+                    prev.copy_from_slice(cur);
+                }
+            }
+            deltas.push(frame.encode());
+            fulls.push(self.fleet.checkpoint());
+        }
+        self.next_epoch += 1;
+        Some(EpochFrames {
+            epoch,
+            fulls,
+            deltas,
+        })
+    }
+
+    /// Build every remaining epoch's round frames at once — the backlog
+    /// a delta-capable node agent loads before dialing the collector.
+    pub fn collect_epochs(mut self) -> Vec<EpochFrames> {
+        let mut out = Vec::with_capacity(self.cfg.epochs.saturating_sub(self.next_epoch));
+        while let Some(f) = self.next_frames() {
+            out.push(f);
+        }
+        out
+    }
+}
+
 /// One per-link row of the windowed summary.
 #[derive(Debug, Clone)]
 pub struct WindowedLinkReport {
@@ -490,7 +667,9 @@ pub struct WindowedSummary {
     pub epochs: usize,
     /// Epochs contributing to the final window (`min(window, epochs)`).
     pub live_epochs: usize,
-    /// Checkpoint frames received and verified (one per shard per epoch).
+    /// Frames received and verified: one per shard per epoch for
+    /// [`run_windowed_pipeline`], one per shard per epoch per *round* for
+    /// the same-cadence runners.
     pub checkpoints: usize,
     /// Total checkpoint bytes that crossed the channel.
     pub bytes_shipped: usize,
@@ -627,6 +806,172 @@ pub fn run_windowed_pipeline(cfg: &WindowedPipelineConfig) -> Result<WindowedSum
     })
 }
 
+/// Run the windowed pipeline shipping the compressed **v3 delta lane**:
+/// each shard sends `cfg.rounds` incremental `fleet-delta` frames per
+/// epoch (round 0 = baseline reset), and the collector OR-absorbs them
+/// into the ring via [`WindowedFleet::absorb_delta_from`] — no full-frame
+/// materialization. Because bits are only ever *set* within an epoch, the
+/// absorbed chain converges to exactly the state the full-frame lanes
+/// build, so estimates and quantiles are bit-identical to
+/// [`run_windowed_pipeline`] while `bytes_shipped` counts only the delta
+/// frames.
+///
+/// # Errors
+///
+/// As [`run_windowed_pipeline`], plus zero `rounds` and any delta frame
+/// the ring rejects (duplicate, expired, or broken baseline chain —
+/// impossible on this lossless in-process channel, so an error indicates
+/// a codec bug).
+pub fn run_windowed_pipeline_v3(cfg: &WindowedPipelineConfig) -> Result<WindowedSummary, String> {
+    run_windowed_rounds(cfg, true)
+}
+
+/// Run the windowed pipeline shipping the **uncompressed same-cadence
+/// comparator lane**: one full v2 `sketch-fleet` checkpoint per round —
+/// the same update granularity as [`run_windowed_pipeline_v3`], coded
+/// without deltas. This is the honest baseline for wire-reduction
+/// claims: it ships exactly the information of the v3 lane, at the same
+/// frame cadence, so `bytes_shipped(full) / bytes_shipped(v3)` measures
+/// the coding, not a cadence difference.
+///
+/// # Errors
+///
+/// As [`run_windowed_pipeline`], plus zero `rounds`.
+pub fn run_windowed_pipeline_rounds(
+    cfg: &WindowedPipelineConfig,
+) -> Result<WindowedSummary, String> {
+    run_windowed_rounds(cfg, false)
+}
+
+/// Shared body of the two same-cadence runners: node workers drain a
+/// [`DeltaFrameSource`] each (so the bytes are exactly what a networked
+/// delta-capable agent would ship), the collector absorbs the selected
+/// lane in `(epoch, shard)` order, and only that lane's bytes count as
+/// shipped.
+fn run_windowed_rounds(
+    cfg: &WindowedPipelineConfig,
+    compressed: bool,
+) -> Result<WindowedSummary, String> {
+    if cfg.links == 0 || cfg.shards == 0 {
+        return Err("links and shards must be at least 1".into());
+    }
+    if cfg.window == 0 || cfg.epochs == 0 {
+        return Err("window and epochs must be at least 1".into());
+    }
+    if cfg.rounds == 0 {
+        return Err("rounds must be at least 1".into());
+    }
+    let schedule =
+        Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
+    let snapshot = BackboneSnapshot::with_links(cfg.links, cfg.seed);
+    let (tx, rx) = mpsc::channel::<(usize, EpochFrames)>();
+
+    std::thread::scope(|scope| -> Result<WindowedSummary, String> {
+        for shard in 0..cfg.shards {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut source =
+                    DeltaFrameSource::new(cfg, shard).expect("config validated before spawn");
+                while let Some(frames) = source.next_frames() {
+                    if tx.send((shard, frames)).is_err() {
+                        return; // collector gone; stop measuring
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut frames: Vec<(usize, EpochFrames)> = rx.iter().collect();
+        frames.sort_by_key(|(shard, f)| (f.epoch, *shard));
+        if frames.len() != cfg.epochs * cfg.shards {
+            return Err(format!(
+                "collector saw {} of {} epoch frame sets",
+                frames.len(),
+                cfg.epochs * cfg.shards
+            ));
+        }
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window)
+            .map_err(|e| e.to_string())?;
+        let mut checkpoints = 0usize;
+        let mut bytes_shipped = 0usize;
+        for (shard, ef) in &frames {
+            let epoch = ef.epoch;
+            ring.advance_to(epoch).map_err(|e| e.to_string())?;
+            if compressed {
+                for bytes in &ef.deltas {
+                    bytes_shipped += bytes.len();
+                    checkpoints += 1;
+                    let frame = FleetDeltaFrame::decode(bytes)
+                        .map_err(|e| format!("shard {shard} epoch {epoch}: {e}"))?;
+                    let round = frame.round;
+                    match ring.absorb_delta_from(*shard as u64, &frame) {
+                        Ok(AbsorbOutcome::Absorbed) => {}
+                        Ok(other) => {
+                            return Err(format!(
+                                "shard {shard} epoch {epoch} round {round}: frame {other:?} on a lossless channel"
+                            ));
+                        }
+                        Err(e) => {
+                            return Err(format!("shard {shard} epoch {epoch} round {round}: {e}"));
+                        }
+                    }
+                }
+            } else {
+                for bytes in &ef.fulls {
+                    bytes_shipped += bytes.len();
+                    checkpoints += 1;
+                    let fleet: FleetArena = Checkpoint::restore(bytes)
+                        .map_err(|e| format!("shard {shard} epoch {epoch}: {e}"))?;
+                    // Round prefixes are nested, so re-absorbing each
+                    // successive full over the previous one is a plain OR
+                    // that lands on the final round's exact state.
+                    if !ring
+                        .absorb_epoch(epoch, &fleet)
+                        .map_err(|e| format!("shard {shard} epoch {epoch}: {e}"))?
+                    {
+                        return Err(format!("shard {shard} epoch {epoch}: frame expired"));
+                    }
+                }
+            }
+        }
+
+        let live = cfg.live_epochs() as u64;
+        let links: Vec<WindowedLinkReport> = ring
+            .estimates_sorted()
+            .into_iter()
+            .map(|(key, estimate)| {
+                let link = key as usize;
+                WindowedLinkReport {
+                    link,
+                    truth: live * cfg.epoch_flows(snapshot.counts()[link]),
+                    estimate,
+                }
+            })
+            .collect();
+        if links.len() != cfg.links {
+            return Err(format!("ring holds {} of {} links", links.len(), cfg.links));
+        }
+        let mean_abs_rel_err = links
+            .iter()
+            .map(|r| (r.estimate / r.truth as f64 - 1.0).abs())
+            .sum::<f64>()
+            / links.len() as f64;
+        let mut sorted: Vec<f64> = links.iter().map(|r| r.estimate).collect();
+        let estimate_quantiles = quantile_summary(&mut sorted);
+        Ok(WindowedSummary {
+            links,
+            shards: cfg.shards,
+            window: cfg.window,
+            epochs: cfg.epochs,
+            live_epochs: cfg.live_epochs(),
+            checkpoints,
+            bytes_shipped,
+            mean_abs_rel_err,
+            estimate_quantiles,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +1070,7 @@ mod tests {
             m_bits: 4_000,
             window: 3,
             epochs: 5,
+            rounds: 3,
             seed: 7,
         }
     }
@@ -817,6 +1163,90 @@ mod tests {
         assert_eq!(quantile_summary(&mut sample), reference.estimate_quantiles);
         // Out-of-range shard is rejected.
         assert!(ShardFrameSource::new(&cfg, cfg.shards).is_err());
+    }
+
+    #[test]
+    fn delta_lane_is_bit_identical_to_both_full_lanes() {
+        // The whole point of the v3 lane: same estimates, same quantiles,
+        // fewer bytes. Any drift between lanes is a codec bug.
+        let cfg = small_windowed();
+        let legacy = run_windowed_pipeline(&cfg).unwrap();
+        let full = run_windowed_pipeline_rounds(&cfg).unwrap();
+        let v3 = run_windowed_pipeline_v3(&cfg).unwrap();
+        assert_eq!(full.links.len(), legacy.links.len());
+        assert_eq!(v3.links.len(), legacy.links.len());
+        for ((a, b), c) in legacy.links.iter().zip(&full.links).zip(&v3.links) {
+            assert_eq!(a.link, c.link);
+            assert_eq!(a.estimate, b.estimate, "full lane, link {}", a.link);
+            assert_eq!(a.estimate, c.estimate, "v3 lane, link {}", a.link);
+            assert_eq!(a.truth, c.truth, "link {}", a.link);
+        }
+        assert_eq!(legacy.estimate_quantiles, full.estimate_quantiles);
+        assert_eq!(legacy.estimate_quantiles, v3.estimate_quantiles);
+        // Same cadence on both round lanes: one frame per shard per epoch
+        // per round.
+        let expect = cfg.epochs * cfg.shards * cfg.rounds;
+        assert_eq!(full.checkpoints, expect);
+        assert_eq!(v3.checkpoints, expect);
+        assert!(
+            v3.bytes_shipped < full.bytes_shipped,
+            "delta lane shipped {} vs full lane {}",
+            v3.bytes_shipped,
+            full.bytes_shipped
+        );
+    }
+
+    #[test]
+    fn delta_frame_source_is_deterministic_and_prefixes_nest() {
+        let cfg = small_windowed();
+        for shard in 0..cfg.shards {
+            let epochs = DeltaFrameSource::new(&cfg, shard).unwrap().collect_epochs();
+            let again = DeltaFrameSource::new(&cfg, shard).unwrap().collect_epochs();
+            assert_eq!(epochs, again, "shard {shard} bytes are reproducible");
+            let legacy = ShardFrameSource::new(&cfg, shard).unwrap().collect_frames();
+            let shard_links = (shard..cfg.links).step_by(cfg.shards).count();
+            for (ef, (epoch, bytes)) in epochs.iter().zip(&legacy) {
+                assert_eq!(ef.epoch, *epoch);
+                assert_eq!(ef.fulls.len(), cfg.rounds);
+                assert_eq!(ef.deltas.len(), cfg.rounds);
+                // The last round prefix is the whole epoch, byte for byte.
+                assert_eq!(ef.fulls.last().unwrap(), bytes);
+                // Round 0 is a baseline carrying every shard link.
+                let baseline = FleetDeltaFrame::decode(&ef.deltas[0]).unwrap();
+                assert!(baseline.is_baseline());
+                assert_eq!(baseline.records.len(), shard_links);
+                for (r, delta) in ef.deltas.iter().enumerate() {
+                    let frame = FleetDeltaFrame::decode(delta).unwrap();
+                    assert_eq!(frame.epoch, *epoch);
+                    assert_eq!(frame.round, r as u32);
+                }
+            }
+        }
+        assert!(DeltaFrameSource::new(&cfg, cfg.shards).is_err());
+    }
+
+    #[test]
+    fn single_round_delta_lane_matches_legacy() {
+        // rounds = 1 degenerates to baseline-only frames: still exact.
+        let mut cfg = small_windowed();
+        cfg.rounds = 1;
+        let legacy = run_windowed_pipeline(&cfg).unwrap();
+        let v3 = run_windowed_pipeline_v3(&cfg).unwrap();
+        for (a, c) in legacy.links.iter().zip(&v3.links) {
+            assert_eq!(a.estimate, c.estimate, "link {}", a.link);
+        }
+        assert_eq!(v3.checkpoints, cfg.epochs * cfg.shards);
+    }
+
+    #[test]
+    fn round_runners_reject_zero_rounds() {
+        let mut cfg = small_windowed();
+        cfg.rounds = 0;
+        assert!(run_windowed_pipeline_v3(&cfg).is_err());
+        assert!(run_windowed_pipeline_rounds(&cfg).is_err());
+        assert!(DeltaFrameSource::new(&cfg, 0).is_err());
+        // The legacy one-frame-per-epoch runner ignores the knob.
+        assert!(run_windowed_pipeline(&cfg).is_ok());
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod worm;
 
 pub use backbone::BackboneSnapshot;
 pub use collector::{
-    quantile_summary, run_pipeline, run_windowed_pipeline, CollectSummary, LinkReport,
+    quantile_summary, run_pipeline, run_windowed_pipeline, run_windowed_pipeline_rounds,
+    run_windowed_pipeline_v3, CollectSummary, DeltaFrameSource, EpochFrames, LinkReport,
     PipelineConfig, ShardFrameSource, WindowedLinkReport, WindowedPipelineConfig, WindowedSummary,
 };
 pub use fault::{FaultPlan, FaultyStream};

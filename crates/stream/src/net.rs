@@ -36,9 +36,15 @@ use sbitmap_hash::xxh64;
 /// Frame magic: distinguishes session frames from raw v2 checkpoint
 /// frames ("SBMP") on the wire.
 pub const NET_MAGIC: [u8; 4] = *b"SBND";
-/// Protocol version spoken by this build; mismatches are rejected in the
-/// handshake with [`ErrorCode::VersionMismatch`].
-pub const PROTO_VERSION: u16 = 1;
+/// Protocol version spoken by this build. Version 2 adds the v3
+/// fleet-delta messages ([`Message::BatchDelta`] / [`Message::AckDelta`]).
+/// The handshake negotiates *down*: the daemon answers a Hello with
+/// `Welcome.proto = min(client, daemon)`, so a proto-1 peer keeps working
+/// (its session simply carries full v2 frames only, and the delta
+/// messages are a [`ErrorCode::Protocol`] error on it). Only a proto the
+/// daemon cannot speak at all (0) is rejected with
+/// [`ErrorCode::VersionMismatch`].
+pub const PROTO_VERSION: u16 = 2;
 /// Hard cap on a frame's declared payload length, enforced before any
 /// allocation. Generous: the largest legitimate payload is an epoch
 /// fleet checkpoint (~1 KiB per link at the paper's `m = 8000`).
@@ -166,6 +172,11 @@ pub enum ErrorCode {
     Protocol,
     /// An internal collector failure.
     Internal,
+    /// A delta frame arrived before its epoch's round-0 baseline (the
+    /// chain broke — e.g. the baseline expired between retransmits). The
+    /// connection survives; the agent must resend the epoch from its
+    /// baseline.
+    MissingBaseline,
 }
 
 impl ErrorCode {
@@ -179,6 +190,7 @@ impl ErrorCode {
             ErrorCode::Draining => 6,
             ErrorCode::Protocol => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::MissingBaseline => 9,
         }
     }
 
@@ -192,6 +204,7 @@ impl ErrorCode {
             6 => ErrorCode::Draining,
             7 => ErrorCode::Protocol,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::MissingBaseline,
             other => return Err(format!("unknown error code {other}")),
         })
     }
@@ -321,6 +334,27 @@ pub enum Message {
     Query(QueryRequest),
     /// Daemon → client answer.
     Reply(QueryReply),
+    /// One round of an epoch's v3 delta chain from a node agent
+    /// (proto ≥ 2 sessions only).
+    BatchDelta {
+        /// Absolute epoch the chain belongs to.
+        epoch: u64,
+        /// Round within the epoch; 0 is the baseline reset.
+        round: u32,
+        /// The shipping agent's identity.
+        agent: u64,
+        /// A complete v3 `fleet-delta` frame (tag 11).
+        frame: Vec<u8>,
+    },
+    /// Daemon → agent delta acknowledgement (proto ≥ 2 sessions only).
+    AckDelta {
+        /// The acknowledged epoch.
+        epoch: u64,
+        /// The acknowledged round.
+        round: u32,
+        /// What the collector did with the frame.
+        outcome: AckOutcome,
+    },
 }
 
 /// Internal bounds-checked little-endian slice cursor for payload
@@ -403,6 +437,8 @@ fn message_tag(msg: &Message) -> u8 {
         Message::Goodbye => 6,
         Message::Query(_) => 7,
         Message::Reply(_) => 8,
+        Message::BatchDelta { .. } => 9,
+        Message::AckDelta { .. } => 10,
     }
 }
 
@@ -485,6 +521,26 @@ fn write_payload(msg: &Message, out: &mut Vec<u8>) {
             }
             QueryReply::Draining => out.push(5),
         },
+        Message::BatchDelta {
+            epoch,
+            round,
+            agent,
+            frame,
+        } => {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&agent.to_le_bytes());
+            out.extend_from_slice(frame);
+        }
+        Message::AckDelta {
+            epoch,
+            round,
+            outcome,
+        } => {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&round.to_le_bytes());
+            out.push(outcome.to_wire());
+        }
     }
 }
 
@@ -567,6 +623,23 @@ fn read_payload(tag: u8, payload: &[u8]) -> Result<Message, String> {
             };
             Message::Reply(reply)
         }
+        9 => {
+            let epoch = r.u64()?;
+            let round = r.u32()?;
+            let agent = r.u64()?;
+            let frame = r.rest().to_vec();
+            Message::BatchDelta {
+                epoch,
+                round,
+                agent,
+                frame,
+            }
+        }
+        10 => Message::AckDelta {
+            epoch: r.u64()?,
+            round: r.u32()?,
+            outcome: AckOutcome::from_wire(r.u8()?)?,
+        },
         other => return Err(format!("unknown message type {other}")),
     };
     r.finish()?;
@@ -670,6 +743,13 @@ impl<R: Read> FrameReader<R> {
         self.inner
     }
 
+    /// Current capacity of the persistent frame buffer (test hook for
+    /// the no-per-frame-reallocation property).
+    #[cfg(test)]
+    fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     /// Read until one complete frame is buffered, then verify and decode
     /// it. See [`ReadEvent`] for the non-fatal outcomes and [`NetError`]
     /// for the fatal ones.
@@ -715,17 +795,22 @@ impl<R: Read> FrameReader<R> {
                 continue; // fall through to read the remainder
             }
             // Full frame buffered: verify, decode, reset for the next.
-            let frame = std::mem::take(&mut self.buf);
+            // The buffer is cleared in place, not replaced, so a
+            // long-lived session reuses one allocation frame after frame
+            // (its capacity is bounded by the MAX_PAYLOAD check above).
             self.need = HEADER_LEN;
-            let (body, sum) = frame.split_at(frame.len() - CHECKSUM_LEN);
+            let (body, sum) = self.buf.split_at(self.buf.len() - CHECKSUM_LEN);
             let expect = u64::from_le_bytes(sum.try_into().unwrap());
-            if xxh64(body, 0) != expect {
-                return Ok(ReadEvent::Corrupt("frame checksum mismatch".into()));
-            }
-            return Ok(match read_payload(body[4], &body[HEADER_LEN..]) {
-                Ok(msg) => ReadEvent::Message(msg),
-                Err(e) => ReadEvent::Corrupt(e),
-            });
+            let event = if xxh64(body, 0) != expect {
+                ReadEvent::Corrupt("frame checksum mismatch".into())
+            } else {
+                match read_payload(body[4], &body[HEADER_LEN..]) {
+                    Ok(msg) => ReadEvent::Message(msg),
+                    Err(e) => ReadEvent::Corrupt(e),
+                }
+            };
+            self.buf.clear();
+            return Ok(event);
         }
     }
 }
@@ -790,6 +875,22 @@ mod tests {
                 code: ErrorCode::BadFrame,
                 context: 3,
                 detail: "checksum mismatch".into(),
+            },
+            Message::Error {
+                code: ErrorCode::MissingBaseline,
+                context: 3,
+                detail: "delta round 2 before its baseline".into(),
+            },
+            Message::BatchDelta {
+                epoch: 3,
+                round: 2,
+                agent: 7,
+                frame: vec![0xca, 0xfe],
+            },
+            Message::AckDelta {
+                epoch: 3,
+                round: 2,
+                outcome: AckOutcome::Absorbed,
             },
             Message::Goodbye,
             Message::Query(QueryRequest::TopK(5)),
@@ -948,6 +1049,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn frame_buffer_is_reused_across_frames() {
+        // After the first (largest) frame sizes the buffer, later frames
+        // of at most that size must not grow it — one allocation serves
+        // the whole session.
+        let big = Message::Batch {
+            epoch: 1,
+            agent: 2,
+            frame: vec![0xab; 4096],
+        };
+        let mut wire = encode(&big);
+        for epoch in 0..50u64 {
+            wire.extend_from_slice(&encode(&Message::Ack {
+                epoch,
+                outcome: AckOutcome::Absorbed,
+            }));
+        }
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert!(matches!(
+            reader.read_event().unwrap(),
+            ReadEvent::Message(Message::Batch { .. })
+        ));
+        let cap = reader.buffer_capacity();
+        let mut acks = 0;
+        while let ReadEvent::Message(_) = reader.read_event().unwrap() {
+            acks += 1;
+            assert_eq!(reader.buffer_capacity(), cap, "no per-frame growth");
+        }
+        assert_eq!(acks, 50);
     }
 
     #[test]

@@ -178,3 +178,345 @@ fn empty_and_tiny_inputs_are_typed_errors() {
         assert!(<WindowedFleet as Checkpoint>::restore(&zeros).is_err());
     }
 }
+
+// ---------------------------------------------------------------------
+// v3 fleet-delta frames (tag 11)
+// ---------------------------------------------------------------------
+//
+// The delta decoder faces the same adversary as the checkpoint decoders
+// — plus geometry of its own: run starts/lengths, sparse position gaps,
+// and the round chain. Every structural lie must be rejected *before*
+// the O(m) work it would drive (the `MAX_WIRE_M` discipline), and a
+// delta whose baseline was never absorbed must bounce off the receiver
+// without touching the ring.
+
+use sbitmap::core::{
+    AbsorbOutcome, DeltaBody, DeltaRecord, DeltaRun, FleetDeltaFrame, SBitmapError,
+};
+
+/// `m = 130`: stride 3 with two live bits in the tail word, so the
+/// sweeps cover the tail-mask branch of the run coder.
+const DELTA_M: usize = 130;
+const DELTA_STRIDE: usize = 3;
+
+fn delta_schedule() -> Arc<RateSchedule> {
+    Arc::new(RateSchedule::from_memory(2_000, DELTA_M).unwrap())
+}
+
+/// A frame with the schedule's configuration key at (epoch 4, round).
+fn delta_frame(round: u32) -> FleetDeltaFrame {
+    let schedule = delta_schedule();
+    let dims = schedule.dims();
+    FleetDeltaFrame::new(
+        dims.n_max(),
+        dims.m(),
+        schedule.split().sampling_bits(),
+        9,
+        4,
+        round,
+    )
+}
+
+/// Golden v3 frames: a dense baseline (runs mode) and a sparse delta.
+fn golden_delta_frames() -> Vec<(&'static str, Vec<u8>)> {
+    let mut baseline = delta_frame(0);
+    // Dense enough that `from_delta_words` picks run coding, with a gap
+    // word so two runs exist, plus an untouched key (empty record).
+    baseline.push(3, &[0x00ff_ffff_ffff_ffff, 0, 0b11]);
+    baseline.push(11, &[0, 0, 0]);
+    let mut delta = delta_frame(1);
+    // Sparse: a handful of scattered bits, varint-gap coded.
+    delta.push(3, &[1 << 7, 1 << 3, 1]);
+    delta.push(11, &[0b1001, 0, 0b10]);
+    vec![("baseline", baseline.encode()), ("delta", delta.encode())]
+}
+
+#[test]
+fn v3_goldens_roundtrip_to_begin_with() {
+    for (name, bytes) in golden_delta_frames() {
+        let (version, kind) = peek_kind(&bytes).unwrap();
+        assert_eq!(version, 3, "{name}");
+        assert_eq!(kind, CounterKind::FleetDelta, "{name}");
+        let frame = FleetDeltaFrame::decode(&bytes).unwrap();
+        assert_eq!(frame.encode(), bytes, "{name}: re-encode");
+    }
+}
+
+#[test]
+fn v3_every_truncation_is_a_typed_error() {
+    for (name, bytes) in golden_delta_frames() {
+        for cut in 0..bytes.len() {
+            assert!(
+                FleetDeltaFrame::decode(&bytes[..cut]).is_err(),
+                "{name}: truncation to {cut} of {} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn v3_every_bit_flip_is_caught_by_the_checksum() {
+    for (name, bytes) in golden_delta_frames() {
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[i] ^= 1 << bit;
+                assert!(
+                    FleetDeltaFrame::decode(&evil).is_err(),
+                    "{name}: flipped bit {bit} of byte {i} decoded"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn v3_resealed_payload_mutations_never_panic() {
+    for (name, bytes) in golden_delta_frames() {
+        for i in 0..bytes.len() - 8 {
+            let patch = (mix64(0xde17a ^ i as u64) & 0xff) as u8;
+            let patch = if patch == 0 { 0x5a } else { patch };
+            let evil = reseal(&bytes, |body| body[i] ^= patch);
+            let _ = FleetDeltaFrame::decode(&evil); // must return
+        }
+        let _ = name;
+    }
+}
+
+/// Payload byte offsets inside the framed bytes (6-byte header first):
+/// `n_max` @6, `m` @14, `d` @22, `seed` @26, `epoch` @34, `round` @42,
+/// `count` @46, first record key @54, bits @62, mode @66, body @67.
+#[test]
+fn v3_header_lies_are_rejected_before_any_om_work() {
+    let (_, bytes) = &golden_delta_frames()[0];
+    // m: all-ones, one past the wire cap, and zero — all refused by the
+    // header guards before any stride math or allocation.
+    for m_lie in [u64::MAX, sbitmap::core::codec::MAX_WIRE_M as u64 + 1, 0u64] {
+        let evil = reseal(bytes, |body| {
+            body[14..22].copy_from_slice(&m_lie.to_le_bytes())
+        });
+        assert!(
+            FleetDeltaFrame::decode(&evil).is_err(),
+            "m = {m_lie} accepted"
+        );
+    }
+    // The reserved full-frame sentinel round.
+    let evil = reseal(bytes, |body| body[42..46].fill(0xff));
+    assert!(
+        FleetDeltaFrame::decode(&evil).is_err(),
+        "round u32::MAX accepted"
+    );
+    // A record count far beyond the bytes present: bounded against the
+    // payload before the record vector is allocated.
+    let evil = reseal(bytes, |body| body[46..54].fill(0xff));
+    assert!(
+        FleetDeltaFrame::decode(&evil).is_err(),
+        "all-ones record count accepted"
+    );
+    // A forged run length (first record is runs-mode: run count @67,
+    // first run start @71, len @75).
+    let evil = reseal(bytes, |body| body[75..79].fill(0xff));
+    assert!(
+        FleetDeltaFrame::decode(&evil).is_err(),
+        "all-ones run length accepted"
+    );
+    // A forged run count, bounded against the payload.
+    let evil = reseal(bytes, |body| body[67..71].fill(0xff));
+    assert!(
+        FleetDeltaFrame::decode(&evil).is_err(),
+        "all-ones run count accepted"
+    );
+    // An unknown body mode.
+    let evil = reseal(bytes, |body| body[66] = 99);
+    assert!(
+        FleetDeltaFrame::decode(&evil).is_err(),
+        "unknown body mode accepted"
+    );
+}
+
+/// Encode a frame whose records were forged by hand (encode trusts the
+/// caller; decode must not).
+fn forged(records: Vec<DeltaRecord>) -> Vec<u8> {
+    let mut frame = delta_frame(0);
+    frame.records = records;
+    frame.encode()
+}
+
+#[test]
+fn v3_forged_run_geometry_is_rejected() {
+    // Overlapping runs.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 3,
+        body: DeltaBody::Runs(vec![
+            DeltaRun {
+                start: 0,
+                words: vec![1, 1],
+            },
+            DeltaRun {
+                start: 1,
+                words: vec![1],
+            },
+        ]),
+    }]);
+    assert!(FleetDeltaFrame::decode(&bytes).is_err(), "overlapping runs");
+
+    // An empty run.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 0,
+        body: DeltaBody::Runs(vec![DeltaRun {
+            start: 0,
+            words: vec![],
+        }]),
+    }]);
+    assert!(FleetDeltaFrame::decode(&bytes).is_err(), "empty run");
+
+    // A run extending past the stride.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 2,
+        body: DeltaBody::Runs(vec![DeltaRun {
+            start: DELTA_STRIDE as u32 - 1,
+            words: vec![1, 1],
+        }]),
+    }]);
+    assert!(FleetDeltaFrame::decode(&bytes).is_err(), "run past stride");
+
+    // A tail word setting bits at or beyond m (m = 130 leaves two live
+    // bits in word 2; bit 2 of that word is bit 130 of the bitmap).
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 1,
+        body: DeltaBody::Runs(vec![DeltaRun {
+            start: 2,
+            words: vec![0b100],
+        }]),
+    }]);
+    assert!(
+        FleetDeltaFrame::decode(&bytes).is_err(),
+        "bit at m accepted"
+    );
+
+    // A bits header disagreeing with the run popcount.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 2,
+        body: DeltaBody::Runs(vec![DeltaRun {
+            start: 0,
+            words: vec![1],
+        }]),
+    }]);
+    assert!(
+        FleetDeltaFrame::decode(&bytes).is_err(),
+        "bits lie accepted"
+    );
+
+    // bits > m outright.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: DELTA_M as u32 + 1,
+        body: DeltaBody::Sparse(vec![0]),
+    }]);
+    assert!(
+        FleetDeltaFrame::decode(&bytes).is_err(),
+        "bits > m accepted"
+    );
+
+    // A sparse position at m.
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 1,
+        body: DeltaBody::Sparse(vec![DELTA_M as u32]),
+    }]);
+    assert!(FleetDeltaFrame::decode(&bytes).is_err(), "position at m");
+
+    // Duplicate sparse positions (gap 0 on the wire).
+    let bytes = forged(vec![DeltaRecord {
+        key: 3,
+        bits: 2,
+        body: DeltaBody::Sparse(vec![5, 5]),
+    }]);
+    assert!(
+        FleetDeltaFrame::decode(&bytes).is_err(),
+        "duplicate position"
+    );
+
+    // Non-ascending record keys.
+    let mut frame = delta_frame(0);
+    frame.records = vec![
+        DeltaRecord {
+            key: 9,
+            bits: 1,
+            body: DeltaBody::Sparse(vec![0]),
+        },
+        DeltaRecord {
+            key: 3,
+            bits: 1,
+            body: DeltaBody::Sparse(vec![0]),
+        },
+    ];
+    let mut w_bytes = std::panic::catch_unwind(move || frame.encode());
+    if let Ok(bytes) = &mut w_bytes {
+        // If encode ever stops asserting, decode still must reject.
+        assert!(FleetDeltaFrame::decode(bytes).is_err(), "descending keys");
+    }
+}
+
+#[test]
+fn v3_version_kind_pairings_are_enforced() {
+    let (_, bytes) = &golden_delta_frames()[0];
+    // Fleet-delta under version 2: refused at the frame layer.
+    let evil = reseal(bytes, |body| body[4] = 2);
+    assert!(codec::unframe(&evil).is_err(), "v2 fleet-delta accepted");
+    // A checkpoint kind under version 3: refused at the frame layer.
+    let (_, checkpoint) = &golden_frames()[2];
+    let evil = reseal(checkpoint, |body| body[4] = 3);
+    assert!(
+        codec::unframe(&evil).is_err(),
+        "v3 checkpoint kind accepted"
+    );
+    // A valid v2 checkpoint fed to the delta decoder: typed mismatch.
+    assert!(
+        FleetDeltaFrame::decode(checkpoint).is_err(),
+        "checkpoint decoded as a delta frame"
+    );
+}
+
+#[test]
+fn v3_delta_without_baseline_is_refused_before_touching_the_ring() {
+    let mut ring: WindowedFleet = WindowedFleet::with_schedule(delta_schedule(), 9, 2).unwrap();
+    ring.advance_to(4).unwrap();
+    let before = ring.checkpoint();
+
+    let mut orphan = delta_frame(2);
+    orphan.push(3, &[1, 0, 0]);
+    match ring.absorb_delta_from(7, &orphan) {
+        Err(SBitmapError::MissingBaseline { epoch: 4, round: 2 }) => {}
+        other => panic!("expected MissingBaseline, got {other:?}"),
+    }
+    assert_eq!(
+        ring.checkpoint(),
+        before,
+        "a refused delta must not touch the ring"
+    );
+
+    // After the baseline lands, the same frame is welcome — and the
+    // refusal did not poison the (source, round) guard.
+    let mut baseline = delta_frame(0);
+    baseline.push(3, &[0, 0, 0]);
+    assert_eq!(
+        ring.absorb_delta_from(7, &baseline).unwrap(),
+        AbsorbOutcome::Absorbed
+    );
+    assert_eq!(
+        ring.absorb_delta_from(7, &orphan).unwrap(),
+        AbsorbOutcome::Absorbed
+    );
+    assert_eq!(
+        ring.absorb_delta_from(7, &orphan).unwrap(),
+        AbsorbOutcome::Duplicate
+    );
+    assert_ne!(ring.checkpoint(), before, "the replayed delta landed");
+}

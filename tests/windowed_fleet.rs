@@ -168,6 +168,7 @@ fn windowed_collector_is_shard_count_invariant() {
             m_bits: M_BITS,
             window: 3,
             epochs: 5,
+            rounds: 2,
             seed: 7 + case,
         };
         let one = run_windowed_pipeline(&base).unwrap();
@@ -214,6 +215,7 @@ fn windowed_checkpoint_restores_after_collector_absorbs() {
         m_bits: M_BITS,
         window: 2,
         epochs: 4,
+        rounds: 2,
         seed: 11,
     };
     let a = run_windowed_pipeline(&cfg).unwrap();
