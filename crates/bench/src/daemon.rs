@@ -2,9 +2,9 @@
 //! framed ingest → bounded absorb queue → windowed ring → drain — clean
 //! and under a seeded reconnect storm.
 //!
-//! Two lanes, both timing [`sbitmap_daemon::run_loopback`] end to end
-//! (daemon start, one TCP agent per shard, drain, join), with `ns/item`
-//! measured per **epoch frame** shipped:
+//! Four lanes. The first three time [`sbitmap_daemon::run_loopback`]
+//! end to end (daemon start, one TCP agent per shard, drain, join),
+//! with `ns/item` measured per **epoch frame** shipped:
 //!
 //! * **daemon_loopback_ingest** — fault-free transport; the cost of the
 //!   networked deployment story itself (connection setup, framing,
@@ -13,6 +13,15 @@
 //!   [`FaultPlan`] (cuts, stalls, corruption, duplicates, reorders), so
 //!   the lane pays for reconnects, backoff and retransmission on top.
 //!   The ratio (`reconnect_storm_overhead`) is the recovery tax.
+//! * **daemon_journaled_ingest** — the fault-free lane with a
+//!   write-ahead journal (`data_dir` set, fresh per iteration): every
+//!   absorbed frame is encoded, checksummed and appended before its
+//!   ack. The ratio (`journal_overhead`) is the durability tax, gated
+//!   in CI via `--assert-max-journal-overhead`.
+//! * **daemon_recovery** — no agents at all: a prepared journal segment
+//!   is written to a fresh directory, and the lane times
+//!   [`Daemon::start`] + replay-to-ready + drain, `ns/item` per record
+//!   replayed — the restart-cost half of the crash-safety story.
 //!
 //! Before timing anything, [`run`] proves a clean loopback run
 //! reproduces [`run_windowed_pipeline`] exactly — per-link estimates
@@ -20,9 +29,14 @@
 //! of a divergent collector is worse than no benchmark (same policy as
 //! [`crate::window`]). Results serialize to `BENCH_daemon.json`.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use sbitmap_daemon::{run_loopback, DaemonConfig};
+use sbitmap_core::journal::{self, JournalConfig, JournalRecord};
+use sbitmap_core::{Checkpoint, FleetArena, RateSchedule};
+use sbitmap_daemon::{run_loopback, Daemon, DaemonConfig};
 use sbitmap_stream::{quantile_summary, run_windowed_pipeline, FaultPlan, WindowedPipelineConfig};
 
 use crate::harness::{Bench, Measurement};
@@ -111,6 +125,20 @@ pub fn storm_overhead(results: &[Measurement]) -> f64 {
     }
 }
 
+/// Write-ahead-journal cost relative to the clean loopback lane — the
+/// durability tax every acked frame pays. Returns `0.0` when either
+/// lane is missing.
+pub fn journal_overhead(results: &[Measurement]) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (
+        find("daemon_journaled_ingest"),
+        find("daemon_loopback_ingest"),
+    ) {
+        (Some(j), Some(c)) if c.ns_per_item() > 0.0 => j.ns_per_item() / c.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
 fn pipeline_cfg(cfg: &DaemonBenchConfig) -> WindowedPipelineConfig {
     WindowedPipelineConfig {
         links: cfg.links,
@@ -144,6 +172,49 @@ fn storm_plans(cfg: &DaemonBenchConfig) -> Vec<FaultPlan> {
         .collect()
 }
 
+/// A scratch directory unique to this process *and* call: the bench
+/// harness re-runs its closure many times, and a durable run must start
+/// on a directory with no journal history.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sbitmap-bench-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Build one journal segment image for the recovery lane — the bytes a
+/// crashed collector would have left behind: one tag-9 fleet frame per
+/// (shard, epoch), each touching every link.
+fn recovery_segment(cfg: &DaemonBenchConfig) -> (Vec<u8>, u64) {
+    let schedule = Arc::new(RateSchedule::from_memory(N_MAX, M_BITS).expect("bench schedule"));
+    let jcfg = JournalConfig {
+        n_max: N_MAX,
+        m: M_BITS as u64,
+        sampling_bits: schedule.split().sampling_bits(),
+        seed: cfg.seed,
+        window: cfg.window as u64,
+    };
+    let mut bytes = journal::encode_segment_header(&jcfg, 0);
+    let mut records = 0u64;
+    for epoch in 0..cfg.epochs as u64 {
+        for shard in 0..cfg.shards as u64 {
+            let mut fleet: FleetArena = FleetArena::with_schedule(schedule.clone(), cfg.seed);
+            for link in 0..cfg.links as u64 {
+                fleet.touch(link);
+                for item in 0..32u64 {
+                    fleet.insert_u64(link, (epoch << 40) ^ (shard << 32) ^ (link << 8) ^ item);
+                }
+            }
+            bytes.extend_from_slice(&journal::encode_record(&JournalRecord {
+                source: shard + 1,
+                epoch,
+                payload: fleet.checkpoint(),
+            }));
+            records += 1;
+        }
+    }
+    (bytes, records)
+}
+
 /// Run the daemon loopback comparison.
 ///
 /// # Panics
@@ -175,6 +246,42 @@ pub fn run(cfg: &DaemonBenchConfig) -> DaemonRun {
     results.push(bench.run("daemon_reconnect_storm", frames, || {
         let out = run_loopback(&pcfg, daemon_cfg(), &plans).expect("storm loopback run");
         out.report.frames_absorbed as usize
+    }));
+    results.push(bench.run("daemon_journaled_ingest", frames, || {
+        let dir = scratch_dir("journal");
+        let dcfg = DaemonConfig {
+            data_dir: Some(dir.clone()),
+            ..daemon_cfg()
+        };
+        let out = run_loopback(&pcfg, dcfg, &[]).expect("journaled loopback run");
+        let _ = std::fs::remove_dir_all(&dir);
+        out.report.frames_absorbed as usize
+    }));
+    let (segment, records) = recovery_segment(cfg);
+    results.push(bench.run("daemon_recovery", records, || {
+        let dir = scratch_dir("recovery");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(journal::segment_path(&dir, 0), &segment).expect("write segment");
+        let dcfg = DaemonConfig {
+            n_max: N_MAX,
+            m_bits: M_BITS,
+            seed: cfg.seed,
+            window: cfg.window,
+            data_dir: Some(dir.clone()),
+            ..daemon_cfg()
+        };
+        let daemon = Daemon::start(dcfg).expect("recovery start");
+        while daemon.is_recovering() {
+            std::thread::yield_now();
+        }
+        daemon.drain();
+        let report = daemon.join().expect("recovery join");
+        assert_eq!(
+            report.replayed_records, records,
+            "every prepared record must replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        report.replayed_records as usize
     }));
 
     DaemonRun {
@@ -232,6 +339,10 @@ pub fn report_json(cfg: &DaemonBenchConfig, run: &DaemonRun) -> String {
                 "reconnect_storm_overhead",
                 format!("{:.3}", storm_overhead(&run.results)),
             ),
+            (
+                "journal_overhead",
+                format!("{:.3}", journal_overhead(&run.results)),
+            ),
             ("strategies_agree", run.strategies_agree.to_string()),
         ],
         &run.results,
@@ -256,15 +367,22 @@ mod tests {
         let run = run(&cfg);
         assert!(run.strategies_agree);
         let names: Vec<&str> = run.results.iter().map(|m| m.name.as_str()).collect();
-        for expect in ["daemon_loopback_ingest", "daemon_reconnect_storm"] {
+        for expect in [
+            "daemon_loopback_ingest",
+            "daemon_reconnect_storm",
+            "daemon_journaled_ingest",
+            "daemon_recovery",
+        ] {
             assert!(names.contains(&expect), "missing lane {expect}");
         }
         assert!(storm_overhead(&run.results) > 0.0);
+        assert!(journal_overhead(&run.results) > 0.0);
         assert!(run.bytes_on_wire > 0, "wire counter must be surfaced");
         assert_eq!(run.frames_sent, 12, "shards × epochs × rounds clean sends");
         let json = report_json(&cfg, &run);
         assert!(json.contains("\"bench\": \"daemon\""));
         assert!(json.contains("reconnect_storm_overhead"));
+        assert!(json.contains("journal_overhead"));
         assert!(json.contains("\"frames_per_run\": 12"));
         assert!(json.contains("\"bytes_on_wire\""));
         assert!(json.contains("\"strategies_agree\": \"true\""));

@@ -55,6 +55,14 @@ pub struct Options {
     /// query is at least this many times faster than the in-run naive
     /// three-pass reference lane.
     pub assert_min_query_speedup: Option<f64>,
+    /// Durability directory for `serve` (empty disables journaling).
+    pub data_dir: String,
+    /// Snapshot cadence in absorbed frames for `serve` (0 disables
+    /// periodic snapshots; the journal still covers every frame).
+    pub snapshot_every: u64,
+    /// `bench-daemon` regression gate: fail if the journaled loopback
+    /// lane costs more than this many times the clean loopback lane.
+    pub assert_max_journal_overhead: Option<f64>,
     /// Collector address (`HOST:PORT`) for `agent` / `query`.
     pub connect: String,
     /// Ingest listener address for `serve`.
@@ -103,6 +111,9 @@ impl Options {
             assert_min_wire_reduction: None,
             assert_max_overhead: None,
             assert_min_query_speedup: None,
+            data_dir: String::new(),
+            snapshot_every: 1_024,
+            assert_max_journal_overhead: None,
             connect: String::new(),
             listen: "127.0.0.1:7171".to_string(),
             query_listen: "127.0.0.1:7172".to_string(),
@@ -249,6 +260,27 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     ));
                 }
                 opts.assert_min_query_speedup = Some(v);
+                i += 2;
+            }
+            "--data-dir" => {
+                opts.data_dir = value(i)?.to_string();
+                i += 2;
+            }
+            "--snapshot-every" => {
+                opts.snapshot_every =
+                    parse_num(value(i)?).map_err(|e| format!("--snapshot-every: {e}"))?;
+                i += 2;
+            }
+            "--assert-max-journal-overhead" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-max-journal-overhead: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "--assert-max-journal-overhead must be positive, got {v}"
+                    ));
+                }
+                opts.assert_max_journal_overhead = Some(v);
                 i += 2;
             }
             "--connect" => {
@@ -460,6 +492,31 @@ mod tests {
         assert!(parse(&args("--rounds 0")).is_err());
         assert!(parse(&args("--assert-min-wire-reduction 0")).is_err());
         assert!(parse(&args("--assert-min-wire-reduction nah")).is_err());
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let o = parse(&args(
+            "--data-dir /var/lib/sbitmapd --snapshot-every 64 \
+             --assert-max-journal-overhead 1.25",
+        ))
+        .unwrap();
+        assert_eq!(o.data_dir, "/var/lib/sbitmapd");
+        assert_eq!(o.snapshot_every, 64);
+        assert_eq!(o.assert_max_journal_overhead, Some(1.25));
+        let d = parse(&[]).unwrap();
+        assert!(d.data_dir.is_empty());
+        assert_eq!(d.snapshot_every, 1_024);
+        assert_eq!(d.assert_max_journal_overhead, None);
+        // 0 is legal for --snapshot-every: it disables snapshots while
+        // keeping the journal.
+        assert_eq!(
+            parse(&args("--snapshot-every 0")).unwrap().snapshot_every,
+            0
+        );
+        assert!(parse(&args("--assert-max-journal-overhead 0")).is_err());
+        assert!(parse(&args("--assert-max-journal-overhead nah")).is_err());
+        assert!(parse(&args("--data-dir")).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use sbitmap_baselines::{
 };
 use sbitmap_bench::harness::Measurement;
 use sbitmap_core::codec::{peek_kind, Checkpoint, CounterKind, FleetDeltaFrame};
+use sbitmap_core::journal::{self, JournalConfig};
 use sbitmap_core::{
     simulate, Dimensioning, DistinctCounter, MergeableCounter, RateSchedule, SBitmap,
 };
@@ -69,6 +70,14 @@ commands:
              flags: --listen ADDR --query-listen ADDR --window W
                     --seed S --credits C --deadline-ms MS
                     --out CKPT_PATH (final ring checkpoint on drain)
+                    --data-dir DIR (write-ahead journal + snapshots; on
+                      restart the ring recovers to the last acked frame)
+                    --snapshot-every N (frames between snapshots,
+                      default 1024; 0 keeps the journal only)
+  recover    inspect a `serve --data-dir` directory without starting a
+             daemon: snapshot state, journal segments, record counts and
+             any torn tail a crash left behind
+             usage: recover DIR
   agent      build one node shard's epoch frames (byte-identical to the
              in-process pipeline's) and deliver them to a collector over
              TCP, reconnecting with backed-off retries until every frame
@@ -108,11 +117,14 @@ commands:
                       query ≥ X times the naive reference lane)
   bench-daemon
              time the full loopback daemon pipeline (TCP agents → framed
-             ingest → bounded absorb → drain), fault-free and under a
-             seeded reconnect storm, and write a JSON report
+             ingest → bounded absorb → drain) fault-free, under a seeded
+             reconnect storm, with the write-ahead journal on, and
+             through a snapshot+replay recovery, and write a JSON report
              flags: --links L --shards K --window W --epochs E
                     --budget-ms MS --seed S
                     --out PATH (default BENCH_daemon.json)
+                    --assert-max-journal-overhead X (fail if journaled
+                      ingest > X·clean loopback)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -129,10 +141,10 @@ pub fn dispatch(
 ) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or("missing command")?;
     let opts = parse(rest)?;
-    // Only restore/merge (file paths) and query (the request kind) take
-    // positional arguments; a stray token anywhere else is a usage
+    // Only restore/merge/recover (paths) and query (the request kind)
+    // take positional arguments; a stray token anywhere else is a usage
     // error, not something to silently ignore.
-    if !matches!(command.as_str(), "restore" | "merge" | "query") {
+    if !matches!(command.as_str(), "restore" | "merge" | "query" | "recover") {
         if let Some(stray) = opts.paths.first() {
             return Err(format!("unexpected argument `{stray}` for `{command}`"));
         }
@@ -148,6 +160,7 @@ pub fn dispatch(
         "collect" => collect_cmd(&opts, out),
         "window" => window_cmd(&opts, out),
         "serve" => serve_cmd(&opts, input, out),
+        "recover" => recover_cmd(&opts, out),
         "agent" => agent_cmd(&opts, out),
         "query" => query_cmd(&opts, out),
         "bench-ingest" => bench_ingest(&opts, out),
@@ -734,6 +747,8 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         credits: opts.credits.max(1),
         read_deadline: Duration::from_millis(opts.deadline_ms.max(1)),
         checkpoint_path: (!opts.out.is_empty()).then(|| PathBuf::from(&opts.out)),
+        data_dir: (!opts.data_dir.is_empty()).then(|| PathBuf::from(&opts.data_dir)),
+        snapshot_every: opts.snapshot_every,
         ..DaemonConfig::default()
     };
     let daemon = Daemon::start(cfg)?;
@@ -750,6 +765,29 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         opts.credits.max(1)
     )
     .map_err(io_err)?;
+    if !opts.data_dir.is_empty() {
+        writeln!(
+            out,
+            "durable: journal + snapshots in {} ({})",
+            opts.data_dir,
+            if opts.snapshot_every == 0 {
+                "journal only, no periodic snapshots".to_string()
+            } else {
+                format!("snapshot every {} frames", opts.snapshot_every)
+            }
+        )
+        .map_err(io_err)?;
+        // Ingest handshakes answer `Recovering` until the replay is
+        // done; tell the operator when the ring is actually live.
+        if daemon.is_recovering() {
+            writeln!(out, "recovering: replaying the journal...").map_err(io_err)?;
+            out.flush().map_err(io_err)?;
+            while daemon.is_recovering() {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            writeln!(out, "recovery complete, accepting agents").map_err(io_err)?;
+        }
+    }
     out.flush().map_err(io_err)?;
     // Operator control: a `drain` line stops the daemon; EOF leaves it
     // serving until a remote `query drain` flips the flag.
@@ -784,14 +822,28 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
     .map_err(io_err)?;
     writeln!(
         out,
-        "{} bad frames, {} desyncs, {} handshake rejects, {} backpressure stalls, {} queries",
+        "{} bad frames, {} desyncs, {} handshake rejects, {} backpressure stalls, \
+         {} busy sheds, {} queries",
         report.bad_frames,
         report.desyncs,
         report.handshake_rejects,
         report.backpressure_events,
+        report.busy_rejections,
         report.queries
     )
     .map_err(io_err)?;
+    if !opts.data_dir.is_empty() {
+        writeln!(
+            out,
+            "journal: {} records appended, {} snapshots; startup recovery replayed \
+             {} records ({} skipped)",
+            report.journal_records,
+            report.snapshots,
+            report.replayed_records,
+            report.replay_skipped
+        )
+        .map_err(io_err)?;
+    }
     writeln!(
         out,
         "{} sketch bytes on the wire, {} baseline resyncs served",
@@ -807,6 +859,117 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         )
         .map_err(io_err)?;
     }
+    Ok(())
+}
+
+/// Read-only inspection of a `serve --data-dir` directory: what a
+/// restart would recover, and what a crash left behind. Never starts a
+/// daemon and never writes — safe to run against a live collector's
+/// directory (it may observe a segment mid-rotation, nothing worse).
+fn recover_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let [dir] = opts.paths.as_slice() else {
+        return Err("recover needs exactly one data directory".into());
+    };
+    let dir = std::path::Path::new(dir);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    writeln!(out, "recover: inspecting {}", dir.display()).map_err(io_err)?;
+
+    let snapshot = journal::read_snapshot(dir).map_err(|e| e.to_string())?;
+    match &snapshot {
+        Some(bytes) => {
+            let ring: sbitmap_core::WindowedFleet =
+                Checkpoint::restore(bytes).map_err(|e| format!("snapshot: {e}"))?;
+            writeln!(
+                out,
+                "snapshot: {} bytes, {} keys over {} live of {} epochs (open epoch {})",
+                bytes.len(),
+                ring.len(),
+                ring.live_epochs(),
+                ring.window_epochs(),
+                ring.current_epoch()
+            )
+            .map_err(io_err)?;
+        }
+        None => writeln!(out, "snapshot: none").map_err(io_err)?,
+    }
+
+    // Segments oldest first. A torn tail inside a segment ends its
+    // replayable prefix; an unreadable header is fatal except on the
+    // newest segment, where it is the normal residue of a crash during
+    // rotation (recovery skips it the same way).
+    let segments = journal::list_segments(dir).map_err(|e| e.to_string())?;
+    let mut records = 0usize;
+    let mut torn_bytes = 0usize;
+    let mut config: Option<JournalConfig> = None;
+    let newest = segments.len().saturating_sub(1);
+    for (i, (seq, path)) in segments.iter().enumerate() {
+        match journal::read_segment(path) {
+            Ok(scan) => {
+                let span = match (
+                    scan.records.iter().map(|r| r.epoch).min(),
+                    scan.records.iter().map(|r| r.epoch).max(),
+                ) {
+                    (Some(lo), Some(hi)) => format!("epochs {lo}..={hi}"),
+                    _ => "empty".to_string(),
+                };
+                let torn = if scan.trailing_discarded > 0 {
+                    format!(", torn tail: {} bytes discarded", scan.trailing_discarded)
+                } else {
+                    String::new()
+                };
+                writeln!(
+                    out,
+                    "segment {seq:016x}: {} records ({span}){torn}",
+                    scan.records.len()
+                )
+                .map_err(io_err)?;
+                records += scan.records.len();
+                torn_bytes += scan.trailing_discarded;
+                if let Some(prev) = &config {
+                    if *prev != scan.config {
+                        return Err(format!(
+                            "segment {seq:016x} was written under a different \
+                             configuration than its predecessors — recovery would refuse \
+                             this directory"
+                        ));
+                    }
+                }
+                config = Some(scan.config);
+            }
+            Err(e) if i == newest => {
+                writeln!(
+                    out,
+                    "segment {seq:016x}: unreadable header ({e}) — crash during \
+                     rotation; recovery skips it"
+                )
+                .map_err(io_err)?;
+            }
+            Err(e) => return Err(format!("segment {seq:016x}: {e}")),
+        }
+    }
+    if let Some(cfg) = &config {
+        writeln!(
+            out,
+            "journal config: N = {}, m = {} bits, sampling bits {}, seed {}, window {}",
+            cfg.n_max, cfg.m, cfg.sampling_bits, cfg.seed, cfg.window
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "total: {} segments, {} replayable records, {} torn bytes{}",
+        segments.len(),
+        records,
+        torn_bytes,
+        if snapshot.is_none() && segments.is_empty() {
+            " (nothing to recover)"
+        } else {
+            ""
+        }
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
@@ -966,6 +1129,8 @@ fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     }
     let overhead = sbitmap_bench::daemon::storm_overhead(&run.results);
     writeln!(out, "reconnect storm vs clean loopback: {overhead:.2}x").map_err(io_err)?;
+    let journal_tax = sbitmap_bench::daemon::journal_overhead(&run.results);
+    writeln!(out, "journaled ingest vs clean loopback: {journal_tax:.2}x").map_err(io_err)?;
     let json = sbitmap_bench::daemon::report_json(&cfg, &run);
     let path = if opts.out.is_empty() {
         "BENCH_daemon.json"
@@ -974,6 +1139,15 @@ fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     };
     std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     writeln!(out, "wrote {path}").map_err(io_err)?;
+    if let Some(max) = opts.assert_max_journal_overhead {
+        if journal_tax > max {
+            return Err(format!(
+                "regression: journaled loopback ingest costs {journal_tax:.3}x the \
+                 clean lane, above the allowed {max}x"
+            ));
+        }
+        writeln!(out, "journal gate passed: {journal_tax:.2}x <= {max}x").map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -1657,6 +1831,117 @@ mod tests {
     }
 
     #[test]
+    fn durable_serve_journals_restores_and_recover_inspects() {
+        let dir = tmp("durable_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let pcfg = WindowedPipelineConfig {
+            links: 6,
+            shards: 2,
+            window: 2,
+            epochs: 3,
+            seed: 5,
+            ..WindowedPipelineConfig::default()
+        };
+        let daemon = Daemon::start(DaemonConfig {
+            n_max: pcfg.n_max,
+            m_bits: pcfg.m_bits,
+            seed: pcfg.seed,
+            window: pcfg.window,
+            data_dir: Some(dir.clone()),
+            snapshot_every: 4,
+            read_deadline: Duration::from_millis(10),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let ingest = daemon.ingest_addr();
+        let query = daemon.query_addr();
+        let flags = "--links 6 --shards 2 --window 2 --epochs 3 --rounds 2 --seed 5 \
+                     --deadline-ms 20";
+        for shard in 0..2 {
+            run(
+                &format!("agent --connect {ingest} {flags} --shard {shard}"),
+                "",
+            )
+            .unwrap();
+        }
+        run(
+            &format!("query drain --connect {query} --deadline-ms 20"),
+            "",
+        )
+        .unwrap();
+        let report = daemon.join().unwrap();
+        assert!(
+            report.journal_records > 0,
+            "acked frames must hit the journal"
+        );
+
+        // The inspection tool sees the post-drain state: a final
+        // snapshot, no segments left to replay.
+        let out = run(&format!("recover {}", dir.display()), "").unwrap();
+        assert!(out.contains("snapshot: "), "{out}");
+        assert!(
+            out.contains("total: 0 segments, 0 replayable records"),
+            "{out}"
+        );
+
+        // A restart on the same directory restores the ring from the
+        // snapshot: the drained report still knows all 6 links.
+        let out = run(
+            &format!(
+                "serve --listen 127.0.0.1:0 --query-listen 127.0.0.1:0 \
+                 --links 6 --shards 2 --window 2 --seed 5 --data-dir {}",
+                dir.display()
+            ),
+            "drain\n",
+        )
+        .unwrap();
+        assert!(out.contains("durable: journal + snapshots in"), "{out}");
+        assert!(out.contains("6 keys"), "{out}");
+        assert!(out.contains("journal: 0 records appended"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_reports_segments_and_torn_tails() {
+        use sbitmap_core::journal::{JournalRecord, JournalWriter};
+        let dir = tmp("recover_torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jcfg = JournalConfig {
+            n_max: 10_000,
+            m: 1_200,
+            sampling_bits: 3,
+            seed: 2,
+            window: 2,
+        };
+        let rec = |source, epoch| JournalRecord {
+            source,
+            epoch,
+            payload: vec![0xab; 64],
+        };
+        let mut w = JournalWriter::create(&dir, &jcfg, 0, false).unwrap();
+        w.append(&rec(1, 0)).unwrap();
+        w.append(&rec(2, 1)).unwrap();
+        // Half a record: the torn tail a crash mid-append leaves.
+        let torn = journal::encode_record(&rec(3, 1));
+        w.append_bytes(&torn[..torn.len() / 2]).unwrap();
+        drop(w);
+        let out = run(&format!("recover {}", dir.display()), "").unwrap();
+        assert!(out.contains("snapshot: none"), "{out}");
+        assert!(out.contains("2 records (epochs 0..=1)"), "{out}");
+        assert!(out.contains("torn tail: "), "{out}");
+        assert!(out.contains("journal config: N = 10000"), "{out}");
+        assert!(
+            out.contains("total: 1 segments, 2 replayable records"),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        // Bad usage fires before any filesystem reads.
+        assert!(run("recover", "").is_err());
+        assert!(run("recover /definitely/not/a/dir", "").is_err());
+    }
+
+    #[test]
     fn agent_and_query_reject_bad_usage() {
         // Every rejection here must fire before any network I/O.
         let err = run("agent --links 4 --shards 2", "").unwrap_err();
@@ -1678,17 +1963,30 @@ mod tests {
         let path = tmp("bench_daemon.json");
         let argv = format!(
             "bench-daemon --links 8 --shards 2 --window 2 --epochs 3 --budget-ms 1 \
-             --out {}",
+             --assert-max-journal-overhead 1e9 --out {}",
             path.display()
         );
         let out = run(&argv, "").unwrap();
         assert!(out.contains("daemon_loopback_ingest"), "{out}");
         assert!(out.contains("daemon_reconnect_storm"), "{out}");
+        assert!(out.contains("daemon_journaled_ingest"), "{out}");
+        assert!(out.contains("daemon_recovery"), "{out}");
         assert!(out.contains("reconnect storm vs clean loopback"), "{out}");
+        assert!(out.contains("journaled ingest vs clean loopback"), "{out}");
+        assert!(out.contains("journal gate passed"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"bench\": \"daemon\""));
         assert!(json.contains("reconnect_storm_overhead"));
+        assert!(json.contains("journal_overhead"));
         assert!(json.contains("\"strategies_agree\": \"true\""));
+        // An impossible gate must fail loudly.
+        let argv = format!(
+            "bench-daemon --links 8 --shards 2 --window 2 --epochs 3 --budget-ms 1 \
+             --assert-max-journal-overhead 1e-9 --out {}",
+            path.display()
+        );
+        let err = run(&argv, "").unwrap_err();
+        assert!(err.contains("regression"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -26,6 +26,16 @@ pub enum SBitmapError {
         /// Round index of the rejected delta frame (always > 0).
         round: u32,
     },
+    /// An epoch slot's absorb guard is full: too many distinct
+    /// `(source, round)` pairs were recorded for one epoch. Raised
+    /// instead of growing the guard without bound when peers churn
+    /// through source ids; the frame is rejected, the ring untouched.
+    GuardFull {
+        /// Absolute epoch whose guard hit the cap.
+        epoch: u64,
+        /// The per-slot entry cap that was reached.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for SBitmapError {
@@ -39,6 +49,11 @@ impl std::fmt::Display for SBitmapError {
                 f,
                 "missing baseline: delta round {round} for epoch {epoch} \
                  arrived before its round-0 baseline"
+            ),
+            SBitmapError::GuardFull { epoch, cap } => write!(
+                f,
+                "absorb guard full: epoch {epoch} already tracks {cap} \
+                 (source, round) entries; frame rejected"
             ),
         }
     }

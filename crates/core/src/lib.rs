@@ -31,6 +31,7 @@
 //! | [`window`] | §7.1–7.2 | sliding-window distinct counting: a ring of epoch arenas on the [`window::EpochClock`] |
 //! | [`sync`] | — | cloneable locked handle for multi-threaded feeds |
 //! | [`codec`] | — | dependency-free versioned binary checkpoints: the [`Checkpoint`] trait and the tagged v2 wire format |
+//! | [`journal`] | §7.2 | write-ahead delta journal + atomic snapshots: the durability substrate of the collector daemon |
 //!
 //! ## Quick start
 //!
@@ -60,6 +61,7 @@ pub mod dimensioning;
 mod error;
 pub mod estimator;
 pub mod fleet;
+pub mod journal;
 pub mod parallel;
 pub mod rotating;
 pub mod schedule;
@@ -76,6 +78,7 @@ pub use counter::{BatchedCounter, DistinctCounter, KeyedEstimates, MergeableCoun
 pub use dimensioning::Dimensioning;
 pub use error::SBitmapError;
 pub use fleet::SketchFleet;
+pub use journal::{JournalConfig, JournalError, JournalRecord, JournalWriter, SegmentScan};
 pub use parallel::ParallelFleet;
 pub use rotating::RotatingCounter;
 pub use schedule::RateSchedule;

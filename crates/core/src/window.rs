@@ -263,6 +263,17 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
     /// `docs/wire-format.md` (tag 10).
     pub const MAX_WIRE_WINDOW: usize = 1 << 16;
 
+    /// Most `(source, round)` entries one epoch slot's absorb guard may
+    /// hold. The guard exists to shortcut replays, but a peer that
+    /// churns through source ids within one epoch would otherwise grow
+    /// it without bound — a memory DoS on a long-lived collector. Once
+    /// a slot reaches the cap, further frames from *new* guard
+    /// identities are rejected with [`SBitmapError::GuardFull`] (the
+    /// ring untouched); already-tracked identities keep working. 65536
+    /// entries is far beyond any real agent fleet's `sources × rounds`
+    /// per epoch.
+    pub const MAX_GUARD_ENTRIES_PER_SLOT: usize = 1 << 16;
+
     /// Create a windowed fleet for cardinalities in `[1, n_max]` with
     /// `m` bits per key per epoch and a window of `window` epochs.
     ///
@@ -811,14 +822,30 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         let Some(slot) = self.live_slot(epoch) else {
             return Ok(AbsorbOutcome::Expired);
         };
-        if !self.seen[slot].insert((source, FULL_FRAME_ROUND)) {
+        if self.seen[slot].contains(&(source, FULL_FRAME_ROUND)) {
             return Ok(AbsorbOutcome::Duplicate);
         }
+        self.check_guard_capacity(slot, epoch)?;
+        self.seen[slot].insert((source, FULL_FRAME_ROUND));
         if let Err(e) = self.ring[slot].union_from(other) {
             self.seen[slot].remove(&(source, FULL_FRAME_ROUND));
             return Err(e);
         }
         Ok(AbsorbOutcome::Absorbed)
+    }
+
+    /// Reject a *new* guard identity once `slot`'s guard is at
+    /// [`WindowedFleet::MAX_GUARD_ENTRIES_PER_SLOT`] — before any O(m)
+    /// absorb work, so a rejected frame provably leaves the ring
+    /// untouched.
+    fn check_guard_capacity(&self, slot: usize, epoch: u64) -> Result<(), SBitmapError> {
+        if self.seen[slot].len() >= Self::MAX_GUARD_ENTRIES_PER_SLOT {
+            return Err(SBitmapError::GuardFull {
+                epoch,
+                cap: Self::MAX_GUARD_ENTRIES_PER_SLOT,
+            });
+        }
+        Ok(())
     }
 
     /// Absorb a wire-v3 [`FleetDeltaFrame`] incrementally into the ring:
@@ -850,6 +877,41 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         &mut self,
         source: u64,
         frame: &FleetDeltaFrame,
+    ) -> Result<AbsorbOutcome, SBitmapError> {
+        self.absorb_delta_inner(source, frame, true)
+    }
+
+    /// [`WindowedFleet::absorb_delta_from`] minus the baseline
+    /// requirement — the journal-replay entry point.
+    ///
+    /// A write-ahead journal only records frames *after* they were
+    /// absorbed, so every journaled round > 0 had its baseline absorbed
+    /// first; but a ring restored from a snapshot has an empty guard,
+    /// and the baseline's journal record may live in a segment the
+    /// snapshot already covered (truncated away). Re-checking the
+    /// baseline at replay would therefore reject causally-valid
+    /// records. Replay skips the check — safe because OR-absorption is
+    /// idempotent and commutative — while still recording `(source,
+    /// round)` in the guard, so post-recovery live traffic dedupes
+    /// against everything the replay restored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WindowedFleet::absorb_delta_from`], except
+    /// [`SBitmapError::MissingBaseline`] is never raised.
+    pub fn absorb_delta_replay(
+        &mut self,
+        source: u64,
+        frame: &FleetDeltaFrame,
+    ) -> Result<AbsorbOutcome, SBitmapError> {
+        self.absorb_delta_inner(source, frame, false)
+    }
+
+    fn absorb_delta_inner(
+        &mut self,
+        source: u64,
+        frame: &FleetDeltaFrame,
+        require_baseline: bool,
     ) -> Result<AbsorbOutcome, SBitmapError> {
         let schedule = self.schedule();
         let dims = schedule.dims();
@@ -884,12 +946,13 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         if self.seen[slot].contains(&(source, frame.round)) {
             return Ok(AbsorbOutcome::Duplicate);
         }
-        if frame.round != 0 && !self.seen[slot].contains(&(source, 0)) {
+        if require_baseline && frame.round != 0 && !self.seen[slot].contains(&(source, 0)) {
             return Err(SBitmapError::MissingBaseline {
                 epoch: frame.epoch,
                 round: frame.round,
             });
         }
+        self.check_guard_capacity(slot, frame.epoch)?;
         for rec in &frame.records {
             self.ring[slot].or_apply_delta(rec.key, &rec.body);
         }
@@ -1442,6 +1505,104 @@ mod tests {
         let mut alien = base.clone();
         alien.m = 8_000;
         assert!(ring.absorb_delta_from(7, &alien).is_err());
+    }
+
+    #[test]
+    fn replay_absorb_skips_the_baseline_requirement_but_keeps_the_guard() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut shard: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        let mut prev = std::collections::HashMap::new();
+        for i in 0..1_000u64 {
+            shard.insert_u64(3, i);
+        }
+        let base = delta_round(&shard, &mut prev, 0, 0);
+        for i in 1_000..2_000u64 {
+            shard.insert_u64(3, i);
+        }
+        let delta = delta_round(&shard, &mut prev, 0, 1);
+
+        // Reference: the chain absorbed in order through the live path.
+        let mut reference: WindowedFleet =
+            WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        reference.absorb_delta_from(7, &base).unwrap();
+        reference.absorb_delta_from(7, &delta).unwrap();
+
+        // Replay path: round 1 with no baseline in the guard (the
+        // snapshot-covered-baseline shape) is absorbed, not rejected…
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        assert_eq!(
+            ring.absorb_delta_replay(7, &delta).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(
+            ring.absorb_delta_replay(7, &base).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
+        assert_eq!(ring.checkpoint(), reference.checkpoint());
+        // …and the guard entries stuck: live-path replays are dupes.
+        assert_eq!(
+            ring.absorb_delta_from(7, &delta).unwrap(),
+            AbsorbOutcome::Duplicate
+        );
+        // Config mismatches stay typed errors on the replay path too.
+        let mut alien = base.clone();
+        alien.seed = 77;
+        assert!(ring.absorb_delta_replay(7, &alien).is_err());
+    }
+
+    #[test]
+    fn guard_capacity_is_capped_with_a_typed_rejection() {
+        let schedule = Arc::new(RateSchedule::from_memory(100_000, 4_000).unwrap());
+        let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule.clone(), 9, 2).unwrap();
+        // Churn source ids through empty baseline frames: guard entries
+        // without absorb work.
+        let dims = schedule.dims();
+        let empty = || {
+            FleetDeltaFrame::new(
+                dims.n_max(),
+                dims.m(),
+                schedule.split().sampling_bits(),
+                9,
+                0,
+                0,
+            )
+        };
+        let cap = <WindowedFleet>::MAX_GUARD_ENTRIES_PER_SLOT;
+        for source in 0..cap as u64 {
+            assert_eq!(
+                ring.absorb_delta_from(source, &empty()).unwrap(),
+                AbsorbOutcome::Absorbed
+            );
+        }
+        // One more source: typed rejection, ring untouched.
+        let before = ring.checkpoint();
+        let err = ring.absorb_delta_from(cap as u64, &empty()).unwrap_err();
+        assert_eq!(err, SBitmapError::GuardFull { epoch: 0, cap });
+        assert!(err.to_string().contains("guard full"), "{err}");
+        assert_eq!(ring.checkpoint(), before);
+        // Full frames hit the same cap…
+        let shard: FleetArena = FleetArena::with_schedule(schedule.clone(), 9);
+        let err = ring.absorb_epoch_from(cap as u64, 0, &shard).unwrap_err();
+        assert_eq!(err, SBitmapError::GuardFull { epoch: 0, cap });
+        // …while already-tracked identities keep deduping.
+        assert_eq!(
+            ring.absorb_delta_from(5, &empty()).unwrap(),
+            AbsorbOutcome::Duplicate
+        );
+        // Rotation clears the slot's guard and frees capacity again.
+        ring.advance_to(2).unwrap();
+        let fresh = FleetDeltaFrame::new(
+            dims.n_max(),
+            dims.m(),
+            schedule.split().sampling_bits(),
+            9,
+            2,
+            0,
+        );
+        assert_eq!(
+            ring.absorb_delta_from(cap as u64, &fresh).unwrap(),
+            AbsorbOutcome::Absorbed
+        );
     }
 
     #[test]

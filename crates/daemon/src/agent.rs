@@ -134,6 +134,10 @@ pub struct AgentReport {
     /// Epochs re-sent from their round-0 baseline after the collector
     /// answered [`ErrorCode::MissingBaseline`].
     pub baseline_resyncs: u64,
+    /// Sessions backed off after the collector shed a frame with
+    /// [`ErrorCode::Busy`] (the agent slept the advertised retry-after
+    /// hint, then reconnected and retransmitted).
+    pub busy_backoffs: u64,
 }
 
 /// One unacked wire frame: a full v2 epoch checkpoint (`round: None`,
@@ -590,6 +594,22 @@ fn session<S: Read + Write>(
                     report.retransmits += 1;
                     queue.push(item);
                 }
+            }
+            Ok(ReadEvent::Message(Message::Error {
+                code: ErrorCode::Busy,
+                context,
+                ..
+            })) => {
+                // The collector shed a frame under overload: it was
+                // dropped unacked. Sleep the advertised retry-after
+                // hint (capped — the hint is advisory, not a command),
+                // then resync with a fresh session; everything still
+                // pending is retransmitted and replays land as guard
+                // duplicates.
+                report.error_frames_seen += 1;
+                report.busy_backoffs += 1;
+                std::thread::sleep(Duration::from_millis(context.min(1_000)));
+                return SessionEnd::Retry;
             }
             Ok(ReadEvent::Message(Message::Error { code, detail, .. })) => {
                 report.error_frames_seen += 1;

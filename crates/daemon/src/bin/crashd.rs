@@ -1,0 +1,83 @@
+//! Crash-harness collector: an `sbitmapd` instance configured entirely
+//! from `CRASHD_*` environment variables, used by the kill-and-recover
+//! suite (`tests/crash.rs`) as the child process it aborts and restarts.
+//!
+//! Protocol on stdout, one token per line:
+//!
+//! * `INGEST <addr>` / `QUERY <addr>` — the bound listener addresses.
+//! * `READY` — printed only after startup recovery has finished, so the
+//!   parent knows the ring reflects the journal.
+//! * `REPORT replayed=<n> skipped=<n> journal=<n> snapshots=<n>` and
+//!   `DRAINED` — printed after a graceful drain completes.
+//!
+//! When a `CRASHD_CRASH_SITE`/`CRASHD_CRASH_AFTER` pair is set the
+//! configured [`CrashPoint`] aborts the process mid-pipeline; the
+//! parent observes the non-zero exit and restarts with the same data
+//! directory and no crash point.
+
+use std::io::Write;
+use std::time::Duration;
+
+use sbitmap_daemon::{CrashPoint, CrashSite, Daemon, DaemonConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let data_dir = std::env::var("CRASHD_DATA_DIR").expect("CRASHD_DATA_DIR is required");
+    let crash_point = std::env::var("CRASHD_CRASH_SITE").ok().map(|site| {
+        let site = match site.as_str() {
+            "absorb-before-journal" => CrashSite::AbsorbBeforeJournal,
+            "mid-journal-append" => CrashSite::MidJournalAppend,
+            "mid-snapshot-write" => CrashSite::MidSnapshotWrite,
+            "after-snapshot-rename" => CrashSite::AfterSnapshotRename,
+            other => panic!("unknown CRASHD_CRASH_SITE {other:?}"),
+        };
+        CrashPoint {
+            site,
+            after: env_u64("CRASHD_CRASH_AFTER", 1),
+        }
+    });
+    let cfg = DaemonConfig {
+        n_max: env_u64("CRASHD_N_MAX", 50_000),
+        m_bits: env_u64("CRASHD_M_BITS", 2_000) as usize,
+        seed: env_u64("CRASHD_SEED", 7),
+        window: env_u64("CRASHD_WINDOW", 3) as usize,
+        data_dir: Some(data_dir.into()),
+        snapshot_every: env_u64("CRASHD_SNAPSHOT_EVERY", 3),
+        crash_point,
+        read_deadline: Duration::from_millis(10),
+        idle_limit: Duration::from_secs(5),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(cfg).expect("daemon start");
+    // Wait out the replay before announcing readiness: the parent's
+    // equivalence checks must see the recovered ring, never a partial
+    // one (handshakes would be refused with `Recovering` anyway).
+    while daemon.is_recovering() {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut out = std::io::stdout();
+    writeln!(out, "INGEST {}", daemon.ingest_addr()).unwrap();
+    writeln!(out, "QUERY {}", daemon.query_addr()).unwrap();
+    writeln!(out, "READY").unwrap();
+    out.flush().unwrap();
+    // Serve until a remote `QueryRequest::Drain` flips the flag (or the
+    // configured crash point aborts us first).
+    while !daemon.is_draining() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = daemon.join().expect("daemon join");
+    writeln!(
+        out,
+        "REPORT replayed={} skipped={} journal={} snapshots={}",
+        report.replayed_records, report.replay_skipped, report.journal_records, report.snapshots
+    )
+    .unwrap();
+    writeln!(out, "DRAINED").unwrap();
+    out.flush().unwrap();
+}

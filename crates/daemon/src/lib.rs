@@ -15,9 +15,15 @@
 //!   framed batch ingest into a central
 //!   [`sbitmap_core::WindowedFleet`], per-connection read/write
 //!   deadlines, a bounded absorb queue that exerts backpressure on fast
-//!   producers, typed error frames instead of connection death, a query
-//!   listener on a second port, and graceful drain with a final ring
-//!   checkpoint to disk.
+//!   producers (and sheds with a typed `Busy` answer past a deadline),
+//!   typed error frames instead of connection death, a query listener
+//!   on a second port, and graceful drain with a final ring checkpoint
+//!   to disk. With a data directory configured it is **crash-safe**:
+//!   every absorbed frame is write-ahead journaled before its ack,
+//!   periodic atomic snapshots truncate the journal, and a restart
+//!   recovers the ring (snapshot restore + journal replay) — see
+//!   `docs/recovery.md` and the kill-and-recover suite in
+//!   `tests/crash.rs`.
 //! * [`agent`] — the node agent: ships a shard's epoch frames (full v2
 //!   checkpoints or v3 delta round chains) with a credit window,
 //!   reconnects with capped exponential backoff and deterministic
@@ -44,4 +50,4 @@ pub mod server;
 
 pub use agent::{query_once, run_agent, run_agent_rounds, AgentConfig, AgentReport, Backoff};
 pub use loopback::{run_loopback, LoopbackOutcome};
-pub use server::{Daemon, DaemonConfig, DaemonReport};
+pub use server::{CrashPoint, CrashSite, Daemon, DaemonConfig, DaemonReport};

@@ -29,16 +29,17 @@
 
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sbitmap_core::codec::Checkpoint;
+use sbitmap_core::codec::{self, Checkpoint};
+use sbitmap_core::journal::{self, JournalConfig, JournalRecord, JournalWriter};
 use sbitmap_core::{
-    AbsorbOutcome, FleetArena, FleetDeltaFrame, KeyedEstimates, RateSchedule, SBitmapError,
-    WindowedFleet,
+    AbsorbOutcome, CounterKind, FleetArena, FleetDeltaFrame, KeyedEstimates, RateSchedule,
+    SBitmapError, WindowedFleet,
 };
 use sbitmap_stream::net::{
     ConfigEcho, ErrorCode, FrameReader, FrameWriter, Message, NetError, QueryReply, QueryRequest,
@@ -55,6 +56,46 @@ const MAX_EPOCH_JUMP: u64 = 1 << 20;
 /// How long the accept loops sleep between polls of the shutdown flag
 /// when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long a handler sleeps between retries while the absorb queue is
+/// full, before the [`DaemonConfig::busy_timeout`] deadline sheds the
+/// frame with a typed [`ErrorCode::Busy`] answer.
+const BUSY_POLL: Duration = Duration::from_millis(1);
+
+/// Where the absorber deliberately dies when a [`CrashPoint`] fires —
+/// each site models one step of the durability pipeline being cut by a
+/// `kill -9`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// After the frame is folded into the in-memory ring but before its
+    /// journal record is written: the crash loses the frame entirely
+    /// (it was never acked, so the agent retransmits it).
+    AbsorbBeforeJournal,
+    /// Halfway through the journal append: the segment is left with a
+    /// torn tail record that recovery must discard by checksum.
+    MidJournalAppend,
+    /// Halfway through writing the snapshot temp file: recovery must
+    /// ignore the partial `.tmp` and fall back to the previous
+    /// snapshot + journal.
+    MidSnapshotWrite,
+    /// After the snapshot is atomically in place (and the journal has
+    /// rotated) but before the covered segments are deleted: recovery
+    /// must replay the stale segments as no-ops.
+    AfterSnapshotRename,
+}
+
+/// Test hook: abort the process (no unwinding, no flushes — the moral
+/// equivalent of `SIGKILL` landing mid-operation) at a deterministic
+/// point of the durability pipeline. `after` counts absorbed frames for
+/// the absorb/journal sites and snapshots for the snapshot sites; the
+/// crash fires when the count reaches it (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Which pipeline step to die in.
+    pub site: CrashSite,
+    /// Fire on the `after`-th event at that site (1-based).
+    pub after: u64,
+}
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -85,8 +126,36 @@ pub struct DaemonConfig {
     /// A connection idle longer than this is closed.
     pub idle_limit: Duration,
     /// Where the final ring checkpoint is written on drain; `None`
-    /// skips the write.
+    /// skips the write. The write is atomic (temp file + fsync +
+    /// rename), so a crash mid-drain can never leave a truncated
+    /// checkpoint a later restore would trust.
     pub checkpoint_path: Option<PathBuf>,
+    /// Durability root: when set, every absorbed frame is appended to a
+    /// write-ahead journal under this directory *before* it is acked,
+    /// periodic atomic snapshots truncate the journal, and a restart
+    /// with the same directory recovers the ring (snapshot + journal
+    /// replay) instead of starting empty. `None` keeps the ring purely
+    /// in memory (the pre-durability behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Absorbed frames between periodic snapshots (journal rotation
+    /// points). 0 disables periodic snapshots — the journal then only
+    /// truncates on graceful drain.
+    pub snapshot_every: u64,
+    /// When true, every journal append is fsynced before the frame is
+    /// acked (power-loss durability). The default `false` flushes
+    /// appends to the OS page cache only — that already survives a
+    /// process crash (`kill -9`), which is what the crash harness
+    /// proves, at a fraction of the cost. Snapshots are always fsynced.
+    pub fsync_journal: bool,
+    /// How long an ingest handler may wait on the full absorb queue
+    /// before shedding the frame with a typed [`ErrorCode::Busy`] answer
+    /// (carrying a retry-after hint) instead of stalling the socket
+    /// indefinitely.
+    pub busy_timeout: Duration,
+    /// Test hook: deterministically abort the process at a chosen point
+    /// of the durability pipeline (see [`CrashPoint`]). `None` in
+    /// production.
+    pub crash_point: Option<CrashPoint>,
     /// Test hook: the absorber sleeps this long per frame, so the suite
     /// can force the bounded queue to fill and observe backpressure
     /// deterministically. Zero in production.
@@ -113,6 +182,11 @@ impl Default for DaemonConfig {
             write_deadline: Duration::from_millis(2_000),
             idle_limit: Duration::from_secs(10),
             checkpoint_path: None,
+            data_dir: None,
+            snapshot_every: 1_024,
+            fsync_journal: false,
+            busy_timeout: Duration::from_secs(2),
+            crash_point: None,
             absorb_stall: Duration::ZERO,
             max_proto: PROTO_VERSION,
         }
@@ -133,6 +207,11 @@ struct Stats {
     queries: AtomicU64,
     bytes_on_wire: AtomicU64,
     missing_baselines: AtomicU64,
+    busy_rejections: AtomicU64,
+    journal_records: AtomicU64,
+    snapshots: AtomicU64,
+    replayed_records: AtomicU64,
+    replay_skipped: AtomicU64,
 }
 
 /// What [`Daemon::join`] returns after a graceful drain.
@@ -170,6 +249,20 @@ pub struct DaemonReport {
     /// Delta frames rejected because their epoch's round-0 baseline had
     /// not been absorbed (each one told the agent to resync).
     pub missing_baselines: u64,
+    /// Frames shed with a typed [`ErrorCode::Busy`] answer because the
+    /// absorb queue stayed full past [`DaemonConfig::busy_timeout`].
+    pub busy_rejections: u64,
+    /// Write-ahead journal records appended (one per absorbed frame
+    /// when [`DaemonConfig::data_dir`] is set).
+    pub journal_records: u64,
+    /// Periodic ring snapshots written (journal rotations).
+    pub snapshots: u64,
+    /// Journal records replayed into the ring during startup recovery.
+    pub replayed_records: u64,
+    /// Journal records skipped during recovery (undecodable payloads,
+    /// epochs the restored ring cannot accept) — each skip left the
+    /// ring untouched.
+    pub replay_skipped: u64,
 }
 
 /// The sketch payload of one decoded ingest frame.
@@ -186,6 +279,9 @@ struct Job {
     epoch: u64,
     agent: u64,
     payload: JobPayload,
+    /// The frame exactly as it arrived on the wire — what the journal
+    /// records, so replay decodes the same bytes the live path did.
+    wire: Vec<u8>,
     ack: mpsc::Sender<Message>,
 }
 
@@ -195,12 +291,19 @@ struct Shared {
     echo: ConfigEcho,
     ring: Mutex<WindowedFleet>,
     shutdown: AtomicBool,
+    /// Set while the absorber replays the journal tail after a restart;
+    /// handshakes answer [`ErrorCode::Recovering`] until it clears.
+    recovering: AtomicBool,
     stats: Stats,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
     }
 }
 
@@ -238,6 +341,18 @@ impl Daemon {
         };
         let ring = WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window)
             .map_err(|e| e.to_string())?;
+        // Durability: restore the newest snapshot (config-checked) and
+        // stage the journal tail for replay; both refuse typed on a
+        // config mismatch. The actual replay runs on the absorber
+        // thread behind the `recovering` flag so startup stays fast.
+        let (ring, durability) = match &cfg.data_dir {
+            None => (ring, None),
+            Some(dir) => {
+                let (restored, durability) = open_durability(dir, &echo, &cfg)?;
+                (restored.unwrap_or(ring), Some(durability))
+            }
+        };
+        let must_replay = durability.as_ref().is_some_and(|d| !d.replay.is_empty());
         let ingest = TcpListener::bind(&cfg.ingest_addr)
             .map_err(|e| format!("bind {}: {e}", cfg.ingest_addr))?;
         let query = TcpListener::bind(&cfg.query_addr)
@@ -252,6 +367,7 @@ impl Daemon {
             echo,
             ring: Mutex::new(ring),
             shutdown: AtomicBool::new(false),
+            recovering: AtomicBool::new(must_replay),
             stats: Stats::default(),
         });
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_frames);
@@ -259,7 +375,7 @@ impl Daemon {
 
         let absorber = {
             let shared = shared.clone();
-            std::thread::spawn(move || absorber_loop(&shared, &job_rx))
+            std::thread::spawn(move || absorber_loop(&shared, &job_rx, durability))
         };
         let mut accept_threads = Vec::with_capacity(2);
         {
@@ -321,6 +437,13 @@ impl Daemon {
         self.shared.draining()
     }
 
+    /// `true` while the absorber is still replaying the journal tail
+    /// after a restart; handshakes answer [`ErrorCode::Recovering`]
+    /// until this clears.
+    pub fn is_recovering(&self) -> bool {
+        self.shared.recovering()
+    }
+
     /// Block until the daemon has fully drained (the flag must be — or
     /// become — set, e.g. via [`Daemon::drain`] or a remote
     /// [`QueryRequest::Drain`]), write the final ring checkpoint, and
@@ -353,8 +476,19 @@ impl Daemon {
             )
         };
         if let Some(path) = &self.shared.cfg.checkpoint_path {
-            std::fs::write(path, &final_checkpoint)
+            // Atomic (temp + fsync + rename): a crash mid-drain can
+            // never leave a truncated checkpoint a later restore trusts.
+            journal::write_atomic(path, &final_checkpoint)
                 .map_err(|e| format!("checkpoint write {}: {e}", path.display()))?;
+        }
+        if let Some(dir) = &self.shared.cfg.data_dir {
+            // The drain snapshot captures the whole ring, so the journal
+            // has nothing left to add: write it, then clear the segments.
+            journal::write_atomic(&dir.join(journal::SNAPSHOT_FILE), &final_checkpoint)
+                .map_err(|e| format!("final snapshot in {}: {e}", dir.display()))?;
+            for (_, path) in journal::list_segments(dir).map_err(|e| e.to_string())? {
+                let _ = std::fs::remove_file(path);
+            }
         }
         let s = &self.shared.stats;
         Ok(DaemonReport {
@@ -372,6 +506,11 @@ impl Daemon {
             queries: s.queries.load(Ordering::Relaxed),
             bytes_on_wire: s.bytes_on_wire.load(Ordering::Relaxed),
             missing_baselines: s.missing_baselines.load(Ordering::Relaxed),
+            busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
+            journal_records: s.journal_records.load(Ordering::Relaxed),
+            snapshots: s.snapshots.load(Ordering::Relaxed),
+            replayed_records: s.replayed_records.load(Ordering::Relaxed),
+            replay_skipped: s.replay_skipped.load(Ordering::Relaxed),
         })
     }
 }
@@ -406,14 +545,292 @@ fn accept_loop<F, G>(
     }
 }
 
-/// The single ring writer: drains the bounded job queue until every
-/// sender is gone, acking each frame with its absorb outcome.
-fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
+/// The absorber's view of an open durability directory: the journal
+/// writer for the live segment, the config every record must match, and
+/// the segments staged for startup replay.
+struct Durability {
+    dir: PathBuf,
+    jcfg: JournalConfig,
+    writer: JournalWriter,
+    /// Segments found at startup, ascending `(seq, path)` — replayed by
+    /// the absorber before it serves its first job.
+    replay: Vec<(u64, PathBuf)>,
+    /// Frames journaled since the last snapshot (the rotation counter).
+    since_snapshot: u64,
+    /// Frames absorbed this run (drives the absorb/journal crash sites).
+    absorbed: u64,
+    /// Snapshots attempted this run (drives the snapshot crash sites).
+    snapshot_attempts: u64,
+}
+
+/// Open (or create) the durability directory: restore the snapshot if
+/// one exists, validate every journal segment header against the
+/// collector's config, and open a fresh segment for this run's appends.
+///
+/// Refuses with a typed message when the snapshot or any segment was
+/// written under a different sketch configuration — replaying foreign
+/// frames into the ring would corrupt estimates silently.
+fn open_durability(
+    dir: &Path,
+    echo: &ConfigEcho,
+    cfg: &DaemonConfig,
+) -> Result<(Option<WindowedFleet>, Durability), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create data dir {}: {e}", dir.display()))?;
+    let jcfg = JournalConfig {
+        n_max: echo.n_max,
+        m: echo.m,
+        sampling_bits: echo.sampling_bits,
+        seed: echo.seed,
+        window: echo.window,
+    };
+    let restored = match journal::read_snapshot(dir).map_err(|e| e.to_string())? {
+        None => None,
+        Some(bytes) => {
+            let snap = dir.join(journal::SNAPSHOT_FILE);
+            let ring: WindowedFleet = Checkpoint::restore(&bytes)
+                .map_err(|e| format!("snapshot {}: {e}", snap.display()))?;
+            let found = ring_config(&ring);
+            if found != jcfg {
+                return Err(journal::JournalError::ConfigMismatch {
+                    expected: jcfg,
+                    found,
+                }
+                .to_string());
+            }
+            Some(ring)
+        }
+    };
+    let segments = journal::list_segments(dir).map_err(|e| e.to_string())?;
+    let mut replay = Vec::with_capacity(segments.len());
+    let last = segments.len().saturating_sub(1);
+    for (i, (seq, path)) in segments.into_iter().enumerate() {
+        match read_segment_header(&path) {
+            Ok(header) => {
+                let (found, _) =
+                    journal::decode_segment_header(&header).map_err(|e| e.to_string())?;
+                if found != jcfg {
+                    return Err(journal::JournalError::ConfigMismatch {
+                        expected: jcfg,
+                        found,
+                    }
+                    .to_string());
+                }
+                replay.push((seq, path));
+            }
+            // The newest segment may have a torn header (crash during
+            // its creation): it cannot hold a valid record, skip it.
+            // A torn header on an *older* segment is real corruption.
+            Err(e) if i == last => {
+                let _ = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let seq = journal::next_segment_seq(dir).map_err(|e| e.to_string())?;
+    let writer =
+        JournalWriter::create(dir, &jcfg, seq, cfg.fsync_journal).map_err(|e| e.to_string())?;
+    Ok((
+        restored,
+        Durability {
+            dir: dir.to_path_buf(),
+            jcfg,
+            writer,
+            replay,
+            since_snapshot: 0,
+            absorbed: 0,
+            snapshot_attempts: 0,
+        },
+    ))
+}
+
+/// The sketch configuration a restored ring was built with, in journal
+/// form — compared against the collector's own config on recovery.
+fn ring_config(ring: &WindowedFleet) -> JournalConfig {
+    let schedule = ring.schedule();
+    JournalConfig {
+        n_max: schedule.dims().n_max(),
+        m: schedule.dims().m() as u64,
+        sampling_bits: schedule.split().sampling_bits(),
+        seed: ring.seed(),
+        window: ring.window_epochs() as u64,
+    }
+}
+
+/// Read exactly the segment header prefix of a journal file.
+fn read_segment_header(path: &Path) -> Result<Vec<u8>, String> {
+    use std::io::Read;
+    let mut file =
+        std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut header = vec![0u8; journal::SEGMENT_HEADER_LEN];
+    file.read_exact(&mut header)
+        .map_err(|e| format!("segment {}: truncated header: {e}", path.display()))?;
+    Ok(header)
+}
+
+/// Replay every staged segment into the ring, record by record. Skips
+/// (counted, ring untouched) anything the restored state cannot accept:
+/// undecodable payloads, resealed records whose inner frame fails its
+/// own checksum, epochs absurdly far ahead. Replay runs before the
+/// first job, so it holds the ring lock uncontended.
+fn replay_journal(shared: &Shared, d: &Durability) {
+    for (_, path) in &d.replay {
+        // Headers were validated at startup; an unreadable file here is
+        // an I/O race (operator deleted it) — skip the segment.
+        let Ok(scan) = journal::read_segment(path) else {
+            continue;
+        };
+        for rec in &scan.records {
+            match replay_record(shared, rec) {
+                Ok(AbsorbOutcome::Absorbed) => {
+                    shared
+                        .stats
+                        .replayed_records
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // Duplicate/expired replays (stale segments a crash left
+                // behind, records older than the snapshot) are no-ops.
+                Ok(_) | Err(()) => {
+                    shared.stats.replay_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Apply one journal record to the ring. `Err(())` means the record was
+/// skipped (undecodable, resealed, or out of range) and the ring is
+/// exactly as it was before the call.
+fn replay_record(shared: &Shared, rec: &JournalRecord) -> Result<AbsorbOutcome, ()> {
+    let (_, kind) = codec::peek_kind(&rec.payload).map_err(|_| ())?;
+    let mut ring = shared.ring.lock().unwrap();
+    let current = ring.current_epoch();
+    if rec.epoch > current && rec.epoch - current > MAX_EPOCH_JUMP {
+        return Err(());
+    }
+    match kind {
+        CounterKind::SketchFleet => {
+            let fleet = <FleetArena as Checkpoint>::restore(&rec.payload).map_err(|_| ())?;
+            if rec.epoch > current {
+                ring.advance_to(rec.epoch).map_err(|_| ())?;
+            }
+            ring.absorb_epoch_from(rec.source, rec.epoch, &fleet)
+                .map_err(|_| ())
+        }
+        CounterKind::FleetDelta => {
+            let frame = FleetDeltaFrame::decode(&rec.payload).map_err(|_| ())?;
+            if frame.epoch != rec.epoch {
+                return Err(());
+            }
+            if rec.epoch > current {
+                ring.advance_to(rec.epoch).map_err(|_| ())?;
+            }
+            // The replay variant: the journal's causal order guarantees
+            // the baseline preceded this delta, but the snapshot may
+            // have absorbed (and truncated) its record, so the live
+            // baseline check would spuriously refuse the chain.
+            ring.absorb_delta_replay(rec.source, &frame).map_err(|_| ())
+        }
+        _ => Err(()),
+    }
+}
+
+/// Deliberately die if the configured crash point names this site and
+/// its counter has reached the trigger.
+fn crash_if(shared: &Shared, site: CrashSite, count: u64) {
+    if shared.cfg.crash_point == Some(CrashPoint { site, after: count }) {
+        // `abort`, not `exit`: no unwinding, no buffer flushes — the
+        // closest safe stand-in for SIGKILL landing mid-operation.
+        std::process::abort();
+    }
+}
+
+/// Append the just-absorbed frame to the journal — the write-ahead step
+/// that must land *before* the ack leaves. `Err(detail)` means the
+/// append failed and the frame must not be acked as durable.
+fn journal_absorbed(shared: &Shared, d: &mut Durability, job: &Job) -> Result<(), String> {
+    d.absorbed += 1;
+    crash_if(shared, CrashSite::AbsorbBeforeJournal, d.absorbed);
+    let rec = JournalRecord {
+        source: job.agent,
+        epoch: job.epoch,
+        payload: job.wire.clone(),
+    };
+    if let Some(cp) = shared.cfg.crash_point {
+        if cp.site == CrashSite::MidJournalAppend && cp.after == d.absorbed {
+            // Write half the record, then die: recovery must discard
+            // the torn tail by checksum.
+            let encoded = journal::encode_record(&rec);
+            let _ = d.writer.append_bytes(&encoded[..encoded.len() / 2]);
+            std::process::abort();
+        }
+    }
+    d.writer.append(&rec).map_err(|e| e.to_string())?;
+    d.since_snapshot += 1;
+    shared.stats.journal_records.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Snapshot the ring and rotate the journal when the cadence is due.
+///
+/// Ordering is what makes every crash recoverable: (1) write the
+/// snapshot atomically, (2) rotate appends to a fresh segment, (3) only
+/// then delete the covered segments. A crash between any two steps
+/// leaves either the old snapshot + full journal, or the new snapshot +
+/// stale segments whose replay is an OR-idempotent no-op.
+fn maybe_snapshot(shared: &Shared, d: &mut Durability) {
+    if shared.cfg.snapshot_every == 0 || d.since_snapshot < shared.cfg.snapshot_every {
+        return;
+    }
+    let bytes = shared.ring.lock().unwrap().checkpoint();
+    d.snapshot_attempts += 1;
+    let snap_path = d.dir.join(journal::SNAPSHOT_FILE);
+    if let Some(cp) = shared.cfg.crash_point {
+        if cp.site == CrashSite::MidSnapshotWrite && cp.after == d.snapshot_attempts {
+            // Leave a partial temp file, then die: recovery must ignore
+            // it and fall back to the previous snapshot + journal.
+            let _ = std::fs::write(snap_path.with_extension("tmp"), &bytes[..bytes.len() / 2]);
+            std::process::abort();
+        }
+    }
+    if journal::write_atomic(&snap_path, &bytes).is_err() {
+        // Snapshot failed; keep journaling into the current segment and
+        // try again at the next cadence point. Nothing was lost.
+        return;
+    }
+    let covered = d.writer.seq();
+    match JournalWriter::create(&d.dir, &d.jcfg, covered + 1, shared.cfg.fsync_journal) {
+        Ok(writer) => d.writer = writer,
+        // Rotation failed: the old writer stays live. The snapshot is
+        // still valid — replaying the covered segment is a no-op.
+        Err(_) => return,
+    }
+    crash_if(shared, CrashSite::AfterSnapshotRename, d.snapshot_attempts);
+    if let Ok(segments) = journal::list_segments(&d.dir) {
+        for (seq, path) in segments {
+            if seq <= covered {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+    d.since_snapshot = 0;
+    shared.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The single ring writer: replays the journal tail (when recovering),
+/// then drains the bounded job queue until every sender is gone, acking
+/// each frame with its absorb outcome — after journaling it.
+fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>, durability: Option<Durability>) {
+    let mut durability = durability;
+    if let Some(d) = durability.as_ref() {
+        replay_journal(shared, d);
+    }
+    shared.recovering.store(false, Ordering::SeqCst);
     for job in rx {
         if !shared.cfg.absorb_stall.is_zero() {
             std::thread::sleep(shared.cfg.absorb_stall);
         }
-        let msg = {
+        let mut newly_absorbed = false;
+        let mut msg = {
             let mut ring = shared.ring.lock().unwrap();
             let current = ring.current_epoch();
             if job.epoch > current && job.epoch - current > MAX_EPOCH_JUMP {
@@ -439,6 +856,7 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
                             AbsorbOutcome::Expired => &shared.stats.expired,
                         };
                         counter.fetch_add(1, Ordering::Relaxed);
+                        newly_absorbed = outcome == AbsorbOutcome::Absorbed;
                         let outcome = match outcome {
                             AbsorbOutcome::Absorbed => sbitmap_stream::net::AckOutcome::Absorbed,
                             AbsorbOutcome::Duplicate => sbitmap_stream::net::AckOutcome::Duplicate,
@@ -484,7 +902,28 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
                 }
             }
         };
+        if newly_absorbed {
+            if let Some(d) = durability.as_mut() {
+                if let Err(detail) = journal_absorbed(shared, d, &job) {
+                    // The frame reached memory but not the journal: do
+                    // not ack it as durable. The typed error makes the
+                    // agent retransmit once the disk recovers, and the
+                    // retry lands as a guarded duplicate if it races.
+                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    msg = Message::Error {
+                        code: ErrorCode::Internal,
+                        context: job.epoch,
+                        detail,
+                    };
+                }
+            }
+        }
         let _ = job.ack.send(msg);
+        if newly_absorbed {
+            if let Some(d) = durability.as_mut() {
+                maybe_snapshot(shared, d);
+            }
+        }
     }
 }
 
@@ -508,6 +947,17 @@ fn handshake(
                 code: ErrorCode::Draining,
                 context: 0,
                 detail: "collector is draining".into(),
+            });
+            return None;
+        }
+        if shared.recovering() {
+            // The ring is mid-replay: absorbing or answering now would
+            // expose a state that is neither the crashed run nor the
+            // recovered one. Agents retry; recovery is typically fast.
+            out(Message::Error {
+                code: ErrorCode::Recovering,
+                context: 0,
+                detail: "collector is replaying its journal".into(),
             });
             return None;
         }
@@ -651,27 +1101,55 @@ fn ingest_session(
     proto: u16,
 ) {
     // Queue a decoded payload, blocking on the bounded job queue when
-    // the absorber falls behind. Returns `false` when the daemon side
-    // is gone and the session should end.
-    let enqueue = |epoch: u64, payload: JobPayload| -> bool {
-        let job = Job {
+    // the absorber falls behind — up to the busy deadline, past which
+    // the frame is shed with a typed `Busy` answer (overload must not
+    // stall a socket forever). Returns `false` when the daemon side is
+    // gone and the session should end.
+    let enqueue = |epoch: u64, payload: JobPayload, wire: Vec<u8>| -> bool {
+        let mut job = Job {
             epoch,
             agent,
             payload,
+            wire,
             ack: out_tx.clone(),
         };
-        match job_tx.try_send(job) {
-            Ok(()) => true,
+        job = match job_tx.try_send(job) {
+            Ok(()) => return true,
+            Err(mpsc::TrySendError::Disconnected(_)) => return false,
             Err(mpsc::TrySendError::Full(job)) => {
-                // The queue is the backpressure valve: block here (stop
-                // reading the socket) until the absorber catches up.
+                // The queue is the backpressure valve: stop reading the
+                // socket and retry until the absorber catches up or the
+                // shed deadline passes.
                 shared
                     .stats
                     .backpressure_events
                     .fetch_add(1, Ordering::Relaxed);
-                job_tx.send(job).is_ok()
+                job
             }
-            Err(mpsc::TrySendError::Disconnected(_)) => false,
+        };
+        let deadline = Instant::now() + shared.cfg.busy_timeout;
+        loop {
+            job = match job_tx.try_send(job) {
+                Ok(()) => return true,
+                Err(mpsc::TrySendError::Disconnected(_)) => return false,
+                Err(mpsc::TrySendError::Full(job)) => job,
+            };
+            if Instant::now() >= deadline {
+                shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                // The frame is dropped unacked; the hint tells the
+                // agent how long to back off before retransmitting.
+                let hint_ms = (shared.cfg.busy_timeout.as_millis() / 4).max(10) as u64;
+                let _ = out_tx.send(Message::Error {
+                    code: ErrorCode::Busy,
+                    context: hint_ms,
+                    detail: format!(
+                        "absorb queue full past {:?}; retry in {hint_ms} ms",
+                        shared.cfg.busy_timeout
+                    ),
+                });
+                return true;
+            }
+            std::thread::sleep(BUSY_POLL);
         }
     };
     let mut idle = Duration::ZERO;
@@ -707,7 +1185,7 @@ fn ingest_session(
                         });
                     }
                     Ok(fleet) => {
-                        if !enqueue(epoch, JobPayload::Full(Box::new(fleet))) {
+                        if !enqueue(epoch, JobPayload::Full(Box::new(fleet)), frame) {
                             return;
                         }
                     }
@@ -744,7 +1222,7 @@ fn ingest_session(
                 }
                 match FleetDeltaFrame::decode(&frame) {
                     Ok(delta) if delta.epoch == epoch && delta.round == round => {
-                        if !enqueue(epoch, JobPayload::Delta(delta)) {
+                        if !enqueue(epoch, JobPayload::Delta(delta), frame) {
                             return;
                         }
                     }

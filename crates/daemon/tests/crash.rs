@@ -1,0 +1,245 @@
+//! Kill-and-recover: the collector child process is aborted (the moral
+//! equivalent of `kill -9`) at seeded points of the durability pipeline
+//! — mid-absorb, mid-journal-append, mid-snapshot — restarted on the
+//! same data directory, and the agents reconnect and finish. The final
+//! estimates and quantile summaries must be **bit-identical** to an
+//! uncrashed reference run: that is the whole claim of the write-ahead
+//! journal.
+//!
+//! The child is `src/bin/crashd.rs`, configured via `CRASHD_*` env vars
+//! and located through `CARGO_BIN_EXE_crashd`. Agents run in this
+//! process and follow the collector across its restart by reading the
+//! current ingest address from a shared cell.
+
+use std::io::{BufRead, BufReader, Lines};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sbitmap_core::RateSchedule;
+use sbitmap_daemon::{query_once, run_agent_rounds, AgentConfig, Backoff};
+use sbitmap_stream::net::{ConfigEcho, Message, QueryReply, QueryRequest};
+use sbitmap_stream::{DeltaFrameSource, WindowedPipelineConfig};
+
+fn pcfg() -> WindowedPipelineConfig {
+    WindowedPipelineConfig {
+        links: 12,
+        shards: 2,
+        n_max: 50_000,
+        m_bits: 2_000,
+        window: 3,
+        epochs: 5,
+        rounds: 2,
+        seed: 7,
+    }
+}
+
+fn echo() -> ConfigEcho {
+    let p = pcfg();
+    let schedule = RateSchedule::from_memory(p.n_max, p.m_bits).unwrap();
+    ConfigEcho {
+        n_max: p.n_max,
+        m: p.m_bits as u64,
+        sampling_bits: schedule.split().sampling_bits(),
+        seed: p.seed,
+        window: p.window as u64,
+    }
+}
+
+/// A running `crashd` child plus its parsed listener addresses and the
+/// still-open stdout reader (the drain report arrives on it later).
+struct Collector {
+    child: Child,
+    ingest: SocketAddr,
+    query: SocketAddr,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+fn spawn_crashd(dir: &Path, crash: Option<(&str, u64)>) -> Collector {
+    let p = pcfg();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crashd"));
+    cmd.env("CRASHD_DATA_DIR", dir)
+        .env("CRASHD_N_MAX", p.n_max.to_string())
+        .env("CRASHD_M_BITS", p.m_bits.to_string())
+        .env("CRASHD_SEED", p.seed.to_string())
+        .env("CRASHD_WINDOW", p.window.to_string())
+        .env("CRASHD_SNAPSHOT_EVERY", "3")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some((site, after)) = crash {
+        cmd.env("CRASHD_CRASH_SITE", site)
+            .env("CRASHD_CRASH_AFTER", after.to_string());
+    }
+    let mut child = cmd.spawn().expect("spawn crashd");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ingest = None;
+    let mut query = None;
+    for line in lines.by_ref() {
+        let line = line.unwrap();
+        if let Some(addr) = line.strip_prefix("INGEST ") {
+            ingest = Some(addr.parse().unwrap());
+        } else if let Some(addr) = line.strip_prefix("QUERY ") {
+            query = Some(addr.parse().unwrap());
+        } else if line == "READY" {
+            break;
+        }
+    }
+    Collector {
+        child,
+        ingest: ingest.expect("crashd printed INGEST"),
+        query: query.expect("crashd printed QUERY"),
+        lines,
+    }
+}
+
+/// What one scenario run (crashed or clean) converged to.
+struct Outcome {
+    topk: QueryReply,
+    summary: QueryReply,
+    restarts: u32,
+    replayed: u64,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbitmapd-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run the full pipeline against a `crashd` child, restarting it (once)
+/// if the configured crash point kills it, and return the final queried
+/// state.
+fn run_scenario(dir: &Path, crash: Option<(&str, u64)>) -> Outcome {
+    let p = pcfg();
+    let echo = echo();
+    let mut col = spawn_crashd(dir, crash);
+    let addr = Arc::new(Mutex::new(col.ingest));
+
+    let mut workers = Vec::with_capacity(p.shards);
+    for shard in 0..p.shards {
+        let backlog = DeltaFrameSource::new(&p, shard).unwrap().collect_epochs();
+        let addr = addr.clone();
+        let acfg = AgentConfig {
+            // The collector will vanish mid-session and take a few
+            // hundred milliseconds to come back: plenty of patient,
+            // fast-paced attempts.
+            max_attempts: 600,
+            ack_timeout: Duration::from_millis(300),
+            backoff: Backoff {
+                base: Duration::from_millis(2),
+                cap: Duration::from_millis(40),
+                seed: shard as u64 + 1,
+            },
+            ..AgentConfig::new(shard as u64 + 1, echo)
+        };
+        workers.push(std::thread::spawn(move || {
+            run_agent_rounds(&acfg, backlog, |_attempt| {
+                let target = *addr.lock().unwrap();
+                let stream = TcpStream::connect(target)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+                Ok(stream)
+            })
+        }));
+    }
+
+    // Babysit the child while the agents work: when the crash point
+    // fires, restart on the same data directory (no crash point) and
+    // repoint the agents.
+    let mut restarts = 0u32;
+    while !workers.iter().all(|w| w.is_finished()) {
+        if let Some(status) = col.child.try_wait().unwrap() {
+            assert!(
+                !status.success(),
+                "collector exited cleanly while agents were mid-flight"
+            );
+            restarts += 1;
+            assert!(restarts <= 1, "the crash point must fire exactly once");
+            col = spawn_crashd(dir, None);
+            *addr.lock().unwrap() = col.ingest;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for w in workers {
+        w.join().unwrap().expect("agent finished all frames");
+    }
+
+    let ask = |req: &QueryRequest| -> QueryReply {
+        let stream = TcpStream::connect(col.query).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        match query_once(stream, req, Duration::from_secs(5)).unwrap() {
+            Message::Reply(r) => r,
+            other => panic!("expected Reply, got {other:?}"),
+        }
+    };
+    let topk = ask(&QueryRequest::TopK(64));
+    let summary = ask(&QueryRequest::Summary);
+    assert_eq!(ask(&QueryRequest::Drain), QueryReply::Draining);
+    let status = col.child.wait().unwrap();
+    assert!(status.success(), "drained collector must exit cleanly");
+    let mut replayed = 0;
+    for line in col.lines.by_ref() {
+        let line = line.unwrap();
+        if let Some(rest) = line.strip_prefix("REPORT ") {
+            for kv in rest.split_whitespace() {
+                if let Some(v) = kv.strip_prefix("replayed=") {
+                    replayed = v.parse().unwrap();
+                }
+            }
+        }
+    }
+    Outcome {
+        topk,
+        summary,
+        restarts,
+        replayed,
+    }
+}
+
+#[test]
+fn killed_collector_recovers_bit_identical_state() {
+    // Uncrashed reference, journaling on: what every crashed run must
+    // converge back to, bit for bit.
+    let ref_dir = scratch_dir("ref");
+    let reference = run_scenario(&ref_dir, None);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    assert_eq!(reference.restarts, 0);
+    match &reference.topk {
+        QueryReply::TopK(rows) => assert_eq!(rows.len(), pcfg().links),
+        other => panic!("expected TopK, got {other:?}"),
+    }
+
+    // Every crash site of the durability pipeline, each mid-stream:
+    // 2 shards x 5 epochs x 2 delta rounds = 20 absorbed frames with a
+    // snapshot every 3. Frame-counted sites fire at 8 — one past the
+    // frame-6 snapshot, so the live segment holds a journaled frame the
+    // recovery must actually replay; snapshot-counted sites fire on the
+    // second attempt.
+    for (site, after) in [
+        ("absorb-before-journal", 8),
+        ("mid-journal-append", 8),
+        ("mid-snapshot-write", 2),
+        ("after-snapshot-rename", 2),
+    ] {
+        let dir = scratch_dir(site);
+        let crashed = run_scenario(&dir, Some((site, after)));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(crashed.restarts, 1, "{site}: the crash point must fire");
+        assert!(
+            crashed.replayed > 0,
+            "{site}: recovery must replay journaled frames"
+        );
+        assert_eq!(
+            crashed.topk, reference.topk,
+            "{site}: per-link estimates must be bit-identical to the uncrashed run"
+        );
+        assert_eq!(
+            crashed.summary, reference.summary,
+            "{site}: quantile summary must be bit-identical to the uncrashed run"
+        );
+    }
+}

@@ -446,6 +446,111 @@ fn slow_absorber_engages_backpressure_without_losing_frames() {
 }
 
 #[test]
+fn overload_sheds_typed_busy_and_retransmits_land_every_frame() {
+    // Queue of 1, 30 ms per absorb, 10 ms shed deadline: a 6-frame
+    // burst must draw at least one typed `Busy` answer (with a
+    // retry-after hint) instead of stalling the socket, and patient
+    // retransmission must still land all 6 frames exactly once.
+    let daemon = Daemon::start(DaemonConfig {
+        queue_frames: 1,
+        credits: 8,
+        absorb_stall: Duration::from_millis(30),
+        busy_timeout: Duration::from_millis(10),
+        ..dcfg()
+    })
+    .unwrap();
+    let mut c = Client::connect(daemon.ingest_addr());
+    assert!(matches!(
+        c.hello(1, daemon.config_echo()),
+        Message::Welcome { .. }
+    ));
+    let frames: Vec<Vec<u8>> = (0..6u64).map(|e| test_frame(&[e + 20])).collect();
+    let mut absorbed = std::collections::HashSet::new();
+    let mut busy_seen = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while absorbed.len() < 6 {
+        assert!(
+            Instant::now() < deadline,
+            "overloaded collector never converged; absorbed {absorbed:?}"
+        );
+        let outstanding: Vec<u64> = (0..6u64).filter(|e| !absorbed.contains(e)).collect();
+        for &epoch in &outstanding {
+            c.send(&Message::Batch {
+                epoch,
+                agent: 1,
+                frame: frames[epoch as usize].clone(),
+            });
+        }
+        // One reply per send: an Ack (absorbed or guard duplicate), or
+        // a typed Busy for a shed frame.
+        for _ in &outstanding {
+            match c.recv() {
+                Message::Ack { epoch, .. } => {
+                    absorbed.insert(epoch);
+                }
+                Message::Error {
+                    code: ErrorCode::Busy,
+                    context,
+                    ..
+                } => {
+                    busy_seen += 1;
+                    assert!(context > 0, "the Busy answer must carry a retry-after hint");
+                }
+                other => panic!("expected Ack or Busy, got {other:?}"),
+            }
+        }
+    }
+    assert!(busy_seen > 0, "a 1-deep queue under this burst must shed");
+    drop(c);
+    daemon.drain();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.frames_absorbed, 6, "every frame lands exactly once");
+    assert!(report.busy_rejections > 0);
+    assert_eq!(report.busy_rejections, busy_seen);
+}
+
+#[test]
+fn agent_backs_off_on_busy_and_still_delivers_everything() {
+    let daemon = Daemon::start(DaemonConfig {
+        queue_frames: 1,
+        credits: 8,
+        absorb_stall: Duration::from_millis(20),
+        busy_timeout: Duration::from_millis(5),
+        ..dcfg()
+    })
+    .unwrap();
+    let pcfg = WindowedPipelineConfig {
+        shards: 1,
+        ..pcfg()
+    };
+    let frames = ShardFrameSource::new(&pcfg, 0).unwrap().collect_frames();
+    let ingest = daemon.ingest_addr();
+    let acfg = AgentConfig {
+        max_attempts: 200,
+        ack_timeout: Duration::from_millis(300),
+        ..AgentConfig::new(1, daemon.config_echo())
+    };
+    let report = run_agent(&acfg, frames, |_| {
+        let s = TcpStream::connect(ingest)?;
+        s.set_read_timeout(Some(Duration::from_millis(10)))?;
+        Ok(s)
+    })
+    .unwrap();
+    assert!(
+        report.busy_backoffs > 0,
+        "the overloaded collector must shed at least once"
+    );
+    assert_eq!(report.frames_acked as usize, pcfg.epochs);
+    daemon.drain();
+    let dreport = daemon.join().unwrap();
+    assert!(dreport.busy_rejections > 0);
+    assert_eq!(
+        dreport.frames_absorbed as usize, pcfg.epochs,
+        "shedding plus at-least-once retransmission loses nothing"
+    );
+}
+
+#[test]
 fn graceful_drain_checkpoint_matches_the_uninterrupted_pipeline() {
     let pcfg = pcfg();
     let path = std::env::temp_dir().join(format!("sbitmapd-drain-{}.ckpt", std::process::id()));

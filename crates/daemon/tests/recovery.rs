@@ -1,0 +1,229 @@
+//! Hostile recovery inputs: hand-crafted data directories fed to
+//! [`Daemon::start`], proving that a truncated tail, a bit-flipped
+//! record, a resealed record, a config-mismatched journal or snapshot,
+//! and a pre-snapshot record are each rejected or skipped with the ring
+//! provably untouched — the recovered state always equals a clean ring
+//! that absorbed exactly the surviving records.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sbitmap_core::codec::Checkpoint;
+use sbitmap_core::journal::{self, JournalConfig, JournalRecord, JournalWriter};
+use sbitmap_core::{FleetArena, RateSchedule, WindowedFleet};
+use sbitmap_daemon::{Daemon, DaemonConfig, DaemonReport};
+
+const N_MAX: u64 = 50_000;
+const M_BITS: usize = 2_000;
+const SEED: u64 = 7;
+const WINDOW: usize = 3;
+
+fn schedule() -> Arc<RateSchedule> {
+    Arc::new(RateSchedule::from_memory(N_MAX, M_BITS).unwrap())
+}
+
+fn jcfg() -> JournalConfig {
+    JournalConfig {
+        n_max: N_MAX,
+        m: M_BITS as u64,
+        sampling_bits: schedule().split().sampling_bits(),
+        seed: SEED,
+        window: WINDOW as u64,
+    }
+}
+
+fn dcfg(dir: &std::path::Path) -> DaemonConfig {
+    DaemonConfig {
+        n_max: N_MAX,
+        m_bits: M_BITS,
+        seed: SEED,
+        window: WINDOW,
+        data_dir: Some(dir.to_path_buf()),
+        read_deadline: Duration::from_millis(10),
+        ..DaemonConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbitmapd-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tag-9 fleet frame touching `key` with a deterministic item set.
+fn frame(key: u64) -> Vec<u8> {
+    let mut fleet: FleetArena = FleetArena::with_schedule(schedule(), SEED);
+    fleet.touch(key);
+    for item in 0..60u64 {
+        fleet.insert_u64(key, key.wrapping_mul(1_000) + item);
+    }
+    fleet.checkpoint()
+}
+
+fn record(source: u64, epoch: u64, payload: Vec<u8>) -> JournalRecord {
+    JournalRecord {
+        source,
+        epoch,
+        payload,
+    }
+}
+
+/// Start a daemon on `dir`, wait out recovery, drain, and return the
+/// report (estimates + final checkpoint + replay counters).
+fn recover(dir: &std::path::Path) -> DaemonReport {
+    let daemon = Daemon::start(dcfg(dir)).unwrap();
+    while daemon.is_recovering() {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    daemon.drain();
+    daemon.join().unwrap()
+}
+
+/// The ring a clean collector holds after absorbing exactly `records`.
+fn expected_ring(records: &[(u64, u64, &[u8])]) -> WindowedFleet {
+    let mut ring: WindowedFleet = WindowedFleet::with_schedule(schedule(), SEED, WINDOW).unwrap();
+    for &(source, epoch, payload) in records {
+        let fleet: FleetArena = Checkpoint::restore(payload).unwrap();
+        if epoch > ring.current_epoch() {
+            ring.advance_to(epoch).unwrap();
+        }
+        ring.absorb_epoch_from(source, epoch, &fleet).unwrap();
+    }
+    ring
+}
+
+#[test]
+fn truncated_tail_is_discarded_and_the_prefix_replays() {
+    let dir = scratch_dir("torn");
+    let (f1, f2, f3) = (frame(1), frame(2), frame(3));
+    {
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        w.append(&record(1, 0, f1.clone())).unwrap();
+        w.append(&record(2, 0, f2.clone())).unwrap();
+        // Half a record: the torn tail a crash mid-append leaves.
+        let torn = journal::encode_record(&record(1, 1, f3.clone()));
+        w.append_bytes(&torn[..torn.len() / 2]).unwrap();
+    }
+    let report = recover(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.replayed_records, 2);
+    assert_eq!(report.replay_skipped, 0, "a torn tail is not a record");
+    let expected = expected_ring(&[(1, 0, &f1), (2, 0, &f2)]);
+    assert_eq!(report.estimates, expected.estimates());
+    assert_eq!(report.final_checkpoint, expected.checkpoint());
+}
+
+#[test]
+fn bit_flipped_record_stops_the_scan_with_the_prefix_intact() {
+    let dir = scratch_dir("flip");
+    let (f1, f2, f3) = (frame(4), frame(5), frame(6));
+    {
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        w.append(&record(1, 0, f1.clone())).unwrap();
+        // Flip one byte inside the second record's encoding: its outer
+        // checksum fails, and nothing after it can be trusted.
+        let mut bytes = journal::encode_record(&record(1, 0, f2.clone()));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        w.append_bytes(&bytes).unwrap();
+        w.append(&record(1, 0, f3.clone())).unwrap();
+    }
+    let report = recover(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.replayed_records, 1, "only the clean prefix replays");
+    let expected = expected_ring(&[(1, 0, &f1)]);
+    assert_eq!(report.estimates, expected.estimates());
+    assert_eq!(report.final_checkpoint, expected.checkpoint());
+}
+
+#[test]
+fn resealed_record_is_skipped_and_later_records_still_replay() {
+    let dir = scratch_dir("reseal");
+    let (f1, f3) = (frame(7), frame(9));
+    // The reseal attack: corrupt the sketch payload, then wrap it in a
+    // *valid* record envelope (outer checksum computed over the corrupt
+    // bytes). The record layer cannot catch it — the payload's own
+    // frame checksum must.
+    let mut evil = frame(8);
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0x11;
+    {
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        w.append(&record(1, 0, f1.clone())).unwrap();
+        w.append(&record(2, 0, evil)).unwrap();
+        w.append(&record(3, 0, f3.clone())).unwrap();
+    }
+    let report = recover(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.replayed_records, 2, "the records around it replay");
+    assert_eq!(report.replay_skipped, 1, "the resealed record is skipped");
+    let expected = expected_ring(&[(1, 0, &f1), (3, 0, &f3)]);
+    assert_eq!(report.estimates, expected.estimates());
+    assert_eq!(report.final_checkpoint, expected.checkpoint());
+}
+
+#[test]
+fn config_mismatched_journal_refuses_startup_with_a_typed_error() {
+    let dir = scratch_dir("jcfg");
+    let foreign = JournalConfig {
+        seed: SEED ^ 1,
+        ..jcfg()
+    };
+    {
+        let mut w = JournalWriter::create(&dir, &foreign, 0, false).unwrap();
+        w.append(&record(1, 0, frame(1))).unwrap();
+        // A second segment so the mismatch is not excused as a torn
+        // final header.
+        JournalWriter::create(&dir, &foreign, 1, false).unwrap();
+    }
+    let err = Daemon::start(dcfg(&dir))
+        .err()
+        .expect("startup must refuse a mismatched journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        err.contains("config mismatch"),
+        "the refusal must name the mismatch: {err}"
+    );
+}
+
+#[test]
+fn config_mismatched_snapshot_refuses_startup_with_a_typed_error() {
+    let dir = scratch_dir("scfg");
+    let foreign: WindowedFleet =
+        WindowedFleet::with_schedule(schedule(), SEED ^ 1, WINDOW).unwrap();
+    journal::write_atomic(&dir.join(journal::SNAPSHOT_FILE), &foreign.checkpoint()).unwrap();
+    let err = Daemon::start(dcfg(&dir))
+        .err()
+        .expect("startup must refuse a mismatched snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        err.contains("config mismatch"),
+        "the refusal must name the mismatch: {err}"
+    );
+}
+
+#[test]
+fn record_older_than_the_snapshot_is_skipped_untouched() {
+    let dir = scratch_dir("stale");
+    // Snapshot holds a ring already advanced to epoch 10 (window 3, so
+    // live epochs are 8..=10); a journal record for epoch 0 is ancient
+    // history the ring must refuse to resurrect.
+    let f1 = frame(11);
+    let snapshot = expected_ring(&[(1, 10, &f1)]);
+    journal::write_atomic(&dir.join(journal::SNAPSHOT_FILE), &snapshot.checkpoint()).unwrap();
+    {
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        w.append(&record(2, 0, frame(12))).unwrap();
+    }
+    let report = recover(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(
+        report.replay_skipped, 1,
+        "the stale record expires as a skip"
+    );
+    assert_eq!(report.estimates, snapshot.estimates());
+    assert_eq!(report.final_checkpoint, snapshot.checkpoint());
+}

@@ -177,6 +177,15 @@ pub enum ErrorCode {
     /// connection survives; the agent must resend the epoch from its
     /// baseline.
     MissingBaseline,
+    /// The collector's absorb queue stayed full past its shed deadline:
+    /// the frame was dropped unacked and the peer should back off and
+    /// retry. `context` carries a retry-after hint in milliseconds.
+    Busy,
+    /// The collector is replaying its write-ahead journal after a
+    /// restart; no sessions are accepted until recovery completes. Peers
+    /// should back off and reconnect — the existing retry path handles
+    /// it.
+    Recovering,
 }
 
 impl ErrorCode {
@@ -191,6 +200,8 @@ impl ErrorCode {
             ErrorCode::Protocol => 7,
             ErrorCode::Internal => 8,
             ErrorCode::MissingBaseline => 9,
+            ErrorCode::Busy => 10,
+            ErrorCode::Recovering => 11,
         }
     }
 
@@ -205,6 +216,8 @@ impl ErrorCode {
             7 => ErrorCode::Protocol,
             8 => ErrorCode::Internal,
             9 => ErrorCode::MissingBaseline,
+            10 => ErrorCode::Busy,
+            11 => ErrorCode::Recovering,
             other => return Err(format!("unknown error code {other}")),
         })
     }
@@ -880,6 +893,16 @@ mod tests {
                 code: ErrorCode::MissingBaseline,
                 context: 3,
                 detail: "delta round 2 before its baseline".into(),
+            },
+            Message::Error {
+                code: ErrorCode::Busy,
+                context: 40,
+                detail: "absorb queue full; retry in 40 ms".into(),
+            },
+            Message::Error {
+                code: ErrorCode::Recovering,
+                context: 0,
+                detail: "collector is replaying its journal".into(),
             },
             Message::BatchDelta {
                 epoch: 3,
