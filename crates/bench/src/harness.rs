@@ -116,15 +116,39 @@ impl Bench {
     }
 }
 
+/// Peak resident set size of this process in bytes — `VmHWM` from
+/// `/proc/self/status` — or 0 where the proc file is unavailable
+/// (non-Linux hosts).
+///
+/// `VmHWM` is a high-water mark: it only ever grows, so a caller that
+/// wants to attribute memory to a phase must difference two readings
+/// *and* run the phases smallest-first (a later, smaller phase under an
+/// already-raised mark reads as a zero delta).
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// Serialize measurements as a JSON document (no external JSON crate;
 /// the format is flat and the strings are controlled identifiers).
 ///
-/// Every document records the host's `available_parallelism` and the
-/// dispatched word-kernel path (`"simd"`) alongside the caller's
+/// Every document records the host's `available_parallelism`, the
+/// dispatched word-kernel path (`"simd"`) and the process's peak RSS
+/// (`"peak_rss_bytes"`, see [`peak_rss_bytes`]) alongside the caller's
 /// metadata: flat multi-thread lanes are meaningless without knowing how
 /// many cores the run actually had (a 1-CPU CI container *should* show a
-/// 1.0x shard speedup), and single-thread numbers are meaningless
-/// without knowing whether the AVX2 or the scalar kernels ran.
+/// 1.0x shard speedup), single-thread numbers are meaningless without
+/// knowing whether the AVX2 or the scalar kernels ran, and a
+/// memory-bound lane is meaningless without knowing what the run
+/// actually held resident.
 pub fn to_json(bench_name: &str, metadata: &[(&str, String)], results: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -137,6 +161,7 @@ pub fn to_json(bench_name: &str, metadata: &[(&str, String)], results: &[Measure
         "  \"simd\": \"{}\",\n",
         sbitmap_bitvec::kernels::active_path()
     ));
+    out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     for (k, v) in metadata {
         out.push_str(&format!("  \"{}\": {},\n", escape(k), json_value(v)));
     }
@@ -221,6 +246,7 @@ mod tests {
         assert!(j.contains("\"bench\": \"ingest\""));
         assert!(j.contains("\"available_parallelism\": "));
         assert!(j.contains("\"simd\": \"avx2\"") || j.contains("\"simd\": \"scalar\""));
+        assert!(j.contains("\"peak_rss_bytes\": "));
         assert!(j.contains("\"links\": 600"));
         assert!(j.contains("\"gen\": \"backbone\""));
         assert!(j.contains("case-\\\"a\\\""));
@@ -247,6 +273,15 @@ mod tests {
                 j.contains(&format!("\"k\": {v}")),
                 "{v} wrongly quoted: {j}"
             );
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_positive_and_kb_granular_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes();
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+            assert_eq!(rss % 1024, 0, "VmHWM is reported in kB");
         }
     }
 

@@ -52,6 +52,7 @@
 mod atomic;
 mod bitmap;
 pub mod kernels;
+pub mod masked;
 mod registers;
 mod slice;
 mod store;

@@ -1,0 +1,146 @@
+//! Masked word-set helpers: the prefix-region kernels behind the
+//! size-classed sparse fleet storage in `sbitmap-core`.
+//!
+//! A sparse record stores a bitmap's *live* (non-zero) words compacted
+//! into a short prefix, addressed through a word-occupancy mask: bit `w`
+//! of the mask says whether logical word `w` is materialized, and the
+//! materialized words sit in ascending word-index order. Three
+//! operations connect that layout to the flat `&[u64]` world the rest of
+//! the workspace speaks:
+//!
+//! * [`rank_before`] — where a logical word lives in the packed prefix
+//!   (a classic rank query over the mask);
+//! * [`scatter_masked`] — expand `(mask, packed)` back into a full
+//!   dense word slice (promotion to a full-stride slab, checkpoint
+//!   writing, exports);
+//! * [`gather_masked`] — compact a full word slice into `(mask,
+//!   packed)` (restoring a checkpoint straight into a sparse class).
+//!
+//! The heavy popcount inside [`rank_before`] goes through the
+//! runtime-dispatched [`crate::kernels`] table, so the sparse probe path
+//! shares the same AVX2/scalar story (and the same
+//! `SBITMAP_FORCE_SCALAR` override) as every other word loop in the
+//! workspace. All three functions are pure: outputs depend only on the
+//! input words, never on the dispatch path — the kernel-parity suites
+//! lock that in.
+
+use crate::kernels;
+
+/// Number of mask bits set strictly below index `idx` — the packed-slot
+/// position logical word `idx` occupies (or would occupy on insertion).
+///
+/// # Panics
+///
+/// Panics if `idx >> 6` is out of bounds for `mask`.
+#[inline]
+pub fn rank_before(mask: &[u64], idx: usize) -> usize {
+    let g = idx >> 6;
+    let below = (mask[g] & ((1u64 << (idx & 63)) - 1)).count_ones() as usize;
+    kernels::popcount_slice(&mask[..g]) + below
+}
+
+/// Expand a masked word set into a full dense word slice: `out` is
+/// zeroed, then packed word `r` lands at the index of the mask's `r`-th
+/// set bit.
+///
+/// # Panics
+///
+/// Panics if `packed` holds fewer words than the mask has set bits at
+/// indices below `out.len()`, or if a mask bit at or beyond `out.len()`
+/// is set.
+pub fn scatter_masked(mask: &[u64], packed: &[u64], out: &mut [u64]) {
+    out.fill(0);
+    let mut next = 0usize;
+    for (g, &group) in mask.iter().enumerate() {
+        let mut bits = group;
+        while bits != 0 {
+            let wi = (g << 6) | bits.trailing_zeros() as usize;
+            out[wi] = packed[next];
+            next += 1;
+            bits &= bits - 1;
+        }
+    }
+    debug_assert!(next <= packed.len());
+}
+
+/// Compact a full dense word slice into a masked word set, writing the
+/// occupancy mask into `mask` (cleared first) and the non-zero words, in
+/// ascending index order, into the head of `packed`. Returns the live
+/// word count.
+///
+/// # Panics
+///
+/// Panics if `mask` is shorter than `words.len().div_ceil(64)` or
+/// `packed` is shorter than the number of non-zero words.
+pub fn gather_masked(words: &[u64], mask: &mut [u64], packed: &mut [u64]) -> usize {
+    mask[..words.len().div_ceil(64)].fill(0);
+    let mut live = 0usize;
+    for (wi, &w) in words.iter().enumerate() {
+        if w != 0 {
+            mask[wi >> 6] |= 1u64 << (wi & 63);
+            packed[live] = w;
+            live += 1;
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(words: &[u64]) {
+        let mut mask = vec![0u64; words.len().div_ceil(64)];
+        let mut packed = vec![0u64; words.len()];
+        let live = gather_masked(words, &mut mask, &mut packed);
+        assert_eq!(live, words.iter().filter(|&&w| w != 0).count());
+        assert_eq!(
+            live,
+            kernels::popcount_slice(&mask),
+            "mask popcount is the live count"
+        );
+        let mut out = vec![u64::MAX; words.len()];
+        scatter_masked(&mask, &packed[..live], &mut out);
+        assert_eq!(out, words, "scatter(gather(x)) == x");
+    }
+
+    #[test]
+    fn gather_scatter_roundtrips() {
+        roundtrip(&[0; 7]);
+        roundtrip(&[1, 0, 0, 0xffff_0000_0000_0001, 0, 2, 0]);
+        roundtrip(&(0..200u64).map(|i| i % 3).collect::<Vec<_>>());
+        roundtrip(&[u64::MAX; 65]);
+    }
+
+    #[test]
+    fn rank_matches_naive_count() {
+        // 130 words of mask → three mask groups, bits in a fixed pattern.
+        let mut mask = vec![0u64; 3];
+        for wi in [0usize, 3, 63, 64, 70, 128, 129] {
+            mask[wi >> 6] |= 1u64 << (wi & 63);
+        }
+        let naive = |idx: usize| {
+            (0..idx)
+                .filter(|&w| mask[w >> 6] & (1u64 << (w & 63)) != 0)
+                .count()
+        };
+        for idx in 0..192 {
+            assert_eq!(rank_before(&mask, idx), naive(idx), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn insertion_position_is_stable_under_growth() {
+        // Inserting words one at a time through rank_before keeps the
+        // packed order ascending — the invariant the sparse probe relies
+        // on when it shifts the tail to make room.
+        let mut mask = vec![0u64; 2];
+        let mut packed: Vec<u64> = Vec::new();
+        for &wi in &[77usize, 3, 120, 0, 64, 63] {
+            let pos = rank_before(&mask, wi);
+            packed.insert(pos, wi as u64 + 1);
+            mask[wi >> 6] |= 1u64 << (wi & 63);
+        }
+        assert_eq!(packed, vec![1, 4, 64, 65, 78, 121]);
+    }
+}

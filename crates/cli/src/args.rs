@@ -37,6 +37,17 @@ pub struct Options {
     /// `bench-fleet` regression gate: fail unless arena batched ingest is
     /// at least this many times faster than the legacy batched path.
     pub assert_min_speedup: Option<f64>,
+    /// Workload generator for `bench-fleet` ("backbone", "zipf", "all").
+    pub generator: String,
+    /// Distinct keys for the `bench-fleet` Zipf lanes.
+    pub keys: usize,
+    /// `bench-fleet` memory gate: fail if the sparse fleet's peak-RSS
+    /// delta exceeds this fraction of the dense arena's on the Zipf
+    /// workload.
+    pub assert_max_rss_ratio: Option<f64>,
+    /// `bench-fleet` throughput gate: fail if sparse Zipf ingest costs
+    /// more than this many times the dense arena per item.
+    pub assert_max_slowdown: Option<f64>,
     /// Sliding-window span in epochs for `window` / `bench-window`.
     pub window: usize,
     /// Epochs to simulate for `window`.
@@ -105,6 +116,10 @@ impl Options {
             out: String::new(),
             shards: 4,
             assert_min_speedup: None,
+            generator: "backbone".to_string(),
+            keys: 1_200_000,
+            assert_max_rss_ratio: None,
+            assert_max_slowdown: None,
             window: 8,
             epochs: 12,
             rounds: 8,
@@ -210,6 +225,44 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     return Err(format!("--assert-min-speedup must be positive, got {v}"));
                 }
                 opts.assert_min_speedup = Some(v);
+                i += 2;
+            }
+            "--generator" => {
+                let v = value(i)?;
+                if !matches!(v, "backbone" | "zipf" | "all") {
+                    return Err(format!(
+                        "--generator must be backbone, zipf or all, got `{v}`"
+                    ));
+                }
+                opts.generator = v.to_string();
+                i += 2;
+            }
+            "--keys" => {
+                let v = parse_num(value(i)?).map_err(|e| format!("--keys: {e}"))? as usize;
+                if v == 0 {
+                    return Err("--keys must be at least 1".into());
+                }
+                opts.keys = v;
+                i += 2;
+            }
+            "--assert-max-rss-ratio" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-max-rss-ratio: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("--assert-max-rss-ratio must be positive, got {v}"));
+                }
+                opts.assert_max_rss_ratio = Some(v);
+                i += 2;
+            }
+            "--assert-max-slowdown" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-max-slowdown: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("--assert-max-slowdown must be positive, got {v}"));
+                }
+                opts.assert_max_slowdown = Some(v);
                 i += 2;
             }
             "--window" => {
@@ -526,5 +579,28 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().assert_min_speedup, None);
         assert!(parse(&args("--assert-min-speedup 0")).is_err());
         assert!(parse(&args("--assert-min-speedup nah")).is_err());
+    }
+
+    #[test]
+    fn parses_zipf_fleet_flags() {
+        let o = parse(&args(
+            "--generator zipf --keys 1.2m --assert-max-rss-ratio 0.25 --assert-max-slowdown 1.5",
+        ))
+        .unwrap();
+        assert_eq!(o.generator, "zipf");
+        assert_eq!(o.keys, 1_200_000);
+        assert_eq!(o.assert_max_rss_ratio, Some(0.25));
+        assert_eq!(o.assert_max_slowdown, Some(1.5));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.generator, "backbone");
+        assert_eq!(d.keys, 1_200_000);
+        assert_eq!(d.assert_max_rss_ratio, None);
+        assert_eq!(d.assert_max_slowdown, None);
+        assert!(parse(&args("--generator uniform")).is_err());
+        assert!(parse(&args("--keys 0")).is_err());
+        assert!(parse(&args("--assert-max-rss-ratio 0")).is_err());
+        assert!(parse(&args("--assert-max-rss-ratio nah")).is_err());
+        assert!(parse(&args("--assert-max-slowdown 0")).is_err());
+        assert!(parse(&args("--assert-max-slowdown nah")).is_err());
     }
 }

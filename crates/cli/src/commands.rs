@@ -102,10 +102,17 @@ commands:
                     --out PATH (default BENCH_collect.json)
   bench-fleet
              time fleet storage flavors (HashMap vs arena vs sharded
-             arena) on the backbone generator and write a JSON report
+             arena, plus sparse-vs-dense on a Zipf per-flow workload)
+             and write a JSON report
              flags: --links L --pairs P --shards K --budget-ms MS
                     --seed S --out PATH (default BENCH_fleet.json)
+                    --generator backbone|zipf|all (default backbone)
+                    --keys N (Zipf distinct keys, default 1.2m)
                     --assert-min-speedup X (fail unless arena ≥ X·legacy)
+                    --assert-max-rss-ratio X (fail if sparse peak RSS
+                      > X·dense on the zipf lanes)
+                    --assert-max-slowdown X (fail if sparse zipf ingest
+                      > X·dense per item)
   bench-window
              time sliding-window fleet ingest at W ∈ {2, 8, 32} epochs
              vs the plain arena, plus the fused window query vs its
@@ -1254,17 +1261,26 @@ fn bench_collect(opts: &Options, out: &mut impl Write) -> Result<(), String> {
 }
 
 fn bench_fleet(opts: &Options, out: &mut impl Write) -> Result<(), String> {
+    let generator = sbitmap_bench::fleet::FleetGenerator::parse(&opts.generator)
+        .ok_or_else(|| format!("unknown generator `{}`", opts.generator))?;
     let cfg = sbitmap_bench::fleet::FleetConfig {
         links: opts.links.max(1),
         max_pairs: opts.pairs.max(1),
         budget_ms: opts.budget_ms.max(1),
         max_shards: opts.shards.max(1),
         seed: opts.seed,
+        generator,
+        zipf_keys: opts.keys.max(1),
     };
     writeln!(
         out,
-        "fleet bench: {} links, ≤{} pairs, {} ms/case, 1..={} shards",
-        cfg.links, cfg.max_pairs, cfg.budget_ms, cfg.max_shards
+        "fleet bench [{}]: {} links, ≤{} pairs, {} zipf keys, {} ms/case, 1..={} shards",
+        generator.name(),
+        cfg.links,
+        cfg.max_pairs,
+        cfg.zipf_keys,
+        cfg.budget_ms,
+        cfg.max_shards
     )
     .map_err(io_err)?;
     let run = sbitmap_bench::fleet::run(&cfg);
@@ -1272,7 +1288,20 @@ fn bench_fleet(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         writeln!(out, "{}", m.row()).map_err(io_err)?;
     }
     let speedup = sbitmap_bench::fleet::arena_speedup(&run.results);
-    writeln!(out, "arena vs legacy batched: {speedup:.2}x").map_err(io_err)?;
+    let rss_ratio = sbitmap_bench::fleet::rss_ratio(&run);
+    let slowdown = sbitmap_bench::fleet::zipf_slowdown(&run.results);
+    if generator.name() != "zipf" {
+        writeln!(out, "arena vs legacy batched: {speedup:.2}x").map_err(io_err)?;
+    }
+    if generator.name() != "backbone" {
+        writeln!(
+            out,
+            "zipf sparse vs dense: {rss_ratio:.3}x peak RSS ({} vs {} bytes), \
+             {slowdown:.2}x ns/item",
+            run.sparse_rss_bytes, run.dense_rss_bytes
+        )
+        .map_err(io_err)?;
+    }
     let json = sbitmap_bench::fleet::report_json(&cfg, &run);
     let path = if opts.out.is_empty() {
         "BENCH_fleet.json"
@@ -1289,6 +1318,24 @@ fn bench_fleet(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             ));
         }
         writeln!(out, "speedup gate passed: {speedup:.2}x >= {min}x").map_err(io_err)?;
+    }
+    if let Some(max) = opts.assert_max_rss_ratio {
+        if rss_ratio <= 0.0 || rss_ratio > max {
+            return Err(format!(
+                "regression: sparse fleet peak RSS is {rss_ratio:.4}x the dense \
+                 arena's on the zipf workload, outside (0, {max}]"
+            ));
+        }
+        writeln!(out, "rss gate passed: {rss_ratio:.4}x <= {max}x").map_err(io_err)?;
+    }
+    if let Some(max) = opts.assert_max_slowdown {
+        if slowdown <= 0.0 || slowdown > max {
+            return Err(format!(
+                "regression: sparse zipf ingest costs {slowdown:.3}x the dense \
+                 arena per item, outside (0, {max}]"
+            ));
+        }
+        writeln!(out, "slowdown gate passed: {slowdown:.2}x <= {max}x").map_err(io_err)?;
     }
     Ok(())
 }
@@ -1472,6 +1519,38 @@ mod tests {
         let argv = format!(
             "bench-fleet --links 4 --pairs 2k --budget-ms 2 --shards 1 \
              --assert-min-speedup 1e9 --out {}",
+            path.display()
+        );
+        let err = run(&argv, "").unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_fleet_zipf_lanes_report_and_gate() {
+        let path = std::env::temp_dir().join(format!(
+            "sbitmap_test_bench_fleet_zipf_{}.json",
+            std::process::id()
+        ));
+        let argv = format!(
+            "bench-fleet --generator zipf --keys 3k --budget-ms 2 \
+             --assert-max-slowdown 1e9 --out {}",
+            path.display()
+        );
+        let out = run(&argv, "").unwrap();
+        assert!(out.contains("zipf_fleet_sparse"), "{out}");
+        assert!(out.contains("zipf_fleet_arena"), "{out}");
+        assert!(out.contains("slowdown gate passed"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"generator\": \"zipf\""));
+        assert!(json.contains("\"rss_ratio\": "));
+        assert!(json.contains("\"peak_rss_bytes\": "));
+        // An impossible slowdown gate must fail loudly. (The RSS gate is
+        // exercised by the CI smoke run in a fresh process — VmHWM deltas
+        // are not attributable inside this shared test binary.)
+        let argv = format!(
+            "bench-fleet --generator zipf --keys 3k --budget-ms 2 \
+             --assert-max-slowdown 1e-9 --out {}",
             path.display()
         );
         let err = run(&argv, "").unwrap_err();

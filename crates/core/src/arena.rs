@@ -41,15 +41,18 @@ use crate::sketch::{probe_hashes, SBitmap, BATCH_CHUNK};
 use crate::SBitmapError;
 
 /// Empty-slot sentinel in the open-addressed index.
-const EMPTY: u32 = u32::MAX;
+pub(crate) const EMPTY: u32 = u32::MAX;
 
 /// Open-addressed `key → slot` table with linear probing.
 ///
 /// Capacity is a power of two, grown at 7/8 load. Slots are dense arena
 /// indices (`u32`), so a probe touches one cache line of keys and the
 /// matching line of slot ids — no per-entry heap boxes, no hasher state.
+/// Shared with [`crate::sparse::SparseFleet`], whose key→(class, slab,
+/// slot) lookup routes through the same table (the `u32` payload there
+/// is an ordinal into a handle array).
 #[derive(Debug, Clone)]
-struct SlotIndex {
+pub(crate) struct SlotIndex {
     keys: Box<[u64]>,
     slots: Box<[u32]>,
     len: usize,
@@ -65,7 +68,7 @@ impl SlotIndex {
         }
     }
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self::with_capacity_pow2(16)
     }
 
@@ -76,7 +79,7 @@ impl SlotIndex {
 
     /// The slot for `key`, if present.
     #[inline]
-    fn get(&self, key: u64) -> Option<u32> {
+    pub(crate) fn get(&self, key: u64) -> Option<u32> {
         let mask = self.mask();
         let mut i = sbitmap_hash::mix64(key) as usize & mask;
         loop {
@@ -92,7 +95,7 @@ impl SlotIndex {
     }
 
     /// Insert a key known to be absent.
-    fn insert(&mut self, key: u64, slot: u32) {
+    pub(crate) fn insert(&mut self, key: u64, slot: u32) {
         debug_assert_eq!(self.get(key), None, "duplicate key in slot index");
         if (self.len + 1) * 8 > self.slots.len() * 7 {
             self.grow();
@@ -117,35 +120,71 @@ impl SlotIndex {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.slots.fill(EMPTY);
         self.len = 0;
+    }
+
+    /// Longest probe chain in the table: the worst-case distance (in
+    /// entries, wrap-aware) between any occupied entry and its home
+    /// bucket. A diagnostic — the 7/8 load bound keeps this small with
+    /// overwhelming probability, and the million-key stress test in
+    /// `tests/sparse_fleet.rs` asserts it stays bounded.
+    pub(crate) fn max_probe_len(&self) -> usize {
+        let mask = self.mask();
+        let mut worst = 0usize;
+        for (i, &slot) in self.slots.iter().enumerate() {
+            if slot == EMPTY {
+                continue;
+            }
+            let home = sbitmap_hash::mix64(self.keys[i]) as usize & mask;
+            worst = worst.max(i.wrapping_sub(home) & mask);
+        }
+        worst
+    }
+
+    /// Allocated table bytes (keys + slots) — storage accounting for the
+    /// sparse fleet's RSS bookkeeping.
+    pub(crate) fn allocated_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.slots.len() * 4
     }
 }
 
 /// Scratch buffers for the radix batch router, owned by the arena so a
 /// steady-state [`FleetArena::insert_batch`] call allocates nothing.
+/// Shared with [`crate::sparse::SparseFleet`], whose batch path is the
+/// same two-pass counting sort (route first, resolve class per run).
 #[derive(Debug, Clone, Default)]
-struct RouterScratch {
+pub(crate) struct RouterScratch {
     /// Slot of each pair of the current batch (pass 1 output).
-    pair_slots: Vec<u32>,
+    pub(crate) pair_slots: Vec<u32>,
     /// Item *hashes* regrouped by slot, arrival order preserved within a
     /// slot (pass 2 output). Hashing is fused into the scatter — the
     /// slot (hence the per-key hasher) is already known there, so the
     /// per-slot ingest becomes a pure probe loop over a contiguous run.
-    grouped: Vec<u64>,
+    pub(crate) grouped: Vec<u64>,
     /// Per-slot cursor/offset table (counting-sort prefix sums).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Slot of each *bucket* of the current batch (`EMPTY` when the
     /// bucket has no run) — what pass 3 walks.
-    run_slots: Vec<u32>,
+    pub(crate) run_slots: Vec<u32>,
+}
+
+impl RouterScratch {
+    /// Allocated scratch bytes — storage accounting.
+    pub(crate) fn allocated_bytes(&self) -> usize {
+        self.pair_slots.capacity() * 4
+            + self.grouped.capacity() * 8
+            + self.offsets.capacity() * 4
+            + self.run_slots.capacity() * 4
+    }
 }
 
 /// Counting sort's classic cursor trick: turn start-of-run offsets into
 /// write cursors. Afterwards `offsets[k+1]` is bucket `k`'s cursor; once
 /// the scatter completes it has advanced to the end of the run, so
 /// `offsets[k]..offsets[k+1]` frames bucket `k`'s run again.
-fn shift_to_cursors(offsets: &mut [u32]) {
+pub(crate) fn shift_to_cursors(offsets: &mut [u32]) {
     for k in (1..offsets.len()).rev() {
         offsets[k] = offsets[k - 1];
     }
@@ -232,7 +271,7 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
     /// indices (the paper's deployment) sit far below this; the table
     /// grows only to the largest dense key actually seen, so its
     /// worst-case footprint is 256 KiB.
-    const DENSE_KEY_CACHE: u64 = 1 << 16;
+    pub(crate) const DENSE_KEY_CACHE: u64 = 1 << 16;
 
     /// The slot for `key`, if present: one load for dense keys, a hash
     /// probe for sparse ones.
@@ -791,6 +830,53 @@ impl<H: Hasher64 + FromSeed> FleetArena<H> {
             let (_, words) = other.slot_record(key).expect("key listed");
             src.clear();
             src.extend_from_slice(words);
+            let slot = self.slot_for(key);
+            let dst = &mut self.words[slot * self.stride..(slot + 1) * self.stride];
+            let set = kernels.union_or_count(dst, &src);
+            self.fills[slot] += set;
+            newly += set as u64;
+        }
+        Ok(newly)
+    }
+
+    /// Bitwise-OR a [`crate::sparse::SparseFleet`]'s per-key bitmaps into
+    /// `self`, creating slots for keys `self` has not seen. The sparse
+    /// counterpart of [`FleetArena::union_from`] — same storage-level
+    /// union semantics and the same soundness caveats (disjoint key sets,
+    /// or the window's epoch-union estimator), with each sparse record
+    /// expanded to its full-stride word image on the fly. Returns how
+    /// many bits were newly set.
+    ///
+    /// # Errors
+    ///
+    /// Same compatibility requirements as [`FleetArena::union_from`]:
+    /// identical `(n_max, m, sampling_bits)` dimensioning and the same
+    /// fleet seed.
+    pub fn union_from_sparse(
+        &mut self,
+        other: &crate::sparse::SparseFleet<H>,
+    ) -> Result<u64, SBitmapError> {
+        let (a, b) = (self.schedule.dims(), other.schedule().dims());
+        if a.n_max() != b.n_max()
+            || a.m() != b.m()
+            || self.schedule.split().sampling_bits() != other.schedule().split().sampling_bits()
+        {
+            return Err(SBitmapError::invalid(
+                "union",
+                "fleets have different dimensioning".to_string(),
+            ));
+        }
+        if self.seed != other.seed() {
+            return Err(SBitmapError::invalid(
+                "union",
+                "fleets have different seeds".to_string(),
+            ));
+        }
+        let kernels = sbitmap_bitvec::kernels::WordKernels::dispatched();
+        let mut newly = 0u64;
+        let mut src = Vec::new();
+        for (key, ordinal) in other.ordinals_by_key() {
+            other.copy_full_words(ordinal, &mut src);
             let slot = self.slot_for(key);
             let dst = &mut self.words[slot * self.stride..(slot + 1) * self.stride];
             let set = kernels.union_or_count(dst, &src);

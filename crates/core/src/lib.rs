@@ -25,6 +25,7 @@
 //! | [`counter`] | — | the layered trait family: [`DistinctCounter`], [`BatchedCounter`], [`MergeableCounter`] |
 //! | [`fleet`] | §7.2 | many keyed sketches over one shared schedule |
 //! | [`arena`] | §7.2 | the same fleet packed into one contiguous arena, with an allocation-free radix batch router |
+//! | [`sparse`] | §7 | the same fleet in size-classed sparse slab storage for million-key Zipf workloads |
 //! | [`parallel`] | §7.2 | arena fleet sharded across `std::thread` workers |
 //! | [`concurrent`] | §7.2 | lock-free sketch over the atomic bitmap backend |
 //! | [`rotating`] | §7.1 | per-interval counting with bounded history |
@@ -67,6 +68,7 @@ pub mod rotating;
 pub mod schedule;
 pub mod simulate;
 pub mod sketch;
+pub mod sparse;
 pub mod sync;
 pub mod theory;
 pub mod window;
@@ -83,5 +85,6 @@ pub use parallel::ParallelFleet;
 pub use rotating::RotatingCounter;
 pub use schedule::RateSchedule;
 pub use sketch::SBitmap;
+pub use sparse::SparseFleet;
 pub use sync::SharedCounter;
 pub use window::{AbsorbOutcome, EpochClock, WindowedFleet};

@@ -789,6 +789,40 @@ impl<H: Hasher64 + FromSeed> WindowedFleet<H> {
         Ok(true)
     }
 
+    /// [`WindowedFleet::absorb_epoch`] for a sparse shard: fold a
+    /// [`crate::SparseFleet`]'s state into the ring at absolute epoch
+    /// `epoch` via [`FleetArena::union_from_sparse`] — the collector
+    /// side when measurement nodes run million-key per-flow fleets in
+    /// size-classed sparse storage. Bit-identical to expanding the shard
+    /// with [`crate::SparseFleet::to_arena`] and calling
+    /// [`WindowedFleet::absorb_epoch`], without materializing the dense
+    /// copy. Returns `Ok(false)` when the epoch has already expired.
+    ///
+    /// # Errors
+    ///
+    /// A future epoch, or a configuration/seed mismatch (see
+    /// [`FleetArena::union_from_sparse`]).
+    pub fn absorb_epoch_sparse(
+        &mut self,
+        epoch: u64,
+        other: &crate::sparse::SparseFleet<H>,
+    ) -> Result<bool, SBitmapError> {
+        if epoch > self.clock.epoch() {
+            return Err(SBitmapError::invalid(
+                "epoch",
+                format!(
+                    "epoch {epoch} is ahead of the ring's open epoch {}",
+                    self.clock.epoch()
+                ),
+            ));
+        }
+        let Some(slot) = self.live_slot(epoch) else {
+            return Ok(false);
+        };
+        self.ring[slot].union_from_sparse(other)?;
+        Ok(true)
+    }
+
     /// [`WindowedFleet::absorb_epoch`] with an at-least-once delivery
     /// guard: a `(source, epoch)` pair that was already absorbed is
     /// skipped and reported as [`AbsorbOutcome::Duplicate`], so a network

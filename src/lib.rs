@@ -55,6 +55,6 @@ pub use sbitmap_bitvec::{AtomicBitmap, BitStore, Bitmap, OwnedBitStore, SliceBit
 pub use sbitmap_core::{
     BatchedCounter, Checkpoint, ConcurrentSBitmap, CounterKind, Dimensioning, DistinctCounter,
     EpochClock, FleetArena, KeyedEstimates, MergeableCounter, ParallelFleet, RateSchedule,
-    RotatingCounter, SBitmap, SBitmapError, SharedCounter, SketchFleet, WindowedFleet,
+    RotatingCounter, SBitmap, SBitmapError, SharedCounter, SketchFleet, SparseFleet, WindowedFleet,
 };
 pub use sbitmap_hash::{HashKind, Hasher64};

@@ -4,7 +4,8 @@
 //! every flipped bit, every lying length field must come back as a typed
 //! [`sbitmap::core::SBitmapError`] — never a panic, never an
 //! attacker-sized allocation. The sweeps are exhaustive over golden
-//! frames of several checkpoint kinds (scalar sketch, sketch fleet,
+//! frames of several checkpoint kinds (scalar sketch, sketch fleet —
+//! authored by both the dense arena and the size-classed sparse fleet —
 //! windowed fleet), plus a seeded pass that mutates payload bytes *and
 //! repairs the trailing checksum*, so the payload validators themselves
 //! face the hostile bytes instead of hiding behind the checksum.
@@ -13,7 +14,7 @@ use std::sync::Arc;
 
 use sbitmap::core::codec::{self, peek_kind, CounterKind};
 use sbitmap::hash::mix64;
-use sbitmap::{Checkpoint, FleetArena, RateSchedule, SBitmap, WindowedFleet};
+use sbitmap::{Checkpoint, FleetArena, RateSchedule, SBitmap, SparseFleet, WindowedFleet};
 
 /// Golden frames: one valid v2 checkpoint per kind under test.
 fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
@@ -37,10 +38,25 @@ fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
     ring.advance_to(1).unwrap();
     ring.absorb_epoch(1, &fleet).unwrap();
 
+    // A sparse-authored fleet whose stride is wide enough for the full
+    // size-class ladder (m = 4 000 → 2-word, 8-word and dense classes),
+    // with keys pinned at different rungs: on the wire its frame is
+    // indistinguishable from a dense arena's, so every sweep below runs
+    // over a checkpoint that *came from* size-classed slab storage too.
+    let mut sparse: SparseFleet = SparseFleet::new(5_000, 4_000, 9).unwrap();
+    sparse.insert_u64(3, 1);
+    for item in 0..6u64 {
+        sparse.insert_u64(11, item);
+    }
+    for item in 0..5_000u64 {
+        sparse.insert_u64(42, item);
+    }
+
     vec![
         ("sbitmap", sketch.checkpoint()),
         ("sketch-fleet", fleet.checkpoint()),
         ("windowed-fleet", ring.checkpoint()),
+        ("sparse-fleet", sparse.checkpoint()),
     ]
 }
 
@@ -55,7 +71,13 @@ fn decode_all(bytes: &[u8]) -> bool {
     let a = <SBitmap as Checkpoint>::restore(bytes).is_ok();
     let b = <FleetArena as Checkpoint>::restore(bytes).is_ok();
     let c = <WindowedFleet as Checkpoint>::restore(bytes).is_ok();
-    unframed && (a || b || c)
+    let d = <SparseFleet as Checkpoint>::restore(bytes).is_ok();
+    // Sparse is a storage strategy, not a wire format: on every byte
+    // string — golden, truncated, resealed, lying — both fleet flavors
+    // must reach the same verdict, so each sweep in this file doubles
+    // as a differential test of the sparse restore path.
+    assert_eq!(b, d, "FleetArena / SparseFleet restore verdicts diverged");
+    unframed && (a || b || c || d)
 }
 
 #[test]
@@ -149,6 +171,94 @@ fn oversized_declared_lengths_are_rejected_not_allocated() {
         body[14..22].copy_from_slice(&m);
     });
     assert!(!decode_all(&evil), "m just above the wire cap was accepted");
+    // The sparse restore derives its whole geometry — class specs, slab
+    // extents, record sizes — from `m`, so the same wire cap must bounce
+    // the lie before any of that is allocated.
+    assert!(
+        <SparseFleet as Checkpoint>::restore(&evil).is_err(),
+        "sparse restore accepted m above the wire cap"
+    );
+}
+
+/// Sketch-fleet payload offsets (the golden fleet has `m = 300`, stride
+/// 5 words): record count @34, record 0 key @42, fill @50, words
+/// @58..98, record 1 key @98. Each forged field must come back as a
+/// typed error from *both* fleet flavors.
+#[test]
+fn sketch_fleet_payload_lies_are_rejected_by_both_flavors() {
+    let (_, bytes) = &golden_frames()[1];
+    let both_reject = |evil: &[u8], what: &str| {
+        assert!(
+            <FleetArena as Checkpoint>::restore(evil).is_err(),
+            "dense restore accepted {what}"
+        );
+        assert!(
+            <SparseFleet as Checkpoint>::restore(evil).is_err(),
+            "sparse restore accepted {what}"
+        );
+    };
+    // Record 1 claims record 0's key.
+    let evil = reseal(bytes, |body| {
+        let key0: [u8; 8] = body[42..50].try_into().unwrap();
+        body[98..106].copy_from_slice(&key0);
+    });
+    both_reject(&evil, "a duplicate key");
+    // A fill counter disagreeing with the bitmap popcount.
+    let evil = reseal(bytes, |body| body[50] ^= 1);
+    both_reject(&evil, "a fill/popcount mismatch");
+    // A bit at position `m` in the tail word, with the fill counter
+    // adjusted to match, so only the beyond-`m` validator can object.
+    let evil = reseal(bytes, |body| {
+        body[95] |= 0x10; // bit 300 of record 0's bitmap; m = 300
+        let fill = u64::from_le_bytes(body[50..58].try_into().unwrap()) + 1;
+        body[50..58].copy_from_slice(&fill.to_le_bytes());
+    });
+    both_reject(&evil, "a bit at m");
+    // A record count smaller than the records present: the leftover
+    // bytes are a typed trailing-garbage error, not silently dropped
+    // fleet state.
+    let evil = reseal(bytes, |body| {
+        body[34..42].copy_from_slice(&2u64.to_le_bytes());
+    });
+    both_reject(&evil, "trailing records beyond the declared count");
+}
+
+#[test]
+fn sketch_fleet_goldens_restore_into_both_flavors_byte_identically() {
+    for (name, bytes) in golden_frames() {
+        if peek_kind(&bytes).unwrap().1 != CounterKind::SketchFleet {
+            continue;
+        }
+        let dense = <FleetArena as Checkpoint>::restore(&bytes).unwrap();
+        let sparse = <SparseFleet as Checkpoint>::restore(&bytes).unwrap();
+        assert_eq!(dense.checkpoint(), bytes, "{name}: dense round-trip");
+        assert_eq!(sparse.checkpoint(), bytes, "{name}: sparse round-trip");
+        assert_eq!(sparse.keys_sorted(), dense.keys_sorted(), "{name}: keys");
+        for key in sparse.keys_sorted() {
+            assert_eq!(
+                sparse.estimate(key),
+                dense.estimate(key),
+                "{name}: estimate for key {key}"
+            );
+        }
+    }
+    // The sparse-authored golden spans the class ladder; restoring it
+    // lands each record straight in its fill-appropriate class rather
+    // than replaying the promotion history.
+    let (_, bytes) = &golden_frames()[3];
+    let sparse = <SparseFleet as Checkpoint>::restore(bytes).unwrap();
+    assert!(sparse.class_count() > 1, "ladder collapsed to one class");
+    let histogram = sparse.class_histogram();
+    let occupied = histogram.iter().filter(|&&n| n > 0).count();
+    assert!(
+        occupied >= 2,
+        "expected a spread across classes: {histogram:?}"
+    );
+    assert_eq!(
+        sparse.class_of(42),
+        Some(sparse.class_count() - 1),
+        "the hot key belongs in the dense class"
+    );
 }
 
 #[test]
