@@ -22,6 +22,12 @@
 //!   is written to a fresh directory, and the lane times
 //!   [`Daemon::start`] + replay-to-ready + drain, `ns/item` per record
 //!   replayed — the restart-cost half of the crash-safety story.
+//! * **daemon_replicated_ingest** — the fault-free lane with a standby
+//!   attached ([`sbitmap_daemon::run_loopback_replicated`]): every
+//!   acked frame was first streamed to, absorbed by, and acknowledged
+//!   from the standby. The ratio (`replication_overhead`) is the
+//!   high-availability tax, gated in CI via
+//!   `--assert-max-replication-overhead`.
 //!
 //! Before timing anything, [`run`] proves a clean loopback run
 //! reproduces [`run_windowed_pipeline`] exactly — per-link estimates
@@ -36,7 +42,7 @@ use std::time::Duration;
 
 use sbitmap_core::journal::{self, JournalConfig, JournalRecord};
 use sbitmap_core::{Checkpoint, FleetArena, RateSchedule};
-use sbitmap_daemon::{run_loopback, Daemon, DaemonConfig};
+use sbitmap_daemon::{run_loopback, run_loopback_replicated, Daemon, DaemonConfig};
 use sbitmap_stream::{quantile_summary, run_windowed_pipeline, FaultPlan, WindowedPipelineConfig};
 
 use crate::harness::{Bench, Measurement};
@@ -139,6 +145,21 @@ pub fn journal_overhead(results: &[Measurement]) -> f64 {
     }
 }
 
+/// Primary/standby WAL-shipping cost relative to the clean loopback
+/// lane — the high-availability tax every acked frame pays for the
+/// semi-synchronous "acked ⇒ replicated" guarantee. Returns `0.0` when
+/// either lane is missing.
+pub fn replication_overhead(results: &[Measurement]) -> f64 {
+    let find = |name: &str| results.iter().find(|m| m.name == name);
+    match (
+        find("daemon_replicated_ingest"),
+        find("daemon_loopback_ingest"),
+    ) {
+        (Some(r), Some(c)) if c.ns_per_item() > 0.0 => r.ns_per_item() / c.ns_per_item(),
+        _ => 0.0,
+    }
+}
+
 fn pipeline_cfg(cfg: &DaemonBenchConfig) -> WindowedPipelineConfig {
     WindowedPipelineConfig {
         links: cfg.links,
@@ -160,6 +181,11 @@ fn daemon_cfg() -> DaemonConfig {
         read_deadline: Duration::from_millis(10),
         write_deadline: Duration::from_millis(500),
         idle_limit: Duration::from_secs(3),
+        // Every lane gets the same deep credit window. The clean lane is
+        // absorber-bound and barely notices; the replicated lane's
+        // bandwidth-delay product spans the standby round trip, so the
+        // default window of 4 would measure the window, not the path.
+        credits: 16,
         ..DaemonConfig::default()
     }
 }
@@ -193,7 +219,7 @@ fn recovery_segment(cfg: &DaemonBenchConfig) -> (Vec<u8>, u64) {
         seed: cfg.seed,
         window: cfg.window as u64,
     };
-    let mut bytes = journal::encode_segment_header(&jcfg, 0);
+    let mut bytes = journal::encode_segment_header(&jcfg, 0, 1);
     let mut records = 0u64;
     for epoch in 0..cfg.epochs as u64 {
         for shard in 0..cfg.shards as u64 {
@@ -256,6 +282,15 @@ pub fn run(cfg: &DaemonBenchConfig) -> DaemonRun {
         let out = run_loopback(&pcfg, dcfg, &[]).expect("journaled loopback run");
         let _ = std::fs::remove_dir_all(&dir);
         out.report.frames_absorbed as usize
+    }));
+    results.push(bench.run("daemon_replicated_ingest", frames, || {
+        let out =
+            run_loopback_replicated(&pcfg, daemon_cfg(), &[]).expect("replicated loopback run");
+        assert_eq!(
+            out.primary.estimates, out.standby.estimates,
+            "the standby must track the primary bit for bit"
+        );
+        out.primary.frames_absorbed as usize
     }));
     let (segment, records) = recovery_segment(cfg);
     results.push(bench.run("daemon_recovery", records, || {
@@ -343,6 +378,10 @@ pub fn report_json(cfg: &DaemonBenchConfig, run: &DaemonRun) -> String {
                 "journal_overhead",
                 format!("{:.3}", journal_overhead(&run.results)),
             ),
+            (
+                "replication_overhead",
+                format!("{:.3}", replication_overhead(&run.results)),
+            ),
             ("strategies_agree", run.strategies_agree.to_string()),
         ],
         &run.results,
@@ -371,18 +410,21 @@ mod tests {
             "daemon_loopback_ingest",
             "daemon_reconnect_storm",
             "daemon_journaled_ingest",
+            "daemon_replicated_ingest",
             "daemon_recovery",
         ] {
             assert!(names.contains(&expect), "missing lane {expect}");
         }
         assert!(storm_overhead(&run.results) > 0.0);
         assert!(journal_overhead(&run.results) > 0.0);
+        assert!(replication_overhead(&run.results) > 0.0);
         assert!(run.bytes_on_wire > 0, "wire counter must be surfaced");
         assert_eq!(run.frames_sent, 12, "shards × epochs × rounds clean sends");
         let json = report_json(&cfg, &run);
         assert!(json.contains("\"bench\": \"daemon\""));
         assert!(json.contains("reconnect_storm_overhead"));
         assert!(json.contains("journal_overhead"));
+        assert!(json.contains("replication_overhead"));
         assert!(json.contains("\"frames_per_run\": 12"));
         assert!(json.contains("\"bytes_on_wire\""));
         assert!(json.contains("\"strategies_agree\": \"true\""));

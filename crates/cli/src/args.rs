@@ -74,6 +74,19 @@ pub struct Options {
     /// `bench-daemon` regression gate: fail if the journaled loopback
     /// lane costs more than this many times the clean loopback lane.
     pub assert_max_journal_overhead: Option<f64>,
+    /// `bench-daemon` regression gate: fail if the replicated loopback
+    /// lane costs more than this many times the clean loopback lane.
+    pub assert_max_replication_overhead: Option<f64>,
+    /// Primary address for `serve`: non-empty starts the daemon as a
+    /// standby following that collector's record stream.
+    pub standby_of: String,
+    /// Ordered collector address list (comma-separated) for `agent`:
+    /// the agent fails over down the list when the current collector
+    /// refuses or times out.
+    pub peers: Vec<String>,
+    /// Fencing term the collector starts in (`serve`); recovery adopts
+    /// the highest journaled term when it is larger.
+    pub initial_term: u64,
     /// Collector address (`HOST:PORT`) for `agent` / `query`.
     pub connect: String,
     /// Ingest listener address for `serve`.
@@ -129,6 +142,10 @@ impl Options {
             data_dir: String::new(),
             snapshot_every: 1_024,
             assert_max_journal_overhead: None,
+            assert_max_replication_overhead: None,
+            standby_of: String::new(),
+            peers: Vec::new(),
+            initial_term: 1,
             connect: String::new(),
             listen: "127.0.0.1:7171".to_string(),
             query_listen: "127.0.0.1:7172".to_string(),
@@ -334,6 +351,41 @@ pub fn parse(argv: &[String]) -> Result<Options, String> {
                     ));
                 }
                 opts.assert_max_journal_overhead = Some(v);
+                i += 2;
+            }
+            "--assert-max-replication-overhead" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--assert-max-replication-overhead: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "--assert-max-replication-overhead must be positive, got {v}"
+                    ));
+                }
+                opts.assert_max_replication_overhead = Some(v);
+                i += 2;
+            }
+            "--standby-of" => {
+                opts.standby_of = value(i)?.to_string();
+                i += 2;
+            }
+            "--peers" => {
+                opts.peers = value(i)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if opts.peers.is_empty() {
+                    return Err("--peers needs at least one HOST:PORT".into());
+                }
+                i += 2;
+            }
+            "--initial-term" => {
+                let v = parse_num(value(i)?).map_err(|e| format!("--initial-term: {e}"))?;
+                if v == 0 {
+                    return Err("--initial-term must be at least 1".into());
+                }
+                opts.initial_term = v;
                 i += 2;
             }
             "--connect" => {
@@ -570,6 +622,28 @@ mod tests {
         assert!(parse(&args("--assert-max-journal-overhead 0")).is_err());
         assert!(parse(&args("--assert-max-journal-overhead nah")).is_err());
         assert!(parse(&args("--data-dir")).is_err());
+    }
+
+    #[test]
+    fn parses_replication_flags() {
+        let o = parse(&args(
+            "--standby-of 10.0.0.1:7171 --peers 10.0.0.1:7171,10.0.0.2:7171 \
+             --initial-term 3 --assert-max-replication-overhead 1.3",
+        ))
+        .unwrap();
+        assert_eq!(o.standby_of, "10.0.0.1:7171");
+        assert_eq!(o.peers, vec!["10.0.0.1:7171", "10.0.0.2:7171"]);
+        assert_eq!(o.initial_term, 3);
+        assert_eq!(o.assert_max_replication_overhead, Some(1.3));
+        let d = parse(&[]).unwrap();
+        assert!(d.standby_of.is_empty());
+        assert!(d.peers.is_empty());
+        assert_eq!(d.initial_term, 1);
+        assert_eq!(d.assert_max_replication_overhead, None);
+        assert!(parse(&args("--peers ,")).is_err());
+        assert!(parse(&args("--initial-term 0")).is_err());
+        assert!(parse(&args("--assert-max-replication-overhead 0")).is_err());
+        assert!(parse(&args("--assert-max-replication-overhead nah")).is_err());
     }
 
     #[test]

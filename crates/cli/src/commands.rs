@@ -18,7 +18,9 @@ use sbitmap_core::journal::{self, JournalConfig};
 use sbitmap_core::{
     simulate, Dimensioning, DistinctCounter, MergeableCounter, RateSchedule, SBitmap,
 };
-use sbitmap_daemon::{query_once, run_agent_rounds, AgentConfig, Daemon, DaemonConfig};
+use sbitmap_daemon::{
+    query_once, run_agent_rounds, run_agent_rounds_failover, AgentConfig, Daemon, DaemonConfig,
+};
 use sbitmap_hash::rng::Xoshiro256StarStar;
 use sbitmap_hash::{HashKind, SplitMix64Hasher};
 use sbitmap_stream::collector::{
@@ -74,6 +76,11 @@ commands:
                       restart the ring recovers to the last acked frame)
                     --snapshot-every N (frames between snapshots,
                       default 1024; 0 keeps the journal only)
+                    --standby-of HOST:PORT (start as a standby: follow
+                      that primary's journal stream; promote later with
+                      `query promote`)
+                    --initial-term T (fencing term to start in;
+                      recovery adopts a higher journaled term)
   recover    inspect a `serve --data-dir` directory without starting a
              daemon: snapshot state, journal segments, record counts and
              any torn tail a crash left behind
@@ -85,11 +92,15 @@ commands:
              flags: --connect HOST:PORT --links L --shards K --shard I
                     --window W --epochs E --seed S --deadline-ms MS
                     --agent-id ID (default shard + 1)
+                    --peers A:P,B:P (ordered collector list; the agent
+                      fails over down the list on refusal or timeout)
   query      ask a running collector one question over its query port
-             usage: query estimate|fill|top|summary|drain
+             usage: query estimate|fill|top|summary|status|promote|drain
                     --connect HOST:PORT
              flags: --key K (estimate/fill) --top N --deadline-ms MS
-             (`summary` prints the same quantile rows as `window`)
+             (`summary` prints the same quantile rows as `window`;
+              `status` reports role/term/replication counters;
+              `promote` turns a standby into the acting primary)
   bench-ingest
              time scalar vs batched vs concurrent ingestion on the
              backbone/worm generators and write a JSON report
@@ -132,6 +143,8 @@ commands:
                     --out PATH (default BENCH_daemon.json)
                     --assert-max-journal-overhead X (fail if journaled
                       ingest > X·clean loopback)
+                    --assert-max-replication-overhead X (fail if the
+                      replicated lane > X·clean loopback)
 
 number flags accept k/m suffixes and scientific notation (64k, 1.5m, 1e6)";
 
@@ -756,6 +769,8 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         checkpoint_path: (!opts.out.is_empty()).then(|| PathBuf::from(&opts.out)),
         data_dir: (!opts.data_dir.is_empty()).then(|| PathBuf::from(&opts.data_dir)),
         snapshot_every: opts.snapshot_every,
+        standby_of: (!opts.standby_of.is_empty()).then(|| opts.standby_of.clone()),
+        initial_term: opts.initial_term,
         ..DaemonConfig::default()
     };
     let daemon = Daemon::start(cfg)?;
@@ -772,6 +787,18 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         opts.credits.max(1)
     )
     .map_err(io_err)?;
+    if opts.standby_of.is_empty() {
+        writeln!(out, "role: primary (term {})", daemon.term()).map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "role: standby following {} (term {}) — ingest answers NotPrimary \
+             until `query promote`",
+            opts.standby_of,
+            daemon.term()
+        )
+        .map_err(io_err)?;
+    }
     if !opts.data_dir.is_empty() {
         writeln!(
             out,
@@ -855,6 +882,17 @@ fn serve_cmd(opts: &Options, input: &mut impl BufRead, out: &mut impl Write) -> 
         out,
         "{} sketch bytes on the wire, {} baseline resyncs served",
         report.bytes_on_wire, report.missing_baselines
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "replication: term {}, {} records replicated, {} standby drops, \
+         {} NotPrimary refusals, {} handler panics survived",
+        report.term,
+        report.replicated_frames,
+        report.replica_drops,
+        report.not_primary_rejects,
+        report.handler_panics
     )
     .map_err(io_err)?;
     if !opts.out.is_empty() {
@@ -981,8 +1019,19 @@ fn recover_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
 }
 
 fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
-    if opts.connect.is_empty() {
-        return Err("agent needs --connect HOST:PORT".into());
+    // The failover list is `--connect` first (when given), then every
+    // `--peers` entry not already present, in order.
+    let mut targets: Vec<String> = Vec::new();
+    if !opts.connect.is_empty() {
+        targets.push(opts.connect.clone());
+    }
+    for p in &opts.peers {
+        if !targets.contains(p) {
+            targets.push(p.clone());
+        }
+    }
+    if targets.is_empty() {
+        return Err("agent needs --connect HOST:PORT (and/or --peers A:P,B:P)".into());
     }
     let pcfg = windowed_cfg(opts);
     if opts.shard >= pcfg.shards {
@@ -1000,6 +1049,7 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         sampling_bits: schedule.split().sampling_bits(),
         seed: pcfg.seed,
         window: pcfg.window as u64,
+        term: 0,
     };
     let agent_id = opts.agent_id.unwrap_or(opts.shard as u64 + 1);
     let acfg = AgentConfig::new(agent_id, echo);
@@ -1012,18 +1062,28 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         pcfg.shards,
         backlog.len(),
         frame_count,
-        opts.connect
+        targets.join(" -> ")
     )
     .map_err(io_err)?;
     out.flush().map_err(io_err)?;
-    let addr = opts.connect.clone();
-    let report = run_agent_rounds(&acfg, backlog, |_attempt| {
-        let stream = TcpStream::connect(&*addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(read_deadline))?;
-        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-        Ok(stream)
-    })?;
+    let report = if targets.len() > 1 {
+        run_agent_rounds_failover(
+            &acfg,
+            backlog,
+            &targets,
+            Duration::from_secs(2),
+            read_deadline,
+        )?
+    } else {
+        let addr = targets[0].clone();
+        run_agent_rounds(&acfg, backlog, |_attempt| {
+            let stream = TcpStream::connect(&*addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(read_deadline))?;
+            stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+            Ok(stream)
+        })?
+    };
     writeln!(
         out,
         "acked {} of {} frames sent ({} bytes) over {} connections ({} duplicates, \
@@ -1038,14 +1098,22 @@ fn agent_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         report.error_frames_seen
     )
     .map_err(io_err)?;
+    if targets.len() > 1 {
+        writeln!(
+            out,
+            "{} failover rotations, {} stale-term acks discarded",
+            report.failovers, report.stale_acks
+        )
+        .map_err(io_err)?;
+    }
     Ok(())
 }
 
 fn query_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     let [what] = opts.paths.as_slice() else {
-        return Err(
-            "query needs exactly one request kind: estimate | fill | top | summary | drain".into(),
-        );
+        return Err("query needs exactly one request kind: \
+             estimate | fill | top | summary | status | promote | drain"
+            .into());
     };
     let need_key = || opts.key.ok_or(format!("query {what} needs --key K"));
     let request = match what.as_str() {
@@ -1053,10 +1121,13 @@ fn query_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
         "fill" => QueryRequest::Fill(need_key()?),
         "top" => QueryRequest::TopK(opts.top.max(1) as u64),
         "summary" => QueryRequest::Summary,
+        "status" => QueryRequest::Status,
+        "promote" => QueryRequest::Promote,
         "drain" => QueryRequest::Drain,
         other => {
             return Err(format!(
-                "unknown query kind `{other}` (estimate | fill | top | summary | drain)"
+                "unknown query kind `{other}` \
+                 (estimate | fill | top | summary | status | promote | drain)"
             ))
         }
     };
@@ -1103,6 +1174,26 @@ fn query_cmd(opts: &Options, out: &mut impl Write) -> Result<(), String> {
                 writeln!(out, "  {:>7.0}%   {v:>21.0}", p * 100.0).map_err(io_err)?;
             }
         }
+        Message::Reply(QueryReply::Status {
+            role,
+            term,
+            journal_seq,
+            absorbed,
+            shed,
+            replicated,
+            peers,
+        }) => {
+            writeln!(
+                out,
+                "role {role:?}, term {term}, journal segment {journal_seq}, \
+                 {absorbed} frames absorbed, {shed} shed, \
+                 {replicated} records replicated, {peers} standby(s) attached"
+            )
+            .map_err(io_err)?;
+        }
+        Message::Reply(QueryReply::Promoted { term }) => {
+            writeln!(out, "promoted: now the acting primary in term {term}").map_err(io_err)?;
+        }
         Message::Reply(QueryReply::Draining) => {
             writeln!(out, "collector acknowledged the drain").map_err(io_err)?;
         }
@@ -1138,6 +1229,12 @@ fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
     writeln!(out, "reconnect storm vs clean loopback: {overhead:.2}x").map_err(io_err)?;
     let journal_tax = sbitmap_bench::daemon::journal_overhead(&run.results);
     writeln!(out, "journaled ingest vs clean loopback: {journal_tax:.2}x").map_err(io_err)?;
+    let replication_tax = sbitmap_bench::daemon::replication_overhead(&run.results);
+    writeln!(
+        out,
+        "replicated loopback vs clean loopback: {replication_tax:.2}x"
+    )
+    .map_err(io_err)?;
     let json = sbitmap_bench::daemon::report_json(&cfg, &run);
     let path = if opts.out.is_empty() {
         "BENCH_daemon.json"
@@ -1154,6 +1251,19 @@ fn bench_daemon(opts: &Options, out: &mut impl Write) -> Result<(), String> {
             ));
         }
         writeln!(out, "journal gate passed: {journal_tax:.2}x <= {max}x").map_err(io_err)?;
+    }
+    if let Some(max) = opts.assert_max_replication_overhead {
+        if replication_tax > max {
+            return Err(format!(
+                "regression: replicated loopback ingest costs {replication_tax:.3}x the \
+                 clean lane, above the allowed {max}x"
+            ));
+        }
+        writeln!(
+            out,
+            "replication gate passed: {replication_tax:.2}x <= {max}x"
+        )
+        .map_err(io_err)?;
     }
     Ok(())
 }
@@ -1998,7 +2108,7 @@ mod tests {
             epoch,
             payload: vec![0xab; 64],
         };
-        let mut w = JournalWriter::create(&dir, &jcfg, 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &jcfg, 0, 1, false).unwrap();
         w.append(&rec(1, 0)).unwrap();
         w.append(&rec(2, 1)).unwrap();
         // Half a record: the torn tail a crash mid-append leaves.

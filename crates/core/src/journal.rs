@@ -37,16 +37,22 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SBJS"
-//! 4       1     segment version (1)
+//! 4       1     segment version (2)
 //! 5       8     n_max          (LE u64) ┐
 //! 13      8     m              (LE u64) │ the sketch configuration
 //! 21      4     sampling bits  (LE u32) │ every record in the segment
 //! 25      8     seed           (LE u64) │ was absorbed under
 //! 33      8     window         (LE u64) ┘
 //! 41      8     segment sequence number (LE u64)
-//! 49      8     XXH64 of bytes [0, 49) with seed 0
-//! 57      …     records, back to back
+//! 49      8     replication fencing term (LE u64)
+//! 57      8     XXH64 of bytes [0, 57) with seed 0
+//! 65      …     records, back to back
 //! ```
+//!
+//! Version 2 added the fencing term (see `docs/replication.md`): a
+//! restarted collector resumes at the highest term stamped on any
+//! surviving segment, so a promoted standby cannot forget its promotion
+//! across a crash while it has journal state.
 //!
 //! Segments are named `journal-<seq as %016x>.sbj` and rotate when a
 //! snapshot is written: the snapshot covers every record in segments
@@ -72,14 +78,14 @@ use sbitmap_hash::xxh64;
 const RECORD_MAGIC: &[u8; 4] = b"SBJR";
 /// Magic prefix of every segment file.
 const SEGMENT_MAGIC: &[u8; 4] = b"SBJS";
-/// Current segment header version.
-const SEGMENT_VERSION: u8 = 1;
+/// Current segment header version (2 = fencing term added).
+const SEGMENT_VERSION: u8 = 2;
 /// Fixed record header length: magic + source + epoch + payload length.
 const RECORD_HEADER_LEN: usize = 4 + 8 + 8 + 4;
 /// Trailing XXH64 length (records and segment headers alike).
 const CHECKSUM_LEN: usize = 8;
 /// Fixed segment header length, checksum included.
-pub const SEGMENT_HEADER_LEN: usize = 4 + 1 + 36 + 8 + CHECKSUM_LEN;
+pub const SEGMENT_HEADER_LEN: usize = 4 + 1 + 36 + 8 + 8 + CHECKSUM_LEN;
 /// Largest record payload a scan will accept — matches the net layer's
 /// frame bound, so a corrupted length field cannot demand an absurd
 /// allocation.
@@ -216,12 +222,31 @@ fn decode_record_front(bytes: &[u8]) -> Option<(JournalRecord, usize)> {
     ))
 }
 
+/// Decode exactly one encoded record — the unit the replication stream
+/// ships (a [`encode_record`] image with nothing after it).
+///
+/// # Errors
+///
+/// [`JournalError::Corrupt`] when the bytes are not a single complete
+/// valid record (truncated, bad magic, checksum mismatch, or trailing
+/// garbage).
+pub fn decode_record(bytes: &[u8]) -> Result<JournalRecord, JournalError> {
+    match decode_record_front(bytes) {
+        Some((rec, used)) if used == bytes.len() => Ok(rec),
+        _ => Err(JournalError::Corrupt(
+            "invalid replication record image".into(),
+        )),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Segment codec
 // ---------------------------------------------------------------------
 
-/// Encode a segment header for `cfg` with sequence number `seq`.
-pub fn encode_segment_header(cfg: &JournalConfig, seq: u64) -> Vec<u8> {
+/// Encode a segment header for `cfg` with sequence number `seq`,
+/// stamped with the fencing `term` the collector held when the segment
+/// was opened.
+pub fn encode_segment_header(cfg: &JournalConfig, seq: u64, term: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
     out.extend_from_slice(SEGMENT_MAGIC);
     out.push(SEGMENT_VERSION);
@@ -231,6 +256,7 @@ pub fn encode_segment_header(cfg: &JournalConfig, seq: u64) -> Vec<u8> {
     out.extend_from_slice(&cfg.seed.to_le_bytes());
     out.extend_from_slice(&cfg.window.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&term.to_le_bytes());
     let checksum = xxh64(&out, 0);
     out.extend_from_slice(&checksum.to_le_bytes());
     out
@@ -243,7 +269,7 @@ pub fn encode_segment_header(cfg: &JournalConfig, seq: u64) -> Vec<u8> {
 ///
 /// [`JournalError::Corrupt`] on truncation, bad magic, an unknown
 /// version, or a header checksum mismatch.
-pub fn decode_segment_header(bytes: &[u8]) -> Result<(JournalConfig, u64), JournalError> {
+pub fn decode_segment_header(bytes: &[u8]) -> Result<(JournalConfig, u64, u64), JournalError> {
     if bytes.len() < SEGMENT_HEADER_LEN {
         return Err(JournalError::Corrupt("segment header truncated".into()));
     }
@@ -272,7 +298,8 @@ pub fn decode_segment_header(bytes: &[u8]) -> Result<(JournalConfig, u64), Journ
         window: u64::from_le_bytes(body[33..41].try_into().expect("8 bytes")),
     };
     let seq = u64::from_le_bytes(body[41..49].try_into().expect("8 bytes"));
-    Ok((cfg, seq))
+    let term = u64::from_le_bytes(body[49..57].try_into().expect("8 bytes"));
+    Ok((cfg, seq, term))
 }
 
 /// What scanning one segment produced: its identity plus every record
@@ -281,6 +308,8 @@ pub fn decode_segment_header(bytes: &[u8]) -> Result<(JournalConfig, u64), Journ
 pub struct SegmentScan {
     /// The sequence number stamped in the header.
     pub seq: u64,
+    /// The fencing term stamped in the header.
+    pub term: u64,
     /// The sketch configuration stamped in the header.
     pub config: JournalConfig,
     /// Valid records in append order.
@@ -301,7 +330,7 @@ pub struct SegmentScan {
 /// or corrupt records are not errors; they end the scan and are
 /// reported via [`SegmentScan::trailing_discarded`].
 pub fn scan_segment_bytes(bytes: &[u8]) -> Result<SegmentScan, JournalError> {
-    let (config, seq) = decode_segment_header(bytes)?;
+    let (config, seq, term) = decode_segment_header(bytes)?;
     let mut rest = &bytes[SEGMENT_HEADER_LEN..];
     let mut records = Vec::new();
     while !rest.is_empty() {
@@ -315,6 +344,7 @@ pub fn scan_segment_bytes(bytes: &[u8]) -> Result<SegmentScan, JournalError> {
     }
     Ok(SegmentScan {
         seq,
+        term,
         config,
         records,
         trailing_discarded: rest.len(),
@@ -448,12 +478,14 @@ pub struct JournalWriter {
     file: File,
     path: PathBuf,
     seq: u64,
+    term: u64,
     fsync: bool,
 }
 
 impl JournalWriter {
-    /// Create segment `seq` in `dir` and write its header. Fails if the
-    /// segment file already exists — sequence numbers are never reused.
+    /// Create segment `seq` in `dir` and write its header, stamped with
+    /// the collector's current fencing `term`. Fails if the segment
+    /// file already exists — sequence numbers are never reused.
     ///
     /// When `fsync` is true every append is fsynced before returning
     /// (power-loss durability); when false appends reach the OS page
@@ -467,6 +499,7 @@ impl JournalWriter {
         dir: &Path,
         cfg: &JournalConfig,
         seq: u64,
+        term: u64,
         fsync: bool,
     ) -> Result<Self, JournalError> {
         let path = segment_path(dir, seq);
@@ -479,15 +512,21 @@ impl JournalWriter {
             file,
             path,
             seq,
+            term,
             fsync,
         };
-        writer.append_bytes(&encode_segment_header(cfg, seq))?;
+        writer.append_bytes(&encode_segment_header(cfg, seq, term))?;
         Ok(writer)
     }
 
     /// The segment's sequence number.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The fencing term stamped in the segment header.
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// The segment's path.
@@ -561,13 +600,14 @@ mod tests {
 
     #[test]
     fn record_and_segment_round_trip() {
-        let mut bytes = encode_segment_header(&cfg(), 3);
+        let mut bytes = encode_segment_header(&cfg(), 3, 2);
         let records = vec![rec(1, 0, 4), rec(2, 0, 9), rec(1, 1, 2)];
         for r in &records {
             bytes.extend_from_slice(&encode_record(r));
         }
         let scan = scan_segment_bytes(&bytes).unwrap();
         assert_eq!(scan.seq, 3);
+        assert_eq!(scan.term, 2);
         assert_eq!(scan.config, cfg());
         assert_eq!(scan.records, records);
         assert_eq!(scan.trailing_discarded, 0);
@@ -575,7 +615,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_discarded_and_counted() {
-        let mut bytes = encode_segment_header(&cfg(), 0);
+        let mut bytes = encode_segment_header(&cfg(), 0, 1);
         bytes.extend_from_slice(&encode_record(&rec(1, 0, 4)));
         let torn = encode_record(&rec(2, 0, 9));
         let keep = torn.len() / 2;
@@ -587,7 +627,7 @@ mod tests {
 
     #[test]
     fn bit_flip_stops_the_scan_before_the_flipped_record() {
-        let mut bytes = encode_segment_header(&cfg(), 0);
+        let mut bytes = encode_segment_header(&cfg(), 0, 1);
         bytes.extend_from_slice(&encode_record(&rec(1, 0, 4)));
         let start = bytes.len();
         bytes.extend_from_slice(&encode_record(&rec(2, 0, 9)));
@@ -600,7 +640,7 @@ mod tests {
 
     #[test]
     fn hostile_length_field_is_bounded() {
-        let mut bytes = encode_segment_header(&cfg(), 0);
+        let mut bytes = encode_segment_header(&cfg(), 0, 1);
         let mut r = encode_record(&rec(1, 0, 4));
         r[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&r);
@@ -611,7 +651,7 @@ mod tests {
 
     #[test]
     fn corrupt_header_is_a_typed_error() {
-        let mut bytes = encode_segment_header(&cfg(), 0);
+        let mut bytes = encode_segment_header(&cfg(), 0, 1);
         bytes[6] ^= 0x01;
         assert!(matches!(
             scan_segment_bytes(&bytes),
@@ -627,11 +667,11 @@ mod tests {
     fn writer_listing_and_rotation() {
         let dir = tmp_dir("rotate");
         assert_eq!(next_segment_seq(&dir).unwrap(), 0);
-        let mut w = JournalWriter::create(&dir, &cfg(), 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &cfg(), 0, 1, false).unwrap();
         w.append(&rec(1, 0, 4)).unwrap();
         w.append(&rec(2, 0, 9)).unwrap();
         drop(w);
-        let mut w = JournalWriter::create(&dir, &cfg(), 1, true).unwrap();
+        let mut w = JournalWriter::create(&dir, &cfg(), 1, 3, true).unwrap();
         w.append(&rec(1, 1, 2)).unwrap();
         drop(w);
         let segments = list_segments(&dir).unwrap();
@@ -644,8 +684,10 @@ mod tests {
         assert_eq!(scan0.records.len(), 2);
         let scan1 = read_segment(&segments[1].1).unwrap();
         assert_eq!(scan1.records, vec![rec(1, 1, 2)]);
+        assert_eq!(scan0.term, 1);
+        assert_eq!(scan1.term, 3);
         // Sequence numbers are never reused.
-        assert!(JournalWriter::create(&dir, &cfg(), 1, false).is_err());
+        assert!(JournalWriter::create(&dir, &cfg(), 1, 3, false).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,8 +16,10 @@
 //! fleet of agents restarting together does not stampede the collector
 //! in lockstep — and so every test run backs off identically.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use sbitmap_hash::mix64;
@@ -138,6 +140,14 @@ pub struct AgentReport {
     /// [`ErrorCode::Busy`] (the agent slept the advertised retry-after
     /// hint, then reconnected and retransmitted).
     pub busy_backoffs: u64,
+    /// Acks discarded because they carried a fencing term older than
+    /// one this agent had already seen — answers from a deposed
+    /// primary; their frames stay pending and are retransmitted to the
+    /// new one.
+    pub stale_acks: u64,
+    /// Times the agent rotated to the next collector address (connect
+    /// failure, [`ErrorCode::NotPrimary`], or a stale-term welcome).
+    pub failovers: u64,
 }
 
 /// One unacked wire frame: a full v2 epoch checkpoint (`round: None`,
@@ -156,6 +166,9 @@ enum SessionEnd {
     Done,
     /// Transient trouble; back off and reconnect.
     Retry,
+    /// This collector cannot take writes (standby, or fenced behind a
+    /// newer term): back off and try the *next* configured address.
+    RetryRotate,
     /// The collector rejected us in a way retrying cannot fix.
     Fatal(String),
 }
@@ -191,7 +204,10 @@ where
             bytes,
         })
         .collect();
-    run_items(cfg, items, &HashMap::new(), &HashMap::new(), connect)
+    let mut connect = connect;
+    run_items(cfg, items, &HashMap::new(), &HashMap::new(), |a, _| {
+        connect(a)
+    })
 }
 
 /// Ship a v3 delta backlog — each epoch's round chain from
@@ -240,10 +256,96 @@ where
             });
         }
     }
-    run_items(cfg, items, &baselines, &fallback, connect)
+    let mut connect = connect;
+    run_items(cfg, items, &baselines, &fallback, |a, _| connect(a))
 }
 
-/// The shared retry loop beneath [`run_agent`] and [`run_agent_rounds`].
+/// Ship a v3 delta backlog to a **replicated collector fleet**: an
+/// ordered address list (primary first, standbys after). The agent
+/// dials the first address, and rotates to the next on connection
+/// refusal/timeout, on a typed [`ErrorCode::NotPrimary`] answer, or on
+/// a welcome carrying an older fencing term than one already seen —
+/// the failover path after a primary dies and a standby is promoted.
+///
+/// Term tracking makes the rotation safe against split-brain: the agent
+/// remembers the highest term any collector welcomed it with, refuses
+/// to absorb acks from a lower one (the frames stay pending and are
+/// retransmitted to the new primary, where the seen-guard keeps
+/// absorption exactly-once-effective), and presents that term in its
+/// hello so a deposed primary fences itself.
+///
+/// # Errors
+///
+/// An empty address list, exhausting [`AgentConfig::max_attempts`], or
+/// a fatal handshake rejection (version/config mismatch).
+pub fn run_agent_rounds_failover(
+    cfg: &AgentConfig,
+    backlog: Vec<EpochFrames>,
+    addrs: &[String],
+    connect_timeout: Duration,
+    read_deadline: Duration,
+) -> Result<AgentReport, String> {
+    if addrs.is_empty() {
+        return Err(format!("agent {} has no collector addresses", cfg.agent_id));
+    }
+    let mut items = Vec::new();
+    let mut baselines = HashMap::new();
+    let mut fallback = HashMap::new();
+    for ef in backlog {
+        if let Some(first) = ef.deltas.first() {
+            baselines.insert(ef.epoch, first.clone());
+        }
+        if let Some(full) = ef.fulls.last() {
+            fallback.insert(ef.epoch, full.clone());
+        }
+        for (round, bytes) in ef.deltas.into_iter().enumerate() {
+            items.push(WireItem {
+                epoch: ef.epoch,
+                round: Some(round as u32),
+                bytes,
+            });
+        }
+    }
+    let current = Cell::new(0usize);
+    let rotations = Cell::new(0u64);
+    let rotate = || {
+        current.set((current.get() + 1) % addrs.len());
+        rotations.set(rotations.get() + 1);
+    };
+    let connect = |_attempt: u32, rotate_first: bool| -> io::Result<TcpStream> {
+        if rotate_first {
+            rotate();
+        }
+        let addr = &addrs[current.get()];
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        match TcpStream::connect_timeout(&sock, connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(read_deadline));
+                let _ = stream.set_write_timeout(Some(connect_timeout));
+                Ok(stream)
+            }
+            Err(e) => {
+                // A dead or refusing host: aim the next attempt at the
+                // next address in the list.
+                rotate();
+                Err(e)
+            }
+        }
+    };
+    let mut report = run_items(cfg, items, &baselines, &fallback, connect)?;
+    report.failovers = rotations.get();
+    Ok(report)
+}
+
+/// The shared retry loop beneath [`run_agent`], [`run_agent_rounds`]
+/// and [`run_agent_rounds_failover`]. `connect` receives the attempt
+/// number and whether the previous session asked to rotate to the next
+/// collector address (always `false` for the single-address entry
+/// points, which ignore it).
 fn run_items<S, C>(
     cfg: &AgentConfig,
     items: Vec<WireItem>,
@@ -253,11 +355,16 @@ fn run_items<S, C>(
 ) -> Result<AgentReport, String>
 where
     S: Read + Write,
-    C: FnMut(u32) -> io::Result<S>,
+    C: FnMut(u32, bool) -> io::Result<S>,
 {
     let mut report = AgentReport::default();
     let mut pending = items;
     let mut attempt: u32 = 0;
+    // The highest fencing term any collector has welcomed us with —
+    // survives reconnects, so acks from a deposed primary are
+    // recognizably stale.
+    let mut term_seen: u64 = cfg.config.term;
+    let mut rotate_next = false;
     while !pending.is_empty() {
         if attempt >= cfg.max_attempts {
             return Err(format!(
@@ -280,7 +387,8 @@ where
         }
         let byte_plan = cfg.plan.for_attempt(attempt);
         attempt += 1;
-        let stream = match connect(attempt - 1) {
+        let want_rotate = std::mem::take(&mut rotate_next);
+        let stream = match connect(attempt - 1, want_rotate) {
             Ok(s) => s,
             Err(_) => continue,
         };
@@ -294,9 +402,11 @@ where
             fallback,
             stream,
             &mut report,
+            &mut term_seen,
         ) {
             SessionEnd::Done => break,
             SessionEnd::Retry => {}
+            SessionEnd::RetryRotate => rotate_next = true,
             SessionEnd::Fatal(e) => return Err(e),
         }
     }
@@ -325,6 +435,7 @@ pub fn query_once<S: Read + Write>(
             sampling_bits: 0,
             seed: 0,
             window: 0,
+            term: 0,
         },
     };
     send(&mut reader, &hello).map_err(|e| format!("query hello: {e}"))?;
@@ -364,6 +475,7 @@ fn send<S: Read + Write>(reader: &mut FrameReader<S>, msg: &Message) -> io::Resu
 /// One connection's worth of work: handshake, then send pending frames
 /// under the credit window and process acks until pending drains or the
 /// session dies.
+#[allow(clippy::too_many_arguments)] // internal seam; every arg is distinct state
 fn session<S: Read + Write>(
     cfg: &AgentConfig,
     plan: &FaultPlan,
@@ -372,13 +484,16 @@ fn session<S: Read + Write>(
     fallback: &HashMap<u64, Vec<u8>>,
     stream: FaultyStream<S>,
     report: &mut AgentReport,
+    term_seen: &mut u64,
 ) -> SessionEnd {
     let mut reader = FrameReader::new(stream);
+    // The hello presents the highest term we have seen: a deposed
+    // primary that missed its own fencing recognizes it and refuses.
     let hello = Message::Hello {
         proto: PROTO_VERSION,
         role: Role::Ingest,
         agent: cfg.agent_id,
-        config: cfg.config,
+        config: cfg.config.with_term(*term_seen),
     };
     if send(&mut reader, &hello).is_err() {
         return SessionEnd::Retry;
@@ -386,7 +501,18 @@ fn session<S: Read + Write>(
     let mut last_progress = Instant::now();
     let credits = loop {
         match reader.read_event() {
-            Ok(ReadEvent::Message(Message::Welcome { credits, proto, .. })) => {
+            Ok(ReadEvent::Message(Message::Welcome {
+                credits,
+                proto,
+                config,
+            })) => {
+                if config.term < *term_seen {
+                    // A welcome from a term the fleet has moved past: a
+                    // stale primary that failed to fence itself. Never
+                    // write to it — rotate to the next address.
+                    return SessionEnd::RetryRotate;
+                }
+                *term_seen = config.term;
                 if proto < 2 && pending.iter().any(|i| i.round.is_some()) {
                     // The collector is v2-only: collapse each pending
                     // epoch's delta chain into its full checkpoint. The
@@ -422,6 +548,10 @@ fn session<S: Read + Write>(
                             "collector rejected handshake ({code:?}): {detail}"
                         ));
                     }
+                    // A standby (or a fenced ex-primary): writes only
+                    // land on the acting primary, so try the next
+                    // address in the list.
+                    ErrorCode::NotPrimary => return SessionEnd::RetryRotate,
                     _ => return SessionEnd::Retry,
                 }
             }
@@ -497,9 +627,23 @@ fn session<S: Read + Write>(
             return SessionEnd::Done;
         }
         match reader.read_event() {
-            Ok(ReadEvent::Message(Message::Ack { epoch, outcome })) => {
+            Ok(ReadEvent::Message(Message::Ack {
+                epoch,
+                outcome,
+                term,
+            })) => {
                 last_progress = Instant::now();
                 in_flight = in_flight.saturating_sub(1);
+                if term < *term_seen {
+                    // An ack stamped with a fenced term: a deposed
+                    // primary answering after the fleet moved on. The
+                    // frame stays pending — it will be retransmitted to
+                    // the real primary, where the seen-guard keeps the
+                    // replay exactly-once-effective.
+                    report.stale_acks += 1;
+                    continue;
+                }
+                *term_seen = term.max(*term_seen);
                 if outcome == AckOutcome::Duplicate {
                     report.duplicates += 1;
                 }
@@ -515,9 +659,15 @@ fn session<S: Read + Write>(
                 epoch,
                 round,
                 outcome,
+                term,
             })) => {
                 last_progress = Instant::now();
                 in_flight = in_flight.saturating_sub(1);
+                if term < *term_seen {
+                    report.stale_acks += 1;
+                    continue;
+                }
+                *term_seen = term.max(*term_seen);
                 if outcome == AckOutcome::Duplicate {
                     report.duplicates += 1;
                 }
@@ -621,6 +771,7 @@ fn session<S: Read + Write>(
                             "collector rejected session ({code:?}): {detail}"
                         ));
                     }
+                    ErrorCode::NotPrimary => return SessionEnd::RetryRotate,
                     _ => return SessionEnd::Retry,
                 }
             }
@@ -689,6 +840,7 @@ mod tests {
                     sampling_bits: 4,
                     seed: 1,
                     window: 2,
+                    term: 0,
                 },
             )
         };

@@ -14,6 +14,11 @@
 //! configured [`CrashPoint`] aborts the process mid-pipeline; the
 //! parent observes the non-zero exit and restarts with the same data
 //! directory and no crash point.
+//!
+//! With `CRASHD_STANDBY_OF=<addr>` the instance starts as a standby
+//! following that primary (the failover suite promotes it later via
+//! `QueryRequest::Promote` on the query port); `CRASHD_INITIAL_TERM`
+//! seeds the term counter.
 
 use std::io::Write;
 use std::time::Duration;
@@ -35,6 +40,7 @@ fn main() {
             "mid-journal-append" => CrashSite::MidJournalAppend,
             "mid-snapshot-write" => CrashSite::MidSnapshotWrite,
             "after-snapshot-rename" => CrashSite::AfterSnapshotRename,
+            "after-replicate" => CrashSite::AfterReplicate,
             other => panic!("unknown CRASHD_CRASH_SITE {other:?}"),
         };
         CrashPoint {
@@ -50,6 +56,8 @@ fn main() {
         data_dir: Some(data_dir.into()),
         snapshot_every: env_u64("CRASHD_SNAPSHOT_EVERY", 3),
         crash_point,
+        standby_of: std::env::var("CRASHD_STANDBY_OF").ok(),
+        initial_term: env_u64("CRASHD_INITIAL_TERM", 1),
         read_deadline: Duration::from_millis(10),
         idle_limit: Duration::from_secs(5),
         ..DaemonConfig::default()
@@ -74,8 +82,13 @@ fn main() {
     let report = daemon.join().expect("daemon join");
     writeln!(
         out,
-        "REPORT replayed={} skipped={} journal={} snapshots={}",
-        report.replayed_records, report.replay_skipped, report.journal_records, report.snapshots
+        "REPORT replayed={} skipped={} journal={} snapshots={} term={} replicated={}",
+        report.replayed_records,
+        report.replay_skipped,
+        report.journal_records,
+        report.snapshots,
+        report.term,
+        report.replicated_frames
     )
     .unwrap();
     writeln!(out, "DRAINED").unwrap();

@@ -46,8 +46,12 @@
 
 pub mod agent;
 pub mod loopback;
+mod replica;
 pub mod server;
 
-pub use agent::{query_once, run_agent, run_agent_rounds, AgentConfig, AgentReport, Backoff};
-pub use loopback::{run_loopback, LoopbackOutcome};
+pub use agent::{
+    query_once, run_agent, run_agent_rounds, run_agent_rounds_failover, AgentConfig, AgentReport,
+    Backoff,
+};
+pub use loopback::{run_loopback, run_loopback_replicated, LoopbackOutcome, ReplicatedOutcome};
 pub use server::{CrashPoint, CrashSite, Daemon, DaemonConfig, DaemonReport};

@@ -1,0 +1,372 @@
+//! The standby side of collector replication: a client that follows a
+//! primary's record stream and folds it into the local ring + journal.
+//!
+//! The standby dials the primary's *ingest* listener with a
+//! `Role::Replicate` hello. The primary answers with a catch-up
+//! `ReplicateSnapshot` (a full ring checkpoint), then ships every
+//! subsequently journaled record as a `Replicate` frame — the exact
+//! `SBJR` bytes it appended to its own segment. Each record is decoded,
+//! routed through the absorber's job queue (the single-writer
+//! discipline is preserved: the replication client never touches the
+//! ring directly), journaled locally, and only then acknowledged with
+//! `ReplicateAck` — so the primary's "acked ⇒ replicated" guarantee
+//! means *durable on the standby*, not just received.
+//!
+//! Records ride the replay absorb path (`absorb_delta_replay`): the
+//! primary's journal order already proved every delta chain, and the
+//! chain's baseline may live only inside the catch-up snapshot here.
+//! Overlap between the snapshot and the stream replays as OR-idempotent
+//! duplicates, which is what makes the whole scheme bit-identical.
+//!
+//! The client runs until promotion fences it (`standby_stop`) or the
+//! daemon drains; connection loss reconnects with capped backoff and a
+//! fresh snapshot.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use sbitmap_core::codec::{self, Checkpoint};
+use sbitmap_core::journal;
+use sbitmap_core::{CounterKind, FleetArena, FleetDeltaFrame};
+use sbitmap_stream::net::{self, FrameReader, Message, ReadEvent, Role, PROTO_VERSION};
+
+use crate::server::{FrameJob, Job, JobPayload, Shared};
+
+/// Ceiling of the reconnect backoff between follow attempts.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+/// How one follow session ended.
+enum FollowEnd {
+    /// Promotion or drain: the client must exit for good.
+    Stopped,
+    /// Connection-level failure: reconnect with backoff.
+    Retry,
+}
+
+/// Run the replication client until promotion or drain. Spawned by
+/// `Daemon::start` when `DaemonConfig::standby_of` is set.
+pub(crate) fn run_standby(shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>) {
+    let Some(addr) = shared.cfg.standby_of.clone() else {
+        return;
+    };
+    let mut backoff = Duration::from_millis(50);
+    while !shared.replica_stopped() {
+        match follow_once(shared, &addr, job_tx) {
+            FollowEnd::Stopped => return,
+            FollowEnd::Retry => {
+                sleep_responsive(shared, backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+    }
+}
+
+/// Sleep `total`, waking early when the client must stop.
+fn sleep_responsive(shared: &Shared, total: Duration) {
+    let tick = shared.cfg.read_deadline.max(Duration::from_millis(5));
+    let mut slept = Duration::ZERO;
+    while slept < total && !shared.replica_stopped() {
+        let step = tick.min(total - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+/// One connect → handshake → follow session against the primary.
+fn follow_once(shared: &Arc<Shared>, addr: &str, job_tx: &mpsc::SyncSender<Job>) -> FollowEnd {
+    let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return FollowEnd::Retry;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&sock_addr, shared.cfg.replication_timeout) else {
+        return FollowEnd::Retry;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_deadline));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_deadline));
+    let mut reader = FrameReader::new(stream);
+    let hello = Message::Hello {
+        proto: PROTO_VERSION,
+        role: Role::Replicate,
+        agent: shared.cfg.replica_id,
+        config: shared.echo.with_term(shared.term()),
+    };
+    if send(&mut reader, &hello).is_err() {
+        return FollowEnd::Retry;
+    }
+    // Await the Welcome: adopt the primary's term, verify the sketch
+    // configuration (the term field is negotiated, never compared).
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.replica_stopped() {
+            return FollowEnd::Stopped;
+        }
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::Welcome { config, .. })) => {
+                if !config.agrees_with(&shared.echo) {
+                    // A foreign primary: absorbing its frames would
+                    // corrupt estimates. Back off and retry — the
+                    // operator may repoint us.
+                    return FollowEnd::Retry;
+                }
+                if config.term < shared.term() {
+                    // Stale primary (our term moved past its own): do
+                    // not follow it backwards.
+                    return FollowEnd::Retry;
+                }
+                shared.observe_term(config.term);
+                break;
+            }
+            Ok(ReadEvent::Message(Message::Error { .. })) => return FollowEnd::Retry,
+            Ok(ReadEvent::Message(_)) => return FollowEnd::Retry,
+            Ok(ReadEvent::TimedOut) => {
+                idle += shared.cfg.read_deadline;
+                if idle >= shared.cfg.idle_limit {
+                    return FollowEnd::Retry;
+                }
+            }
+            Ok(ReadEvent::Corrupt(_)) | Ok(ReadEvent::Closed) | Err(_) => {
+                return FollowEnd::Retry;
+            }
+        }
+    }
+    follow_stream(shared, &mut reader, job_tx)
+}
+
+/// The post-handshake follow loop: snapshot, then records.
+///
+/// The loop is pipelined and fully event-driven: each decoded record is
+/// queued to the absorber immediately (the bounded job queue is the
+/// only backpressure) and its seq joins a FIFO shared with a dedicated
+/// *ack pump* thread. The absorber completes jobs in queue order, so
+/// the pump — blocked on the completion channel, writing on a cloned
+/// handle of the same socket — turns every completion into the FIFO
+/// head's `ReplicateAck` the moment it lands, while this loop stays
+/// parked in `read_event` pulling the next records off the wire. No
+/// polling ticks anywhere: reads wake on bytes, acks wake on absorbs.
+fn follow_stream(
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<TcpStream>,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> FollowEnd {
+    let (ack_tx, ack_rx) = mpsc::channel::<Message>();
+    let fifo = Arc::new(Mutex::new(VecDeque::<u64>::new()));
+    let failed = Arc::new(AtomicBool::new(false));
+    let Ok(write_half) = reader.inner_mut().try_clone() else {
+        return FollowEnd::Retry;
+    };
+    let pump = {
+        let shared = shared.clone();
+        let fifo = fifo.clone();
+        let failed = failed.clone();
+        std::thread::spawn(move || ack_pump(&shared, write_half, &fifo, &failed, &ack_rx))
+    };
+    let end = follow_reads(shared, reader, job_tx, &ack_tx, &fifo, &failed);
+    // The pump owns the last word on the socket: drop our completion
+    // sender so it drains the in-flight absorbs (the absorber completes
+    // everything already queued) and exits, then say goodbye.
+    drop(ack_tx);
+    let _ = pump.join();
+    if matches!(end, FollowEnd::Stopped) {
+        let _ = send(reader, &Message::Goodbye);
+    }
+    end
+}
+
+/// The follow loop's read half: decode, fence, queue to the absorber,
+/// and hand each record's seq to the ack pump.
+fn follow_reads(
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<TcpStream>,
+    job_tx: &mpsc::SyncSender<Job>,
+    ack_tx: &mpsc::Sender<Message>,
+    fifo: &Mutex<VecDeque<u64>>,
+    failed: &AtomicBool,
+) -> FollowEnd {
+    loop {
+        if shared.replica_stopped() {
+            return FollowEnd::Stopped;
+        }
+        if failed.load(Ordering::SeqCst) {
+            // The pump hit a write fault or an absorb error: the
+            // primary will stop hearing acks either way — resync.
+            return FollowEnd::Retry;
+        }
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::ReplicateSnapshot { term, frame })) => {
+                if term < shared.term() {
+                    return FollowEnd::Retry;
+                }
+                shared.observe_term(term);
+                let (done_tx, done_rx) = mpsc::channel();
+                if job_tx
+                    .send(Job::InstallSnapshot {
+                        bytes: frame,
+                        done: done_tx,
+                    })
+                    .is_err()
+                {
+                    return FollowEnd::Retry;
+                }
+                match wait_done(shared, &done_rx) {
+                    Some(Ok(())) => {}
+                    Some(Err(_)) | None => return FollowEnd::Retry,
+                }
+            }
+            Ok(ReadEvent::Message(Message::Replicate { seq, term, record })) => {
+                if term < shared.term() {
+                    // The stream belongs to a fenced term — ours moved
+                    // on (promotion raced this read). Never absorb it.
+                    return FollowEnd::Retry;
+                }
+                shared.observe_term(term);
+                let Ok(rec) = journal::decode_record(&record) else {
+                    // A record that fails its own checksum is a
+                    // transport-level fault; resync from scratch.
+                    return FollowEnd::Retry;
+                };
+                let Ok(payload) = decode_payload(&rec) else {
+                    return FollowEnd::Retry;
+                };
+                // The seq joins the FIFO *before* the job is queued so
+                // the pump can never see a completion without its seq.
+                fifo.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push_back(seq);
+                if job_tx
+                    .send(Job::Frame(FrameJob {
+                        epoch: rec.epoch,
+                        agent: rec.source,
+                        payload,
+                        wire: rec.payload,
+                        replay: true,
+                        ack: ack_tx.clone(),
+                    }))
+                    .is_err()
+                {
+                    fifo.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop_back();
+                    return FollowEnd::Retry;
+                }
+            }
+            Ok(ReadEvent::Message(Message::Goodbye)) | Ok(ReadEvent::Closed) => {
+                return FollowEnd::Retry;
+            }
+            Ok(ReadEvent::Message(Message::Error { .. })) => return FollowEnd::Retry,
+            Ok(ReadEvent::Message(_)) => {}
+            Ok(ReadEvent::TimedOut) => {}
+            Ok(ReadEvent::Corrupt(_)) | Err(_) => return FollowEnd::Retry,
+        }
+    }
+}
+
+/// The standby's ack writer: blocked on the absorber's completion
+/// channel, it answers each finished absorb with the in-flight FIFO
+/// head's `ReplicateAck` on its own handle of the follow socket. Any
+/// write fault, absorb error, or bookkeeping mismatch raises `failed`
+/// and stops the pump — the read half notices and resyncs.
+fn ack_pump(
+    shared: &Shared,
+    mut write_half: TcpStream,
+    fifo: &Mutex<VecDeque<u64>>,
+    failed: &AtomicBool,
+    ack_rx: &mpsc::Receiver<Message>,
+) {
+    'pump: for msg in ack_rx {
+        // Acks are cumulative on the primary: batch every completion
+        // already in the channel into one `ReplicateAck` carrying the
+        // newest settled seq — one write per wakeup, not per frame.
+        let mut done = 1usize;
+        let ok = |m: &Message| matches!(m, Message::Ack { .. } | Message::AckDelta { .. });
+        if !ok(&msg) {
+            // A typed absorb error: the record is not durable here.
+            // Withhold the ack; the primary times out, drops us, and
+            // we resync via snapshot.
+            failed.store(true, Ordering::SeqCst);
+            return;
+        }
+        loop {
+            match ack_rx.try_recv() {
+                Ok(m) if ok(&m) => done += 1,
+                Ok(_) => {
+                    failed.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Err(_) => break,
+            }
+        }
+        let mut seq = None;
+        {
+            let mut fifo = fifo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for _ in 0..done {
+                seq = fifo.pop_front();
+                if seq.is_none() {
+                    failed.store(true, Ordering::SeqCst);
+                    return;
+                }
+                shared.note_replicated();
+            }
+        }
+        let Some(seq) = seq else { continue 'pump };
+        let reply = Message::ReplicateAck {
+            seq,
+            term: shared.term(),
+        };
+        if write_half.write_all(&net::encode(&reply)).is_err() {
+            failed.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Wait for the absorber to finish a snapshot install; `None` means the
+/// client must exit.
+fn wait_done(
+    shared: &Shared,
+    done_rx: &mpsc::Receiver<Result<(), String>>,
+) -> Option<Result<(), String>> {
+    let tick = shared.cfg.read_deadline.max(Duration::from_millis(5));
+    loop {
+        match done_rx.recv_timeout(tick) {
+            Ok(result) => return Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.replica_stopped() {
+                    return None;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Some(Err("absorber gone".into())),
+        }
+    }
+}
+
+/// Decode a replicated record's sketch payload the same way the ingest
+/// path does, refusing envelopes that disagree with their contents.
+fn decode_payload(rec: &journal::JournalRecord) -> Result<JobPayload, ()> {
+    let (_, kind) = codec::peek_kind(&rec.payload).map_err(|_| ())?;
+    match kind {
+        CounterKind::SketchFleet => {
+            let fleet = <FleetArena as Checkpoint>::restore(&rec.payload).map_err(|_| ())?;
+            Ok(JobPayload::Full(Box::new(fleet)))
+        }
+        CounterKind::FleetDelta => {
+            let frame = FleetDeltaFrame::decode(&rec.payload).map_err(|_| ())?;
+            if frame.epoch != rec.epoch {
+                return Err(());
+            }
+            Ok(JobPayload::Delta(frame))
+        }
+        _ => Err(()),
+    }
+}
+
+/// Write one frame directly on the socket (the client is synchronous:
+/// one in-flight record, acks from the same loop).
+fn send(reader: &mut FrameReader<TcpStream>, msg: &Message) -> std::io::Result<()> {
+    reader.inner_mut().write_all(&net::encode(msg))
+}

@@ -27,11 +27,12 @@
 //! magic, absurd length, EOF mid-frame) closes the connection, because
 //! after desync no frame boundary can be trusted.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -42,7 +43,7 @@ use sbitmap_core::{
     SBitmapError, WindowedFleet,
 };
 use sbitmap_stream::net::{
-    ConfigEcho, ErrorCode, FrameReader, FrameWriter, Message, NetError, QueryReply, QueryRequest,
+    ConfigEcho, ErrorCode, FrameReader, Message, NetError, NodeRole, QueryReply, QueryRequest,
     ReadEvent, Role, PROTO_VERSION,
 };
 use sbitmap_stream::quantile_summary;
@@ -61,6 +62,12 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// full, before the [`DaemonConfig::busy_timeout`] deadline sheds the
 /// frame with a typed [`ErrorCode::Busy`] answer.
 const BUSY_POLL: Duration = Duration::from_millis(1);
+
+/// How many journal records a standby sender session keeps in flight:
+/// records go on the wire as soon as the completer queues them, acks
+/// settle in order. A peer whose queue backs up this far is hopelessly
+/// behind and gets dropped (it re-syncs from a snapshot on reconnect).
+const REPL_PIPELINE: usize = 64;
 
 /// Where the absorber deliberately dies when a [`CrashPoint`] fires —
 /// each site models one step of the durability pipeline being cut by a
@@ -82,6 +89,11 @@ pub enum CrashSite {
     /// rotated) but before the covered segments are deleted: recovery
     /// must replay the stale segments as no-ops.
     AfterSnapshotRename,
+    /// After the frame's journal record has been shipped to (and acked
+    /// by) every attached standby, but before the agent's ack leaves:
+    /// the standby holds the frame, the agent retransmits it after
+    /// failover, and the seen-guard absorbs the replay as a duplicate.
+    AfterReplicate,
 }
 
 /// Test hook: abort the process (no unwinding, no flushes — the moral
@@ -165,6 +177,32 @@ pub struct DaemonConfig {
     /// [`PROTO_VERSION`]; tests pin it to 1 to exercise a v2-only
     /// collector against delta-capable agents.
     pub max_proto: u16,
+    /// Standby mode: follow the primary whose *ingest* address this is.
+    /// The daemon starts as a standby — it refuses ingest sessions with
+    /// [`ErrorCode::NotPrimary`] until promoted, and runs a replication
+    /// client that absorbs + journals the primary's record stream.
+    /// `None` starts as a primary.
+    pub standby_of: Option<String>,
+    /// The fencing term this collector starts at when its journal holds
+    /// no higher one. Primaries default to 1; standbys adopt the
+    /// primary's term at the replication handshake and bump it on
+    /// promotion.
+    pub initial_term: u64,
+    /// How long the primary waits for a standby to acknowledge one
+    /// replicated record before declaring the standby dead and dropping
+    /// it from the stream. Acked-implies-replicated holds for every
+    /// standby still attached; a dropped standby re-syncs from a fresh
+    /// snapshot when it reconnects.
+    pub replication_timeout: Duration,
+    /// Identity this collector presents when it dials a primary as a
+    /// replication client (the journal `source` field is per-record, so
+    /// this only names the session in primary-side accounting).
+    pub replica_id: u64,
+    /// Test hook: an Estimate query for this key panics the handler
+    /// thread *while it holds the ring lock* — the regression fixture
+    /// proving a poisoned ring mutex cannot wedge later ingest. `None`
+    /// in production.
+    pub panic_on_query: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -189,6 +227,11 @@ impl Default for DaemonConfig {
             crash_point: None,
             absorb_stall: Duration::ZERO,
             max_proto: PROTO_VERSION,
+            standby_of: None,
+            initial_term: 1,
+            replication_timeout: Duration::from_secs(2),
+            replica_id: 0xEDD1,
+            panic_on_query: None,
         }
     }
 }
@@ -212,6 +255,9 @@ struct Stats {
     snapshots: AtomicU64,
     replayed_records: AtomicU64,
     replay_skipped: AtomicU64,
+    replicated_frames: AtomicU64,
+    replica_drops: AtomicU64,
+    not_primary_rejects: AtomicU64,
 }
 
 /// What [`Daemon::join`] returns after a graceful drain.
@@ -263,10 +309,26 @@ pub struct DaemonReport {
     /// epochs the restored ring cannot accept) — each skip left the
     /// ring untouched.
     pub replay_skipped: u64,
+    /// The fencing term the collector held at drain.
+    pub term: u64,
+    /// Journal records replicated: on a primary, per-standby shipped
+    /// *and acknowledged* sends; on a standby, records absorbed from
+    /// the primary's stream.
+    pub replicated_frames: u64,
+    /// Standby sessions dropped for missing the replication-ack
+    /// deadline (each re-syncs from a snapshot when it reconnects).
+    pub replica_drops: u64,
+    /// Ingest/replication handshakes refused with
+    /// [`ErrorCode::NotPrimary`] while this collector was a standby.
+    pub not_primary_rejects: u64,
+    /// Connection-handler threads that panicked. The daemon survives
+    /// them — the ring lock recovers from poisoning because absorbs are
+    /// atomic per frame — but a nonzero count is worth alerting on.
+    pub handler_panics: u64,
 }
 
 /// The sketch payload of one decoded ingest frame.
-enum JobPayload {
+pub(crate) enum JobPayload {
     /// A full v2 `sketch-fleet` checkpoint.
     Full(Box<FleetArena>),
     /// One round of a v3 delta chain (the wire `round` is validated
@@ -274,37 +336,167 @@ enum JobPayload {
     Delta(FleetDeltaFrame),
 }
 
-/// One decoded batch frame queued for the absorber.
-struct Job {
-    epoch: u64,
-    agent: u64,
-    payload: JobPayload,
+/// One unit of work queued for the absorber (the single ring writer).
+pub(crate) enum Job {
+    /// A decoded batch frame from an ingest session or, on a standby,
+    /// one record from the primary's replication stream.
+    Frame(FrameJob),
+    /// Standby catch-up: replace the whole ring with the primary's
+    /// checkpoint and reset the local journal underneath it.
+    InstallSnapshot {
+        /// A complete tag-10 window checkpoint frame.
+        bytes: Vec<u8>,
+        /// Where to report success/failure.
+        done: mpsc::Sender<Result<(), String>>,
+    },
+}
+
+/// A decoded batch frame queued for the absorber.
+pub(crate) struct FrameJob {
+    pub(crate) epoch: u64,
+    pub(crate) agent: u64,
+    pub(crate) payload: JobPayload,
     /// The frame exactly as it arrived on the wire — what the journal
     /// records, so replay decodes the same bytes the live path did.
-    wire: Vec<u8>,
-    ack: mpsc::Sender<Message>,
+    pub(crate) wire: Vec<u8>,
+    /// Replay semantics: replicated records skip the live delta
+    /// baseline check (the primary's journal order already proved the
+    /// chain, but the baseline may live only inside the catch-up
+    /// snapshot here).
+    pub(crate) replay: bool,
+    pub(crate) ack: mpsc::Sender<Message>,
+}
+
+/// A standby attached to this primary. The completer encodes
+/// `Replicate` frames straight onto `out` — the session's writer-thread
+/// queue — so shipping a record costs one channel send, no relay hop.
+struct ReplPeer {
+    id: u64,
+    out: mpsc::Sender<Message>,
+    /// Cleared by the completer when it detaches the peer (deadline
+    /// miss, hopeless backlog); the session's read loop notices within
+    /// one read deadline and closes the connection.
+    alive: Arc<AtomicBool>,
+}
+
+/// Everything that can wake the completer. Unifying absorber output and
+/// peer-session acknowledgements on one channel keeps the completer
+/// event-driven — it never has to poll two sources, so a finished
+/// absorb ships to the standbys immediately and a standby ack releases
+/// its agent ack immediately.
+enum CompleterEvent {
+    /// The absorber finished a frame: ship `record` (if any) and hold
+    /// the ack until every attached standby confirms.
+    Complete(Complete),
+    /// A peer session read a (cumulative) `ReplicateAck`: every record
+    /// shipped to `peer` with wire seq ≤ `acked` is on the standby.
+    PeerAck { peer: u64, acked: u64 },
+    /// A peer session died; everything still in flight on it failed.
+    PeerGone { peer: u64 },
+    /// The absorber is done; settle what remains and exit.
+    Shutdown,
 }
 
 /// State shared by every daemon thread.
-struct Shared {
-    cfg: DaemonConfig,
-    echo: ConfigEcho,
+pub(crate) struct Shared {
+    pub(crate) cfg: DaemonConfig,
+    pub(crate) echo: ConfigEcho,
     ring: Mutex<WindowedFleet>,
     shutdown: AtomicBool,
     /// Set while the absorber replays the journal tail after a restart;
     /// handshakes answer [`ErrorCode::Recovering`] until it clears.
     recovering: AtomicBool,
+    /// Wire value of the current [`NodeRole`] (primary / standby).
+    role: AtomicU8,
+    /// The current fencing term: stamped into welcomes, acks, journal
+    /// segment headers and the replication stream.
+    term: AtomicU64,
+    /// Sequence number of the live journal segment (0 without a data
+    /// dir) — surfaced by [`QueryRequest::Status`].
+    journal_seq: AtomicU64,
+    /// Tells the standby replication client to stop (promotion/drain).
+    standby_stop: AtomicBool,
+    /// Asks the absorber to rotate the journal segment so a freshly
+    /// bumped term reaches disk (set by promotion).
+    promote_rotate: AtomicBool,
+    /// Standby sender sessions currently attached (primary side).
+    peers: Mutex<Vec<ReplPeer>>,
+    /// The completer's event inlet, cloned by replication sender
+    /// sessions so they can report standby acks. Set by the absorber
+    /// before the recovering gate opens; `None` only before that.
+    repl_events: Mutex<Option<mpsc::Sender<CompleterEvent>>>,
     stats: Stats,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
     fn recovering(&self) -> bool {
         self.recovering.load(Ordering::SeqCst)
     }
+
+    pub(crate) fn term(&self) -> u64 {
+        self.term.load(Ordering::SeqCst)
+    }
+
+    /// Adopt a term seen on the wire if it is newer than ours (terms
+    /// only move forward).
+    pub(crate) fn observe_term(&self, term: u64) {
+        self.term.fetch_max(term, Ordering::SeqCst);
+    }
+
+    /// `true` once the standby replication client must exit: promotion
+    /// fenced the old stream, or the daemon is draining.
+    pub(crate) fn replica_stopped(&self) -> bool {
+        self.standby_stop.load(Ordering::SeqCst) || self.draining()
+    }
+
+    /// Count one record absorbed from the primary's stream (standby
+    /// side of [`DaemonReport::replicated_frames`]).
+    pub(crate) fn note_replicated(&self) {
+        self.stats.replicated_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn is_standby(&self) -> bool {
+        self.role.load(Ordering::SeqCst) == 1
+    }
+
+    fn node_role(&self) -> NodeRole {
+        if self.recovering() {
+            NodeRole::Recovering
+        } else if self.is_standby() {
+            NodeRole::Standby
+        } else {
+            NodeRole::Primary
+        }
+    }
+
+    /// Promote a standby to primary: bump the term, fence the old
+    /// stream, stop the replication client, start accepting ingest.
+    /// Idempotent — promoting a primary just reports the current term.
+    fn promote(&self) -> u64 {
+        if self.is_standby() {
+            let term = self.term.fetch_add(1, Ordering::SeqCst) + 1;
+            self.standby_stop.store(true, Ordering::SeqCst);
+            self.promote_rotate.store(true, Ordering::SeqCst);
+            self.role.store(0, Ordering::SeqCst);
+            term
+        } else {
+            self.term()
+        }
+    }
+}
+
+/// Lock the ring, recovering the guard if a panicked handler poisoned
+/// it. Safe because every ring mutation is atomic per frame: a handler
+/// that panics mid-query mutated nothing, and the absorber's writes
+/// complete before its lock drops — the state under a poisoned lock is
+/// always a valid ring.
+fn lock_ring(ring: &Mutex<WindowedFleet>) -> MutexGuard<'_, WindowedFleet> {
+    ring.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// A running daemon. Dropping it without [`Daemon::join`] leaks the
@@ -316,6 +508,7 @@ pub struct Daemon {
     accept_threads: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     absorber: JoinHandle<()>,
+    replica: Option<JoinHandle<()>>,
     job_tx: mpsc::SyncSender<Job>,
 }
 
@@ -332,12 +525,15 @@ impl Daemon {
         }
         let schedule =
             Arc::new(RateSchedule::from_memory(cfg.n_max, cfg.m_bits).map_err(|e| e.to_string())?);
+        // The echo template carries term 0; every handshake stamps the
+        // live term in with `with_term`.
         let echo = ConfigEcho {
             n_max: cfg.n_max,
             m: cfg.m_bits as u64,
             sampling_bits: schedule.split().sampling_bits(),
             seed: cfg.seed,
             window: cfg.window as u64,
+            term: 0,
         };
         let ring = WindowedFleet::with_schedule(schedule, cfg.seed, cfg.window)
             .map_err(|e| e.to_string())?;
@@ -345,14 +541,17 @@ impl Daemon {
         // stage the journal tail for replay; both refuse typed on a
         // config mismatch. The actual replay runs on the absorber
         // thread behind the `recovering` flag so startup stays fast.
-        let (ring, durability) = match &cfg.data_dir {
-            None => (ring, None),
+        // The term resumes at the highest one stamped on a surviving
+        // segment, so a promotion is not forgotten across a restart.
+        let (ring, durability, term) = match &cfg.data_dir {
+            None => (ring, None, cfg.initial_term),
             Some(dir) => {
-                let (restored, durability) = open_durability(dir, &echo, &cfg)?;
-                (restored.unwrap_or(ring), Some(durability))
+                let (restored, durability, term) = open_durability(dir, &echo, &cfg)?;
+                (restored.unwrap_or(ring), Some(durability), term)
             }
         };
         let must_replay = durability.as_ref().is_some_and(|d| !d.replay.is_empty());
+        let journal_seq = durability.as_ref().map_or(0, |d| d.writer.seq());
         let ingest = TcpListener::bind(&cfg.ingest_addr)
             .map_err(|e| format!("bind {}: {e}", cfg.ingest_addr))?;
         let query = TcpListener::bind(&cfg.query_addr)
@@ -362,12 +561,20 @@ impl Daemon {
         ingest.set_nonblocking(true).map_err(|e| e.to_string())?;
         query.set_nonblocking(true).map_err(|e| e.to_string())?;
 
+        let is_standby = cfg.standby_of.is_some();
         let shared = Arc::new(Shared {
             cfg,
             echo,
             ring: Mutex::new(ring),
             shutdown: AtomicBool::new(false),
             recovering: AtomicBool::new(must_replay),
+            role: AtomicU8::new(u8::from(is_standby)),
+            term: AtomicU64::new(term),
+            journal_seq: AtomicU64::new(journal_seq),
+            standby_stop: AtomicBool::new(false),
+            promote_rotate: AtomicBool::new(false),
+            peers: Mutex::new(Vec::new()),
+            repl_events: Mutex::new(None),
             stats: Stats::default(),
         });
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_frames);
@@ -376,6 +583,15 @@ impl Daemon {
         let absorber = {
             let shared = shared.clone();
             std::thread::spawn(move || absorber_loop(&shared, &job_rx, durability))
+        };
+        let replica = if is_standby {
+            let shared = shared.clone();
+            let job_tx = job_tx.clone();
+            Some(std::thread::spawn(move || {
+                crate::replica::run_standby(&shared, &job_tx);
+            }))
+        } else {
+            None
         };
         let mut accept_threads = Vec::with_capacity(2);
         {
@@ -405,6 +621,7 @@ impl Daemon {
             accept_threads,
             handlers,
             absorber,
+            replica,
             job_tx,
         })
     }
@@ -444,6 +661,24 @@ impl Daemon {
         self.shared.recovering()
     }
 
+    /// The collector's current replication role.
+    pub fn node_role(&self) -> NodeRole {
+        self.shared.node_role()
+    }
+
+    /// The current fencing term.
+    pub fn term(&self) -> u64 {
+        self.shared.term()
+    }
+
+    /// Promote a standby to primary: bump the fencing term, stop the
+    /// replication client, start accepting ingest sessions. Idempotent
+    /// on a primary. Returns the term now in force. (Remote peers do
+    /// the same thing with [`QueryRequest::Promote`].)
+    pub fn promote(&self) -> u64 {
+        self.shared.promote()
+    }
+
     /// Block until the daemon has fully drained (the flag must be — or
     /// become — set, e.g. via [`Daemon::drain`] or a remote
     /// [`QueryRequest::Drain`]), write the final ring checkpoint, and
@@ -451,24 +686,41 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// A panicked serving thread, or a failed checkpoint write.
+    /// A panicked core thread (acceptor/absorber), or a failed
+    /// checkpoint write. Panicked *connection handlers* are tolerated —
+    /// the ring lock recovers from their poisoning — and reported via
+    /// [`DaemonReport::handler_panics`].
     pub fn join(self) -> Result<DaemonReport, String> {
+        // The standby replication client polls both the drain flag and
+        // the promote stop flag; it exits within one read deadline.
+        self.shared.standby_stop.store(true, Ordering::SeqCst);
         for t in self.accept_threads {
             t.join().map_err(|_| "accept thread panicked".to_string())?;
         }
         // No new connections past this point; existing handlers observe
         // the flag within one read deadline.
-        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        let handlers = std::mem::take(
+            &mut *self
+                .handlers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let mut handler_panics = 0u64;
         for t in handlers {
+            if t.join().is_err() {
+                handler_panics += 1;
+            }
+        }
+        if let Some(t) = self.replica {
             t.join()
-                .map_err(|_| "handler thread panicked".to_string())?;
+                .map_err(|_| "replica thread panicked".to_string())?;
         }
         drop(self.job_tx);
         self.absorber
             .join()
             .map_err(|_| "absorber thread panicked".to_string())?;
         let (estimates, final_epoch, final_checkpoint) = {
-            let ring = self.shared.ring.lock().unwrap();
+            let ring = lock_ring(&self.shared.ring);
             (
                 ring.estimates_sorted(),
                 ring.current_epoch(),
@@ -511,6 +763,11 @@ impl Daemon {
             snapshots: s.snapshots.load(Ordering::Relaxed),
             replayed_records: s.replayed_records.load(Ordering::Relaxed),
             replay_skipped: s.replay_skipped.load(Ordering::Relaxed),
+            term: self.shared.term(),
+            replicated_frames: s.replicated_frames.load(Ordering::Relaxed),
+            replica_drops: s.replica_drops.load(Ordering::Relaxed),
+            not_primary_rejects: s.not_primary_rejects.load(Ordering::Relaxed),
+            handler_panics,
         })
     }
 }
@@ -566,6 +823,9 @@ struct Durability {
 /// Open (or create) the durability directory: restore the snapshot if
 /// one exists, validate every journal segment header against the
 /// collector's config, and open a fresh segment for this run's appends.
+/// The returned term is the highest one stamped on a surviving segment
+/// (floored at [`DaemonConfig::initial_term`]) — a promotion is not
+/// forgotten across a restart.
 ///
 /// Refuses with a typed message when the snapshot or any segment was
 /// written under a different sketch configuration — replaying foreign
@@ -574,7 +834,7 @@ fn open_durability(
     dir: &Path,
     echo: &ConfigEcho,
     cfg: &DaemonConfig,
-) -> Result<(Option<WindowedFleet>, Durability), String> {
+) -> Result<(Option<WindowedFleet>, Durability, u64), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create data dir {}: {e}", dir.display()))?;
     let jcfg = JournalConfig {
         n_max: echo.n_max,
@@ -602,11 +862,12 @@ fn open_durability(
     };
     let segments = journal::list_segments(dir).map_err(|e| e.to_string())?;
     let mut replay = Vec::with_capacity(segments.len());
+    let mut term = cfg.initial_term;
     let last = segments.len().saturating_sub(1);
     for (i, (seq, path)) in segments.into_iter().enumerate() {
         match read_segment_header(&path) {
             Ok(header) => {
-                let (found, _) =
+                let (found, _, seg_term) =
                     journal::decode_segment_header(&header).map_err(|e| e.to_string())?;
                 if found != jcfg {
                     return Err(journal::JournalError::ConfigMismatch {
@@ -615,6 +876,7 @@ fn open_durability(
                     }
                     .to_string());
                 }
+                term = term.max(seg_term);
                 replay.push((seq, path));
             }
             // The newest segment may have a torn header (crash during
@@ -627,8 +889,8 @@ fn open_durability(
         }
     }
     let seq = journal::next_segment_seq(dir).map_err(|e| e.to_string())?;
-    let writer =
-        JournalWriter::create(dir, &jcfg, seq, cfg.fsync_journal).map_err(|e| e.to_string())?;
+    let writer = JournalWriter::create(dir, &jcfg, seq, term, cfg.fsync_journal)
+        .map_err(|e| e.to_string())?;
     Ok((
         restored,
         Durability {
@@ -640,6 +902,7 @@ fn open_durability(
             absorbed: 0,
             snapshot_attempts: 0,
         },
+        term,
     ))
 }
 
@@ -702,7 +965,7 @@ fn replay_journal(shared: &Shared, d: &Durability) {
 /// exactly as it was before the call.
 fn replay_record(shared: &Shared, rec: &JournalRecord) -> Result<AbsorbOutcome, ()> {
     let (_, kind) = codec::peek_kind(&rec.payload).map_err(|_| ())?;
-    let mut ring = shared.ring.lock().unwrap();
+    let mut ring = lock_ring(&shared.ring);
     let current = ring.current_epoch();
     if rec.epoch > current && rec.epoch - current > MAX_EPOCH_JUMP {
         return Err(());
@@ -745,29 +1008,33 @@ fn crash_if(shared: &Shared, site: CrashSite, count: u64) {
 }
 
 /// Append the just-absorbed frame to the journal — the write-ahead step
-/// that must land *before* the ack leaves. `Err(detail)` means the
+/// that must land *before* the ack leaves. Returns the encoded record
+/// image (what replication ships verbatim). `Err(detail)` means the
 /// append failed and the frame must not be acked as durable.
-fn journal_absorbed(shared: &Shared, d: &mut Durability, job: &Job) -> Result<(), String> {
+fn journal_absorbed(
+    shared: &Shared,
+    d: &mut Durability,
+    job: &FrameJob,
+) -> Result<Vec<u8>, String> {
     d.absorbed += 1;
     crash_if(shared, CrashSite::AbsorbBeforeJournal, d.absorbed);
-    let rec = JournalRecord {
+    let encoded = journal::encode_record(&JournalRecord {
         source: job.agent,
         epoch: job.epoch,
         payload: job.wire.clone(),
-    };
+    });
     if let Some(cp) = shared.cfg.crash_point {
         if cp.site == CrashSite::MidJournalAppend && cp.after == d.absorbed {
             // Write half the record, then die: recovery must discard
             // the torn tail by checksum.
-            let encoded = journal::encode_record(&rec);
             let _ = d.writer.append_bytes(&encoded[..encoded.len() / 2]);
             std::process::abort();
         }
     }
-    d.writer.append(&rec).map_err(|e| e.to_string())?;
+    d.writer.append_bytes(&encoded).map_err(|e| e.to_string())?;
     d.since_snapshot += 1;
     shared.stats.journal_records.fetch_add(1, Ordering::Relaxed);
-    Ok(())
+    Ok(encoded)
 }
 
 /// Snapshot the ring and rotate the journal when the cadence is due.
@@ -781,7 +1048,7 @@ fn maybe_snapshot(shared: &Shared, d: &mut Durability) {
     if shared.cfg.snapshot_every == 0 || d.since_snapshot < shared.cfg.snapshot_every {
         return;
     }
-    let bytes = shared.ring.lock().unwrap().checkpoint();
+    let bytes = lock_ring(&shared.ring).checkpoint();
     d.snapshot_attempts += 1;
     let snap_path = d.dir.join(journal::SNAPSHOT_FILE);
     if let Some(cp) = shared.cfg.crash_point {
@@ -798,8 +1065,17 @@ fn maybe_snapshot(shared: &Shared, d: &mut Durability) {
         return;
     }
     let covered = d.writer.seq();
-    match JournalWriter::create(&d.dir, &d.jcfg, covered + 1, shared.cfg.fsync_journal) {
-        Ok(writer) => d.writer = writer,
+    match JournalWriter::create(
+        &d.dir,
+        &d.jcfg,
+        covered + 1,
+        shared.term(),
+        shared.cfg.fsync_journal,
+    ) {
+        Ok(writer) => {
+            d.writer = writer;
+            shared.journal_seq.store(covered + 1, Ordering::SeqCst);
+        }
         // Rotation failed: the old writer stays live. The snapshot is
         // still valid — replaying the covered segment is a no-op.
         Err(_) => return,
@@ -816,22 +1092,362 @@ fn maybe_snapshot(shared: &Shared, d: &mut Durability) {
     shared.stats.snapshots.fetch_add(1, Ordering::Relaxed);
 }
 
+/// One finished absorb handed to the completer thread: the ack to
+/// release, and — for a newly absorbed primary frame — the journal
+/// record image to ship to every attached standby first.
+struct Complete {
+    msg: Message,
+    ack: mpsc::Sender<Message>,
+    record: Option<Arc<Vec<u8>>>,
+}
+
+/// `true` when at least one standby sender session is attached.
+fn has_peers(shared: &Shared) -> bool {
+    !shared
+        .peers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .is_empty()
+}
+
+/// One agent ack the completer is holding back until every standby that
+/// was attached at ship time has acknowledged the frame's journal
+/// record (or missed the replication deadline and been dropped).
+struct PendingAck {
+    /// The completer's own monotone id for this frame (what per-peer
+    /// ship FIFOs reference).
+    seq: u64,
+    msg: Message,
+    ack: mpsc::Sender<Message>,
+    /// Whether a journal record rode along (drives the crash-site
+    /// counter and the `AfterReplicate` semantics: after broadcast,
+    /// before the agent ack).
+    record: bool,
+    shipped_at: Instant,
+    /// Peers whose acknowledgement is still outstanding.
+    waits: Vec<u64>,
+}
+
+/// The completer's view of one attached standby: the wire seqs shipped
+/// to it and not yet acked, paired with the pending acks they hold up
+/// (a standby acks strictly in ship order, so a cumulative `PeerAck`
+/// settles a prefix of this FIFO).
+struct PeerShip {
+    fifo: VecDeque<(u64, u64)>,
+    next_wire: u64,
+}
+
+/// The completer's working state: acks held in absorb order, plus the
+/// per-peer ship FIFOs.
+struct Completer {
+    pending: VecDeque<PendingAck>,
+    ships: HashMap<u64, PeerShip>,
+    next_seq: u64,
+    shipped: u64,
+}
+
+impl Completer {
+    /// Ship one absorbed frame's record to every attached standby
+    /// without waiting, and hold its ack. The `Replicate` frame goes
+    /// straight onto each peer's writer queue; a peer already sitting
+    /// on [`REPL_PIPELINE`] unacked records is hopelessly behind and is
+    /// dropped on the spot — it re-syncs from a snapshot on reconnect.
+    fn ship(&mut self, shared: &Shared, c: Complete) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let mut waits = Vec::new();
+        let mut dead = Vec::new();
+        if let Some(record) = &c.record {
+            let term = shared.term();
+            let mut peers = shared
+                .peers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            peers.retain(|p| {
+                let ship = self.ships.entry(p.id).or_insert_with(|| PeerShip {
+                    fifo: VecDeque::new(),
+                    next_wire: 0,
+                });
+                ship.next_wire += 1;
+                let sent = ship.fifo.len() < REPL_PIPELINE
+                    && p.out
+                        .send(Message::Replicate {
+                            seq: ship.next_wire,
+                            term,
+                            record: record.as_ref().clone(),
+                        })
+                        .is_ok();
+                if sent {
+                    waits.push(p.id);
+                    ship.fifo.push_back((ship.next_wire, seq));
+                    true
+                } else {
+                    shared.stats.replica_drops.fetch_add(1, Ordering::Relaxed);
+                    p.alive.store(false, Ordering::SeqCst);
+                    dead.push(p.id);
+                    false
+                }
+            });
+        }
+        self.pending.push_back(PendingAck {
+            seq,
+            msg: c.msg,
+            ack: c.ack,
+            record: c.record.is_some(),
+            shipped_at: Instant::now(),
+            waits,
+        });
+        for peer in dead {
+            self.drop_peer(shared, peer);
+        }
+    }
+
+    /// A peer cumulatively acknowledged every record shipped to it with
+    /// wire seq ≤ `acked`.
+    fn peer_acked(&mut self, shared: &Shared, peer: u64, acked: u64) {
+        // A stray ack from a peer the deadline already expired is
+        // simply absent from the map.
+        let Some(ship) = self.ships.get_mut(&peer) else {
+            return;
+        };
+        while ship.fifo.front().is_some_and(|(wire, _)| *wire <= acked) {
+            let (_, seq) = ship.fifo.pop_front().expect("front exists");
+            if let Some(p) = self.pending.iter_mut().find(|p| p.seq == seq) {
+                p.waits.retain(|id| *id != peer);
+                shared
+                    .stats
+                    .replicated_frames
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Forget a dead peer: every record still in flight on it failed.
+    fn drop_peer(&mut self, shared: &Shared, peer: u64) {
+        self.ships.remove(&peer);
+        for p in &mut self.pending {
+            let before = p.waits.len();
+            p.waits.retain(|id| *id != peer);
+            let failed = (before - p.waits.len()) as u64;
+            if failed > 0 {
+                shared
+                    .stats
+                    .replica_drops
+                    .fetch_add(failed, Ordering::Relaxed);
+            }
+        }
+        // Clearing `alive` tells the sender session to close; the
+        // session deregisters itself on the way out.
+        let mut peers = shared
+            .peers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(p) = peers.iter().find(|p| p.id == peer) {
+            p.alive.store(false, Ordering::SeqCst);
+        }
+        peers.retain(|p| p.id != peer);
+    }
+
+    /// Release every front ack whose waits are all settled.
+    fn release_ready(&mut self, shared: &Shared) {
+        while self.pending.front().is_some_and(|p| p.waits.is_empty()) {
+            let p = self.pending.pop_front().expect("front exists");
+            if p.record {
+                self.shipped += 1;
+                // The frame is on the standby but the agent never saw
+                // the ack: after failover the agent retransmits and the
+                // seen-guard absorbs the replay as a duplicate.
+                crash_if(shared, CrashSite::AfterReplicate, self.shipped);
+            }
+            let _ = p.ack.send(p.msg);
+        }
+    }
+
+    /// The oldest ack missed [`DaemonConfig::replication_timeout`]:
+    /// drop every peer still holding it up.
+    fn expire_front(&mut self, shared: &Shared) {
+        let Some(front) = self.pending.front() else {
+            return;
+        };
+        if front.shipped_at.elapsed() < shared.cfg.replication_timeout {
+            return;
+        }
+        for peer in front.waits.clone() {
+            self.drop_peer(shared, peer);
+        }
+    }
+}
+
+/// The completer thread: ships each newly absorbed record to every
+/// attached standby *immediately*, then releases agent acks in absorb
+/// order as the standby acknowledgements stream back. Everything is
+/// event-driven over one channel — no polling ticks anywhere — so the
+/// standby can be absorbing record N while records N+1.. are already on
+/// the wire, and the write-ahead guarantee ("acked ⇒ journaled and
+/// replicated") costs latency, not throughput.
+fn completer_loop(shared: &Shared, rx: &mpsc::Receiver<CompleterEvent>) {
+    let mut state = Completer {
+        pending: VecDeque::new(),
+        ships: HashMap::new(),
+        next_seq: 0,
+        shipped: 0,
+    };
+    let mut open = true;
+    while open || !state.pending.is_empty() {
+        let event = if let Some(front) = state.pending.front() {
+            // Wake when the oldest ack would miss the replication
+            // deadline, even if no event arrives.
+            let left = shared
+                .cfg
+                .replication_timeout
+                .saturating_sub(front.shipped_at.elapsed());
+            match rx.recv_timeout(left) {
+                Ok(e) => e,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    state.expire_front(shared);
+                    state.release_ready(shared);
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Absorber and every session are gone; nothing can
+                    // settle the remaining waits.
+                    for p in &mut state.pending {
+                        for _ in p.waits.drain(..) {
+                            shared.stats.replica_drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    state.release_ready(shared);
+                    break;
+                }
+            }
+        } else {
+            match rx.recv() {
+                Ok(e) => e,
+                Err(_) => break,
+            }
+        };
+        match event {
+            CompleterEvent::Complete(c) => state.ship(shared, c),
+            CompleterEvent::PeerAck { peer, acked } => state.peer_acked(shared, peer, acked),
+            CompleterEvent::PeerGone { peer } => state.drop_peer(shared, peer),
+            CompleterEvent::Shutdown => open = false,
+        }
+        state.release_ready(shared);
+    }
+}
+
+/// Standby catch-up: validate + persist the primary's checkpoint, reset
+/// the local journal underneath it, then swap the ring. On `Err` the
+/// ring is untouched and the standby must retry from a fresh session.
+fn install_snapshot(
+    shared: &Shared,
+    durability: &mut Option<Durability>,
+    bytes: &[u8],
+) -> Result<(), String> {
+    let ring: WindowedFleet =
+        Checkpoint::restore(bytes).map_err(|e| format!("replicated snapshot: {e}"))?;
+    if let Some(d) = durability.as_mut() {
+        if ring_config(&ring) != d.jcfg {
+            return Err("replicated snapshot has a foreign sketch configuration".into());
+        }
+        // Disk first, ring second: a crash between the two recovers
+        // from the just-written snapshot, which the primary will top up
+        // through the normal record stream on reconnect.
+        journal::write_atomic(&d.dir.join(journal::SNAPSHOT_FILE), bytes)
+            .map_err(|e| e.to_string())?;
+        let covered = d.writer.seq();
+        let writer = JournalWriter::create(
+            &d.dir,
+            &d.jcfg,
+            covered + 1,
+            shared.term(),
+            shared.cfg.fsync_journal,
+        )
+        .map_err(|e| e.to_string())?;
+        d.writer = writer;
+        shared.journal_seq.store(covered + 1, Ordering::SeqCst);
+        if let Ok(segments) = journal::list_segments(&d.dir) {
+            for (seq, path) in segments {
+                if seq <= covered {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        d.since_snapshot = 0;
+    } else if ring_config(&ring)
+        != (JournalConfig {
+            n_max: shared.echo.n_max,
+            m: shared.echo.m,
+            sampling_bits: shared.echo.sampling_bits,
+            seed: shared.echo.seed,
+            window: shared.echo.window,
+        })
+    {
+        return Err("replicated snapshot has a foreign sketch configuration".into());
+    }
+    *lock_ring(&shared.ring) = ring;
+    Ok(())
+}
+
+/// Rotate the journal segment when a promotion asks for it, so the
+/// bumped term reaches disk. (Until the next record lands, the term
+/// survives a restart only via this rotated header.)
+fn maybe_promote_rotate(shared: &Shared, durability: &mut Option<Durability>) {
+    if !shared.promote_rotate.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    if let Some(d) = durability.as_mut() {
+        let next = d.writer.seq() + 1;
+        if let Ok(writer) = JournalWriter::create(
+            &d.dir,
+            &d.jcfg,
+            next,
+            shared.term(),
+            shared.cfg.fsync_journal,
+        ) {
+            d.writer = writer;
+            shared.journal_seq.store(next, Ordering::SeqCst);
+        }
+    }
+}
+
 /// The single ring writer: replays the journal tail (when recovering),
-/// then drains the bounded job queue until every sender is gone, acking
-/// each frame with its absorb outcome — after journaling it.
+/// then drains the bounded job queue until every sender is gone. Each
+/// frame is absorbed, journaled, and handed to the completer thread,
+/// which ships it to the standbys and only then releases the ack.
 fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>, durability: Option<Durability>) {
     let mut durability = durability;
     if let Some(d) = durability.as_ref() {
         replay_journal(shared, d);
     }
+    let (comp_tx, comp_rx) = mpsc::channel::<CompleterEvent>();
+    // Publish the completer's inlet before the recovery gate opens so a
+    // replication sender session can never race past it.
+    *shared
+        .repl_events
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(comp_tx.clone());
     shared.recovering.store(false, Ordering::SeqCst);
+    let completer = {
+        let shared = shared.clone();
+        std::thread::spawn(move || completer_loop(&shared, &comp_rx))
+    };
     for job in rx {
+        maybe_promote_rotate(shared, &mut durability);
+        let job = match job {
+            Job::Frame(job) => job,
+            Job::InstallSnapshot { bytes, done } => {
+                let _ = done.send(install_snapshot(shared, &mut durability, &bytes));
+                continue;
+            }
+        };
         if !shared.cfg.absorb_stall.is_zero() {
             std::thread::sleep(shared.cfg.absorb_stall);
         }
+        let term = shared.term();
         let mut newly_absorbed = false;
         let mut msg = {
-            let mut ring = shared.ring.lock().unwrap();
+            let mut ring = lock_ring(&shared.ring);
             let current = ring.current_epoch();
             if job.epoch > current && job.epoch - current > MAX_EPOCH_JUMP {
                 shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -846,6 +1462,13 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>, durability: Opt
                 }
                 let absorbed = match &job.payload {
                     JobPayload::Full(fleet) => ring.absorb_epoch_from(job.agent, job.epoch, fleet),
+                    // Replicated records ride the replay path: the
+                    // primary's journal order already proved the delta
+                    // chain, and the baseline may live only inside the
+                    // catch-up snapshot here.
+                    JobPayload::Delta(frame) if job.replay => {
+                        ring.absorb_delta_replay(job.agent, frame)
+                    }
                     JobPayload::Delta(frame) => ring.absorb_delta_from(job.agent, frame),
                 };
                 match absorbed {
@@ -866,11 +1489,13 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>, durability: Opt
                             JobPayload::Full(_) => Message::Ack {
                                 epoch: job.epoch,
                                 outcome,
+                                term,
                             },
                             JobPayload::Delta(frame) => Message::AckDelta {
                                 epoch: job.epoch,
                                 round: frame.round,
                                 outcome,
+                                term,
                             },
                         }
                     }
@@ -902,44 +1527,91 @@ fn absorber_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>, durability: Opt
                 }
             }
         };
+        let mut journal_ok = true;
+        let mut record = None;
         if newly_absorbed {
+            // Replicated records are never re-shipped (no cascading
+            // replication); local frames only need encoding when a
+            // standby is actually attached.
+            let want_ship = !job.replay && has_peers(shared);
             if let Some(d) = durability.as_mut() {
-                if let Err(detail) = journal_absorbed(shared, d, &job) {
-                    // The frame reached memory but not the journal: do
-                    // not ack it as durable. The typed error makes the
-                    // agent retransmit once the disk recovers, and the
-                    // retry lands as a guarded duplicate if it races.
-                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                    msg = Message::Error {
-                        code: ErrorCode::Internal,
-                        context: job.epoch,
-                        detail,
-                    };
+                match journal_absorbed(shared, d, &job) {
+                    Ok(encoded) => {
+                        if want_ship {
+                            record = Some(Arc::new(encoded));
+                        }
+                    }
+                    Err(detail) => {
+                        // The frame reached memory but not the journal:
+                        // do not ack it as durable. The typed error
+                        // makes the agent retransmit once the disk
+                        // recovers, and the retry lands as a guarded
+                        // duplicate if it races.
+                        shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        journal_ok = false;
+                        msg = Message::Error {
+                            code: ErrorCode::Internal,
+                            context: job.epoch,
+                            detail,
+                        };
+                    }
                 }
+            } else if want_ship {
+                record = Some(Arc::new(journal::encode_record(&JournalRecord {
+                    source: job.agent,
+                    epoch: job.epoch,
+                    payload: job.wire.clone(),
+                })));
             }
         }
-        let _ = job.ack.send(msg);
-        if newly_absorbed {
+        // Every ack routes through the completer so per-session ack
+        // order matches absorb order even when only some frames ship.
+        if comp_tx
+            .send(CompleterEvent::Complete(Complete {
+                msg,
+                ack: job.ack,
+                record,
+            }))
+            .is_err()
+        {
+            return;
+        }
+        if newly_absorbed && journal_ok {
             if let Some(d) = durability.as_mut() {
                 maybe_snapshot(shared, d);
             }
         }
     }
+    // Stop handing out the inlet, tell the completer no more frames are
+    // coming, and let it flush every held ack before the ring is read
+    // for the final drain summaries.
+    *shared
+        .repl_events
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    let _ = comp_tx.send(CompleterEvent::Shutdown);
+    drop(comp_tx);
+    let _ = completer.join();
 }
 
 /// Read events until a `Hello` arrives (tolerating deadline ticks up to
-/// the idle limit); validate it for `want` role; send `Welcome` on
-/// success. Returns the agent id and the negotiated session protocol —
+/// the idle limit); validate its role against `accept`; send `Welcome`
+/// on success. Returns the agent id, the negotiated session protocol —
 /// `min(client, max_proto)`, so a delta-capable agent talking to a
-/// v2-only collector lands on protocol 1 and ships full frames — or
-/// `None` when the session should close (the typed rejection has
-/// already been queued).
+/// v2-only collector lands on protocol 1 and ships full frames — and
+/// the peer's role, or `None` when the session should close (the typed
+/// rejection has already been queued).
+///
+/// Fencing happens here: a standby refuses `Ingest` and `Replicate`
+/// hellos with [`ErrorCode::NotPrimary`], and so does a *primary* whose
+/// term is older than the one the peer has already seen — a deposed
+/// primary must not accept writes the rest of the fleet has moved past.
 fn handshake(
     shared: &Shared,
     reader: &mut FrameReader<TcpStream>,
     out: &impl Fn(Message),
-    want: Role,
-) -> Option<(u64, u16)> {
+    accept: &[Role],
+) -> Option<(u64, u16, Role)> {
     let mut idle = Duration::ZERO;
     let (proto, role, agent, config) = loop {
         if shared.draining() {
@@ -1022,7 +1694,7 @@ fn handshake(
         });
         return None;
     }
-    if role != want {
+    if !accept.contains(&role) {
         shared
             .stats
             .handshake_rejects
@@ -1034,9 +1706,48 @@ fn handshake(
         });
         return None;
     }
-    // Only ingest sessions must agree on the sketch configuration; a
-    // query client reads whatever the collector holds.
-    if want == Role::Ingest && config != shared.echo {
+    if role != Role::Query {
+        // Writes only land on the acting primary. `context` carries the
+        // refusing collector's term so a failing-over agent learns how
+        // far the fleet has moved.
+        if shared.is_standby() {
+            shared
+                .stats
+                .not_primary_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            out(Message::Error {
+                code: ErrorCode::NotPrimary,
+                context: shared.term(),
+                detail: "collector is a standby; promote it or dial the primary".into(),
+            });
+            return None;
+        }
+        if config.term > shared.term() {
+            // The peer has seen a newer term than ours: we are a deposed
+            // primary that missed its own fencing. Refusing here is the
+            // split-brain guard for agents that reconnect to the old
+            // address after a failover.
+            shared
+                .stats
+                .not_primary_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            out(Message::Error {
+                code: ErrorCode::NotPrimary,
+                context: shared.term(),
+                detail: format!(
+                    "peer has seen term {}, collector is fenced at term {}",
+                    config.term,
+                    shared.term()
+                ),
+            });
+            return None;
+        }
+    }
+    // Only writer sessions must agree on the sketch configuration; a
+    // query client reads whatever the collector holds. The fencing term
+    // is deliberately excluded from agreement — it is negotiated, not
+    // configured.
+    if role != Role::Query && !config.agrees_with(&shared.echo) {
         shared
             .stats
             .handshake_rejects
@@ -1051,9 +1762,9 @@ fn handshake(
     out(Message::Welcome {
         proto: session_proto,
         credits: shared.cfg.credits,
-        config: shared.echo,
+        config: shared.echo.with_term(shared.term()),
     });
-    Some((agent, session_proto))
+    Some((agent, session_proto, role))
 }
 
 /// One ingest connection: handshake, then decode batches into absorb
@@ -1071,11 +1782,23 @@ fn ingest_conn(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSende
     // matters is the job queue).
     let (out_tx, out_rx) = mpsc::channel::<Message>();
     let writer = std::thread::spawn(move || {
-        let mut fw = FrameWriter::new(BufWriter::new(write_half));
+        let mut out = BufWriter::new(write_half);
+        // On error: keep draining so ack sends never block.
         let mut dead = false;
-        for msg in out_rx {
-            if !dead && fw.send(&msg).is_err() {
-                dead = true; // keep draining so ack sends never block
+        while let Ok(msg) = out_rx.recv() {
+            if !dead && out.write_all(&sbitmap_stream::net::encode(&msg)).is_err() {
+                dead = true;
+            }
+            // Coalesce everything already queued into this flush: under
+            // load the queue holds bursts (replication ships, ack runs)
+            // and one syscall per burst beats one per message.
+            while let Ok(msg) = out_rx.try_recv() {
+                if !dead && out.write_all(&sbitmap_stream::net::encode(&msg)).is_err() {
+                    dead = true;
+                }
+            }
+            if !dead && out.flush().is_err() {
+                dead = true;
             }
         }
     });
@@ -1084,11 +1807,99 @@ fn ingest_conn(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSende
     };
 
     let mut reader = FrameReader::new(stream);
-    if let Some((agent, proto)) = handshake(shared, &mut reader, &out, Role::Ingest) {
-        ingest_session(shared, &mut reader, &out_tx, job_tx, agent, proto);
+    match handshake(shared, &mut reader, &out, &[Role::Ingest, Role::Replicate]) {
+        Some((agent, proto, Role::Ingest)) => {
+            ingest_session(shared, &mut reader, &out_tx, job_tx, agent, proto);
+        }
+        Some((agent, _, Role::Replicate)) => {
+            replicate_sender_session(shared, &mut reader, &out_tx, agent);
+        }
+        _ => {}
     }
     drop(out_tx);
     let _ = writer.join();
+}
+
+/// The primary side of one attached standby: register with the
+/// completer's peer list, ship a catch-up snapshot, then relay each
+/// journal record the completer hands over and report its ack.
+///
+/// Registration happens *before* the ring checkpoint is taken, so every
+/// record is covered exactly once-or-more: anything absorbed before the
+/// checkpoint is inside it, anything after is queued to this peer, and
+/// the overlap replays as OR-idempotent duplicates on the standby.
+fn replicate_sender_session(
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<TcpStream>,
+    out_tx: &mpsc::Sender<Message>,
+    _agent: u64,
+) {
+    // The completer's event inlet exists once the absorber is past
+    // recovery; a session that somehow lands earlier just closes.
+    let Some(comp_tx) = shared
+        .repl_events
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+    else {
+        return;
+    };
+    static PEER_SEQ: AtomicU64 = AtomicU64::new(1);
+    let peer_id = PEER_SEQ.fetch_add(1, Ordering::Relaxed);
+    let alive = Arc::new(AtomicBool::new(true));
+    {
+        // Checkpoint, queue the snapshot and register while holding the
+        // peers lock: the completer ships under the same lock, so no
+        // record can slip onto the writer queue ahead of the snapshot,
+        // and anything absorbed before registration is inside it —
+        // every frame is covered once-or-more (the overlap replays as
+        // OR-idempotent duplicates on the standby).
+        let mut peers = shared
+            .peers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let frame = lock_ring(&shared.ring).checkpoint();
+        let _ = out_tx.send(Message::ReplicateSnapshot {
+            term: shared.term(),
+            frame,
+        });
+        peers.push(ReplPeer {
+            id: peer_id,
+            out: out_tx.clone(),
+            alive: alive.clone(),
+        });
+    }
+    // Records are shipped by the completer directly; this loop only
+    // reads the standby's cumulative acks and forwards them as
+    // `PeerAck` events. Deadline enforcement lives in the completer
+    // (`expire_front`), which clears `alive` to evict us.
+    loop {
+        match reader.read_event() {
+            Ok(ReadEvent::Message(Message::ReplicateAck { seq: acked, .. })) => {
+                let _ = comp_tx.send(CompleterEvent::PeerAck {
+                    peer: peer_id,
+                    acked,
+                });
+            }
+            Ok(ReadEvent::TimedOut) => {
+                if shared.draining() || !alive.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(ReadEvent::Message(Message::Goodbye)) | Ok(ReadEvent::Closed) | Err(_) => {
+                break;
+            }
+            Ok(_) => {}
+        }
+    }
+    // Anything still un-acked failed with the session; `PeerGone` makes
+    // the completer count the drops and detach this peer.
+    let _ = comp_tx.send(CompleterEvent::PeerGone { peer: peer_id });
+    shared
+        .peers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .retain(|p| p.id != peer_id);
 }
 
 /// The post-handshake ingest loop.
@@ -1106,13 +1917,14 @@ fn ingest_session(
     // stall a socket forever). Returns `false` when the daemon side is
     // gone and the session should end.
     let enqueue = |epoch: u64, payload: JobPayload, wire: Vec<u8>| -> bool {
-        let mut job = Job {
+        let mut job = Job::Frame(FrameJob {
             epoch,
             agent,
             payload,
             wire,
+            replay: false,
             ack: out_tx.clone(),
-        };
+        });
         job = match job_tx.try_send(job) {
             Ok(()) => return true,
             Err(mpsc::TrySendError::Disconnected(_)) => return false,
@@ -1308,7 +2120,7 @@ fn query_conn(shared: &Arc<Shared>, stream: TcpStream) {
     // Replies are synchronous here, so the handshake writes directly.
     let pending = Mutex::new(Vec::new());
     let queue = |msg: Message| pending.lock().unwrap().push(msg);
-    let accepted = handshake(shared, &mut reader, &queue, Role::Query);
+    let accepted = handshake(shared, &mut reader, &queue, &[Role::Query]);
     for msg in pending.into_inner().unwrap() {
         if reader
             .inner_mut()
@@ -1370,24 +2182,26 @@ fn query_conn(shared: &Arc<Shared>, stream: TcpStream) {
 fn answer(shared: &Shared, req: &QueryRequest) -> QueryReply {
     match req {
         QueryRequest::Estimate(key) => {
-            QueryReply::Estimate(shared.ring.lock().unwrap().estimate(*key))
+            let ring = lock_ring(&shared.ring);
+            if shared.cfg.panic_on_query == Some(*key) {
+                // Test hook: die *while holding the ring lock* — the
+                // regression fixture proving a poisoned ring mutex
+                // cannot wedge later ingest or queries.
+                panic!("injected query panic for key {key}");
+            }
+            QueryReply::Estimate(ring.estimate(*key))
         }
-        QueryRequest::Fill(key) => QueryReply::Fill(
-            shared
-                .ring
-                .lock()
-                .unwrap()
-                .window_fill(*key)
-                .map(|f| f as u64),
-        ),
+        QueryRequest::Fill(key) => {
+            QueryReply::Fill(lock_ring(&shared.ring).window_fill(*key).map(|f| f as u64))
+        }
         QueryRequest::TopK(k) => {
-            let mut rows = shared.ring.lock().unwrap().estimates_sorted();
+            let mut rows = lock_ring(&shared.ring).estimates_sorted();
             rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             rows.truncate(usize::try_from(*k).unwrap_or(usize::MAX).min(rows.len()));
             QueryReply::TopK(rows)
         }
         QueryRequest::Summary => {
-            let estimates = shared.ring.lock().unwrap().estimates_sorted();
+            let estimates = lock_ring(&shared.ring).estimates_sorted();
             let mut sample: Vec<f64> = estimates.iter().map(|&(_, e)| e).collect();
             let quantiles = if sample.is_empty() {
                 Vec::new()
@@ -1399,6 +2213,25 @@ fn answer(shared: &Shared, req: &QueryRequest) -> QueryReply {
                 quantiles,
             }
         }
+        QueryRequest::Status => {
+            let s = &shared.stats;
+            QueryReply::Status {
+                role: shared.node_role(),
+                term: shared.term(),
+                journal_seq: shared.journal_seq.load(Ordering::SeqCst),
+                absorbed: s.frames_absorbed.load(Ordering::Relaxed),
+                shed: s.busy_rejections.load(Ordering::Relaxed),
+                replicated: s.replicated_frames.load(Ordering::Relaxed),
+                peers: shared
+                    .peers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len() as u64,
+            }
+        }
+        QueryRequest::Promote => QueryReply::Promoted {
+            term: shared.promote(),
+        },
         QueryRequest::Drain => {
             shared.shutdown.store(true, Ordering::SeqCst);
             QueryReply::Draining

@@ -45,6 +45,7 @@ fn echo() -> ConfigEcho {
         sampling_bits: schedule.split().sampling_bits(),
         seed: p.seed,
         window: p.window as u64,
+        term: 0,
     }
 }
 

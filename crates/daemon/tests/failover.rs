@@ -1,0 +1,296 @@
+//! Kill-and-failover: the **primary** collector child is aborted (the
+//! moral equivalent of `kill -9`) at seeded points of its pipeline —
+//! mid-absorb, mid-journal-append, mid-snapshot, and right after a
+//! record was replicated but before its ack left — the standby is
+//! promoted, the agents re-route to it, and the drained standby's top-k
+//! estimates and quantile summary must be **bit-identical** to an
+//! uncrashed single-node reference run. That is the whole claim of WAL
+//! shipping: acked ⇒ replicated, and everything unacked is retransmitted
+//! and deduplicated by the absorb guard (exactly-once-effective).
+//!
+//! Children are `src/bin/crashd.rs` instances located through
+//! `CARGO_BIN_EXE_crashd`; the standby follows via `CRASHD_STANDBY_OF`
+//! and is promoted through a `QueryRequest::Promote` on its query port.
+
+use std::io::{BufRead, BufReader, Lines};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sbitmap_core::RateSchedule;
+use sbitmap_daemon::{query_once, run_agent_rounds_failover, AgentConfig, Backoff};
+use sbitmap_stream::net::{ConfigEcho, Message, NodeRole, QueryReply, QueryRequest};
+use sbitmap_stream::{DeltaFrameSource, WindowedPipelineConfig};
+
+fn pcfg() -> WindowedPipelineConfig {
+    WindowedPipelineConfig {
+        links: 12,
+        shards: 2,
+        n_max: 50_000,
+        m_bits: 2_000,
+        window: 3,
+        epochs: 5,
+        rounds: 2,
+        seed: 7,
+    }
+}
+
+fn echo() -> ConfigEcho {
+    let p = pcfg();
+    let schedule = RateSchedule::from_memory(p.n_max, p.m_bits).unwrap();
+    ConfigEcho {
+        n_max: p.n_max,
+        m: p.m_bits as u64,
+        sampling_bits: schedule.split().sampling_bits(),
+        seed: p.seed,
+        window: p.window as u64,
+        term: 0,
+    }
+}
+
+struct Collector {
+    child: Child,
+    ingest: SocketAddr,
+    query: SocketAddr,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+fn spawn_crashd(
+    dir: &Path,
+    crash: Option<(&str, u64)>,
+    standby_of: Option<SocketAddr>,
+) -> Collector {
+    let p = pcfg();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crashd"));
+    cmd.env("CRASHD_DATA_DIR", dir)
+        .env("CRASHD_N_MAX", p.n_max.to_string())
+        .env("CRASHD_M_BITS", p.m_bits.to_string())
+        .env("CRASHD_SEED", p.seed.to_string())
+        .env("CRASHD_WINDOW", p.window.to_string())
+        .env("CRASHD_SNAPSHOT_EVERY", "3")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some((site, after)) = crash {
+        cmd.env("CRASHD_CRASH_SITE", site)
+            .env("CRASHD_CRASH_AFTER", after.to_string());
+    }
+    if let Some(addr) = standby_of {
+        cmd.env("CRASHD_STANDBY_OF", addr.to_string());
+    }
+    let mut child = cmd.spawn().expect("spawn crashd");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ingest = None;
+    let mut query = None;
+    for line in lines.by_ref() {
+        let line = line.unwrap();
+        if let Some(addr) = line.strip_prefix("INGEST ") {
+            ingest = Some(addr.parse().unwrap());
+        } else if let Some(addr) = line.strip_prefix("QUERY ") {
+            query = Some(addr.parse().unwrap());
+        } else if line == "READY" {
+            break;
+        }
+    }
+    Collector {
+        child,
+        ingest: ingest.expect("crashd printed INGEST"),
+        query: query.expect("crashd printed QUERY"),
+        lines,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbitmapd-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ask(query: SocketAddr, req: &QueryRequest) -> QueryReply {
+    let stream = TcpStream::connect(query).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .unwrap();
+    match query_once(stream, req, Duration::from_secs(5)).unwrap() {
+        Message::Reply(r) => r,
+        other => panic!("expected Reply, got {other:?}"),
+    }
+}
+
+/// Poll a primary's `Status` until it reports an attached standby.
+fn wait_for_peer(query: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let QueryReply::Status { peers, .. } = ask(query, &QueryRequest::Status) {
+            if peers >= 1 {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby never attached to the primary"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn agent_cfg(shard: usize) -> AgentConfig {
+    AgentConfig {
+        // The primary will vanish mid-session and the standby answers
+        // `NotPrimary` until the babysitter promotes it: plenty of
+        // patient, fast-paced attempts rotating through the list.
+        max_attempts: 600,
+        ack_timeout: Duration::from_millis(300),
+        backoff: Backoff {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(40),
+            seed: shard as u64 + 1,
+        },
+        ..AgentConfig::new(shard as u64 + 1, echo())
+    }
+}
+
+fn spawn_agents(
+    addrs: &[SocketAddr],
+) -> Vec<std::thread::JoinHandle<Result<sbitmap_daemon::AgentReport, String>>> {
+    let p = pcfg();
+    let addr_strings: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    (0..p.shards)
+        .map(|shard| {
+            let backlog = DeltaFrameSource::new(&p, shard).unwrap().collect_epochs();
+            let addrs = addr_strings.clone();
+            std::thread::spawn(move || {
+                run_agent_rounds_failover(
+                    &agent_cfg(shard),
+                    backlog,
+                    &addrs,
+                    Duration::from_millis(250),
+                    Duration::from_millis(10),
+                )
+            })
+        })
+        .collect()
+}
+
+/// The uncrashed single-node reference: one primary, no standby, no
+/// crash point — what every failover run must converge back to.
+fn reference_outcome() -> (QueryReply, QueryReply) {
+    let dir = scratch_dir("ref");
+    let col = spawn_crashd(&dir, None, None);
+    let workers = spawn_agents(&[col.ingest]);
+    for w in workers {
+        w.join().unwrap().expect("reference agent finished");
+    }
+    let topk = ask(col.query, &QueryRequest::TopK(64));
+    let summary = ask(col.query, &QueryRequest::Summary);
+    assert_eq!(ask(col.query, &QueryRequest::Drain), QueryReply::Draining);
+    let mut col = col;
+    assert!(col.child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+    (topk, summary)
+}
+
+/// One failover scenario: primary (with a seeded crash point) + standby,
+/// agents on the ordered address list; when the crash fires the standby
+/// is promoted and the drained standby's state is returned.
+fn run_failover(site: &str, after: u64) -> (QueryReply, QueryReply, u64) {
+    let p_dir = scratch_dir(&format!("{site}-primary"));
+    let s_dir = scratch_dir(&format!("{site}-standby"));
+    let mut primary = spawn_crashd(&p_dir, Some((site, after)), None);
+    let mut standby = spawn_crashd(&s_dir, None, Some(primary.ingest));
+    wait_for_peer(primary.query);
+
+    let workers = spawn_agents(&[primary.ingest, standby.ingest]);
+
+    // Babysit: the crash point must fire; promote the standby the
+    // moment the primary is gone.
+    loop {
+        if let Some(status) = primary.child.try_wait().unwrap() {
+            assert!(
+                !status.success(),
+                "{site}: primary must die at the crash point"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    match ask(standby.query, &QueryRequest::Promote) {
+        QueryReply::Promoted { term } => assert_eq!(term, 2, "{site}: promotion bumps the term"),
+        other => panic!("{site}: expected Promoted, got {other:?}"),
+    }
+    match ask(standby.query, &QueryRequest::Status) {
+        QueryReply::Status { role, term, .. } => {
+            assert_eq!(
+                role,
+                NodeRole::Primary,
+                "{site}: promoted standby serves as primary"
+            );
+            assert_eq!(term, 2);
+        }
+        other => panic!("{site}: expected Status, got {other:?}"),
+    }
+
+    for w in workers {
+        w.join()
+            .unwrap()
+            .unwrap_or_else(|e| panic!("{site}: agent failed after failover: {e}"));
+    }
+
+    let topk = ask(standby.query, &QueryRequest::TopK(64));
+    let summary = ask(standby.query, &QueryRequest::Summary);
+    assert_eq!(
+        ask(standby.query, &QueryRequest::Drain),
+        QueryReply::Draining
+    );
+    assert!(standby.child.wait().unwrap().success());
+    let mut replicated = 0;
+    for line in standby.lines.by_ref() {
+        let line = line.unwrap();
+        if let Some(rest) = line.strip_prefix("REPORT ") {
+            for kv in rest.split_whitespace() {
+                if let Some(v) = kv.strip_prefix("replicated=") {
+                    replicated = v.parse().unwrap();
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&s_dir);
+    (topk, summary, replicated)
+}
+
+#[test]
+fn killed_primary_fails_over_bit_identical() {
+    let (ref_topk, ref_summary) = reference_outcome();
+    match &ref_topk {
+        QueryReply::TopK(rows) => assert_eq!(rows.len(), pcfg().links),
+        other => panic!("expected TopK, got {other:?}"),
+    }
+
+    // Every seeded crash site of the primary's pipeline, each
+    // mid-window: 2 shards x 5 epochs x 2 delta rounds = 20 absorbed
+    // frames with a snapshot every 3. `after-replicate` aborts with a
+    // record replicated but its ack withheld — the exactly-once-
+    // effective case (retransmit + absorb-guard dedup).
+    for (site, after) in [
+        ("absorb-before-journal", 8),
+        ("mid-journal-append", 8),
+        ("after-replicate", 8),
+        ("mid-snapshot-write", 2),
+        ("after-snapshot-rename", 2),
+    ] {
+        let (topk, summary, replicated) = run_failover(site, after);
+        assert!(
+            replicated > 0,
+            "{site}: the standby must have absorbed replicated records"
+        );
+        assert_eq!(
+            topk, ref_topk,
+            "{site}: post-promotion top-k must be bit-identical to the uncrashed run"
+        );
+        assert_eq!(
+            summary, ref_summary,
+            "{site}: post-promotion quantile summary must be bit-identical to the uncrashed run"
+        );
+    }
+}

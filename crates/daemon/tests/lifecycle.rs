@@ -151,7 +151,9 @@ fn handshake_rejects_wrong_version_with_typed_error() {
         } => {
             assert_eq!(proto, PROTO_VERSION);
             assert!(credits >= 1);
-            assert_eq!(config, echo);
+            // The welcome's term is the daemon's, not ours — compare
+            // everything else.
+            assert!(config.agrees_with(&echo));
         }
         other => panic!("expected Welcome, got {other:?}"),
     }
@@ -258,6 +260,7 @@ fn delta_without_baseline_draws_typed_error_and_resync_succeeds() {
                 epoch,
                 round: r,
                 outcome,
+                ..
             } => {
                 assert_eq!((epoch, r), (0, round as u32));
                 assert_eq!(outcome, AckOutcome::Absorbed);
@@ -297,7 +300,7 @@ fn mid_frame_disconnect_leaves_the_daemon_healthy() {
         frame: test_frame(&[3]),
     });
     match c.recv() {
-        Message::Ack { epoch, outcome } => {
+        Message::Ack { epoch, outcome, .. } => {
             assert_eq!(epoch, 0);
             assert_eq!(outcome, AckOutcome::Absorbed);
         }
@@ -652,4 +655,67 @@ fn query_port_answers_every_kind_and_drains() {
     let report = daemon.join().unwrap();
     assert_eq!(report.estimates, expected.estimates());
     assert!(report.queries >= 6);
+}
+
+#[test]
+fn panicked_query_handler_does_not_poison_ingest() {
+    // A query handler that panics while holding the ring lock must not
+    // take the collector down with it: the lock recovers (the ring is
+    // only ever mutated under short, atomic critical sections), later
+    // sessions keep working, and the panic is counted, not propagated.
+    let daemon = Daemon::start(DaemonConfig {
+        panic_on_query: Some(77),
+        ..dcfg()
+    })
+    .unwrap();
+    let echo = daemon.config_echo();
+
+    // Ingest one frame before the panic so post-panic queries have
+    // something to estimate.
+    let mut c = Client::connect(daemon.ingest_addr());
+    c.hello(1, echo);
+    c.send(&Message::Batch {
+        epoch: 0,
+        agent: 1,
+        frame: test_frame(&[5, 6]),
+    });
+    match c.recv() {
+        Message::Ack { outcome, .. } => assert_eq!(outcome, AckOutcome::Absorbed),
+        other => panic!("expected Ack, got {other:?}"),
+    }
+
+    // Trip the booby-trapped key: the handler dies mid-lock and the
+    // connection drops without a reply.
+    let s = TcpStream::connect(daemon.query_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+    assert!(
+        query_once(s, &QueryRequest::Estimate(77), Duration::from_secs(2)).is_err(),
+        "the poisoned query must not produce a reply"
+    );
+
+    // The daemon shrugged it off: ingest still absorbs...
+    let mut c2 = Client::connect(daemon.ingest_addr());
+    c2.hello(2, echo);
+    c2.send(&Message::Batch {
+        epoch: 0,
+        agent: 2,
+        frame: test_frame(&[8]),
+    });
+    match c2.recv() {
+        Message::Ack { outcome, .. } => assert_eq!(outcome, AckOutcome::Absorbed),
+        other => panic!("expected Ack after the panic, got {other:?}"),
+    }
+    // ...and queries still answer.
+    let s = TcpStream::connect(daemon.query_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+    match query_once(s, &QueryRequest::Estimate(5), Duration::from_secs(2)).unwrap() {
+        Message::Reply(QueryReply::Estimate(Some(_))) => {}
+        other => panic!("expected an estimate after the panic, got {other:?}"),
+    }
+
+    drop((c, c2));
+    daemon.drain();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.handler_panics, 1, "the panic is counted");
+    assert_eq!(report.frames_absorbed, 2);
 }

@@ -99,7 +99,7 @@ fn truncated_tail_is_discarded_and_the_prefix_replays() {
     let dir = scratch_dir("torn");
     let (f1, f2, f3) = (frame(1), frame(2), frame(3));
     {
-        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, 1, false).unwrap();
         w.append(&record(1, 0, f1.clone())).unwrap();
         w.append(&record(2, 0, f2.clone())).unwrap();
         // Half a record: the torn tail a crash mid-append leaves.
@@ -120,7 +120,7 @@ fn bit_flipped_record_stops_the_scan_with_the_prefix_intact() {
     let dir = scratch_dir("flip");
     let (f1, f2, f3) = (frame(4), frame(5), frame(6));
     {
-        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, 1, false).unwrap();
         w.append(&record(1, 0, f1.clone())).unwrap();
         // Flip one byte inside the second record's encoding: its outer
         // checksum fails, and nothing after it can be trusted.
@@ -150,7 +150,7 @@ fn resealed_record_is_skipped_and_later_records_still_replay() {
     let mid = evil.len() / 2;
     evil[mid] ^= 0x11;
     {
-        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, 1, false).unwrap();
         w.append(&record(1, 0, f1.clone())).unwrap();
         w.append(&record(2, 0, evil)).unwrap();
         w.append(&record(3, 0, f3.clone())).unwrap();
@@ -172,11 +172,11 @@ fn config_mismatched_journal_refuses_startup_with_a_typed_error() {
         ..jcfg()
     };
     {
-        let mut w = JournalWriter::create(&dir, &foreign, 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &foreign, 0, 1, false).unwrap();
         w.append(&record(1, 0, frame(1))).unwrap();
         // A second segment so the mismatch is not excused as a torn
         // final header.
-        JournalWriter::create(&dir, &foreign, 1, false).unwrap();
+        JournalWriter::create(&dir, &foreign, 1, 1, false).unwrap();
     }
     let err = Daemon::start(dcfg(&dir))
         .err()
@@ -214,7 +214,7 @@ fn record_older_than_the_snapshot_is_skipped_untouched() {
     let snapshot = expected_ring(&[(1, 10, &f1)]);
     journal::write_atomic(&dir.join(journal::SNAPSHOT_FILE), &snapshot.checkpoint()).unwrap();
     {
-        let mut w = JournalWriter::create(&dir, &jcfg(), 0, false).unwrap();
+        let mut w = JournalWriter::create(&dir, &jcfg(), 0, 1, false).unwrap();
         w.append(&record(2, 0, frame(12))).unwrap();
     }
     let report = recover(&dir);

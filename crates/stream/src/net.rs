@@ -56,9 +56,13 @@ const HEADER_LEN: usize = 9;
 const CHECKSUM_LEN: usize = 8;
 
 /// The sketch configuration echoed in both handshake directions. Ingest
-/// sessions must agree on every field — absorbing frames built under a
-/// different schedule or seed would silently corrupt estimates, so a
-/// mismatch is rejected before any batch is accepted.
+/// sessions must agree on every sketch field — absorbing frames built
+/// under a different schedule or seed would silently corrupt estimates,
+/// so a mismatch is rejected before any batch is accepted. The `term`
+/// field is *not* part of that agreement: it carries the replication
+/// fencing term of whichever side wrote the echo (see
+/// `docs/replication.md`), and handshake validation must use
+/// [`ConfigEcho::agrees_with`], never `==`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConfigEcho {
     /// Design maximum cardinality `n_max`.
@@ -72,6 +76,11 @@ pub struct ConfigEcho {
     pub seed: u64,
     /// Window span in epochs.
     pub window: u64,
+    /// The sender's replication term: monotonic, bumped on standby
+    /// promotion. A daemon advertises its current term in `Welcome`;
+    /// clients echo the highest term they have seen in `Hello` (0 if
+    /// they have never spoken to a collector).
+    pub term: u64,
 }
 
 impl ConfigEcho {
@@ -81,6 +90,7 @@ impl ConfigEcho {
         out.extend_from_slice(&self.sampling_bits.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
         out.extend_from_slice(&self.window.to_le_bytes());
+        out.extend_from_slice(&self.term.to_le_bytes());
     }
 
     fn read(r: &mut SliceReader<'_>) -> Result<Self, String> {
@@ -90,7 +100,29 @@ impl ConfigEcho {
             sampling_bits: r.u32()?,
             seed: r.u64()?,
             window: r.u64()?,
+            term: r.u64()?,
         })
+    }
+
+    /// Sketch-compatibility check: every field that shapes absorb
+    /// semantics must match; the fencing `term` is deliberately ignored
+    /// (a standby at term 2 still speaks the same sketch as a primary
+    /// that welcomed agents at term 1).
+    #[must_use]
+    pub fn agrees_with(&self, other: &Self) -> bool {
+        self.n_max == other.n_max
+            && self.m == other.m
+            && self.sampling_bits == other.sampling_bits
+            && self.seed == other.seed
+            && self.window == other.window
+    }
+
+    /// A copy of `self` with its fencing term replaced (handshakes stamp
+    /// the live term into a config template this way).
+    #[must_use]
+    pub fn with_term(mut self, term: u64) -> Self {
+        self.term = term;
+        self
     }
 }
 
@@ -101,6 +133,8 @@ pub enum Role {
     Ingest,
     /// Ask estimate/window/top-K questions (a monitoring client).
     Query,
+    /// Receive the primary's journal stream (a standby collector).
+    Replicate,
 }
 
 impl Role {
@@ -108,6 +142,7 @@ impl Role {
         match self {
             Role::Ingest => 1,
             Role::Query => 2,
+            Role::Replicate => 3,
         }
     }
 
@@ -115,8 +150,51 @@ impl Role {
         match b {
             1 => Ok(Role::Ingest),
             2 => Ok(Role::Query),
+            3 => Ok(Role::Replicate),
             other => Err(format!("unknown session role {other}")),
         }
+    }
+}
+
+/// A collector's replication role, as reported by
+/// [`QueryReply::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Accepting ingest sessions and serving standbys.
+    Primary,
+    /// Following a primary's journal stream; refuses ingest with
+    /// [`ErrorCode::NotPrimary`] until promoted.
+    Standby,
+    /// Replaying the local write-ahead journal after a restart.
+    Recovering,
+}
+
+impl NodeRole {
+    fn to_wire(self) -> u8 {
+        match self {
+            NodeRole::Primary => 1,
+            NodeRole::Standby => 2,
+            NodeRole::Recovering => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, String> {
+        match b {
+            1 => Ok(NodeRole::Primary),
+            2 => Ok(NodeRole::Standby),
+            3 => Ok(NodeRole::Recovering),
+            other => Err(format!("unknown node role {other}")),
+        }
+    }
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeRole::Primary => "primary",
+            NodeRole::Standby => "standby",
+            NodeRole::Recovering => "recovering",
+        })
     }
 }
 
@@ -186,6 +264,12 @@ pub enum ErrorCode {
     /// should back off and reconnect — the existing retry path handles
     /// it.
     Recovering,
+    /// This collector is a standby (or otherwise not the fleet's
+    /// primary): it refuses ingest and replication sessions until
+    /// promoted. `context` carries the standby's current term; agents
+    /// treat the code as a cue to rotate to the next address in their
+    /// failover list.
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -202,6 +286,7 @@ impl ErrorCode {
             ErrorCode::MissingBaseline => 9,
             ErrorCode::Busy => 10,
             ErrorCode::Recovering => 11,
+            ErrorCode::NotPrimary => 12,
         }
     }
 
@@ -218,6 +303,7 @@ impl ErrorCode {
             9 => ErrorCode::MissingBaseline,
             10 => ErrorCode::Busy,
             11 => ErrorCode::Recovering,
+            12 => ErrorCode::NotPrimary,
             other => return Err(format!("unknown error code {other}")),
         })
     }
@@ -236,6 +322,10 @@ pub enum QueryRequest {
     Summary,
     /// Flip the daemon's drain flag (graceful shutdown).
     Drain,
+    /// Replication role, fencing term and frame counters.
+    Status,
+    /// Promote a standby to primary (bumps the fencing term).
+    Promote,
 }
 
 impl QueryRequest {
@@ -246,13 +336,18 @@ impl QueryRequest {
             QueryRequest::TopK(_) => 3,
             QueryRequest::Summary => 4,
             QueryRequest::Drain => 5,
+            QueryRequest::Status => 6,
+            QueryRequest::Promote => 7,
         }
     }
 
     fn arg(&self) -> u64 {
         match self {
             QueryRequest::Estimate(k) | QueryRequest::Fill(k) | QueryRequest::TopK(k) => *k,
-            QueryRequest::Summary | QueryRequest::Drain => 0,
+            QueryRequest::Summary
+            | QueryRequest::Drain
+            | QueryRequest::Status
+            | QueryRequest::Promote => 0,
         }
     }
 
@@ -263,6 +358,8 @@ impl QueryRequest {
             3 => QueryRequest::TopK(arg),
             4 => QueryRequest::Summary,
             5 => QueryRequest::Drain,
+            6 => QueryRequest::Status,
+            7 => QueryRequest::Promote,
             other => return Err(format!("unknown query kind {other}")),
         })
     }
@@ -287,6 +384,31 @@ pub enum QueryReply {
     },
     /// The drain flag is now set.
     Draining,
+    /// Answer to [`QueryRequest::Status`]: the collector's replication
+    /// state in one frame (what the failover harness and CI smoke poll).
+    Status {
+        /// Current replication role.
+        role: NodeRole,
+        /// Current fencing term.
+        term: u64,
+        /// Sequence number of the live journal segment (0 when the
+        /// daemon runs without a data dir).
+        journal_seq: u64,
+        /// Frames folded into the ring since startup (replay included).
+        absorbed: u64,
+        /// Frames shed unacked under backpressure.
+        shed: u64,
+        /// Journal records shipped to (primary) or absorbed from
+        /// (standby) the replication stream.
+        replicated: u64,
+        /// Standby sessions currently attached (primary side).
+        peers: u64,
+    },
+    /// Answer to [`QueryRequest::Promote`]: the term now in force.
+    Promoted {
+        /// The (possibly just bumped) fencing term.
+        term: u64,
+    },
 }
 
 /// A session message. See `docs/wire-format.md` §"Session protocol" for
@@ -329,6 +451,10 @@ pub enum Message {
         epoch: u64,
         /// What the collector did with the frame.
         outcome: AckOutcome,
+        /// The acking collector's fencing term. Agents discard acks
+        /// whose term is below the highest they have seen — a deposed
+        /// primary cannot retire frames the new primary never absorbed.
+        term: u64,
     },
     /// A typed error frame; whether the connection survives depends on
     /// the code (see [`ErrorCode`]).
@@ -367,6 +493,35 @@ pub enum Message {
         round: u32,
         /// What the collector did with the frame.
         outcome: AckOutcome,
+        /// The acking collector's fencing term (see [`Message::Ack`]).
+        term: u64,
+    },
+    /// Primary → standby: one write-ahead journal record, shipped
+    /// verbatim in the `SBJR` codec (replication sessions only).
+    Replicate {
+        /// Per-session monotonic sequence number, echoed by the ack.
+        seq: u64,
+        /// The primary's fencing term when the record was shipped.
+        term: u64,
+        /// A complete `SBJR` journal record (its own magic + checksum).
+        record: Vec<u8>,
+    },
+    /// Standby → primary: the record with this sequence number is
+    /// absorbed and journaled on the standby.
+    ReplicateAck {
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// The standby's fencing term.
+        term: u64,
+    },
+    /// Primary → standby catch-up: the primary's full ring state as a
+    /// window checkpoint frame, sent once at the head of a replication
+    /// session so a late-joining standby starts bit-identical.
+    ReplicateSnapshot {
+        /// The primary's fencing term.
+        term: u64,
+        /// A complete window checkpoint frame (tag 10).
+        frame: Vec<u8>,
     },
 }
 
@@ -452,6 +607,9 @@ fn message_tag(msg: &Message) -> u8 {
         Message::Reply(_) => 8,
         Message::BatchDelta { .. } => 9,
         Message::AckDelta { .. } => 10,
+        Message::Replicate { .. } => 11,
+        Message::ReplicateAck { .. } => 12,
+        Message::ReplicateSnapshot { .. } => 13,
     }
 }
 
@@ -486,9 +644,14 @@ fn write_payload(msg: &Message, out: &mut Vec<u8>) {
             out.extend_from_slice(&agent.to_le_bytes());
             out.extend_from_slice(frame);
         }
-        Message::Ack { epoch, outcome } => {
+        Message::Ack {
+            epoch,
+            outcome,
+            term,
+        } => {
             out.extend_from_slice(&epoch.to_le_bytes());
             out.push(outcome.to_wire());
+            out.extend_from_slice(&term.to_le_bytes());
         }
         Message::Error {
             code,
@@ -533,6 +696,28 @@ fn write_payload(msg: &Message, out: &mut Vec<u8>) {
                 }
             }
             QueryReply::Draining => out.push(5),
+            QueryReply::Status {
+                role,
+                term,
+                journal_seq,
+                absorbed,
+                shed,
+                replicated,
+                peers,
+            } => {
+                out.push(6);
+                out.push(role.to_wire());
+                out.extend_from_slice(&term.to_le_bytes());
+                out.extend_from_slice(&journal_seq.to_le_bytes());
+                out.extend_from_slice(&absorbed.to_le_bytes());
+                out.extend_from_slice(&shed.to_le_bytes());
+                out.extend_from_slice(&replicated.to_le_bytes());
+                out.extend_from_slice(&peers.to_le_bytes());
+            }
+            QueryReply::Promoted { term } => {
+                out.push(7);
+                out.extend_from_slice(&term.to_le_bytes());
+            }
         },
         Message::BatchDelta {
             epoch,
@@ -549,10 +734,25 @@ fn write_payload(msg: &Message, out: &mut Vec<u8>) {
             epoch,
             round,
             outcome,
+            term,
         } => {
             out.extend_from_slice(&epoch.to_le_bytes());
             out.extend_from_slice(&round.to_le_bytes());
             out.push(outcome.to_wire());
+            out.extend_from_slice(&term.to_le_bytes());
+        }
+        Message::Replicate { seq, term, record } => {
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&term.to_le_bytes());
+            out.extend_from_slice(record);
+        }
+        Message::ReplicateAck { seq, term } => {
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&term.to_le_bytes());
+        }
+        Message::ReplicateSnapshot { term, frame } => {
+            out.extend_from_slice(&term.to_le_bytes());
+            out.extend_from_slice(frame);
         }
     }
 }
@@ -584,6 +784,7 @@ fn read_payload(tag: u8, payload: &[u8]) -> Result<Message, String> {
         4 => Message::Ack {
             epoch: r.u64()?,
             outcome: AckOutcome::from_wire(r.u8()?)?,
+            term: r.u64()?,
         },
         5 => {
             let code = ErrorCode::from_wire(r.u16()?)?;
@@ -632,6 +833,16 @@ fn read_payload(tag: u8, payload: &[u8]) -> Result<Message, String> {
                     QueryReply::Summary { keys, quantiles }
                 }
                 5 => QueryReply::Draining,
+                6 => QueryReply::Status {
+                    role: NodeRole::from_wire(r.u8()?)?,
+                    term: r.u64()?,
+                    journal_seq: r.u64()?,
+                    absorbed: r.u64()?,
+                    shed: r.u64()?,
+                    replicated: r.u64()?,
+                    peers: r.u64()?,
+                },
+                7 => QueryReply::Promoted { term: r.u64()? },
                 other => return Err(format!("unknown reply kind {other}")),
             };
             Message::Reply(reply)
@@ -652,7 +863,23 @@ fn read_payload(tag: u8, payload: &[u8]) -> Result<Message, String> {
             epoch: r.u64()?,
             round: r.u32()?,
             outcome: AckOutcome::from_wire(r.u8()?)?,
+            term: r.u64()?,
         },
+        11 => {
+            let seq = r.u64()?;
+            let term = r.u64()?;
+            let record = r.rest().to_vec();
+            Message::Replicate { seq, term, record }
+        }
+        12 => Message::ReplicateAck {
+            seq: r.u64()?,
+            term: r.u64()?,
+        },
+        13 => {
+            let term = r.u64()?;
+            let frame = r.rest().to_vec();
+            Message::ReplicateSnapshot { term, frame }
+        }
         other => return Err(format!("unknown message type {other}")),
     };
     r.finish()?;
@@ -862,6 +1089,7 @@ mod tests {
             sampling_bits: 32,
             seed: 0xc011,
             window: 8,
+            term: 1,
         };
         vec![
             Message::Hello {
@@ -883,6 +1111,7 @@ mod tests {
             Message::Ack {
                 epoch: 3,
                 outcome: AckOutcome::Duplicate,
+                term: 1,
             },
             Message::Error {
                 code: ErrorCode::BadFrame,
@@ -904,6 +1133,11 @@ mod tests {
                 context: 0,
                 detail: "collector is replaying its journal".into(),
             },
+            Message::Error {
+                code: ErrorCode::NotPrimary,
+                context: 2,
+                detail: "standby at term 2; promote or route elsewhere".into(),
+            },
             Message::BatchDelta {
                 epoch: 3,
                 round: 2,
@@ -914,10 +1148,23 @@ mod tests {
                 epoch: 3,
                 round: 2,
                 outcome: AckOutcome::Absorbed,
+                term: 1,
+            },
+            Message::Replicate {
+                seq: 12,
+                term: 1,
+                record: vec![0x53, 0x42, 0x4a, 0x52],
+            },
+            Message::ReplicateAck { seq: 12, term: 1 },
+            Message::ReplicateSnapshot {
+                term: 2,
+                frame: vec![0x53, 0x42, 0x4d, 0x50],
             },
             Message::Goodbye,
             Message::Query(QueryRequest::TopK(5)),
             Message::Query(QueryRequest::Summary),
+            Message::Query(QueryRequest::Status),
+            Message::Query(QueryRequest::Promote),
             Message::Reply(QueryReply::Estimate(Some(1234.5))),
             Message::Reply(QueryReply::Estimate(None)),
             Message::Reply(QueryReply::Fill(Some(99))),
@@ -927,7 +1174,34 @@ mod tests {
                 quantiles: vec![(0.25, 10.0), (0.99, 90.0)],
             }),
             Message::Reply(QueryReply::Draining),
+            Message::Reply(QueryReply::Status {
+                role: NodeRole::Standby,
+                term: 2,
+                journal_seq: 5,
+                absorbed: 120,
+                shed: 1,
+                replicated: 119,
+                peers: 0,
+            }),
+            Message::Reply(QueryReply::Promoted { term: 3 }),
         ]
+    }
+
+    #[test]
+    fn config_agreement_ignores_the_fencing_term() {
+        let base = ConfigEcho {
+            n_max: 1000,
+            m: 64,
+            sampling_bits: 16,
+            seed: 9,
+            window: 4,
+            term: 1,
+        };
+        assert!(base.agrees_with(&base.with_term(7)));
+        assert_ne!(base, base.with_term(7), "== must still see the term");
+        let mut other = base;
+        other.seed = 10;
+        assert!(!base.agrees_with(&other));
     }
 
     #[test]
@@ -956,6 +1230,7 @@ mod tests {
         let mut wire = encode(&Message::Ack {
             epoch: 1,
             outcome: AckOutcome::Absorbed,
+            term: 0,
         });
         wire[HEADER_LEN] ^= 0x40;
         wire.extend_from_slice(&good);
@@ -991,6 +1266,7 @@ mod tests {
         let wire = encode(&Message::Ack {
             epoch: 9,
             outcome: AckOutcome::Expired,
+            term: 0,
         });
         for cut in 1..wire.len() {
             let mut reader = FrameReader::new(&wire[..cut]);
@@ -1089,6 +1365,7 @@ mod tests {
             wire.extend_from_slice(&encode(&Message::Ack {
                 epoch,
                 outcome: AckOutcome::Absorbed,
+                term: 0,
             }));
         }
         let mut reader = FrameReader::new(wire.as_slice());
